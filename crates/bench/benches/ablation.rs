@@ -1,0 +1,76 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
+//! index-backed vs scan joins, the pointer-shortcut term equality, and
+//! semi-naive vs naive differentiation.
+
+use chainsplit_engine::{naive_eval, seminaive_eval, BottomUpOptions};
+use chainsplit_logic::{parse_program, Term};
+use chainsplit_relation::{Database, Relation, Tuple};
+use chainsplit_workloads::chain_edges;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn wide_relation(rows: usize) -> Relation {
+    let mut r = Relation::new(2);
+    for i in 0..rows {
+        r.insert(Tuple::new(vec![
+            Term::Int((i % 100) as i64),
+            Term::Int(i as i64),
+        ]));
+    }
+    r
+}
+
+fn bench_index_vs_scan(c: &mut Criterion) {
+    // `select` auto-indexes above a size threshold, so the scan baseline
+    // is measured against the raw row iterator.
+    let rel = wide_relation(10_000);
+    let key = [Term::Int(42)];
+    let mut group = c.benchmark_group("ablation_join");
+    group.bench_function("full_scan", |b| {
+        b.iter(|| {
+            rel.rows()
+                .iter()
+                .filter(|row| row.get(0) == &key[0])
+                .count()
+        })
+    });
+    group.bench_function("select_lazy_indexed", |b| {
+        b.iter(|| rel.select(&[0], &key).count())
+    });
+    group.finish();
+}
+
+fn bench_term_equality(c: &mut Criterion) {
+    let shared = Term::int_list(0..512);
+    let same = shared.clone(); // structure-shared: pointer shortcut fires
+    let rebuilt = Term::int_list(0..512); // fresh spine: full walk
+    let mut group = c.benchmark_group("ablation_term_eq");
+    group.bench_function("shared_pointers", |b| b.iter(|| shared == same));
+    group.bench_function("fresh_spines", |b| b.iter(|| shared == rebuilt));
+    group.finish();
+}
+
+fn bench_seminaive_vs_naive(c: &mut Criterion) {
+    let program = parse_program(
+        "path(X, Y) :- edge(X, Y).
+         path(X, Y) :- edge(X, Z), path(Z, Y).",
+    )
+    .unwrap();
+    let (_, rules) = program.split_facts();
+    let edb = Database::from_facts(chain_edges(64));
+    let mut group = c.benchmark_group("ablation_differentiation");
+    group.sample_size(10);
+    group.bench_function("naive", |b| {
+        b.iter(|| naive_eval(&rules, &edb, BottomUpOptions::default()).unwrap())
+    });
+    group.bench_function("seminaive", |b| {
+        b.iter(|| seminaive_eval(&rules, &edb, BottomUpOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(20);
+    targets = bench_index_vs_scan, bench_term_equality, bench_seminaive_vs_naive
+}
+criterion_main!(ablations);

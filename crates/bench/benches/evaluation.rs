@@ -1,0 +1,146 @@
+//! Criterion benches — one group per experiment (E1–E6), timing the same
+//! configurations the `table_e*` binaries print. `cargo bench` regenerates
+//! the wall-clock side of EXPERIMENTS.md.
+
+use chainsplit_bench::{append_db, measure, merged_sg_db, scsg_db, sg_db, sorting_db, travel_db};
+use chainsplit_core::Strategy;
+use chainsplit_logic::Term;
+use chainsplit_workloads::{endpoints, random_ints, FamilyConfig, FlightConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_e1_scsg_magic(c: &mut Criterion) {
+    let cfg = FamilyConfig {
+        countries: 2,
+        people_per_country: 16,
+        generations: 4,
+    };
+    let q = format!("scsg({}, Y)", chainsplit_workloads::query_person(cfg));
+    let mut group = c.benchmark_group("e1_scsg_magic");
+    group.bench_function("standard_magic", |b| {
+        b.iter(|| {
+            let mut db = scsg_db(cfg);
+            measure(&mut db, &q, Strategy::Magic).unwrap()
+        })
+    });
+    group.bench_function("chain_split_magic", |b| {
+        b.iter(|| {
+            let mut db = scsg_db(cfg);
+            measure(&mut db, &q, Strategy::ChainSplitMagic).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_e2_merged(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_merged_vs_per_chain");
+    group.bench_function("per_chain_magic", |b| {
+        b.iter(|| {
+            let cfg = FamilyConfig {
+                countries: 1,
+                people_per_country: 8,
+                generations: 4,
+            };
+            let mut db = sg_db(cfg);
+            measure(&mut db, "sg(g4_0_0, Y)", Strategy::Magic).unwrap()
+        })
+    });
+    group.bench_function("merged_cross_product", |b| {
+        b.iter(|| {
+            let mut db = merged_sg_db(8, 4);
+            measure(&mut db, "msg(Y)", Strategy::Auto).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_e3_append(c: &mut Criterion) {
+    let w = Term::int_list(random_ints(64, 5));
+    let q = format!("append(U, V, {w})");
+    let mut group = c.benchmark_group("e3_append_ffb");
+    group.bench_function("buffered_chain_split", |b| {
+        b.iter(|| {
+            let mut db = append_db();
+            measure(&mut db, &q, Strategy::ChainSplit).unwrap()
+        })
+    });
+    group.bench_function("top_down_sld", |b| {
+        b.iter(|| {
+            let mut db = append_db();
+            measure(&mut db, &q, Strategy::TopDown).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_e4_travel(c: &mut Criterion) {
+    let cfg = FlightConfig {
+        airports: 12,
+        extra_flights: 12,
+        fare_min: 100,
+        fare_max: 400,
+        seed: 13,
+    };
+    let (from, to) = endpoints(cfg);
+    let constrained = format!("travel(L, {from}, DT, {to}, AT, F), F <= 900");
+    let unconstrained = format!("travel(L, {from}, DT, {to}, AT, F)");
+    let mut group = c.benchmark_group("e4_travel_constraints");
+    group.bench_function("push_constraint", |b| {
+        b.iter(|| {
+            let mut db = travel_db(cfg);
+            measure(&mut db, &constrained, Strategy::ChainSplit).unwrap()
+        })
+    });
+    group.bench_function("filter_at_end", |b| {
+        b.iter(|| {
+            let mut db = travel_db(cfg);
+            measure(&mut db, &unconstrained, Strategy::ChainSplit).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_e5_isort(c: &mut Criterion) {
+    let list = Term::int_list(random_ints(32, 21));
+    let q = format!("isort({list}, Ys)");
+    let mut group = c.benchmark_group("e5_isort");
+    group.bench_function("nested_chain_split", |b| {
+        b.iter(|| {
+            let mut db = sorting_db();
+            measure(&mut db, &q, Strategy::ChainSplit).unwrap()
+        })
+    });
+    group.bench_function("top_down_sld", |b| {
+        b.iter(|| {
+            let mut db = sorting_db();
+            measure(&mut db, &q, Strategy::TopDown).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_e6_qsort(c: &mut Criterion) {
+    let list = Term::int_list(random_ints(32, 33));
+    let q = format!("qsort({list}, Ys)");
+    let mut group = c.benchmark_group("e6_qsort");
+    group.bench_function("nonlinear_chain_split", |b| {
+        b.iter(|| {
+            let mut db = sorting_db();
+            measure(&mut db, &q, Strategy::ChainSplit).unwrap()
+        })
+    });
+    group.bench_function("top_down_sld", |b| {
+        b.iter(|| {
+            let mut db = sorting_db();
+            measure(&mut db, &q, Strategy::TopDown).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e1_scsg_magic, bench_e2_merged, bench_e3_append,
+              bench_e4_travel, bench_e5_isort, bench_e6_qsort
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E2 — Merging multiple chains into one path vs per-chain evaluation
+//! (§1.1's claim, after \[11, 14\]).
+//!
+//! `sg` is a 2-chain recursion. The merged variant crams both chains into
+//! one path over the *cross product* of the parent relations (`step`
+//! pairs); the paper calls iterating over such cross products "terribly
+//! inefficient". We sweep the lineage count and compare the merged
+//! single-chain evaluation against per-chain magic evaluation of the
+//! original program.
+
+use chainsplit_bench::{header, measure, merged_sg_db, row, sg_db};
+use chainsplit_core::Strategy;
+use chainsplit_workloads::FamilyConfig;
+
+fn main() {
+    println!("# E2: sg — merged cross-product chain vs per-chain (magic) evaluation");
+    println!("# generations=4; merged step relation is quadratic in lineages\n");
+    header(&[
+        "lineages",
+        "method",
+        "EDB facts",
+        "answers",
+        "derived",
+        "probes",
+        "wall ms",
+    ]);
+    for people in [2usize, 4, 8, 16, 24] {
+        let generations = 4;
+
+        // Per-chain: ordinary sg with magic sets.
+        let cfg = FamilyConfig {
+            countries: 1,
+            people_per_country: people,
+            generations,
+        };
+        let mut db = sg_db(cfg);
+        let q = format!("sg(g{generations}_0_0, Y)");
+        let r = measure(&mut db, &q, Strategy::Magic).expect("sg magic evaluates");
+        let edb: usize = {
+            let sys = db.system();
+            sys.edb.total_rows()
+        };
+        row(&[
+            people.to_string(),
+            "per-chain (magic)".to_string(),
+            edb.to_string(),
+            r.answers.to_string(),
+            r.derived.to_string(),
+            r.considered.to_string(),
+            format!("{:.2}", r.wall_ms),
+        ]);
+
+        // Merged: single chain over the pair cross product.
+        let mut db = merged_sg_db(people, generations);
+        let q = "msg(Y)".to_string();
+        let r = measure(&mut db, &q, Strategy::Auto).expect("merged sg evaluates");
+        let edb: usize = {
+            let sys = db.system();
+            sys.edb.total_rows()
+        };
+        row(&[
+            people.to_string(),
+            "merged cross-product".to_string(),
+            edb.to_string(),
+            r.answers.to_string(),
+            r.derived.to_string(),
+            r.considered.to_string(),
+            format!("{:.2}", r.wall_ms),
+        ]);
+    }
+}

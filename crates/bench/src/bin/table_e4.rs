@@ -1,0 +1,76 @@
+//! E4 — Chain-split partial evaluation with constraint pushing on `travel`
+//! (§3.3, Algorithm 3.3).
+//!
+//! Sweep the network size; compare pushing the fare budget into the chain
+//! (partial sums prune the up sweep) against evaluating everything and
+//! filtering at the end, and against top-down SLD with a final filter.
+
+use chainsplit_bench::{header, measure, row, travel_db};
+use chainsplit_core::Strategy;
+use chainsplit_workloads::{endpoints, FlightConfig};
+
+fn main() {
+    println!("# E4: travel with fare budget — constraint pushing vs filter-at-end (Algorithm 3.3)");
+    println!("# fares 100-400 per hop, budget 900: routes over ~3 hops are hopeless\n");
+    header(&[
+        "airports", "method", "answers", "buffered", "probes", "wall ms",
+    ]);
+    for airports in [8usize, 12, 16, 24] {
+        let cfg = FlightConfig {
+            airports,
+            extra_flights: airports,
+            fare_min: 100,
+            fare_max: 400,
+            seed: 13,
+        };
+        let (from, to) = endpoints(cfg);
+        let budget = 900;
+        let constrained = format!("travel(L, {from}, DT, {to}, AT, F), F <= {budget}");
+        let unconstrained = format!("travel(L, {from}, DT, {to}, AT, F)");
+
+        // Pushed: Auto evaluates with the guard pruning the up sweep.
+        let mut db = travel_db(cfg);
+        let pushed = measure(&mut db, &constrained, Strategy::ChainSplit).expect("pushed run");
+        row(&[
+            airports.to_string(),
+            "push constraint (3.3)".to_string(),
+            pushed.answers.to_string(),
+            pushed.buffered_peak.to_string(),
+            pushed.considered.to_string(),
+            format!("{:.2}", pushed.wall_ms),
+        ]);
+
+        // Filter at end: full enumeration, then count the survivors.
+        let mut db = travel_db(cfg);
+        let full = measure(&mut db, &unconstrained, Strategy::ChainSplit).expect("full run");
+        row(&[
+            airports.to_string(),
+            "filter at end".to_string(),
+            format!("{} (of {})", pushed.answers, full.answers),
+            full.buffered_peak.to_string(),
+            full.considered.to_string(),
+            format!("{:.2}", full.wall_ms),
+        ]);
+
+        // Top-down baseline (full enumeration + filter).
+        let mut db = travel_db(cfg);
+        match measure(&mut db, &unconstrained, Strategy::TopDown) {
+            Ok(td) => row(&[
+                airports.to_string(),
+                "top-down SLD".to_string(),
+                format!("{} (of {})", pushed.answers, td.answers),
+                "-".to_string(),
+                td.considered.to_string(),
+                format!("{:.2}", td.wall_ms),
+            ]),
+            Err(e) => row(&[
+                airports.to_string(),
+                "top-down SLD".to_string(),
+                "DNF".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                format!("({e})"),
+            ]),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! E5 — Nested linear recursion: `isort` (§4.1).
+//!
+//! Chain-split evaluates the outer `isort` chain (buffering each list
+//! head) and dispatches the inner `insert^bbf` recursion to its own
+//! chain-split plan. Baseline: top-down SLD on the original program.
+
+use chainsplit_bench::{header, measure, row, sorting_db};
+use chainsplit_core::Strategy;
+use chainsplit_logic::Term;
+use chainsplit_workloads::{descending, random_ints};
+
+fn main() {
+    println!("# E5: isort — nested chain-split vs top-down SLD (§4.1)");
+    println!("# random lists (seeded) and descending lists (insert's easy case)\n");
+    header(&["len", "shape", "method", "derived", "probes", "wall ms"]);
+    for len in [8usize, 32, 64, 128] {
+        for (shape, list) in [
+            ("random", Term::int_list(random_ints(len, 21))),
+            ("descending", descending(len)),
+        ] {
+            let q = format!("isort({list}, Ys)");
+            for (name, strat) in [
+                ("nested chain-split", Strategy::ChainSplit),
+                ("top-down SLD", Strategy::TopDown),
+            ] {
+                let mut db = sorting_db();
+                let r = measure(&mut db, &q, strat).expect("isort evaluates");
+                assert_eq!(r.answers, 1);
+                row(&[
+                    len.to_string(),
+                    shape.to_string(),
+                    name.to_string(),
+                    r.derived.to_string(),
+                    r.considered.to_string(),
+                    format!("{:.2}", r.wall_ms),
+                ]);
+            }
+        }
+    }
+}

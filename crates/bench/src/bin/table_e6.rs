@@ -1,0 +1,34 @@
+//! E6 — Nonlinear recursion: `qsort` (§4.2).
+//!
+//! The nonlinear rule is evaluated by mode-driven goal-directed resolution
+//! with chain-split scheduling; the embedded `append` runs under its own
+//! buffered chain-split plan. Baseline: top-down SLD.
+
+use chainsplit_bench::{header, measure, row, sorting_db};
+use chainsplit_core::Strategy;
+use chainsplit_logic::Term;
+use chainsplit_workloads::random_ints;
+
+fn main() {
+    println!("# E6: qsort — nonlinear chain-split vs top-down SLD (§4.2)\n");
+    header(&["len", "method", "derived", "probes", "wall ms"]);
+    for len in [8usize, 32, 64, 128] {
+        let list = Term::int_list(random_ints(len, 33));
+        let q = format!("qsort({list}, Ys)");
+        for (name, strat) in [
+            ("nonlinear chain-split", Strategy::ChainSplit),
+            ("top-down SLD", Strategy::TopDown),
+        ] {
+            let mut db = sorting_db();
+            let r = measure(&mut db, &q, strat).expect("qsort evaluates");
+            assert_eq!(r.answers, 1);
+            row(&[
+                len.to_string(),
+                name.to_string(),
+                r.derived.to_string(),
+                r.considered.to_string(),
+                format!("{:.2}", r.wall_ms),
+            ]);
+        }
+    }
+}

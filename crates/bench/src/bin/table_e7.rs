@@ -1,0 +1,83 @@
+//! E7 — Threshold ablation for the efficiency-based split decision (§2.1).
+//!
+//! Sweep the join expansion ratio of `same_country` across the cost
+//! model's thresholds and compare three planners: always-follow (standard
+//! magic), always-split (forced DelayPreds), and the threshold-driven
+//! decision (Algorithm 3.1). The claim under test: the quantitative rule
+//! tracks the better of the two forced plans on both sides of the
+//! crossover.
+
+use chainsplit_bench::{header, row, scsg_system, time_ms};
+use chainsplit_core::{chain_split_magic, CostModel};
+use chainsplit_engine::{magic_eval, BottomUpOptions, DelayPreds, FullSip};
+use chainsplit_logic::{parse_query, Pred};
+use chainsplit_workloads::{query_person, FamilyConfig};
+use std::collections::HashSet;
+
+fn main() {
+    println!("# E7: scsg threshold ablation — follow vs split vs cost-model decision");
+    println!(
+        "# expansion ratio of same_country = people/country; thresholds: follow < 2, split > 16\n"
+    );
+    header(&[
+        "expansion",
+        "planner",
+        "answers",
+        "magic facts",
+        "probes",
+        "wall ms",
+        "decision",
+    ]);
+    for people in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = FamilyConfig {
+            countries: 2,
+            people_per_country: people,
+            generations: 4,
+        };
+        let sys = scsg_system(cfg);
+        let q = parse_query(&format!("scsg({}, Y)", query_person(cfg))).unwrap();
+        let model = CostModel::default();
+        let weak = model.weak_linkages(&sys, &q);
+        let decision = if weak.is_empty() { "follow" } else { "split" };
+
+        let mut runs: Vec<(&str, _, f64, &str)> = Vec::new();
+        let (follow, t_follow) = time_ms(|| {
+            magic_eval(
+                &sys.rectified.rules,
+                &sys.edb,
+                &q,
+                &FullSip,
+                BottomUpOptions::default(),
+            )
+            .unwrap()
+        });
+        runs.push(("forced follow", follow, t_follow, ""));
+        let forced: HashSet<Pred> = [Pred::new("same_country", 2)].into();
+        let (split, t_split) = time_ms(|| {
+            magic_eval(
+                &sys.rectified.rules,
+                &sys.edb,
+                &q,
+                &DelayPreds(forced.clone()),
+                BottomUpOptions::default(),
+            )
+            .unwrap()
+        });
+        runs.push(("forced split", split, t_split, ""));
+        let (auto, t_auto) =
+            time_ms(|| chain_split_magic(&sys, &q, &model, BottomUpOptions::default()).unwrap());
+        runs.push(("cost model (3.1)", auto, t_auto, decision));
+
+        for (name, r, wall, note) in runs {
+            row(&[
+                people.to_string(),
+                name.to_string(),
+                r.answers.len().to_string(),
+                r.counters.magic_facts.to_string(),
+                r.counters.considered.to_string(),
+                format!("{wall:.2}"),
+                note.to_string(),
+            ]);
+        }
+    }
+}

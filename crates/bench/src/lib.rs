@@ -1,0 +1,174 @@
+//! # chainsplit-bench
+//!
+//! The benchmark harness regenerating the paper's evaluation (experiments
+//! E1–E7; see DESIGN.md §4 for the index and EXPERIMENTS.md for recorded
+//! results). Each `table_eN` binary prints one paper-style table; the
+//! criterion benches in `benches/` time the same configurations.
+//!
+//! The harness reports machine-independent counters (derived facts, magic
+//! facts, buffered tuples, join probes) alongside wall-clock, so the
+//! paper's *ordinal* claims (who wins, where the crossover falls) can be
+//! checked without the authors' hardware.
+
+#![forbid(unsafe_code)]
+
+use chainsplit_core::{DeductiveDb, Strategy, System};
+use chainsplit_logic::{parse_program, Program, Rule};
+use chainsplit_workloads as workloads;
+use std::time::Instant;
+
+/// Wall-clock one closure, in milliseconds.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style header + separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+/// One measured run of a query under a strategy.
+#[derive(Debug)]
+pub struct Run {
+    pub answers: usize,
+    pub wall_ms: f64,
+    pub derived: usize,
+    pub considered: usize,
+    pub magic_facts: usize,
+    pub buffered_peak: usize,
+}
+
+/// Runs `query` on `db` under `strategy`, measuring wall-clock and
+/// counters. Returns `Err(reason)` when the method cannot evaluate the
+/// query (reported as DNF in the tables).
+pub fn measure(db: &mut DeductiveDb, query: &str, strategy: Strategy) -> Result<Run, String> {
+    // Force compilation outside the timed section.
+    let _ = db.system();
+    let (out, wall_ms) = time_ms(|| db.query_with(query, strategy));
+    match out {
+        Ok(o) => Ok(Run {
+            answers: o.answers.len(),
+            wall_ms,
+            derived: o.counters.derived,
+            considered: o.counters.considered,
+            magic_facts: o.counters.magic_facts,
+            buffered_peak: o.counters.buffered_peak,
+        }),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Builds the scsg database for a family configuration.
+pub fn scsg_db(cfg: workloads::FamilyConfig) -> DeductiveDb {
+    let mut db = DeductiveDb::new();
+    db.load(workloads::fixtures::SCSG).unwrap();
+    for f in workloads::family_facts(cfg) {
+        db.add_fact(f);
+    }
+    db
+}
+
+/// Builds the sg database for a family configuration.
+pub fn sg_db(cfg: workloads::FamilyConfig) -> DeductiveDb {
+    let mut db = DeductiveDb::new();
+    db.load(workloads::fixtures::SG).unwrap();
+    for f in workloads::family_facts(cfg) {
+        db.add_fact(f);
+    }
+    db
+}
+
+/// Builds the travel database for a flight configuration.
+pub fn travel_db(cfg: workloads::FlightConfig) -> DeductiveDb {
+    let mut db = DeductiveDb::new();
+    db.load(workloads::fixtures::TRAVEL).unwrap();
+    for f in workloads::flight_facts(cfg) {
+        db.add_fact(f);
+    }
+    db
+}
+
+/// Builds the sorting database (isort + qsort).
+pub fn sorting_db() -> DeductiveDb {
+    let mut db = DeductiveDb::new();
+    db.load(workloads::fixtures::ISORT).unwrap();
+    db.load(workloads::fixtures::QSORT).unwrap();
+    db
+}
+
+/// Builds the append database.
+pub fn append_db() -> DeductiveDb {
+    let mut db = DeductiveDb::new();
+    db.load(workloads::fixtures::APPEND).unwrap();
+    db
+}
+
+/// Builds the merged-chain sg database (experiment E2's anti-pattern).
+pub fn merged_sg_db(people: usize, generations: usize) -> DeductiveDb {
+    let mut db = DeductiveDb::new();
+    db.load(workloads::fixtures::SG_MERGED).unwrap();
+    for f in workloads::merged_sg_facts(people, generations) {
+        db.add_fact(f);
+    }
+    db
+}
+
+/// A compiled `System` for the scsg workload (for API-level benches).
+pub fn scsg_system(cfg: workloads::FamilyConfig) -> System {
+    let mut program: Program = parse_program(workloads::fixtures::SCSG).unwrap();
+    for f in workloads::family_facts(cfg) {
+        program.rules.push(Rule::fact(f));
+    }
+    System::build(&program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_counters() {
+        let mut db = sg_db(workloads::FamilyConfig {
+            countries: 1,
+            people_per_country: 4,
+            generations: 2,
+        });
+        let r = measure(&mut db, "sg(g2_0_0, Y)", Strategy::Magic).unwrap();
+        assert!(r.answers >= 1);
+        assert!(r.magic_facts > 0);
+        assert!(r.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn measure_reports_dnf_as_error() {
+        let mut db = append_db();
+        // Bottom-up cannot evaluate a functional recursion.
+        let err = measure(&mut db, "append(U, V, [1, 2])", Strategy::SemiNaive).unwrap_err();
+        assert!(err.contains("not finitely evaluable"), "{err}");
+    }
+
+    #[test]
+    fn builders_produce_queryable_dbs() {
+        let mut db = travel_db(workloads::FlightConfig {
+            airports: 4,
+            extra_flights: 2,
+            ..Default::default()
+        });
+        assert!(!db.query("travel(L, a0, DT, a3, AT, F)").unwrap().is_empty());
+        let mut db = merged_sg_db(3, 2);
+        assert!(db.query("msg(P, Q)").is_ok());
+        let mut db = sorting_db();
+        assert_eq!(db.query("isort([3, 1, 2], Ys)").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,458 @@
+//! Compiled chain form of a linear recursion.
+//!
+//! A rectified linear recursion compiles into exit rules plus one normalized
+//! recursive rule whose non-recursive body atoms partition into *chain
+//! generating paths*: maximal groups of atoms connected by shared variables
+//! (paper (1.3)/(1.4); Han-Zeng 1992). `sg` compiles into two single-
+//! predicate chains (`parent` on the X side, `parent` on the Y side);
+//! `scsg` compiles into **one** chain generating path of three connected
+//! predicates (`parent`, `same_country`, `parent`); rectified `append`
+//! compiles into one chain of two `cons` atoms connected through `X1`.
+
+use crate::classify::{classify, Classified, RecursionClass};
+use crate::graph::DepGraph;
+use chainsplit_logic::{Atom, Pred, Program, Rule, Term, Var};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One chain generating path.
+#[derive(Clone, Debug)]
+pub struct ChainPath {
+    /// Indexes into the recursive rule's body of this path's atoms.
+    pub atom_idxs: Vec<usize>,
+    /// The path's atoms (same order as `atom_idxs`).
+    pub atoms: Vec<Atom>,
+    /// Variables shared with the head (the `X_{i-1}` group).
+    pub head_vars: Vec<Var>,
+    /// Variables shared with the recursive call (the `X_i` group).
+    pub rec_vars: Vec<Var>,
+}
+
+impl fmt::Display for ChainPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A compiled linear (or nested-linear) recursion.
+#[derive(Clone, Debug)]
+pub struct CompiledRecursion {
+    pub pred: Pred,
+    pub class: RecursionClass,
+    /// The single recursive rule (rectified).
+    pub recursive_rule: Rule,
+    /// Index of the recursive atom in `recursive_rule.body`.
+    pub rec_idx: usize,
+    pub exit_rules: Vec<Rule>,
+    /// The chain generating paths (connected components of the non-
+    /// recursive body atoms). An `n`-chain recursion has `n` entries; a
+    /// recursion whose entire body connects has 1.
+    pub chains: Vec<ChainPath>,
+    /// Head positions whose variable is passed unchanged to the recursive
+    /// call and touches no path atom (like `V` in `append(U, V, W) :-
+    /// append(U1, V, W1), …`).
+    pub invariant_positions: Vec<usize>,
+    /// Recursive predicates from other SCCs called inside the paths
+    /// (non-empty for nested linear recursions).
+    pub nested_preds: Vec<Pred>,
+}
+
+/// Why compilation into chain form failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The predicate's class does not admit the normalized single-rule form.
+    WrongClass(RecursionClass),
+    /// No rules at all for the predicate.
+    NoRules,
+    /// The recursive rule is not rectified (head args must be distinct
+    /// variables, recursive-call args must be variables).
+    NotRectified,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::WrongClass(c) => {
+                write!(
+                    f,
+                    "cannot compile {c} recursion into single-rule chain form"
+                )
+            }
+            CompileError::NoRules => write!(f, "predicate has no rules"),
+            CompileError::NotRectified => write!(f, "recursive rule is not rectified"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl CompiledRecursion {
+    /// Head position of a variable (rectified heads have distinct vars).
+    pub fn head_pos(&self, v: Var) -> Option<usize> {
+        self.recursive_rule
+            .head
+            .args
+            .iter()
+            .position(|t| *t == Term::Var(v))
+    }
+
+    /// The variable at head position `j`.
+    pub fn head_var(&self, j: usize) -> Var {
+        match &self.recursive_rule.head.args[j] {
+            Term::Var(v) => *v,
+            other => unreachable!("rectified head arg must be a var, got {other}"),
+        }
+    }
+
+    /// The recursive atom.
+    pub fn rec_atom(&self) -> &Atom {
+        &self.recursive_rule.body[self.rec_idx]
+    }
+
+    /// The variable at recursive-call position `j`.
+    pub fn rec_var(&self, j: usize) -> Var {
+        match &self.rec_atom().args[j] {
+            Term::Var(v) => *v,
+            other => unreachable!("rectified rec arg must be a var, got {other}"),
+        }
+    }
+
+    /// All non-recursive body atoms (the union of the chain paths), with
+    /// their body indexes.
+    pub fn path_atoms(&self) -> Vec<(usize, &Atom)> {
+        self.recursive_rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.rec_idx)
+            .collect()
+    }
+
+    /// Number of chains.
+    pub fn n_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    pub fn is_single_chain(&self) -> bool {
+        self.chains.len() == 1
+    }
+
+    pub fn arity(&self) -> usize {
+        self.pred.arity as usize
+    }
+}
+
+/// Compiles the (rectified) definition of `pred` into chain form.
+pub fn compile(
+    program: &Program,
+    graph: &DepGraph,
+    pred: Pred,
+) -> Result<CompiledRecursion, CompileError> {
+    let c: Classified = classify(program, graph, pred);
+    match c.class {
+        RecursionClass::Linear | RecursionClass::NestedLinear => {}
+        RecursionClass::NonRecursive if !c.exit_rules.is_empty() => {
+            // A non-recursive definition is a degenerate chain form: exit
+            // rules only, no chains.
+            return Ok(CompiledRecursion {
+                pred,
+                class: c.class,
+                recursive_rule: c.exit_rules[0].clone(),
+                rec_idx: usize::MAX,
+                exit_rules: c.exit_rules,
+                chains: vec![],
+                invariant_positions: vec![],
+                nested_preds: c.nested_preds,
+            });
+        }
+        RecursionClass::NonRecursive => return Err(CompileError::NoRules),
+        other => return Err(CompileError::WrongClass(other)),
+    }
+
+    let rule = c.recursive_rules[0].clone();
+    let rec_idx = rule
+        .body
+        .iter()
+        .position(|a| a.pred == pred)
+        .expect("linear recursive rule must call its own predicate");
+
+    // Rectification requirements.
+    let mut seen = HashSet::new();
+    let head_ok = rule.head.args.iter().all(|t| match t {
+        Term::Var(v) => seen.insert(*v),
+        _ => false,
+    });
+    let rec_ok = rule.body[rec_idx]
+        .args
+        .iter()
+        .all(|t| matches!(t, Term::Var(_)));
+    if !head_ok || !rec_ok {
+        return Err(CompileError::NotRectified);
+    }
+
+    let head_vars: Vec<Var> = rule.head.vars();
+    let rec_vars_all: Vec<Var> = rule.body[rec_idx].vars();
+
+    // Union-find over the non-recursive body atoms by shared variables.
+    let path: Vec<(usize, &Atom)> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != rec_idx)
+        .collect();
+    let mut parent: Vec<usize> = (0..path.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    let mut var_owner: HashMap<Var, usize> = HashMap::new();
+    for (pi, (_, atom)) in path.iter().enumerate() {
+        for v in atom.vars() {
+            match var_owner.get(&v) {
+                Some(&other) => {
+                    let (a, b) = (find(&mut parent, pi), find(&mut parent, other));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+                None => {
+                    var_owner.insert(v, pi);
+                }
+            }
+        }
+    }
+
+    // Collect components in first-atom order.
+    let mut comp_order: Vec<usize> = Vec::new();
+    let mut comp_atoms: HashMap<usize, Vec<usize>> = HashMap::new();
+    for pi in 0..path.len() {
+        let root = find(&mut parent, pi);
+        if !comp_atoms.contains_key(&root) {
+            comp_order.push(root);
+        }
+        comp_atoms.entry(root).or_default().push(pi);
+    }
+
+    let head_set: HashSet<Var> = head_vars.iter().copied().collect();
+    let rec_set: HashSet<Var> = rec_vars_all.iter().copied().collect();
+    let chains: Vec<ChainPath> = comp_order
+        .iter()
+        .map(|root| {
+            let members = &comp_atoms[root];
+            let atom_idxs: Vec<usize> = members.iter().map(|&pi| path[pi].0).collect();
+            let atoms: Vec<Atom> = members.iter().map(|&pi| path[pi].1.clone()).collect();
+            let mut vars: Vec<Var> = Vec::new();
+            for a in &atoms {
+                for v in a.vars() {
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+            }
+            ChainPath {
+                head_vars: vars
+                    .iter()
+                    .copied()
+                    .filter(|v| head_set.contains(v))
+                    .collect(),
+                rec_vars: vars
+                    .iter()
+                    .copied()
+                    .filter(|v| rec_set.contains(v))
+                    .collect(),
+                atom_idxs,
+                atoms,
+            }
+        })
+        .collect();
+
+    // Invariant positions: head arg var equals the recursive arg at the
+    // same position and occurs in no path atom.
+    let path_vars: HashSet<Var> = chains
+        .iter()
+        .flat_map(|c| c.atoms.iter().flat_map(|a| a.vars()))
+        .collect();
+    let rec_atom = &rule.body[rec_idx];
+    let invariant_positions: Vec<usize> = rule
+        .head
+        .args
+        .iter()
+        .enumerate()
+        .filter(|(j, t)| {
+            *j < rec_atom.args.len()
+                && rec_atom.args[*j] == **t
+                && matches!(t, Term::Var(v) if !path_vars.contains(v))
+        })
+        .map(|(j, _)| j)
+        .collect();
+
+    Ok(CompiledRecursion {
+        pred,
+        class: c.class,
+        recursive_rule: rule,
+        rec_idx,
+        exit_rules: c.exit_rules,
+        chains,
+        invariant_positions,
+        nested_preds: c.nested_preds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rectify::rectify_program;
+    use chainsplit_logic::parse_program;
+
+    fn compiled(src: &str, name: &str, arity: u32) -> CompiledRecursion {
+        let p = rectify_program(&parse_program(src).unwrap());
+        let g = DepGraph::build(&p);
+        compile(&p, &g, Pred::new(name, arity)).unwrap()
+    }
+
+    #[test]
+    fn sg_is_two_chain() {
+        let c = compiled(
+            "sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+             sg(X, Y) :- sibling(X, Y).",
+            "sg",
+            2,
+        );
+        assert_eq!(c.n_chains(), 2);
+        assert_eq!(c.exit_rules.len(), 1);
+        assert!(c.invariant_positions.is_empty());
+        // X-side chain: head var X, rec var X1.
+        let x_chain = &c.chains[0];
+        assert_eq!(x_chain.head_vars, vec![Var::named("X")]);
+        assert_eq!(x_chain.rec_vars, vec![Var::named("X1")]);
+    }
+
+    #[test]
+    fn scsg_is_single_chain_of_three_predicates() {
+        let c = compiled(
+            "scsg(X, Y) :- parent(X, X1), same_country(X1, Y1), parent(Y, Y1), scsg(X1, Y1).
+             scsg(X, Y) :- sibling(X, Y).",
+            "scsg",
+            2,
+        );
+        assert_eq!(c.n_chains(), 1, "same_country links the two parent atoms");
+        assert_eq!(c.chains[0].atoms.len(), 3);
+        let hv = &c.chains[0].head_vars;
+        assert!(hv.contains(&Var::named("X")) && hv.contains(&Var::named("Y")));
+    }
+
+    #[test]
+    fn append_single_chain_with_invariant() {
+        let c = compiled(
+            "append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+            "append",
+            3,
+        );
+        assert_eq!(c.n_chains(), 1, "the two cons atoms share X");
+        assert_eq!(c.chains[0].atoms.len(), 2);
+        // L2 is passed through untouched: invariant position 1.
+        assert_eq!(c.invariant_positions, vec![1]);
+        assert!(c.chains[0]
+            .atoms
+            .iter()
+            .all(|a| a.pred.name.as_str() == "cons"));
+    }
+
+    #[test]
+    fn isort_compiles_nested() {
+        let c = compiled(
+            "isort([X | Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+             isort([], []).
+             insert(X, [], [X]).
+             insert(X, [Y | Ys], [Y | Zs]) :- X > Y, insert(X, Ys, Zs).
+             insert(X, [Y | Ys], [X, Y | Ys]) :- X <= Y.",
+            "isort",
+            2,
+        );
+        assert_eq!(c.class, RecursionClass::NestedLinear);
+        assert_eq!(c.nested_preds, vec![Pred::new("insert", 3)]);
+        // cons(X, Xs, XXs) and insert(X, Zs, Ys) share X: one chain.
+        assert_eq!(c.n_chains(), 1);
+        assert_eq!(c.exit_rules.len(), 1);
+    }
+
+    #[test]
+    fn travel_single_chain() {
+        // The paper's travel (3.5)-(3.6): flight extended with fare summing
+        // and flight-number list building; one connected chain.
+        let c = compiled(
+            "travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A1, AT1, F1),
+                 travel(L1, A1, DT1, A, AT, F2), AT1 <= DT1,
+                 plus(F1, F2, F), cons(Fno, L1, L).
+             travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A, AT, F), cons(Fno, [], L).",
+            "travel",
+            6,
+        );
+        assert_eq!(c.n_chains(), 1);
+        assert_eq!(c.chains[0].atoms.len(), 4);
+        assert_eq!(c.exit_rules.len(), 1);
+    }
+
+    #[test]
+    fn nonrecursive_compiles_degenerate() {
+        let p = rectify_program(&parse_program("gp(X, Z) :- parent(X, Y), parent(Y, Z).").unwrap());
+        let g = DepGraph::build(&p);
+        let c = compile(&p, &g, Pred::new("gp", 2)).unwrap();
+        assert_eq!(c.n_chains(), 0);
+        assert_eq!(c.exit_rules.len(), 1);
+    }
+
+    #[test]
+    fn nonlinear_rejected() {
+        let p = rectify_program(
+            &parse_program(
+                "t(X, Y) :- e(X, Z), t(Z, W), t(W, Y).
+                 t(X, Y) :- e(X, Y).",
+            )
+            .unwrap(),
+        );
+        let g = DepGraph::build(&p);
+        let err = compile(&p, &g, Pred::new("t", 2)).unwrap_err();
+        assert_eq!(err, CompileError::WrongClass(RecursionClass::NonLinear));
+    }
+
+    #[test]
+    fn unrectified_rejected() {
+        let p = parse_program(
+            "append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        let err = compile(&p, &g, Pred::new("append", 3)).unwrap_err();
+        assert_eq!(err, CompileError::NotRectified);
+    }
+
+    #[test]
+    fn accessors() {
+        let c = compiled(
+            "sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+             sg(X, Y) :- sibling(X, Y).",
+            "sg",
+            2,
+        );
+        assert_eq!(c.head_var(0), Var::named("X"));
+        assert_eq!(c.rec_var(1), Var::named("Y1"));
+        assert_eq!(c.head_pos(Var::named("Y")), Some(1));
+        assert_eq!(c.head_pos(Var::named("Z")), None);
+        assert_eq!(c.path_atoms().len(), 2);
+        assert_eq!(c.rec_atom().pred, Pred::new("sg", 2));
+        assert_eq!(c.arity(), 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Recursion classification.
+//!
+//! The chain-split paper works over the taxonomy of Han-Lu/Han-Zeng:
+//! a predicate's definition is classified before compilation, and each class
+//! gets its own evaluation discipline (§1, §4):
+//!
+//! - **NonRecursive** definitions unfold;
+//! - **Linear** recursions (one recursive rule, one self-call) compile into
+//!   chain form and are the home turf of Algorithms 3.1–3.3;
+//! - **NestedLinear** recursions (§4.1, `isort`) are linear at the top level
+//!   but call other recursive predicates inside the chain path — each level
+//!   is normalized independently;
+//! - **NonLinear** recursions (§4.2, `qsort`) have several self-calls;
+//! - **MultipleLinear** (several linear recursive rules) and
+//!   **MutuallyRecursive** definitions fall outside the normalized chain
+//!   framework and are evaluated by the generic methods.
+
+use crate::graph::DepGraph;
+use chainsplit_logic::{Pred, Program, Rule};
+use std::fmt;
+
+/// The recursion class of one predicate's definition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecursionClass {
+    NonRecursive,
+    Linear,
+    NestedLinear,
+    NonLinear,
+    MultipleLinear,
+    MutuallyRecursive,
+}
+
+impl fmt::Display for RecursionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecursionClass::NonRecursive => "non-recursive",
+            RecursionClass::Linear => "linear",
+            RecursionClass::NestedLinear => "nested linear",
+            RecursionClass::NonLinear => "nonlinear",
+            RecursionClass::MultipleLinear => "multiple linear",
+            RecursionClass::MutuallyRecursive => "mutually recursive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The classified definition of one predicate.
+pub struct Classified {
+    pub pred: Pred,
+    pub class: RecursionClass,
+    /// Rules whose body references the predicate's own SCC.
+    pub recursive_rules: Vec<Rule>,
+    /// Rules with no reference to the SCC (exit rules).
+    pub exit_rules: Vec<Rule>,
+    /// Recursive IDB predicates (other SCCs) called from the rule bodies —
+    /// non-empty exactly for nested recursions.
+    pub nested_preds: Vec<Pred>,
+}
+
+/// Classifies the definition of `pred` in `program`.
+pub fn classify(program: &Program, graph: &DepGraph, pred: Pred) -> Classified {
+    let scc = graph.scc(pred);
+    let in_scc = |q: Pred| scc.contains(&q);
+
+    let mut recursive_rules = Vec::new();
+    let mut exit_rules = Vec::new();
+    let mut max_self_calls = 0usize;
+    for r in program.rules_for(pred) {
+        let n = r.body.iter().filter(|a| in_scc(a.pred)).count();
+        max_self_calls = max_self_calls.max(n);
+        if n > 0 {
+            recursive_rules.push(r.clone());
+        } else {
+            exit_rules.push(r.clone());
+        }
+    }
+
+    let mut nested_preds: Vec<Pred> = Vec::new();
+    for r in recursive_rules.iter().chain(exit_rules.iter()) {
+        for a in &r.body {
+            if !in_scc(a.pred) && graph.is_recursive(a.pred) && !nested_preds.contains(&a.pred) {
+                nested_preds.push(a.pred);
+            }
+        }
+    }
+
+    let class = if !graph.is_recursive(pred) {
+        RecursionClass::NonRecursive
+    } else if scc.len() > 1 {
+        RecursionClass::MutuallyRecursive
+    } else if max_self_calls > 1 {
+        RecursionClass::NonLinear
+    } else if recursive_rules.len() > 1 {
+        RecursionClass::MultipleLinear
+    } else if !nested_preds.is_empty() {
+        RecursionClass::NestedLinear
+    } else {
+        RecursionClass::Linear
+    };
+
+    Classified {
+        pred,
+        class,
+        recursive_rules,
+        exit_rules,
+        nested_preds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::parse_program;
+
+    fn class_of(src: &str, name: &str, arity: u32) -> RecursionClass {
+        let p = parse_program(src).unwrap();
+        let g = DepGraph::build(&p);
+        classify(&p, &g, Pred::new(name, arity)).class
+    }
+
+    #[test]
+    fn sg_is_linear() {
+        let c = class_of(
+            "sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+             sg(X, Y) :- sibling(X, Y).",
+            "sg",
+            2,
+        );
+        assert_eq!(c, RecursionClass::Linear);
+    }
+
+    #[test]
+    fn gp_is_nonrecursive() {
+        let c = class_of("gp(X, Z) :- parent(X, Y), parent(Y, Z).", "gp", 2);
+        assert_eq!(c, RecursionClass::NonRecursive);
+    }
+
+    #[test]
+    fn isort_is_nested_linear() {
+        let src = "isort([X | Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+             isort([], []).
+             insert(X, [], [X]).
+             insert(X, [Y | Ys], [Y | Zs]) :- X > Y, insert(X, Ys, Zs).
+             insert(X, [Y | Ys], [X, Y | Ys]) :- X <= Y.";
+        assert_eq!(class_of(src, "isort", 2), RecursionClass::NestedLinear);
+        // insert has exactly one recursive rule (X > Y case); the other two
+        // are exits, so it is linear.
+        assert_eq!(class_of(src, "insert", 3), RecursionClass::Linear);
+    }
+
+    #[test]
+    fn insert_single_recursive_rule_is_linear() {
+        // The paper's rectified insert has one recursive rule (4.9) and the
+        // base/comparison cases as exits.
+        let src = "insert(X, [Y | Ys], [Y | Zs]) :- X > Y, insert(X, Ys, Zs).
+             insert(X, [], [X]).
+             insert(X, [Y | Ys], [X, Y | Ys]) :- X <= Y.";
+        assert_eq!(class_of(src, "insert", 3), RecursionClass::Linear);
+    }
+
+    #[test]
+    fn qsort_is_nonlinear() {
+        let src = "qsort([X | Xs], Ys) :- partition(Xs, X, Ls, Bs),
+                       qsort(Ls, SLs), qsort(Bs, SBs), append(SLs, [X | SBs], Ys).
+             qsort([], []).
+             partition([X | Xs], Y, [X | Ls], Bs) :- X <= Y, partition(Xs, Y, Ls, Bs).
+             partition([X | Xs], Y, Ls, [X | Bs]) :- X > Y, partition(Xs, Y, Ls, Bs).
+             partition([], Y, [], []).
+             append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).";
+        assert_eq!(class_of(src, "qsort", 2), RecursionClass::NonLinear);
+        assert_eq!(
+            class_of(src, "partition", 4),
+            RecursionClass::MultipleLinear
+        );
+        assert_eq!(class_of(src, "append", 3), RecursionClass::Linear);
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let src = "even(X) :- pred(X, Y), odd(Y).
+             odd(X) :- pred(X, Y), even(Y).
+             even(z).";
+        assert_eq!(class_of(src, "even", 1), RecursionClass::MutuallyRecursive);
+    }
+
+    #[test]
+    fn nested_preds_listed() {
+        let p = parse_program(
+            "isort([X | Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+             isort([], []).
+             insert(X, [Y | Ys], [Y | Zs]) :- X > Y, insert(X, Ys, Zs).
+             insert(X, [], [X]).",
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        let c = classify(&p, &g, Pred::new("isort", 2));
+        assert_eq!(c.nested_preds, vec![Pred::new("insert", 3)]);
+        assert_eq!(c.recursive_rules.len(), 1);
+        assert_eq!(c.exit_rules.len(), 1);
+    }
+
+    #[test]
+    fn exit_and_recursive_rules_partitioned() {
+        let p = parse_program(
+            "sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+             sg(X, Y) :- sibling(X, Y).",
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        let c = classify(&p, &g, Pred::new("sg", 2));
+        assert_eq!(c.recursive_rules.len(), 1);
+        assert_eq!(c.exit_rules.len(), 1);
+        assert!(c.nested_preds.is_empty());
+    }
+}

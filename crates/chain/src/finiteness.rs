@@ -1,0 +1,141 @@
+//! Finiteness constraints and finite-evaluability of whole queries.
+//!
+//! A finiteness constraint `X → Y` over predicate `r` says each value of
+//! argument set `X` corresponds to a *finite* set of `Y` values \[6\]. It is
+//! strictly weaker than a functional dependency and holds trivially for
+//! every finite (EDB) predicate. The [`crate::modes::ModeTable`] encodes
+//! exactly the finiteness constraints of builtins (a registered mode `bbf`
+//! for `plus` is the constraint `{1,2} → {3}`); this module layers the
+//! query-level admissibility test on top: a query on a compiled recursion
+//! is finitely evaluable iff a [`crate::split::SplitPlan`] exists for its
+//! adornment.
+
+use crate::chain_form::CompiledRecursion;
+use crate::modes::ModeTable;
+use crate::split::{plan_split, SplitError, SplitPlan};
+use chainsplit_logic::{Adornment, Atom};
+use std::collections::HashSet;
+
+/// A finiteness constraint on one predicate: bound argument positions
+/// `from` determine finitely many values for positions `to`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FinitenessConstraint {
+    pub from: Vec<usize>,
+    pub to: Vec<usize>,
+}
+
+impl FinitenessConstraint {
+    /// The adornment expressing this constraint as a finite mode: `from`
+    /// positions bound, everything else free (evaluating then yields the
+    /// `to` positions finitely — and any position not in `from ∪ to` is
+    /// not constrained, so the mode is only valid if `from ∪ to` covers
+    /// the predicate).
+    pub fn to_mode(&self, arity: usize) -> Option<Adornment> {
+        let covered: HashSet<usize> = self.from.iter().chain(self.to.iter()).copied().collect();
+        if covered.len() != arity {
+            return None;
+        }
+        let mut ads = vec![chainsplit_logic::Ad::Free; arity];
+        for &j in &self.from {
+            ads[j] = chainsplit_logic::Ad::Bound;
+        }
+        Some(Adornment(ads))
+    }
+}
+
+/// The adornment of a query atom: argument positions holding ground terms
+/// are bound, the rest free.
+pub fn query_adornment(query: &Atom) -> Adornment {
+    Adornment(
+        query
+            .args
+            .iter()
+            .map(|t| {
+                if t.is_ground() {
+                    chainsplit_logic::Ad::Bound
+                } else {
+                    chainsplit_logic::Ad::Free
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Decides finite evaluability of a query adornment against a compiled
+/// recursion, returning the witnessing split plan.
+///
+/// This is the §2.2 admissibility check: the up sweep must be non-empty
+/// and reproduce its own bindings, every delayed atom must be evaluable in
+/// the down sweep, and every exit rule must be evaluable under the stable
+/// adornment.
+pub fn check_finitely_evaluable(
+    rec: &CompiledRecursion,
+    ad: &Adornment,
+    modes: &ModeTable,
+) -> Result<SplitPlan, SplitError> {
+    plan_split(rec, ad, modes, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain_form::compile;
+    use crate::graph::DepGraph;
+    use crate::rectify::rectify_program;
+    use chainsplit_logic::{parse_program, parse_query, Pred};
+
+    #[test]
+    fn query_adornment_from_ground_args() {
+        let q = parse_query("append(U, V, [1,2,3])").unwrap();
+        assert_eq!(query_adornment(&q).to_string(), "ffb");
+        let q = parse_query("sg(adam, Y)").unwrap();
+        assert_eq!(query_adornment(&q).to_string(), "bf");
+        let q = parse_query("p([X | Xs])").unwrap();
+        assert_eq!(query_adornment(&q).to_string(), "f");
+    }
+
+    #[test]
+    fn constraint_to_mode() {
+        // plus: {0,1} -> {2}
+        let c = FinitenessConstraint {
+            from: vec![0, 1],
+            to: vec![2],
+        };
+        assert_eq!(c.to_mode(3).unwrap().to_string(), "bbf");
+        // Non-covering constraint gives no mode.
+        let c = FinitenessConstraint {
+            from: vec![0],
+            to: vec![1],
+        };
+        assert!(c.to_mode(3).is_none());
+    }
+
+    #[test]
+    fn append_admissibility_matrix() {
+        let p = rectify_program(
+            &parse_program(
+                "append([], L, L).
+                 append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+            )
+            .unwrap(),
+        );
+        let g = DepGraph::build(&p);
+        let rec = compile(&p, &g, Pred::new("append", 3)).unwrap();
+        let modes = ModeTable::with_builtins();
+        // Finitely evaluable: the result bound, or both inputs bound.
+        for ad in ["ffb", "bfb", "fbb", "bbb", "bbf"] {
+            assert!(
+                check_finitely_evaluable(&rec, &Adornment::parse(ad), &modes).is_ok(),
+                "append^{ad} should be admissible"
+            );
+        }
+        // Not finitely evaluable: `append([1,2], V, W)` has infinitely many
+        // answers (bff), as do fff and fbf.
+        for ad in ["fff", "fbf", "bff"] {
+            assert!(
+                check_finitely_evaluable(&rec, &Adornment::parse(ad), &modes).is_err(),
+                "append^{ad} should be inadmissible"
+            );
+        }
+    }
+}

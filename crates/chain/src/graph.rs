@@ -1,0 +1,274 @@
+//! Predicate dependency graph and strongly connected components.
+//!
+//! Recursion classification starts from the dependency graph: predicate `p`
+//! depends on `q` when `q` occurs in the body of a rule with head `p`.
+//! A predicate is recursive iff it lies on a dependency cycle, i.e. its SCC
+//! has more than one member or a self-loop.
+
+use chainsplit_logic::{Pred, Program};
+use std::collections::HashMap;
+
+/// The dependency graph of a program's IDB.
+pub struct DepGraph {
+    preds: Vec<Pred>,
+    index: HashMap<Pred, usize>,
+    /// adjacency: edges[i] = predicates that preds[i]'s rules call
+    edges: Vec<Vec<usize>>,
+    /// scc id per predicate, in reverse topological order of SCCs
+    scc_of: Vec<usize>,
+    scc_count: usize,
+    self_loop: Vec<bool>,
+}
+
+impl DepGraph {
+    /// Builds the graph for every head predicate of `program`. Body
+    /// predicates with no rules (EDB, builtins) are included as sink nodes.
+    pub fn build(program: &Program) -> DepGraph {
+        let mut index: HashMap<Pred, usize> = HashMap::new();
+        let mut preds: Vec<Pred> = Vec::new();
+        let mut intern = |p: Pred, preds: &mut Vec<Pred>| -> usize {
+            *index.entry(p).or_insert_with(|| {
+                preds.push(p);
+                preds.len() - 1
+            })
+        };
+        let mut edges: Vec<Vec<usize>> = Vec::new();
+        let mut self_loop: Vec<bool> = Vec::new();
+        for r in &program.rules {
+            let h = intern(r.head.pred, &mut preds);
+            while edges.len() < preds.len() {
+                edges.push(Vec::new());
+                self_loop.push(false);
+            }
+            for b in &r.body {
+                let t = intern(b.pred, &mut preds);
+                while edges.len() < preds.len() {
+                    edges.push(Vec::new());
+                    self_loop.push(false);
+                }
+                if !edges[h].contains(&t) {
+                    edges[h].push(t);
+                }
+                if h == t {
+                    self_loop[h] = true;
+                }
+            }
+        }
+        let scc = tarjan(&edges);
+        DepGraph {
+            scc_count: scc.count,
+            scc_of: scc.comp,
+            preds,
+            index,
+            edges,
+            self_loop,
+        }
+    }
+
+    fn id(&self, p: Pred) -> Option<usize> {
+        self.index.get(&p).copied()
+    }
+
+    /// True iff `p` is on a dependency cycle (counts self-loops).
+    pub fn is_recursive(&self, p: Pred) -> bool {
+        let Some(i) = self.id(p) else { return false };
+        self.self_loop[i] || self.scc_members(self.scc_of[i]).len() > 1
+    }
+
+    /// True iff `p` and `q` are mutually recursive (same non-trivial SCC).
+    pub fn same_scc(&self, p: Pred, q: Pred) -> bool {
+        match (self.id(p), self.id(q)) {
+            (Some(i), Some(j)) => self.scc_of[i] == self.scc_of[j],
+            _ => false,
+        }
+    }
+
+    /// The predicates in SCC `c`.
+    fn scc_members(&self, c: usize) -> Vec<Pred> {
+        (0..self.preds.len())
+            .filter(|&i| self.scc_of[i] == c)
+            .map(|i| self.preds[i])
+            .collect()
+    }
+
+    /// The SCC of `p` as a predicate list (singleton for non-recursive).
+    pub fn scc(&self, p: Pred) -> Vec<Pred> {
+        match self.id(p) {
+            Some(i) => self.scc_members(self.scc_of[i]),
+            None => vec![p],
+        }
+    }
+
+    /// Direct callees of `p`.
+    pub fn callees(&self, p: Pred) -> Vec<Pred> {
+        match self.id(p) {
+            Some(i) => self.edges[i].iter().map(|&j| self.preds[j]).collect(),
+            None => vec![],
+        }
+    }
+
+    /// Every predicate reachable from `p` (excluding `p` unless on a cycle).
+    pub fn reachable(&self, p: Pred) -> Vec<Pred> {
+        let Some(start) = self.id(p) else {
+            return vec![];
+        };
+        let mut seen = vec![false; self.preds.len()];
+        let mut stack = vec![start];
+        let mut out = Vec::new();
+        while let Some(i) = stack.pop() {
+            for &j in &self.edges[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    out.push(self.preds[j]);
+                    stack.push(j);
+                }
+            }
+        }
+        out
+    }
+
+    pub fn scc_count(&self) -> usize {
+        self.scc_count
+    }
+}
+
+struct SccResult {
+    comp: Vec<usize>,
+    count: usize,
+}
+
+/// Iterative Tarjan SCC (iterative to survive deep rule chains).
+fn tarjan(edges: &[Vec<usize>]) -> SccResult {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut count = 0usize;
+
+    // Explicit DFS frames: (node, next child position).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            if *ci < edges[v].len() {
+                let w = edges[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().unwrap();
+                        on_stack[w] = false;
+                        comp[w] = count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+    SccResult { comp, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::parse_program;
+
+    #[test]
+    fn sg_is_self_recursive() {
+        let p = parse_program(
+            "sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+             sg(X, Y) :- sibling(X, Y).",
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        assert!(g.is_recursive(Pred::new("sg", 2)));
+        assert!(!g.is_recursive(Pred::new("parent", 2)));
+        assert!(!g.is_recursive(Pred::new("sibling", 2)));
+    }
+
+    #[test]
+    fn mutual_recursion_shares_scc() {
+        let p = parse_program(
+            "even(X) :- pred(X, Y), odd(Y).
+             odd(X) :- pred(X, Y), even(Y).
+             even(z).",
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        let even = Pred::new("even", 1);
+        let odd = Pred::new("odd", 1);
+        assert!(g.is_recursive(even));
+        assert!(g.is_recursive(odd));
+        assert!(g.same_scc(even, odd));
+        assert_eq!(g.scc(even).len(), 2);
+    }
+
+    #[test]
+    fn nested_preds_are_separate_sccs() {
+        // isort calls insert; both self-recursive, not mutually.
+        let p = parse_program(
+            "isort(L, S) :- cons(X, Xs, L), isort(Xs, Zs), insert(X, Zs, S).
+             isort(L, S) :- L = [], S = [].
+             insert(X, Ys, Zs) :- cons(Y, Ys1, Ys), X > Y, insert(X, Ys1, Zs1), cons(Y, Zs1, Zs).
+             insert(X, Ys, Zs) :- Ys = [], cons(X, [], Zs).",
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        let isort = Pred::new("isort", 2);
+        let insert = Pred::new("insert", 3);
+        assert!(g.is_recursive(isort));
+        assert!(g.is_recursive(insert));
+        assert!(!g.same_scc(isort, insert));
+        assert!(g.reachable(isort).contains(&insert));
+        assert!(!g.reachable(insert).contains(&isort));
+    }
+
+    #[test]
+    fn nonrecursive_program() {
+        let p = parse_program("gp(X, Z) :- parent(X, Y), parent(Y, Z).").unwrap();
+        let g = DepGraph::build(&p);
+        assert!(!g.is_recursive(Pred::new("gp", 2)));
+        assert_eq!(g.callees(Pred::new("gp", 2)), vec![Pred::new("parent", 2)]);
+    }
+
+    #[test]
+    fn long_cycle_detected() {
+        let p = parse_program(
+            "a(X) :- b(X).
+             b(X) :- c(X).
+             c(X) :- a(X).",
+        )
+        .unwrap();
+        let g = DepGraph::build(&p);
+        assert!(g.is_recursive(Pred::new("a", 1)));
+        assert_eq!(g.scc(Pred::new("a", 1)).len(), 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! # chainsplit-chain
+//!
+//! The recursion compiler of the chain-split deductive database:
+//!
+//! - [`rectify`]: function symbols → functional predicates (`cons`,
+//!   arithmetic), heads and IDB calls flattened to variables;
+//! - [`graph`] / [`mod@classify`]: dependency analysis and the recursion
+//!   taxonomy (linear, nested linear, nonlinear, …);
+//! - [`chain_form`]: compilation of a linear recursion into exit rules plus
+//!   chain generating paths (Han-Lu 1989, Han-Zeng 1992);
+//! - [`modes`]: finite-evaluability modes (finiteness constraints \[6\]) for
+//!   builtins, EDB and compiled IDB predicates;
+//! - [`split`]: the chain-split planner — evaluated portion, delayed
+//!   portion, buffered variables, stable adornment (§2 of the paper);
+//! - [`finiteness`]: query-level finite-evaluability admissibility.
+
+#![forbid(unsafe_code)]
+
+pub mod chain_form;
+pub mod classify;
+pub mod finiteness;
+pub mod graph;
+pub mod modes;
+pub mod rectify;
+pub mod split;
+
+pub use chain_form::{compile, ChainPath, CompileError, CompiledRecursion};
+pub use classify::{classify, Classified, RecursionClass};
+pub use finiteness::{check_finitely_evaluable, query_adornment, FinitenessConstraint};
+pub use graph::DepGraph;
+pub use modes::{builtin_modes, is_builtin, ModeTable};
+pub use rectify::{is_rectified, rectify_program, rectify_rule};
+pub use split::{exit_order, greedy_closure, plan_split, SplitError, SplitPlan};

@@ -1,0 +1,193 @@
+//! Mode (finite-evaluability) declarations for predicates.
+//!
+//! §2.2 of the paper: a chain generating path through a functional recursion
+//! may contain predicates "defined on infinite domains" — `cons`, arithmetic,
+//! comparisons. Whether an occurrence is *finitely evaluable* depends on its
+//! adornment: `cons^ffb` finitely decomposes a bound list, `cons^fff` denotes
+//! an infinite relation. The [`ModeTable`] records, per predicate, the
+//! minimal binding patterns under which evaluation is finite; this is the
+//! declarative counterpart of the finiteness constraints of \[6\].
+//!
+//! EDB relations are finite under every adornment. IDB predicates acquire
+//! modes as the planner compiles them (e.g. once `insert^bbf` is shown
+//! finitely evaluable by chain-split, `isort`'s compilation can use it).
+
+use chainsplit_logic::{Adornment, Pred};
+use std::collections::{HashMap, HashSet};
+
+/// Finite-evaluability catalog.
+#[derive(Clone, Default)]
+pub struct ModeTable {
+    /// pred -> minimal adornments under which evaluation is finite.
+    finite_modes: HashMap<Pred, Vec<Adornment>>,
+    /// Predicates whose extension is a finite stored relation.
+    edb: HashSet<Pred>,
+}
+
+/// The built-in evaluable predicates and their finite modes.
+///
+/// - `cons/3`: `cons(H, T, L)` holds iff `L = [H|T]`. Finite when `L` is
+///   bound (decomposition) or both `H` and `T` are (construction).
+/// - `=/2`: finite when either side is bound.
+/// - `\=/2` and the comparisons: checks; finite only fully bound.
+/// - `plus/3`, `minus/3`, `times/3`: `op(X, Y, Z)` with `Z = X op Y`;
+///   finite when any two arguments are bound (`times` needs the two
+///   *inputs*, division by zero aside — we register all three patterns and
+///   let evaluation fail cleanly where arithmetic cannot invert).
+/// - `div/3`, `mod/3`: finite only in the forward direction.
+/// - `length/2`: finite when the list is bound.
+/// - `between/3`: `between(L, H, X)` enumerates `L..=H`; finite when both
+///   bounds are bound.
+/// - `abs/2`: `abs(X, Y)` with `Y = |X|`; invertible (`Y` bound yields the
+///   two candidates).
+pub fn builtin_modes() -> Vec<(Pred, Vec<&'static str>)> {
+    vec![
+        (Pred::new("cons", 3), vec!["ffb", "bbf"]),
+        (Pred::new("=", 2), vec!["bf", "fb"]),
+        (Pred::new("\\=", 2), vec!["bb"]),
+        (Pred::new("<", 2), vec!["bb"]),
+        (Pred::new("<=", 2), vec!["bb"]),
+        (Pred::new(">", 2), vec!["bb"]),
+        (Pred::new(">=", 2), vec!["bb"]),
+        (Pred::new("plus", 3), vec!["bbf", "bfb", "fbb"]),
+        (Pred::new("minus", 3), vec!["bbf", "bfb", "fbb"]),
+        (Pred::new("times", 3), vec!["bbf", "bfb", "fbb"]),
+        (Pred::new("div", 3), vec!["bbf"]),
+        (Pred::new("mod", 3), vec!["bbf"]),
+        (Pred::new("length", 2), vec!["bf"]),
+        (Pred::new("between", 3), vec!["bbf"]),
+        (Pred::new("abs", 2), vec!["bf", "fb"]),
+    ]
+}
+
+/// The set of builtin predicates (those the engine evaluates procedurally).
+pub fn is_builtin(pred: Pred) -> bool {
+    builtin_modes().iter().any(|(p, _)| *p == pred)
+}
+
+impl ModeTable {
+    /// A table pre-loaded with the builtin modes.
+    pub fn with_builtins() -> ModeTable {
+        let mut t = ModeTable::default();
+        for (pred, modes) in builtin_modes() {
+            for m in modes {
+                t.add_mode(pred, Adornment::parse(m));
+            }
+        }
+        t
+    }
+
+    /// Declares `pred` extensional (finite under every adornment).
+    pub fn add_edb(&mut self, pred: Pred) {
+        self.edb.insert(pred);
+    }
+
+    pub fn is_edb(&self, pred: Pred) -> bool {
+        self.edb.contains(&pred)
+    }
+
+    /// Registers a finite mode for `pred` (builtin at construction time, or
+    /// an IDB predicate whose compilation established the mode).
+    pub fn add_mode(&mut self, pred: Pred, mode: Adornment) {
+        assert_eq!(mode.len(), pred.arity as usize);
+        let modes = self.finite_modes.entry(pred).or_default();
+        if !modes.contains(&mode) {
+            modes.push(mode);
+        }
+    }
+
+    /// The registered minimal modes of `pred`.
+    pub fn modes(&self, pred: Pred) -> &[Adornment] {
+        self.finite_modes
+            .get(&pred)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// True iff evaluating `pred` under `ad` is known to be finite: EDB
+    /// predicates always are; others iff `ad` provides at least the
+    /// bindings of some registered mode.
+    pub fn is_finite(&self, pred: Pred, ad: &Adornment) -> bool {
+        if self.edb.contains(&pred) {
+            return true;
+        }
+        self.modes(pred).iter().any(|m| ad.subsumes(m))
+    }
+
+    /// True iff the predicate is known to the table at all.
+    pub fn knows(&self, pred: Pred) -> bool {
+        self.edb.contains(&pred) || self.finite_modes.contains_key(&pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cons_modes() {
+        let t = ModeTable::with_builtins();
+        let cons = Pred::new("cons", 3);
+        assert!(t.is_finite(cons, &Adornment::parse("ffb"))); // decompose
+        assert!(t.is_finite(cons, &Adornment::parse("bfb")));
+        assert!(t.is_finite(cons, &Adornment::parse("bbb")));
+        assert!(t.is_finite(cons, &Adornment::parse("bbf"))); // construct
+        assert!(!t.is_finite(cons, &Adornment::parse("bff"))); // infinite
+        assert!(!t.is_finite(cons, &Adornment::parse("fff")));
+    }
+
+    #[test]
+    fn comparison_modes() {
+        let t = ModeTable::with_builtins();
+        let lt = Pred::new("<", 2);
+        assert!(t.is_finite(lt, &Adornment::parse("bb")));
+        assert!(!t.is_finite(lt, &Adornment::parse("bf")));
+        let eq = Pred::new("=", 2);
+        assert!(t.is_finite(eq, &Adornment::parse("bf")));
+        assert!(t.is_finite(eq, &Adornment::parse("fb")));
+        assert!(!t.is_finite(eq, &Adornment::parse("ff")));
+    }
+
+    #[test]
+    fn arithmetic_modes() {
+        let t = ModeTable::with_builtins();
+        let plus = Pred::new("plus", 3);
+        assert!(t.is_finite(plus, &Adornment::parse("bbf")));
+        assert!(t.is_finite(plus, &Adornment::parse("fbb")));
+        assert!(!t.is_finite(plus, &Adornment::parse("bff")));
+        let div = Pred::new("div", 3);
+        assert!(!t.is_finite(div, &Adornment::parse("bfb")));
+    }
+
+    #[test]
+    fn edb_is_always_finite() {
+        let mut t = ModeTable::with_builtins();
+        let parent = Pred::new("parent", 2);
+        assert!(!t.is_finite(parent, &Adornment::parse("ff")));
+        t.add_edb(parent);
+        assert!(t.is_finite(parent, &Adornment::parse("ff")));
+        assert!(t.is_edb(parent));
+    }
+
+    #[test]
+    fn idb_modes_registered_dynamically() {
+        let mut t = ModeTable::with_builtins();
+        let insert = Pred::new("insert", 3);
+        assert!(!t.is_finite(insert, &Adornment::parse("bbf")));
+        t.add_mode(insert, Adornment::parse("bbf"));
+        assert!(t.is_finite(insert, &Adornment::parse("bbf")));
+        assert!(t.is_finite(insert, &Adornment::parse("bbb")));
+        assert!(!t.is_finite(insert, &Adornment::parse("bff")));
+        // Duplicate registration is idempotent.
+        t.add_mode(insert, Adornment::parse("bbf"));
+        assert_eq!(t.modes(insert).len(), 1);
+    }
+
+    #[test]
+    fn builtin_set_membership() {
+        assert!(is_builtin(Pred::new("cons", 3)));
+        assert!(is_builtin(Pred::new("<", 2)));
+        assert!(!is_builtin(Pred::new("cons", 2)));
+        assert!(!is_builtin(Pred::new("parent", 2)));
+    }
+}

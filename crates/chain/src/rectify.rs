@@ -1,0 +1,405 @@
+//! Rectification: eliminating function symbols from rule structure.
+//!
+//! Following \[21\] (and the transformation of \[12, 15, 17\] cited in §2.2),
+//! rectification rewrites every rule so that
+//!
+//! - every head argument is a *distinct variable*, and
+//! - every argument of an IDB body atom is a variable,
+//!
+//! by introducing fresh variables and *functional predicate* atoms:
+//! `V = f(t1, …, tk)` becomes `f(t1, …, tk, V)`, and the list constructor
+//! becomes the builtin `cons(H, T, L)` (`L = [H|T]`). Constants displaced
+//! from heads and IDB calls become `=` atoms.
+//!
+//! Example (the paper's (1.13)–(1.16)):
+//!
+//! ```text
+//! append([], L, L).                                append(U, V, W) :- U = [], V = W.
+//! append([X|L1], L2, [X|L3]) :-          ⇒        append(U, V, W) :- append(L1, V, L3),
+//!     append(L1, L2, L3).                              cons(X, L1, U), cons(X, L3, W).
+//! ```
+//!
+//! Rectification converts *constructors to predicates*: the resulting rules
+//! are function-free in structure, so all chain analysis happens in the
+//! function-free framework, while `cons`/arithmetic atoms keep their
+//! infinite-domain semantics (captured by the [`crate::modes::ModeTable`]).
+
+use chainsplit_logic::{Atom, Pred, Program, Rule, Term, Var};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Fresh-variable factory for one rule's rectification.
+struct FreshVars {
+    counter: u32,
+    taken: HashSet<Var>,
+}
+
+impl FreshVars {
+    fn new(rule: &Rule) -> FreshVars {
+        FreshVars {
+            counter: 0,
+            taken: rule.vars().into_iter().collect(),
+        }
+    }
+
+    fn fresh(&mut self) -> Var {
+        loop {
+            let v = Var::named(&format!("_r{}", self.counter));
+            self.counter += 1;
+            if !self.taken.contains(&v) {
+                self.taken.insert(v);
+                return v;
+            }
+        }
+    }
+}
+
+/// Flattens term `t` to an atomic term, emitting functional-predicate atoms
+/// into `out` that define any structure. The returned term is `t` itself
+/// when `t` is already atomic.
+fn flatten(t: &Term, fresh: &mut FreshVars, out: &mut Vec<Atom>) -> Term {
+    match t {
+        Term::Var(_) | Term::Int(_) | Term::Sym(_) | Term::Nil => t.clone(),
+        Term::Cons(h, tl) => {
+            let h = flatten(h, fresh, out);
+            let tl = flatten(tl, fresh, out);
+            let v = Term::Var(fresh.fresh());
+            out.push(Atom::new("cons", vec![h, tl, v.clone()]));
+            v
+        }
+        Term::Comp(f, args) => {
+            let mut new_args: Vec<Term> = args.iter().map(|a| flatten(a, fresh, out)).collect();
+            let v = Term::Var(fresh.fresh());
+            new_args.push(v.clone());
+            out.push(Atom {
+                pred: Pred {
+                    name: *f,
+                    arity: new_args.len() as u32,
+                },
+                args: new_args,
+            });
+            v
+        }
+    }
+}
+
+fn eq_atom(a: Term, b: Term) -> Atom {
+    Atom::new("=", vec![a, b])
+}
+
+/// Rectifies one rule. `idb` is the set of intensional predicates — their
+/// body occurrences must end up with all-variable arguments.
+pub fn rectify_rule(rule: &Rule, idb: &HashSet<Pred>) -> Rule {
+    let mut fresh = FreshVars::new(rule);
+    let mut extra: Vec<Atom> = Vec::new();
+
+    // Head: distinct variables only.
+    let mut seen_head: HashSet<Var> = HashSet::new();
+    let head_args: Vec<Term> = rule
+        .head
+        .args
+        .iter()
+        .map(|arg| match arg {
+            Term::Var(v) if !seen_head.contains(v) => {
+                seen_head.insert(*v);
+                arg.clone()
+            }
+            Term::Var(v) => {
+                // Repeated head variable: fresh copy + equality.
+                let nv = fresh.fresh();
+                seen_head.insert(nv);
+                extra.push(eq_atom(Term::Var(nv), Term::Var(*v)));
+                Term::Var(nv)
+            }
+            t if t.is_atomic() => {
+                let nv = fresh.fresh();
+                seen_head.insert(nv);
+                extra.push(eq_atom(Term::Var(nv), t.clone()));
+                Term::Var(nv)
+            }
+            t => {
+                let flat = flatten(t, &mut fresh, &mut extra);
+                // `flatten` on a non-atomic term always returns a fresh var.
+                let Term::Var(nv) = flat else { unreachable!() };
+                seen_head.insert(nv);
+                Term::Var(nv)
+            }
+        })
+        .collect();
+
+    // Body: flatten structured arguments everywhere; force IDB calls to
+    // all-variable arguments.
+    let mut body: Vec<Atom> = Vec::new();
+    for atom in &rule.body {
+        if atom.pred.name.as_str() == "=" {
+            // `=` is the unification builtin; its arguments may stay
+            // structured (it is how displaced structure is expressed).
+            body.push(atom.clone());
+            continue;
+        }
+        let force_vars = idb.contains(&atom.pred);
+        let args: Vec<Term> = atom
+            .args
+            .iter()
+            .map(|arg| match arg {
+                Term::Var(_) => arg.clone(),
+                t if t.is_atomic() => {
+                    if force_vars {
+                        let nv = fresh.fresh();
+                        body.push(eq_atom(Term::Var(nv), t.clone()));
+                        Term::Var(nv)
+                    } else {
+                        arg.clone()
+                    }
+                }
+                t => flatten(t, &mut fresh, &mut body),
+            })
+            .collect();
+        body.push(Atom {
+            pred: atom.pred,
+            args,
+        });
+    }
+    body.extend(extra);
+
+    Rule {
+        head: Atom {
+            pred: rule.head.pred,
+            args: head_args,
+        },
+        body,
+    }
+}
+
+/// Rectifies every rule of a program.
+///
+/// EDB facts (ground facts of predicates with no proper rules) pass through
+/// untouched. Ground facts of *intensional* predicates — exit rules like
+/// `isort([], []).` — are rectified like any other rule, becoming e.g.
+/// `isort(V0, V1) :- V0 = [], V1 = [].`.
+pub fn rectify_program(program: &Program) -> Program {
+    let idb: HashSet<Pred> = program
+        .rules
+        .iter()
+        .filter(|r| !(r.is_fact() && r.head.is_ground()))
+        .map(|r| r.head.pred)
+        .collect();
+    Program::new(
+        program
+            .rules
+            .iter()
+            .map(|r| {
+                if r.is_fact() && r.head.is_ground() && !idb.contains(&r.head.pred) {
+                    r.clone()
+                } else {
+                    rectify_rule(r, &idb)
+                }
+            })
+            .collect(),
+    )
+}
+
+/// True iff a rule is in rectified form: all head arguments distinct
+/// variables and all IDB body-atom arguments variables.
+pub fn is_rectified(rule: &Rule, idb: &HashSet<Pred>) -> bool {
+    let mut seen = HashSet::new();
+    for a in &rule.head.args {
+        match a {
+            Term::Var(v) if seen.insert(*v) => {}
+            _ => return false,
+        }
+    }
+    rule.body.iter().all(|atom| {
+        atom.pred.name.as_str() == "="
+            || !idb.contains(&atom.pred)
+            || atom.args.iter().all(|t| matches!(t, Term::Var(_)))
+    })
+}
+
+/// Reconstructs a term from a `cons`-style functional atom, for display and
+/// testing: the inverse direction of flattening for one atom.
+pub fn functional_atom_term(atom: &Atom) -> Option<(Term, Term)> {
+    if atom.pred.name.as_str() == "cons" && atom.pred.arity == 3 {
+        let l = Term::Cons(
+            Arc::new(atom.args[0].clone()),
+            Arc::new(atom.args[1].clone()),
+        );
+        return Some((atom.args[2].clone(), l));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::{parse_program, parse_rule};
+
+    fn idb_of(p: &Program) -> HashSet<Pred> {
+        p.rules
+            .iter()
+            .filter(|r| !(r.is_fact() && r.head.is_ground()))
+            .map(|r| r.head.pred)
+            .collect()
+    }
+
+    #[test]
+    fn append_rectifies_to_paper_form() {
+        let p = parse_program(
+            "append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+        )
+        .unwrap();
+        let r = rectify_program(&p);
+        let idb = idb_of(&r);
+        for rule in &r.rules {
+            assert!(is_rectified(rule, &idb), "not rectified: {rule}");
+        }
+        // Exit rule: append(V0, L, V1) :- V0 = [], V1 = L.
+        let exit = &r.rules[0];
+        assert_eq!(exit.body.len(), 2);
+        assert!(exit.body.iter().all(|a| a.pred.name.as_str() == "="));
+        // Recursive rule gains two cons atoms.
+        let rec = &r.rules[1];
+        let cons_count = rec
+            .body
+            .iter()
+            .filter(|a| a.pred.name.as_str() == "cons")
+            .count();
+        assert_eq!(cons_count, 2);
+        assert_eq!(rec.body.len(), 3);
+    }
+
+    #[test]
+    fn isort_rectifies() {
+        let p = parse_program(
+            "isort([X | Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+             isort([], []).
+             insert(X, [], [X]).
+             insert(X, [Y | Ys], [Y | Zs]) :- X > Y, insert(X, Ys, Zs).
+             insert(X, [Y | Ys], [X, Y | Ys]) :- X <= Y.",
+        )
+        .unwrap();
+        let r = rectify_program(&p);
+        let idb = idb_of(&r);
+        for rule in &r.rules {
+            assert!(is_rectified(rule, &idb), "not rectified: {rule}");
+        }
+        // insert(X, [], [X]) becomes insert(X, V0, V1) :- V0 = [], cons(X, [], V1).
+        let base = r
+            .rules
+            .iter()
+            .find(|rule| rule.head.pred == Pred::new("insert", 3) && rule.body.len() == 2)
+            .expect("rectified insert base rule");
+        let kinds: HashSet<&str> = base.body.iter().map(|a| a.pred.name.as_str()).collect();
+        assert!(kinds.contains("=") && kinds.contains("cons"), "{base}");
+    }
+
+    #[test]
+    fn nested_lists_flatten_recursively() {
+        let idb = HashSet::new();
+        let r = parse_rule("p(X) :- q([[1, 2], X]).").unwrap();
+        let rect = rectify_rule(&r, &idb);
+        // [[1,2], X] = cons([1,2], cons(X, [])) needs 4 cons atoms:
+        // [1,2] itself needs 2, the spine needs 2.
+        let cons_count = rect
+            .body
+            .iter()
+            .filter(|a| a.pred.name.as_str() == "cons")
+            .count();
+        assert_eq!(cons_count, 4, "{rect}");
+        // q's argument is now a variable.
+        let q = rect
+            .body
+            .iter()
+            .find(|a| a.pred.name.as_str() == "q")
+            .unwrap();
+        assert!(matches!(q.args[0], Term::Var(_)));
+    }
+
+    #[test]
+    fn compound_terms_become_functional_predicates() {
+        let idb = HashSet::new();
+        let r = parse_rule("p(f(X, 1)) :- q(X).").unwrap();
+        let rect = rectify_rule(&r, &idb);
+        assert!(matches!(rect.head.args[0], Term::Var(_)));
+        let f = rect
+            .body
+            .iter()
+            .find(|a| a.pred.name.as_str() == "f")
+            .expect("functional predicate f/3");
+        assert_eq!(f.pred.arity, 3);
+    }
+
+    #[test]
+    fn repeated_head_vars_get_equalities() {
+        let idb = HashSet::new();
+        let r = parse_rule("p(X, X) :- q(X).").unwrap();
+        let rect = rectify_rule(&r, &idb);
+        let mut seen = HashSet::new();
+        for a in &rect.head.args {
+            let Term::Var(v) = a else {
+                panic!("head arg not var")
+            };
+            assert!(seen.insert(*v), "head vars not distinct: {rect}");
+        }
+        assert!(rect.body.iter().any(|a| a.pred.name.as_str() == "="));
+    }
+
+    #[test]
+    fn constants_in_edb_atoms_are_preserved() {
+        let idb = HashSet::new();
+        let r = parse_rule("p(X) :- flight(X, vancouver, 600).").unwrap();
+        let rect = rectify_rule(&r, &idb);
+        let flight = rect
+            .body
+            .iter()
+            .find(|a| a.pred.name.as_str() == "flight")
+            .unwrap();
+        assert_eq!(flight.args[1], Term::sym("vancouver"));
+        assert_eq!(flight.args[2], Term::Int(600));
+    }
+
+    #[test]
+    fn constants_in_idb_calls_are_displaced() {
+        let p = parse_program(
+            "p(X) :- p(0).
+             p(1).",
+        )
+        .unwrap();
+        let r = rectify_program(&p);
+        let rec = r.rules.iter().find(|rule| !rule.body.is_empty()).unwrap();
+        let call = rec
+            .body
+            .iter()
+            .find(|a| a.pred == Pred::new("p", 1))
+            .unwrap();
+        assert!(matches!(call.args[0], Term::Var(_)), "{rec}");
+    }
+
+    #[test]
+    fn ground_facts_pass_through() {
+        let p = parse_program("p([1, 2]).").unwrap();
+        let r = rectify_program(&p);
+        assert_eq!(r.rules[0], p.rules[0]);
+    }
+
+    #[test]
+    fn rectified_rule_is_idempotent() {
+        let p = parse_program("append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).").unwrap();
+        let once = rectify_program(&p);
+        let twice = rectify_program(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn fresh_vars_avoid_capture() {
+        let idb = HashSet::new();
+        // The rule already uses _r0; rectification must not reuse it.
+        let r = parse_rule("p([A | _r0]) :- q(_r0, A).").unwrap();
+        let rect = rectify_rule(&r, &idb);
+        let all_vars = rect.vars();
+        let distinct: HashSet<_> = all_vars.iter().collect();
+        assert_eq!(all_vars.len(), distinct.len());
+        assert!(is_rectified(&rect, &idb));
+    }
+}

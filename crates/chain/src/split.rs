@@ -1,0 +1,474 @@
+//! Chain-split planning: partitioning a chain generating path into an
+//! immediately evaluable portion and a delayed-evaluation portion.
+//!
+//! §2.2 of the paper: given the query's adornment, walk the chain
+//! generating path and greedily take every atom that is finitely evaluable
+//! under the bindings accumulated so far (the *evaluated portion*). The
+//! remaining atoms — those whose evaluation would range over an infinite
+//! domain, plus any atoms the cost model *forces* to be delayed
+//! (efficiency-based split, §2.1) — form the *delayed portion*, executed in
+//! the down sweep once the recursive call's answers supply the missing
+//! bindings. Variables produced in the up sweep and consumed by the delayed
+//! portion are *buffered* per level (Algorithm 3.2).
+//!
+//! The planner also stabilises the chain adornment: the bindings available
+//! at level `i+1` are exactly the recursive-call arguments bound at level
+//! `i`, so the set of bound head positions must reproduce itself. We take
+//! the greatest fixpoint inside the query's bound set (monotone, hence
+//! terminating).
+
+use crate::chain_form::CompiledRecursion;
+use crate::modes::ModeTable;
+use chainsplit_logic::{adorn::term_bound, Adornment, Atom, Rule, Var};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A chain-split evaluation plan for one compiled recursion and one query
+/// adornment.
+#[derive(Clone, Debug)]
+pub struct SplitPlan {
+    /// The stable adornment the chain iterates under (bound head
+    /// positions reproduced at every level).
+    pub adornment: Adornment,
+    /// Body indexes of path atoms in the evaluated portion, in up-sweep
+    /// evaluation order.
+    pub evaluated: Vec<usize>,
+    /// Body indexes of path atoms in the delayed portion, in down-sweep
+    /// evaluation order.
+    pub delayed: Vec<usize>,
+    /// Variables bound during the up sweep (inputs included).
+    pub up_bound: Vec<Var>,
+    /// Up-sweep variables the down sweep needs: the per-level buffer of
+    /// Algorithm 3.2. Empty iff no split is needed.
+    pub buffered: Vec<Var>,
+    /// Per exit rule: its body atoms in an evaluable order under the stable
+    /// adornment.
+    pub exit_orders: Vec<Vec<usize>>,
+}
+
+impl SplitPlan {
+    /// True iff a genuine split happens (some atoms are delayed).
+    pub fn is_split(&self) -> bool {
+        !self.delayed.is_empty()
+    }
+
+    /// The frontier positions: bound head positions of the stable adornment.
+    pub fn frontier(&self) -> Vec<usize> {
+        self.adornment.bound_positions()
+    }
+}
+
+impl fmt::Display for SplitPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "split[^{} eval={:?} delayed={:?} buffered={:?}]",
+            self.adornment, self.evaluated, self.delayed, self.buffered
+        )
+    }
+}
+
+/// Why no split plan exists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SplitError {
+    /// A delayed atom stays non-evaluable even with the recursive call's
+    /// full answer available: the query is not finitely evaluable by
+    /// chain-split (§2.2's admissibility condition fails).
+    NotFinitelyEvaluable { atom: String },
+    /// The stable adornment has no bound position: nothing drives the
+    /// chain iteration from this side.
+    AdornmentCollapsed,
+    /// Some head variable is never bound, so answers cannot be formed.
+    UnboundAnswer { var: String },
+    /// An exit rule cannot be evaluated under the stable adornment.
+    ExitNotEvaluable { rule: String },
+}
+
+impl fmt::Display for SplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplitError::NotFinitelyEvaluable { atom } => {
+                write!(f, "atom `{atom}` is not finitely evaluable in either sweep")
+            }
+            SplitError::AdornmentCollapsed => {
+                write!(f, "no stable bound head position drives the chain")
+            }
+            SplitError::UnboundAnswer { var } => {
+                write!(f, "head variable `{var}` is never bound")
+            }
+            SplitError::ExitNotEvaluable { rule } => {
+                write!(f, "exit rule `{rule}` is not finitely evaluable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
+
+/// Greedily orders `atoms` by finite evaluability starting from `bound`.
+/// Returns the chosen order and leaves `bound` extended with every variable
+/// the chosen atoms bind. Atoms whose index is in `skip` are never chosen.
+pub fn greedy_closure(
+    atoms: &[(usize, &Atom)],
+    bound: &mut HashSet<Var>,
+    modes: &ModeTable,
+    skip: &[usize],
+) -> Vec<usize> {
+    let mut order = Vec::new();
+    let mut remaining: Vec<(usize, &Atom)> = atoms
+        .iter()
+        .filter(|(i, _)| !skip.contains(i))
+        .copied()
+        .collect();
+    loop {
+        let pick = remaining.iter().position(|(_, a)| {
+            let ad = Adornment::of_atom(a, bound);
+            modes.is_finite(a.pred, &ad)
+        });
+        match pick {
+            Some(k) => {
+                let (idx, atom) = remaining.remove(k);
+                order.push(idx);
+                for v in atom.vars() {
+                    bound.insert(v);
+                }
+            }
+            None => return order,
+        }
+    }
+}
+
+/// Checks an exit rule is finitely evaluable when the head positions in
+/// `ad` are bound; returns the body evaluation order.
+pub fn exit_order(rule: &Rule, ad: &Adornment, modes: &ModeTable) -> Option<Vec<usize>> {
+    let mut bound: HashSet<Var> = HashSet::new();
+    for (j, arg) in rule.head.args.iter().enumerate() {
+        if ad.0[j].is_bound() {
+            for v in arg.vars() {
+                bound.insert(v);
+            }
+        }
+    }
+    let atoms: Vec<(usize, &Atom)> = rule.body.iter().enumerate().collect();
+    let order = greedy_closure(&atoms, &mut bound, modes, &[]);
+    if order.len() != rule.body.len() {
+        return None;
+    }
+    // Every head variable must be bound for the exit to produce answers.
+    let all_bound = rule.head.args.iter().all(|arg| term_bound(arg, &bound));
+    all_bound.then_some(order)
+}
+
+/// Computes the chain-split plan for `rec` under `query_ad`.
+///
+/// `forced_delays` lists body indexes of path atoms that must be delayed
+/// regardless of evaluability — the hook the efficiency-based cost model
+/// (§2.1 / Algorithm 3.1's modified binding-propagation rule) uses to stop
+/// a binding from crossing a weak linkage.
+pub fn plan_split(
+    rec: &CompiledRecursion,
+    query_ad: &Adornment,
+    modes: &ModeTable,
+    forced_delays: &[usize],
+) -> Result<SplitPlan, SplitError> {
+    assert_eq!(query_ad.len(), rec.arity());
+    let path = rec.path_atoms();
+
+    // --- Stabilise the adornment (greatest fixpoint within the query's
+    // bound positions). ---
+    let mut bound_pos: Vec<usize> = query_ad.bound_positions();
+    let (evaluated, up_bound_set) = loop {
+        if bound_pos.is_empty() {
+            return Err(SplitError::AdornmentCollapsed);
+        }
+        let mut bound: HashSet<Var> = bound_pos.iter().map(|&j| rec.head_var(j)).collect();
+        let order = greedy_closure(&path, &mut bound, modes, forced_delays);
+        let rec_atom = rec.rec_atom();
+        let next_pos: Vec<usize> = bound_pos
+            .iter()
+            .copied()
+            .filter(|&j| term_bound(&rec_atom.args[j], &bound))
+            .collect();
+        if next_pos.len() == bound_pos.len() {
+            break (order, bound);
+        }
+        bound_pos = next_pos;
+    };
+
+    let adornment = {
+        let mut ads = vec![chainsplit_logic::Ad::Free; rec.arity()];
+        for &j in &bound_pos {
+            ads[j] = chainsplit_logic::Ad::Bound;
+        }
+        Adornment(ads)
+    };
+
+    // --- Delayed portion: remaining path atoms, ordered for the down sweep
+    // where the recursive call's full answer is available. ---
+    let delayed_idxs: Vec<usize> = path
+        .iter()
+        .map(|(i, _)| *i)
+        .filter(|i| !evaluated.contains(i))
+        .collect();
+    let mut down_bound: HashSet<Var> = up_bound_set.clone();
+    for v in rec.rec_atom().vars() {
+        down_bound.insert(v);
+    }
+    let delayed_atoms: Vec<(usize, &Atom)> = path
+        .iter()
+        .filter(|(i, _)| delayed_idxs.contains(i))
+        .copied()
+        .collect();
+    let delayed = greedy_closure(&delayed_atoms, &mut down_bound, modes, &[]);
+    if delayed.len() != delayed_idxs.len() {
+        let missing = delayed_atoms
+            .iter()
+            .find(|(i, _)| !delayed.contains(i))
+            .expect("some delayed atom was not ordered");
+        return Err(SplitError::NotFinitelyEvaluable {
+            atom: missing.1.to_string(),
+        });
+    }
+
+    // --- Every head variable must be bound once both sweeps ran. ---
+    for j in 0..rec.arity() {
+        let v = rec.head_var(j);
+        if !down_bound.contains(&v) {
+            return Err(SplitError::UnboundAnswer { var: v.to_string() });
+        }
+    }
+
+    // --- Exit rules must be evaluable under the stable adornment. ---
+    let mut exit_orders = Vec::with_capacity(rec.exit_rules.len());
+    for er in &rec.exit_rules {
+        match exit_order(er, &adornment, modes) {
+            Some(o) => exit_orders.push(o),
+            None => {
+                return Err(SplitError::ExitNotEvaluable {
+                    rule: er.to_string(),
+                })
+            }
+        }
+    }
+
+    // --- Buffered variables: bound in the up sweep, needed by the down
+    // sweep (inside delayed atoms or as answers at unbound head positions),
+    // and not already delivered by the recursive call's answer. ---
+    let rec_vars: HashSet<Var> = rec.rec_atom().vars().into_iter().collect();
+    let mut needed: HashSet<Var> = HashSet::new();
+    for &i in &delayed {
+        for v in rec.recursive_rule.body[i].vars() {
+            needed.insert(v);
+        }
+    }
+    for j in 0..rec.arity() {
+        if !adornment.0[j].is_bound() {
+            needed.insert(rec.head_var(j));
+        }
+    }
+    let mut buffered: Vec<Var> = up_bound_set
+        .iter()
+        .copied()
+        .filter(|v| needed.contains(v) && !rec_vars.contains(v))
+        .collect();
+    buffered.sort_by_key(|v| (v.name.as_str(), v.rename));
+
+    let mut up_bound: Vec<Var> = up_bound_set.into_iter().collect();
+    up_bound.sort_by_key(|v| (v.name.as_str(), v.rename));
+
+    Ok(SplitPlan {
+        adornment,
+        evaluated,
+        delayed,
+        up_bound,
+        buffered,
+        exit_orders,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain_form::compile;
+    use crate::graph::DepGraph;
+    use crate::rectify::rectify_program;
+    use chainsplit_logic::{parse_program, Pred};
+
+    fn setup(src: &str, name: &str, arity: u32) -> (CompiledRecursion, ModeTable) {
+        let p = rectify_program(&parse_program(src).unwrap());
+        let g = DepGraph::build(&p);
+        let rec = compile(&p, &g, Pred::new(name, arity)).unwrap();
+        let mut modes = ModeTable::with_builtins();
+        // Register EDB predicates: those not defined by rules.
+        for pred in p.edb_preds() {
+            if !crate::modes::is_builtin(pred) {
+                modes.add_edb(pred);
+            }
+        }
+        (rec, modes)
+    }
+
+    const APPEND: &str = "append([], L, L).
+        append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).";
+
+    #[test]
+    fn append_ffb_splits_on_the_u_side_cons() {
+        // ?- append(U, V, [1,2,3]): W bound. The W-side cons decomposes
+        // finitely; the U-side cons must be delayed (paper §2.2: the
+        // compiled chain contains an infinitely evaluable cons under this
+        // adornment).
+        let (rec, modes) = setup(APPEND, "append", 3);
+        let plan = plan_split(&rec, &Adornment::parse("ffb"), &modes, &[]).unwrap();
+        assert!(plan.is_split());
+        assert_eq!(plan.evaluated.len(), 1);
+        assert_eq!(plan.delayed.len(), 1);
+        // The evaluated atom mentions the third head variable (W side).
+        let w = rec.head_var(2);
+        let up_atom = &rec.recursive_rule.body[plan.evaluated[0]];
+        assert!(up_atom.vars().contains(&w));
+        // The shared element variable X is buffered.
+        assert_eq!(plan.buffered.len(), 1);
+        assert_eq!(plan.adornment.to_string(), "ffb");
+    }
+
+    #[test]
+    fn append_bbf_needs_no_split() {
+        // ?- append([1,2], [3], W): both inputs bound. Both cons atoms are
+        // evaluable in the up sweep (decompose U, construct W... in fact
+        // decompose U then construct W needs W1 from below).
+        let (rec, modes) = setup(APPEND, "append", 3);
+        let plan = plan_split(&rec, &Adornment::parse("bbf"), &modes, &[]).unwrap();
+        // U-side cons decomposes; W-side cons waits for W1 from the
+        // recursive answer, so it is delayed: chain-split again!
+        assert!(plan.is_split());
+        assert_eq!(plan.adornment.to_string(), "bbf");
+    }
+
+    #[test]
+    fn append_fff_collapses() {
+        let (rec, modes) = setup(APPEND, "append", 3);
+        let err = plan_split(&rec, &Adornment::parse("fff"), &modes, &[]).unwrap_err();
+        assert_eq!(err, SplitError::AdornmentCollapsed);
+    }
+
+    #[test]
+    fn sg_bf_follows_chain_without_split() {
+        let (rec, modes) = setup(
+            "sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+             sg(X, Y) :- sibling(X, Y).",
+            "sg",
+            2,
+        );
+        let plan = plan_split(&rec, &Adornment::parse("bf"), &modes, &[]).unwrap();
+        // parent(Y, Y1) is EDB-finite even with everything free, so the
+        // greedy up sweep takes both atoms: no finiteness-based split.
+        // (Scanning the Y side per level is the merged-chain inefficiency
+        // §1.1 warns about — curing it is the *efficiency-based* split,
+        // exercised in the next test.)
+        assert!(!plan.is_split());
+        assert_eq!(plan.adornment.to_string(), "bf");
+        // Y is produced in the up sweep and needed for answers: buffered.
+        assert_eq!(
+            plan.buffered
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>(),
+            vec!["Y"]
+        );
+    }
+
+    #[test]
+    fn sg_bf_with_forced_delay_splits() {
+        // The efficiency-based split (§2.1): the cost model forbids
+        // propagating the binding through the Y-side parent atom.
+        let (rec, modes) = setup(
+            "sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+             sg(X, Y) :- sibling(X, Y).",
+            "sg",
+            2,
+        );
+        // Find the body index of parent(Y, Y1).
+        let y_idx = rec
+            .path_atoms()
+            .iter()
+            .find(|(_, a)| a.vars().contains(&Var::named("Y")))
+            .map(|(i, _)| *i)
+            .unwrap();
+        let plan = plan_split(&rec, &Adornment::parse("bf"), &modes, &[y_idx]).unwrap();
+        assert!(plan.is_split());
+        assert_eq!(plan.delayed, vec![y_idx]);
+        // Y1 arrives from the recursive answer; nothing else needs buffering.
+        assert!(plan.buffered.is_empty());
+    }
+
+    #[test]
+    fn insert_bbf_buffers_the_list_head() {
+        let (rec, mut modes) = setup(
+            "insert(X, [Y | Ys], [Y | Zs]) :- X > Y, insert(X, Ys, Zs).
+             insert(X, [], [X]).
+             insert(X, [Y | Ys], [X, Y | Ys]) :- X <= Y.",
+            "insert",
+            3,
+        );
+        modes.add_mode(Pred::new("insert", 3), Adornment::parse("bbf"));
+        let plan = plan_split(&rec, &Adornment::parse("bbf"), &modes, &[]).unwrap();
+        assert!(plan.is_split());
+        assert_eq!(plan.adornment.to_string(), "bbf");
+        // Y (the list head compared against X) is buffered for the output
+        // cons in the down sweep.
+        assert_eq!(
+            plan.buffered
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>(),
+            vec!["Y"]
+        );
+        assert_eq!(plan.exit_orders.len(), 2);
+    }
+
+    #[test]
+    fn non_evaluable_both_ways_errors() {
+        // p(X, Y) :- q(X, Z), p(X1, Y1)... a path atom with a var bound in
+        // neither sweep: r(W, W2) where W2 touches nothing.
+        let (rec, modes) = setup(
+            "p(X, Y) :- e(X, X1), W < X, p(X1, Y).
+             p(X, Y) :- b(X, Y).",
+            "p",
+            2,
+        );
+        let err = plan_split(&rec, &Adornment::parse("bf"), &modes, &[]).unwrap_err();
+        assert!(
+            matches!(err, SplitError::NotFinitelyEvaluable { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn exit_not_evaluable_reported() {
+        // Exit rule needs an unbound comparison.
+        let (rec, modes) = setup(
+            "p(X, Y) :- e(X, X1), p(X1, Y).
+             p(X, Y) :- X < Y.",
+            "p",
+            2,
+        );
+        let err = plan_split(&rec, &Adornment::parse("bf"), &modes, &[]).unwrap_err();
+        assert!(matches!(err, SplitError::ExitNotEvaluable { .. }), "{err}");
+    }
+
+    #[test]
+    fn greedy_closure_respects_skip() {
+        let (rec, modes) = setup(
+            "sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+             sg(X, Y) :- sibling(X, Y).",
+            "sg",
+            2,
+        );
+        let path = rec.path_atoms();
+        let mut bound: HashSet<Var> = [Var::named("X")].into();
+        let all = greedy_closure(&path, &mut bound.clone(), &modes, &[]);
+        assert_eq!(all.len(), 2);
+        let skipped = greedy_closure(&path, &mut bound, &modes, &[path[0].0]);
+        assert_eq!(skipped.len(), 1);
+    }
+}

@@ -1,0 +1,361 @@
+//! The command processor behind the `chainsplit` shell.
+//!
+//! Kept as a library so the REPL loop is a thin stdin wrapper and every
+//! command is unit-testable. One [`Shell`] holds a [`DeductiveDb`] plus
+//! session settings; [`Shell::process`] executes one input line and
+//! returns the text to print.
+
+#![forbid(unsafe_code)]
+
+use chainsplit_core::{DeductiveDb, Strategy};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Interactive session state.
+pub struct Shell {
+    pub db: DeductiveDb,
+    pub strategy: Strategy,
+    /// Print timing and counters after each query.
+    pub timing: bool,
+    /// Maximum answers printed per query (0 = unlimited).
+    pub max_print: usize,
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Shell {
+            db: DeductiveDb::new(),
+            strategy: Strategy::Auto,
+            timing: false,
+            max_print: 50,
+        }
+    }
+}
+
+const HELP: &str = "\
+commands:
+  ?- <goal>[, <constraint>…].   run a query (e.g. ?- sg(ann, Y), Y \\= ann.)
+  <clause>.                      assert a fact or rule
+  :load <file>                   load a program file
+  :strategy [name]               show or set the evaluation method
+                                 (auto, top-down, naive, semi-naive, magic,
+                                  supplementary-magic, chain-split-magic,
+                                  chain-split, tabled)
+  :explain <goal>                show the compilation / split plan
+  :exists <goal>                 existence check (first answer only)
+  :timing on|off                 toggle per-query timing + counters
+  :constraint <body>             add an integrity constraint (denial)
+  :check                         check all integrity constraints
+  :save <file>                   write the loaded program to a file
+  :stats                         database statistics
+  :help                          this text
+  :quit                          leave";
+
+fn parse_strategy(name: &str) -> Option<Strategy> {
+    Some(match name {
+        "auto" => Strategy::Auto,
+        "top-down" | "topdown" | "sld" => Strategy::TopDown,
+        "naive" => Strategy::Naive,
+        "semi-naive" | "seminaive" => Strategy::SemiNaive,
+        "magic" => Strategy::Magic,
+        "supplementary-magic" | "supplementary" => Strategy::SupplementaryMagic,
+        "chain-split-magic" | "split-magic" => Strategy::ChainSplitMagic,
+        "chain-split" | "split" => Strategy::ChainSplit,
+        "tabled" | "tabling" => Strategy::Tabled,
+        _ => return None,
+    })
+}
+
+/// What the REPL loop should do after a line.
+#[derive(PartialEq, Eq, Debug)]
+pub enum Control {
+    Continue,
+    Quit,
+}
+
+impl Shell {
+    pub fn new() -> Shell {
+        Shell::default()
+    }
+
+    /// Executes one input line; returns the text to print and whether to
+    /// keep going.
+    pub fn process(&mut self, line: &str) -> (String, Control) {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            return (String::new(), Control::Continue);
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            return self.command(rest);
+        }
+        if let Some(query) = line.strip_prefix("?-") {
+            return (self.run_query(query), Control::Continue);
+        }
+        // Anything else is a clause to assert.
+        match self.db.load(line) {
+            Ok(()) => ("ok.".to_string(), Control::Continue),
+            Err(e) => (format!("error: {e}"), Control::Continue),
+        }
+    }
+
+    fn command(&mut self, rest: &str) -> (String, Control) {
+        let mut parts = rest.splitn(2, char::is_whitespace);
+        let cmd = parts.next().unwrap_or("");
+        let arg = parts.next().unwrap_or("").trim();
+        let out = match cmd {
+            "help" | "h" => HELP.to_string(),
+            "quit" | "q" | "exit" => return (String::new(), Control::Quit),
+            "load" => match std::fs::read_to_string(arg) {
+                Ok(src) => match self.db.load(&src) {
+                    Ok(()) => format!("loaded {arg}."),
+                    Err(e) => format!("error in {arg}: {e}"),
+                },
+                Err(e) => format!("cannot read {arg}: {e}"),
+            },
+            "strategy" => {
+                if arg.is_empty() {
+                    format!("strategy: {}", self.strategy)
+                } else {
+                    match parse_strategy(arg) {
+                        Some(s) => {
+                            self.strategy = s;
+                            format!("strategy: {s}")
+                        }
+                        None => format!("unknown strategy `{arg}` (see :help)"),
+                    }
+                }
+            }
+            "explain" => match self.db.explain(arg) {
+                Ok(e) => e,
+                Err(e) => format!("error: {e}"),
+            },
+            "exists" => match self.db.exists(arg) {
+                Ok(b) => format!("{b}."),
+                Err(e) => format!("error: {e}"),
+            },
+            "timing" => {
+                self.timing = arg == "on";
+                format!("timing: {}", if self.timing { "on" } else { "off" })
+            }
+            "constraint" => match self.db.add_integrity_constraint(arg) {
+                Ok(()) => "constraint added.".to_string(),
+                Err(e) => format!("error: {e}"),
+            },
+            "check" => match self.db.check_integrity() {
+                Ok(v) if v.is_empty() => "all constraints satisfied.".to_string(),
+                Ok(v) => v.join("\n"),
+                Err(e) => format!("error: {e}"),
+            },
+            "save" => match std::fs::write(arg, self.db.dump()) {
+                Ok(()) => format!("saved {arg}."),
+                Err(e) => format!("cannot write {arg}: {e}"),
+            },
+            "stats" => self.stats(),
+            other => format!("unknown command `:{other}` (see :help)"),
+        };
+        (out, Control::Continue)
+    }
+
+    fn stats(&mut self) -> String {
+        let sys = self.db.system();
+        let mut out = String::new();
+        writeln!(out, "EDB: {} facts", sys.edb.total_rows()).unwrap();
+        for p in sys.edb.preds() {
+            let rel = sys.edb.relation(p).unwrap();
+            writeln!(out, "  {p}: {} tuples", rel.len()).unwrap();
+        }
+        writeln!(out, "IDB: {} predicates", sys.classes.len()).unwrap();
+        for (p, class) in &sys.classes {
+            let chains = sys
+                .compiled
+                .get(p)
+                .map(|r| format!(", {} chain(s)", r.n_chains()))
+                .unwrap_or_default();
+            writeln!(out, "  {p}: {class}{chains}").unwrap();
+        }
+        out.pop();
+        out
+    }
+
+    fn run_query(&mut self, query: &str) -> String {
+        let start = Instant::now();
+        match self.db.query_with(query, self.strategy) {
+            Ok(outcome) => {
+                let mut out = String::new();
+                if outcome.answers.is_empty() {
+                    out.push_str("no.");
+                } else {
+                    let shown = if self.max_print == 0 {
+                        outcome.answers.len()
+                    } else {
+                        outcome.answers.len().min(self.max_print)
+                    };
+                    for a in &outcome.answers[..shown] {
+                        writeln!(out, "{a}").unwrap();
+                    }
+                    if shown < outcome.answers.len() {
+                        writeln!(out, "… {} more", outcome.answers.len() - shown).unwrap();
+                    }
+                    write!(out, "{} answer(s).", outcome.answers.len()).unwrap();
+                }
+                if self.timing {
+                    let ms = start.elapsed().as_secs_f64() * 1e3;
+                    write!(
+                        out,
+                        "\n[{} | {ms:.2} ms | derived {} | probes {} | magic {} | buffered {}]",
+                        outcome.strategy,
+                        outcome.counters.derived,
+                        outcome.counters.considered,
+                        outcome.counters.magic_facts,
+                        outcome.counters.buffered_peak,
+                    )
+                    .unwrap();
+                }
+                out
+            }
+            Err(e) => format!("error: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(shell: &mut Shell, lines: &[&str]) -> Vec<String> {
+        lines.iter().map(|l| shell.process(l).0).collect()
+    }
+
+    #[test]
+    fn assert_and_query() {
+        let mut sh = Shell::new();
+        let out = feed(
+            &mut sh,
+            &[
+                "parent(a, b).",
+                "anc(X, Y) :- parent(X, Y).",
+                "anc(X, Y) :- parent(X, Z), anc(Z, Y).",
+                "?- anc(a, Y).",
+            ],
+        );
+        assert_eq!(out[0], "ok.");
+        assert!(out[3].contains("Y = b"));
+        assert!(out[3].contains("1 answer(s)."));
+    }
+
+    #[test]
+    fn failing_query_says_no() {
+        let mut sh = Shell::new();
+        sh.process("p(1).");
+        assert_eq!(sh.process("?- p(2).").0, "no.");
+    }
+
+    #[test]
+    fn strategy_switching() {
+        let mut sh = Shell::new();
+        assert!(sh.process(":strategy").0.contains("auto"));
+        assert!(sh.process(":strategy tabled").0.contains("tabled"));
+        assert_eq!(sh.strategy, Strategy::Tabled);
+        assert!(sh.process(":strategy nope").0.contains("unknown strategy"));
+    }
+
+    #[test]
+    fn explain_and_exists() {
+        let mut sh = Shell::new();
+        sh.process("append([], L, L).");
+        sh.process("append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).");
+        let e = sh.process(":explain append(U, V, [1, 2])").0;
+        assert!(e.contains("split: yes"), "{e}");
+        assert_eq!(sh.process(":exists append(U, V, [1, 2])").0, "true.");
+        assert_eq!(sh.process(":exists append([9], V, [1, 2])").0, "false.");
+    }
+
+    #[test]
+    fn timing_toggle() {
+        let mut sh = Shell::new();
+        sh.process("p(1).");
+        sh.process(":timing on");
+        let out = sh.process("?- p(X).").0;
+        assert!(out.contains("derived"), "{out}");
+    }
+
+    #[test]
+    fn stats_report() {
+        let mut sh = Shell::new();
+        sh.process("e(1, 2).");
+        sh.process("t(X, Y) :- e(X, Y).");
+        let s = sh.process(":stats").0;
+        assert!(s.contains("e/2: 1 tuples"), "{s}");
+        assert!(s.contains("t/2: non-recursive"), "{s}");
+    }
+
+    #[test]
+    fn quit_and_comments() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.process("% a comment").1, Control::Continue);
+        assert_eq!(sh.process("").1, Control::Continue);
+        assert_eq!(sh.process(":quit").1, Control::Quit);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_fatal() {
+        let mut sh = Shell::new();
+        let out = sh.process("p(").0;
+        assert!(out.starts_with("error:"), "{out}");
+        assert_eq!(sh.process("p(1).").0, "ok.");
+    }
+
+    #[test]
+    fn max_print_truncates() {
+        let mut sh = Shell::new();
+        sh.max_print = 2;
+        for i in 0..5 {
+            sh.process(&format!("n({i})."));
+        }
+        let out = sh.process("?- n(X).").0;
+        assert!(out.contains("… 3 more"), "{out}");
+        assert!(out.contains("5 answer(s)."));
+    }
+
+    #[test]
+    fn constraint_commands() {
+        let mut sh = Shell::new();
+        sh.process("parent(a, a).");
+        assert_eq!(
+            sh.process(":constraint parent(X, X)").0,
+            "constraint added."
+        );
+        let out = sh.process(":check").0;
+        assert!(out.contains("violated"), "{out}");
+    }
+
+    #[test]
+    fn save_and_reload() {
+        let dir = std::env::temp_dir().join("chainsplit_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.dl");
+        let path_str = path.to_str().unwrap().to_string();
+        let mut sh = Shell::new();
+        sh.process("p(7).");
+        sh.process("q(X) :- p(X).");
+        assert!(sh
+            .process(&format!(":save {path_str}"))
+            .0
+            .starts_with("saved"));
+        let mut sh2 = Shell::new();
+        assert!(sh2
+            .process(&format!(":load {path_str}"))
+            .0
+            .starts_with("loaded"));
+        assert!(sh2.process("?- q(X).").0.contains("X = 7"));
+    }
+
+    #[test]
+    fn load_missing_file() {
+        let mut sh = Shell::new();
+        assert!(sh
+            .process(":load /no/such/file.dl")
+            .0
+            .contains("cannot read"));
+    }
+}

@@ -1,0 +1,111 @@
+//! `chainsplit` — interactive shell for the chain-split deductive database.
+//!
+//! ```sh
+//! chainsplit [FILE …]            # load programs, then REPL
+//! chainsplit -e '?- q(X).' FILE  # one-shot query
+//! chainsplit --strategy tabled   # pick the evaluation method
+//! ```
+
+use chainsplit_cli::{Control, Shell};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut shell = Shell::new();
+    let mut args = std::env::args().skip(1);
+    let mut one_shot: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-e" | "--eval" => {
+                one_shot = args.next();
+                if one_shot.is_none() {
+                    eprintln!("-e needs a query argument");
+                    std::process::exit(2);
+                }
+            }
+            "--strategy" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--strategy needs a name");
+                    std::process::exit(2);
+                };
+                let (msg, _) = shell.process(&format!(":strategy {name}"));
+                if msg.contains("unknown") {
+                    eprintln!("{msg}");
+                    std::process::exit(2);
+                }
+            }
+            "--timing" => {
+                shell.process(":timing on");
+            }
+            "-h" | "--help" => {
+                println!("usage: chainsplit [--strategy NAME] [--timing] [-e QUERY] [FILE …]");
+                let (help, _) = shell.process(":help");
+                println!("{help}");
+                return;
+            }
+            file => {
+                let (msg, _) = shell.process(&format!(":load {file}"));
+                println!("{msg}");
+                if msg.starts_with("cannot") || msg.starts_with("error") {
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    if let Some(q) = one_shot {
+        let q = if q.trim_start().starts_with("?-") || q.trim_start().starts_with(':') {
+            q
+        } else {
+            format!("?- {q}")
+        };
+        let (out, _) = shell.process(&q);
+        println!("{out}");
+        return;
+    }
+
+    println!("chain-split deductive database — :help for commands");
+    let stdin = std::io::stdin();
+    loop {
+        print!("?- ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        // Bare goals at the `?-` prompt are queries; lines that already
+        // carry a command prefix or clause syntax pass through.
+        let trimmed = line.trim();
+        let input = if trimmed.is_empty()
+            || trimmed.starts_with(':')
+            || trimmed.starts_with('%')
+            || trimmed.starts_with("?-")
+            || trimmed.contains(":-")
+            || is_fact(trimmed)
+        {
+            trimmed.to_string()
+        } else {
+            format!("?- {trimmed}")
+        };
+        let (out, control) = shell.process(&input);
+        if !out.is_empty() {
+            println!("{out}");
+        }
+        if control == Control::Quit {
+            break;
+        }
+    }
+}
+
+/// Heuristic: a line ending in `.` with a single atom and no variables is
+/// a fact assertion rather than a query.
+fn is_fact(line: &str) -> bool {
+    line.ends_with('.')
+        && chainsplit_logic::parse_rule(line)
+            .map(|r| r.is_fact() && r.head.is_ground())
+            .unwrap_or(false)
+}

@@ -1,0 +1,491 @@
+//! **Algorithm 3.2 — buffered chain-split evaluation** (and, with an empty
+//! buffer, the counting method).
+//!
+//! Two sweeps over the compiled chain:
+//!
+//! 1. **Up sweep**: starting from the query constants at the stable
+//!    adornment's bound positions (the *frontier*), evaluate the chain
+//!    path's *evaluated portion* level by level. Each derivation step is
+//!    recorded as a node `W_i` holding the values of every up-bound
+//!    variable — the per-level **buffer** of the paper (for a
+//!    chain-following run the buffered set is empty and `W_i` degenerates
+//!    to the counting method's level-indexed magic set). At every level the
+//!    exit rules fire against the frontier.
+//! 2. **Down sweep**: answers propagate from the deepest level back to the
+//!    query, joining each level's buffered nodes (on the recursive-call
+//!    values) and evaluating the *delayed portion* with the buffered
+//!    variables reinstated.
+//!
+//! The optional [`Pruner`] hook is Algorithm 3.3's constraint pushing: the
+//! up sweep threads monotone partial sums through the frontier and prunes
+//! hopeless derivations early (see `crate::partial`).
+
+use crate::solver::Solver;
+use chainsplit_chain::{CompiledRecursion, SplitPlan};
+use chainsplit_engine::EvalError;
+use chainsplit_logic::{unify, Atom, Subst, Term, Var};
+use chainsplit_relation::{FxHashMap, FxHashSet};
+
+/// A monotone-sum guard (Algorithm 3.3): `addend` is summed along the
+/// chain; a derivation whose partial sum can no longer satisfy
+/// `sum op limit` is pruned. Soundness requires every addend (and the exit
+/// contribution) to be non-negative — `crate::partial` verifies that
+/// against the EDB before constructing the guard.
+#[derive(Clone, Debug)]
+pub struct SumGuard {
+    pub addend: Var,
+    pub limit: i64,
+    /// `true` for `<`, `false` for `<=`.
+    pub strict: bool,
+}
+
+impl SumGuard {
+    fn admits(&self, partial: i64) -> bool {
+        if self.strict {
+            partial < self.limit
+        } else {
+            partial <= self.limit
+        }
+    }
+}
+
+/// A level-count guard: the paper's other monotone accumulator,
+/// `length(L)` — every chain level conses one more element onto the
+/// constrained list, so a derivation deeper than the limit is hopeless.
+#[derive(Clone, Debug)]
+pub struct CountGuard {
+    pub limit: i64,
+    /// `true` for `<`, `false` for `<=`.
+    pub strict: bool,
+}
+
+impl CountGuard {
+    fn admits(&self, level: usize) -> bool {
+        // At chain level `d` the final list has at least `d + 1` elements
+        // (the exit contributes at least... zero; `d` delayed conses have
+        // accumulated). Prune when even `d` alone violates the bound.
+        let d = level as i64;
+        if self.strict {
+            d < self.limit
+        } else {
+            d <= self.limit
+        }
+    }
+}
+
+/// The constraint-pushing hook for the up sweep.
+#[derive(Clone, Debug, Default)]
+pub struct Pruner {
+    pub guards: Vec<SumGuard>,
+    pub count_guards: Vec<CountGuard>,
+}
+
+impl Pruner {
+    fn admits(&self, partials: &[i64]) -> bool {
+        self.guards.iter().zip(partials).all(|(g, &p)| g.admits(p))
+    }
+
+    fn admits_level(&self, level: usize) -> bool {
+        self.count_guards.iter().all(|g| g.admits(level))
+    }
+}
+
+/// One buffered derivation step.
+struct Node {
+    /// Values of `plan.up_bound` variables (the buffer, inputs included).
+    up_vals: Vec<Term>,
+    /// Values of the recursive call's arguments at the frontier positions.
+    out_key: Vec<Term>,
+    /// Monotone partial sums (one per pruner guard).
+    partials: Vec<i64>,
+}
+
+/// Runs Algorithm 3.2 for `query` (an instance of `rec.pred`) under `plan`.
+///
+/// Appends one substitution per answer to `out`, each extending `s` with
+/// the query's variables.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_buffered(
+    solver: &mut Solver,
+    rec: &CompiledRecursion,
+    plan: &SplitPlan,
+    query: &Atom,
+    s: &Subst,
+    depth: usize,
+    pruner: Option<&Pruner>,
+    out: &mut Vec<Subst>,
+) -> Result<(), EvalError> {
+    let frontier_pos = plan.frontier();
+    let n_guards = pruner.map_or(0, |p| p.guards.len());
+
+    // Level-0 frontier: the query's ground values at the bound positions.
+    let mut q_vals: Vec<Term> = Vec::with_capacity(frontier_pos.len());
+    for &j in &frontier_pos {
+        let v = s.resolve(&query.args[j]);
+        debug_assert!(v.is_ground(), "frontier arg must be ground: {v}");
+        q_vals.push(v);
+    }
+
+    // frontier: tuple -> elementwise-min partial sums (min is sound: prune
+    // only when even the cheapest path to this tuple is hopeless).
+    let mut frontier: FxHashMap<Vec<Term>, Vec<i64>> = FxHashMap::default();
+    frontier.insert(q_vals.clone(), vec![0; n_guards]);
+
+    let delayed_atoms: Vec<&Atom> = plan
+        .delayed
+        .iter()
+        .map(|&i| &rec.recursive_rule.body[i])
+        .collect();
+    let evaluated_atoms: Vec<&Atom> = plan
+        .evaluated
+        .iter()
+        .map(|&i| &rec.recursive_rule.body[i])
+        .collect();
+
+    let mut nodes_up: Vec<Vec<Node>> = Vec::new(); // nodes_up[i]: frontier_i -> frontier_{i+1}
+    let mut exits: Vec<Vec<Vec<Term>>> = Vec::new(); // exits[i]: full tuples at level i
+
+    // ---- Up sweep ----
+    loop {
+        solver.counters.iterations += 1;
+        if nodes_up.len() >= solver.opts.max_levels {
+            return Err(EvalError::FuelExceeded {
+                limit: solver.opts.max_levels,
+            });
+        }
+
+        // Exit rules against the current frontier.
+        let mut level_exits: Vec<Vec<Term>> = Vec::new();
+        let mut seen_exit: FxHashSet<Vec<Term>> = FxHashSet::default();
+        for t in frontier.keys() {
+            for er in &rec.exit_rules {
+                let mut s0 = Subst::new();
+                let mut ok = true;
+                for (jj, &j) in frontier_pos.iter().enumerate() {
+                    if !unify(&mut s0, &er.head.args[j], &t[jj]) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let body: Vec<&Atom> = er.body.iter().collect();
+                let mut sols = Vec::new();
+                solver.solve_body_dynamic(&body, &s0, depth + 1, &mut sols)?;
+                for sol in sols {
+                    let tuple: Vec<Term> = er.head.args.iter().map(|a| sol.resolve(a)).collect();
+                    if tuple.iter().any(|x| !x.is_ground()) {
+                        return Err(EvalError::NotEvaluable {
+                            atom: format!("exit answer not ground: {er}"),
+                        });
+                    }
+                    if seen_exit.insert(tuple.clone()) {
+                        level_exits.push(tuple);
+                    }
+                }
+            }
+        }
+        exits.push(level_exits);
+
+        // Level-count guards (length-style constraints): if the *next*
+        // level is already hopeless, stop generating nodes entirely.
+        if let Some(p) = pruner {
+            if !p.admits_level(nodes_up.len() + 1) {
+                nodes_up.push(Vec::new());
+                break;
+            }
+        }
+
+        // Evaluated portion: one node per derivation.
+        let mut level_nodes: Vec<Node> = Vec::new();
+        let mut node_index: FxHashMap<Vec<Term>, usize> = FxHashMap::default();
+        let mut next_frontier: FxHashMap<Vec<Term>, Vec<i64>> = FxHashMap::default();
+        for (t, partials) in &frontier {
+            let mut s0 = Subst::new();
+            for (jj, &j) in frontier_pos.iter().enumerate() {
+                let hv = rec.head_var(j);
+                if !unify(&mut s0, &Term::Var(hv), &t[jj]) {
+                    unreachable!("binding fresh head var cannot fail");
+                }
+            }
+            let mut sols = Vec::new();
+            solver.solve_body_dynamic(&evaluated_atoms, &s0, depth + 1, &mut sols)?;
+            for sol in sols {
+                let up_vals: Vec<Term> = plan
+                    .up_bound
+                    .iter()
+                    .map(|&v| sol.resolve(&Term::Var(v)))
+                    .collect();
+                // Partial sums for the pruner.
+                let mut new_partials = partials.clone();
+                if let Some(p) = pruner {
+                    let mut dead = false;
+                    for (gi, g) in p.guards.iter().enumerate() {
+                        let addend = sol.resolve(&Term::Var(g.addend));
+                        match addend {
+                            Term::Int(a) => new_partials[gi] += a,
+                            _ => {
+                                return Err(EvalError::TypeError {
+                                    atom: format!(
+                                        "monotone addend {} is not an integer: {addend}",
+                                        g.addend
+                                    ),
+                                })
+                            }
+                        }
+                        if !g.admits(new_partials[gi]) {
+                            dead = true;
+                        }
+                    }
+                    if dead || !p.admits(&new_partials) {
+                        solver.counters.considered += 1;
+                        continue; // pruned: hopeless derivation
+                    }
+                }
+                let out_key: Vec<Term> = frontier_pos
+                    .iter()
+                    .map(|&j| sol.resolve(&rec.rec_atom().args[j]))
+                    .collect();
+                if out_key.iter().any(|x| !x.is_ground()) {
+                    return Err(EvalError::NotEvaluable {
+                        atom: format!("chain step not ground for {}", rec.pred),
+                    });
+                }
+                match node_index.get(&up_vals) {
+                    Some(&i) => {
+                        // Same buffer content reached again: keep the
+                        // cheapest partials (same up_vals implies the same
+                        // out_key, so the frontier entry takes the min too).
+                        let n = &mut level_nodes[i];
+                        for (a, b) in n.partials.iter_mut().zip(&new_partials) {
+                            *a = (*a).min(*b);
+                        }
+                        if let Some(ps) = next_frontier.get_mut(&out_key) {
+                            for (a, b) in ps.iter_mut().zip(&new_partials) {
+                                *a = (*a).min(*b);
+                            }
+                        }
+                    }
+                    None => {
+                        node_index.insert(up_vals.clone(), level_nodes.len());
+                        next_frontier
+                            .entry(out_key.clone())
+                            .and_modify(|ps| {
+                                for (a, b) in ps.iter_mut().zip(&new_partials) {
+                                    *a = (*a).min(*b);
+                                }
+                            })
+                            .or_insert_with(|| new_partials.clone());
+                        level_nodes.push(Node {
+                            up_vals,
+                            out_key,
+                            partials: new_partials,
+                        });
+                        solver.counters.derived += 1;
+                    }
+                }
+            }
+        }
+        solver.counters.buffered_peak += level_nodes.len();
+        let done = next_frontier.is_empty();
+        nodes_up.push(level_nodes);
+        if done {
+            break;
+        }
+        frontier = next_frontier;
+    }
+
+    // ---- Down sweep ----
+    let k = exits.len() - 1;
+    // answers[i]: full tuples valid at level i, indexed by frontier values.
+    let mut answers: FxHashMap<Vec<Term>, Vec<Vec<Term>>> = FxHashMap::default();
+    let index_of =
+        |tuple: &[Term]| -> Vec<Term> { frontier_pos.iter().map(|&j| tuple[j].clone()).collect() };
+    let head_args = &rec.recursive_rule.head.args;
+    let rec_args = &rec.rec_atom().args;
+
+    for i in (0..=k).rev() {
+        let mut level_answers: FxHashMap<Vec<Term>, Vec<Vec<Term>>> = FxHashMap::default();
+        let mut level_seen: FxHashSet<Vec<Term>> = FxHashSet::default();
+        let push = |tuple: Vec<Term>,
+                    level_answers: &mut FxHashMap<Vec<Term>, Vec<Vec<Term>>>,
+                    level_seen: &mut FxHashSet<Vec<Term>>| {
+            if level_seen.insert(tuple.clone()) {
+                level_answers
+                    .entry(index_of(&tuple))
+                    .or_default()
+                    .push(tuple);
+            }
+        };
+        for tuple in &exits[i] {
+            push(tuple.clone(), &mut level_answers, &mut level_seen);
+        }
+        // Join this level's buffered nodes with the answers from below.
+        if i < k {
+            for node in &nodes_up[i] {
+                let Some(below) = answers.get(&node.out_key) else {
+                    continue;
+                };
+                for a in below {
+                    solver.counters.considered += 1;
+                    let mut s0 = Subst::new();
+                    let mut ok = true;
+                    for (&v, val) in plan.up_bound.iter().zip(&node.up_vals) {
+                        if !unify(&mut s0, &Term::Var(v), val) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for (arg, val) in rec_args.iter().zip(a.iter()) {
+                            if !unify(&mut s0, arg, val) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    let mut sols = Vec::new();
+                    solver.solve_body_dynamic(&delayed_atoms, &s0, depth + 1, &mut sols)?;
+                    for sol in sols {
+                        let tuple: Vec<Term> = head_args.iter().map(|h| sol.resolve(h)).collect();
+                        if tuple.iter().any(|x| !x.is_ground()) {
+                            return Err(EvalError::NotEvaluable {
+                                atom: format!("answer not ground for {}", rec.pred),
+                            });
+                        }
+                        push(tuple, &mut level_answers, &mut level_seen);
+                    }
+                }
+            }
+        }
+        drop(level_seen);
+        answers = level_answers;
+    }
+
+    // ---- Final answers: level-0 tuples unified with the query. ----
+    if let Some(final_tuples) = answers.get(&q_vals) {
+        for tuple in final_tuples {
+            let cand = Atom {
+                pred: query.pred,
+                args: tuple.clone(),
+            };
+            let mut s2 = s.clone();
+            if chainsplit_logic::unify_atoms(&mut s2, query, &cand) {
+                solver.counters.derived += 1;
+                out.push(s2);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveOptions;
+    use crate::system::System;
+    use chainsplit_logic::{parse_program, parse_query};
+
+    fn run(src: &str, query: &str) -> Vec<String> {
+        let sys = System::build(&parse_program(src).unwrap());
+        let q = parse_query(query).unwrap();
+        let mut solver = Solver::new(&sys, SolveOptions::default());
+        let sols = solver.query(&q).unwrap();
+        let mut v: Vec<String> = sols
+            .iter()
+            .map(|s| s.resolve_atom(&q).to_string())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    const APPEND: &str = "append([], L, L).
+        append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).";
+
+    #[test]
+    fn append_backward_all_splits() {
+        // §2.2's driving example: ?- append(U, V, [1,2,3]) by buffered
+        // chain-split. Four splits of a 3-list.
+        let v = run(APPEND, "append(U, V, [1, 2, 3])");
+        assert_eq!(
+            v,
+            [
+                "append([1, 2, 3], [], [1, 2, 3])",
+                "append([1, 2], [3], [1, 2, 3])",
+                "append([1], [2, 3], [1, 2, 3])",
+                "append([], [1, 2, 3], [1, 2, 3])",
+            ]
+        );
+    }
+
+    #[test]
+    fn append_forward() {
+        let v = run(APPEND, "append([1, 2], [3], W)");
+        assert_eq!(v, ["append([1, 2], [3], [1, 2, 3])"]);
+    }
+
+    #[test]
+    fn append_check_mode() {
+        assert_eq!(run(APPEND, "append([1], [2], [1, 2])").len(), 1);
+        assert!(run(APPEND, "append([2], [1], [1, 2])").is_empty());
+    }
+
+    #[test]
+    fn append_empty_list() {
+        let v = run(APPEND, "append(U, V, [])");
+        assert_eq!(v, ["append([], [], [])"]);
+    }
+
+    #[test]
+    fn append_partially_bound_output() {
+        // Query with a constant in a free-ish position: answers filter.
+        let v = run(APPEND, "append(U, [3], [1, 2, 3])");
+        assert_eq!(v, ["append([1, 2], [3], [1, 2, 3])"]);
+    }
+
+    #[test]
+    fn single_chain_function_free_counting() {
+        // path over a DAG by the degenerate (buffer-free) two-sweep: the
+        // counting method.
+        let src = "path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).
+             edge(a, b). edge(b, c). edge(c, d). edge(a, c).";
+        let v = run(src, "path(a, Y)");
+        assert_eq!(v.len(), 3); // b, c, d
+    }
+
+    #[test]
+    fn levels_budget_guards_cycles() {
+        let src = "path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).
+             edge(a, b). edge(b, a).";
+        let sys = System::build(&parse_program(src).unwrap());
+        let q = parse_query("path(a, Y)").unwrap();
+        let mut solver = Solver::new(
+            &sys,
+            SolveOptions {
+                max_levels: 50,
+                ..SolveOptions::default()
+            },
+        );
+        let err = solver.query(&q).unwrap_err();
+        assert!(matches!(err, EvalError::FuelExceeded { .. }));
+    }
+
+    #[test]
+    fn counters_track_buffer() {
+        let sys = System::build(&parse_program(APPEND).unwrap());
+        let q = parse_query("append(U, V, [1, 2, 3, 4])").unwrap();
+        let mut solver = Solver::new(&sys, SolveOptions::default());
+        let sols = solver.query(&q).unwrap();
+        assert_eq!(sols.len(), 5);
+        // One buffered node per level 0..3 (the [] level derives nothing).
+        assert_eq!(solver.counters.buffered_peak, 4);
+        assert!(solver.counters.iterations >= 5);
+    }
+}

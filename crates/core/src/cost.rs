@@ -1,0 +1,211 @@
+//! The §2.1 quantitative analysis: deciding *where* a chain generating
+//! path should be split for efficiency.
+//!
+//! The decision compares each linkage's **join expansion ratio** (expected
+//! matching tuples per binding, [`chainsplit_relation::Stats::expansion`])
+//! against two thresholds:
+//!
+//! - above the **chain-split threshold**: the linkage is *weak* — the
+//!   binding is never propagated through it (Example 1.2's
+//!   `same_country`);
+//! - below the **chain-following threshold**: the linkage is *strong* —
+//!   the binding always propagates;
+//! - in between: a quantitative tie-break — propagate only if the
+//!   expansion through the linkage does not exceed the growth the strong
+//!   portion already exhibits (following then costs no more per level than
+//!   the chain already does; otherwise splitting is predicted cheaper).
+
+use crate::system::System;
+use chainsplit_chain::ModeTable;
+use chainsplit_logic::{adorn::term_bound, Adornment, Atom, Pred, Var};
+use chainsplit_relation::Stats;
+use std::collections::HashSet;
+
+/// Thresholds for the efficiency-based chain-split decision.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Expansion ratio above which a linkage is always split away.
+    pub split_threshold: f64,
+    /// Expansion ratio below which a binding always follows the chain.
+    pub follow_threshold: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            split_threshold: 16.0,
+            follow_threshold: 2.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// The predicates of `query`'s compiled recursion whose linkage is too
+    /// weak to propagate bindings through — the input to Algorithm 3.1's
+    /// modified binding-propagation rule ([`chainsplit_engine::DelayPreds`]).
+    ///
+    /// Simulates sideways information passing from the query's bound head
+    /// variables over the chain generating path(s), consulting the EDB
+    /// statistics at each step.
+    pub fn weak_linkages(&self, sys: &System, query: &Atom) -> HashSet<Pred> {
+        let mut weak = HashSet::new();
+        let Some(rec) = sys.compiled.get(&query.pred) else {
+            return weak;
+        };
+        let stats = Stats::new(&sys.edb);
+        let ad = Adornment(
+            query
+                .args
+                .iter()
+                .map(|t| {
+                    if t.is_ground() {
+                        chainsplit_logic::Ad::Bound
+                    } else {
+                        chainsplit_logic::Ad::Free
+                    }
+                })
+                .collect(),
+        );
+        let mut bound: HashSet<Var> = HashSet::new();
+        for j in ad.bound_positions() {
+            for v in rec.recursive_rule.head.args[j].vars() {
+                bound.insert(v);
+            }
+        }
+
+        let path = rec.path_atoms();
+        let mut remaining: Vec<&Atom> = path.iter().map(|(_, a)| *a).collect();
+        let modes = &sys.modes;
+        let mut strong_growth: f64 = 1.0;
+        loop {
+            // Next candidate: an atom with at least one bound argument.
+            let pick = remaining.iter().position(|a| {
+                a.args.iter().any(|t| term_bound(t, &bound))
+                    && (!chainsplit_chain::is_builtin(a.pred)
+                        || modes.is_finite(a.pred, &Adornment::of_atom(a, &bound)))
+            });
+            let Some(k) = pick else { break };
+            let atom = remaining.remove(k);
+            if chainsplit_chain::is_builtin(atom.pred) || sys.is_idb(atom.pred) {
+                // Builtins expand 1:1; nested IDB linkages are governed by
+                // finiteness, not statistics.
+                for v in atom.vars() {
+                    bound.insert(v);
+                }
+                continue;
+            }
+            let bound_cols: Vec<usize> = atom
+                .args
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| term_bound(t, &bound))
+                .map(|(i, _)| i)
+                .collect();
+            let expansion = stats.expansion(atom.pred, &bound_cols);
+            let split = if expansion > self.split_threshold {
+                true
+            } else if expansion < self.follow_threshold {
+                false
+            } else {
+                // Quantitative tie-break.
+                expansion > strong_growth.max(self.follow_threshold)
+            };
+            if split {
+                weak.insert(atom.pred);
+                // Do not extend `bound`: the binding stops here.
+            } else {
+                strong_growth = strong_growth.max(expansion);
+                for v in atom.vars() {
+                    bound.insert(v);
+                }
+            }
+        }
+        weak
+    }
+}
+
+/// Convenience: the weak-linkage set as a SIP policy for the magic-sets
+/// transformation.
+pub fn sip_policy(model: &CostModel, sys: &System, query: &Atom) -> chainsplit_engine::DelayPreds {
+    chainsplit_engine::DelayPreds(model.weak_linkages(sys, query))
+}
+
+// Keep ModeTable in the public signature story (documented dependency).
+#[allow(unused)]
+fn _mode_table_is_used(_: &ModeTable) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::{parse_program, parse_query};
+
+    /// scsg over `people_per_country` people in each of 2 countries.
+    fn scsg_system(people_per_country: usize) -> System {
+        let mut src = String::from(
+            "scsg(X, Y) :- sibling(X, Y).
+             scsg(X, Y) :- parent(X, X1), same_country(X1, Y1), parent(Y, Y1), scsg(X1, Y1).\n",
+        );
+        for c in 0..2 {
+            for i in 0..people_per_country {
+                for j in 0..people_per_country {
+                    src.push_str(&format!("same_country(p{c}_{i}, p{c}_{j}).\n"));
+                }
+                src.push_str(&format!("parent(k{c}_{i}, p{c}_{i}).\n"));
+            }
+            src.push_str(&format!(
+                "sibling(p{c}_0, p{c}_1). sibling(p{c}_1, p{c}_0).\n"
+            ));
+        }
+        System::build(&parse_program(&src).unwrap())
+    }
+
+    #[test]
+    fn same_country_is_weak_when_countries_are_large() {
+        // 40 compatriots each: expansion 40 >> split threshold.
+        let sys = scsg_system(40);
+        let q = parse_query("scsg(k0_0, Y)").unwrap();
+        let weak = CostModel::default().weak_linkages(&sys, &q);
+        assert!(weak.contains(&Pred::new("same_country", 2)));
+        assert!(!weak.contains(&Pred::new("parent", 2)));
+    }
+
+    #[test]
+    fn same_country_is_strong_when_countries_are_tiny() {
+        // 1 compatriot each: expansion 1 < follow threshold.
+        let sys = scsg_system(1);
+        let q = parse_query("scsg(k0_0, Y)").unwrap();
+        let weak = CostModel::default().weak_linkages(&sys, &q);
+        assert!(weak.is_empty());
+    }
+
+    #[test]
+    fn thresholds_are_tunable() {
+        let sys = scsg_system(4); // expansion 4: between 2 and 16
+        let q = parse_query("scsg(k0_0, Y)").unwrap();
+        // Default: middle band, tie-break vs strong growth (parent is 1:1,
+        // so growth stays 1 < 4): split.
+        let weak = CostModel::default().weak_linkages(&sys, &q);
+        assert!(weak.contains(&Pred::new("same_country", 2)));
+        // Raising the follow threshold forces following.
+        let follow_all = CostModel {
+            split_threshold: 1000.0,
+            follow_threshold: 100.0,
+        };
+        assert!(follow_all.weak_linkages(&sys, &q).is_empty());
+        // Lowering the split threshold splits even the first 1:1 linkage —
+        // the binding then stops at `parent` and nothing else is reached.
+        let split_all = CostModel {
+            split_threshold: 0.5,
+            follow_threshold: 0.1,
+        };
+        let weak = split_all.weak_linkages(&sys, &q);
+        assert!(weak.contains(&Pred::new("parent", 2)));
+    }
+
+    #[test]
+    fn uncompiled_query_has_no_weak_linkages() {
+        let sys = scsg_system(2);
+        let q = parse_query("unknown(X)").unwrap();
+        assert!(CostModel::default().weak_linkages(&sys, &q).is_empty());
+    }
+}

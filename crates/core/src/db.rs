@@ -1,0 +1,737 @@
+//! The public facade: a deductive database with chain-split evaluation.
+//!
+//! [`DeductiveDb`] is the LogicBase-shaped entry point: load programs and
+//! facts, then query. The planner picks the evaluation method per query
+//! (the [`Strategy::Auto`] policy), or the caller forces one — which is
+//! how the benchmark harness compares methods on identical inputs.
+
+use crate::cost::CostModel;
+use crate::efficiency::{chain_split_magic, standard_magic};
+use crate::partial::eval_partial;
+use crate::solver::{SolveOptions, Solver};
+use crate::system::System;
+use chainsplit_engine::{
+    naive_eval, seminaive_eval, tabled_query, topdown_query, unify_filter, BottomUpOptions,
+    Counters, EvalError, TabledOptions, TopDownOptions,
+};
+use chainsplit_logic::{parse_program, parse_rule, Atom, ParseError, Program, Subst, Term, Var};
+use std::fmt;
+
+/// Which evaluation method to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// The planner decides: chain-split for compiled recursions, goal-
+    /// directed resolution otherwise.
+    #[default]
+    Auto,
+    /// Prolog-style SLD resolution on the original rules.
+    TopDown,
+    /// Naive bottom-up fixpoint (reference semantics; function-free only).
+    Naive,
+    /// Semi-naive bottom-up fixpoint (function-free only).
+    SemiNaive,
+    /// Standard magic sets with full binding propagation \[1, 2\].
+    Magic,
+    /// Algorithm 3.1: chain-split magic sets (cost-model-driven SIP).
+    ChainSplitMagic,
+    /// Algorithm 3.2/3.3: the chain-split executor (with constraint
+    /// pushing when constraints are present).
+    ChainSplit,
+    /// Tabled (memoized) evaluation — an SLG-lite baseline that also
+    /// terminates on cyclic data.
+    Tabled,
+    /// Standard magic sets with supplementary predicates (prefix joins
+    /// materialised once).
+    SupplementaryMagic,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::Auto => "auto",
+            Strategy::TopDown => "top-down",
+            Strategy::Naive => "naive",
+            Strategy::SemiNaive => "semi-naive",
+            Strategy::Magic => "magic",
+            Strategy::ChainSplitMagic => "chain-split magic",
+            Strategy::ChainSplit => "chain-split",
+            Strategy::Tabled => "tabled",
+            Strategy::SupplementaryMagic => "supplementary magic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One query answer: the query variables and their values.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Answer {
+    pub bindings: Vec<(Var, Term)>,
+}
+
+impl fmt::Display for Answer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bindings.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, (v, t)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} = {t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Answer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Answers plus evaluation statistics.
+pub struct QueryOutcome {
+    pub answers: Vec<Answer>,
+    pub counters: Counters,
+    pub strategy: Strategy,
+}
+
+/// Errors surfaced by the facade.
+#[derive(Debug)]
+pub enum DbError {
+    Parse(ParseError),
+    Eval(EvalError),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(e) => write!(f, "{e}"),
+            DbError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<ParseError> for DbError {
+    fn from(e: ParseError) -> DbError {
+        DbError::Parse(e)
+    }
+}
+
+impl From<EvalError> for DbError {
+    fn from(e: EvalError) -> DbError {
+        DbError::Eval(e)
+    }
+}
+
+/// A deductive database: EDB + IDB + ICs + the chain-split query evaluator.
+///
+/// ```
+/// use chainsplit_core::DeductiveDb;
+///
+/// let mut db = DeductiveDb::new();
+/// db.load(
+///     "append([], L, L).
+///      append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+/// )
+/// .unwrap();
+/// // append^ffb needs chain-split evaluation; the planner applies it.
+/// assert_eq!(db.query("append(U, V, [1, 2, 3])").unwrap().len(), 4);
+/// assert!(db.exists("append(U, V, [1, 2, 3])").unwrap());
+/// ```
+pub struct DeductiveDb {
+    source: Program,
+    /// Integrity constraints: denial bodies that must stay unsatisfiable.
+    constraints: Vec<Vec<Atom>>,
+    system: Option<System>,
+    /// Evaluation budgets.
+    pub solve_options: SolveOptions,
+    pub bottom_up_options: BottomUpOptions,
+    pub top_down_options: TopDownOptions,
+    pub tabled_options: TabledOptions,
+    /// Thresholds for the efficiency-based split decision.
+    pub cost_model: CostModel,
+}
+
+impl Default for DeductiveDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeductiveDb {
+    pub fn new() -> DeductiveDb {
+        DeductiveDb {
+            source: Program::default(),
+            constraints: Vec::new(),
+            system: None,
+            solve_options: SolveOptions::default(),
+            bottom_up_options: BottomUpOptions::default(),
+            top_down_options: TopDownOptions::default(),
+            tabled_options: TabledOptions::default(),
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Loads a program fragment (facts and/or rules).
+    pub fn load(&mut self, src: &str) -> Result<(), DbError> {
+        let p = parse_program(src)?;
+        self.source.rules.extend(p.rules);
+        self.system = None;
+        Ok(())
+    }
+
+    /// Loads a single clause.
+    pub fn load_rule(&mut self, src: &str) -> Result<(), DbError> {
+        let r = parse_rule(src)?;
+        self.source.rules.push(r);
+        self.system = None;
+        Ok(())
+    }
+
+    /// Adds a ground fact directly.
+    pub fn add_fact(&mut self, fact: Atom) {
+        self.source.rules.push(chainsplit_logic::Rule::fact(fact));
+        self.system = None;
+    }
+
+    /// The compiled system (compiling on first use).
+    pub fn system(&mut self) -> &System {
+        if self.system.is_none() {
+            self.system = Some(System::build(&self.source));
+        }
+        self.system.as_ref().unwrap()
+    }
+
+    /// Parses a query of the form `p(args)` or `p(args), c1, c2, …` where
+    /// the `ci` are builtin constraint atoms.
+    fn parse_goal(&self, src: &str) -> Result<(Atom, Vec<Atom>), DbError> {
+        let src = src.trim();
+        let src = src.strip_prefix("?-").unwrap_or(src).trim();
+        let src = src.strip_suffix('.').unwrap_or(src);
+        let rule = parse_rule(&format!("goal__ :- {src}."))?;
+        let mut atoms = rule.body.into_iter();
+        let head = atoms.next().expect("non-empty goal");
+        Ok((head, atoms.collect()))
+    }
+
+    /// Answers `query` with the automatic strategy.
+    pub fn query(&mut self, query: &str) -> Result<Vec<Answer>, DbError> {
+        Ok(self.query_with(query, Strategy::Auto)?.answers)
+    }
+
+    /// Answers `query` under an explicit strategy, reporting counters.
+    pub fn query_with(&mut self, query: &str, strategy: Strategy) -> Result<QueryOutcome, DbError> {
+        let (atom, constraints) = self.parse_goal(query)?;
+        self.query_atom(&atom, &constraints, strategy)
+    }
+
+    /// Core entry point: answer one goal atom plus builtin constraints.
+    pub fn query_atom(
+        &mut self,
+        atom: &Atom,
+        constraints: &[Atom],
+        strategy: Strategy,
+    ) -> Result<QueryOutcome, DbError> {
+        let solve_opts = self.solve_options;
+        let bu_opts = self.bottom_up_options;
+        let td_opts = self.top_down_options;
+        let tab_opts = self.tabled_options;
+        let cost = self.cost_model;
+        let source = self.source.clone();
+        let sys = self.system();
+        let qvars = {
+            let mut v = atom.vars();
+            for c in constraints {
+                for w in c.vars() {
+                    if !v.contains(&w) {
+                        v.push(w);
+                    }
+                }
+            }
+            v
+        };
+        let project = |sols: Vec<Subst>| -> Vec<Answer> {
+            let mut out: Vec<Answer> = sols
+                .into_iter()
+                .map(|s| Answer {
+                    bindings: s.project(&qvars),
+                })
+                .collect();
+            let mut seen = std::collections::HashSet::new();
+            out.retain(|a| seen.insert(a.to_string()));
+            out
+        };
+
+        let outcome = match strategy {
+            Strategy::Auto | Strategy::ChainSplit => {
+                let mut solver = Solver::new(sys, solve_opts);
+                let sols = eval_partial(&mut solver, atom, constraints)?;
+                QueryOutcome {
+                    answers: project(sols),
+                    counters: solver.counters,
+                    strategy,
+                }
+            }
+            Strategy::Tabled => {
+                let (sols, counters) = tabled_query(&source, atom, tab_opts)?;
+                let sols = filter_constraints(sols, constraints)?;
+                QueryOutcome {
+                    answers: project(sols),
+                    counters,
+                    strategy,
+                }
+            }
+            Strategy::TopDown => {
+                let (sols, counters) = topdown_query(&source, atom, td_opts)?;
+                let sols = filter_constraints(sols, constraints)?;
+                QueryOutcome {
+                    answers: project(sols),
+                    counters,
+                    strategy,
+                }
+            }
+            Strategy::Naive | Strategy::SemiNaive => {
+                // Restrict the fixpoint to the rules reachable from the
+                // query predicate — evaluating unrelated definitions would
+                // waste work and can even be impossible (functional
+                // recursions elsewhere in the IDB).
+                let mut relevant: Vec<chainsplit_logic::Pred> = sys.graph.reachable(atom.pred);
+                relevant.push(atom.pred);
+                let rules: Vec<chainsplit_logic::Rule> = sys
+                    .rectified
+                    .rules
+                    .iter()
+                    .filter(|r| relevant.contains(&r.head.pred))
+                    .cloned()
+                    .collect();
+                let run = if strategy == Strategy::Naive {
+                    naive_eval(&rules, &sys.edb, bu_opts)?
+                } else {
+                    seminaive_eval(&rules, &sys.edb, bu_opts)?
+                };
+                let rel = run.idb.relation(atom.pred);
+                let sols = unify_filter(rel, atom);
+                let sols = filter_constraints(sols, constraints)?;
+                QueryOutcome {
+                    answers: project(sols),
+                    counters: run.counters,
+                    strategy,
+                }
+            }
+            Strategy::SupplementaryMagic => {
+                let r = chainsplit_engine::supplementary_magic_eval(
+                    &sys.rectified.rules,
+                    &sys.edb,
+                    atom,
+                    &chainsplit_engine::FullSip,
+                    bu_opts,
+                )?;
+                let sols = filter_constraints(r.answers, constraints)?;
+                QueryOutcome {
+                    answers: project(sols),
+                    counters: r.counters,
+                    strategy,
+                }
+            }
+            Strategy::Magic => {
+                let r = standard_magic(sys, atom, bu_opts)?;
+                let sols = filter_constraints(r.answers, constraints)?;
+                QueryOutcome {
+                    answers: project(sols),
+                    counters: r.counters,
+                    strategy,
+                }
+            }
+            Strategy::ChainSplitMagic => {
+                let r = chain_split_magic(sys, atom, &cost, bu_opts)?;
+                let sols = filter_constraints(r.answers, constraints)?;
+                QueryOutcome {
+                    answers: project(sols),
+                    counters: r.counters,
+                    strategy,
+                }
+            }
+        };
+        Ok(outcome)
+    }
+
+    /// Adds an integrity constraint: a *denial* whose body must never be
+    /// satisfiable (the ICs of the paper's EDB/IDB/IC trichotomy, §1).
+    ///
+    /// `body_src` is a conjunction, e.g. `"parent(X, X)"` (nobody is their
+    /// own parent) or `"flight(F, A, DT, A, AT, C)"` (no self-loops).
+    pub fn add_integrity_constraint(&mut self, body_src: &str) -> Result<(), DbError> {
+        let (head, rest) = self.parse_goal(body_src)?;
+        let mut body = vec![head];
+        body.extend(rest);
+        self.constraints.push(body);
+        Ok(())
+    }
+
+    /// Checks every integrity constraint against the current state.
+    /// Returns one human-readable witness per violated constraint.
+    pub fn check_integrity(&mut self) -> Result<Vec<String>, DbError> {
+        let solve_opts = self.solve_options;
+        let ics = self.constraints.clone();
+        let sys = self.system();
+        let mut violations = Vec::new();
+        for body in &ics {
+            let mut solver = Solver::new(sys, solve_opts);
+            let atoms: Vec<&Atom> = body.iter().collect();
+            let mut sols = Vec::new();
+            solver.solve_body_dynamic(&atoms, &Subst::new(), 0, &mut sols)?;
+            if let Some(s) = sols.first() {
+                let witness: Vec<String> =
+                    body.iter().map(|a| s.resolve_atom(a).to_string()).collect();
+                violations.push(format!(
+                    "constraint violated: {} (witness: {})",
+                    body.iter()
+                        .map(|a| a.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    witness.join(", ")
+                ));
+            }
+        }
+        Ok(violations)
+    }
+
+    /// The program text as currently loaded (facts and rules), suitable
+    /// for `load`-ing back — the CLI's `:save`.
+    pub fn dump(&self) -> String {
+        self.source.to_string()
+    }
+
+    /// Existence checking (§5): does `query` have at least one answer?
+    /// Goal-directed search stops at the first success.
+    pub fn exists(&mut self, query: &str) -> Result<bool, DbError> {
+        let (atom, constraints) = self.parse_goal(query)?;
+        let solve_opts = self.solve_options;
+        let sys = self.system();
+        let mut solver = Solver::new(sys, solve_opts);
+        if constraints.is_empty() {
+            return Ok(solver
+                .solve_first(&atom, &chainsplit_logic::Subst::new(), 0)?
+                .is_some());
+        }
+        // With constraints the full (pushed) evaluation decides.
+        let sols = eval_partial(&mut solver, &atom, &constraints)?;
+        Ok(!sols.is_empty())
+    }
+
+    /// A human-readable compilation report for a predicate: class, chain
+    /// form, and the split plan for a given query — the `EXPLAIN` of this
+    /// engine.
+    pub fn explain(&mut self, query: &str) -> Result<String, DbError> {
+        use std::fmt::Write;
+        let (atom, _) = self.parse_goal(query)?;
+        let sys = self.system();
+        let mut out = String::new();
+        let class = sys.class_of(atom.pred);
+        writeln!(out, "predicate: {}", atom.pred).unwrap();
+        writeln!(out, "class: {class}").unwrap();
+        if let Some(rec) = sys.compiled.get(&atom.pred) {
+            writeln!(out, "chains: {}", rec.n_chains()).unwrap();
+            for (i, c) in rec.chains.iter().enumerate() {
+                writeln!(out, "  chain {i}: {c}").unwrap();
+            }
+            writeln!(out, "exit rules: {}", rec.exit_rules.len()).unwrap();
+            let ad = crate::solver::runtime_adornment(&atom, &Subst::new());
+            match chainsplit_chain::plan_split(rec, &ad, &sys.modes, &[]) {
+                Ok(plan) => {
+                    writeln!(out, "adornment: {}", plan.adornment).unwrap();
+                    writeln!(
+                        out,
+                        "split: {}",
+                        if plan.is_split() {
+                            "yes (delayed portion present)"
+                        } else {
+                            "no (chain-following)"
+                        }
+                    )
+                    .unwrap();
+                    let show = |idxs: &[usize]| {
+                        idxs.iter()
+                            .map(|&i| rec.recursive_rule.body[i].to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    };
+                    writeln!(out, "evaluated portion: {}", show(&plan.evaluated)).unwrap();
+                    writeln!(out, "delayed portion: {}", show(&plan.delayed)).unwrap();
+                    let buffered: Vec<String> =
+                        plan.buffered.iter().map(|v| v.to_string()).collect();
+                    writeln!(out, "buffered variables: [{}]", buffered.join(", ")).unwrap();
+                }
+                Err(e) => writeln!(out, "no split plan: {e}").unwrap(),
+            }
+        } else {
+            writeln!(out, "not chain-compiled").unwrap();
+        }
+        Ok(out)
+    }
+}
+
+/// Filters substitutions by builtin constraints, threading bindings from
+/// one constraint to the next (`length(L, N), N <= 3` binds `N` first).
+fn filter_constraints(sols: Vec<Subst>, constraints: &[Atom]) -> Result<Vec<Subst>, EvalError> {
+    if constraints.is_empty() {
+        return Ok(sols);
+    }
+    let mut out = Vec::new();
+    'next: for s in sols {
+        let mut cur = s;
+        for c in constraints {
+            match chainsplit_engine::eval_builtin(c, &cur)? {
+                Some(chainsplit_engine::BuiltinOutcome::Solutions(v)) => {
+                    match v.into_iter().next() {
+                        Some(s2) => cur = s2,
+                        None => continue 'next,
+                    }
+                }
+                Some(chainsplit_engine::BuiltinOutcome::NotEvaluable) => {
+                    return Err(EvalError::NotEvaluable {
+                        atom: c.to_string(),
+                    })
+                }
+                None => {
+                    return Err(EvalError::Unsupported {
+                        reason: format!("constraint {c} is not a builtin"),
+                    })
+                }
+            }
+        }
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SG: &str = "parent(c1, p1). parent(c2, p1). parent(g1, c1). parent(g2, c2).
+         sibling(c1, c2). sibling(c2, c1).
+         sg(X, Y) :- sibling(X, Y).
+         sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).";
+
+    #[test]
+    fn quickstart_flow() {
+        let mut db = DeductiveDb::new();
+        db.load(SG).unwrap();
+        let answers = db.query("sg(g1, Y)").unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].to_string(), "Y = g2");
+    }
+
+    #[test]
+    fn strategies_agree_on_sg() {
+        let mut db = DeductiveDb::new();
+        db.load(SG).unwrap();
+        let mut reference: Option<Vec<String>> = None;
+        for strat in [
+            Strategy::Auto,
+            Strategy::TopDown,
+            Strategy::Naive,
+            Strategy::SemiNaive,
+            Strategy::Magic,
+            Strategy::ChainSplitMagic,
+        ] {
+            let o = db.query_with("sg(g1, Y)", strat).unwrap();
+            let mut v: Vec<String> = o.answers.iter().map(|a| a.to_string()).collect();
+            v.sort();
+            match &reference {
+                None => reference = Some(v),
+                Some(r) => assert_eq!(&v, r, "strategy {strat} disagrees"),
+            }
+        }
+    }
+
+    #[test]
+    fn functional_queries_auto() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+        )
+        .unwrap();
+        let a = db.query("append(U, V, [1, 2, 3])").unwrap();
+        assert_eq!(a.len(), 4);
+        let a = db.query("append([1], [2], W)").unwrap();
+        assert_eq!(a[0].to_string(), "W = [1, 2]");
+    }
+
+    #[test]
+    fn constraint_queries() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "n(1). n(5). n(9).
+             pick(X) :- n(X).",
+        )
+        .unwrap();
+        let a = db.query("pick(X), X > 2, X < 9").unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].to_string(), "X = 5");
+    }
+
+    #[test]
+    fn incremental_loading() {
+        let mut db = DeductiveDb::new();
+        db.load("p(X) :- e(X).").unwrap();
+        db.load_rule("e(1).").unwrap();
+        assert_eq!(db.query("p(X)").unwrap().len(), 1);
+        db.add_fact(chainsplit_logic::parse_query("e(2)").unwrap());
+        assert_eq!(db.query("p(X)").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn explain_reports_split() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+        )
+        .unwrap();
+        let e = db.explain("append(U, V, [1, 2, 3])").unwrap();
+        assert!(e.contains("class: linear"), "{e}");
+        assert!(e.contains("split: yes"), "{e}");
+        assert!(e.contains("buffered variables: [X]"), "{e}");
+        let e = db.explain("append([1], [2], W)").unwrap();
+        assert!(e.contains("adornment: bbf"), "{e}");
+    }
+
+    #[test]
+    fn parse_goal_forms() {
+        let mut db = DeductiveDb::new();
+        db.load("p(1).").unwrap();
+        for q in ["p(X)", "?- p(X).", "p(X).", " p(X) "] {
+            assert_eq!(db.query(q).unwrap().len(), 1, "{q}");
+        }
+        assert!(db.query("p(X), q(").is_err());
+    }
+
+    #[test]
+    fn ground_query_answers_true() {
+        let mut db = DeductiveDb::new();
+        db.load("p(1).").unwrap();
+        let a = db.query("p(1)").unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].to_string(), "true");
+        assert!(db.query("p(2)").unwrap().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tabled_and_exists_tests {
+    use super::*;
+
+    #[test]
+    fn tabled_strategy_agrees() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).
+             edge(a, b). edge(b, c). edge(c, a).",
+        )
+        .unwrap();
+        // Cyclic data: top-down diverges (depth budget), tabled terminates.
+        let t = db.query_with("path(a, Y)", Strategy::Tabled).unwrap();
+        let mut v: Vec<String> = t.answers.iter().map(|a| a.to_string()).collect();
+        v.sort();
+        assert_eq!(v, ["Y = a", "Y = b", "Y = c"]);
+        // And agrees with semi-naive.
+        let s = db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
+        assert_eq!(s.answers.len(), 3);
+    }
+
+    #[test]
+    fn tabled_on_functional_program() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+        )
+        .unwrap();
+        let t = db
+            .query_with("append(U, V, [1, 2, 3])", Strategy::Tabled)
+            .unwrap();
+        assert_eq!(t.answers.len(), 4);
+    }
+
+    #[test]
+    fn exists_short_circuits() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        for i in 0..200 {
+            db.load_rule(&format!("edge(n{i}, n{}).", i + 1)).unwrap();
+        }
+        assert!(db.exists("path(n0, n200)").unwrap());
+        assert!(!db.exists("path(n200, n0)").unwrap());
+        // First-answer search touches far fewer tuples than the full query.
+        let full = db.query_with("path(n0, Y)", Strategy::Auto).unwrap();
+        assert_eq!(full.answers.len(), 200);
+    }
+
+    #[test]
+    fn exists_with_constraints() {
+        let mut db = DeductiveDb::new();
+        db.load("n(3). n(9). pick(X) :- n(X).").unwrap();
+        assert!(db.exists("pick(X), X > 5").unwrap());
+        assert!(!db.exists("pick(X), X > 10").unwrap());
+    }
+}
+
+#[cfg(test)]
+mod integrity_tests {
+    use super::*;
+
+    #[test]
+    fn constraints_detect_violations() {
+        let mut db = DeductiveDb::new();
+        db.load("parent(a, b). parent(c, c).").unwrap();
+        db.add_integrity_constraint("parent(X, X)").unwrap();
+        let v = db.check_integrity().unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("parent(c, c)"), "{v:?}");
+    }
+
+    #[test]
+    fn satisfied_constraints_are_quiet() {
+        let mut db = DeductiveDb::new();
+        db.load("parent(a, b). parent(b, c).").unwrap();
+        db.add_integrity_constraint("parent(X, X)").unwrap();
+        db.add_integrity_constraint("parent(X, Y), parent(Y, X)")
+            .unwrap();
+        assert!(db.check_integrity().unwrap().is_empty());
+    }
+
+    #[test]
+    fn constraints_see_derived_facts() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "edge(a, b). edge(b, a).
+             path(X, Y) :- edge(X, Y).",
+        )
+        .unwrap();
+        // Derived cycles count as violations too.
+        db.add_integrity_constraint("path(X, Y), path(Y, X), X \\= Y")
+            .unwrap();
+        assert_eq!(db.check_integrity().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dump_round_trips() {
+        let mut db = DeductiveDb::new();
+        db.load("p(1). q(X) :- p(X).").unwrap();
+        let text = db.dump();
+        let mut db2 = DeductiveDb::new();
+        db2.load(&text).unwrap();
+        assert_eq!(db2.query("q(X)").unwrap().len(), 1);
+    }
+}

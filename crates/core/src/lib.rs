@@ -1,0 +1,34 @@
+//! # chainsplit-core
+//!
+//! The paper's contribution — **chain-split evaluation** (Han, ICDE 1992) —
+//! on top of the substrate crates:
+//!
+//! - [`system`]: the LogicBase-style compilation pipeline (rectify →
+//!   classify → chain-compile → register finite-evaluability modes);
+//! - [`solver`]: the goal-directed query evaluator that dispatches each
+//!   goal to the right discipline;
+//! - [`buffered`]: **Algorithm 3.2**, buffered chain-split evaluation (its
+//!   buffer-free degenerate case is the counting method);
+//! - [`partial`]: **Algorithm 3.3**, chain-split partial evaluation with
+//!   constraint pushing over monotone accumulators;
+//! - [`cost`] / [`efficiency`]: the §2.1 quantitative analysis and
+//!   **Algorithm 3.1**, efficiency-based chain-split magic sets;
+//! - [`db`]: the public [`DeductiveDb`] facade.
+
+#![forbid(unsafe_code)]
+
+pub mod buffered;
+pub mod cost;
+pub mod db;
+pub mod efficiency;
+pub mod partial;
+pub mod solver;
+pub mod system;
+
+pub use buffered::{eval_buffered, CountGuard, Pruner, SumGuard};
+pub use cost::CostModel;
+pub use db::{Answer, DeductiveDb, QueryOutcome, Strategy};
+pub use efficiency::chain_split_magic;
+pub use partial::{eval_partial, push_constraints, PushedQuery};
+pub use solver::{runtime_adornment, SolveOptions, Solver};
+pub use system::System;

@@ -1,0 +1,499 @@
+//! **Algorithm 3.3 — chain-split partial evaluation with constraint
+//! pushing.**
+//!
+//! For constraint-rich functional recursions (the paper's `travel`: find
+//! itineraries with total fare below a budget), buffering everything and
+//! filtering at the end wastes the work spent on hopeless partial routes.
+//! Algorithm 3.3 instead *partially evaluates* the delayed portion during
+//! the up sweep: monotone accumulated arguments (the running fare sum, the
+//! itinerary length) are threaded through the chain, and termination /
+//! pruning constraints are pushed into the iteration \[6\] — a derivation
+//! whose partial sum already exceeds the budget is pruned on the spot.
+//!
+//! The analysis here recognises the telescoping-sum pattern in the delayed
+//! portion (`plus(F1, F2, F)` with `F` a free head position and `F2` the
+//! recursive call's value at the same position), verifies non-negativity
+//! of every contribution against the EDB (upper-bound pruning on a sum is
+//! only sound when the tail cannot decrease it), and hands the resulting
+//! [`SumGuard`]s to the buffered executor. Constraints are *always*
+//! re-checked on the final answers, pushed or not.
+
+use crate::buffered::{eval_buffered, CountGuard, Pruner, SumGuard};
+use crate::solver::{runtime_adornment, Solver};
+use crate::system::System;
+use chainsplit_chain::{plan_split, CompiledRecursion, SplitPlan};
+use chainsplit_engine::{eval_builtin, BuiltinOutcome, EvalError};
+use chainsplit_logic::{Atom, Pred, Rule, Subst, Term, Var};
+
+/// The outcome of the constraint-pushing analysis.
+#[derive(Debug)]
+pub struct PushedQuery {
+    /// Monotone-sum guards handed to the up sweep.
+    pub guards: Vec<SumGuard>,
+    /// Level-count guards from `length` constraints.
+    pub count_guards: Vec<CountGuard>,
+    /// Constraints successfully pushed (reporting only; they are also in
+    /// `residual`).
+    pub pushed: Vec<Atom>,
+    /// Every constraint, re-checked on the final answers.
+    pub residual: Vec<Atom>,
+}
+
+/// A normalised upper-bound constraint `var op limit`.
+struct UpperBound {
+    var: Var,
+    limit: i64,
+    strict: bool,
+}
+
+fn normalise(c: &Atom) -> Option<UpperBound> {
+    if c.pred.arity != 2 {
+        return None;
+    }
+    let (lhs, rhs) = (&c.args[0], &c.args[1]);
+    match (c.pred.name.as_str(), lhs, rhs) {
+        ("<", Term::Var(v), Term::Int(k)) => Some(UpperBound {
+            var: *v,
+            limit: *k,
+            strict: true,
+        }),
+        ("<=", Term::Var(v), Term::Int(k)) => Some(UpperBound {
+            var: *v,
+            limit: *k,
+            strict: false,
+        }),
+        (">", Term::Int(k), Term::Var(v)) => Some(UpperBound {
+            var: *v,
+            limit: *k,
+            strict: true,
+        }),
+        (">=", Term::Int(k), Term::Var(v)) => Some(UpperBound {
+            var: *v,
+            limit: *k,
+            strict: false,
+        }),
+        _ => None,
+    }
+}
+
+/// Is `v` provably non-negative in `rule`? True when `v` is produced by an
+/// EDB column whose minimum is ≥ 0, or equated to a non-negative constant.
+fn var_nonneg_in_rule(sys: &System, rule: &Rule, v: Var) -> bool {
+    for atom in &rule.body {
+        if atom.pred.name.as_str() == "=" {
+            match (&atom.args[0], &atom.args[1]) {
+                (Term::Var(w), Term::Int(k)) | (Term::Int(k), Term::Var(w))
+                    if *w == v && *k >= 0 =>
+                {
+                    return true;
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if !sys.modes.is_edb(atom.pred) {
+            continue;
+        }
+        let Some(rel) = sys.edb.relation(atom.pred) else {
+            continue;
+        };
+        for (col, arg) in atom.args.iter().enumerate() {
+            if *arg == Term::Var(v) && matches!(rel.min_int(col), Some(m) if m >= 0) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Finds the telescoping-sum accumulator for free head position `h`:
+/// a delayed atom `plus(A, R, H)` (or `plus(R, A, H)`) with `H` the head
+/// variable at `h`, `R` the recursive call's variable at `h`, and `A` an
+/// up-bound addend. Returns the addend.
+fn find_sum_accumulator(rec: &CompiledRecursion, plan: &SplitPlan, h: usize) -> Option<Var> {
+    let hv = Term::Var(rec.head_var(h));
+    let rv = match &rec.rec_atom().args[h] {
+        Term::Var(v) => Term::Var(*v),
+        _ => return None,
+    };
+    for &i in &plan.delayed {
+        let atom = &rec.recursive_rule.body[i];
+        if atom.pred != Pred::new("plus", 3) || atom.args[2] != hv {
+            continue;
+        }
+        let addend = if atom.args[1] == rv {
+            &atom.args[0]
+        } else if atom.args[0] == rv {
+            &atom.args[1]
+        } else {
+            continue;
+        };
+        if let Term::Var(a) = addend {
+            if plan.up_bound.contains(a) {
+                return Some(*a);
+            }
+        }
+    }
+    None
+}
+
+/// Does the delayed portion cons one element per level onto the list at
+/// free head position `h`? (The `length(L)` monotonicity of §3.3.)
+fn has_cons_accumulator(rec: &CompiledRecursion, plan: &SplitPlan, h: usize) -> bool {
+    let hv = Term::Var(rec.head_var(h));
+    let rv = match &rec.rec_atom().args[h] {
+        Term::Var(v) => Term::Var(*v),
+        _ => return false,
+    };
+    plan.delayed.iter().any(|&i| {
+        let atom = &rec.recursive_rule.body[i];
+        atom.pred == Pred::new("cons", 3) && atom.args[2] == hv && atom.args[1] == rv
+    })
+}
+
+/// Runs the constraint-pushing analysis for `query` with `constraints`.
+pub fn push_constraints(sys: &System, query: &Atom, constraints: &[Atom]) -> PushedQuery {
+    let mut out = PushedQuery {
+        guards: Vec::new(),
+        count_guards: Vec::new(),
+        pushed: Vec::new(),
+        residual: constraints.to_vec(),
+    };
+    let Some(rec) = sys.compiled.get(&query.pred) else {
+        return out;
+    };
+    if rec.n_chains() == 0 {
+        return out;
+    }
+    let ad = runtime_adornment(query, &Subst::new());
+    let Ok(plan) = plan_split(rec, &ad, &sys.modes, &[]) else {
+        return out;
+    };
+    // Pass 1: length guards. `length(L, N)` with `L` a cons-accumulated
+    // free head position plus an upper bound on `N` prunes by level.
+    for c in constraints {
+        if c.pred != Pred::new("length", 2) {
+            continue;
+        }
+        let (Term::Var(lv), Term::Var(nv)) = (&c.args[0], &c.args[1]) else {
+            continue;
+        };
+        let Some(h) = query.args.iter().position(|t| *t == Term::Var(*lv)) else {
+            continue;
+        };
+        if ad.0[h].is_bound() || !has_cons_accumulator(rec, &plan, h) {
+            continue;
+        }
+        for b in constraints {
+            let Some(ub) = normalise(b) else { continue };
+            if ub.var == *nv {
+                out.count_guards.push(CountGuard {
+                    limit: ub.limit,
+                    strict: ub.strict,
+                });
+                out.pushed.push(c.clone());
+            }
+        }
+    }
+
+    // Pass 2: sum guards.
+    for c in constraints {
+        let Some(ub) = normalise(c) else { continue };
+        // The constrained variable must sit alone at a free head position.
+        let Some(h) = query.args.iter().position(|t| *t == Term::Var(ub.var)) else {
+            continue;
+        };
+        if ad.0[h].is_bound() {
+            continue;
+        }
+        let Some(addend) = find_sum_accumulator(rec, &plan, h) else {
+            continue;
+        };
+        // Soundness: the addend and every exit's contribution at `h` must
+        // be non-negative.
+        if !var_nonneg_in_rule(sys, &rec.recursive_rule, addend) {
+            continue;
+        }
+        let exits_ok = rec.exit_rules.iter().all(|er| match &er.head.args[h] {
+            Term::Var(v) => var_nonneg_in_rule(sys, er, *v),
+            Term::Int(k) => *k >= 0,
+            _ => false,
+        });
+        if !exits_ok {
+            continue;
+        }
+        out.guards.push(SumGuard {
+            addend,
+            limit: ub.limit,
+            strict: ub.strict,
+        });
+        out.pushed.push(c.clone());
+    }
+    out
+}
+
+/// Evaluates `query` under `constraints` with Algorithm 3.3: pushed
+/// constraints prune the up sweep; every constraint filters the answers.
+pub fn eval_partial(
+    solver: &mut Solver,
+    query: &Atom,
+    constraints: &[Atom],
+) -> Result<Vec<Subst>, EvalError> {
+    let pq = push_constraints(solver.sys, query, constraints);
+    let mut raw = Vec::new();
+
+    let plan_and_rec = solver.sys.compiled.get(&query.pred).and_then(|rec| {
+        if rec.n_chains() == 0 {
+            return None;
+        }
+        let ad = runtime_adornment(query, &Subst::new());
+        plan_split(rec, &ad, &solver.sys.modes, &[])
+            .ok()
+            .map(|plan| (rec, plan))
+    });
+
+    match plan_and_rec {
+        Some((rec, plan)) => {
+            let pruner = Pruner {
+                guards: pq.guards.clone(),
+                count_guards: pq.count_guards.clone(),
+            };
+            eval_buffered(
+                solver,
+                rec,
+                &plan,
+                query,
+                &Subst::new(),
+                0,
+                Some(&pruner),
+                &mut raw,
+            )?;
+        }
+        None => {
+            solver.solve_atom(query, &Subst::new(), 0, &mut raw)?;
+        }
+    }
+
+    // Final filter: every constraint must hold on every answer. Bindings
+    // thread from one constraint to the next (`length(L, N), N <= 3`
+    // binds `N` first, then checks it).
+    let mut answers = Vec::new();
+    'next: for s in raw {
+        let mut cur = s;
+        for c in &pq.residual {
+            match eval_builtin(c, &cur)? {
+                Some(BuiltinOutcome::Solutions(sols)) => match sols.into_iter().next() {
+                    Some(s2) => cur = s2,
+                    None => continue 'next,
+                },
+                Some(BuiltinOutcome::NotEvaluable) => {
+                    return Err(EvalError::NotEvaluable {
+                        atom: cur.resolve_atom(c).to_string(),
+                    })
+                }
+                None => {
+                    return Err(EvalError::Unsupported {
+                        reason: format!("constraint {c} is not a builtin"),
+                    })
+                }
+            }
+        }
+        answers.push(cur);
+    }
+    Ok(answers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveOptions;
+    use chainsplit_logic::{parse_program, parse_query};
+
+    /// A small flight network: a line of airports with fares, plus a few
+    /// cross connections.
+    fn travel_src() -> String {
+        let mut src = String::from(
+            "travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A, AT, F), cons(Fno, [], L).
+             travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A1, AT1, F1), AT1 <= DT1,
+                 travel(L1, A1, DT1, A, AT, F2), plus(F1, F2, F), cons(Fno, L1, L).\n",
+        );
+        // Airports a0..a5 in a line; flight i departs a_i at 100*i+8,
+        // arrives a_{i+1} at 100*i+9, fare 200.
+        for i in 0..5 {
+            src.push_str(&format!(
+                "flight({i}, a{i}, {dt}, a{n}, {at}, 200).\n",
+                dt = 100 * i + 8,
+                at = 100 * i + 9,
+                n = i + 1
+            ));
+        }
+        // An express: a0 -> a2, early, fare 350.
+        src.push_str("flight(90, a0, 8, a2, 9, 350).\n");
+        src
+    }
+
+    fn constrained(query: &str, constraint: &str) -> Vec<String> {
+        let sys = System::build(&parse_program(&travel_src()).unwrap());
+        let q = parse_query(query).unwrap();
+        let c = parse_query(constraint).unwrap();
+        let mut solver = Solver::new(&sys, SolveOptions::default());
+        let sols = eval_partial(&mut solver, &q, &[c]).unwrap();
+        let mut v: Vec<String> = sols
+            .iter()
+            .map(|s| s.resolve_atom(&q).to_string())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn fare_constraint_is_pushed() {
+        let sys = System::build(&parse_program(&travel_src()).unwrap());
+        let q = parse_query("travel(L, a0, DT, a3, AT, F)").unwrap();
+        let c = parse_query("F <= 600").unwrap();
+        let pq = push_constraints(&sys, &q, std::slice::from_ref(&c));
+        assert_eq!(pq.guards.len(), 1, "the fare sum guard must be found");
+        assert!(!pq.guards[0].strict);
+        assert_eq!(pq.guards[0].limit, 600);
+        assert_eq!(pq.pushed, vec![c]);
+    }
+
+    #[test]
+    fn constrained_travel_answers() {
+        // a0 -> a3 routes: 0,1,2 (fare 600) and 90,2 (fare 550).
+        let v = constrained("travel(L, a0, DT, a3, AT, F)", "F <= 600");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v
+            .iter()
+            .any(|a| a.contains("[0, 1, 2]") && a.contains("600")));
+        assert!(v.iter().any(|a| a.contains("[90, 2]") && a.contains("550")));
+        // Tighter budget: only the express route survives.
+        let v = constrained("travel(L, a0, DT, a3, AT, F)", "F < 600");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("[90, 2]"));
+    }
+
+    #[test]
+    fn pruning_reduces_buffered_work() {
+        let sys = System::build(&parse_program(&travel_src()).unwrap());
+        let q = parse_query("travel(L, a0, DT, a5, AT, F)").unwrap();
+        let c = parse_query("F <= 300").unwrap();
+
+        let mut pruned = Solver::new(&sys, SolveOptions::default());
+        let with_pruning = eval_partial(&mut pruned, &q, std::slice::from_ref(&c)).unwrap();
+        assert!(with_pruning.is_empty(), "no route to a5 within 300");
+
+        // Same query without pushing: evaluate fully, filter at the end.
+        let mut unpruned = Solver::new(&sys, SolveOptions::default());
+        let mut raw = Vec::new();
+        unpruned.solve_atom(&q, &Subst::new(), 0, &mut raw).unwrap();
+        assert!(
+            pruned.counters.buffered_peak < unpruned.counters.buffered_peak,
+            "pruned {} !< unpruned {}",
+            pruned.counters.buffered_peak,
+            unpruned.counters.buffered_peak
+        );
+    }
+
+    #[test]
+    fn negative_fares_disable_pushing() {
+        let mut src = travel_src();
+        src.push_str("flight(99, a0, 8, a1, 9, -50).\n"); // a rebate flight
+        let sys = System::build(&parse_program(&src).unwrap());
+        let q = parse_query("travel(L, a0, DT, a3, AT, F)").unwrap();
+        let c = parse_query("F <= 600").unwrap();
+        let pq = push_constraints(&sys, &q, &[c]);
+        assert!(pq.guards.is_empty(), "negative column must block pushing");
+        assert_eq!(pq.residual.len(), 1, "constraint still filters answers");
+    }
+
+    #[test]
+    fn lower_bounds_are_not_pushed_but_still_filter() {
+        let v = constrained("travel(L, a0, DT, a3, AT, F)", "F >= 600");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("600"));
+    }
+
+    #[test]
+    fn unrelated_constraint_shapes_are_ignored_by_pushing() {
+        let sys = System::build(&parse_program(&travel_src()).unwrap());
+        let q = parse_query("travel(L, a0, DT, a3, AT, F)").unwrap();
+        let c = parse_query("DT < 100").unwrap(); // DT has no sum accumulator
+        let pq = push_constraints(&sys, &q, &[c]);
+        assert!(pq.guards.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod length_pushing_tests {
+    use super::*;
+    use crate::solver::SolveOptions;
+    use chainsplit_logic::{parse_program, parse_query};
+
+    fn travel_line(n: usize) -> System {
+        let mut src = String::from(
+            "travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A, AT, F), cons(Fno, [], L).
+             travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A1, AT1, F1),
+                 travel(L1, A1, DT1, A, AT, F2), AT1 <= DT1, plus(F1, F2, F), cons(Fno, L1, L).\n",
+        );
+        for i in 0..n {
+            src.push_str(&format!(
+                "flight({i}, a{i}, {dt}, a{next}, {at}, 100).\n",
+                dt = 100 * i + 50,
+                at = 100 * i + 60,
+                next = i + 1
+            ));
+        }
+        // A long-haul shortcut: a0 -> a_n direct.
+        src.push_str(&format!("flight(99, a0, 10, a{n}, 20, 900).\n"));
+        System::build(&parse_program(&src).unwrap())
+    }
+
+    #[test]
+    fn length_constraint_is_pushed_as_count_guard() {
+        let sys = travel_line(6);
+        let q = parse_query("travel(L, a0, DT, a6, AT, F)").unwrap();
+        let c1 = parse_query("length(L, N)").unwrap();
+        let c2 = parse_query("N <= 2").unwrap();
+        let pq = push_constraints(&sys, &q, &[c1, c2]);
+        assert_eq!(pq.count_guards.len(), 1);
+        assert_eq!(pq.count_guards[0].limit, 2);
+        assert!(!pq.count_guards[0].strict);
+    }
+
+    #[test]
+    fn length_bounded_travel_prunes_and_answers_correctly() {
+        let sys = travel_line(6);
+        let q = parse_query("travel(L, a0, DT, a6, AT, F)").unwrap();
+        let c1 = parse_query("length(L, N)").unwrap();
+        let c2 = parse_query("N <= 2").unwrap();
+
+        let mut pruned = Solver::new(&sys, SolveOptions::default());
+        let short = eval_partial(&mut pruned, &q, &[c1.clone(), c2.clone()]).unwrap();
+        // Only the direct flight fits in two hops.
+        assert_eq!(short.len(), 1, "{short:?}");
+        assert!(short[0].resolve_atom(&q).to_string().contains("[99]"));
+
+        // Without the guard the full route (6 hops) also enumerates.
+        let mut full = Solver::new(&sys, SolveOptions::default());
+        let all = eval_partial(&mut full, &q, &[]).unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(
+            pruned.counters.buffered_peak < full.counters.buffered_peak,
+            "length pushing must prune the up sweep: {} !< {}",
+            pruned.counters.buffered_peak,
+            full.counters.buffered_peak
+        );
+    }
+
+    #[test]
+    fn length_constraint_on_bound_position_is_not_pushed() {
+        let sys = travel_line(3);
+        // L bound: nothing to prune by level.
+        let q = parse_query("travel([0, 1, 2], a0, DT, a3, AT, F)").unwrap();
+        let c1 = parse_query("length([0, 1, 2], N)").unwrap();
+        let c2 = parse_query("N <= 2").unwrap();
+        let pq = push_constraints(&sys, &q, &[c1, c2]);
+        assert!(pq.count_guards.is_empty());
+    }
+}

@@ -1,0 +1,392 @@
+//! The goal-directed solver: the query evaluator of the system.
+//!
+//! `solve_atom` dispatches each goal to the right discipline:
+//!
+//! - builtins run procedurally;
+//! - EDB goals match their stored relation;
+//! - IDB goals whose predicate compiled into chain form and whose runtime
+//!   adornment admits a [`chainsplit_chain::SplitPlan`] run under the
+//!   **buffered chain-split executor** (Algorithm 3.2, `crate::buffered`);
+//! - everything else (nonrecursive definitions, nonlinear recursions like
+//!   `qsort`, multiple-linear ones like `partition`) resolves goal-directed
+//!   with *dynamically ordered* bodies: at each step the first finitely
+//!   evaluable subgoal runs. This is §4.2's observation operationalised —
+//!   the "delayed portion" of a nonlinear rule is simply whatever must wait
+//!   for a recursive result, and the mode-driven order produces exactly the
+//!   evaluation traces the paper walks through for `isort` and `qsort`.
+
+use crate::buffered::eval_buffered;
+use crate::system::System;
+use chainsplit_chain::plan_split;
+use chainsplit_engine::{eval_builtin, match_relation, BuiltinOutcome, Counters, EvalError};
+use chainsplit_logic::{fresh, unify_atoms, Ad, Adornment, Atom, Subst};
+
+/// Budgets for a solver run.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOptions {
+    /// Maximum goal-resolution depth.
+    pub max_depth: usize,
+    /// Maximum total goal invocations.
+    pub fuel: usize,
+    /// Maximum chain levels per buffered evaluation (guards cyclic data,
+    /// where plain counting does not terminate — see \[5\]).
+    pub max_levels: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            max_depth: 100_000,
+            fuel: 100_000_000,
+            max_levels: 100_000,
+        }
+    }
+}
+
+/// The goal-directed solver.
+pub struct Solver<'a> {
+    pub sys: &'a System,
+    pub opts: SolveOptions,
+    pub counters: Counters,
+    fuel_left: usize,
+}
+
+/// The adornment of `atom` at run time: a position is bound iff its
+/// argument is ground under the current substitution.
+pub fn runtime_adornment(atom: &Atom, s: &Subst) -> Adornment {
+    Adornment(
+        atom.args
+            .iter()
+            .map(|t| if s.is_ground(t) { Ad::Bound } else { Ad::Free })
+            .collect(),
+    )
+}
+
+impl<'a> Solver<'a> {
+    pub fn new(sys: &'a System, opts: SolveOptions) -> Solver<'a> {
+        Solver {
+            sys,
+            opts,
+            counters: Counters::default(),
+            fuel_left: opts.fuel,
+        }
+    }
+
+    fn spend(&mut self) -> Result<(), EvalError> {
+        if self.fuel_left == 0 {
+            return Err(EvalError::FuelExceeded {
+                limit: self.opts.fuel,
+            });
+        }
+        self.fuel_left -= 1;
+        Ok(())
+    }
+
+    /// Solves one goal, extending `out` with every solution substitution.
+    pub fn solve_atom(
+        &mut self,
+        atom: &Atom,
+        s: &Subst,
+        depth: usize,
+        out: &mut Vec<Subst>,
+    ) -> Result<(), EvalError> {
+        self.spend()?;
+        if depth > self.opts.max_depth {
+            return Err(EvalError::DepthExceeded {
+                limit: self.opts.max_depth,
+            });
+        }
+
+        // Builtins.
+        match eval_builtin(atom, s)? {
+            Some(BuiltinOutcome::Solutions(sols)) => {
+                self.counters.considered += 1;
+                out.extend(sols);
+                return Ok(());
+            }
+            Some(BuiltinOutcome::NotEvaluable) => {
+                return Err(EvalError::NotEvaluable {
+                    atom: s.resolve_atom(atom).to_string(),
+                })
+            }
+            None => {}
+        }
+
+        // IDB.
+        if self.sys.is_idb(atom.pred) {
+            // Try the chain-split executor for compiled linear recursions.
+            if let Some(rec) = self.sys.compiled.get(&atom.pred) {
+                if rec.n_chains() >= 1 {
+                    let ad = runtime_adornment(atom, s);
+                    if let Ok(plan) = plan_split(rec, &ad, &self.sys.modes, &[]) {
+                        return eval_buffered(self, rec, &plan, atom, s, depth, None, out);
+                    }
+                }
+            }
+            // Goal-directed resolution over the rectified rules.
+            let rules: Vec<_> = self.sys.rules_of(atom.pred).into_iter().cloned().collect();
+            for rule in rules {
+                self.counters.considered += 1;
+                let fr = rule.rename(fresh::rename_tag());
+                let mut s2 = s.clone();
+                if !unify_atoms(&mut s2, atom, &fr.head) {
+                    continue;
+                }
+                let body: Vec<&Atom> = fr.body.iter().collect();
+                self.solve_body_dynamic(&body, &s2, depth + 1, out)?;
+            }
+            return Ok(());
+        }
+
+        // EDB (or an unknown predicate: empty extension).
+        if let Some(rel) = self.sys.edb.relation(atom.pred) {
+            match_relation(rel, atom, s, &mut self.counters, out);
+        }
+        Ok(())
+    }
+
+    /// Is `atom` finitely evaluable right now (under `s`)?
+    fn ready(&self, atom: &Atom, s: &Subst) -> bool {
+        if chainsplit_chain::is_builtin(atom.pred) {
+            return !matches!(
+                eval_builtin(atom, s),
+                Ok(Some(BuiltinOutcome::NotEvaluable))
+            );
+        }
+        if self.sys.is_idb(atom.pred) {
+            return self
+                .sys
+                .modes
+                .is_finite(atom.pred, &runtime_adornment(atom, s));
+        }
+        true // EDB / unknown: finite extension
+    }
+
+    /// Solves a conjunction with dynamic, evaluability-driven ordering.
+    pub fn solve_body_dynamic(
+        &mut self,
+        atoms: &[&Atom],
+        s: &Subst,
+        depth: usize,
+        out: &mut Vec<Subst>,
+    ) -> Result<(), EvalError> {
+        let Some(pick) = (0..atoms.len()).find(|&i| self.ready(atoms[i], s)) else {
+            if atoms.is_empty() {
+                self.counters.derived += 1;
+                out.push(s.clone());
+                return Ok(());
+            }
+            return Err(EvalError::NotEvaluable {
+                atom: s.resolve_atom(atoms[0]).to_string(),
+            });
+        };
+        let mut rest: Vec<&Atom> = atoms.to_vec();
+        let picked = rest.remove(pick);
+        let mut sols = Vec::new();
+        self.solve_atom(picked, s, depth, &mut sols)?;
+        for s2 in sols {
+            self.solve_body_dynamic(&rest, &s2, depth, out)?;
+        }
+        Ok(())
+    }
+
+    /// Convenience: all solutions of `atom` from an empty substitution.
+    pub fn query(&mut self, atom: &Atom) -> Result<Vec<Subst>, EvalError> {
+        let mut out = Vec::new();
+        self.solve_atom(atom, &Subst::new(), 0, &mut out)?;
+        Ok(out)
+    }
+
+    /// Existence checking (§5): finds *one* solution of `atom`, stopping
+    /// at the first success instead of materialising the full answer set.
+    ///
+    /// Goal-directed branches short-circuit genuinely; a subgoal that
+    /// dispatches to the set-oriented chain-split executor still computes
+    /// that subgoal's answer set (its sweeps are not lazy), so the saving
+    /// is in the *enclosing* search.
+    pub fn solve_first(
+        &mut self,
+        atom: &Atom,
+        s: &Subst,
+        depth: usize,
+    ) -> Result<Option<Subst>, EvalError> {
+        self.spend()?;
+        if depth > self.opts.max_depth {
+            return Err(EvalError::DepthExceeded {
+                limit: self.opts.max_depth,
+            });
+        }
+        match eval_builtin(atom, s)? {
+            Some(BuiltinOutcome::Solutions(sols)) => {
+                return Ok(sols.into_iter().next());
+            }
+            Some(BuiltinOutcome::NotEvaluable) => {
+                return Err(EvalError::NotEvaluable {
+                    atom: s.resolve_atom(atom).to_string(),
+                })
+            }
+            None => {}
+        }
+        if self.sys.is_idb(atom.pred) {
+            if let Some(rec) = self.sys.compiled.get(&atom.pred) {
+                if rec.n_chains() >= 1 {
+                    let ad = runtime_adornment(atom, s);
+                    if let Ok(plan) = plan_split(rec, &ad, &self.sys.modes, &[]) {
+                        let mut out = Vec::new();
+                        eval_buffered(self, rec, &plan, atom, s, depth, None, &mut out)?;
+                        return Ok(out.into_iter().next());
+                    }
+                }
+            }
+            let rules: Vec<_> = self.sys.rules_of(atom.pred).into_iter().cloned().collect();
+            for rule in rules {
+                self.counters.considered += 1;
+                let fr = rule.rename(fresh::rename_tag());
+                let mut s2 = s.clone();
+                if !unify_atoms(&mut s2, atom, &fr.head) {
+                    continue;
+                }
+                let body: Vec<&Atom> = fr.body.iter().collect();
+                if let Some(sol) = self.solve_body_first(&body, &s2, depth + 1)? {
+                    return Ok(Some(sol));
+                }
+            }
+            return Ok(None);
+        }
+        if let Some(rel) = self.sys.edb.relation(atom.pred) {
+            let mut out = Vec::new();
+            match_relation(rel, atom, s, &mut self.counters, &mut out);
+            return Ok(out.into_iter().next());
+        }
+        Ok(None)
+    }
+
+    /// First solution of a conjunction (dynamic ordering, short-circuit).
+    fn solve_body_first(
+        &mut self,
+        atoms: &[&Atom],
+        s: &Subst,
+        depth: usize,
+    ) -> Result<Option<Subst>, EvalError> {
+        if atoms.is_empty() {
+            self.counters.derived += 1;
+            return Ok(Some(s.clone()));
+        }
+        let Some(pick) = (0..atoms.len()).find(|&i| self.ready(atoms[i], s)) else {
+            return Err(EvalError::NotEvaluable {
+                atom: s.resolve_atom(atoms[0]).to_string(),
+            });
+        };
+        let mut rest: Vec<&Atom> = atoms.to_vec();
+        let picked = rest.remove(pick);
+        // All candidate solutions of the picked atom, tried lazily against
+        // the rest of the conjunction.
+        let mut sols = Vec::new();
+        self.solve_atom(picked, s, depth, &mut sols)?;
+        for s2 in sols {
+            if let Some(sol) = self.solve_body_first(&rest, &s2, depth)? {
+                return Ok(Some(sol));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::{parse_program, parse_query, Term, Var};
+
+    fn answers(src: &str, query: &str, var: &str) -> Vec<String> {
+        let sys = System::build(&parse_program(src).unwrap());
+        let q = parse_query(query).unwrap();
+        let mut solver = Solver::new(&sys, SolveOptions::default());
+        let sols = solver.query(&q).unwrap();
+        let mut v: Vec<String> = sols
+            .iter()
+            .map(|s| s.resolve(&Term::Var(Var::named(var))).to_string())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    const SORTS: &str = "isort([X | Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+         isort([], []).
+         insert(X, [], [X]).
+         insert(X, [Y | Ys], [Y | Zs]) :- X > Y, insert(X, Ys, Zs).
+         insert(X, [Y | Ys], [X, Y | Ys]) :- X <= Y.";
+
+    #[test]
+    fn isort_via_chain_split() {
+        // The paper's §4.1 worked example: ?- isort([5,7,1], Ys).
+        assert_eq!(answers(SORTS, "isort([5, 7, 1], Ys)", "Ys"), ["[1, 5, 7]"]);
+    }
+
+    #[test]
+    fn insert_via_chain_split() {
+        // §4.1: insert^bbf is evaluated by chain-split with Y buffered.
+        assert_eq!(answers(SORTS, "insert(5, [1, 7], Ys)", "Ys"), ["[1, 5, 7]"]);
+        assert_eq!(answers(SORTS, "insert(1, [], Ys)", "Ys"), ["[1]"]);
+        assert_eq!(answers(SORTS, "insert(7, [1], Ys)", "Ys"), ["[1, 7]"]);
+    }
+
+    #[test]
+    fn qsort_nonlinear() {
+        let src = "qsort([X | Xs], Ys) :- partition(Xs, X, Ls, Bs),
+                 qsort(Ls, SLs), qsort(Bs, SBs), append(SLs, [X | SBs], Ys).
+             qsort([], []).
+             partition([X | Xs], Y, [X | Ls], Bs) :- X <= Y, partition(Xs, Y, Ls, Bs).
+             partition([X | Xs], Y, Ls, [X | Bs]) :- X > Y, partition(Xs, Y, Ls, Bs).
+             partition([], Y, [], []).
+             append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).";
+        // The paper's §4.2 worked example: ?- qsort([4,9,5], Ys).
+        assert_eq!(answers(src, "qsort([4, 9, 5], Ys)", "Ys"), ["[4, 5, 9]"]);
+        assert_eq!(answers(src, "qsort([], Ys)", "Ys"), ["[]"]);
+    }
+
+    #[test]
+    fn edb_and_nonrecursive() {
+        let src = "parent(adam, cain). parent(adam, abel).
+             gp(X, Z) :- parent(X, Y), parent(Y, Z).
+             parent(cain, enoch).";
+        assert_eq!(answers(src, "parent(adam, X)", "X"), ["abel", "cain"]);
+        assert_eq!(answers(src, "gp(adam, Z)", "Z"), ["enoch"]);
+    }
+
+    #[test]
+    fn sg_function_free() {
+        let src = "parent(c1, p1). parent(c2, p1). parent(g1, c1). parent(g2, c2).
+             sibling(c1, c2). sibling(c2, c1).
+             sg(X, Y) :- sibling(X, Y).
+             sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).";
+        assert_eq!(answers(src, "sg(g1, Y)", "Y"), ["g2"]);
+        assert_eq!(answers(src, "sg(c1, Y)", "Y"), ["c2"]);
+    }
+
+    #[test]
+    fn unbound_functional_query_errors() {
+        let sys = System::build(&parse_program(SORTS).unwrap());
+        let q = parse_query("isort(Xs, Ys)").unwrap();
+        let mut solver = Solver::new(&sys, SolveOptions::default());
+        assert!(solver.query(&q).is_err());
+    }
+
+    #[test]
+    fn fuel_budget_applies() {
+        let src = "p(X) :- p(X).
+             p(a).";
+        let sys = System::build(&parse_program(src).unwrap());
+        let q = parse_query("p(a)").unwrap();
+        let mut solver = Solver::new(
+            &sys,
+            SolveOptions {
+                max_depth: 50,
+                fuel: 10_000,
+                max_levels: 100,
+            },
+        );
+        assert!(solver.query(&q).is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! The compiled system: everything the evaluators share.
+//!
+//! [`System::build`] runs the LogicBase-style compilation pipeline once per
+//! program: split EDB facts from IDB rules, rectify, build the dependency
+//! graph, classify and chain-compile every IDB predicate, and register the
+//! finite-evaluability modes of IDB predicates by a greatest-fixpoint
+//! analysis (assume every adornment admissible, repeatedly strike the ones
+//! some rule cannot be ordered for, until stable — the coinductive reading
+//! is correct because striking is monotone).
+
+use chainsplit_chain::{
+    classify, compile, greedy_closure, rectify_program, CompiledRecursion, DepGraph, ModeTable,
+    RecursionClass,
+};
+use chainsplit_logic::{adorn::term_bound, Ad, Adornment, Atom, Pred, Program, Rule, Var};
+use chainsplit_relation::Database;
+use std::collections::{BTreeMap, HashSet};
+
+/// A fully compiled deductive database program.
+pub struct System {
+    /// The IDB rules exactly as written (top-down baselines run on these:
+    /// head unification does the structural decomposition).
+    pub original_rules: Vec<Rule>,
+    /// The rectified IDB rules (everything else runs on these).
+    pub rectified: Program,
+    /// The extensional database.
+    pub edb: Database,
+    /// Finite-evaluability modes: builtins, EDB, and registered IDB modes.
+    pub modes: ModeTable,
+    /// Dependency graph over the rectified rules.
+    pub graph: DepGraph,
+    /// Chain-compiled recursions (linear and nested linear predicates).
+    pub compiled: BTreeMap<Pred, CompiledRecursion>,
+    /// Recursion class of every IDB predicate.
+    pub classes: BTreeMap<Pred, RecursionClass>,
+}
+
+impl System {
+    /// Compiles `program` (facts + rules) into a system.
+    pub fn build(program: &Program) -> System {
+        let (facts, rules) = program.split_facts();
+        let edb = Database::from_facts(facts);
+        Self::build_parts(rules, edb)
+    }
+
+    /// Compiles from pre-split parts.
+    pub fn build_parts(rules: Vec<Rule>, edb: Database) -> System {
+        let rules_prog = Program::new(rules.clone());
+        let rectified = rectify_program(&rules_prog);
+        let graph = DepGraph::build(&rectified);
+
+        let mut modes = ModeTable::with_builtins();
+        let idb: HashSet<Pred> = rectified.rules.iter().map(|r| r.head.pred).collect();
+        let mut edb_list: Vec<Pred> = Vec::new();
+        for p in edb.preds().chain(rectified.edb_preds()) {
+            if !chainsplit_chain::is_builtin(p) && !idb.contains(&p) && !edb_list.contains(&p) {
+                edb_list.push(p);
+            }
+        }
+        for &p in &edb_list {
+            modes.add_edb(p);
+        }
+
+        let mut classes = BTreeMap::new();
+        let mut compiled = BTreeMap::new();
+        for &p in &idb {
+            let c = classify(&rectified, &graph, p);
+            classes.insert(p, c.class);
+            if matches!(
+                c.class,
+                RecursionClass::Linear | RecursionClass::NestedLinear
+            ) {
+                if let Ok(rec) = compile(&rectified, &graph, p) {
+                    compiled.insert(p, rec);
+                }
+            }
+        }
+
+        register_idb_modes(&rectified, &idb, &edb_list, &mut modes);
+
+        System {
+            original_rules: rules,
+            rectified,
+            edb,
+            modes,
+            graph,
+            compiled,
+            classes,
+        }
+    }
+
+    /// The recursion class of `pred` (`NonRecursive` if unknown).
+    pub fn class_of(&self, pred: Pred) -> RecursionClass {
+        self.classes
+            .get(&pred)
+            .copied()
+            .unwrap_or(RecursionClass::NonRecursive)
+    }
+
+    /// True iff `pred` is intensional.
+    pub fn is_idb(&self, pred: Pred) -> bool {
+        self.classes.contains_key(&pred)
+    }
+
+    /// The rectified rules defining `pred`.
+    pub fn rules_of(&self, pred: Pred) -> Vec<&Rule> {
+        self.rectified.rules_for(pred).collect()
+    }
+}
+
+/// Enumerate adornments of a given arity (all 2^arity patterns; predicates
+/// wider than this cap only get the all-bound and all-free patterns —
+/// nothing in the paper's repertoire comes close to the cap).
+fn adornments_of(arity: usize) -> Vec<Adornment> {
+    const CAP: usize = 10;
+    if arity > CAP {
+        return vec![Adornment::all_bound(arity), Adornment::all_free(arity)];
+    }
+    (0..(1usize << arity))
+        .map(|bits| {
+            Adornment(
+                (0..arity)
+                    .map(|i| {
+                        if bits & (1 << i) != 0 {
+                            Ad::Bound
+                        } else {
+                            Ad::Free
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Greatest-fixpoint registration of IDB modes.
+///
+/// `p^ad` is admissible iff *every* rule of `p` can be fully ordered by
+/// finite evaluability — treating recursive calls as finite under the
+/// currently-assumed modes — ending with all head variables bound.
+fn register_idb_modes(
+    rectified: &Program,
+    idb: &HashSet<Pred>,
+    edb_list: &[Pred],
+    modes: &mut ModeTable,
+) {
+    // Assume everything.
+    let mut assumed: Vec<(Pred, Adornment)> = Vec::new();
+    for &p in idb {
+        for ad in adornments_of(p.arity as usize) {
+            modes.add_mode(p, ad.clone());
+            assumed.push((p, ad));
+        }
+    }
+    // Strike failures until stable.
+    loop {
+        let mut struck: Vec<(Pred, Adornment)> = Vec::new();
+        for (p, ad) in &assumed {
+            if !mode_admissible(rectified, *p, ad, modes) {
+                struck.push((*p, ad.clone()));
+            }
+        }
+        if struck.is_empty() {
+            break;
+        }
+        // Rebuild the table without the struck modes (ModeTable has no
+        // removal on purpose — striking rebuilds).
+        let mut fresh = ModeTable::with_builtins();
+        for &p in edb_list {
+            fresh.add_edb(p);
+        }
+        assumed.retain(|e| !struck.contains(e));
+        for (p, ad) in &assumed {
+            fresh.add_mode(*p, ad.clone());
+        }
+        *modes = fresh;
+    }
+    let _ = idb;
+}
+
+/// Can every rule of `p` be ordered under `ad`?
+fn mode_admissible(rectified: &Program, p: Pred, ad: &Adornment, modes: &ModeTable) -> bool {
+    rectified.rules_for(p).all(|rule| {
+        let mut bound: HashSet<Var> = HashSet::new();
+        for (j, arg) in rule.head.args.iter().enumerate() {
+            if ad.0[j].is_bound() {
+                for v in arg.vars() {
+                    bound.insert(v);
+                }
+            }
+        }
+        let atoms: Vec<(usize, &Atom)> = rule.body.iter().enumerate().collect();
+        let order = greedy_closure(&atoms, &mut bound, modes, &[]);
+        order.len() == rule.body.len() && rule.head.args.iter().all(|t| term_bound(t, &bound))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::parse_program;
+
+    fn sys(src: &str) -> System {
+        System::build(&parse_program(src).unwrap())
+    }
+
+    const SORTS: &str = "isort([X | Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+         isort([], []).
+         insert(X, [], [X]).
+         insert(X, [Y | Ys], [Y | Zs]) :- X > Y, insert(X, Ys, Zs).
+         insert(X, [Y | Ys], [X, Y | Ys]) :- X <= Y.
+         append([], L, L).
+         append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).";
+
+    #[test]
+    fn isort_modes_registered() {
+        let s = sys(SORTS);
+        let isort = Pred::new("isort", 2);
+        let insert = Pred::new("insert", 3);
+        let append = Pred::new("append", 3);
+        assert!(s.modes.is_finite(isort, &Adornment::parse("bf")));
+        assert!(!s.modes.is_finite(isort, &Adornment::parse("ff")));
+        assert!(s.modes.is_finite(insert, &Adornment::parse("bbf")));
+        assert!(!s.modes.is_finite(insert, &Adornment::parse("bff")));
+        assert!(s.modes.is_finite(append, &Adornment::parse("ffb")));
+        assert!(s.modes.is_finite(append, &Adornment::parse("bbf")));
+        assert!(!s.modes.is_finite(append, &Adornment::parse("fff")));
+    }
+
+    #[test]
+    fn isort_fb_is_admissible_coinductively() {
+        // ?- isort(Xs, [1, 2, 3]): the inputs are the 3! permutations — a
+        // finite set. The coinductive mode analysis establishes this
+        // through insert^ffb (un-inserting an element from a sorted list
+        // is finite), a mode that is only self-consistently admissible:
+        // exactly what the greatest fixpoint is for.
+        let s = sys(SORTS);
+        assert!(s
+            .modes
+            .is_finite(Pred::new("isort", 2), &Adornment::parse("fb")));
+        assert!(s
+            .modes
+            .is_finite(Pred::new("insert", 3), &Adornment::parse("ffb")));
+    }
+
+    #[test]
+    fn classes_and_compiled() {
+        let s = sys(SORTS);
+        assert_eq!(
+            s.class_of(Pred::new("isort", 2)),
+            RecursionClass::NestedLinear
+        );
+        assert_eq!(s.class_of(Pred::new("insert", 3)), RecursionClass::Linear);
+        assert_eq!(s.class_of(Pred::new("append", 3)), RecursionClass::Linear);
+        assert!(s.compiled.contains_key(&Pred::new("append", 3)));
+        assert!(s.compiled.contains_key(&Pred::new("isort", 2)));
+    }
+
+    #[test]
+    fn qsort_modes() {
+        let s = sys("qsort([X | Xs], Ys) :- partition(Xs, X, Ls, Bs),
+                 qsort(Ls, SLs), qsort(Bs, SBs), append(SLs, [X | SBs], Ys).
+             qsort([], []).
+             partition([X | Xs], Y, [X | Ls], Bs) :- X <= Y, partition(Xs, Y, Ls, Bs).
+             partition([X | Xs], Y, Ls, [X | Bs]) :- X > Y, partition(Xs, Y, Ls, Bs).
+             partition([], Y, [], []).
+             append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).");
+        assert!(s
+            .modes
+            .is_finite(Pred::new("qsort", 2), &Adornment::parse("bf")));
+        assert!(!s
+            .modes
+            .is_finite(Pred::new("qsort", 2), &Adornment::parse("ff")));
+        assert!(s
+            .modes
+            .is_finite(Pred::new("partition", 4), &Adornment::parse("bbff")));
+        assert_eq!(s.class_of(Pred::new("qsort", 2)), RecursionClass::NonLinear);
+    }
+
+    #[test]
+    fn function_free_idb_is_fully_admissible() {
+        let s = sys("sg(X, Y) :- sibling(X, Y).
+             sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+             parent(a, b). sibling(b, b).");
+        for ad in ["bf", "fb", "bb", "ff"] {
+            assert!(
+                s.modes.is_finite(Pred::new("sg", 2), &Adornment::parse(ad)),
+                "sg^{ad}"
+            );
+        }
+        assert!(s.modes.is_edb(Pred::new("parent", 2)));
+        assert!(s.is_idb(Pred::new("sg", 2)));
+        assert!(!s.is_idb(Pred::new("parent", 2)));
+    }
+
+    #[test]
+    fn edb_from_body_without_facts() {
+        // `parent` has no facts yet, but it is extensional by position.
+        let s = sys("anc(X, Y) :- parent(X, Y).
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).");
+        assert!(s.modes.is_edb(Pred::new("parent", 2)));
+    }
+}

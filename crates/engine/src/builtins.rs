@@ -1,0 +1,565 @@
+//! Procedural evaluation of builtin (evaluable) predicates.
+//!
+//! These are the functional predicates rectification introduces (`cons`,
+//! arithmetic) plus comparisons and (dis)equality. Each is a *relation over
+//! an infinite domain*: it cannot be stored, only evaluated — and only under
+//! sufficient bindings (the modes of [`chainsplit_chain::modes`]). When
+//! bindings are insufficient, evaluation reports [`BuiltinOutcome::NotEvaluable`]
+//! rather than guessing; the planner's job is to order atoms so this never
+//! happens at run time.
+
+use crate::error::EvalError;
+use chainsplit_logic::{unify, Atom, Subst, Term};
+use std::sync::Arc;
+
+/// Result of attempting one builtin under one substitution.
+#[derive(Debug)]
+pub enum BuiltinOutcome {
+    /// The (0 or more, in practice 0 or 1) solutions.
+    Solutions(Vec<Subst>),
+    /// Not enough bindings to evaluate finitely here.
+    NotEvaluable,
+}
+
+use BuiltinOutcome::{NotEvaluable, Solutions};
+
+/// True iff the engine evaluates `atom` procedurally.
+pub fn is_builtin_atom(atom: &Atom) -> bool {
+    chainsplit_chain::is_builtin(atom.pred)
+}
+
+/// Evaluates a builtin atom under `s`.
+///
+/// Returns `Ok(None)` if `atom` is not a builtin at all; `Err` on type
+/// errors (ill-typed *ground* arguments are program bugs worth surfacing,
+/// not silent empty results — except for genuinely relational failures like
+/// `cons(X, Y, [])`, which simply fail).
+pub fn eval_builtin(atom: &Atom, s: &Subst) -> Result<Option<BuiltinOutcome>, EvalError> {
+    if !is_builtin_atom(atom) {
+        return Ok(None);
+    }
+    let name = atom.pred.name.as_str();
+    let out = match name {
+        "=" => eval_eq(atom, s),
+        "\\=" => eval_neq(atom, s)?,
+        "<" | "<=" | ">" | ">=" => eval_cmp(name, atom, s)?,
+        "cons" => eval_cons(atom, s),
+        "plus" => eval_arith(atom, s, i64::checked_add, i64::checked_sub)?,
+        "minus" => eval_minus(atom, s)?,
+        "times" => eval_times(atom, s)?,
+        "div" | "mod" => eval_divmod(name, atom, s)?,
+        "length" => eval_length(atom, s),
+        "between" => eval_between(atom, s)?,
+        "abs" => eval_abs(atom, s)?,
+        other => unreachable!("builtin table out of sync: {other}"),
+    };
+    Ok(Some(out))
+}
+
+fn one(s: Subst) -> BuiltinOutcome {
+    Solutions(vec![s])
+}
+
+fn zero() -> BuiltinOutcome {
+    Solutions(vec![])
+}
+
+/// `=`: plain unification. Always evaluable — aliasing two free variables
+/// is a legitimate (and finite) outcome.
+fn eval_eq(atom: &Atom, s: &Subst) -> BuiltinOutcome {
+    let mut s2 = s.clone();
+    if unify(&mut s2, &atom.args[0], &atom.args[1]) {
+        one(s2)
+    } else {
+        zero()
+    }
+}
+
+/// `\=`: structural disequality of ground terms.
+fn eval_neq(atom: &Atom, s: &Subst) -> Result<BuiltinOutcome, EvalError> {
+    if !s.is_ground(&atom.args[0]) || !s.is_ground(&atom.args[1]) {
+        return Ok(NotEvaluable);
+    }
+    let a = s.resolve(&atom.args[0]);
+    let b = s.resolve(&atom.args[1]);
+    Ok(if a != b { one(s.clone()) } else { zero() })
+}
+
+/// Comparisons over integers, or symbols lexicographically (mixing the two
+/// is a type error).
+fn eval_cmp(op: &str, atom: &Atom, s: &Subst) -> Result<BuiltinOutcome, EvalError> {
+    if !s.is_ground(&atom.args[0]) || !s.is_ground(&atom.args[1]) {
+        return Ok(NotEvaluable);
+    }
+    let a = s.resolve(&atom.args[0]);
+    let b = s.resolve(&atom.args[1]);
+    let ord = match (&a, &b) {
+        (Term::Int(x), Term::Int(y)) => x.cmp(y),
+        (Term::Sym(x), Term::Sym(y)) => x.as_str().cmp(y.as_str()),
+        _ => {
+            return Err(EvalError::TypeError {
+                atom: s.resolve_atom(atom).to_string(),
+            })
+        }
+    };
+    let holds = match op {
+        "<" => ord.is_lt(),
+        "<=" => ord.is_le(),
+        ">" => ord.is_gt(),
+        ">=" => ord.is_ge(),
+        _ => unreachable!(),
+    };
+    Ok(if holds { one(s.clone()) } else { zero() })
+}
+
+/// `cons(H, T, L)` ⇔ `L = [H|T]`.
+///
+/// Decomposes when `L` leads to a cons cell (or fails on `[]`/other);
+/// constructs when `L` is a free variable. Construction does not require
+/// `H`/`T` to be ground — top-down resolution legitimately builds open
+/// lists — so the *finiteness* question is the planner's, not ours.
+fn eval_cons(atom: &Atom, s: &Subst) -> BuiltinOutcome {
+    let l = s.walk(&atom.args[2]).clone();
+    match l {
+        Term::Cons(h, t) => {
+            let mut s2 = s.clone();
+            if unify(&mut s2, &atom.args[0], &h) && unify(&mut s2, &atom.args[1], &t) {
+                one(s2)
+            } else {
+                zero()
+            }
+        }
+        Term::Var(_) => {
+            let cell = Term::Cons(
+                Arc::new(s.resolve(&atom.args[0])),
+                Arc::new(s.resolve(&atom.args[1])),
+            );
+            let mut s2 = s.clone();
+            if unify(&mut s2, &atom.args[2], &cell) {
+                one(s2)
+            } else {
+                zero()
+            }
+        }
+        // [] or a non-list constant is simply not a cons cell.
+        _ => zero(),
+    }
+}
+
+fn ground_int(s: &Subst, t: &Term, atom: &Atom) -> Result<Option<i64>, EvalError> {
+    match s.walk(t) {
+        Term::Int(i) => Ok(Some(*i)),
+        Term::Var(_) => Ok(None),
+        _ => Err(EvalError::TypeError {
+            atom: s.resolve_atom(atom).to_string(),
+        }),
+    }
+}
+
+/// `plus(X, Y, Z)` ⇔ `Z = X + Y`, invertible in any single position.
+fn eval_arith(
+    atom: &Atom,
+    s: &Subst,
+    fwd: fn(i64, i64) -> Option<i64>,
+    inv: fn(i64, i64) -> Option<i64>,
+) -> Result<BuiltinOutcome, EvalError> {
+    let x = ground_int(s, &atom.args[0], atom)?;
+    let y = ground_int(s, &atom.args[1], atom)?;
+    let z = ground_int(s, &atom.args[2], atom)?;
+    let (pos, val) = match (x, y, z) {
+        (Some(x), Some(y), _) => (2, fwd(x, y)),
+        (Some(x), _, Some(z)) => (1, inv(z, x)),
+        (_, Some(y), Some(z)) => (0, inv(z, y)),
+        _ => return Ok(NotEvaluable),
+    };
+    let Some(val) = val else {
+        return Err(EvalError::TypeError {
+            atom: format!("integer overflow in {}", s.resolve_atom(atom)),
+        });
+    };
+    let mut s2 = s.clone();
+    Ok(if unify(&mut s2, &atom.args[pos], &Term::Int(val)) {
+        one(s2)
+    } else {
+        zero()
+    })
+}
+
+/// `minus(X, Y, Z)` ⇔ `Z = X - Y`.
+fn eval_minus(atom: &Atom, s: &Subst) -> Result<BuiltinOutcome, EvalError> {
+    let x = ground_int(s, &atom.args[0], atom)?;
+    let y = ground_int(s, &atom.args[1], atom)?;
+    let z = ground_int(s, &atom.args[2], atom)?;
+    let (pos, val) = match (x, y, z) {
+        (Some(x), Some(y), _) => (2, x.checked_sub(y)),
+        (Some(x), _, Some(z)) => (1, x.checked_sub(z)),
+        (_, Some(y), Some(z)) => (0, z.checked_add(y)),
+        _ => return Ok(NotEvaluable),
+    };
+    let Some(val) = val else {
+        return Err(EvalError::TypeError {
+            atom: format!("integer overflow in {}", s.resolve_atom(atom)),
+        });
+    };
+    let mut s2 = s.clone();
+    Ok(if unify(&mut s2, &atom.args[pos], &Term::Int(val)) {
+        one(s2)
+    } else {
+        zero()
+    })
+}
+
+/// `times(X, Y, Z)` ⇔ `Z = X * Y`; inversion fails (empty) when the
+/// division does not come out even, and is not evaluable for `0 * Y = 0`
+/// (infinitely many `Y`).
+fn eval_times(atom: &Atom, s: &Subst) -> Result<BuiltinOutcome, EvalError> {
+    let x = ground_int(s, &atom.args[0], atom)?;
+    let y = ground_int(s, &atom.args[1], atom)?;
+    let z = ground_int(s, &atom.args[2], atom)?;
+    let invert = |known: i64, prod: i64| -> Option<Option<i64>> {
+        // Outer None: not evaluable. Inner None: no solution.
+        if known == 0 {
+            if prod == 0 {
+                None
+            } else {
+                Some(None)
+            }
+        } else if prod % known == 0 {
+            Some(Some(prod / known))
+        } else {
+            Some(None)
+        }
+    };
+    let (pos, val) = match (x, y, z) {
+        (Some(x), Some(y), _) => match x.checked_mul(y) {
+            Some(v) => (2, Some(v)),
+            None => {
+                return Err(EvalError::TypeError {
+                    atom: format!("integer overflow in {}", s.resolve_atom(atom)),
+                })
+            }
+        },
+        (Some(x), _, Some(z)) => match invert(x, z) {
+            Some(v) => (1, v),
+            None => return Ok(NotEvaluable),
+        },
+        (_, Some(y), Some(z)) => match invert(y, z) {
+            Some(v) => (0, v),
+            None => return Ok(NotEvaluable),
+        },
+        _ => return Ok(NotEvaluable),
+    };
+    let Some(val) = val else { return Ok(zero()) };
+    let mut s2 = s.clone();
+    Ok(if unify(&mut s2, &atom.args[pos], &Term::Int(val)) {
+        one(s2)
+    } else {
+        zero()
+    })
+}
+
+/// `div`/`mod`: forward direction only (truncating, like Rust).
+fn eval_divmod(op: &str, atom: &Atom, s: &Subst) -> Result<BuiltinOutcome, EvalError> {
+    let (Some(x), Some(y)) = (
+        ground_int(s, &atom.args[0], atom)?,
+        ground_int(s, &atom.args[1], atom)?,
+    ) else {
+        return Ok(NotEvaluable);
+    };
+    if y == 0 {
+        return Err(EvalError::TypeError {
+            atom: format!("division by zero in {}", s.resolve_atom(atom)),
+        });
+    }
+    let val = if op == "div" { x / y } else { x % y };
+    let mut s2 = s.clone();
+    Ok(if unify(&mut s2, &atom.args[2], &Term::Int(val)) {
+        one(s2)
+    } else {
+        zero()
+    })
+}
+
+/// `between(L, H, X)`: enumerates the integers `L..=H` (or checks
+/// membership when `X` is bound).
+fn eval_between(atom: &Atom, s: &Subst) -> Result<BuiltinOutcome, EvalError> {
+    let (Some(lo), Some(hi)) = (
+        ground_int(s, &atom.args[0], atom)?,
+        ground_int(s, &atom.args[1], atom)?,
+    ) else {
+        return Ok(NotEvaluable);
+    };
+    if let Some(x) = ground_int(s, &atom.args[2], atom)? {
+        return Ok(if (lo..=hi).contains(&x) {
+            one(s.clone())
+        } else {
+            zero()
+        });
+    }
+    let mut sols = Vec::new();
+    for x in lo..=hi {
+        let mut s2 = s.clone();
+        if unify(&mut s2, &atom.args[2], &Term::Int(x)) {
+            sols.push(s2);
+        }
+    }
+    Ok(Solutions(sols))
+}
+
+/// `abs(X, Y)`: `Y = |X|`, invertible (a bound `Y` yields `Y` and `-Y`).
+fn eval_abs(atom: &Atom, s: &Subst) -> Result<BuiltinOutcome, EvalError> {
+    let x = ground_int(s, &atom.args[0], atom)?;
+    let y = ground_int(s, &atom.args[1], atom)?;
+    match (x, y) {
+        (Some(x), _) => {
+            let Some(a) = x.checked_abs() else {
+                return Err(EvalError::TypeError {
+                    atom: format!("integer overflow in {}", s.resolve_atom(atom)),
+                });
+            };
+            let mut s2 = s.clone();
+            Ok(if unify(&mut s2, &atom.args[1], &Term::Int(a)) {
+                one(s2)
+            } else {
+                zero()
+            })
+        }
+        (None, Some(y)) if y < 0 => Ok(zero()),
+        (None, Some(y)) => {
+            let mut sols = Vec::new();
+            for cand in [y, -y] {
+                let mut s2 = s.clone();
+                if unify(&mut s2, &atom.args[0], &Term::Int(cand)) {
+                    sols.push(s2);
+                }
+            }
+            sols.dedup_by(|a, b| a == b);
+            if y == 0 {
+                sols.truncate(1);
+            }
+            Ok(Solutions(sols))
+        }
+        _ => Ok(NotEvaluable),
+    }
+}
+
+/// `length(L, N)`: list length, forward direction.
+fn eval_length(atom: &Atom, s: &Subst) -> BuiltinOutcome {
+    let l = s.resolve(&atom.args[0]);
+    let Some(elems) = l.as_list() else {
+        return NotEvaluable;
+    };
+    let mut s2 = s.clone();
+    if unify(&mut s2, &atom.args[1], &Term::Int(elems.len() as i64)) {
+        one(s2)
+    } else {
+        zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::parse_query;
+
+    fn run(src: &str) -> Result<Option<BuiltinOutcome>, EvalError> {
+        eval_builtin(&parse_query(src).unwrap(), &Subst::new())
+    }
+
+    fn solutions(src: &str) -> Vec<Subst> {
+        match run(src).unwrap().unwrap() {
+            Solutions(v) => v,
+            NotEvaluable => panic!("{src} not evaluable"),
+        }
+    }
+
+    #[test]
+    fn non_builtin_passes_through() {
+        assert!(run("parent(a, X)").unwrap().is_none());
+    }
+
+    #[test]
+    fn eq_unifies() {
+        let sols = solutions("X = [1, 2]");
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].resolve(&Term::var("X")), Term::int_list([1, 2]));
+        assert!(solutions("1 = 2").is_empty());
+    }
+
+    #[test]
+    fn neq_needs_ground() {
+        assert!(matches!(run("X \\= 2").unwrap().unwrap(), NotEvaluable));
+        assert_eq!(solutions("1 \\= 2").len(), 1);
+        assert!(solutions("a \\= a").is_empty());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(solutions("1 < 2").len(), 1);
+        assert!(solutions("2 < 1").is_empty());
+        assert_eq!(solutions("2 <= 2").len(), 1);
+        assert_eq!(solutions("5 > -1").len(), 1);
+        assert_eq!(solutions("abc >= abb").len(), 1); // lexicographic
+        assert!(matches!(run("X < 2").unwrap().unwrap(), NotEvaluable));
+        assert!(run("a < 2").is_err()); // mixed types
+    }
+
+    #[test]
+    fn cons_decomposes() {
+        let sols = solutions("cons(H, T, [5, 7, 1])");
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].resolve(&Term::var("H")), Term::Int(5));
+        assert_eq!(sols[0].resolve(&Term::var("T")), Term::int_list([7, 1]));
+    }
+
+    #[test]
+    fn cons_constructs() {
+        let sols = solutions("cons(5, [7, 1], L)");
+        assert_eq!(sols[0].resolve(&Term::var("L")), Term::int_list([5, 7, 1]));
+    }
+
+    #[test]
+    fn cons_fails_on_nil_and_nonlist() {
+        assert!(solutions("cons(H, T, [])").is_empty());
+        assert!(solutions("cons(H, T, 42)").is_empty());
+    }
+
+    #[test]
+    fn cons_checks() {
+        assert_eq!(solutions("cons(1, [2], [1, 2])").len(), 1);
+        assert!(solutions("cons(9, [2], [1, 2])").is_empty());
+    }
+
+    #[test]
+    fn plus_all_directions() {
+        let s = solutions("plus(2, 3, Z)");
+        assert_eq!(s[0].resolve(&Term::var("Z")), Term::Int(5));
+        let s = solutions("plus(2, Y, 5)");
+        assert_eq!(s[0].resolve(&Term::var("Y")), Term::Int(3));
+        let s = solutions("plus(X, 3, 5)");
+        assert_eq!(s[0].resolve(&Term::var("X")), Term::Int(2));
+        assert!(solutions("plus(2, 3, 6)").is_empty());
+        assert!(matches!(
+            run("plus(2, Y, Z)").unwrap().unwrap(),
+            NotEvaluable
+        ));
+    }
+
+    #[test]
+    fn minus_all_directions() {
+        assert_eq!(
+            solutions("minus(7, 3, Z)")[0].resolve(&Term::var("Z")),
+            Term::Int(4)
+        );
+        assert_eq!(
+            solutions("minus(7, Y, 4)")[0].resolve(&Term::var("Y")),
+            Term::Int(3)
+        );
+        assert_eq!(
+            solutions("minus(X, 3, 4)")[0].resolve(&Term::var("X")),
+            Term::Int(7)
+        );
+    }
+
+    #[test]
+    fn times_inversion() {
+        assert_eq!(
+            solutions("times(6, 7, Z)")[0].resolve(&Term::var("Z")),
+            Term::Int(42)
+        );
+        assert_eq!(
+            solutions("times(6, Y, 42)")[0].resolve(&Term::var("Y")),
+            Term::Int(7)
+        );
+        assert!(solutions("times(6, Y, 43)").is_empty()); // uneven
+        assert!(solutions("times(0, Y, 5)").is_empty()); // 0 * Y = 5
+        assert!(matches!(
+            run("times(0, Y, 0)").unwrap().unwrap(),
+            NotEvaluable
+        )); // infinitely many Y
+    }
+
+    #[test]
+    fn div_mod_forward_only() {
+        assert_eq!(
+            solutions("div(7, 2, Z)")[0].resolve(&Term::var("Z")),
+            Term::Int(3)
+        );
+        assert_eq!(
+            solutions("mod(7, 2, Z)")[0].resolve(&Term::var("Z")),
+            Term::Int(1)
+        );
+        assert!(run("div(7, 0, Z)").is_err());
+        assert!(matches!(
+            run("div(X, 2, 3)").unwrap().unwrap(),
+            NotEvaluable
+        ));
+    }
+
+    #[test]
+    fn length_forward() {
+        assert_eq!(
+            solutions("length([4, 9, 5], N)")[0].resolve(&Term::var("N")),
+            Term::Int(3)
+        );
+        assert_eq!(
+            solutions("length([], N)")[0].resolve(&Term::var("N")),
+            Term::Int(0)
+        );
+        assert!(matches!(
+            run("length(L, 3)").unwrap().unwrap(),
+            NotEvaluable
+        ));
+        assert!(solutions("length([1], 5)").is_empty());
+    }
+
+    #[test]
+    fn overflow_is_a_type_error_not_a_panic() {
+        assert!(run("plus(9223372036854775807, 1, Z)").is_err());
+        assert!(run("times(9223372036854775807, 2, Z)").is_err());
+    }
+}
+
+#[cfg(test)]
+mod between_abs_tests {
+    use super::*;
+    use chainsplit_logic::{parse_query, Subst, Term};
+
+    fn solutions(src: &str) -> Vec<Subst> {
+        match eval_builtin(&parse_query(src).unwrap(), &Subst::new())
+            .unwrap()
+            .unwrap()
+        {
+            Solutions(v) => v,
+            NotEvaluable => panic!("{src} not evaluable"),
+        }
+    }
+
+    #[test]
+    fn between_enumerates() {
+        let sols = solutions("between(2, 5, X)");
+        let xs: Vec<Term> = sols.iter().map(|s| s.resolve(&Term::var("X"))).collect();
+        assert_eq!(xs, [Term::Int(2), Term::Int(3), Term::Int(4), Term::Int(5)]);
+        assert!(solutions("between(5, 2, X)").is_empty());
+    }
+
+    #[test]
+    fn between_checks() {
+        assert_eq!(solutions("between(1, 9, 4)").len(), 1);
+        assert!(solutions("between(1, 9, 10)").is_empty());
+    }
+
+    #[test]
+    fn abs_forward_and_backward() {
+        assert_eq!(
+            solutions("abs(-7, Y)")[0].resolve(&Term::var("Y")),
+            Term::Int(7)
+        );
+        let sols = solutions("abs(X, 7)");
+        assert_eq!(sols.len(), 2);
+        assert!(solutions("abs(X, -3)").is_empty());
+        assert_eq!(solutions("abs(X, 0)").len(), 1);
+        assert_eq!(solutions("abs(3, 3)").len(), 1);
+        assert!(solutions("abs(3, 4)").is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Evaluation errors and resource budgets.
+
+use std::fmt;
+
+/// An evaluation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A rule body could not be ordered so that every atom is evaluable —
+    /// the query is not finitely evaluable by this method.
+    NotEvaluable { atom: String },
+    /// A builtin was applied to ill-typed ground arguments
+    /// (e.g. `foo < 3`).
+    TypeError { atom: String },
+    /// Top-down resolution exceeded its depth budget.
+    DepthExceeded { limit: usize },
+    /// The evaluator exceeded its step budget (used by benchmarks to turn
+    /// divergence into a reported DNF instead of a hang).
+    FuelExceeded { limit: usize },
+    /// The method does not apply to this program/query shape.
+    Unsupported { reason: String },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NotEvaluable { atom } => {
+                write!(f, "atom `{atom}` is not finitely evaluable here")
+            }
+            EvalError::TypeError { atom } => write!(f, "type error evaluating `{atom}`"),
+            EvalError::DepthExceeded { limit } => {
+                write!(f, "resolution depth limit {limit} exceeded")
+            }
+            EvalError::FuelExceeded { limit } => write!(f, "step budget {limit} exceeded"),
+            EvalError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Work counters shared by all evaluators; benchmark tables report these
+/// alongside wall-clock so the paper's ordinal claims can be checked on
+/// machine-independent numbers.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Counters {
+    /// Facts newly derived (tuples inserted into IDB relations, buffered
+    /// nodes created, answers produced).
+    pub derived: usize,
+    /// Candidate derivations considered (join attempts / unifications).
+    pub considered: usize,
+    /// Fixpoint rounds or chain levels processed.
+    pub iterations: usize,
+    /// Magic-set tuples derived (magic-sets methods only).
+    pub magic_facts: usize,
+    /// Peak number of simultaneously buffered tuples (chain-split
+    /// methods only).
+    pub buffered_peak: usize,
+}
+
+impl Counters {
+    pub fn add(&mut self, other: &Counters) {
+        self.derived += other.derived;
+        self.considered += other.considered;
+        self.iterations += other.iterations;
+        self.magic_facts += other.magic_facts;
+        self.buffered_peak = self.buffered_peak.max(other.buffered_peak);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_takes_max_of_peaks() {
+        let mut a = Counters {
+            derived: 1,
+            considered: 2,
+            iterations: 3,
+            magic_facts: 4,
+            buffered_peak: 10,
+        };
+        let b = Counters {
+            derived: 10,
+            considered: 20,
+            iterations: 30,
+            magic_facts: 40,
+            buffered_peak: 5,
+        };
+        a.add(&b);
+        assert_eq!(a.derived, 11);
+        assert_eq!(a.buffered_peak, 10);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = EvalError::NotEvaluable {
+            atom: "cons(X, Y, Z)".into(),
+        };
+        assert!(e.to_string().contains("cons"));
+        assert!(EvalError::DepthExceeded { limit: 9 }
+            .to_string()
+            .contains('9'));
+    }
+}

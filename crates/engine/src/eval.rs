@@ -1,0 +1,280 @@
+//! Shared rule-body evaluation machinery.
+//!
+//! Every set-oriented evaluator (naive, semi-naive, magic, the chain-split
+//! sweeps in `chainsplit-core`) reduces to the same step: given a rule body
+//! and a set of input substitutions, join the body atoms — builtins
+//! procedurally, stored predicates against their relations — producing the
+//! output substitutions. Atom order is chosen *dynamically*: at each step
+//! the first currently-evaluable atom runs, so builtins wait for their
+//! inputs without any static analysis here (the static story lives in
+//! `chainsplit-chain`; at run time we only need an order to exist).
+
+use crate::builtins::{eval_builtin, is_builtin_atom, BuiltinOutcome};
+use crate::error::{Counters, EvalError};
+use chainsplit_logic::{unify, Atom, Pred, Subst, Term};
+use chainsplit_relation::Relation;
+
+/// Extends `out` with every extension of `s` matching `atom` against `rel`.
+///
+/// Ground arguments become an index key (the relation decides whether an
+/// index exists); remaining arguments unify tuple-by-tuple.
+pub fn match_relation(
+    rel: &Relation,
+    atom: &Atom,
+    s: &Subst,
+    counters: &mut Counters,
+    out: &mut Vec<Subst>,
+) {
+    // Columns whose argument is ground under `s` form the lookup key.
+    let mut cols: Vec<usize> = Vec::new();
+    let mut key: Vec<Term> = Vec::new();
+    for (i, arg) in atom.args.iter().enumerate() {
+        if s.is_ground(arg) {
+            cols.push(i);
+            key.push(s.resolve(arg));
+        }
+    }
+    for tuple in rel.select(&cols, &key) {
+        counters.considered += 1;
+        let mut s2 = s.clone();
+        let ok = atom
+            .args
+            .iter()
+            .zip(tuple.fields())
+            .all(|(a, f)| unify(&mut s2, a, f));
+        if ok {
+            out.push(s2);
+        }
+    }
+}
+
+/// Where a body atom finds its tuples.
+#[derive(Clone, Copy)]
+pub enum AtomSource<'a> {
+    /// Builtins by procedure; stored predicates via `lookup`.
+    Auto,
+    /// Use exactly this relation (semi-naive delta occurrences).
+    Fixed(&'a Relation),
+}
+
+/// Evaluates a rule body against `lookup`, starting from `init`.
+///
+/// `body` pairs each atom with its [`AtomSource`]. `lookup` resolves a
+/// predicate to its current relation; `None` means an empty extension
+/// (an IDB predicate with nothing derived yet).
+///
+/// Returns the substitutions satisfying the whole body. Errors if at some
+/// point no remaining atom is evaluable (a builtin short of bindings) —
+/// the caller shipped a body that is not finitely evaluable in any order.
+pub fn eval_body<'a>(
+    body: &[(&Atom, AtomSource<'a>)],
+    init: Subst,
+    lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
+    counters: &mut Counters,
+) -> Result<Vec<Subst>, EvalError> {
+    let mut remaining: Vec<(&Atom, AtomSource)> = body.to_vec();
+    let mut frontier = vec![init];
+    while !remaining.is_empty() {
+        if frontier.is_empty() {
+            return Ok(vec![]);
+        }
+        // Pick the most useful evaluable atom under the frontier: evaluable
+        // builtins first (they only filter/compute), then stored atoms by
+        // descending bound-argument count — a selective indexed lookup must
+        // run before an unconstrained scan, or joins go cross-product. All
+        // frontier substitutions share the groundness pattern of the
+        // variables bound so far (they came through the same atom prefix),
+        // so probing with the first is representative.
+        let probe = &frontier[0];
+        let score = |a: &Atom, src: &AtomSource| -> Option<(u8, usize)> {
+            match src {
+                AtomSource::Fixed(_) => {
+                    let free = a.args.iter().filter(|t| !probe.is_ground(t)).count();
+                    Some((1, free))
+                }
+                AtomSource::Auto => {
+                    if is_builtin_atom(a) {
+                        if matches!(
+                            eval_builtin(a, probe),
+                            Ok(Some(BuiltinOutcome::NotEvaluable))
+                        ) {
+                            None
+                        } else {
+                            Some((0, 0))
+                        }
+                    } else {
+                        let free = a.args.iter().filter(|t| !probe.is_ground(t)).count();
+                        Some((1, free))
+                    }
+                }
+            }
+        };
+        let pick = remaining
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (a, src))| score(a, src).map(|sc| (sc, i)))
+            .min()
+            .map(|(_, i)| i);
+        let Some(k) = pick else {
+            return Err(EvalError::NotEvaluable {
+                atom: remaining[0].0.to_string(),
+            });
+        };
+        let (atom, src) = remaining.remove(k);
+        let mut next = Vec::new();
+        for s in &frontier {
+            match src {
+                AtomSource::Fixed(rel) => match_relation(rel, atom, s, counters, &mut next),
+                AtomSource::Auto => match eval_builtin(atom, s)? {
+                    Some(BuiltinOutcome::Solutions(sols)) => {
+                        counters.considered += sols.len();
+                        next.extend(sols);
+                    }
+                    Some(BuiltinOutcome::NotEvaluable) => {
+                        return Err(EvalError::NotEvaluable {
+                            atom: s.resolve_atom(atom).to_string(),
+                        })
+                    }
+                    None => {
+                        if let Some(rel) = lookup(atom.pred) {
+                            match_relation(rel, atom, s, counters, &mut next);
+                        }
+                        // No relation: empty extension, no matches.
+                    }
+                },
+            }
+        }
+        frontier = next;
+    }
+    Ok(frontier)
+}
+
+/// Unifies `query` against every tuple of `rel` (if any), returning the
+/// matching substitutions — how bottom-up results answer a specific query.
+pub fn unify_filter(rel: Option<&Relation>, query: &Atom) -> Vec<Subst> {
+    let Some(rel) = rel else { return Vec::new() };
+    let mut out = Vec::new();
+    for t in rel.iter() {
+        let mut s = Subst::new();
+        let ok = query
+            .args
+            .iter()
+            .zip(t.fields())
+            .all(|(a, f)| unify(&mut s, a, f));
+        if ok {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Convenience wrapper: evaluate a plain body (all [`AtomSource::Auto`]).
+pub fn eval_body_auto<'a>(
+    body: &[Atom],
+    init: Subst,
+    lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
+    counters: &mut Counters,
+) -> Result<Vec<Subst>, EvalError> {
+    let tagged: Vec<(&Atom, AtomSource)> = body.iter().map(|a| (a, AtomSource::Auto)).collect();
+    eval_body(&tagged, init, lookup, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::{parse_program, parse_query, Var};
+    use chainsplit_relation::Database;
+
+    fn family() -> Database {
+        let (facts, _) = parse_program(
+            "parent(adam, cain). parent(adam, abel).
+             parent(eve, cain). parent(eve, abel).",
+        )
+        .unwrap()
+        .split_facts();
+        Database::from_facts(facts)
+    }
+
+    #[test]
+    fn match_relation_with_constants() {
+        let db = family();
+        let rel = db
+            .relation(chainsplit_logic::Pred::new("parent", 2))
+            .unwrap();
+        let atom = parse_query("parent(adam, X)").unwrap();
+        let mut out = Vec::new();
+        let mut c = Counters::default();
+        match_relation(rel, &atom, &Subst::new(), &mut c, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn eval_body_joins_and_orders_builtins() {
+        let db = family();
+        // Body where the comparison appears first but must run last:
+        // X \= Y, parent(P, X), parent(P, Y).
+        let body = vec![
+            parse_query("X \\= Y").unwrap(),
+            parse_query("parent(P, X)").unwrap(),
+            parse_query("parent(P, Y)").unwrap(),
+        ];
+        let mut c = Counters::default();
+        let lookup = |p: chainsplit_logic::Pred| db.relation(p);
+        let sols = eval_body_auto(&body, Subst::new(), &lookup, &mut c).unwrap();
+        // adam and eve each have (cain, abel) and (abel, cain).
+        assert_eq!(sols.len(), 4);
+        assert!(c.considered > 0);
+    }
+
+    #[test]
+    fn eval_body_empty_relation_gives_no_solutions() {
+        let db = family();
+        let body = vec![parse_query("ancestor(X, Y)").unwrap()];
+        let mut c = Counters::default();
+        let lookup = |p: chainsplit_logic::Pred| db.relation(p);
+        let sols = eval_body_auto(&body, Subst::new(), &lookup, &mut c).unwrap();
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn eval_body_unorderable_errors() {
+        let db = Database::new();
+        let body = vec![parse_query("X < Y").unwrap()];
+        let mut c = Counters::default();
+        let lookup = |p: chainsplit_logic::Pred| db.relation(p);
+        let err = eval_body_auto(&body, Subst::new(), &lookup, &mut c).unwrap_err();
+        assert!(matches!(err, EvalError::NotEvaluable { .. }));
+    }
+
+    #[test]
+    fn eval_body_fixed_source_overrides() {
+        let db = family();
+        let mut delta = Relation::new(2);
+        delta.insert(chainsplit_relation::Tuple::new(vec![
+            Term::sym("adam"),
+            Term::sym("cain"),
+        ]));
+        let atom = parse_query("parent(X, Y)").unwrap();
+        let tagged = vec![(&atom, AtomSource::Fixed(&delta))];
+        let mut c = Counters::default();
+        let lookup = |p: chainsplit_logic::Pred| db.relation(p);
+        let sols = eval_body(&tagged, Subst::new(), &lookup, &mut c).unwrap();
+        assert_eq!(sols.len(), 1); // only the delta row, not all four
+        assert_eq!(
+            sols[0].resolve(&Term::Var(Var::named("Y"))),
+            Term::sym("cain")
+        );
+    }
+
+    #[test]
+    fn eval_body_with_initial_bindings() {
+        let db = family();
+        let mut init = Subst::new();
+        init.bind(Var::named("P"), Term::sym("eve"));
+        let body = vec![parse_query("parent(P, X)").unwrap()];
+        let mut c = Counters::default();
+        let lookup = |p: chainsplit_logic::Pred| db.relation(p);
+        let sols = eval_body_auto(&body, init, &lookup, &mut c).unwrap();
+        assert_eq!(sols.len(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! # chainsplit-engine
+//!
+//! The baseline evaluators of the chain-split deductive database, and the
+//! machinery they share:
+//!
+//! - [`builtins`]: procedural evaluation of the evaluable predicates
+//!   (`cons`, `=`, comparisons, arithmetic, `length`) under partial
+//!   bindings;
+//! - [`eval`]: relation matching and dynamic rule-body join evaluation;
+//! - [`naive`] / [`seminaive`]: bottom-up fixpoint evaluation;
+//! - [`magic`]: the magic-sets transformation, parameterised by a
+//!   [`magic::SipStrategy`] — `FullSip` is the classical baseline \[1, 2\];
+//!   `DelayPreds` is the modified binding-propagation rule that
+//!   `chainsplit-core` drives from the cost model (Algorithm 3.1);
+//! - [`topdown`]: Prolog-style SLD resolution with depth/fuel budgets.
+//!
+//! The counting method is not here: it is the buffer-free degenerate case
+//! of Algorithm 3.2's two-sweep executor, in `chainsplit-core::buffered`.
+
+#![forbid(unsafe_code)]
+
+pub mod builtins;
+pub mod error;
+pub mod eval;
+pub mod magic;
+pub mod naive;
+pub mod seminaive;
+pub mod supplementary;
+pub mod tabled;
+pub mod topdown;
+
+pub use builtins::{eval_builtin, is_builtin_atom, BuiltinOutcome};
+pub use error::{Counters, EvalError};
+pub use eval::{eval_body, eval_body_auto, match_relation, unify_filter, AtomSource};
+pub use magic::{
+    magic_eval, magic_transform, DelayPreds, FullSip, MagicProgram, MagicResult, SipStrategy,
+};
+pub use naive::{naive_eval, BottomUpOptions, BottomUpResult};
+pub use seminaive::seminaive_eval;
+pub use supplementary::{supplementary_magic_eval, supplementary_magic_transform};
+pub use tabled::{tabled_query, Tabled, TabledOptions};
+pub use topdown::{topdown_query, TopDown, TopDownOptions};

@@ -1,0 +1,181 @@
+//! Naive bottom-up evaluation.
+//!
+//! The reference semantics: apply every rule to everything derived so far,
+//! round after round, until fixpoint. Exponentially redundant compared to
+//! semi-naive but unbeatable as a test oracle for function-free programs.
+
+use crate::error::{Counters, EvalError};
+use crate::eval::eval_body_auto;
+use chainsplit_logic::{Pred, Rule, Subst};
+use chainsplit_relation::{Database, Tuple};
+
+/// Budget options for the bottom-up evaluators.
+#[derive(Clone, Copy, Debug)]
+pub struct BottomUpOptions {
+    /// Abort with `FuelExceeded` after this many fixpoint rounds.
+    pub max_rounds: usize,
+    /// Abort with `FuelExceeded` once this many facts have been derived.
+    pub max_facts: usize,
+}
+
+impl Default for BottomUpOptions {
+    fn default() -> Self {
+        BottomUpOptions {
+            max_rounds: 1_000_000,
+            max_facts: 50_000_000,
+        }
+    }
+}
+
+/// The result of a bottom-up run: all derived IDB relations plus counters.
+#[derive(Debug)]
+pub struct BottomUpResult {
+    pub idb: Database,
+    pub counters: Counters,
+}
+
+/// Runs naive evaluation of `rules` over `edb` to fixpoint.
+///
+/// Errors with `NotEvaluable` if some rule instance produces a non-ground
+/// head (the program is not range-restricted under evaluation — e.g. a
+/// functional recursion whose exit rule denotes an infinite relation, which
+/// is exactly the case §2.2 sends to chain-split evaluation).
+pub fn naive_eval(
+    rules: &[Rule],
+    edb: &Database,
+    opts: BottomUpOptions,
+) -> Result<BottomUpResult, EvalError> {
+    let mut idb = Database::new();
+    let mut counters = Counters::default();
+    loop {
+        counters.iterations += 1;
+        if counters.iterations > opts.max_rounds {
+            return Err(EvalError::FuelExceeded {
+                limit: opts.max_rounds,
+            });
+        }
+        let mut new_facts: Vec<(Pred, Tuple)> = Vec::new();
+        for rule in rules {
+            let lookup = |p: Pred| idb.relation(p).or_else(|| edb.relation(p));
+            let sols = eval_body_auto(&rule.body, Subst::new(), &lookup, &mut counters)?;
+            for s in sols {
+                let head = s.resolve_atom(&rule.head);
+                if !head.is_ground() {
+                    return Err(EvalError::NotEvaluable {
+                        atom: head.to_string(),
+                    });
+                }
+                new_facts.push((head.pred, Tuple::new(head.args)));
+            }
+        }
+        let mut changed = false;
+        for (pred, t) in new_facts {
+            if idb.relation_mut(pred).insert(t) {
+                counters.derived += 1;
+                changed = true;
+                if counters.derived > opts.max_facts {
+                    return Err(EvalError::FuelExceeded {
+                        limit: opts.max_facts,
+                    });
+                }
+            }
+        }
+        if !changed {
+            return Ok(BottomUpResult { idb, counters });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::parse_program;
+
+    fn run(src: &str) -> BottomUpResult {
+        let program = parse_program(src).unwrap();
+        let (facts, rules) = program.split_facts();
+        let edb = Database::from_facts(facts);
+        naive_eval(&rules, &edb, BottomUpOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let r = run("edge(a, b). edge(b, c). edge(c, d).
+             path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).");
+        let path = r.idb.relation(Pred::new("path", 2)).unwrap();
+        assert_eq!(path.len(), 6); // ab ac ad bc bd cd
+        assert_eq!(r.counters.derived, 6);
+    }
+
+    #[test]
+    fn same_generation() {
+        let r = run(
+            "parent(c1, p1). parent(c2, p1). parent(g1, c1). parent(g2, c2).
+             sibling(c1, c2). sibling(c2, c1).
+             sg(X, Y) :- sibling(X, Y).
+             sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).",
+        );
+        let sg = r.idb.relation(Pred::new("sg", 2)).unwrap();
+        // siblings c1-c2 both ways, grandchildren g1-g2 both ways.
+        assert_eq!(sg.len(), 4);
+    }
+
+    #[test]
+    fn builtins_in_rules() {
+        let r = run("n(1). n(2). n(3).
+             big(X) :- n(X), X > 1.
+             sum(X, Y, Z) :- n(X), n(Y), plus(X, Y, Z).");
+        assert_eq!(r.idb.relation(Pred::new("big", 1)).unwrap().len(), 2);
+        assert_eq!(r.idb.relation(Pred::new("sum", 3)).unwrap().len(), 9);
+    }
+
+    #[test]
+    fn cyclic_data_terminates() {
+        let r = run("edge(a, b). edge(b, a).
+             path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).");
+        let path = r.idb.relation(Pred::new("path", 2)).unwrap();
+        assert_eq!(path.len(), 4); // aa ab ba bb
+    }
+
+    #[test]
+    fn non_ground_head_is_rejected() {
+        let program = parse_program(
+            "append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+        )
+        .unwrap();
+        let (facts, rules) = program.split_facts();
+        let edb = Database::from_facts(facts);
+        let err = naive_eval(&rules, &edb, BottomUpOptions::default()).unwrap_err();
+        assert!(matches!(err, EvalError::NotEvaluable { .. }));
+    }
+
+    #[test]
+    fn round_budget_enforced() {
+        let program = parse_program(
+            "n(0).
+             n(Y) :- n(X), plus(X, 1, Y).",
+        )
+        .unwrap();
+        let (facts, rules) = program.split_facts();
+        let edb = Database::from_facts(facts);
+        let err = naive_eval(
+            &rules,
+            &edb,
+            BottomUpOptions {
+                max_rounds: 50,
+                max_facts: 1_000_000,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::FuelExceeded { .. }));
+    }
+
+    #[test]
+    fn empty_rules_empty_result() {
+        let r = run("edge(a, b).");
+        assert_eq!(r.idb.total_rows(), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Semi-naive bottom-up evaluation.
+//!
+//! The workhorse fixpoint engine \[1\]: each round, every rule re-fires only
+//! against tuples derived in the previous round. For a rule with several
+//! IDB body atoms we generate one *delta variant* per IDB occurrence (that
+//! occurrence reads the delta, the others read the full relation), the
+//! standard differentiation of the immediate-consequence operator.
+//!
+//! Both the magic-sets methods and the chain-split magic method of
+//! Algorithm 3.1 finish with exactly this evaluation on their rewritten
+//! programs.
+
+use crate::error::{Counters, EvalError};
+use crate::eval::{eval_body, AtomSource};
+use chainsplit_logic::{Pred, Rule, Subst};
+use chainsplit_relation::{Database, DeltaRelation, Tuple};
+use std::collections::BTreeMap;
+
+pub use crate::naive::{BottomUpOptions, BottomUpResult};
+
+/// Runs semi-naive evaluation of `rules` over `edb` to fixpoint.
+pub fn seminaive_eval(
+    rules: &[Rule],
+    edb: &Database,
+    opts: BottomUpOptions,
+) -> Result<BottomUpResult, EvalError> {
+    let mut counters = Counters::default();
+    let idb_preds: Vec<Pred> = {
+        let mut v: Vec<Pred> = rules.iter().map(|r| r.head.pred).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let mut deltas: BTreeMap<Pred, DeltaRelation> = idb_preds
+        .iter()
+        .map(|&p| (p, DeltaRelation::new(p.arity as usize)))
+        .collect();
+
+    // Round zero: rules with no IDB body atom fire once (they can never
+    // fire from a delta).
+    let is_idb = |p: Pred| deltas.contains_key(&p);
+    let base_rules: Vec<&Rule> = rules
+        .iter()
+        .filter(|r| !r.body.iter().any(|a| is_idb(a.pred)))
+        .collect();
+    let rec_rules: Vec<&Rule> = rules
+        .iter()
+        .filter(|r| r.body.iter().any(|a| is_idb(a.pred)))
+        .collect();
+
+    {
+        let mut seed: Vec<(Pred, Tuple)> = Vec::new();
+        for rule in &base_rules {
+            let lookup = |p: Pred| edb.relation(p);
+            let tagged: Vec<(&chainsplit_logic::Atom, AtomSource)> =
+                rule.body.iter().map(|a| (a, AtomSource::Auto)).collect();
+            for s in eval_body(&tagged, Subst::new(), &lookup, &mut counters)? {
+                let head = s.resolve_atom(&rule.head);
+                if !head.is_ground() {
+                    return Err(EvalError::NotEvaluable {
+                        atom: head.to_string(),
+                    });
+                }
+                seed.push((head.pred, Tuple::new(head.args)));
+            }
+        }
+        for (pred, t) in seed {
+            if deltas.get_mut(&pred).unwrap().seed(t) {
+                counters.derived += 1;
+            }
+        }
+    }
+
+    loop {
+        counters.iterations += 1;
+        if counters.iterations > opts.max_rounds {
+            return Err(EvalError::FuelExceeded {
+                limit: opts.max_rounds,
+            });
+        }
+
+        let mut derived: Vec<(Pred, Tuple)> = Vec::new();
+        for rule in &rec_rules {
+            // One variant per IDB occurrence: that occurrence reads the
+            // delta, every other atom reads the full state.
+            let idb_positions: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| deltas.contains_key(&a.pred))
+                .map(|(i, _)| i)
+                .collect();
+            for &dpos in &idb_positions {
+                let delta_rel = deltas[&rule.body[dpos].pred].delta();
+                if delta_rel.is_empty() {
+                    continue;
+                }
+                let mut tagged: Vec<(&chainsplit_logic::Atom, AtomSource)> = Vec::new();
+                // The delta occurrence leads: it is the novelty the round
+                // is about, and leading with it seeds bindings.
+                tagged.push((&rule.body[dpos], AtomSource::Fixed(delta_rel)));
+                for (i, a) in rule.body.iter().enumerate() {
+                    if i == dpos {
+                        continue;
+                    }
+                    match deltas.get(&a.pred) {
+                        Some(d) => tagged.push((a, AtomSource::Fixed(d.all()))),
+                        None => tagged.push((a, AtomSource::Auto)),
+                    }
+                }
+                let lookup = |p: Pred| edb.relation(p);
+                for s in eval_body(&tagged, Subst::new(), &lookup, &mut counters)? {
+                    let head = s.resolve_atom(&rule.head);
+                    if !head.is_ground() {
+                        return Err(EvalError::NotEvaluable {
+                            atom: head.to_string(),
+                        });
+                    }
+                    derived.push((head.pred, Tuple::new(head.args)));
+                }
+            }
+        }
+
+        for (pred, t) in derived {
+            if deltas.get_mut(&pred).unwrap().derive(t) {
+                counters.derived += 1;
+                if counters.derived > opts.max_facts {
+                    return Err(EvalError::FuelExceeded {
+                        limit: opts.max_facts,
+                    });
+                }
+            }
+        }
+        let advanced: usize = deltas.values_mut().map(DeltaRelation::advance).sum();
+        if advanced == 0 {
+            break;
+        }
+    }
+
+    let mut idb = Database::new();
+    for (pred, d) in &deltas {
+        let rel = idb.relation_mut(*pred);
+        for t in d.all().iter() {
+            rel.insert(t.clone());
+        }
+    }
+    Ok(BottomUpResult { idb, counters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_eval;
+    use chainsplit_logic::parse_program;
+
+    fn both(src: &str) -> (BottomUpResult, BottomUpResult) {
+        let program = parse_program(src).unwrap();
+        let (facts, rules) = program.split_facts();
+        let edb = Database::from_facts(facts);
+        let n = naive_eval(&rules, &edb, BottomUpOptions::default()).unwrap();
+        let s = seminaive_eval(&rules, &edb, BottomUpOptions::default()).unwrap();
+        (n, s)
+    }
+
+    fn assert_same_idb(a: &Database, b: &Database) {
+        let preds: Vec<Pred> = a.preds().chain(b.preds()).collect();
+        for p in preds {
+            let la = a.relation(p).map_or(0, |r| r.len());
+            let lb = b.relation(p).map_or(0, |r| r.len());
+            assert_eq!(la, lb, "cardinality mismatch for {p}");
+            if let (Some(ra), Some(rb)) = (a.relation(p), b.relation(p)) {
+                for t in ra.iter() {
+                    assert!(rb.contains(t), "{p}: {t} missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_tc() {
+        let (n, s) = both(
+            "edge(a, b). edge(b, c). edge(c, d). edge(d, b).
+             path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        );
+        assert_same_idb(&n.idb, &s.idb);
+        // Semi-naive must consider fewer join candidates than naive.
+        assert!(s.counters.considered < n.counters.considered);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_sg() {
+        let (n, s) = both(
+            "parent(c1, p1). parent(c2, p1). parent(g1, c1). parent(g2, c2).
+             parent(h1, g1). parent(h2, g2).
+             sibling(c1, c2). sibling(c2, c1).
+             sg(X, Y) :- sibling(X, Y).
+             sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).",
+        );
+        assert_same_idb(&n.idb, &s.idb);
+        let sg = s.idb.relation(Pred::new("sg", 2)).unwrap();
+        assert_eq!(sg.len(), 6);
+    }
+
+    #[test]
+    fn multiple_idb_atoms_in_body() {
+        // Nonlinear TC: both occurrences need delta variants.
+        let (n, s) = both(
+            "edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+             t(X, Y) :- edge(X, Y).
+             t(X, Y) :- t(X, Z), t(Z, Y).",
+        );
+        assert_same_idb(&n.idb, &s.idb);
+        assert_eq!(s.idb.relation(Pred::new("t", 2)).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn stratified_dependencies() {
+        let (n, s) = both(
+            "edge(a, b). edge(b, c).
+             path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).
+             reach2(X) :- path(a, X).",
+        );
+        assert_same_idb(&n.idb, &s.idb);
+        assert_eq!(s.idb.relation(Pred::new("reach2", 1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fuel_budget() {
+        let program = parse_program(
+            "n(0).
+             n(Y) :- n(X), plus(X, 1, Y).",
+        )
+        .unwrap();
+        let (facts, rules) = program.split_facts();
+        let edb = Database::from_facts(facts);
+        let err = seminaive_eval(
+            &rules,
+            &edb,
+            BottomUpOptions {
+                max_rounds: 1_000_000,
+                max_facts: 100,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::FuelExceeded { .. }));
+    }
+
+    #[test]
+    fn no_idb_rules_at_all() {
+        let program = parse_program("q(X) :- base(X), X > 1. base(1). base(2).").unwrap();
+        let (facts, rules) = program.split_facts();
+        let edb = Database::from_facts(facts);
+        let s = seminaive_eval(&rules, &edb, BottomUpOptions::default()).unwrap();
+        assert_eq!(s.idb.relation(Pred::new("q", 1)).unwrap().len(), 1);
+    }
+}

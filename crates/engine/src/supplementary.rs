@@ -1,0 +1,373 @@
+//! Supplementary magic sets.
+//!
+//! The generalized *supplementary* variant of the magic-sets transformation
+//! \[1, 21\]: instead of re-joining a rule's body prefix once for the rule
+//! itself and once per magic rule, each prefix is materialised exactly once
+//! as a `sup_{rule,i}` predicate:
+//!
+//! ```text
+//! sup_0(head-bound vars)        <- m_p(head-bound vars)
+//! sup_i(needed vars)            <- sup_{i-1}(…), b_i
+//! m_q(bound args of b_{i+1})    <- sup_i(…)          (b_{i+1} intensional)
+//! p^a(head)                     <- sup_n(…)
+//! ```
+//!
+//! Each supplementary keeps only the variables still needed downstream
+//! (by later atoms or the head), which is the transformation's second
+//! saving. SIP order and binding policy are shared with the plain
+//! transformation ([`crate::magic::SipStrategy`]), so Algorithm 3.1's
+//! chain-split policy composes with supplementaries for free.
+
+use crate::error::EvalError;
+use crate::magic::{MagicProgram, SipStrategy};
+use crate::seminaive::{seminaive_eval, BottomUpOptions};
+use chainsplit_chain::ModeTable;
+use chainsplit_logic::{Adornment, Atom, Pred, Rule, Subst, Sym, Term, Var};
+use chainsplit_relation::Database;
+use std::collections::{HashSet, VecDeque};
+
+use crate::magic::MagicResult;
+
+fn adorned_name(p: Pred, ad: &Adornment) -> Sym {
+    Sym::new(&format!("{}@{}", p.name, ad))
+}
+
+fn magic_name(p: Pred, ad: &Adornment) -> Sym {
+    Sym::new(&format!("m@{}@{}", p.name, ad))
+}
+
+fn magic_atom(atom: &Atom, ad: &Adornment) -> Atom {
+    let args: Vec<Term> = ad
+        .bound_positions()
+        .into_iter()
+        .map(|j| atom.args[j].clone())
+        .collect();
+    Atom {
+        pred: Pred {
+            name: magic_name(atom.pred, ad),
+            arity: args.len() as u32,
+        },
+        args,
+    }
+}
+
+fn adorned_atom(atom: &Atom, ad: &Adornment) -> Atom {
+    Atom {
+        pred: Pred {
+            name: adorned_name(atom.pred, ad),
+            arity: atom.pred.arity,
+        },
+        args: atom.args.clone(),
+    }
+}
+
+/// SIP ordering shared with the plain transformation (duplicated here in
+/// simplified form: propagating atoms by usefulness, delayed atoms last).
+fn sip_order(
+    body: &[Atom],
+    head_bound: &HashSet<Var>,
+    idb: &HashSet<Pred>,
+    sip: &dyn SipStrategy,
+    modes: &ModeTable,
+) -> Vec<usize> {
+    let mut bound = head_bound.clone();
+    let mut order = Vec::new();
+    let mut remaining: Vec<usize> = (0..body.len()).collect();
+    while !remaining.is_empty() {
+        let rank = |i: usize| -> u8 {
+            let a = &body[i];
+            if !sip.propagate(a) {
+                return 9;
+            }
+            if chainsplit_chain::is_builtin(a.pred) {
+                let ad = Adornment::of_atom(a, &bound);
+                return if modes.is_finite(a.pred, &ad) { 0 } else { 8 };
+            }
+            let has_bound = Adornment::of_atom(a, &bound).n_bound() > 0;
+            match (has_bound, idb.contains(&a.pred)) {
+                (true, false) => 1,
+                (true, true) => 2,
+                (false, false) => 3,
+                (false, true) => 4,
+            }
+        };
+        let best = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &i)| (rank(i), i))
+            .map(|(pos, _)| pos)
+            .unwrap();
+        let i = remaining.remove(best);
+        order.push(i);
+        for v in body[i].vars() {
+            bound.insert(v);
+        }
+    }
+    order
+}
+
+/// Rewrites `rules` for `query` with supplementary predicates.
+pub fn supplementary_magic_transform(
+    rules: &[Rule],
+    query: &Atom,
+    sip: &dyn SipStrategy,
+) -> Result<MagicProgram, EvalError> {
+    let idb: HashSet<Pred> = rules.iter().map(|r| r.head.pred).collect();
+    if !idb.contains(&query.pred) {
+        return Err(EvalError::Unsupported {
+            reason: format!("query predicate {} has no rules", query.pred),
+        });
+    }
+    let modes = ModeTable::with_builtins();
+    let ad0 = Adornment(
+        query
+            .args
+            .iter()
+            .map(|t| {
+                if t.is_ground() {
+                    chainsplit_logic::Ad::Bound
+                } else {
+                    chainsplit_logic::Ad::Free
+                }
+            })
+            .collect(),
+    );
+
+    let mut out_rules: Vec<Rule> = Vec::new();
+    let mut magic_preds: Vec<Pred> = Vec::new();
+    let mut seen: HashSet<(Pred, Adornment)> = HashSet::new();
+    let mut queue: VecDeque<(Pred, Adornment)> = VecDeque::new();
+    queue.push_back((query.pred, ad0.clone()));
+    seen.insert((query.pred, ad0.clone()));
+    let mut rule_counter = 0usize;
+
+    while let Some((p, ad)) = queue.pop_front() {
+        for rule in rules.iter().filter(|r| r.head.pred == p) {
+            rule_counter += 1;
+            let head_bound: HashSet<Var> = ad
+                .bound_positions()
+                .into_iter()
+                .flat_map(|j| rule.head.args[j].vars())
+                .collect();
+            let magic_head = magic_atom(&rule.head, &ad);
+            if !magic_preds.contains(&magic_head.pred) {
+                magic_preds.push(magic_head.pred);
+            }
+
+            let order = sip_order(&rule.body, &head_bound, &idb, sip, &modes);
+            // Variables needed after position k (exclusive): by later atoms
+            // or by the head.
+            let head_vars: HashSet<Var> = rule.head.vars().into_iter().collect();
+            let mut needed_after: Vec<HashSet<Var>> = vec![HashSet::new(); order.len() + 1];
+            needed_after[order.len()] = head_vars.clone();
+            for k in (0..order.len()).rev() {
+                let mut n = needed_after[k + 1].clone();
+                for v in rule.body[order[k]].vars() {
+                    n.insert(v);
+                }
+                needed_after[k] = n;
+            }
+
+            // sup_0 carries the bound head variables.
+            let mut sup_vars: Vec<Var> = {
+                let mut v: Vec<Var> = head_bound.iter().copied().collect();
+                v.sort_by_key(|v| (v.name.as_str(), v.rename));
+                v
+            };
+            let sup_pred = |k: usize, arity: usize| Pred {
+                name: Sym::new(&format!("sup@{rule_counter}@{k}")),
+                arity: arity as u32,
+            };
+            let sup_atom = |k: usize, vars: &[Var]| Atom {
+                pred: sup_pred(k, vars.len()),
+                args: vars.iter().map(|&v| Term::Var(v)).collect(),
+            };
+            out_rules.push(Rule::new(sup_atom(0, &sup_vars), vec![magic_head.clone()]));
+
+            let mut bound_now = head_bound.clone();
+            for (k, &bi) in order.iter().enumerate() {
+                let atom = &rule.body[bi];
+                let body_atom = if idb.contains(&atom.pred) {
+                    let ad_q = Adornment::of_atom(atom, &bound_now);
+                    let mq = magic_atom(atom, &ad_q);
+                    if !magic_preds.contains(&mq.pred) {
+                        magic_preds.push(mq.pred);
+                    }
+                    // Magic rule from the supplementary alone.
+                    out_rules.push(Rule::new(mq, vec![sup_atom(k, &sup_vars)]));
+                    if seen.insert((atom.pred, ad_q.clone())) {
+                        queue.push_back((atom.pred, ad_q.clone()));
+                    }
+                    adorned_atom(atom, &ad_q)
+                } else {
+                    atom.clone()
+                };
+                for v in atom.vars() {
+                    bound_now.insert(v);
+                }
+                // Next supplementary: bound vars still needed downstream.
+                let mut next_vars: Vec<Var> = bound_now
+                    .iter()
+                    .copied()
+                    .filter(|v| needed_after[k + 1].contains(v))
+                    .collect();
+                next_vars.sort_by_key(|v| (v.name.as_str(), v.rename));
+                out_rules.push(Rule::new(
+                    sup_atom(k + 1, &next_vars),
+                    vec![sup_atom(k, &sup_vars), body_atom],
+                ));
+                sup_vars = next_vars;
+            }
+
+            // Final: the adorned head from the last supplementary.
+            out_rules.push(Rule::new(
+                adorned_atom(&rule.head, &ad),
+                vec![sup_atom(order.len(), &sup_vars)],
+            ));
+        }
+    }
+
+    let seed = magic_atom(query, &ad0);
+    out_rules.push(Rule::fact(seed));
+
+    Ok(MagicProgram {
+        rules: out_rules,
+        answer_pred: Pred {
+            name: adorned_name(query.pred, &ad0),
+            arity: query.pred.arity,
+        },
+        magic_preds,
+    })
+}
+
+/// Transform + semi-naive evaluation + answer extraction.
+pub fn supplementary_magic_eval(
+    rules: &[Rule],
+    edb: &Database,
+    query: &Atom,
+    sip: &dyn SipStrategy,
+    opts: BottomUpOptions,
+) -> Result<MagicResult, EvalError> {
+    let mp = supplementary_magic_transform(rules, query, sip)?;
+    let run = seminaive_eval(&mp.rules, edb, opts)?;
+    let mut counters = run.counters;
+    counters.magic_facts = mp
+        .magic_preds
+        .iter()
+        .map(|&p| run.idb.relation(p).map_or(0, |r| r.len()))
+        .sum();
+    let mut answers = Vec::new();
+    if let Some(rel) = run.idb.relation(mp.answer_pred) {
+        for t in rel.iter() {
+            let cand = Atom {
+                pred: query.pred,
+                args: t.fields().to_vec(),
+            };
+            let mut s = Subst::new();
+            if chainsplit_logic::unify_atoms(&mut s, query, &cand) {
+                answers.push(s);
+            }
+        }
+    }
+    Ok(MagicResult { answers, counters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::magic::{magic_eval, FullSip};
+    use chainsplit_logic::{parse_program, parse_query};
+
+    fn setup(src: &str) -> (Vec<Rule>, Database) {
+        let p = parse_program(src).unwrap();
+        let (facts, rules) = p.split_facts();
+        (rules, Database::from_facts(facts))
+    }
+
+    const SG: &str = "sg(X, Y) :- sibling(X, Y).
+         sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+         parent(c1, p1). parent(c2, p1). parent(g1, c1). parent(g2, c2).
+         parent(h1, g1). parent(h2, g2).
+         sibling(c1, c2). sibling(c2, c1).";
+
+    #[test]
+    fn agrees_with_plain_magic() {
+        let (rules, edb) = setup(SG);
+        for query in ["sg(h1, Y)", "sg(g1, Y)", "sg(h1, h2)", "sg(X, Y)"] {
+            let q = parse_query(query).unwrap();
+            let plain = magic_eval(&rules, &edb, &q, &FullSip, BottomUpOptions::default()).unwrap();
+            let supp =
+                supplementary_magic_eval(&rules, &edb, &q, &FullSip, BottomUpOptions::default())
+                    .unwrap();
+            let mut a: Vec<String> = plain.answers.iter().map(|s| s.to_string()).collect();
+            let mut b: Vec<String> = supp.answers.iter().map(|s| s.to_string()).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "query {query}");
+        }
+    }
+
+    #[test]
+    fn prefix_not_recomputed() {
+        // A rule with an expensive shared prefix: the supplementary variant
+        // should consider fewer join candidates than plain magic, which
+        // evaluates the prefix twice (once in the magic rule, once in the
+        // guarded rule).
+        let (rules, edb) = setup(
+            "reach(X, Y) :- edge(X, W1), mid(W1, W2), step(W2, Z), reach(Z, Y).
+             reach(X, Y) :- final(X, Y).
+             edge(a, b1). edge(a, b2). edge(a, b3). edge(a, b4).
+             mid(b1, c1). mid(b2, c2). mid(b3, c3). mid(b4, c4).
+             step(c1, a). step(c2, a).
+             final(a, done).",
+        );
+        let q = parse_query("reach(a, Y)").unwrap();
+        let plain = magic_eval(&rules, &edb, &q, &FullSip, BottomUpOptions::default()).unwrap();
+        let supp = supplementary_magic_eval(&rules, &edb, &q, &FullSip, BottomUpOptions::default())
+            .unwrap();
+        assert_eq!(plain.answers.len(), supp.answers.len());
+        assert!(
+            supp.counters.considered < plain.counters.considered,
+            "supplementary {} !< plain {}",
+            supp.counters.considered,
+            plain.counters.considered
+        );
+    }
+
+    #[test]
+    fn builtins_in_bodies() {
+        let (rules, edb) = setup(
+            "big(X, Y) :- n(X, Y), Y > 10.
+             n(a, 5). n(b, 15). n(c, 20).",
+        );
+        let q = parse_query("big(b, Y)").unwrap();
+        let r = supplementary_magic_eval(&rules, &edb, &q, &FullSip, BottomUpOptions::default())
+            .unwrap();
+        assert_eq!(r.answers.len(), 1);
+    }
+
+    #[test]
+    fn chain_split_policy_composes() {
+        use crate::magic::DelayPreds;
+        let (rules, edb) = setup(
+            "scsg(X, Y) :- sibling(X, Y).
+             scsg(X, Y) :- parent(X, X1), same_country(X1, Y1), parent(Y, Y1), scsg(X1, Y1).
+             parent(k0, p0). parent(k1, p1).
+             same_country(p0, p0). same_country(p0, p1).
+             same_country(p1, p0). same_country(p1, p1).
+             sibling(p0, p1). sibling(p1, p0).",
+        );
+        let q = parse_query("scsg(k0, Y)").unwrap();
+        let mut delay = HashSet::new();
+        delay.insert(Pred::new("same_country", 2));
+        let r = supplementary_magic_eval(
+            &rules,
+            &edb,
+            &q,
+            &DelayPreds(delay),
+            BottomUpOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.answers.len(), 1); // k1
+    }
+}

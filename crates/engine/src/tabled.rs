@@ -1,0 +1,468 @@
+//! Tabled (memoized) evaluation — an SLG-lite baseline.
+//!
+//! Query-directed evaluation with memo tables, in the style the deductive
+//! database systems contemporary to the paper (CORAL \[16\], EKS-V1 \[23\],
+//! XSB's SLG) used: every IDB call pattern gets a *table*; rule bodies
+//! answer IDB subgoals **only from tables**, registering new call patterns
+//! as they appear; the whole table space is re-evaluated Jacobi-style until
+//! no table grows. This terminates on cyclic data where plain SLD loops,
+//! and — because subgoal order inside a body is chosen dynamically by
+//! evaluability, like the chain-split solver — it also evaluates the
+//! functional recursions (`append^ffb`, `isort`) finitely.
+//!
+//! Operationally this is the fixpoint characterisation of magic sets: the
+//! registered call patterns *are* the magic sets, computed on demand.
+
+use crate::builtins::{eval_builtin, BuiltinOutcome};
+use crate::error::{Counters, EvalError};
+use crate::eval::match_relation;
+use chainsplit_logic::{fresh, unify, unify_atoms, Atom, Pred, Program, Rule, Subst, Term, Var};
+use chainsplit_relation::{Database, FxHashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Budgets for tabled evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct TabledOptions {
+    /// Abort after this many whole-table-space sweeps.
+    pub max_sweeps: usize,
+    /// Abort once this many answers exist across all tables.
+    pub max_answers: usize,
+}
+
+impl Default for TabledOptions {
+    fn default() -> Self {
+        TabledOptions {
+            max_sweeps: 1_000_000,
+            max_answers: 50_000_000,
+        }
+    }
+}
+
+/// A call pattern: predicate + canonically renamed argument terms.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+struct CallKey {
+    pred: Pred,
+    args: Vec<Term>,
+}
+
+/// Renames the variables of `terms` to canonical `_t0, _t1, …` in
+/// first-occurrence order, so alpha-equivalent call patterns share a table.
+fn canonicalize(terms: &[Term]) -> Vec<Term> {
+    let mut map: HashMap<Var, Var> = HashMap::new();
+    fn walk(t: &Term, map: &mut HashMap<Var, Var>) -> Term {
+        match t {
+            Term::Var(v) => {
+                // Distinct canonical *names* (not rename tags): renaming a
+                // term apart overwrites the tag, which must never merge
+                // two canonical variables.
+                let n = map.len();
+                Term::Var(
+                    *map.entry(*v)
+                        .or_insert_with(|| Var::named(&format!("_t{n}"))),
+                )
+            }
+            Term::Int(_) | Term::Sym(_) | Term::Nil => t.clone(),
+            Term::Cons(h, tl) => Term::Cons(Arc::new(walk(h, map)), Arc::new(walk(tl, map))),
+            Term::Comp(f, args) => Term::Comp(*f, args.iter().map(|a| walk(a, map)).collect()),
+        }
+    }
+    terms.iter().map(|t| walk(t, &mut map)).collect()
+}
+
+struct Table {
+    /// Answer argument tuples (canonically renamed; may contain variables),
+    /// in derivation order behind a hash set for O(1) duplicate rejection.
+    answers: Vec<Vec<Term>>,
+    seen: FxHashSet<Vec<Term>>,
+}
+
+/// The tabled engine.
+pub struct Tabled<'a> {
+    rules_by_pred: HashMap<Pred, Vec<&'a Rule>>,
+    db: &'a Database,
+    opts: TabledOptions,
+    tables: BTreeMap<CallKey, Table>,
+    /// Subgoal tables each call pattern reads (for semi-naive sweeps).
+    deps: HashMap<CallKey, HashSet<CallKey>>,
+    /// Tables that gained answers or appeared during the current sweep.
+    dirty: HashSet<CallKey>,
+    /// The call pattern whose rules are being evaluated (dependency edges
+    /// attach to it).
+    current: Option<CallKey>,
+    total_answers: usize,
+    pub counters: Counters,
+}
+
+impl<'a> Tabled<'a> {
+    pub fn new(rules: &'a [Rule], db: &'a Database, opts: TabledOptions) -> Tabled<'a> {
+        let mut rules_by_pred: HashMap<Pred, Vec<&Rule>> = HashMap::new();
+        for r in rules {
+            rules_by_pred.entry(r.head.pred).or_default().push(r);
+        }
+        Tabled {
+            rules_by_pred,
+            db,
+            opts,
+            tables: BTreeMap::new(),
+            deps: HashMap::new(),
+            dirty: HashSet::new(),
+            current: None,
+            total_answers: 0,
+            counters: Counters::default(),
+        }
+    }
+
+    fn is_idb(&self, p: Pred) -> bool {
+        self.rules_by_pred.contains_key(&p)
+    }
+
+    /// Registers a call pattern, returning its key.
+    fn register(&mut self, pred: Pred, args: Vec<Term>) -> CallKey {
+        let key = CallKey {
+            pred,
+            args: canonicalize(&args),
+        };
+        if !self.tables.contains_key(&key) {
+            self.tables.insert(
+                key.clone(),
+                Table {
+                    answers: Vec::new(),
+                    seen: FxHashSet::default(),
+                },
+            );
+            // A fresh table counts as dirty: it must be evaluated at least
+            // once, and readers must re-run after it fills.
+            self.dirty.insert(key.clone());
+        }
+        key
+    }
+
+    /// Answers an IDB subgoal from its table (registering it first).
+    fn table_lookup(&mut self, goal: &Atom, s: &Subst, out: &mut Vec<Subst>) {
+        let resolved: Vec<Term> = goal.args.iter().map(|t| s.resolve(t)).collect();
+        let key = self.register(goal.pred, resolved);
+        if let Some(cur) = self.current.clone() {
+            self.deps.entry(cur).or_default().insert(key.clone());
+        }
+        // Clone the answers (cheap: Arc-shared) to release the borrow.
+        let answers: Vec<Vec<Term>> = self.tables[&key].answers.clone();
+        for ans in answers {
+            self.counters.considered += 1;
+            let tag = fresh::rename_tag();
+            let mut s2 = s.clone();
+            let ok = goal
+                .args
+                .iter()
+                .zip(ans.iter())
+                .all(|(g, a)| unify(&mut s2, g, &a.rename(tag)));
+            if ok {
+                out.push(s2);
+            }
+        }
+    }
+
+    /// Is `atom` evaluable right now? Builtins are probed; stored and
+    /// tabled predicates always are (tables bound the extension).
+    fn ready(&self, atom: &Atom, s: &Subst) -> bool {
+        if chainsplit_chain::is_builtin(atom.pred) {
+            return !matches!(
+                eval_builtin(atom, s),
+                Ok(Some(BuiltinOutcome::NotEvaluable))
+            );
+        }
+        true
+    }
+
+    /// Solves a body with dynamic ordering, IDB subgoals from tables only.
+    fn solve_body(
+        &mut self,
+        atoms: &[&Atom],
+        s: &Subst,
+        out: &mut Vec<Subst>,
+    ) -> Result<(), EvalError> {
+        if atoms.is_empty() {
+            out.push(s.clone());
+            return Ok(());
+        }
+        let Some(pick) = (0..atoms.len()).find(|&i| self.ready(atoms[i], s)) else {
+            return Err(EvalError::NotEvaluable {
+                atom: s.resolve_atom(atoms[0]).to_string(),
+            });
+        };
+        let mut rest: Vec<&Atom> = atoms.to_vec();
+        let picked = rest.remove(pick);
+        let mut sols = Vec::new();
+        match eval_builtin(picked, s)? {
+            Some(BuiltinOutcome::Solutions(v)) => sols.extend(v),
+            Some(BuiltinOutcome::NotEvaluable) => {
+                return Err(EvalError::NotEvaluable {
+                    atom: s.resolve_atom(picked).to_string(),
+                })
+            }
+            None => {
+                if self.is_idb(picked.pred) {
+                    self.table_lookup(picked, s, &mut sols);
+                } else if let Some(rel) = self.db.relation(picked.pred) {
+                    match_relation(rel, picked, s, &mut self.counters, &mut sols);
+                }
+            }
+        }
+        for s2 in sols {
+            self.solve_body(&rest, &s2, out)?;
+        }
+        Ok(())
+    }
+
+    /// One sweep: re-evaluate the tables whose inputs changed.
+    ///
+    /// Semi-naive at table granularity: a call pattern re-runs only when
+    /// one of the tables it reads (or itself, for direct recursion) was
+    /// dirty after the previous sweep.
+    fn sweep(&mut self, previous_dirty: &HashSet<CallKey>) -> Result<(), EvalError> {
+        let keys: Vec<CallKey> = self
+            .tables
+            .keys()
+            .filter(|k| {
+                previous_dirty.contains(*k)
+                    || self
+                        .deps
+                        .get(*k)
+                        .is_some_and(|ds| ds.iter().any(|d| previous_dirty.contains(d)))
+            })
+            .cloned()
+            .collect();
+        for key in keys {
+            self.current = Some(key.clone());
+            let rules: Vec<Rule> = self
+                .rules_by_pred
+                .get(&key.pred)
+                .map(|rs| rs.iter().map(|r| (*r).clone()).collect())
+                .unwrap_or_default();
+            for rule in rules {
+                self.counters.considered += 1;
+                let fr = rule.rename(fresh::rename_tag());
+                let mut s = Subst::new();
+                let call = Atom {
+                    pred: key.pred,
+                    args: key.args.clone(),
+                };
+                // Rename the call pattern apart from the rule.
+                let call = call.rename(fresh::rename_tag());
+                if !unify_atoms(&mut s, &call, &fr.head) {
+                    continue;
+                }
+                let body: Vec<&Atom> = fr.body.iter().collect();
+                let mut sols = Vec::new();
+                self.solve_body(&body, &s, &mut sols)?;
+                for sol in sols {
+                    let tuple: Vec<Term> = call.args.iter().map(|a| sol.resolve(a)).collect();
+                    let tuple = canonicalize(&tuple);
+                    let table = self.tables.get_mut(&key).expect("registered");
+                    if table.seen.insert(tuple.clone()) {
+                        table.answers.push(tuple);
+                        self.total_answers += 1;
+                        self.counters.derived += 1;
+                        self.dirty.insert(key.clone());
+                        if self.total_answers > self.opts.max_answers {
+                            return Err(EvalError::FuelExceeded {
+                                limit: self.opts.max_answers,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.current = None;
+        Ok(())
+    }
+
+    /// Evaluates `query` to fixpoint and returns its answers.
+    pub fn solve(&mut self, query: &Atom) -> Result<Vec<Subst>, EvalError> {
+        if !self.is_idb(query.pred) {
+            // EDB or builtin query: answer directly.
+            let mut out = Vec::new();
+            match eval_builtin(query, &Subst::new())? {
+                Some(BuiltinOutcome::Solutions(v)) => out.extend(v),
+                Some(BuiltinOutcome::NotEvaluable) => {
+                    return Err(EvalError::NotEvaluable {
+                        atom: query.to_string(),
+                    })
+                }
+                None => {
+                    if let Some(rel) = self.db.relation(query.pred) {
+                        match_relation(rel, query, &Subst::new(), &mut self.counters, &mut out);
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        let args: Vec<Term> = query.args.clone();
+        self.register(query.pred, args);
+        loop {
+            self.counters.iterations += 1;
+            if self.counters.iterations > self.opts.max_sweeps {
+                return Err(EvalError::FuelExceeded {
+                    limit: self.opts.max_sweeps,
+                });
+            }
+            let previous_dirty = std::mem::take(&mut self.dirty);
+            self.sweep(&previous_dirty)?;
+            if self.dirty.is_empty() {
+                break;
+            }
+        }
+        let mut out = Vec::new();
+        self.table_lookup(query, &Subst::new(), &mut out);
+        Ok(out)
+    }
+
+    /// Number of registered call patterns (the operational magic sets).
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// Convenience: run one query tabled over a parsed program.
+pub fn tabled_query(
+    program: &Program,
+    query: &Atom,
+    opts: TabledOptions,
+) -> Result<(Vec<Subst>, Counters), EvalError> {
+    let (facts, rules) = program.split_facts();
+    let db = Database::from_facts(facts);
+    let mut t = Tabled::new(&rules, &db, opts);
+    let answers = t.solve(query)?;
+    let mut counters = t.counters;
+    counters.magic_facts = t.table_count();
+    Ok((answers, counters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::{parse_program, parse_query};
+
+    fn run(src: &str, query: &str) -> Vec<String> {
+        let p = parse_program(src).unwrap();
+        let q = parse_query(query).unwrap();
+        let (sols, _) = tabled_query(&p, &q, TabledOptions::default()).unwrap();
+        let mut v: Vec<String> = sols
+            .iter()
+            .map(|s| s.resolve_atom(&q).to_string())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn terminates_on_cyclic_data() {
+        // Plain SLD diverges here; tabling terminates.
+        let v = run(
+            "path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).
+             edge(a, b). edge(b, a). edge(b, c).",
+            "path(a, Y)",
+        );
+        assert_eq!(v.len(), 3); // a, b, c
+    }
+
+    #[test]
+    fn terminates_on_left_recursion() {
+        let v = run(
+            "t(X, Y) :- t(X, Z), edge(Z, Y).
+             t(X, Y) :- edge(X, Y).
+             edge(a, b). edge(b, c).",
+            "t(a, Y)",
+        );
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn sg_agrees() {
+        let v = run(
+            "sg(X, Y) :- sibling(X, Y).
+             sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+             parent(c1, p1). parent(c2, p1). parent(g1, c1). parent(g2, c2).
+             sibling(c1, c2). sibling(c2, c1).",
+            "sg(g1, Y)",
+        );
+        assert_eq!(v, ["sg(g1, g2)"]);
+    }
+
+    #[test]
+    fn functional_recursions_evaluate() {
+        // Dynamic subgoal ordering + per-pattern tables handle append^ffb.
+        let v = run(
+            "append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+            "append(U, V, [1, 2])",
+        );
+        assert_eq!(v.len(), 3);
+        let v = run(
+            "isort([X | Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+             isort([], []).
+             insert(X, [], [X]).
+             insert(X, [Y | Ys], [Y | Zs]) :- X > Y, insert(X, Ys, Zs).
+             insert(X, [Y | Ys], [X, Y | Ys]) :- X <= Y.",
+            "isort([5, 7, 1], Ys)",
+        );
+        assert_eq!(v, ["isort([5, 7, 1], [1, 5, 7])"]);
+    }
+
+    #[test]
+    fn non_ground_answers_are_shared() {
+        // The exit table of append stores one non-ground answer scheme.
+        let p = parse_program(
+            "append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+        )
+        .unwrap();
+        let q = parse_query("append([], [7], W)").unwrap();
+        let (sols, counters) = tabled_query(&p, &q, TabledOptions::default()).unwrap();
+        assert_eq!(sols.len(), 1);
+        assert!(counters.magic_facts >= 1); // at least the query's table
+    }
+
+    #[test]
+    fn edb_query_answers_directly() {
+        let v = run("p(X) :- e(X). e(1). e(2).", "e(X)");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn empty_program_no_answers() {
+        let v = run("p(0).", "q(X)");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn sweep_budget_enforced() {
+        let p = parse_program(
+            "n(0).
+             n(Y) :- n(X), plus(X, 1, Y).",
+        )
+        .unwrap();
+        let q = parse_query("n(X)").unwrap();
+        let err = tabled_query(
+            &p,
+            &q,
+            TabledOptions {
+                max_sweeps: 20,
+                max_answers: 1_000_000,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::FuelExceeded { .. }));
+    }
+
+    #[test]
+    fn canonicalization_merges_variants() {
+        let a = canonicalize(&[Term::var("A"), Term::var("B"), Term::var("A")]);
+        let b = canonicalize(&[Term::var("X"), Term::var("Y"), Term::var("X")]);
+        assert_eq!(a, b);
+        let c = canonicalize(&[Term::var("X"), Term::var("X"), Term::var("Y")]);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,288 @@
+//! Top-down SLD resolution — the Prolog/LDL-style baseline.
+//!
+//! Depth-first, left-to-right, all-solutions resolution over the *original*
+//! (unrectified) program: head unification does the term decomposition that
+//! rectification turns into `cons` atoms. This is the evaluation model the
+//! paper's functional examples (`isort`, `qsort`) are usually run under,
+//! and the baseline the chain-split benches compare against.
+//!
+//! Budgets: `max_depth` bounds the resolution depth, `fuel` the total
+//! number of resolution steps — a diverging query (e.g. a left-recursive
+//! rule) reports an error instead of hanging.
+
+use crate::builtins::{eval_builtin, BuiltinOutcome};
+use crate::error::{Counters, EvalError};
+use crate::eval::match_relation;
+use chainsplit_logic::{fresh, unify_atoms, Atom, Pred, Program, Rule, Subst};
+use chainsplit_relation::Database;
+use std::collections::HashMap;
+
+/// Budgets for top-down resolution.
+#[derive(Clone, Copy, Debug)]
+pub struct TopDownOptions {
+    pub max_depth: usize,
+    pub fuel: usize,
+}
+
+impl Default for TopDownOptions {
+    fn default() -> Self {
+        TopDownOptions {
+            max_depth: 100_000,
+            fuel: 50_000_000,
+        }
+    }
+}
+
+/// A top-down resolution engine over a fixed program and EDB.
+pub struct TopDown<'a> {
+    rules_by_pred: HashMap<Pred, Vec<&'a Rule>>,
+    db: &'a Database,
+    opts: TopDownOptions,
+    fuel_left: usize,
+    pub counters: Counters,
+}
+
+impl<'a> TopDown<'a> {
+    /// Builds the engine from the IDB `rules` (original, unrectified form)
+    /// and the EDB.
+    pub fn new(rules: &'a [Rule], db: &'a Database, opts: TopDownOptions) -> TopDown<'a> {
+        let mut rules_by_pred: HashMap<Pred, Vec<&Rule>> = HashMap::new();
+        for r in rules {
+            rules_by_pred.entry(r.head.pred).or_default().push(r);
+        }
+        TopDown {
+            rules_by_pred,
+            db,
+            opts,
+            fuel_left: opts.fuel,
+            counters: Counters::default(),
+        }
+    }
+
+    /// All solutions of `goal` from an empty binding.
+    pub fn solve(&mut self, goal: &Atom) -> Result<Vec<Subst>, EvalError> {
+        self.fuel_left = self.opts.fuel;
+        let mut out = Vec::new();
+        self.solve_goal(goal, &Subst::new(), 0, &mut out)?;
+        Ok(out)
+    }
+
+    fn spend(&mut self) -> Result<(), EvalError> {
+        if self.fuel_left == 0 {
+            return Err(EvalError::FuelExceeded {
+                limit: self.opts.fuel,
+            });
+        }
+        self.fuel_left -= 1;
+        Ok(())
+    }
+
+    fn solve_goal(
+        &mut self,
+        goal: &Atom,
+        s: &Subst,
+        depth: usize,
+        out: &mut Vec<Subst>,
+    ) -> Result<(), EvalError> {
+        self.spend()?;
+        if depth > self.opts.max_depth {
+            return Err(EvalError::DepthExceeded {
+                limit: self.opts.max_depth,
+            });
+        }
+        // Builtins.
+        match eval_builtin(goal, s)? {
+            Some(BuiltinOutcome::Solutions(sols)) => {
+                self.counters.considered += 1;
+                out.extend(sols);
+                return Ok(());
+            }
+            Some(BuiltinOutcome::NotEvaluable) => {
+                return Err(EvalError::NotEvaluable {
+                    atom: s.resolve_atom(goal).to_string(),
+                })
+            }
+            None => {}
+        }
+        // IDB: resolve against each rule, renamed apart.
+        if let Some(rules) = self.rules_by_pred.get(&goal.pred) {
+            let rules: Vec<&Rule> = rules.clone();
+            for rule in rules {
+                self.counters.considered += 1;
+                let fresh_rule = rule.rename(fresh::rename_tag());
+                let mut s2 = s.clone();
+                if !unify_atoms(&mut s2, goal, &fresh_rule.head) {
+                    continue;
+                }
+                self.solve_body(&fresh_rule.body, &s2, depth + 1, out)?;
+            }
+            return Ok(());
+        }
+        // EDB.
+        if let Some(rel) = self.db.relation(goal.pred) {
+            let before = out.len();
+            match_relation(rel, goal, s, &mut self.counters, out);
+            self.counters.derived += out.len() - before;
+        }
+        Ok(())
+    }
+
+    fn solve_body(
+        &mut self,
+        body: &[Atom],
+        s: &Subst,
+        depth: usize,
+        out: &mut Vec<Subst>,
+    ) -> Result<(), EvalError> {
+        match body.split_first() {
+            None => {
+                self.counters.derived += 1;
+                out.push(s.clone());
+                Ok(())
+            }
+            Some((first, rest)) => {
+                let mut firsts = Vec::new();
+                self.solve_goal(first, s, depth, &mut firsts)?;
+                for s2 in firsts {
+                    self.solve_body(rest, &s2, depth, out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Convenience: run one query top-down.
+pub fn topdown_query(
+    program: &Program,
+    query: &Atom,
+    opts: TopDownOptions,
+) -> Result<(Vec<Subst>, Counters), EvalError> {
+    let (facts, rules) = program.split_facts();
+    let db = Database::from_facts(facts);
+    let mut td = TopDown::new(&rules, &db, opts);
+    let answers = td.solve(query)?;
+    Ok((answers, td.counters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::{parse_program, parse_query, Term, Var};
+
+    fn run(src: &str, query: &str) -> Vec<Subst> {
+        let p = parse_program(src).unwrap();
+        let q = parse_query(query).unwrap();
+        topdown_query(&p, &q, TopDownOptions::default()).unwrap().0
+    }
+
+    fn y_values(sols: &[Subst], var: &str) -> Vec<String> {
+        let mut v: Vec<String> = sols
+            .iter()
+            .map(|s| s.resolve(&Term::Var(Var::named(var))).to_string())
+            .collect();
+        v.sort();
+        v
+    }
+
+    const APPEND: &str = "append([], L, L).
+        append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).";
+
+    #[test]
+    fn append_forward() {
+        let sols = run(APPEND, "append([1, 2], [3], Ys)");
+        assert_eq!(y_values(&sols, "Ys"), ["[1, 2, 3]"]);
+    }
+
+    #[test]
+    fn append_backward_enumerates_splits() {
+        let sols = run(APPEND, "append(U, V, [1, 2, 3])");
+        assert_eq!(sols.len(), 4);
+    }
+
+    #[test]
+    fn isort_sorts() {
+        let src = "isort([X | Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+             isort([], []).
+             insert(X, [], [X]).
+             insert(X, [Y | Ys], [Y | Zs]) :- X > Y, insert(X, Ys, Zs).
+             insert(X, [Y | Ys], [X, Y | Ys]) :- X <= Y.";
+        let sols = run(src, "isort([5, 7, 1], Ys)");
+        assert_eq!(y_values(&sols, "Ys"), ["[1, 5, 7]"]);
+    }
+
+    #[test]
+    fn qsort_sorts() {
+        let src = "qsort([X | Xs], Ys) :- partition(Xs, X, Ls, Bs),
+                       qsort(Ls, SLs), qsort(Bs, SBs), append(SLs, [X | SBs], Ys).
+             qsort([], []).
+             partition([X | Xs], Y, [X | Ls], Bs) :- X <= Y, partition(Xs, Y, Ls, Bs).
+             partition([X | Xs], Y, Ls, [X | Bs]) :- X > Y, partition(Xs, Y, Ls, Bs).
+             partition([], Y, [], []).
+             append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).";
+        let sols = run(src, "qsort([4, 9, 5], Ys)");
+        assert_eq!(y_values(&sols, "Ys"), ["[4, 5, 9]"]);
+    }
+
+    #[test]
+    fn edb_goals_resolve() {
+        let sols = run(
+            "parent(adam, cain). parent(adam, abel).
+             gp(X, Z) :- parent(X, Y), parent(Y, Z).",
+            "parent(adam, X)",
+        );
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn depth_budget_stops_left_recursion() {
+        let src = "p(X) :- p(X).
+             p(a).";
+        let p = parse_program(src).unwrap();
+        let q = parse_query("p(a)").unwrap();
+        let err = topdown_query(
+            &p,
+            &q,
+            TopDownOptions {
+                max_depth: 100,
+                fuel: 1_000_000,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::DepthExceeded { .. }));
+    }
+
+    #[test]
+    fn fuel_budget_stops_wide_search() {
+        let src = "b(1). b(2). b(3). b(4). b(5).
+             w(A, B, C, D, E, F, G, H) :- b(A), b(B), b(C), b(D), b(E), b(F), b(G), b(H).";
+        let p = parse_program(src).unwrap();
+        let q = parse_query("w(A, B, C, D, E, F, G, H)").unwrap();
+        let err = topdown_query(
+            &p,
+            &q,
+            TopDownOptions {
+                max_depth: 100_000,
+                fuel: 1000,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::FuelExceeded { .. }));
+    }
+
+    #[test]
+    fn unbound_builtin_is_instantiation_error() {
+        let src = "p(X, Y) :- X < Y.";
+        let p = parse_program(src).unwrap();
+        let q = parse_query("p(X, Y)").unwrap();
+        let err = topdown_query(&p, &q, TopDownOptions::default()).unwrap_err();
+        assert!(matches!(err, EvalError::NotEvaluable { .. }));
+    }
+
+    #[test]
+    fn no_rules_no_facts_means_failure_not_error() {
+        let sols = run("p(a).", "q(X)");
+        assert!(sols.is_empty());
+    }
+}

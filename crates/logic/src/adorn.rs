@@ -1,0 +1,258 @@
+//! Adornments: bound/free annotations on predicate arguments.
+//!
+//! Following the magic-sets notation of \[2, 21\] (and §2.2 of the paper), a
+//! superscript string of `b`s and `f`s marks which arguments of a predicate
+//! carry (finite) bindings at evaluation time. Adornments drive both the
+//! magic-sets transformation and the finite-evaluability analysis that
+//! decides where a chain generating path must be split.
+
+use crate::atom::{Atom, Pred};
+use crate::term::{Term, Var};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One argument position's binding status.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Ad {
+    Bound,
+    Free,
+}
+
+impl Ad {
+    pub fn is_bound(self) -> bool {
+        self == Ad::Bound
+    }
+}
+
+/// A full adornment string, e.g. `bf` for `sg^bf`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Adornment(pub Vec<Ad>);
+
+impl Adornment {
+    /// Parses `"bf"`-style strings. Panics on characters other than `b`/`f`
+    /// — adornment literals are programmer-written.
+    pub fn parse(s: &str) -> Adornment {
+        Adornment(
+            s.chars()
+                .map(|c| match c {
+                    'b' => Ad::Bound,
+                    'f' => Ad::Free,
+                    other => panic!("invalid adornment character `{other}`"),
+                })
+                .collect(),
+        )
+    }
+
+    /// The all-free adornment of the given arity.
+    pub fn all_free(arity: usize) -> Adornment {
+        Adornment(vec![Ad::Free; arity])
+    }
+
+    /// The all-bound adornment of the given arity.
+    pub fn all_bound(arity: usize) -> Adornment {
+        Adornment(vec![Ad::Bound; arity])
+    }
+
+    /// Computes the adornment of `atom` given the set of bound variables:
+    /// an argument is bound iff every variable in it is bound (a ground
+    /// argument is always bound).
+    pub fn of_atom(atom: &Atom, bound: &HashSet<Var>) -> Adornment {
+        Adornment(
+            atom.args
+                .iter()
+                .map(|t| {
+                    if term_bound(t, bound) {
+                        Ad::Bound
+                    } else {
+                        Ad::Free
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn bound_positions(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.is_bound().then_some(i))
+            .collect()
+    }
+
+    pub fn free_positions(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| (!a.is_bound()).then_some(i))
+            .collect()
+    }
+
+    pub fn n_bound(&self) -> usize {
+        self.0.iter().filter(|a| a.is_bound()).count()
+    }
+
+    /// True iff every position bound in `other` is also bound here — i.e.
+    /// this adornment provides at least the bindings of `other`.
+    pub fn subsumes(&self, other: &Adornment) -> bool {
+        self.0.len() == other.0.len()
+            && self
+                .0
+                .iter()
+                .zip(&other.0)
+                .all(|(a, b)| a.is_bound() || !b.is_bound())
+    }
+}
+
+/// True iff every variable of `t` is in `bound` (ground terms qualify).
+pub fn term_bound(t: &Term, bound: &HashSet<Var>) -> bool {
+    match t {
+        Term::Var(v) => bound.contains(v),
+        Term::Int(_) | Term::Sym(_) | Term::Nil => true,
+        Term::Cons(h, tl) => term_bound(h, bound) && term_bound(tl, bound),
+        Term::Comp(_, args) => args.iter().all(|a| term_bound(a, bound)),
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for a in &self.0 {
+            write!(f, "{}", if a.is_bound() { 'b' } else { 'f' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A predicate together with an adornment — the unit the magic-sets
+/// transformation and the evaluability analysis work over.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AdornedPred {
+    pub pred: Pred,
+    // Adornments are short; to keep this type `Copy` we pack them into a
+    // bitset (bit i set = position i bound). Arity is bounded by `Pred`.
+    bits: u64,
+}
+
+impl AdornedPred {
+    pub fn new(pred: Pred, ad: &Adornment) -> AdornedPred {
+        assert_eq!(pred.arity as usize, ad.len(), "adornment/arity mismatch");
+        assert!(pred.arity <= 64, "arity > 64 unsupported");
+        let mut bits = 0u64;
+        for (i, a) in ad.0.iter().enumerate() {
+            if a.is_bound() {
+                bits |= 1 << i;
+            }
+        }
+        AdornedPred { pred, bits }
+    }
+
+    pub fn adornment(&self) -> Adornment {
+        Adornment(
+            (0..self.pred.arity as usize)
+                .map(|i| {
+                    if self.bits & (1 << i) != 0 {
+                        Ad::Bound
+                    } else {
+                        Ad::Free
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for AdornedPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}^{}", self.pred.name, self.adornment())
+    }
+}
+
+impl fmt::Debug for AdornedPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let a = Adornment::parse("bfb");
+        assert_eq!(a.to_string(), "bfb");
+        assert_eq!(a.bound_positions(), vec![0, 2]);
+        assert_eq!(a.free_positions(), vec![1]);
+        assert_eq!(a.n_bound(), 2);
+    }
+
+    #[test]
+    fn of_atom_uses_bound_vars_and_groundness() {
+        let atom = Atom::new(
+            "travel",
+            vec![Term::var("L"), Term::sym("vancouver"), Term::var("F")],
+        );
+        let mut bound = HashSet::new();
+        bound.insert(Var::named("F"));
+        let ad = Adornment::of_atom(&atom, &bound);
+        assert_eq!(ad.to_string(), "fbb");
+    }
+
+    #[test]
+    fn partially_bound_structured_arg_is_free() {
+        // [X | Xs] with only X bound is not a bound argument.
+        let atom = Atom::new(
+            "isort",
+            vec![Term::Cons(Term::var("X").into(), Term::var("Xs").into())],
+        );
+        let mut bound = HashSet::new();
+        bound.insert(Var::named("X"));
+        assert_eq!(Adornment::of_atom(&atom, &bound).to_string(), "f");
+        bound.insert(Var::named("Xs"));
+        assert_eq!(Adornment::of_atom(&atom, &bound).to_string(), "b");
+    }
+
+    #[test]
+    fn subsumption() {
+        let bb = Adornment::parse("bb");
+        let bf = Adornment::parse("bf");
+        let ff = Adornment::parse("ff");
+        assert!(bb.subsumes(&bf));
+        assert!(bb.subsumes(&ff));
+        assert!(bf.subsumes(&ff));
+        assert!(!bf.subsumes(&bb));
+        assert!(!ff.subsumes(&bf));
+        assert!(bf.subsumes(&bf));
+    }
+
+    #[test]
+    fn adorned_pred_round_trip() {
+        let p = Pred::new("sg", 2);
+        let ap = AdornedPred::new(p, &Adornment::parse("bf"));
+        assert_eq!(ap.adornment(), Adornment::parse("bf"));
+        assert_eq!(ap.to_string(), "sg^bf");
+        assert_ne!(
+            AdornedPred::new(p, &Adornment::parse("bf")),
+            AdornedPred::new(p, &Adornment::parse("fb"))
+        );
+    }
+
+    #[test]
+    fn all_free_all_bound() {
+        assert_eq!(Adornment::all_free(3).to_string(), "fff");
+        assert_eq!(Adornment::all_bound(2).to_string(), "bb");
+    }
+}

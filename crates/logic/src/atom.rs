@@ -1,0 +1,153 @@
+//! Predicates and atoms.
+
+use crate::symbol::Sym;
+use crate::term::{dedup_preserving_order, Term, Var};
+use std::fmt;
+
+/// A predicate symbol: name plus arity. `p/2` and `p/3` are distinct.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred {
+    pub name: Sym,
+    pub arity: u32,
+}
+
+impl Pred {
+    pub fn new(name: &str, arity: u32) -> Pred {
+        Pred {
+            name: Sym::new(name),
+            arity,
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+impl fmt::Debug for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// An atom `p(t1, …, tk)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    pub pred: Pred,
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom, deriving the predicate's arity from the argument count.
+    pub fn new(name: &str, args: Vec<Term>) -> Atom {
+        Atom {
+            pred: Pred::new(name, args.len() as u32),
+            args,
+        }
+    }
+
+    /// The variables of the atom, deduplicated, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut all = Vec::new();
+        for a in &self.args {
+            a.collect_vars(&mut all);
+        }
+        dedup_preserving_order(all)
+    }
+
+    /// True iff every argument is ground.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+
+    /// True iff every argument is a variable or an atomic constant
+    /// (i.e. the atom is function-free).
+    pub fn is_flat(&self) -> bool {
+        self.args.iter().all(Term::is_atomic)
+    }
+
+    /// Renames every variable in the atom with the given rename tag.
+    pub fn rename(&self, tag: u32) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self.args.iter().map(|t| t.rename(tag)).collect(),
+        }
+    }
+}
+
+/// Comparison predicates that print infix (and are parsed infix).
+pub const COMPARISON_OPS: [&str; 6] = ["=", "\\=", "<", "<=", ">", ">="];
+
+impl Atom {
+    /// True iff this atom is one of the infix comparison builtins.
+    pub fn is_comparison(&self) -> bool {
+        self.pred.arity == 2 && COMPARISON_OPS.contains(&self.pred.name.as_str())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_comparison() {
+            return write!(f, "{} {} {}", self.args[0], self.pred.name, self.args[1]);
+        }
+        if self.args.is_empty() {
+            return write!(f, "{}", self.pred.name);
+        }
+        write!(f, "{}(", self.pred.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pred_identity_includes_arity() {
+        assert_ne!(Pred::new("p", 2), Pred::new("p", 3));
+        assert_eq!(Pred::new("p", 2), Pred::new("p", 2));
+    }
+
+    #[test]
+    fn atom_vars_in_order() {
+        let a = Atom::new(
+            "sg",
+            vec![
+                Term::var("Y"),
+                Term::comp("f", vec![Term::var("X"), Term::var("Y")]),
+            ],
+        );
+        assert_eq!(a.vars(), vec![Var::named("Y"), Var::named("X")]);
+    }
+
+    #[test]
+    fn flatness() {
+        assert!(Atom::new("p", vec![Term::var("X"), Term::Int(1)]).is_flat());
+        assert!(!Atom::new("p", vec![Term::int_list([1])]).is_flat());
+    }
+
+    #[test]
+    fn zero_arity_display() {
+        assert_eq!(Atom::new("halt", vec![]).to_string(), "halt");
+    }
+
+    #[test]
+    fn display_atom() {
+        let a = Atom::new("parent", vec![Term::sym("adam"), Term::var("X")]);
+        assert_eq!(a.to_string(), "parent(adam, X)");
+    }
+}

@@ -1,0 +1,56 @@
+//! # chainsplit-logic
+//!
+//! The Horn-clause language underlying the chain-split deductive database:
+//! interned symbols, terms with function symbols and first-class lists,
+//! atoms, rules and programs, a Prolog-style parser, substitutions,
+//! unification, and b/f adornments.
+//!
+//! This is the substrate every other crate builds on; it corresponds to the
+//! "Datalog with function symbols" preliminaries of Han's chain-split paper
+//! (ICDE 1992, §1).
+//!
+//! ```
+//! use chainsplit_logic::{parse_program, parse_query};
+//!
+//! let program = parse_program(
+//!     "append([], L, L).
+//!      append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+//! )
+//! .unwrap();
+//! assert_eq!(program.rules.len(), 2);
+//!
+//! let query = parse_query("?- append(U, V, [1, 2, 3]).").unwrap();
+//! assert_eq!(query.pred.name.as_str(), "append");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod adorn;
+pub mod atom;
+pub mod parser;
+pub mod rule;
+pub mod subst;
+pub mod symbol;
+pub mod term;
+pub mod unify;
+
+pub use adorn::{Ad, AdornedPred, Adornment};
+pub use atom::{Atom, Pred, COMPARISON_OPS};
+pub use parser::{parse_program, parse_query, parse_rule, parse_term, ParseError};
+pub use rule::{Program, Rule};
+pub use subst::Subst;
+pub use symbol::Sym;
+pub use term::{Term, Var};
+pub use unify::{mgu, unify, unify_atoms};
+
+/// A process-global source of fresh rename tags for renaming rules apart.
+pub mod fresh {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static COUNTER: AtomicU32 = AtomicU32::new(1);
+
+    /// Returns a rename tag never returned before in this process.
+    pub fn rename_tag() -> u32 {
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,619 @@
+//! A Prolog-style parser for the paper's programs.
+//!
+//! Supported syntax:
+//!
+//! - clauses `head.` and `head :- a1, …, ak.`;
+//! - queries `?- atom.` (the `?-` and trailing `.` are optional in
+//!   [`parse_query`]);
+//! - terms: variables (`X`, `Xs`, `_tmp`), integers (`-3`), symbolic
+//!   constants (`ottawa`), compound terms (`f(X, 1)`), lists (`[]`,
+//!   `[1, 2]`, `[X | Xs]`);
+//! - infix comparison atoms `T1 op T2` with `op` one of
+//!   `=  \=  !=  <  >  <=  =<  >=` (canonicalised to `=`, `\=`, `<`, `<=`,
+//!   `>`, `>=`);
+//! - `%` line comments and `/* … */` block comments.
+
+use crate::atom::Atom;
+use crate::rule::{Program, Rule};
+use crate::term::Term;
+use std::fmt;
+
+/// A parse failure with 1-based source position.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub msg: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl fmt::Debug for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Var(String),
+    Int(i64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Bar,
+    ColonDash,
+    QuestionDash,
+    /// Canonicalised comparison operator: `=`, `\=`, `<`, `<=`, `>`, `>=`.
+    Op(&'static str),
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Var(s) => write!(f, "variable `{s}`"),
+            Tok::Int(i) => write!(f, "integer `{i}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Bar => write!(f, "`|`"),
+            Tok::ColonDash => write!(f, "`:-`"),
+            Tok::QuestionDash => write!(f, "`?-`"),
+            Tok::Op(s) => write!(f, "`{s}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('%') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') => {
+                    // Only a comment if followed by '*'; '/' alone is an error
+                    // later anyway (no division operator in the term syntax).
+                    let mut clone = self.chars.clone();
+                    clone.next();
+                    if clone.peek() == Some(&'*') {
+                        self.bump();
+                        self.bump();
+                        let mut prev = ' ';
+                        loop {
+                            match self.bump() {
+                                Some('/') if prev == '*' => break,
+                                Some(c) => prev = c,
+                                None => return Err(self.err("unterminated block comment")),
+                            }
+                        }
+                    } else {
+                        return Ok(());
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_int(&mut self) -> Result<i64, ParseError> {
+        let mut n: i64 = 0;
+        while let Some(&c) = self.chars.peek() {
+            let Some(d) = c.to_digit(10) else { break };
+            self.bump();
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(d as i64))
+                .ok_or_else(|| self.err("integer literal overflows i64"))?;
+        }
+        Ok(n)
+    }
+
+    fn next_tok(&mut self) -> Result<(Tok, u32, u32), ParseError> {
+        self.skip_trivia()?;
+        let (line, col) = (self.line, self.col);
+        let Some(&c) = self.chars.peek() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        let tok = match c {
+            '(' => {
+                self.bump();
+                Tok::LParen
+            }
+            ')' => {
+                self.bump();
+                Tok::RParen
+            }
+            '[' => {
+                self.bump();
+                Tok::LBracket
+            }
+            ']' => {
+                self.bump();
+                Tok::RBracket
+            }
+            ',' => {
+                self.bump();
+                Tok::Comma
+            }
+            '|' => {
+                self.bump();
+                Tok::Bar
+            }
+            '.' => {
+                self.bump();
+                Tok::Dot
+            }
+            ':' => {
+                self.bump();
+                if self.chars.peek() == Some(&'-') {
+                    self.bump();
+                    Tok::ColonDash
+                } else {
+                    return Err(self.err("expected `:-`"));
+                }
+            }
+            '?' => {
+                self.bump();
+                if self.chars.peek() == Some(&'-') {
+                    self.bump();
+                    Tok::QuestionDash
+                } else {
+                    return Err(self.err("expected `?-`"));
+                }
+            }
+            '=' => {
+                self.bump();
+                if self.chars.peek() == Some(&'<') {
+                    self.bump();
+                    Tok::Op("<=")
+                } else {
+                    Tok::Op("=")
+                }
+            }
+            '<' => {
+                self.bump();
+                if self.chars.peek() == Some(&'=') {
+                    self.bump();
+                    Tok::Op("<=")
+                } else {
+                    Tok::Op("<")
+                }
+            }
+            '>' => {
+                self.bump();
+                if self.chars.peek() == Some(&'=') {
+                    self.bump();
+                    Tok::Op(">=")
+                } else {
+                    Tok::Op(">")
+                }
+            }
+            '\\' | '!' => {
+                self.bump();
+                if self.chars.peek() == Some(&'=') {
+                    self.bump();
+                    Tok::Op("\\=")
+                } else {
+                    return Err(self.err(format!("expected `{c}=`")));
+                }
+            }
+            '-' => {
+                self.bump();
+                match self.chars.peek() {
+                    Some(d) if d.is_ascii_digit() => Tok::Int(-self.lex_int()?),
+                    _ => return Err(self.err("expected digit after `-`")),
+                }
+            }
+            d if d.is_ascii_digit() => Tok::Int(self.lex_int()?),
+            a if a.is_alphabetic() || a == '_' => {
+                let mut word = String::new();
+                while let Some(&c) = self.chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        word.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let first = word.chars().next().unwrap();
+                if first.is_uppercase() || first == '_' {
+                    Tok::Var(word)
+                } else {
+                    Tok::Ident(word)
+                }
+            }
+            other => return Err(self.err(format!("unexpected character `{other}`"))),
+        };
+        Ok((tok, line, col))
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, u32, u32)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let mut toks = Vec::new();
+        loop {
+            let t = lexer.next_tok()?;
+            let eof = t.0 == Tok::Eof;
+            toks.push(t);
+            if eof {
+                break;
+            }
+        }
+        Ok(Parser { toks, pos: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ParseError {
+        let (_, line, col) = self.toks[self.pos];
+        ParseError {
+            msg: msg.into(),
+            line,
+            col,
+        }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Tok::Var(name) => Ok(Term::var(&name)),
+            Tok::Int(i) => Ok(Term::Int(i)),
+            Tok::Ident(name) => {
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let args = self.term_list(Tok::RParen)?;
+                    if args.is_empty() {
+                        return Err(self.err_here("compound term needs at least one argument"));
+                    }
+                    Ok(Term::comp(&name, args))
+                } else {
+                    Ok(Term::sym(&name))
+                }
+            }
+            Tok::LBracket => self.list_tail(),
+            other => Err(self.err_here(format!("expected term, found {other}"))),
+        }
+    }
+
+    /// Parses the inside of a `[...]` after the opening bracket.
+    fn list_tail(&mut self) -> Result<Term, ParseError> {
+        if *self.peek() == Tok::RBracket {
+            self.bump();
+            return Ok(Term::Nil);
+        }
+        let mut elems = vec![self.term()?];
+        loop {
+            match self.bump() {
+                Tok::Comma => elems.push(self.term()?),
+                Tok::Bar => {
+                    let tail = self.term()?;
+                    self.expect(&Tok::RBracket)?;
+                    return Ok(elems
+                        .into_iter()
+                        .rev()
+                        .fold(tail, |t, h| Term::Cons(h.into(), t.into())));
+                }
+                Tok::RBracket => return Ok(Term::list(elems)),
+                other => {
+                    return Err(self.err_here(format!("expected `,`, `|` or `]`, found {other}")))
+                }
+            }
+        }
+    }
+
+    fn term_list(&mut self, close: Tok) -> Result<Vec<Term>, ParseError> {
+        let mut out = Vec::new();
+        if *self.peek() == close {
+            self.bump();
+            return Ok(out);
+        }
+        loop {
+            out.push(self.term()?);
+            match self.bump() {
+                Tok::Comma => continue,
+                t if t == close => return Ok(out),
+                other => {
+                    return Err(self.err_here(format!("expected `,` or {close}, found {other}")))
+                }
+            }
+        }
+    }
+
+    /// An atom: `p`, `p(args)`, or an infix comparison `t1 op t2`.
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        // An ident followed by `(` starts a predicate application, but the
+        // *whole* thing might still be the left side of a comparison, e.g.
+        // `length(L) < N` is not supported — comparisons take plain terms on
+        // both sides. A leading ident without parens could be either a
+        // zero-ary atom or a constant in a comparison; we parse a term and
+        // decide by the next token.
+        let lhs = self.term()?;
+        if let Tok::Op(op) = self.peek().clone() {
+            self.bump();
+            let rhs = self.term()?;
+            return Ok(Atom::new(op, vec![lhs, rhs]));
+        }
+        match lhs {
+            Term::Sym(s) => Ok(Atom {
+                pred: crate::atom::Pred { name: s, arity: 0 },
+                args: vec![],
+            }),
+            Term::Comp(f, args) => Ok(Atom {
+                pred: crate::atom::Pred {
+                    name: f,
+                    arity: args.len() as u32,
+                },
+                args: args.to_vec(),
+            }),
+            other => Err(self.err_here(format!(
+                "expected an atom or comparison, found bare term `{other}`"
+            ))),
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        let head = self.atom()?;
+        match self.bump() {
+            Tok::Dot => Ok(Rule::fact(head)),
+            Tok::ColonDash => {
+                let mut body = vec![self.atom()?];
+                loop {
+                    match self.bump() {
+                        Tok::Comma => body.push(self.atom()?),
+                        Tok::Dot => return Ok(Rule::new(head, body)),
+                        other => {
+                            return Err(self.err_here(format!("expected `,` or `.`, found {other}")))
+                        }
+                    }
+                }
+            }
+            other => Err(self.err_here(format!("expected `.` or `:-`, found {other}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut rules = Vec::new();
+        while *self.peek() != Tok::Eof {
+            rules.push(self.rule()?);
+        }
+        Ok(Program::new(rules))
+    }
+
+    fn query(&mut self) -> Result<Atom, ParseError> {
+        if *self.peek() == Tok::QuestionDash {
+            self.bump();
+        }
+        let a = self.atom()?;
+        if *self.peek() == Tok::Dot {
+            self.bump();
+        }
+        if *self.peek() != Tok::Eof {
+            return Err(self.err_here(format!("trailing input after query: {}", self.peek())));
+        }
+        Ok(a)
+    }
+}
+
+/// Parses a whole program (a sequence of clauses).
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    Parser::new(src)?.program()
+}
+
+/// Parses a single clause.
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let mut p = Parser::new(src)?;
+    let r = p.rule()?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.err_here("trailing input after rule"));
+    }
+    Ok(r)
+}
+
+/// Parses a single term.
+pub fn parse_term(src: &str) -> Result<Term, ParseError> {
+    let mut p = Parser::new(src)?;
+    let t = p.term()?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.err_here("trailing input after term"));
+    }
+    Ok(t)
+}
+
+/// Parses a query: `?- atom.` (prefix/period optional).
+pub fn parse_query(src: &str) -> Result<Atom, ParseError> {
+    Parser::new(src)?.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_sg_program() {
+        let p = parse_program(
+            "sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+             sg(X, Y) :- sibling(X, Y).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(
+            p.rules[0].to_string(),
+            "sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1)."
+        );
+    }
+
+    #[test]
+    fn parse_lists() {
+        assert_eq!(parse_term("[5, 7, 1]").unwrap(), Term::int_list([5, 7, 1]));
+        assert_eq!(parse_term("[]").unwrap(), Term::Nil);
+        let t = parse_term("[X | Xs]").unwrap();
+        assert_eq!(t.to_string(), "[X | Xs]");
+        let t = parse_term("[1, 2 | T]").unwrap();
+        assert_eq!(t.to_string(), "[1, 2 | T]");
+    }
+
+    #[test]
+    fn parse_append() {
+        let p = parse_program(
+            "append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.rules[0].is_fact()); // non-ground fact, kept as rule by split_facts
+        let (facts, rules) = p.split_facts();
+        assert!(facts.is_empty());
+        assert_eq!(rules.len(), 2);
+    }
+
+    #[test]
+    fn parse_comparisons() {
+        let r = parse_rule("insert(X, [Y | Ys], [Y | Zs]) :- X > Y, insert(X, Ys, Zs).").unwrap();
+        assert_eq!(r.body[0].pred.name.as_str(), ">");
+        let r = parse_rule("p(X) :- X =< 3, q(X).").unwrap();
+        assert_eq!(r.body[0].pred.name.as_str(), "<=");
+        let r = parse_rule("p(X) :- X <= 3, q(X).").unwrap();
+        assert_eq!(r.body[0].pred.name.as_str(), "<=");
+        let r = parse_rule("p(X) :- X != 3, q(X).").unwrap();
+        assert_eq!(r.body[0].pred.name.as_str(), "\\=");
+        let r = parse_rule("p(X) :- X \\= 3, q(X).").unwrap();
+        assert_eq!(r.body[0].pred.name.as_str(), "\\=");
+        let r = parse_rule("p(X, Y) :- X = Y.").unwrap();
+        assert_eq!(r.body[0].pred.name.as_str(), "=");
+    }
+
+    #[test]
+    fn parse_negative_ints() {
+        assert_eq!(parse_term("-42").unwrap(), Term::Int(-42));
+    }
+
+    #[test]
+    fn parse_comments() {
+        let p = parse_program(
+            "% the sibling base case
+             sg(X, Y) :- sibling(X, Y). /* inline
+             block */ base(a).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+    }
+
+    #[test]
+    fn parse_query_forms() {
+        for q in ["?- sg(adam, Y).", "sg(adam, Y)", "sg(adam, Y)."] {
+            let a = parse_query(q).unwrap();
+            assert_eq!(a.pred.name.as_str(), "sg");
+        }
+    }
+
+    #[test]
+    fn parse_zero_arity() {
+        let r = parse_rule("go :- init.").unwrap();
+        assert_eq!(r.head.pred.arity, 0);
+        assert_eq!(r.body[0].pred.arity, 0);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse_program("p(X) :- q(X)").unwrap_err();
+        assert!(e.line >= 1);
+        let e = parse_program("p(X :- q(X).").unwrap_err();
+        assert!(!e.msg.is_empty());
+        assert!(parse_term("[1, 2").is_err());
+        assert!(parse_term("f()").is_err());
+        assert!(parse_query("p(X). q(Y).").is_err());
+    }
+
+    #[test]
+    fn underscore_vars() {
+        let t = parse_term("_tmp").unwrap();
+        assert!(matches!(t, Term::Var(_)));
+    }
+
+    #[test]
+    fn nested_compound_terms() {
+        let t = parse_term("f(g(X, 1), [h(2) | T])").unwrap();
+        assert_eq!(t.to_string(), "f(g(X, 1), [h(2) | T])");
+    }
+}

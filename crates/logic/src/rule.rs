@@ -1,0 +1,267 @@
+//! Rules and programs.
+//!
+//! A deductive database program (IDB) is a set of Horn-clause rules. Facts
+//! are rules with an empty body and a ground head; at load time the engine
+//! moves them into the EDB.
+
+use crate::atom::{Atom, Pred};
+use crate::term::{dedup_preserving_order, Var};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A Horn clause `head :- body` (a fact when `body` is empty).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    pub head: Atom,
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    pub fn new(head: Atom, body: Vec<Atom>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// A fact (empty body).
+    pub fn fact(head: Atom) -> Rule {
+        Rule {
+            head,
+            body: Vec::new(),
+        }
+    }
+
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// All variables of the rule, deduplicated, head first.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut all = Vec::new();
+        for a in &self.head.args {
+            a.collect_vars(&mut all);
+        }
+        for b in &self.body {
+            for a in &b.args {
+                a.collect_vars(&mut all);
+            }
+        }
+        dedup_preserving_order(all)
+    }
+
+    /// True iff the rule is *range-restricted*: every head variable occurs
+    /// in the body. (Safety in the Datalog sense; functional predicates can
+    /// relax this during rectification, so this is a diagnostic, not a hard
+    /// requirement.)
+    pub fn is_range_restricted(&self) -> bool {
+        let body_vars: HashSet<Var> = self.body.iter().flat_map(|a| a.vars()).collect();
+        self.head.vars().iter().all(|v| body_vars.contains(v))
+    }
+
+    /// True iff `pred` occurs in the body.
+    pub fn body_refs(&self, pred: Pred) -> bool {
+        self.body.iter().any(|a| a.pred == pred)
+    }
+
+    /// Number of body occurrences of `pred`.
+    pub fn body_count(&self, pred: Pred) -> usize {
+        self.body.iter().filter(|a| a.pred == pred).count()
+    }
+
+    /// Renames every variable in the rule with the given rename tag.
+    pub fn rename(&self, tag: u32) -> Rule {
+        Rule {
+            head: self.head.rename(tag),
+            body: self.body.iter().map(|a| a.rename(tag)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, a) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A program: an ordered collection of rules (facts included).
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    pub fn new(rules: Vec<Rule>) -> Program {
+        Program { rules }
+    }
+
+    /// All predicates defined in rule heads.
+    pub fn head_preds(&self) -> Vec<Pred> {
+        dedup_preserving_order(self.rules.iter().map(|r| r.head.pred).collect())
+    }
+
+    /// All predicates referenced anywhere (heads and bodies).
+    pub fn all_preds(&self) -> Vec<Pred> {
+        let mut out = Vec::new();
+        for r in &self.rules {
+            out.push(r.head.pred);
+            out.extend(r.body.iter().map(|a| a.pred));
+        }
+        dedup_preserving_order(out)
+    }
+
+    /// The rules whose head predicate is `pred`.
+    pub fn rules_for(&self, pred: Pred) -> impl Iterator<Item = &Rule> {
+        self.rules.iter().filter(move |r| r.head.pred == pred)
+    }
+
+    /// Splits the program into (EDB facts, IDB rules).
+    ///
+    /// A ground fact counts as EDB content only when its predicate has no
+    /// other defining rule: `parent(a, b).` is EDB, but `isort([], []).` is
+    /// an *exit rule* of the intensional `isort` and stays with the rules.
+    /// Non-ground "facts" (e.g. `p(X).`) also stay with the rules — they
+    /// denote infinite relations and are the rule compiler's problem.
+    pub fn split_facts(&self) -> (Vec<Atom>, Vec<Rule>) {
+        let idb: HashSet<Pred> = self
+            .rules
+            .iter()
+            .filter(|r| !(r.is_fact() && r.head.is_ground()))
+            .map(|r| r.head.pred)
+            .collect();
+        let mut facts = Vec::new();
+        let mut rules = Vec::new();
+        for r in &self.rules {
+            if r.is_fact() && r.head.is_ground() && !idb.contains(&r.head.pred) {
+                facts.push(r.head.clone());
+            } else {
+                rules.push(r.clone());
+            }
+        }
+        (facts, rules)
+    }
+
+    /// Predicates that never occur in the head of a *proper* rule:
+    /// extensional by construction (ground facts count as EDB content, not
+    /// as intensional definitions).
+    pub fn edb_preds(&self) -> Vec<Pred> {
+        let heads: HashSet<Pred> = self
+            .rules
+            .iter()
+            .filter(|r| !(r.is_fact() && r.head.is_ground()))
+            .map(|r| r.head.pred)
+            .collect();
+        let mut out = Vec::new();
+        for r in &self.rules {
+            for a in &r.body {
+                if !heads.contains(&a.pred) {
+                    out.push(a.pred);
+                }
+            }
+        }
+        dedup_preserving_order(out)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn sg_rule() -> Rule {
+        // sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+        Rule::new(
+            Atom::new("sg", vec![Term::var("X"), Term::var("Y")]),
+            vec![
+                Atom::new("parent", vec![Term::var("X"), Term::var("X1")]),
+                Atom::new("sg", vec![Term::var("X1"), Term::var("Y1")]),
+                Atom::new("parent", vec![Term::var("Y"), Term::var("Y1")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn rule_display() {
+        assert_eq!(
+            sg_rule().to_string(),
+            "sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1)."
+        );
+    }
+
+    #[test]
+    fn rule_vars_head_first() {
+        let vars: Vec<String> = sg_rule().vars().iter().map(|v| v.to_string()).collect();
+        assert_eq!(vars, ["X", "Y", "X1", "Y1"]);
+    }
+
+    #[test]
+    fn range_restriction() {
+        assert!(sg_rule().is_range_restricted());
+        let bad = Rule::new(
+            Atom::new("p", vec![Term::var("X"), Term::var("Z")]),
+            vec![Atom::new("q", vec![Term::var("X")])],
+        );
+        assert!(!bad.is_range_restricted());
+    }
+
+    #[test]
+    fn body_counts() {
+        let r = sg_rule();
+        assert_eq!(r.body_count(Pred::new("parent", 2)), 2);
+        assert_eq!(r.body_count(Pred::new("sg", 2)), 1);
+        assert!(!r.body_refs(Pred::new("sibling", 2)));
+    }
+
+    #[test]
+    fn program_fact_split_and_edb() {
+        let p = Program::new(vec![
+            Rule::fact(Atom::new("parent", vec![Term::sym("a"), Term::sym("b")])),
+            sg_rule(),
+            Rule::new(
+                Atom::new("sg", vec![Term::var("X"), Term::var("Y")]),
+                vec![Atom::new("sibling", vec![Term::var("X"), Term::var("Y")])],
+            ),
+        ]);
+        let (facts, rules) = p.split_facts();
+        assert_eq!(facts.len(), 1);
+        assert_eq!(rules.len(), 2);
+        let edb: Vec<String> = p.edb_preds().iter().map(|q| q.to_string()).collect();
+        assert_eq!(edb, ["parent/2", "sibling/2"]);
+        assert_eq!(p.head_preds().len(), 2); // parent (fact head) and sg
+    }
+
+    #[test]
+    fn renaming_is_capture_free() {
+        let r = sg_rule().rename(3);
+        assert!(r.vars().iter().all(|v| v.rename == 3));
+        assert_eq!(r.rename(3), sg_rule().rename(3));
+    }
+}

@@ -1,0 +1,188 @@
+//! Substitutions (variable bindings).
+//!
+//! A [`Subst`] is a *triangular* substitution: a binding's right-hand side
+//! may itself contain bound variables, and [`Subst::resolve`] chases the
+//! chains. This is the standard representation for unification-based
+//! evaluation — binding is O(1) and chains are short in practice.
+
+use crate::atom::Atom;
+use crate::term::{Term, Var};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A set of variable bindings.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: HashMap<Var, Term>,
+}
+
+impl Subst {
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Binds `v` to `t`. Panics in debug builds if `v` is already bound —
+    /// unification never rebinds.
+    pub fn bind(&mut self, v: Var, t: Term) {
+        let prev = self.map.insert(v, t);
+        debug_assert!(prev.is_none(), "variable {v} bound twice");
+    }
+
+    /// The direct binding of `v`, if any (no chain chasing).
+    pub fn lookup(&self, v: Var) -> Option<&Term> {
+        self.map.get(&v)
+    }
+
+    /// Follows binding chains from `t` until reaching a non-variable term or
+    /// an unbound variable. Does not descend into sub-terms.
+    pub fn walk<'a>(&'a self, mut t: &'a Term) -> &'a Term {
+        while let Term::Var(v) = t {
+            match self.map.get(v) {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        t
+    }
+
+    /// Fully applies the substitution to `t`, descending into sub-terms.
+    ///
+    /// Ground sub-terms are returned by reference count rather than
+    /// rebuilt: the evaluators resolve long ground lists constantly (every
+    /// answer tuple, every buffered value), and structure sharing is what
+    /// keeps that O(1) in allocations.
+    pub fn resolve(&self, t: &Term) -> Term {
+        let t = self.walk(t);
+        match t {
+            Term::Var(_) | Term::Int(_) | Term::Sym(_) | Term::Nil => t.clone(),
+            _ if t.is_ground() => t.clone(),
+            Term::Cons(h, tl) => Term::Cons(Arc::new(self.resolve(h)), Arc::new(self.resolve(tl))),
+            Term::Comp(f, args) => Term::Comp(*f, args.iter().map(|a| self.resolve(a)).collect()),
+        }
+    }
+
+    /// Applies the substitution to every argument of an atom.
+    pub fn resolve_atom(&self, a: &Atom) -> Atom {
+        Atom {
+            pred: a.pred,
+            args: a.args.iter().map(|t| self.resolve(t)).collect(),
+        }
+    }
+
+    /// True iff `t` is ground after applying the substitution.
+    pub fn is_ground(&self, t: &Term) -> bool {
+        match self.walk(t) {
+            Term::Var(_) => false,
+            Term::Int(_) | Term::Sym(_) | Term::Nil => true,
+            Term::Cons(h, tl) => self.is_ground(h) && self.is_ground(tl),
+            Term::Comp(_, args) => args.iter().all(|a| self.is_ground(a)),
+        }
+    }
+
+    /// Iterates over the raw (triangular) bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &Term)> {
+        self.map.iter().map(|(v, t)| (*v, t))
+    }
+
+    /// Restricts the substitution to fully-resolved bindings for `vars` —
+    /// the shape in which query answers are reported.
+    pub fn project(&self, vars: &[Var]) -> Vec<(Var, Term)> {
+        vars.iter()
+            .map(|&v| (v, self.resolve(&Term::Var(v))))
+            .collect()
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut items: Vec<(Var, &Term)> = self.iter().collect();
+        items.sort_by_key(|(v, _)| (v.name.as_str(), v.rename));
+        write!(f, "{{")?;
+        for (i, (v, t)) in items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} = {}", self.resolve(t))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_follows_chains() {
+        let mut s = Subst::new();
+        s.bind(Var::named("X"), Term::var("Y"));
+        s.bind(Var::named("Y"), Term::Int(3));
+        assert_eq!(s.walk(&Term::var("X")), &Term::Int(3));
+    }
+
+    #[test]
+    fn resolve_descends() {
+        let mut s = Subst::new();
+        s.bind(Var::named("X"), Term::Int(1));
+        let t = Term::list([Term::var("X"), Term::var("Z")]);
+        assert_eq!(s.resolve(&t).to_string(), "[1, Z]");
+    }
+
+    #[test]
+    fn groundness_through_bindings() {
+        let mut s = Subst::new();
+        s.bind(Var::named("X"), Term::int_list([1, 2]));
+        assert!(s.is_ground(&Term::var("X")));
+        assert!(!s.is_ground(&Term::var("Y")));
+    }
+
+    #[test]
+    fn project_resolves_fully() {
+        let mut s = Subst::new();
+        s.bind(Var::named("X"), Term::var("Y"));
+        s.bind(Var::named("Y"), Term::sym("ottawa"));
+        let p = s.project(&[Var::named("X")]);
+        assert_eq!(p[0].1, Term::sym("ottawa"));
+    }
+
+    #[test]
+    fn resolve_shares_ground_structure() {
+        // The ground fast path must return the same allocation, not a
+        // rebuilt spine — the evaluators depend on this for O(1) clones
+        // and pointer-shortcut equality.
+        let big = Term::int_list(0..64);
+        let mut s = Subst::new();
+        s.bind(Var::named("X"), big.clone());
+        let r = s.resolve(&Term::var("X"));
+        match (&r, &big) {
+            (Term::Cons(h1, t1), Term::Cons(h2, t2)) => {
+                assert!(std::sync::Arc::ptr_eq(h1, h2));
+                assert!(std::sync::Arc::ptr_eq(t1, t2));
+            }
+            _ => panic!("expected cons cells"),
+        }
+    }
+
+    #[test]
+    fn display_is_sorted_and_resolved() {
+        let mut s = Subst::new();
+        s.bind(Var::named("Y"), Term::Int(2));
+        s.bind(Var::named("X"), Term::var("Y"));
+        assert_eq!(s.to_string(), "{X = 2, Y = 2}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Interned symbols.
+//!
+//! Every identifier in a logic program — predicate names, function symbols,
+//! constant atoms — is interned into a global table and handled as a copyable
+//! 4-byte [`Sym`]. Interning makes term equality, hashing and substitution
+//! cheap, which matters because the evaluators compare and hash terms in
+//! their innermost loops.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string. Two `Sym`s are equal iff their spellings are equal.
+///
+/// The ordering of `Sym` values is the interning order, which is
+/// deterministic within a process but *not* lexicographic; use
+/// [`Sym::as_str`] when a lexicographic order is required.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    spellings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            spellings: Vec::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Interns `s` and returns its symbol.
+    pub fn new(s: &str) -> Sym {
+        {
+            let int = interner().read();
+            if let Some(&id) = int.map.get(s) {
+                return Sym(id);
+            }
+        }
+        let mut int = interner().write();
+        if let Some(&id) = int.map.get(s) {
+            return Sym(id);
+        }
+        // Leaking is bounded by the number of *distinct* symbols ever
+        // interned, which is small (program text plus generated names).
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = int.spellings.len() as u32;
+        int.spellings.push(leaked);
+        int.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The spelling this symbol was interned with.
+    pub fn as_str(self) -> &'static str {
+        interner().read().spellings[self.0 as usize]
+    }
+
+    /// The raw interning id (stable within a process run).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Sym::new("parent");
+        let b = Sym::new("parent");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "parent");
+    }
+
+    #[test]
+    fn distinct_spellings_get_distinct_symbols() {
+        assert_ne!(Sym::new("foo"), Sym::new("bar"));
+        assert_ne!(Sym::new("foo"), Sym::new("Foo"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Sym::new("same_country");
+        assert_eq!(s.to_string(), "same_country");
+    }
+
+    #[test]
+    fn empty_and_unicode_spellings() {
+        assert_eq!(Sym::new("").as_str(), "");
+        assert_eq!(Sym::new("héllo").as_str(), "héllo");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Sym::new("concurrent_symbol")))
+            .collect();
+        let syms: Vec<Sym> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
+    }
+}

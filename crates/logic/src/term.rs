@@ -1,0 +1,343 @@
+//! Terms of the Horn-clause language.
+//!
+//! The language follows the paper's setting: Datalog extended with function
+//! symbols. Lists get first-class constructors ([`Term::Nil`] / [`Term::Cons`])
+//! because every functional recursion in the paper (`append`, `isort`,
+//! `qsort`, `travel`) is list-manipulating; arbitrary function symbols are
+//! supported through [`Term::Comp`].
+//!
+//! Compound terms share structure through `Arc`, so cloning a term is O(1)
+//! on its spine — evaluators clone terms freely.
+//!
+//! Term operations (equality, groundness, display, drop) recurse on the
+//! spine; term depth is bounded by the thread stack (hundreds of
+//! thousands of elements), far beyond the workloads of a deductive-DB
+//! reproduction. An iterative `Drop` would forbid the by-move pattern
+//! matches the evaluators use, so the trade is deliberate.
+
+use crate::symbol::Sym;
+use std::fmt;
+use std::sync::Arc;
+
+/// A logic variable.
+///
+/// Parsed variables carry their source spelling in `name` and `rename == 0`.
+/// Renaming a rule apart (for resolution or expansion) bumps `rename` to a
+/// globally fresh value, so renamed variants stay distinct from every parsed
+/// variable while remaining printable (`X#3`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var {
+    pub name: Sym,
+    pub rename: u32,
+}
+
+impl Var {
+    /// A source-level variable with the given spelling.
+    pub fn named(name: &str) -> Var {
+        Var {
+            name: Sym::new(name),
+            rename: 0,
+        }
+    }
+
+    /// A renamed-apart variant of this variable.
+    pub fn renamed(self, rename: u32) -> Var {
+        Var {
+            name: self.name,
+            rename,
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rename == 0 {
+            write!(f, "{}", self.name)
+        } else {
+            write!(f, "{}#{}", self.name, self.rename)
+        }
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A term: variable, integer, symbolic constant, list, or compound term.
+// The manual `PartialEq` below is *semantically identical* to the derived
+// one (it only adds an `Arc` pointer shortcut), so the derived `Hash`
+// remains consistent with it.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A logic variable.
+    Var(Var),
+    /// An integer constant.
+    Int(i64),
+    /// A symbolic constant (`adam`, `ottawa`, …).
+    Sym(Sym),
+    /// The empty list `[]`.
+    Nil,
+    /// A list cell `[H|T]`.
+    Cons(Arc<Term>, Arc<Term>),
+    /// A compound term `f(t1, …, tk)` with function symbol `f`.
+    Comp(Sym, Arc<[Term]>),
+}
+
+impl PartialEq for Term {
+    /// Structural equality with a pointer shortcut: structure-shared
+    /// sub-terms (the common case after [`crate::subst::Subst::resolve`])
+    /// compare in O(1) instead of O(size).
+    fn eq(&self, other: &Term) -> bool {
+        match (self, other) {
+            (Term::Var(a), Term::Var(b)) => a == b,
+            (Term::Int(a), Term::Int(b)) => a == b,
+            (Term::Sym(a), Term::Sym(b)) => a == b,
+            (Term::Nil, Term::Nil) => true,
+            (Term::Cons(h1, t1), Term::Cons(h2, t2)) => {
+                (Arc::ptr_eq(h1, h2) || h1 == h2) && (Arc::ptr_eq(t1, t2) || t1 == t2)
+            }
+            (Term::Comp(f, a), Term::Comp(g, b)) => {
+                f == g && (std::ptr::eq(a.as_ptr(), b.as_ptr()) && a.len() == b.len() || a == b)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Term {
+    /// Convenience constructor for a named variable.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Var::named(name))
+    }
+
+    /// Convenience constructor for a symbolic constant.
+    pub fn sym(name: &str) -> Term {
+        Term::Sym(Sym::new(name))
+    }
+
+    /// Convenience constructor for a compound term.
+    pub fn comp(functor: &str, args: Vec<Term>) -> Term {
+        Term::Comp(Sym::new(functor), args.into())
+    }
+
+    /// Builds a proper list term from the given elements.
+    pub fn list(elems: impl IntoIterator<Item = Term, IntoIter: DoubleEndedIterator>) -> Term {
+        elems.into_iter().rev().fold(Term::Nil, |tail, head| {
+            Term::Cons(Arc::new(head), Arc::new(tail))
+        })
+    }
+
+    /// Builds a list of integers — handy in tests and examples.
+    pub fn int_list(elems: impl IntoIterator<Item = i64, IntoIter: DoubleEndedIterator>) -> Term {
+        Term::list(elems.into_iter().map(Term::Int))
+    }
+
+    /// If this term is a *proper* list (ends in `[]`), returns its elements.
+    pub fn as_list(&self) -> Option<Vec<Term>> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Term::Nil => return Some(out),
+                Term::Cons(h, t) => {
+                    out.push((**h).clone());
+                    cur = t;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// True iff the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Int(_) | Term::Sym(_) | Term::Nil => true,
+            Term::Cons(h, t) => h.is_ground() && t.is_ground(),
+            Term::Comp(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// True iff the term is a constant, variable or `[]` (no sub-structure).
+    pub fn is_atomic(&self) -> bool {
+        !matches!(self, Term::Cons(..) | Term::Comp(..))
+    }
+
+    /// Appends every variable occurring in the term to `out` (with
+    /// duplicates, in left-to-right occurrence order).
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Term::Var(v) => out.push(*v),
+            Term::Int(_) | Term::Sym(_) | Term::Nil => {}
+            Term::Cons(h, t) => {
+                h.collect_vars(out);
+                t.collect_vars(out);
+            }
+            Term::Comp(_, args) => {
+                for a in args.iter() {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// The variables of the term, deduplicated, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut all = Vec::new();
+        self.collect_vars(&mut all);
+        dedup_preserving_order(all)
+    }
+
+    /// Structural size (number of constructors) — used by cost heuristics
+    /// and by tests that bound term growth.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Int(_) | Term::Sym(_) | Term::Nil => 1,
+            Term::Cons(h, t) => 1 + h.size() + t.size(),
+            Term::Comp(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+        }
+    }
+
+    /// Renames every variable in the term with the given rename tag.
+    pub fn rename(&self, tag: u32) -> Term {
+        match self {
+            Term::Var(v) => Term::Var(v.renamed(tag)),
+            Term::Int(_) | Term::Sym(_) | Term::Nil => self.clone(),
+            Term::Cons(h, t) => Term::Cons(Arc::new(h.rename(tag)), Arc::new(t.rename(tag))),
+            Term::Comp(f, args) => Term::Comp(*f, args.iter().map(|a| a.rename(tag)).collect()),
+        }
+    }
+
+    /// True iff `v` occurs in the term (occurs check).
+    pub fn occurs(&self, v: Var) -> bool {
+        match self {
+            Term::Var(w) => *w == v,
+            Term::Int(_) | Term::Sym(_) | Term::Nil => false,
+            Term::Cons(h, t) => h.occurs(v) || t.occurs(v),
+            Term::Comp(_, args) => args.iter().any(|a| a.occurs(v)),
+        }
+    }
+}
+
+/// Removes duplicates while preserving first-occurrence order.
+pub fn dedup_preserving_order<T: Eq + std::hash::Hash + Copy>(items: Vec<T>) -> Vec<T> {
+    let mut seen = std::collections::HashSet::with_capacity(items.len());
+    items.into_iter().filter(|x| seen.insert(*x)).collect()
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Int(i) => write!(f, "{i}"),
+            Term::Sym(s) => write!(f, "{s}"),
+            Term::Nil => write!(f, "[]"),
+            Term::Cons(h, t) => {
+                write!(f, "[{h}")?;
+                let mut cur: &Term = t;
+                loop {
+                    match cur {
+                        Term::Nil => break,
+                        Term::Cons(h2, t2) => {
+                            write!(f, ", {h2}")?;
+                            cur = t2;
+                        }
+                        other => {
+                            write!(f, " | {other}")?;
+                            break;
+                        }
+                    }
+                }
+                write!(f, "]")
+            }
+            Term::Comp(functor, args) => {
+                write!(f, "{functor}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_construction_and_deconstruction() {
+        let l = Term::int_list([5, 7, 1]);
+        assert_eq!(l.to_string(), "[5, 7, 1]");
+        let elems = l.as_list().unwrap();
+        assert_eq!(elems, vec![Term::Int(5), Term::Int(7), Term::Int(1)]);
+    }
+
+    #[test]
+    fn improper_list_displays_with_bar() {
+        let l = Term::Cons(Arc::new(Term::Int(1)), Arc::new(Term::var("T")));
+        assert_eq!(l.to_string(), "[1 | T]");
+        assert!(l.as_list().is_none());
+    }
+
+    #[test]
+    fn empty_list() {
+        assert_eq!(Term::list([]).to_string(), "[]");
+        assert_eq!(Term::Nil.as_list().unwrap(), Vec::<Term>::new());
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Term::int_list([1, 2]).is_ground());
+        assert!(!Term::var("X").is_ground());
+        assert!(!Term::comp("f", vec![Term::Int(1), Term::var("X")]).is_ground());
+    }
+
+    #[test]
+    fn vars_are_deduplicated_in_order() {
+        let t = Term::comp("f", vec![Term::var("X"), Term::var("Y"), Term::var("X")]);
+        assert_eq!(t.vars(), vec![Var::named("X"), Var::named("Y")]);
+    }
+
+    #[test]
+    fn rename_keeps_structure_changes_vars() {
+        let t = Term::comp("f", vec![Term::var("X"), Term::Int(3)]);
+        let r = t.rename(7);
+        assert_eq!(r.to_string(), "f(X#7, 3)");
+        assert_ne!(t, r);
+        assert_eq!(t.rename(7), r);
+    }
+
+    #[test]
+    fn occurs_check() {
+        let x = Var::named("X");
+        let t = Term::Cons(Arc::new(Term::var("X")), Arc::new(Term::Nil));
+        assert!(t.occurs(x));
+        assert!(!t.occurs(Var::named("Y")));
+        assert!(!t.occurs(x.renamed(1)));
+    }
+
+    #[test]
+    fn size_counts_constructors() {
+        assert_eq!(Term::Int(1).size(), 1);
+        assert_eq!(Term::int_list([1, 2]).size(), 5); // cons cons nil + 2 ints
+    }
+
+    #[test]
+    fn display_compound() {
+        let t = Term::comp("flight", vec![Term::sym("yvr"), Term::sym("yyz")]);
+        assert_eq!(t.to_string(), "flight(yvr, yyz)");
+    }
+}

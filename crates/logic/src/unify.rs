@@ -1,0 +1,199 @@
+//! Unification.
+//!
+//! Robinson unification over the triangular [`Subst`] representation, with
+//! an occurs check (always on: the evaluators rely on finite terms, and the
+//! cost is negligible at the term sizes deductive-database workloads see).
+
+use crate::atom::Atom;
+use crate::subst::Subst;
+use crate::term::Term;
+
+/// Extends `s` so that `a` and `b` become equal, or returns `false` leaving
+/// `s` in an unspecified (to-be-discarded) state.
+///
+/// Callers that need backtracking clone the substitution first; the engines
+/// do exactly that at choice points.
+pub fn unify(s: &mut Subst, a: &Term, b: &Term) -> bool {
+    {
+        // Fast path: syntactically equal terms (pointer-shortcut `Eq`)
+        // unify with no new bindings — the dominant case when evaluators
+        // join structure-shared ground values.
+        let aw = s.walk(a);
+        let bw = s.walk(b);
+        if aw == bw {
+            return true;
+        }
+    }
+    let a = s.walk(a).clone();
+    let b = s.walk(b).clone();
+    match (a, b) {
+        (Term::Var(v), Term::Var(w)) if v == w => true,
+        (Term::Var(v), t) | (t, Term::Var(v)) => {
+            if occurs_resolved(s, v, &t) {
+                return false;
+            }
+            s.bind(v, t);
+            true
+        }
+        (Term::Int(x), Term::Int(y)) => x == y,
+        (Term::Sym(x), Term::Sym(y)) => x == y,
+        (Term::Nil, Term::Nil) => true,
+        (Term::Cons(h1, t1), Term::Cons(h2, t2)) => unify(s, &h1, &h2) && unify(s, &t1, &t2),
+        (Term::Comp(f, xs), Term::Comp(g, ys)) => {
+            f == g && xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| unify(s, x, y))
+        }
+        _ => false,
+    }
+}
+
+/// Occurs check through the substitution: does `v` occur in `t` once all
+/// bindings are chased?
+fn occurs_resolved(s: &Subst, v: crate::term::Var, t: &Term) -> bool {
+    match s.walk(t) {
+        Term::Var(w) => *w == v,
+        Term::Int(_) | Term::Sym(_) | Term::Nil => false,
+        Term::Cons(h, tl) => occurs_resolved(s, v, h) || occurs_resolved(s, v, tl),
+        Term::Comp(_, args) => args.iter().any(|a| occurs_resolved(s, v, a)),
+    }
+}
+
+/// Unifies two atoms (same predicate, pairwise-unifiable arguments).
+pub fn unify_atoms(s: &mut Subst, a: &Atom, b: &Atom) -> bool {
+    a.pred == b.pred
+        && a.args
+            .iter()
+            .zip(b.args.iter())
+            .all(|(x, y)| unify(s, x, y))
+}
+
+/// One-shot match: the most general unifier of `a` and `b` starting from an
+/// empty substitution, if any.
+pub fn mgu(a: &Term, b: &Term) -> Option<Subst> {
+    let mut s = Subst::new();
+    unify(&mut s, a, b).then_some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Var;
+
+    #[test]
+    fn unify_constant_with_var() {
+        let s = mgu(&Term::var("X"), &Term::Int(5)).unwrap();
+        assert_eq!(s.resolve(&Term::var("X")), Term::Int(5));
+    }
+
+    #[test]
+    fn unify_lists_decomposes() {
+        // [X | Xs] = [5, 7, 1]
+        let pat = Term::Cons(Term::var("X").into(), Term::var("Xs").into());
+        let s = mgu(&pat, &Term::int_list([5, 7, 1])).unwrap();
+        assert_eq!(s.resolve(&Term::var("X")), Term::Int(5));
+        assert_eq!(s.resolve(&Term::var("Xs")), Term::int_list([7, 1]));
+    }
+
+    #[test]
+    fn clash_fails() {
+        assert!(mgu(&Term::Int(1), &Term::Int(2)).is_none());
+        assert!(mgu(&Term::sym("a"), &Term::Int(1)).is_none());
+        assert!(mgu(
+            &Term::comp("f", vec![Term::Int(1)]),
+            &Term::comp("g", vec![Term::Int(1)])
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn arity_mismatch_fails() {
+        assert!(mgu(
+            &Term::comp("f", vec![Term::Int(1)]),
+            &Term::comp("f", vec![Term::Int(1), Term::Int(2)])
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn occurs_check_rejects_cyclic() {
+        // X = [1 | X] must fail.
+        let cyc = Term::Cons(Term::Int(1).into(), Term::var("X").into());
+        assert!(mgu(&Term::var("X"), &cyc).is_none());
+    }
+
+    #[test]
+    fn occurs_check_through_chains() {
+        // X = Y, then Y = f(X): must fail through the chain.
+        let mut s = Subst::new();
+        assert!(unify(&mut s, &Term::var("X"), &Term::var("Y")));
+        assert!(!unify(
+            &mut s,
+            &Term::var("Y"),
+            &Term::comp("f", vec![Term::var("X")])
+        ));
+    }
+
+    #[test]
+    fn var_var_aliasing() {
+        let mut s = Subst::new();
+        assert!(unify(&mut s, &Term::var("X"), &Term::var("Y")));
+        assert!(unify(&mut s, &Term::var("X"), &Term::Int(9)));
+        assert_eq!(s.resolve(&Term::var("Y")), Term::Int(9));
+    }
+
+    #[test]
+    fn unify_atoms_same_pred_only() {
+        let a = Atom::new("p", vec![Term::var("X")]);
+        let b = Atom::new("q", vec![Term::Int(1)]);
+        let mut s = Subst::new();
+        assert!(!unify_atoms(&mut s, &a, &b));
+        let c = Atom::new("p", vec![Term::Int(1)]);
+        let mut s = Subst::new();
+        assert!(unify_atoms(&mut s, &a, &c));
+    }
+
+    #[test]
+    fn mgu_is_most_general_for_var_pairs() {
+        // X = Y leaves one of them free.
+        let s = mgu(&Term::var("X"), &Term::var("Y")).unwrap();
+        let rx = s.resolve(&Term::var("X"));
+        let ry = s.resolve(&Term::var("Y"));
+        assert_eq!(rx, ry);
+        assert!(matches!(rx, Term::Var(_)));
+    }
+
+    #[test]
+    fn unifier_unifies_deep_terms() {
+        let a = Term::comp("f", vec![Term::var("X"), Term::int_list([1, 2])]);
+        let b = Term::comp("f", vec![Term::sym("k"), Term::var("Y")]);
+        let s = mgu(&a, &b).unwrap();
+        assert_eq!(s.resolve(&a), s.resolve(&b));
+        // Self-unification binds nothing.
+        let idem = mgu(&a, &a).unwrap();
+        assert!(idem.is_empty());
+    }
+
+    #[test]
+    fn equal_terms_unify_without_bindings() {
+        // The syntactic-equality fast path: identical (even non-ground)
+        // terms unify and bind nothing.
+        let t = Term::comp("f", vec![Term::var("X"), Term::int_list([1, 2])]);
+        let mut s = Subst::new();
+        assert!(unify(&mut s, &t, &t));
+        assert!(s.is_empty());
+        // Shared ground lists unify in O(1) via pointer equality.
+        let big = Term::int_list(0..128);
+        let same = big.clone();
+        let mut s = Subst::new();
+        assert!(unify(&mut s, &big, &same));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn renamed_vars_are_independent() {
+        let x0 = Term::Var(Var::named("X"));
+        let x1 = Term::Var(Var::named("X").renamed(1));
+        let mut s = Subst::new();
+        assert!(unify(&mut s, &x0, &Term::Int(1)));
+        assert!(unify(&mut s, &x1, &Term::Int(2)));
+    }
+}

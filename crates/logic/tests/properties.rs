@@ -1,0 +1,124 @@
+//! Property tests for the logic substrate: display/parse round trips and
+//! unification laws over randomly generated terms.
+
+use chainsplit_logic::{mgu, parse_term, unify, Subst, Term};
+use proptest::prelude::*;
+
+/// Strategy for random terms: variables, ints, symbols, lists, compounds.
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        3 => (0u32..6).prop_map(|i| Term::var(&format!("V{i}"))),
+        3 => any::<i32>().prop_map(|i| Term::Int(i as i64)),
+        2 => (0u32..6).prop_map(|i| Term::sym(&format!("c{i}"))),
+        1 => Just(Term::Nil),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(h, t)| Term::Cons(h.into(), t.into())),
+            (0u32..3, prop::collection::vec(inner, 1..4))
+                .prop_map(|(f, args)| Term::comp(&format!("f{f}"), args)),
+        ]
+    })
+}
+
+/// Strategy for ground terms only.
+fn arb_ground_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        3 => any::<i32>().prop_map(|i| Term::Int(i as i64)),
+        2 => (0u32..6).prop_map(|i| Term::sym(&format!("c{i}"))),
+        1 => Just(Term::Nil),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(h, t)| Term::Cons(h.into(), t.into())),
+            (0u32..3, prop::collection::vec(inner, 1..4))
+                .prop_map(|(f, args)| Term::comp(&format!("f{f}"), args)),
+        ]
+    })
+}
+
+proptest! {
+    /// Displaying a term and parsing it back yields the same term.
+    #[test]
+    fn display_parse_round_trip(t in arb_term()) {
+        let printed = t.to_string();
+        let reparsed = parse_term(&printed).unwrap();
+        prop_assert_eq!(t, reparsed);
+    }
+
+    /// A successful unifier really unifies: resolving both sides gives
+    /// syntactically equal terms.
+    #[test]
+    fn unifier_unifies(a in arb_term(), b in arb_term()) {
+        if let Some(s) = mgu(&a, &b) {
+            prop_assert_eq!(s.resolve(&a), s.resolve(&b));
+        }
+    }
+
+    /// Unification is symmetric in success.
+    #[test]
+    fn unification_symmetric(a in arb_term(), b in arb_term()) {
+        prop_assert_eq!(mgu(&a, &b).is_some(), mgu(&b, &a).is_some());
+    }
+
+    /// Every term unifies with itself via the empty substitution.
+    #[test]
+    fn self_unification_binds_nothing(t in arb_term()) {
+        let s = mgu(&t, &t).unwrap();
+        prop_assert!(s.is_empty());
+    }
+
+    /// Ground terms unify iff they are equal.
+    #[test]
+    fn ground_unification_is_equality(a in arb_ground_term(), b in arb_ground_term()) {
+        prop_assert_eq!(mgu(&a, &b).is_some(), a == b);
+    }
+
+    /// A fresh variable unifies with any term not containing it, and the
+    /// unifier maps the variable to (the resolution of) that term.
+    #[test]
+    fn var_unifies_with_anything(t in arb_ground_term()) {
+        let s = mgu(&Term::var("FreshVarQ"), &t).unwrap();
+        prop_assert_eq!(s.resolve(&Term::var("FreshVarQ")), t);
+    }
+
+    /// Renaming preserves structure: size and groundness are invariant, and
+    /// renamed terms unify with the original (alpha-equivalence).
+    #[test]
+    fn rename_preserves_structure(t in arb_term()) {
+        let r = t.rename(99);
+        prop_assert_eq!(t.size(), r.size());
+        prop_assert_eq!(t.is_ground(), r.is_ground());
+        prop_assert!(mgu(&t, &r).is_some());
+    }
+
+    /// resolve is idempotent: applying a substitution twice equals once.
+    #[test]
+    fn resolve_idempotent(a in arb_term(), b in arb_term()) {
+        if let Some(s) = mgu(&a, &b) {
+            let once = s.resolve(&a);
+            prop_assert_eq!(s.resolve(&once), once);
+        }
+    }
+
+    /// Unification order over a conjunction doesn't change satisfiability:
+    /// unify(a1,b1) then (a2,b2) succeeds iff the other order does.
+    #[test]
+    fn conjunction_order_independent(
+        a1 in arb_term(), b1 in arb_term(),
+        a2 in arb_term(), b2 in arb_term()
+    ) {
+        let mut s12 = Subst::new();
+        let ok12 = unify(&mut s12, &a1, &b1) && unify(&mut s12, &a2, &b2);
+        let mut s21 = Subst::new();
+        let ok21 = unify(&mut s21, &a2, &b2) && unify(&mut s21, &a1, &b1);
+        prop_assert_eq!(ok12, ok21);
+    }
+
+    /// as_list inverts Term::list.
+    #[test]
+    fn list_round_trip(elems in prop::collection::vec(arb_ground_term(), 0..8)) {
+        let l = Term::list(elems.clone());
+        prop_assert_eq!(l.as_list().unwrap(), elems);
+    }
+}

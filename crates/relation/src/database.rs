@@ -1,0 +1,144 @@
+//! The extensional database: a catalog of named relations.
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use chainsplit_logic::{Atom, Pred};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A catalog mapping predicates to relations.
+///
+/// Keyed with a `BTreeMap` so iteration order (and therefore every printed
+/// trace and statistic) is deterministic across runs.
+#[derive(Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<Pred, Relation>,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Builds a database from ground atoms (e.g. the fact part of a parsed
+    /// program).
+    pub fn from_facts(facts: impl IntoIterator<Item = Atom>) -> Database {
+        let mut db = Database::new();
+        for f in facts {
+            db.add_fact(&f);
+        }
+        db
+    }
+
+    /// Inserts a ground atom as a row; returns `true` if it was new.
+    ///
+    /// Panics if the atom is not ground — EDB content is facts.
+    pub fn add_fact(&mut self, fact: &Atom) -> bool {
+        assert!(fact.is_ground(), "EDB fact must be ground: {fact}");
+        self.relations
+            .entry(fact.pred)
+            .or_insert_with(|| Relation::new(fact.pred.arity as usize))
+            .insert(Tuple::new(fact.args.clone()))
+    }
+
+    /// The relation for `pred`, if any facts exist.
+    pub fn relation(&self, pred: Pred) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// Mutable access, creating an empty relation on first touch.
+    pub fn relation_mut(&mut self, pred: Pred) -> &mut Relation {
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(pred.arity as usize))
+    }
+
+    pub fn contains_pred(&self, pred: Pred) -> bool {
+        self.relations.contains_key(&pred)
+    }
+
+    pub fn preds(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.relations.keys().copied()
+    }
+
+    /// Total number of rows across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Merges every relation of `other` into `self`; returns rows added.
+    pub fn merge(&mut self, other: &Database) -> usize {
+        let mut added = 0;
+        for (pred, rel) in &other.relations {
+            added += self.relation_mut(*pred).extend_from(rel);
+        }
+        added
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_map();
+        for (pred, rel) in &self.relations {
+            d.entry(&pred.to_string(), &rel.len());
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::Term;
+
+    fn fact(p: &str, args: Vec<Term>) -> Atom {
+        Atom::new(p, args)
+    }
+
+    #[test]
+    fn add_and_query_facts() {
+        let mut db = Database::new();
+        assert!(db.add_fact(&fact("parent", vec![Term::sym("a"), Term::sym("b")])));
+        assert!(!db.add_fact(&fact("parent", vec![Term::sym("a"), Term::sym("b")])));
+        let rel = db.relation(Pred::new("parent", 2)).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert!(db.relation(Pred::new("nothing", 1)).is_none());
+    }
+
+    #[test]
+    fn same_name_different_arity_are_distinct() {
+        let mut db = Database::new();
+        db.add_fact(&fact("p", vec![Term::Int(1)]));
+        db.add_fact(&fact("p", vec![Term::Int(1), Term::Int(2)]));
+        assert_eq!(db.relation(Pred::new("p", 1)).unwrap().len(), 1);
+        assert_eq!(db.relation(Pred::new("p", 2)).unwrap().len(), 1);
+        assert_eq!(db.total_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground")]
+    fn non_ground_fact_panics() {
+        Database::new().add_fact(&fact("p", vec![Term::var("X")]));
+    }
+
+    #[test]
+    fn merge_counts_new_rows() {
+        let mut a = Database::new();
+        a.add_fact(&fact("p", vec![Term::Int(1)]));
+        let mut b = Database::new();
+        b.add_fact(&fact("p", vec![Term::Int(1)]));
+        b.add_fact(&fact("q", vec![Term::Int(2)]));
+        assert_eq!(a.merge(&b), 1);
+        assert!(a.contains_pred(Pred::new("q", 1)));
+    }
+
+    #[test]
+    fn from_facts_collects() {
+        let db = Database::from_facts(vec![
+            fact("p", vec![Term::Int(1)]),
+            fact("p", vec![Term::Int(2)]),
+        ]);
+        assert_eq!(db.total_rows(), 2);
+        assert_eq!(db.preds().count(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Semi-naive delta bookkeeping.
+//!
+//! Semi-naive evaluation \[1\] re-derives a rule only against the tuples that
+//! are *new* since the previous round. [`DeltaRelation`] tracks the three
+//! generations: `all` (everything derived so far), `delta` (the previous
+//! round's new tuples — the ones rules must join against this round), and
+//! `pending` (tuples derived this round, not yet visible).
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+
+/// A relation evolving in semi-naive rounds.
+#[derive(Clone)]
+pub struct DeltaRelation {
+    all: Relation,
+    delta: Relation,
+    pending: Relation,
+}
+
+impl DeltaRelation {
+    pub fn new(arity: usize) -> DeltaRelation {
+        DeltaRelation {
+            all: Relation::new(arity),
+            delta: Relation::new(arity),
+            pending: Relation::new(arity),
+        }
+    }
+
+    /// Seeds the relation before the first round: tuples land in `all` and
+    /// in `delta` (everything is new in round zero).
+    pub fn seed(&mut self, t: Tuple) -> bool {
+        if self.all.insert(t.clone()) {
+            self.delta.insert(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adds a tuple derived during the current round. It becomes visible in
+    /// `delta` only after [`DeltaRelation::advance`]. Returns `true` if the
+    /// tuple is globally new.
+    pub fn derive(&mut self, t: Tuple) -> bool {
+        if self.all.contains(&t) || self.pending.contains(&t) {
+            return false;
+        }
+        self.pending.insert(t)
+    }
+
+    /// Ends the round: `pending` becomes the new `delta` and is merged into
+    /// `all`. Returns the number of tuples in the new delta; evaluation has
+    /// reached fixpoint when this is 0.
+    pub fn advance(&mut self) -> usize {
+        let arity = self.all.arity();
+        let new_delta = std::mem::replace(&mut self.pending, Relation::new(arity));
+        self.all.extend_from(&new_delta);
+        let n = new_delta.len();
+        self.delta = new_delta;
+        n
+    }
+
+    /// Everything derived so far (excluding this round's pending tuples).
+    pub fn all(&self) -> &Relation {
+        &self.all
+    }
+
+    /// Mutable access to `all` (for index creation).
+    pub fn all_mut(&mut self) -> &mut Relation {
+        &mut self.all
+    }
+
+    /// The previous round's new tuples.
+    pub fn delta(&self) -> &Relation {
+        &self.delta
+    }
+
+    pub fn arity(&self) -> usize {
+        self.all.arity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::Term;
+
+    fn t(v: i64) -> Tuple {
+        Tuple::new(vec![Term::Int(v)])
+    }
+
+    #[test]
+    fn seed_is_visible_immediately() {
+        let mut d = DeltaRelation::new(1);
+        assert!(d.seed(t(1)));
+        assert!(!d.seed(t(1)));
+        assert_eq!(d.all().len(), 1);
+        assert_eq!(d.delta().len(), 1);
+    }
+
+    #[test]
+    fn derive_is_invisible_until_advance() {
+        let mut d = DeltaRelation::new(1);
+        d.seed(t(1));
+        assert!(d.derive(t(2)));
+        assert_eq!(d.all().len(), 1);
+        assert_eq!(d.delta().len(), 1);
+        assert_eq!(d.advance(), 1);
+        assert_eq!(d.all().len(), 2);
+        assert_eq!(d.delta().len(), 1);
+        assert!(d.delta().contains(&t(2)));
+    }
+
+    #[test]
+    fn derive_rejects_already_known() {
+        let mut d = DeltaRelation::new(1);
+        d.seed(t(1));
+        assert!(!d.derive(t(1)));
+        assert!(d.derive(t(2)));
+        assert!(!d.derive(t(2))); // duplicate within the round
+        d.advance();
+        assert!(!d.derive(t(2))); // now in all
+    }
+
+    #[test]
+    fn fixpoint_when_advance_returns_zero() {
+        let mut d = DeltaRelation::new(1);
+        d.seed(t(1));
+        d.advance();
+        assert_eq!(d.advance(), 0);
+        assert!(d.delta().is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! # chainsplit-relation
+//!
+//! The extensional-database substrate of the chain-split deductive engine:
+//! ground [`Tuple`]s, deduplicating [`Relation`]s with incremental hash
+//! indexes, the [`Database`] catalog, on-demand [`Stats`] (cardinality,
+//! distinct counts, join expansion ratio, selectivity — the paper's §2.1
+//! quantitative measurements), and [`DeltaRelation`] bookkeeping for
+//! semi-naive evaluation.
+
+#![forbid(unsafe_code)]
+
+pub mod database;
+pub mod delta;
+pub mod hash;
+pub mod relation;
+pub mod stats;
+pub mod tuple;
+
+pub use database::Database;
+pub use delta::DeltaRelation;
+pub use hash::{FxHashMap, FxHashSet};
+pub use relation::{Relation, Selection};
+pub use stats::Stats;
+pub use tuple::Tuple;

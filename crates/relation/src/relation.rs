@@ -1,0 +1,363 @@
+//! Deduplicating relations with lazily built hash indexes.
+//!
+//! A [`Relation`] keeps its rows in insertion order (so evaluation traces
+//! are deterministic) behind a hash set for O(1) duplicate rejection, plus
+//! any number of column-set hash indexes. Indexes appear **on demand**: the
+//! first selective lookup on a column set over a non-tiny relation builds
+//! one (behind a lock, so lookups stay `&self`), and every later insert
+//! maintains it — the evaluators never think about access paths, matching
+//! how the paper defers those decisions to the system [13, 18].
+
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::tuple::Tuple;
+use chainsplit_logic::Term;
+use parking_lot::RwLock;
+use std::fmt;
+
+type Index = FxHashMap<Vec<Term>, Vec<usize>>;
+
+/// Scans below this size beat index construction; stay lazy.
+const LAZY_INDEX_THRESHOLD: usize = 32;
+
+/// A set of ground tuples of a fixed arity.
+#[derive(Default)]
+pub struct Relation {
+    arity: usize,
+    rows: Vec<Tuple>,
+    seen: FxHashSet<Tuple>,
+    /// column set -> (key projection -> row ids); lazily built.
+    indexes: RwLock<FxHashMap<Vec<usize>, Index>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Relation {
+        Relation {
+            arity: self.arity,
+            rows: self.rows.clone(),
+            seen: self.seen.clone(),
+            indexes: RwLock::new(self.indexes.read().clone()),
+        }
+    }
+}
+
+impl Relation {
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            ..Relation::default()
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a tuple; returns `true` if it was new. Panics on arity
+    /// mismatch — that is always a compiler bug upstream.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(t.arity(), self.arity, "arity mismatch inserting {t}");
+        if !self.seen.insert(t.clone()) {
+            return false;
+        }
+        let id = self.rows.len();
+        for (cols, index) in self.indexes.get_mut().iter_mut() {
+            index.entry(t.project(cols)).or_default().push(id);
+        }
+        self.rows.push(t);
+        true
+    }
+
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.seen.contains(t)
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.rows.iter()
+    }
+
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    fn build_index(rows: &[Tuple], cols: &[usize]) -> Index {
+        let mut index: Index = FxHashMap::default();
+        for (id, row) in rows.iter().enumerate() {
+            index.entry(row.project(cols)).or_default().push(id);
+        }
+        index
+    }
+
+    /// Ensures a hash index exists on `cols` (sorted ascending), building it
+    /// from the current rows if needed.
+    pub fn ensure_index(&mut self, cols: &[usize]) {
+        debug_assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "index columns must be sorted"
+        );
+        let indexes = self.indexes.get_mut();
+        if !indexes.contains_key(cols) {
+            indexes.insert(cols.to_vec(), Self::build_index(&self.rows, cols));
+        }
+    }
+
+    /// True iff an index on exactly `cols` exists.
+    pub fn has_index(&self, cols: &[usize]) -> bool {
+        self.indexes.read().contains_key(cols)
+    }
+
+    /// The rows whose projection onto `cols` equals `key`.
+    ///
+    /// Uses an index when one exists; over a relation worth indexing,
+    /// builds one on the spot (subsequent lookups and inserts keep it
+    /// current); tiny relations just scan.
+    pub fn select(&self, cols: &[usize], key: &[Term]) -> Selection<'_> {
+        debug_assert_eq!(cols.len(), key.len());
+        if cols.is_empty() {
+            return Selection::All(self.rows.iter());
+        }
+        {
+            let indexes = self.indexes.read();
+            if let Some(index) = indexes.get(cols) {
+                let ids = index.get(key).cloned().unwrap_or_default();
+                return Selection::Ids {
+                    rows: &self.rows,
+                    ids,
+                    next: 0,
+                };
+            }
+        }
+        if self.rows.len() >= LAZY_INDEX_THRESHOLD {
+            let mut indexes = self.indexes.write();
+            let index = indexes
+                .entry(cols.to_vec())
+                .or_insert_with(|| Self::build_index(&self.rows, cols));
+            let ids = index.get(key).cloned().unwrap_or_default();
+            return Selection::Ids {
+                rows: &self.rows,
+                ids,
+                next: 0,
+            };
+        }
+        Selection::Scan {
+            iter: self.rows.iter(),
+            cols: cols.to_vec(),
+            key: key.to_vec(),
+        }
+    }
+
+    /// Number of distinct projections onto `cols` — the basis for the
+    /// paper's join expansion ratio.
+    pub fn distinct(&self, cols: &[usize]) -> usize {
+        if let Some(index) = self.indexes.read().get(cols) {
+            return index.len();
+        }
+        let mut seen: FxHashSet<Vec<Term>> = FxHashSet::default();
+        for row in &self.rows {
+            seen.insert(row.project(cols));
+        }
+        seen.len()
+    }
+
+    /// The minimum integer value in column `col`, if the column is
+    /// non-empty and all-integer. Used by the constraint-pushing analysis
+    /// (Algorithm 3.3) to establish non-negativity of monotone addends.
+    pub fn min_int(&self, col: usize) -> Option<i64> {
+        let mut min: Option<i64> = None;
+        for row in &self.rows {
+            match row.get(col) {
+                Term::Int(i) => min = Some(min.map_or(*i, |m| m.min(*i))),
+                _ => return None,
+            }
+        }
+        min
+    }
+
+    /// Extends with every tuple of `other`; returns how many were new.
+    pub fn extend_from(&mut self, other: &Relation) -> usize {
+        other.iter().filter(|t| self.insert((*t).clone())).count()
+    }
+}
+
+/// Iterator over a [`Relation::select`] result.
+pub enum Selection<'a> {
+    All(std::slice::Iter<'a, Tuple>),
+    Ids {
+        rows: &'a [Tuple],
+        /// Owned: the ids come from inside the index lock.
+        ids: Vec<usize>,
+        next: usize,
+    },
+    Scan {
+        iter: std::slice::Iter<'a, Tuple>,
+        cols: Vec<usize>,
+        key: Vec<Term>,
+    },
+}
+
+impl<'a> Iterator for Selection<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        match self {
+            Selection::All(it) => it.next(),
+            Selection::Ids { rows, ids, next } => {
+                let id = *ids.get(*next)?;
+                *next += 1;
+                Some(&rows[id])
+            }
+            Selection::Scan { iter, cols, key } => {
+                iter.find(|row| cols.iter().zip(key.iter()).all(|(&c, k)| row.get(c) == k))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{row}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation[{}]{}", self.arity, self)
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    /// Collects tuples into a relation, inferring arity from the first
+    /// tuple (empty input yields arity 0).
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Relation {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().map(Tuple::arity).unwrap_or(0);
+        let mut r = Relation::new(arity);
+        for t in it {
+            r.insert(t);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: i64, b: i64) -> Tuple {
+        Tuple::new(vec![Term::Int(a), Term::Int(b)])
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(pair(1, 2)));
+        assert!(!r.insert(pair(1, 2)));
+        assert!(r.insert(pair(1, 3)));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let mut r = Relation::new(2);
+        r.insert(pair(3, 4));
+        r.insert(pair(1, 2));
+        let rows: Vec<_> = r.iter().cloned().collect();
+        assert_eq!(rows, vec![pair(3, 4), pair(1, 2)]);
+    }
+
+    #[test]
+    fn select_scan_and_index_agree() {
+        let mut r = Relation::new(2);
+        for a in 0..10 {
+            for b in 0..10 {
+                r.insert(pair(a, b));
+            }
+        }
+        let key = [Term::Int(4)];
+        let scanned: Vec<_> = r.select(&[0], &key).cloned().collect();
+        r.ensure_index(&[0]);
+        let indexed: Vec<_> = r.select(&[0], &key).cloned().collect();
+        assert_eq!(scanned.len(), 10);
+        assert_eq!(scanned, indexed);
+    }
+
+    #[test]
+    fn index_maintained_across_inserts() {
+        let mut r = Relation::new(2);
+        r.ensure_index(&[1]);
+        r.insert(pair(1, 7));
+        r.insert(pair(2, 7));
+        r.insert(pair(3, 8));
+        let hits: Vec<_> = r.select(&[1], &[Term::Int(7)]).collect();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn empty_cols_selects_all() {
+        let mut r = Relation::new(2);
+        r.insert(pair(1, 2));
+        r.insert(pair(3, 4));
+        assert_eq!(r.select(&[], &[]).count(), 2);
+    }
+
+    #[test]
+    fn missing_key_selects_nothing() {
+        let mut r = Relation::new(2);
+        r.insert(pair(1, 2));
+        r.ensure_index(&[0]);
+        assert_eq!(r.select(&[0], &[Term::Int(99)]).count(), 0);
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let mut r = Relation::new(2);
+        r.insert(pair(1, 10));
+        r.insert(pair(1, 11));
+        r.insert(pair(2, 10));
+        assert_eq!(r.distinct(&[0]), 2);
+        assert_eq!(r.distinct(&[1]), 2);
+        assert_eq!(r.distinct(&[0, 1]), 3);
+        // Same answer with an index in place.
+        r.ensure_index(&[0]);
+        assert_eq!(r.distinct(&[0]), 2);
+    }
+
+    #[test]
+    fn extend_from_counts_new() {
+        let mut a = Relation::new(2);
+        a.insert(pair(1, 2));
+        let mut b = Relation::new(2);
+        b.insert(pair(1, 2));
+        b.insert(pair(5, 6));
+        assert_eq!(a.extend_from(&b), 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.insert(Tuple::new(vec![Term::Int(1)]));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let r: Relation = [pair(1, 2), pair(1, 2), pair(3, 4)].into_iter().collect();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.arity(), 2);
+    }
+}

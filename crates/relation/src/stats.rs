@@ -1,0 +1,134 @@
+//! Database statistics — the paper's §2.1 quantitative measurements.
+//!
+//! The efficiency-based chain-split decision compares the *join expansion
+//! ratio* of each linkage in a chain generating path against two thresholds
+//! (chain-split, chain-following). The ratio for a predicate `p` from a set
+//! of bound argument positions `I` is the expected number of `p` tuples
+//! matching one concrete binding of `I`:
+//!
+//! ```text
+//!     expansion(p, I) = |p| / distinct_I(p)
+//! ```
+//!
+//! `same_country` in Example 1.2 is the canonical weak linkage: with people
+//! uniformly spread over `C` countries, `expansion(same_country, {1}) =
+//! N²/C / N = N/C`, which explodes as `C` shrinks.
+
+use crate::database::Database;
+use chainsplit_logic::Pred;
+
+/// Statistics provider over a [`Database`].
+///
+/// Statistics are computed on demand from the live relations; for the sizes
+/// this engine targets the distinct-count scans are cheap, and computing on
+/// demand keeps the numbers exact even after updates (the paper assumes a
+/// catalog of pre-gathered statistics — the numbers are the same).
+#[derive(Clone, Copy)]
+pub struct Stats<'a> {
+    db: &'a Database,
+}
+
+impl<'a> Stats<'a> {
+    pub fn new(db: &'a Database) -> Stats<'a> {
+        Stats { db }
+    }
+
+    /// Cardinality of `pred` (0 if absent).
+    pub fn cardinality(&self, pred: Pred) -> usize {
+        self.db.relation(pred).map_or(0, |r| r.len())
+    }
+
+    /// Number of distinct values of the projection onto `cols`.
+    pub fn distinct(&self, pred: Pred, cols: &[usize]) -> usize {
+        self.db.relation(pred).map_or(0, |r| r.distinct(cols))
+    }
+
+    /// Join expansion ratio of `pred` given bound positions `bound`:
+    /// expected matching tuples per binding. Returns `f64::INFINITY` for an
+    /// unbound scan of a non-empty relation with `bound` empty, and `0.0`
+    /// for an absent/empty relation (nothing can expand).
+    pub fn expansion(&self, pred: Pred, bound: &[usize]) -> f64 {
+        let n = self.cardinality(pred);
+        if n == 0 {
+            return 0.0;
+        }
+        if bound.is_empty() {
+            return f64::INFINITY;
+        }
+        n as f64 / self.distinct(pred, bound) as f64
+    }
+
+    /// Selectivity of binding positions `bound` of `pred`: the fraction of
+    /// tuples matching one average binding (1.0 when nothing is bound).
+    pub fn selectivity(&self, pred: Pred, bound: &[usize]) -> f64 {
+        let n = self.cardinality(pred);
+        if n == 0 || bound.is_empty() {
+            return 1.0;
+        }
+        self.expansion(pred, bound) / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::{Atom, Term};
+
+    /// same_country over 2 countries x 3 people each: 18 pairs.
+    fn country_db() -> Database {
+        let mut db = Database::new();
+        for c in 0..2 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    db.add_fact(&Atom::new(
+                        "same_country",
+                        vec![
+                            Term::sym(&format!("p{c}_{i}")),
+                            Term::sym(&format!("p{c}_{j}")),
+                        ],
+                    ));
+                }
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn cardinality_and_distinct() {
+        let db = country_db();
+        let s = Stats::new(&db);
+        let p = Pred::new("same_country", 2);
+        assert_eq!(s.cardinality(p), 18);
+        assert_eq!(s.distinct(p, &[0]), 6);
+        assert_eq!(s.distinct(p, &[0, 1]), 18);
+    }
+
+    #[test]
+    fn expansion_matches_fanout() {
+        let db = country_db();
+        let s = Stats::new(&db);
+        let p = Pred::new("same_country", 2);
+        // Each person has 3 compatriots: N/C = 6/2 = 3.
+        assert_eq!(s.expansion(p, &[0]), 3.0);
+        assert_eq!(s.expansion(p, &[0, 1]), 1.0);
+        assert_eq!(s.expansion(p, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn absent_relation_is_zero() {
+        let db = Database::new();
+        let s = Stats::new(&db);
+        assert_eq!(s.cardinality(Pred::new("nope", 2)), 0);
+        assert_eq!(s.expansion(Pred::new("nope", 2), &[0]), 0.0);
+        assert_eq!(s.selectivity(Pred::new("nope", 2), &[0]), 1.0);
+    }
+
+    #[test]
+    fn selectivity_is_fractional() {
+        let db = country_db();
+        let s = Stats::new(&db);
+        let p = Pred::new("same_country", 2);
+        assert!((s.selectivity(p, &[0]) - 3.0 / 18.0).abs() < 1e-12);
+        assert_eq!(s.selectivity(p, &[]), 1.0);
+    }
+}

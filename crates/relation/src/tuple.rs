@@ -1,0 +1,111 @@
+//! Ground tuples — the rows of EDB and derived relations.
+
+use chainsplit_logic::Term;
+use std::fmt;
+use std::sync::Arc;
+
+/// A ground row. Terms inside are structure-shared (`Arc`), so cloning a
+/// tuple is cheap even when its fields are long lists.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Arc<[Term]>);
+
+impl Tuple {
+    /// Builds a tuple. Debug-asserts groundness: relations store facts, and
+    /// every evaluator resolves its substitution before inserting.
+    pub fn new(fields: Vec<Term>) -> Tuple {
+        debug_assert!(
+            fields.iter().all(Term::is_ground),
+            "tuple fields must be ground: {fields:?}"
+        );
+        Tuple(fields.into())
+    }
+
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn fields(&self) -> &[Term] {
+        &self.0
+    }
+
+    pub fn get(&self, i: usize) -> &Term {
+        &self.0[i]
+    }
+
+    /// The projection of this tuple onto the given columns.
+    pub fn project(&self, cols: &[usize]) -> Vec<Term> {
+        cols.iter().map(|&c| self.0[c].clone()).collect()
+    }
+}
+
+impl From<Vec<Term>> for Tuple {
+    fn from(fields: Vec<Term>) -> Tuple {
+        Tuple::new(fields)
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Term;
+    fn index(&self, i: usize) -> &Term {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::new(vec![Term::sym("a"), Term::Int(3)]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t[0], Term::sym("a"));
+        assert_eq!(t.get(1), &Term::Int(3));
+    }
+
+    #[test]
+    fn projection() {
+        let t = Tuple::new(vec![Term::Int(1), Term::Int(2), Term::Int(3)]);
+        assert_eq!(t.project(&[2, 0]), vec![Term::Int(3), Term::Int(1)]);
+        assert_eq!(t.project(&[]), Vec::<Term>::new());
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Tuple::new(vec![Term::int_list([1, 2])]);
+        let b = Tuple::new(vec![Term::int_list([1, 2])]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "ground")]
+    fn non_ground_tuple_panics_in_debug() {
+        let _ = Tuple::new(vec![Term::var("X")]);
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::new(vec![Term::sym("yvr"), Term::Int(600)]);
+        assert_eq!(t.to_string(), "(yvr, 600)");
+    }
+}

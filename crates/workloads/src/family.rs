@@ -1,0 +1,130 @@
+//! Family / census generators for `sg` and `scsg`.
+//!
+//! Deterministic: person `g{generation}_{country}_{index}` has parent
+//! `g{generation-1}_{country}_{index}` (lineages never cross), persons of
+//! the same country and generation are pairwise `same_country`, and the
+//! generation-0 cohort of each country is pairwise `sibling`.
+//!
+//! The knobs map directly onto the paper's quantitative measures: with `P`
+//! people per country per generation, the join expansion ratio of
+//! `same_country` given one bound argument is exactly `P`; `parent` is
+//! always 1:1.
+
+use chainsplit_logic::{Atom, Term};
+
+/// Configuration for the family generator.
+#[derive(Clone, Copy, Debug)]
+pub struct FamilyConfig {
+    /// Number of countries.
+    pub countries: usize,
+    /// People per country per generation.
+    pub people_per_country: usize,
+    /// Generations below generation 0 (queries start at the deepest).
+    pub generations: usize,
+}
+
+impl Default for FamilyConfig {
+    fn default() -> Self {
+        FamilyConfig {
+            countries: 2,
+            people_per_country: 8,
+            generations: 3,
+        }
+    }
+}
+
+fn person(generation: usize, country: usize, index: usize) -> Term {
+    Term::sym(&format!("g{generation}_{country}_{index}"))
+}
+
+/// Generates the EDB facts (`parent`, `same_country`, `sibling`).
+pub fn family_facts(cfg: FamilyConfig) -> Vec<Atom> {
+    let mut facts = Vec::new();
+    for c in 0..cfg.countries {
+        for g in 0..=cfg.generations {
+            for i in 0..cfg.people_per_country {
+                if g > 0 {
+                    facts.push(Atom::new(
+                        "parent",
+                        vec![person(g, c, i), person(g - 1, c, i)],
+                    ));
+                }
+                for j in 0..cfg.people_per_country {
+                    facts.push(Atom::new(
+                        "same_country",
+                        vec![person(g, c, i), person(g, c, j)],
+                    ));
+                }
+            }
+        }
+        // Generation-0 siblings: a ring so everyone has two.
+        let p = cfg.people_per_country;
+        for i in 0..p {
+            let j = (i + 1) % p;
+            if i != j {
+                facts.push(Atom::new("sibling", vec![person(0, c, i), person(0, c, j)]));
+                facts.push(Atom::new("sibling", vec![person(0, c, j), person(0, c, i)]));
+            }
+        }
+    }
+    facts
+}
+
+/// The name of a person term (for queries): deepest generation, country 0.
+pub fn query_person(cfg: FamilyConfig) -> String {
+    format!("g{}_0_0", cfg.generations)
+}
+
+/// Total fact count the configuration produces (for table headers).
+pub fn fact_count(cfg: FamilyConfig) -> usize {
+    family_facts(cfg).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::Pred;
+    use chainsplit_relation::{Database, Stats};
+
+    #[test]
+    fn sizes_match_configuration() {
+        let cfg = FamilyConfig {
+            countries: 2,
+            people_per_country: 4,
+            generations: 2,
+        };
+        let db = Database::from_facts(family_facts(cfg));
+        // parent: countries * generations * people.
+        assert_eq!(
+            db.relation(Pred::new("parent", 2)).unwrap().len(),
+            2 * 2 * 4
+        );
+        // same_country: countries * (generations+1) * people^2.
+        assert_eq!(
+            db.relation(Pred::new("same_country", 2)).unwrap().len(),
+            2 * 3 * 16
+        );
+        // sibling ring: 2 per adjacent pair per country.
+        assert_eq!(db.relation(Pred::new("sibling", 2)).unwrap().len(), 2 * 8);
+    }
+
+    #[test]
+    fn expansion_ratio_is_people_per_country() {
+        let cfg = FamilyConfig {
+            countries: 3,
+            people_per_country: 7,
+            generations: 1,
+        };
+        let db = Database::from_facts(family_facts(cfg));
+        let stats = Stats::new(&db);
+        assert_eq!(stats.expansion(Pred::new("same_country", 2), &[0]), 7.0);
+        assert_eq!(stats.expansion(Pred::new("parent", 2), &[0]), 1.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = FamilyConfig::default();
+        assert_eq!(family_facts(cfg), family_facts(cfg));
+        assert_eq!(query_person(cfg), "g3_0_0");
+    }
+}

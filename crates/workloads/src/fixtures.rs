@@ -1,0 +1,94 @@
+//! The paper's fixture programs, verbatim.
+//!
+//! Every worked example of the chain-split paper as parse-ready source:
+//! load one with [`chainsplit_logic::parse_program`] or
+//! `DeductiveDb::load`.
+
+/// Same-generation (Example 1.1, rules (1.1)–(1.2)).
+pub const SG: &str = "sg(X, Y) :- sibling(X, Y).
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).";
+
+/// Same-country same-generation (Example 1.2, rules (1.5)–(1.7)): the
+/// motivating case for efficiency-based chain-split — `same_country` links
+/// the two `parent` atoms into a single chain generating path.
+pub const SCSG: &str = "scsg(X, Y) :- sibling(X, Y).
+scsg(X, Y) :- parent(X, X1), same_country(X1, Y1), parent(Y, Y1), scsg(X1, Y1).";
+
+/// List append (rules (1.13)–(1.14)); compiled form (1.17) is a single
+/// chain of two `cons` atoms — the motivating case for finiteness-based
+/// chain-split.
+pub const APPEND: &str = "append([], L, L).
+append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).";
+
+/// Insertion sort (Example 4.1, rules (4.1)–(4.5)): a nested linear
+/// recursion (`insert` inside `isort`).
+pub const ISORT: &str = "isort([X | Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+isort([], []).
+insert(X, [], [X]).
+insert(X, [Y | Ys], [Y | Zs]) :- X > Y, insert(X, Ys, Zs).
+insert(X, [Y | Ys], [X, Y | Ys]) :- X <= Y.";
+
+/// Quick sort (Example 4.2, rules (4.16)–(4.30)): a nonlinear recursion.
+pub const QSORT: &str = "qsort([X | Xs], Ys) :- partition(Xs, X, Littles, Bigs),
+    qsort(Littles, Ls), qsort(Bigs, Bs), append(Ls, [X | Bs], Ys).
+qsort([], []).
+partition([X | Xs], Y, [X | Ls], Bs) :- X <= Y, partition(Xs, Y, Ls, Bs).
+partition([X | Xs], Y, Ls, [X | Bs]) :- X > Y, partition(Xs, Y, Ls, Bs).
+partition([], Y, [], []).
+append([], L, L).
+append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).";
+
+/// The travel recursion (§3.3, rules (3.5)–(3.6)): itineraries with fare
+/// summing and flight-number list building — the constraint-pushing case.
+///
+/// `travel(L, D, DT, A, AT, F)`: flight-number list `L`, departure airport
+/// `D` and time `DT`, arrival airport `A` and time `AT`, total fare `F`.
+pub const TRAVEL: &str =
+    "travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A, AT, F), cons(Fno, [], L).
+travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A1, AT1, F1),
+    travel(L1, A1, DT1, A, AT, F2), AT1 <= DT1, plus(F1, F2, F), cons(Fno, L1, L).";
+
+/// Transitive closure — the canonical single-chain function-free
+/// recursion (§1.1's "evaluated efficiently by a transitive closure
+/// algorithm").
+pub const PATH: &str = "path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).";
+
+/// The deliberately *merged* variant of `sg`: both chains crammed into one
+/// path over the **cross product** of the parent relations (§1.1's
+/// anti-pattern; experiment E2). `step` pairs advance both sides at once
+/// (`step` is quadratic in the lineage count), `spair` marks sibling
+/// pairs, and `mk` seeds the candidate pairs for the query person.
+pub const SG_MERGED: &str = "msg(Y) :- mk(Y, P), reach(P).
+reach(P) :- spair(P).
+reach(P) :- step(P, P1), reach(P1).";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::parse_program;
+
+    #[test]
+    fn all_fixtures_parse() {
+        for (name, src) in [
+            ("SG", SG),
+            ("SCSG", SCSG),
+            ("APPEND", APPEND),
+            ("ISORT", ISORT),
+            ("QSORT", QSORT),
+            ("TRAVEL", TRAVEL),
+            ("PATH", PATH),
+            ("SG_MERGED", SG_MERGED),
+        ] {
+            assert!(parse_program(src).is_ok(), "fixture {name} must parse");
+        }
+    }
+
+    #[test]
+    fn fixture_rule_counts() {
+        assert_eq!(parse_program(SG).unwrap().rules.len(), 2);
+        assert_eq!(parse_program(ISORT).unwrap().rules.len(), 5);
+        assert_eq!(parse_program(QSORT).unwrap().rules.len(), 7);
+        assert_eq!(parse_program(TRAVEL).unwrap().rules.len(), 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Flight-network generator for the `travel` experiments (§3.3).
+//!
+//! Airports `a0 … a{n-1}` on a line with a guaranteed itinerary end to end,
+//! plus seeded-random extra hops. Departure/arrival times are arranged so
+//! every forward connection is feasible (`AT1 <= DT1` always holds between
+//! consecutive hops), which keeps the workload's selectivity in the fare
+//! constraint where the experiment wants it.
+
+use chainsplit_logic::{Atom, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the flight generator.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightConfig {
+    pub airports: usize,
+    /// Extra random forward flights added on top of the line.
+    pub extra_flights: usize,
+    /// Fares are drawn uniformly from this range.
+    pub fare_min: i64,
+    pub fare_max: i64,
+    pub seed: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            airports: 16,
+            extra_flights: 16,
+            fare_min: 100,
+            fare_max: 400,
+            seed: 42,
+        }
+    }
+}
+
+fn airport(i: usize) -> Term {
+    Term::sym(&format!("a{i}"))
+}
+
+/// Generates `flight(Fno, Dep, DepTime, Arr, ArrTime, Fare)` facts.
+pub fn flight_facts(cfg: FlightConfig) -> Vec<Atom> {
+    assert!(cfg.airports >= 2);
+    assert!(cfg.fare_min >= 0, "fares must be non-negative for pruning");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut facts = Vec::new();
+    let mut fno: i64 = 0;
+    let push = |facts: &mut Vec<Atom>, from: usize, to: usize, fare: i64, fno: &mut i64| {
+        // Times: all departures happen "late" at the source index and
+        // arrivals "early" at the destination index, so AT <= DT holds for
+        // every forward connection.
+        let dt = (from as i64) * 1000 + 500;
+        let at = (to as i64) * 1000;
+        facts.push(Atom::new(
+            "flight",
+            vec![
+                Term::Int(*fno),
+                airport(from),
+                Term::Int(dt),
+                airport(to),
+                Term::Int(at),
+                Term::Int(fare),
+            ],
+        ));
+        *fno += 1;
+    };
+    for i in 0..cfg.airports - 1 {
+        let fare = rng.gen_range(cfg.fare_min..=cfg.fare_max);
+        push(&mut facts, i, i + 1, fare, &mut fno);
+    }
+    for _ in 0..cfg.extra_flights {
+        let from = rng.gen_range(0..cfg.airports - 1);
+        let to = rng.gen_range(from + 1..cfg.airports);
+        let fare = rng.gen_range(cfg.fare_min..=cfg.fare_max);
+        push(&mut facts, from, to, fare, &mut fno);
+    }
+    facts
+}
+
+/// The first and last airport names, for queries.
+pub fn endpoints(cfg: FlightConfig) -> (String, String) {
+    ("a0".to_string(), format!("a{}", cfg.airports - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::Pred;
+    use chainsplit_relation::Database;
+
+    #[test]
+    fn line_plus_extras() {
+        let cfg = FlightConfig {
+            airports: 8,
+            extra_flights: 5,
+            ..FlightConfig::default()
+        };
+        let db = Database::from_facts(flight_facts(cfg));
+        let n = db.relation(Pred::new("flight", 6)).unwrap().len();
+        // Distinct flight numbers make every fact unique.
+        assert_eq!(n, 7 + 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = FlightConfig::default();
+        assert_eq!(flight_facts(cfg), flight_facts(cfg));
+        let other = FlightConfig { seed: 7, ..cfg };
+        assert_ne!(flight_facts(cfg), flight_facts(other));
+    }
+
+    #[test]
+    fn fares_in_range_and_nonnegative() {
+        let cfg = FlightConfig::default();
+        for f in flight_facts(cfg) {
+            let Term::Int(fare) = f.args[5] else { panic!() };
+            assert!((cfg.fare_min..=cfg.fare_max).contains(&fare));
+        }
+    }
+
+    #[test]
+    fn forward_connections_feasible() {
+        // For every pair (f1 arriving at X, f2 departing X): AT <= DT.
+        let facts = flight_facts(FlightConfig::default());
+        for f1 in &facts {
+            for f2 in &facts {
+                if f1.args[3] == f2.args[1] {
+                    let Term::Int(at) = f1.args[4] else { panic!() };
+                    let Term::Int(dt) = f2.args[2] else { panic!() };
+                    assert!(at <= dt, "infeasible connection generated");
+                }
+            }
+        }
+    }
+}

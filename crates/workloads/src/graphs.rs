@@ -1,0 +1,148 @@
+//! Graph generators for transitive-closure experiments.
+
+use chainsplit_logic::{Atom, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn node(i: usize) -> Term {
+    Term::sym(&format!("n{i}"))
+}
+
+/// A simple chain `n0 -> n1 -> … -> n{len}` as `edge/2` facts.
+pub fn chain_edges(len: usize) -> Vec<Atom> {
+    (0..len)
+        .map(|i| Atom::new("edge", vec![node(i), node(i + 1)]))
+        .collect()
+}
+
+/// A complete `fanout`-ary tree of the given depth, edges pointing from
+/// parent to child.
+pub fn tree_edges(depth: usize, fanout: usize) -> Vec<Atom> {
+    let mut edges = Vec::new();
+    let mut frontier = vec![0usize];
+    let mut next_id = 1usize;
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for &p in &frontier {
+            for _ in 0..fanout {
+                edges.push(Atom::new("edge", vec![node(p), node(next_id)]));
+                next.push(next_id);
+                next_id += 1;
+            }
+        }
+        frontier = next;
+    }
+    edges
+}
+
+/// A random DAG: nodes `0..n`, edges only forward, `avg_degree` per node.
+pub fn random_dag_edges(n: usize, avg_degree: usize, seed: u64) -> Vec<Atom> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for i in 0..n.saturating_sub(1) {
+        // Guarantee connectivity along the spine.
+        edges.push(Atom::new("edge", vec![node(i), node(i + 1)]));
+        for _ in 1..avg_degree {
+            let j = rng.gen_range(i + 1..n);
+            edges.push(Atom::new("edge", vec![node(i), node(j)]));
+        }
+    }
+    edges
+}
+
+/// The cross-product "merged chain" workload of §1.1 / experiment E2: the
+/// two `parent` chains of `sg` crammed into one path over pairs.
+///
+/// Given the family-style lineage of `people` lineages and `generations`
+/// levels, produces:
+/// - `step((x, y), (x1, y1))` for every pair of parent steps — the merged
+///   relation is the **cross product** of the X-side and Y-side parent
+///   relations, which is why merging is "terribly inefficient" \[14\];
+/// - `spair((x, y))` for sibling pairs (the merged exit);
+/// - `back` as the identity on pairs (the merged return side).
+///
+/// Pairs are encoded as symbols `x__y` to stay function-free.
+///
+/// Produces `step` (the quadratic cross-product of parent steps), `spair`
+/// (sibling pairs at generation 0), and `mk(Y, P)` seeding the candidate
+/// pairs `(query person, Y)` for the deepest-generation lineage-0 person.
+pub fn merged_sg_facts(people: usize, generations: usize) -> Vec<Atom> {
+    let person = |g: usize, i: usize| format!("g{g}_{i}");
+    let pair = |a: &str, b: &str| Term::sym(&format!("{a}__{b}"));
+    let mut facts = Vec::new();
+    for g in 1..=generations {
+        for i in 0..people {
+            for j in 0..people {
+                // step: both sides move one generation up, lineages fixed.
+                facts.push(Atom::new(
+                    "step",
+                    vec![
+                        pair(&person(g, i), &person(g, j)),
+                        pair(&person(g - 1, i), &person(g - 1, j)),
+                    ],
+                ));
+            }
+        }
+    }
+    for i in 0..people {
+        let j = (i + 1) % people;
+        if i != j {
+            facts.push(Atom::new("spair", vec![pair(&person(0, i), &person(0, j))]));
+            facts.push(Atom::new("spair", vec![pair(&person(0, j), &person(0, i))]));
+        }
+    }
+    // Candidate pairs for the query person (deepest generation, lineage 0).
+    let qp = person(generations, 0);
+    for j in 0..people {
+        facts.push(Atom::new(
+            "mk",
+            vec![
+                Term::sym(&person(generations, j)),
+                pair(&qp, &person(generations, j)),
+            ],
+        ));
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_size() {
+        assert_eq!(chain_edges(5).len(), 5);
+        assert_eq!(chain_edges(0).len(), 0);
+    }
+
+    #[test]
+    fn tree_size() {
+        // Binary tree depth 3: 2 + 4 + 8 = 14 edges.
+        assert_eq!(tree_edges(3, 2).len(), 14);
+    }
+
+    #[test]
+    fn dag_deterministic_and_connected() {
+        let a = random_dag_edges(20, 3, 9);
+        assert_eq!(a, random_dag_edges(20, 3, 9));
+        // Spine present.
+        assert!(a.contains(&Atom::new("edge", vec![Term::sym("n0"), Term::sym("n1")])));
+    }
+
+    #[test]
+    fn merged_sg_is_quadratic() {
+        // people=4, generations=2: step has 2 * 16 = 32 tuples (vs the
+        // unmerged parent's 2 * 4 = 8) — the cross-product blow-up.
+        let facts = merged_sg_facts(4, 2);
+        let steps = facts
+            .iter()
+            .filter(|a| a.pred.name.as_str() == "step")
+            .count();
+        assert_eq!(steps, 32);
+        let mks = facts
+            .iter()
+            .filter(|a| a.pred.name.as_str() == "mk")
+            .count();
+        assert_eq!(mks, 4);
+    }
+}

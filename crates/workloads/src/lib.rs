@@ -1,0 +1,24 @@
+//! # chainsplit-workloads
+//!
+//! Deterministic synthetic workloads for the chain-split experiments:
+//! the paper's fixture programs ([`fixtures`]), family/census data for
+//! `sg`/`scsg` ([`family`]), flight networks for `travel` ([`flights`]),
+//! integer lists for the sorting examples ([`lists`]), and graphs for
+//! transitive closure including the merged-chain cross-product workload
+//! ([`graphs`]).
+//!
+//! Everything is seeded and reproducible; the knobs map onto the paper's
+//! quantitative measures (join expansion ratio, selectivity, chain depth).
+
+#![forbid(unsafe_code)]
+
+pub mod family;
+pub mod fixtures;
+pub mod flights;
+pub mod graphs;
+pub mod lists;
+
+pub use family::{fact_count, family_facts, query_person, FamilyConfig};
+pub use flights::{endpoints, flight_facts, FlightConfig};
+pub use graphs::{chain_edges, merged_sg_facts, random_dag_edges, tree_edges};
+pub use lists::{ascending, descending, random_ints, random_list, sorted_ints};

@@ -1,0 +1,56 @@
+//! List generators for the sorting/append experiments (§2.2, §4).
+
+use chainsplit_logic::Term;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random integer list as a Rust vector.
+pub fn random_ints(len: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..1000)).collect()
+}
+
+/// A seeded random integer list as a logic term.
+pub fn random_list(len: usize, seed: u64) -> Term {
+    Term::int_list(random_ints(len, seed))
+}
+
+/// Ascending `0..len` — isort's best case (every insert stops at once…
+/// actually its worst, since insert walks the whole sorted prefix).
+pub fn ascending(len: usize) -> Term {
+    Term::int_list(0..len as i64)
+}
+
+/// Descending `len..0` — every insert lands at the head immediately.
+pub fn descending(len: usize) -> Term {
+    Term::int_list((0..len as i64).rev())
+}
+
+/// The sorted version, for checking answers.
+pub fn sorted_ints(mut v: Vec<i64>) -> Vec<i64> {
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_ints(16, 3), random_ints(16, 3));
+        assert_ne!(random_ints(16, 3), random_ints(16, 4));
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(ascending(3).to_string(), "[0, 1, 2]");
+        assert_eq!(descending(3).to_string(), "[2, 1, 0]");
+        assert_eq!(random_list(0, 1), Term::Nil);
+    }
+
+    #[test]
+    fn sorted_helper() {
+        assert_eq!(sorted_ints(vec![5, 7, 1]), vec![1, 5, 7]);
+    }
+}

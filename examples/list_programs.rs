@@ -1,0 +1,74 @@
+//! The paper's §4 worked examples: nested linear (`isort`) and nonlinear
+//! (`qsort`) recursions, evaluated by chain-split.
+//!
+//! ```sh
+//! cargo run --example list_programs
+//! ```
+
+use chain_split::core::{DeductiveDb, Strategy};
+use chain_split::logic::Term;
+use chain_split::workloads::{fixtures, random_ints, sorted_ints};
+
+fn main() {
+    let mut db = DeductiveDb::new();
+    db.load(fixtures::ISORT).unwrap();
+    db.load(fixtures::QSORT).unwrap();
+
+    // The paper's Example 4.1: ?- isort([5,7,1], Ys).
+    println!("== isort([5,7,1], Ys)  (paper Example 4.1) ==");
+    for a in db.query("isort([5, 7, 1], Ys)").unwrap() {
+        println!("  {a}");
+    }
+    print!("{}", db.explain("isort([5, 7, 1], Ys)").unwrap());
+
+    // insert^bbf is the inner chain-split: Y is buffered (§4.1).
+    println!("\n== the inner recursion: insert(5, [1, 7], Zs) ==");
+    for a in db.query("insert(5, [1, 7], Zs)").unwrap() {
+        println!("  {a}");
+    }
+    print!("{}", db.explain("insert(5, [1, 7], Zs)").unwrap());
+
+    // The paper's Example 4.2: ?- qsort([4,9,5], Ys).
+    println!("\n== qsort([4,9,5], Ys)  (paper Example 4.2) ==");
+    for a in db.query("qsort([4, 9, 5], Ys)").unwrap() {
+        println!("  {a}");
+    }
+
+    // Bigger lists: chain-split vs Prolog-style top-down, same answers.
+    let data = random_ints(64, 7);
+    let list = Term::int_list(data.clone());
+    let expected = Term::int_list(sorted_ints(data));
+    println!("\n== sorting 64 random elements ==");
+    for strategy in [Strategy::Auto, Strategy::TopDown] {
+        let outcome = db
+            .query_with(&format!("isort({list}, Ys)"), strategy)
+            .unwrap();
+        assert_eq!(outcome.answers.len(), 1);
+        assert_eq!(
+            outcome.answers[0].to_string(),
+            format!("Ys = {expected}"),
+            "strategy {strategy} must sort correctly"
+        );
+        println!(
+            "  isort/{:<9} ok: {} derivations, {} probes",
+            strategy.to_string(),
+            outcome.counters.derived,
+            outcome.counters.considered
+        );
+    }
+    for strategy in [Strategy::Auto, Strategy::TopDown] {
+        let outcome = db
+            .query_with(&format!("qsort({list}, Ys)"), strategy)
+            .unwrap();
+        assert_eq!(outcome.answers[0].to_string(), format!("Ys = {expected}"));
+        println!(
+            "  qsort/{:<9} ok: {} derivations, {} probes",
+            strategy.to_string(),
+            outcome.counters.derived,
+            outcome.counters.considered
+        );
+    }
+
+    println!("\nall strategies agree; chain-split evaluated the nested and");
+    println!("nonlinear recursions without leaving the set-oriented engine.");
+}

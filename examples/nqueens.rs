@@ -1,0 +1,67 @@
+//! N-queens — the stress test the LogicBase prototype reports running
+//! ("successfully tested on many interesting recursions, such as append,
+//! travel, isort, nqueens, etc." \[7\]).
+//!
+//! The program mixes every recursion class the engine supports: `range` and
+//! `select` are linear functional recursions (evaluated by buffered
+//! chain-split), `perm` is a linear recursion over `select`, and `safe` /
+//! `no_attack` are linear recursions full of arithmetic builtins.
+//!
+//! ```sh
+//! cargo run --release --example nqueens
+//! ```
+
+use chain_split::core::{DeductiveDb, Strategy};
+
+const QUEENS: &str = "
+queens(N, Qs) :- range(1, N, Ns), perm(Ns, Qs), safe(Qs).
+
+range(H, H, [H]).
+range(L, H, [L | T]) :- L < H, plus(L, 1, L1), range(L1, H, T).
+
+perm([], []).
+perm(Xs, [X | Ys]) :- select(X, Xs, Rest), perm(Rest, Ys).
+
+select(X, [X | Xs], Xs).
+select(X, [Y | Ys], [Y | Zs]) :- select(X, Ys, Zs).
+
+safe([]).
+safe([Q | Qs]) :- no_attack(Q, Qs, 1), safe(Qs).
+
+no_attack(Q, [], D).
+no_attack(Q, [Q1 | Qs], D) :- Q \\= Q1, minus(Q, Q1, Diff), abs(Diff, AD),
+    AD \\= D, plus(D, 1, D1), no_attack(Q, Qs, D1).
+";
+
+fn main() {
+    let mut db = DeductiveDb::new();
+    db.load(QUEENS).expect("program parses");
+
+    println!("== compilation report ==");
+    print!("{}", db.explain("queens(6, Qs)").unwrap());
+    println!();
+
+    for n in [4i64, 5, 6] {
+        let outcome = db
+            .query_with(&format!("queens({n}, Qs)"), Strategy::Auto)
+            .expect("queens evaluates");
+        println!(
+            "queens({n}): {} solutions ({} derivations, {} probes)",
+            outcome.answers.len(),
+            outcome.counters.derived,
+            outcome.counters.considered
+        );
+        if n == 6 {
+            for a in &outcome.answers {
+                println!("  {a}");
+            }
+            assert_eq!(outcome.answers.len(), 4, "6-queens has 4 solutions");
+        }
+    }
+
+    // Existence checking (§5): is there any solution at all? Stops at the
+    // first one instead of enumerating the whole solution set.
+    let exists7 = db.exists("queens(7, Qs)").unwrap();
+    println!("\nqueens(7) solvable? {exists7}");
+    assert!(exists7);
+}

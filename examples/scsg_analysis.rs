@@ -1,0 +1,84 @@
+//! Algorithm 3.1 in action: efficiency-based chain-split magic sets.
+//!
+//! The paper's Example 1.2 (`scsg`, same-country same-generation): the
+//! `same_country` predicate links the two `parent` atoms into a single
+//! chain generating path. Standard magic sets push the query binding
+//! *through* `same_country`, deriving magic sets that fan out to every
+//! compatriot at every generation. The cost model spots the weak linkage
+//! from the EDB's join expansion ratio and splits the chain instead.
+//!
+//! ```sh
+//! cargo run --example scsg_analysis
+//! ```
+
+use chain_split::core::efficiency::standard_magic;
+use chain_split::core::{chain_split_magic, CostModel, System};
+use chain_split::engine::BottomUpOptions;
+use chain_split::logic::{parse_program, parse_query, Pred, Program, Rule};
+use chain_split::relation::Stats;
+use chain_split::workloads::{family_facts, fixtures, query_person, FamilyConfig};
+
+fn main() {
+    let cfg = FamilyConfig {
+        countries: 2,
+        people_per_country: 24,
+        generations: 4,
+    };
+    let mut program: Program = parse_program(fixtures::SCSG).unwrap();
+    for f in family_facts(cfg) {
+        program.rules.push(Rule::fact(f));
+    }
+    let sys = System::build(&program);
+
+    // The quantitative measurements of §2.1.
+    let stats = Stats::new(&sys.edb);
+    let sc = Pred::new("same_country", 2);
+    let parent = Pred::new("parent", 2);
+    println!("== EDB statistics ==");
+    println!(
+        "  same_country: {} tuples, expansion ratio {:.1}",
+        stats.cardinality(sc),
+        stats.expansion(sc, &[0])
+    );
+    println!(
+        "  parent      : {} tuples, expansion ratio {:.1}",
+        stats.cardinality(parent),
+        stats.expansion(parent, &[0])
+    );
+
+    let model = CostModel::default();
+    let query = parse_query(&format!("scsg({}, Y)", query_person(cfg))).unwrap();
+    let weak = model.weak_linkages(&sys, &query);
+    println!(
+        "\n== cost model decision (thresholds: split > {}, follow < {}) ==",
+        model.split_threshold, model.follow_threshold
+    );
+    for p in &weak {
+        println!("  weak linkage, binding will NOT propagate through: {p}");
+    }
+
+    // Standard magic vs chain-split magic on the same query.
+    let std = standard_magic(&sys, &query, BottomUpOptions::default()).unwrap();
+    let split = chain_split_magic(&sys, &query, &model, BottomUpOptions::default()).unwrap();
+
+    println!("\n== standard magic sets (blind binding passing) ==");
+    println!(
+        "  answers {:>4}   magic facts {:>8}   derived {:>8}   probes {:>10}",
+        std.answers.len(),
+        std.counters.magic_facts,
+        std.counters.derived,
+        std.counters.considered
+    );
+    println!("== chain-split magic sets (Algorithm 3.1) ==");
+    println!(
+        "  answers {:>4}   magic facts {:>8}   derived {:>8}   probes {:>10}",
+        split.answers.len(),
+        split.counters.magic_facts,
+        split.counters.derived,
+        split.counters.considered
+    );
+
+    assert_eq!(std.answers.len(), split.answers.len());
+    let factor = std.counters.magic_facts as f64 / split.counters.magic_facts.max(1) as f64;
+    println!("\nchain-split magic derives {factor:.1}x fewer magic facts on this workload.");
+}

@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# The DESIGN-mandated final verification runs.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+cargo test --workspace 2>&1 | tee test_output.txt
+cargo bench --workspace 2>&1 | tee bench_output.txt

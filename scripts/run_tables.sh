@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table into results/ (see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+for n in 1 2 3 4 5 6 7; do
+    echo "=== table_e$n ==="
+    cargo run -p chainsplit-bench --release --bin "table_e$n" | tee "results/table_e$n.txt"
+done

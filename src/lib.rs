@@ -1,0 +1,45 @@
+//! # chain-split
+//!
+//! A deductive database engine built around **chain-split evaluation**
+//! (Jiawei Han, *Chain-Split Evaluation in Deductive Databases*, ICDE 1992).
+//!
+//! Many recursions compile into regular *chain generating paths*. Classical
+//! methods (transitive closure, magic sets, counting) treat a path as an
+//! inseparable unit; chain-split evaluation splits a path into an immediately
+//! evaluable portion and a delayed-evaluation portion, which is required for
+//! finite evaluation of functional recursions and profitable whenever a path
+//! predicate has a large join expansion ratio.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`logic`]: the Horn-clause language (terms, rules, parser, unification);
+//! - [`relation`]: EDB storage, indexes and statistics;
+//! - [`chain`]: recursion compilation into chain forms, finiteness analysis;
+//! - [`engine`]: baseline evaluators (naive, semi-naive, magic sets,
+//!   counting, top-down SLD) and moded builtins;
+//! - [`core`]: the chain-split planner and Algorithms 3.1–3.3;
+//! - [`workloads`]: deterministic synthetic workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chain_split::core::DeductiveDb;
+//!
+//! let mut db = DeductiveDb::new();
+//! db.load(
+//!     "parent(adam, cain). parent(adam, abel). parent(eve, cain). parent(eve, abel).
+//!      sibling(cain, abel). sibling(abel, cain).
+//!      sg(X, Y) :- sibling(X, Y).
+//!      sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).",
+//! )
+//! .unwrap();
+//! let answers = db.query("sg(adam, Y)").unwrap();
+//! assert!(!answers.is_empty());
+//! ```
+
+pub use chainsplit_chain as chain;
+pub use chainsplit_core as core;
+pub use chainsplit_engine as engine;
+pub use chainsplit_logic as logic;
+pub use chainsplit_relation as relation;
+pub use chainsplit_workloads as workloads;

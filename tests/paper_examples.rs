@@ -1,0 +1,237 @@
+//! The paper's worked examples, replayed end to end through the public
+//! API. Each test cites the example it reproduces.
+
+use chain_split::core::{DeductiveDb, Strategy};
+use chain_split::workloads::fixtures;
+
+fn db_with(src: &str) -> DeductiveDb {
+    let mut db = DeductiveDb::new();
+    db.load(src).unwrap();
+    db
+}
+
+fn answers(db: &mut DeductiveDb, q: &str) -> Vec<String> {
+    let mut v: Vec<String> = db
+        .query(q)
+        .unwrap_or_else(|e| panic!("query {q}: {e}"))
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+/// Example 1.1: sg compiles into two chains.
+#[test]
+fn example_1_1_sg_compiles_to_two_chains() {
+    let mut db = db_with(fixtures::SG);
+    db.load("parent(a, p). sibling(p, p).").unwrap();
+    let sys = db.system();
+    let rec = &sys.compiled[&chain_split::logic::Pred::new("sg", 2)];
+    assert_eq!(rec.n_chains(), 2);
+    assert_eq!(rec.exit_rules.len(), 1);
+}
+
+/// Example 1.2: scsg's same_country links the parents into ONE chain
+/// generating path of three predicates.
+#[test]
+fn example_1_2_scsg_is_single_chain() {
+    let mut db = db_with(fixtures::SCSG);
+    db.load("parent(a, p). sibling(p, p). same_country(p, p).")
+        .unwrap();
+    let sys = db.system();
+    let rec = &sys.compiled[&chain_split::logic::Pred::new("scsg", 2)];
+    assert_eq!(rec.n_chains(), 1);
+    assert_eq!(rec.chains[0].atoms.len(), 3);
+}
+
+/// §2.2: the append chain splits under ^ffb; the element variable is
+/// buffered.
+#[test]
+fn section_2_2_append_split() {
+    let mut db = db_with(fixtures::APPEND);
+    let e = db.explain("append(U, V, [1, 2, 3])").unwrap();
+    assert!(e.contains("split: yes"), "{e}");
+    assert!(e.contains("buffered variables: [X]"), "{e}");
+    assert_eq!(
+        answers(&mut db, "append(U, V, [1, 2, 3])"),
+        [
+            "U = [1, 2, 3], V = []",
+            "U = [1, 2], V = [3]",
+            "U = [1], V = [2, 3]",
+            "U = [], V = [1, 2, 3]",
+        ]
+    );
+}
+
+/// §4.1, the full worked trace: ?- isort([5,7,1], Ys) = [1,5,7], and every
+/// intermediate insert call from the paper's narration.
+#[test]
+fn example_4_1_isort_trace() {
+    let mut db = db_with(fixtures::ISORT);
+    assert_eq!(answers(&mut db, "isort([5, 7, 1], Ys)"), ["Ys = [1, 5, 7]"]);
+    // "insert(1, [], Zs0) results in Zs0 = [1]"
+    assert_eq!(answers(&mut db, "insert(1, [], Zs)"), ["Zs = [1]"]);
+    // "insert(7, [1], Zs) leads to Zs = [1, 7]"
+    assert_eq!(answers(&mut db, "insert(7, [1], Zs)"), ["Zs = [1, 7]"]);
+    // "insert(5, [1, 7], Ys) … leads to the final answer Ys = [1, 5, 7]"
+    assert_eq!(
+        answers(&mut db, "insert(5, [1, 7], Ys)"),
+        ["Ys = [1, 5, 7]"]
+    );
+    // And the inner call it makes: "insert(5, [7], Zs)".
+    assert_eq!(answers(&mut db, "insert(5, [7], Zs)"), ["Zs = [5, 7]"]);
+}
+
+/// §4.2, the full worked trace: ?- qsort([4,9,5], Ys) = [4,5,9] with the
+/// partition sub-results from the paper.
+#[test]
+fn example_4_2_qsort_trace() {
+    let mut db = db_with(fixtures::QSORT);
+    assert_eq!(answers(&mut db, "qsort([4, 9, 5], Ys)"), ["Ys = [4, 5, 9]"]);
+    // "partition([9,5], 4, Littles, Bigs)" derives Littles=[], Bigs=[9,5].
+    assert_eq!(
+        answers(&mut db, "partition([9, 5], 4, Ls, Bs)"),
+        ["Ls = [], Bs = [9, 5]"]
+    );
+    // "partition([5], 4, XLs, Bs)": XLs=[], Bs=[5].
+    assert_eq!(
+        answers(&mut db, "partition([5], 4, Ls, Bs)"),
+        ["Ls = [], Bs = [5]"]
+    );
+    // "qsort([9,5], Bs) leads to Bs = [5,9]".
+    assert_eq!(answers(&mut db, "qsort([9, 5], Bs)"), ["Bs = [5, 9]"]);
+    // "append([], [4,5,9], Ys) leads to Ys = [4,5,9]".
+    assert_eq!(
+        answers(&mut db, "append([], [4, 5, 9], Ys)"),
+        ["Ys = [4, 5, 9]"]
+    );
+}
+
+/// §3.3: travel with a pushed fare constraint.
+#[test]
+fn section_3_3_travel_constraints() {
+    let mut db = db_with(fixtures::TRAVEL);
+    db.load(
+        "flight(1, vancouver, 800, calgary, 1000, 200).
+         flight(2, calgary, 1100, toronto, 1500, 300).
+         flight(3, toronto, 1600, ottawa, 1700, 100).
+         flight(4, vancouver, 900, toronto, 1500, 450).
+         flight(5, vancouver, 800, ottawa, 1800, 700).",
+    )
+    .unwrap();
+    let all = answers(&mut db, "travel(L, vancouver, DT, ottawa, AT, F)");
+    assert_eq!(all.len(), 3, "{all:?}"); // [1,2,3], [4,3], [5]
+    let cheap = answers(&mut db, "travel(L, vancouver, DT, ottawa, AT, F), F <= 600");
+    assert_eq!(cheap.len(), 2, "{cheap:?}");
+    assert!(cheap
+        .iter()
+        .any(|a| a.contains("L = [1, 2, 3]") && a.contains("F = 600")));
+    assert!(cheap
+        .iter()
+        .any(|a| a.contains("L = [4, 3]") && a.contains("F = 550")));
+}
+
+/// sg over the family data: all strategies agree (the cross-method oracle
+/// the whole harness leans on).
+#[test]
+fn sg_all_strategies_agree() {
+    let mut db = db_with(fixtures::SG);
+    db.load(
+        "parent(c1, p1). parent(c2, p1). parent(g1, c1). parent(g2, c2).
+         parent(h1, g1). parent(h2, g2).
+         sibling(c1, c2). sibling(c2, c1). sibling(p1, p1).",
+    )
+    .unwrap();
+    let mut reference: Option<Vec<String>> = None;
+    for strat in [
+        Strategy::Auto,
+        Strategy::TopDown,
+        Strategy::Naive,
+        Strategy::SemiNaive,
+        Strategy::Magic,
+        Strategy::SupplementaryMagic,
+        Strategy::ChainSplitMagic,
+        Strategy::Tabled,
+    ] {
+        let o = db.query_with("sg(h1, Y)", strat).unwrap();
+        let mut v: Vec<String> = o.answers.iter().map(|a| a.to_string()).collect();
+        v.sort();
+        match &reference {
+            None => reference = Some(v),
+            Some(r) => assert_eq!(&v, r, "strategy {strat}"),
+        }
+    }
+    assert_eq!(reference.unwrap(), ["Y = h1", "Y = h2"]);
+}
+
+/// The compiled form (1.17) of append: one chain, two connected cons
+/// predicates, invariant middle argument.
+#[test]
+fn compiled_form_1_17_append() {
+    let mut db = db_with(fixtures::APPEND);
+    let sys = db.system();
+    let rec = &sys.compiled[&chain_split::logic::Pred::new("append", 3)];
+    assert_eq!(rec.n_chains(), 1);
+    assert_eq!(rec.chains[0].atoms.len(), 2);
+    assert!(rec.chains[0]
+        .atoms
+        .iter()
+        .all(|a| a.pred.name.as_str() == "cons"));
+    assert_eq!(rec.invariant_positions, vec![1]);
+}
+
+/// Mixed-mode append queries (the admissibility matrix in action).
+#[test]
+fn append_mode_matrix() {
+    let mut db = db_with(fixtures::APPEND);
+    assert_eq!(
+        answers(&mut db, "append([1], [2, 3], W)"),
+        ["W = [1, 2, 3]"]
+    );
+    assert_eq!(
+        answers(&mut db, "append(U, [3], [1, 2, 3])"),
+        ["U = [1, 2]"]
+    );
+    assert_eq!(
+        answers(&mut db, "append([1], V, [1, 2, 3])"),
+        ["V = [2, 3]"]
+    );
+    assert_eq!(answers(&mut db, "append([1], [2], [1, 2])"), ["true"]);
+    assert_eq!(
+        answers(&mut db, "append([2], [1], [1, 2])"),
+        Vec::<String>::new()
+    );
+    // Inadmissible adornment: reported as an error, not a hang.
+    assert!(db.query("append(U, [3], W)").is_err());
+}
+
+/// The LogicBase report's stress program [7]: n-queens runs through every
+/// recursion class the engine supports (functional linear `range`/`select`,
+/// linear-over-linear `perm`, builtin-heavy `safe`).
+#[test]
+fn logicbase_nqueens() {
+    let mut db = DeductiveDb::new();
+    db.load(
+        "queens(N, Qs) :- range(1, N, Ns), perm(Ns, Qs), safe(Qs).
+         range(H, H, [H]).
+         range(L, H, [L | T]) :- L < H, plus(L, 1, L1), range(L1, H, T).
+         perm([], []).
+         perm(Xs, [X | Ys]) :- select(X, Xs, Rest), perm(Rest, Ys).
+         select(X, [X | Xs], Xs).
+         select(X, [Y | Ys], [Y | Zs]) :- select(X, Ys, Zs).
+         safe([]).
+         safe([Q | Qs]) :- no_attack(Q, Qs, 1), safe(Qs).
+         no_attack(Q, [], D).
+         no_attack(Q, [Q1 | Qs], D) :- Q \\= Q1, minus(Q, Q1, Diff), abs(Diff, AD),
+             AD \\= D, plus(D, 1, D1), no_attack(Q, Qs, D1).",
+    )
+    .unwrap();
+    assert_eq!(db.query("queens(4, Qs)").unwrap().len(), 2);
+    assert!(db.query("queens(3, Qs)").unwrap().is_empty());
+    assert_eq!(db.query("queens(1, Qs)").unwrap().len(), 1);
+    // The helper recursions also answer standalone queries.
+    assert_eq!(db.query("range(1, 4, Ns)").unwrap().len(), 1);
+    assert_eq!(db.query("perm([1, 2, 3], P)").unwrap().len(), 6);
+    assert_eq!(db.query("select(X, [1, 2, 3], Rest)").unwrap().len(), 3);
+}

@@ -1,0 +1,155 @@
+//! Robustness and failure-injection tests: malformed input, inadmissible
+//! queries, budget exhaustion, and adversarial data must produce clean
+//! errors — never hangs, panics, or wrong answers.
+
+use chain_split::core::{DeductiveDb, SolveOptions, Strategy};
+use chain_split::engine::{BottomUpOptions, TopDownOptions};
+use chain_split::workloads::fixtures;
+
+#[test]
+fn malformed_programs_report_positions() {
+    let mut db = DeductiveDb::new();
+    for bad in [
+        "p(X :- q(X).",
+        "p(X) :- .",
+        "p(X)",
+        ":- q(X).",
+        "p(X) :- q(X), .",
+        "p([1, 2).",
+    ] {
+        assert!(db.load(bad).is_err(), "`{bad}` must be rejected");
+    }
+    // The database stays usable after parse errors.
+    db.load("p(1).").unwrap();
+    assert_eq!(db.query("p(X)").unwrap().len(), 1);
+}
+
+#[test]
+fn inadmissible_queries_error_cleanly_under_every_strategy() {
+    let mut db = DeductiveDb::new();
+    db.load(fixtures::APPEND).unwrap();
+    // append^fff is not finitely evaluable anywhere.
+    for strat in [
+        Strategy::Auto,
+        Strategy::ChainSplit,
+        Strategy::Naive,
+        Strategy::SemiNaive,
+    ] {
+        assert!(
+            db.query_with("append(U, V, W)", strat).is_err(),
+            "append^fff must fail under {strat}"
+        );
+    }
+}
+
+#[test]
+fn budget_exhaustion_is_an_error_not_a_hang() {
+    let mut db = DeductiveDb::new();
+    db.load(
+        "loop(X) :- loop(X).
+         loop(a).",
+    )
+    .unwrap();
+    db.solve_options = SolveOptions {
+        max_depth: 100,
+        fuel: 10_000,
+        max_levels: 100,
+    };
+    db.top_down_options = TopDownOptions {
+        max_depth: 100,
+        fuel: 10_000,
+    };
+    assert!(db.query_with("loop(a)", Strategy::Auto).is_err());
+    assert!(db.query_with("loop(a)", Strategy::TopDown).is_err());
+    // Tabled handles the loop fine — that is its whole point.
+    assert_eq!(db.query_with("loop(a)", Strategy::Tabled).unwrap().answers.len(), 1);
+}
+
+#[test]
+fn cyclic_chain_data_is_guarded() {
+    let mut db = DeductiveDb::new();
+    db.load(
+        "path(X, Y) :- edge(X, Y).
+         path(X, Y) :- edge(X, Z), path(Z, Y).
+         edge(a, b). edge(b, a).",
+    )
+    .unwrap();
+    db.solve_options = SolveOptions {
+        max_levels: 64,
+        ..SolveOptions::default()
+    };
+    // The level-indexed executor refuses; magic and tabled answer.
+    assert!(db.query_with("path(a, Y)", Strategy::ChainSplit).is_err());
+    assert_eq!(db.query_with("path(a, Y)", Strategy::Magic).unwrap().answers.len(), 2);
+    assert_eq!(db.query_with("path(a, Y)", Strategy::Tabled).unwrap().answers.len(), 2);
+}
+
+#[test]
+fn type_errors_surface() {
+    let mut db = DeductiveDb::new();
+    db.load("age(bob, thirty). older(X) :- age(X, A), A > 18.").unwrap();
+    let err = db.query("older(X)").unwrap_err();
+    assert!(err.to_string().contains("type error"), "{err}");
+}
+
+#[test]
+fn division_by_zero_surfaces() {
+    let mut db = DeductiveDb::new();
+    db.load("bad(Z) :- div(1, 0, Z).").unwrap();
+    assert!(db.query("bad(Z)").is_err());
+}
+
+#[test]
+fn deep_recursion_is_fine_at_scale() {
+    // A 400-deep chain (the full TC is Θ(n²) tuples, so keep n modest for
+    // debug builds): no stack overflow, right answer count.
+    let mut db = DeductiveDb::new();
+    db.load(fixtures::PATH).unwrap();
+    for e in chain_split::workloads::chain_edges(400) {
+        db.add_fact(e);
+    }
+    db.bottom_up_options = BottomUpOptions::default();
+    let o = db.query_with("path(n0, Y)", Strategy::ChainSplitMagic).unwrap();
+    assert_eq!(o.answers.len(), 400);
+    let o = db.query_with("path(n0, Y)", Strategy::ChainSplit).unwrap();
+    assert_eq!(o.answers.len(), 400);
+}
+
+#[test]
+fn empty_database_and_unknown_predicates() {
+    let mut db = DeductiveDb::new();
+    db.load("p(X) :- no_such_relation(X).").unwrap();
+    assert!(db.query("p(X)").unwrap().is_empty());
+    assert!(db.query("completely_unknown(X)").unwrap().is_empty());
+}
+
+#[test]
+fn same_name_different_arity_coexist() {
+    let mut db = DeductiveDb::new();
+    db.load(
+        "p(1). p(1, 2).
+         q(X) :- p(X).
+         r(X, Y) :- p(X, Y).",
+    )
+    .unwrap();
+    assert_eq!(db.query("q(X)").unwrap().len(), 1);
+    assert_eq!(db.query("r(X, Y)").unwrap().len(), 1);
+}
+
+#[test]
+fn pruning_never_loses_answers_on_adversarial_fares() {
+    // Zero-fare cycles of flights would make naive pruning tempting and
+    // wrong; the analysis only pushes when soundness is provable, and the
+    // residual filter guarantees the final answers either way.
+    let mut db = DeductiveDb::new();
+    db.load(fixtures::TRAVEL).unwrap();
+    db.load(
+        "flight(1, x, 100, y, 110, 0).
+         flight(2, y, 200, z, 210, 500).
+         flight(3, x, 100, z, 250, 600).",
+    )
+    .unwrap();
+    let all = db.query("travel(L, x, DT, z, AT, F), F <= 500").unwrap();
+    assert_eq!(all.len(), 1, "{all:?}"); // [1, 2] with F = 500
+    assert!(all[0].to_string().contains("[1, 2]"));
+}

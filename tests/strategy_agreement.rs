@@ -1,0 +1,204 @@
+//! Property tests across evaluation strategies: on randomly generated
+//! workloads, every method must return the same answers, and the
+//! functional recursions must agree with native Rust implementations.
+
+use chain_split::core::{DeductiveDb, Strategy as Method};
+use chain_split::logic::Term;
+use chain_split::workloads::fixtures;
+use proptest::prelude::*;
+
+const ALL_STRATEGIES: [Method; 8] = [
+    Method::Auto,
+    Method::TopDown,
+    Method::Naive,
+    Method::SemiNaive,
+    Method::Magic,
+    Method::SupplementaryMagic,
+    Method::ChainSplitMagic,
+    Method::Tabled,
+];
+
+fn sorted_answers(db: &mut DeductiveDb, q: &str, strat: Method) -> Vec<String> {
+    let mut v: Vec<String> = db
+        .query_with(q, strat)
+        .unwrap_or_else(|e| panic!("{strat} on {q}: {e}"))
+        .answers
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+/// A random acyclic parent forest plus sibling pairs.
+fn arb_family() -> impl Strategy<Value = (String, usize)> {
+    (2usize..24, any::<u64>()).prop_map(|(n, seed)| {
+        let mut src = String::new();
+        let mut s = seed;
+        let mut next = move || {
+            // xorshift: deterministic, no rand dependency needed here.
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        // parent(i, j) only for i > j keeps the data acyclic.
+        for i in 1..n {
+            let j = (next() as usize) % i;
+            src.push_str(&format!("parent(p{i}, p{j}).\n"));
+            if next() % 3 == 0 {
+                let k = (next() as usize) % i;
+                src.push_str(&format!("parent(p{i}, p{k}).\n"));
+            }
+        }
+        for _ in 0..n / 2 {
+            let a = (next() as usize) % n;
+            let b = (next() as usize) % n;
+            src.push_str(&format!("sibling(p{a}, p{b}). sibling(p{b}, p{a}).\n"));
+        }
+        (src, n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All six strategies agree on sg over random families.
+    #[test]
+    fn sg_strategies_agree((facts, n) in arb_family(), probe in 0usize..24) {
+        let mut db = DeductiveDb::new();
+        db.load(fixtures::SG).unwrap();
+        db.load(&facts).unwrap();
+        let q = format!("sg(p{}, Y)", probe % n);
+        let reference = sorted_answers(&mut db, &q, Method::Auto);
+        for strat in ALL_STRATEGIES {
+            prop_assert_eq!(&sorted_answers(&mut db, &q, strat), &reference, "{}", strat);
+        }
+    }
+
+    /// path over random DAG edges: bottom-up, magic and chain-split agree.
+    #[test]
+    fn path_strategies_agree(n in 2usize..20, seed in any::<u64>(), probe in 0usize..20) {
+        let mut db = DeductiveDb::new();
+        db.load(fixtures::PATH).unwrap();
+        for e in chain_split::workloads::random_dag_edges(n, 2, seed) {
+            db.add_fact(e);
+        }
+        let q = format!("path(n{}, Y)", probe % n);
+        let reference = sorted_answers(&mut db, &q, Method::SemiNaive);
+        for strat in ALL_STRATEGIES {
+            prop_assert_eq!(&sorted_answers(&mut db, &q, strat), &reference, "{}", strat);
+        }
+    }
+
+    /// isort and qsort agree with Rust's sort, under both chain-split and
+    /// top-down evaluation.
+    #[test]
+    fn sorting_agrees_with_native(data in prop::collection::vec(0i64..100, 0..24)) {
+        let mut db = DeductiveDb::new();
+        db.load(fixtures::ISORT).unwrap();
+        db.load(fixtures::QSORT).unwrap();
+        let list = Term::int_list(data.clone());
+        let mut sorted = data;
+        sorted.sort();
+        let expected = format!("Ys = {}", Term::int_list(sorted));
+        for q in [format!("isort({list}, Ys)"), format!("qsort({list}, Ys)")] {
+            for strat in [Method::Auto, Method::TopDown] {
+                let a = sorted_answers(&mut db, &q, strat);
+                prop_assert_eq!(a.len(), 1, "{} {}", strat, q);
+                prop_assert_eq!(&a[0], &expected, "{} {}", strat, q);
+            }
+        }
+    }
+
+    /// append backwards enumerates exactly the n+1 splits, agreeing with
+    /// the native computation, under chain-split and top-down.
+    #[test]
+    fn append_splits_agree(data in prop::collection::vec(0i64..100, 0..16)) {
+        let mut db = DeductiveDb::new();
+        db.load(fixtures::APPEND).unwrap();
+        let list = Term::int_list(data.clone());
+        let q = format!("append(U, V, {list})");
+        let expected: Vec<String> = {
+            let mut v: Vec<String> = (0..=data.len())
+                .map(|i| {
+                    format!(
+                        "U = {}, V = {}",
+                        Term::int_list(data[..i].to_vec()),
+                        Term::int_list(data[i..].to_vec())
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        for strat in [Method::Auto, Method::TopDown] {
+            prop_assert_eq!(&sorted_answers(&mut db, &q, strat), &expected, "{}", strat);
+        }
+    }
+
+    /// append forward agrees with native concatenation.
+    #[test]
+    fn append_forward_agrees(
+        a in prop::collection::vec(0i64..100, 0..12),
+        b in prop::collection::vec(0i64..100, 0..12),
+    ) {
+        let mut db = DeductiveDb::new();
+        db.load(fixtures::APPEND).unwrap();
+        let mut cat = a.clone();
+        cat.extend(&b);
+        let q = format!("append({}, {}, W)", Term::int_list(a), Term::int_list(b));
+        let expected = vec![format!("W = {}", Term::int_list(cat))];
+        for strat in [Method::Auto, Method::TopDown] {
+            prop_assert_eq!(&sorted_answers(&mut db, &q, strat), &expected, "{}", strat);
+        }
+    }
+
+    /// Constraint pushing never changes answers: travel with a pushed fare
+    /// bound equals travel filtered after the fact.
+    #[test]
+    fn constraint_pushing_preserves_answers(
+        airports in 3usize..8,
+        extra in 0usize..6,
+        seed in any::<u64>(),
+        budget in 0i64..2000,
+    ) {
+        let cfg = chain_split::workloads::FlightConfig {
+            airports,
+            extra_flights: extra,
+            fare_min: 50,
+            fare_max: 400,
+            seed,
+        };
+        let mut db = DeductiveDb::new();
+        db.load(fixtures::TRAVEL).unwrap();
+        for f in chain_split::workloads::flight_facts(cfg) {
+            db.add_fact(f);
+        }
+        let (from, to) = chain_split::workloads::endpoints(cfg);
+        let base = format!("travel(L, {from}, DT, {to}, AT, F)");
+        // Unconstrained answers, filtered natively on F.
+        let all = db.query(&base).unwrap();
+        let expected: Vec<String> = {
+            let mut v: Vec<String> = all
+                .iter()
+                .filter(|a| {
+                    a.bindings.iter().any(|(var, t)| {
+                        var.name.as_str() == "F"
+                            && matches!(t, Term::Int(f) if *f <= budget)
+                    })
+                })
+                .map(|a| a.to_string())
+                .collect();
+            v.sort();
+            v
+        };
+        // Pushed-constraint answers.
+        let constrained = sorted_answers(
+            &mut db,
+            &format!("{base}, F <= {budget}"),
+            Method::Auto,
+        );
+        prop_assert_eq!(constrained, expected);
+    }
+}
