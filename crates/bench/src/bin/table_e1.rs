@@ -20,7 +20,9 @@ fn main() {
         "answers",
         "magic facts",
         "derived",
-        "probes",
+        "probed",
+        "matched",
+        "rounds",
         "wall ms",
     ]);
     for people in [4usize, 8, 16, 32, 48] {
@@ -45,7 +47,9 @@ fn main() {
                 r.answers.to_string(),
                 r.magic_facts.to_string(),
                 r.derived.to_string(),
-                r.considered.to_string(),
+                r.probed.to_string(),
+                r.matched.to_string(),
+                r.rounds.to_string(),
                 format!("{:.2}", r.wall_ms),
             ]);
         }

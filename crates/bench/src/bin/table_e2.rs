@@ -21,7 +21,8 @@ fn main() {
         "EDB facts",
         "answers",
         "derived",
-        "probes",
+        "probed",
+        "matched",
         "wall ms",
     ]);
     for people in [2usize, 4, 8, 16, 24] {
@@ -46,7 +47,8 @@ fn main() {
             edb.to_string(),
             r.answers.to_string(),
             r.derived.to_string(),
-            r.considered.to_string(),
+            r.probed.to_string(),
+            r.matched.to_string(),
             format!("{:.2}", r.wall_ms),
         ]);
 
@@ -64,7 +66,8 @@ fn main() {
             edb.to_string(),
             r.answers.to_string(),
             r.derived.to_string(),
-            r.considered.to_string(),
+            r.probed.to_string(),
+            r.matched.to_string(),
             format!("{:.2}", r.wall_ms),
         ]);
     }

@@ -16,7 +16,7 @@ fn main() {
     println!("# E3: append(U, V, W^b) — buffered chain-split vs baselines (Algorithm 3.2)");
     println!("# |W| elements; answers = |W|+1 splits\n");
     header(&[
-        "|W|", "method", "answers", "derived", "buffered", "probes", "wall ms",
+        "|W|", "method", "answers", "derived", "buffered", "probed", "wall ms",
     ]);
     for len in [16usize, 64, 256, 512] {
         let w = Term::int_list(random_ints(len, 5));
@@ -40,7 +40,7 @@ fn main() {
                     r.answers.to_string(),
                     r.derived.to_string(),
                     r.buffered_peak.to_string(),
-                    r.considered.to_string(),
+                    r.probed.to_string(),
                     format!("{:.2}", r.wall_ms),
                 ]),
                 Err(e) => row(&[

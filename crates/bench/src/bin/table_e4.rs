@@ -13,7 +13,7 @@ fn main() {
     println!("# E4: travel with fare budget — constraint pushing vs filter-at-end (Algorithm 3.3)");
     println!("# fares 100-400 per hop, budget 900: routes over ~3 hops are hopeless\n");
     header(&[
-        "airports", "method", "answers", "buffered", "probes", "wall ms",
+        "airports", "method", "answers", "buffered", "probed", "wall ms",
     ]);
     for airports in [8usize, 12, 16, 24] {
         let cfg = FlightConfig {
@@ -36,7 +36,7 @@ fn main() {
             "push constraint (3.3)".to_string(),
             pushed.answers.to_string(),
             pushed.buffered_peak.to_string(),
-            pushed.considered.to_string(),
+            pushed.probed.to_string(),
             format!("{:.2}", pushed.wall_ms),
         ]);
 
@@ -48,7 +48,7 @@ fn main() {
             "filter at end".to_string(),
             format!("{} (of {})", pushed.answers, full.answers),
             full.buffered_peak.to_string(),
-            full.considered.to_string(),
+            full.probed.to_string(),
             format!("{:.2}", full.wall_ms),
         ]);
 
@@ -60,7 +60,7 @@ fn main() {
                 "top-down SLD".to_string(),
                 format!("{} (of {})", pushed.answers, td.answers),
                 "-".to_string(),
-                td.considered.to_string(),
+                td.probed.to_string(),
                 format!("{:.2}", td.wall_ms),
             ]),
             Err(e) => row(&[

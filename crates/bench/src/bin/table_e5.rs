@@ -12,7 +12,7 @@ use chainsplit_workloads::{descending, random_ints};
 fn main() {
     println!("# E5: isort — nested chain-split vs top-down SLD (§4.1)");
     println!("# random lists (seeded) and descending lists (insert's easy case)\n");
-    header(&["len", "shape", "method", "derived", "probes", "wall ms"]);
+    header(&["len", "shape", "method", "derived", "probed", "wall ms"]);
     for len in [8usize, 32, 64, 128] {
         for (shape, list) in [
             ("random", Term::int_list(random_ints(len, 21))),
@@ -31,7 +31,7 @@ fn main() {
                     shape.to_string(),
                     name.to_string(),
                     r.derived.to_string(),
-                    r.considered.to_string(),
+                    r.probed.to_string(),
                     format!("{:.2}", r.wall_ms),
                 ]);
             }

@@ -11,7 +11,7 @@ use chainsplit_workloads::random_ints;
 
 fn main() {
     println!("# E6: qsort — nonlinear chain-split vs top-down SLD (§4.2)\n");
-    header(&["len", "method", "derived", "probes", "wall ms"]);
+    header(&["len", "method", "derived", "probed", "wall ms"]);
     for len in [8usize, 32, 64, 128] {
         let list = Term::int_list(random_ints(len, 33));
         let q = format!("qsort({list}, Ys)");
@@ -26,7 +26,7 @@ fn main() {
                 len.to_string(),
                 name.to_string(),
                 r.derived.to_string(),
-                r.considered.to_string(),
+                r.probed.to_string(),
                 format!("{:.2}", r.wall_ms),
             ]);
         }

@@ -24,7 +24,9 @@ fn main() {
         "planner",
         "answers",
         "magic facts",
-        "probes",
+        "probed",
+        "matched",
+        "rounds",
         "wall ms",
         "decision",
     ]);
@@ -74,7 +76,9 @@ fn main() {
                 name.to_string(),
                 r.answers.len().to_string(),
                 r.counters.magic_facts.to_string(),
-                r.counters.considered.to_string(),
+                r.counters.probed.to_string(),
+                r.counters.matched.to_string(),
+                r.rounds.len().to_string(),
                 format!("{wall:.2}"),
                 note.to_string(),
             ]);

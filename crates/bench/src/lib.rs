@@ -44,9 +44,16 @@ pub struct Run {
     pub answers: usize,
     pub wall_ms: f64,
     pub derived: usize,
-    pub considered: usize,
+    /// Candidate tuples inspected across all access paths.
+    pub probed: usize,
+    /// Candidates that actually unified with their goal.
+    pub matched: usize,
     pub magic_facts: usize,
     pub buffered_peak: usize,
+    /// Semi-naive (or chain-level) rounds to fixpoint.
+    pub rounds: usize,
+    pub index_hits: usize,
+    pub scans: usize,
 }
 
 /// Runs `query` on `db` under `strategy`, measuring wall-clock and
@@ -61,9 +68,13 @@ pub fn measure(db: &mut DeductiveDb, query: &str, strategy: Strategy) -> Result<
             answers: o.answers.len(),
             wall_ms,
             derived: o.counters.derived,
-            considered: o.counters.considered,
+            probed: o.counters.probed,
+            matched: o.counters.matched,
             magic_facts: o.counters.magic_facts,
             buffered_peak: o.counters.buffered_peak,
+            rounds: o.rounds.len(),
+            index_hits: o.counters.index_hits,
+            scans: o.counters.scans,
         }),
         Err(e) => Err(e.to_string()),
     }

@@ -42,6 +42,8 @@ commands:
                                   supplementary-magic, chain-split-magic,
                                   chain-split, tabled)
   :explain <goal>                show the compilation / split plan
+  :profile <goal>                run the query and show per-round metrics
+                                 (EXPLAIN ANALYZE under the set strategy)
   :exists <goal>                 existence check (first answer only)
   :timing on|off                 toggle per-query timing + counters
   :constraint <body>             add an integrity constraint (denial)
@@ -129,6 +131,10 @@ impl Shell {
                 Ok(e) => e,
                 Err(e) => format!("error: {e}"),
             },
+            "profile" => match self.db.explain_analyze(arg, self.strategy) {
+                Ok(m) => m.to_string(),
+                Err(e) => format!("error: {e}"),
+            },
             "exists" => match self.db.exists(arg) {
                 Ok(b) => format!("{b}."),
                 Err(e) => format!("error: {e}"),
@@ -202,10 +208,11 @@ impl Shell {
                     let ms = start.elapsed().as_secs_f64() * 1e3;
                     write!(
                         out,
-                        "\n[{} | {ms:.2} ms | derived {} | probes {} | magic {} | buffered {}]",
+                        "\n[{} | {ms:.2} ms | derived {} | probed {} | matched {} | magic {} | buffered {}]",
                         outcome.strategy,
                         outcome.counters.derived,
-                        outcome.counters.considered,
+                        outcome.counters.probed,
+                        outcome.counters.matched,
                         outcome.counters.magic_facts,
                         outcome.counters.buffered_peak,
                     )
@@ -268,6 +275,21 @@ mod tests {
         assert!(e.contains("split: yes"), "{e}");
         assert_eq!(sh.process(":exists append(U, V, [1, 2])").0, "true.");
         assert_eq!(sh.process(":exists append([9], V, [1, 2])").0, "false.");
+    }
+
+    #[test]
+    fn profile_reports_metrics() {
+        let mut sh = Shell::new();
+        sh.process("edge(a, b). edge(b, c).");
+        sh.process("path(X, Y) :- edge(X, Y).");
+        sh.process("path(X, Y) :- edge(X, Z), path(Z, Y).");
+        sh.process(":strategy semi-naive");
+        let out = sh.process(":profile path(a, Y)").0;
+        assert!(out.contains("2 answers"), "{out}");
+        assert!(out.contains("phases:"), "{out}");
+        assert!(out.contains("round"), "{out}");
+        let bad = sh.process(":profile path(").0;
+        assert!(bad.starts_with("error:"), "{bad}");
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use crate::solver::Solver;
 use chainsplit_chain::{CompiledRecursion, SplitPlan};
-use chainsplit_engine::EvalError;
+use chainsplit_engine::{EvalError, RoundMetrics};
 use chainsplit_logic::{unify, Atom, Subst, Term, Var};
 use chainsplit_relation::{FxHashMap, FxHashSet};
 
@@ -147,6 +147,7 @@ pub fn eval_buffered(
 
     // ---- Up sweep ----
     loop {
+        let round_base = solver.counters;
         solver.counters.iterations += 1;
         if nodes_up.len() >= solver.opts.max_levels {
             return Err(EvalError::FuelExceeded {
@@ -239,7 +240,7 @@ pub fn eval_buffered(
                         }
                     }
                     if dead || !p.admits(&new_partials) {
-                        solver.counters.considered += 1;
+                        solver.counters.probed += 1;
                         continue; // pruned: hopeless derivation
                     }
                 }
@@ -288,6 +289,13 @@ pub fn eval_buffered(
             }
         }
         solver.counters.buffered_peak += level_nodes.len();
+        // One round per chain level; the delta is the buffered-chain size
+        // at this level (0 for chain-following / counting runs).
+        solver.rounds.push(RoundMetrics {
+            round: solver.rounds.len(),
+            delta: level_nodes.len(),
+            counters: solver.counters.since(&round_base),
+        });
         let done = next_frontier.is_empty();
         nodes_up.push(level_nodes);
         if done {
@@ -328,7 +336,7 @@ pub fn eval_buffered(
                     continue;
                 };
                 for a in below {
-                    solver.counters.considered += 1;
+                    solver.counters.probed += 1;
                     let mut s0 = Subst::new();
                     let mut ok = true;
                     for (&v, val) in plan.up_bound.iter().zip(&node.up_vals) {
@@ -348,6 +356,7 @@ pub fn eval_buffered(
                     if !ok {
                         continue;
                     }
+                    solver.counters.matched += 1;
                     let mut sols = Vec::new();
                     solver.solve_body_dynamic(&delayed_atoms, &s0, depth + 1, &mut sols)?;
                     for sol in sols {
@@ -487,5 +496,10 @@ mod tests {
         // One buffered node per level 0..3 (the [] level derives nothing).
         assert_eq!(solver.counters.buffered_peak, 4);
         assert!(solver.counters.iterations >= 5);
+        // One round recorded per chain level, whose deltas are the
+        // buffered-chain sizes.
+        assert_eq!(solver.rounds.len(), 5);
+        let deltas: Vec<usize> = solver.rounds.iter().map(|r| r.delta).collect();
+        assert_eq!(deltas, [1, 1, 1, 1, 0]);
     }
 }

@@ -11,11 +11,13 @@ use crate::partial::eval_partial;
 use crate::solver::{SolveOptions, Solver};
 use crate::system::System;
 use chainsplit_engine::{
-    naive_eval, seminaive_eval, tabled_query, topdown_query, unify_filter, BottomUpOptions,
-    Counters, EvalError, TabledOptions, TopDownOptions,
+    duration_ms, naive_eval, seminaive_eval, tabled_query, topdown_query, unify_filter,
+    BottomUpOptions, Counters, EvalError, EvalMetrics, PhaseTimings, RoundMetrics, TabledOptions,
+    TopDownOptions,
 };
 use chainsplit_logic::{parse_program, parse_rule, Atom, ParseError, Program, Subst, Term, Var};
 use std::fmt;
+use std::time::Instant;
 
 /// Which evaluation method to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -94,6 +96,11 @@ pub struct QueryOutcome {
     pub answers: Vec<Answer>,
     pub counters: Counters,
     pub strategy: Strategy,
+    /// Per-round (or per-chain-level) metrics; empty for strategies with
+    /// no natural round structure (plain top-down, tabled).
+    pub rounds: Vec<RoundMetrics>,
+    /// Wall time per evaluation phase.
+    pub phases: PhaseTimings,
 }
 
 /// Errors surfaced by the facade.
@@ -268,29 +275,59 @@ impl DeductiveDb {
         let outcome = match strategy {
             Strategy::Auto | Strategy::ChainSplit => {
                 let mut solver = Solver::new(sys, solve_opts);
+                let t0 = Instant::now();
                 let sols = eval_partial(&mut solver, atom, constraints)?;
+                let fixpoint_ms = duration_ms(t0.elapsed());
+                let t1 = Instant::now();
+                let answers = project(sols);
                 QueryOutcome {
-                    answers: project(sols),
+                    answers,
                     counters: solver.counters,
                     strategy,
+                    rounds: solver.rounds,
+                    phases: PhaseTimings {
+                        fixpoint_ms,
+                        answer_ms: duration_ms(t1.elapsed()),
+                        ..PhaseTimings::default()
+                    },
                 }
             }
             Strategy::Tabled => {
+                let t0 = Instant::now();
                 let (sols, counters) = tabled_query(&source, atom, tab_opts)?;
+                let fixpoint_ms = duration_ms(t0.elapsed());
+                let t1 = Instant::now();
                 let sols = filter_constraints(sols, constraints)?;
+                let answers = project(sols);
                 QueryOutcome {
-                    answers: project(sols),
+                    answers,
                     counters,
                     strategy,
+                    rounds: Vec::new(),
+                    phases: PhaseTimings {
+                        fixpoint_ms,
+                        answer_ms: duration_ms(t1.elapsed()),
+                        ..PhaseTimings::default()
+                    },
                 }
             }
             Strategy::TopDown => {
+                let t0 = Instant::now();
                 let (sols, counters) = topdown_query(&source, atom, td_opts)?;
+                let fixpoint_ms = duration_ms(t0.elapsed());
+                let t1 = Instant::now();
                 let sols = filter_constraints(sols, constraints)?;
+                let answers = project(sols);
                 QueryOutcome {
-                    answers: project(sols),
+                    answers,
                     counters,
                     strategy,
+                    rounds: Vec::new(),
+                    phases: PhaseTimings {
+                        fixpoint_ms,
+                        answer_ms: duration_ms(t1.elapsed()),
+                        ..PhaseTimings::default()
+                    },
                 }
             }
             Strategy::Naive | Strategy::SemiNaive => {
@@ -312,13 +349,19 @@ impl DeductiveDb {
                 } else {
                     seminaive_eval(&rules, &sys.edb, bu_opts)?
                 };
+                let t0 = Instant::now();
                 let rel = run.idb.relation(atom.pred);
                 let sols = unify_filter(rel, atom);
                 let sols = filter_constraints(sols, constraints)?;
+                let answers = project(sols);
+                let mut phases = run.phases;
+                phases.answer_ms = duration_ms(t0.elapsed());
                 QueryOutcome {
-                    answers: project(sols),
+                    answers,
                     counters: run.counters,
                     strategy,
+                    rounds: run.rounds,
+                    phases,
                 }
             }
             Strategy::SupplementaryMagic => {
@@ -334,6 +377,8 @@ impl DeductiveDb {
                     answers: project(sols),
                     counters: r.counters,
                     strategy,
+                    rounds: r.rounds,
+                    phases: r.phases,
                 }
             }
             Strategy::Magic => {
@@ -343,6 +388,8 @@ impl DeductiveDb {
                     answers: project(sols),
                     counters: r.counters,
                     strategy,
+                    rounds: r.rounds,
+                    phases: r.phases,
                 }
             }
             Strategy::ChainSplitMagic => {
@@ -352,6 +399,8 @@ impl DeductiveDb {
                     answers: project(sols),
                     counters: r.counters,
                     strategy,
+                    rounds: r.rounds,
+                    phases: r.phases,
                 }
             }
         };
@@ -471,6 +520,66 @@ impl DeductiveDb {
             writeln!(out, "not chain-compiled").unwrap();
         }
         Ok(out)
+    }
+
+    /// `EXPLAIN ANALYZE`: run `query` under `strategy` and report the
+    /// measured per-round metrics and phase timings, not just the plan.
+    ///
+    /// Strategies without a natural round structure (plain top-down,
+    /// tabled) report a single summary round covering the whole run, so
+    /// every strategy yields at least one round.
+    pub fn explain_analyze(
+        &mut self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<EvalMetrics, DbError> {
+        let t0 = Instant::now();
+        let freshly_compiled = self.system.is_none();
+        self.system();
+        let compile_ms = duration_ms(t0.elapsed());
+        let outcome = self.query_with(query, strategy)?;
+        let mut phases = outcome.phases;
+        if freshly_compiled {
+            // Magic strategies also time their rule transform as compile
+            // work; fold the system build into the same phase.
+            phases.compile_ms += compile_ms;
+        }
+        let mut rounds = outcome.rounds;
+        if rounds.is_empty() {
+            rounds.push(RoundMetrics {
+                round: 0,
+                delta: outcome.counters.derived,
+                counters: outcome.counters,
+            });
+        } else {
+            // Work done outside the per-round loop (exit rules, top-level
+            // resolution, answer filtering) is reported as a final
+            // residual round, so round counters always sum to the totals.
+            let mut acc = Counters::default();
+            for r in &rounds {
+                acc.add(&r.counters);
+            }
+            let residual = outcome.counters.since(&acc);
+            if residual.probed > 0
+                || residual.matched > 0
+                || residual.derived > 0
+                || residual.builtin_evals > 0
+                || residual.magic_facts > 0
+            {
+                rounds.push(RoundMetrics {
+                    round: rounds.len(),
+                    delta: residual.derived,
+                    counters: residual,
+                });
+            }
+        }
+        Ok(EvalMetrics {
+            strategy: strategy.to_string(),
+            answers: outcome.answers.len(),
+            totals: outcome.counters,
+            rounds,
+            phases,
+        })
     }
 }
 
@@ -600,6 +709,26 @@ mod tests {
         assert!(e.contains("buffered variables: [X]"), "{e}");
         let e = db.explain("append([1], [2], W)").unwrap();
         assert!(e.contains("adornment: bbf"), "{e}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_rounds_and_phases() {
+        let mut db = DeductiveDb::new();
+        db.load(SG).unwrap();
+        let m = db
+            .explain_analyze("sg(g1, Y)", Strategy::SemiNaive)
+            .unwrap();
+        assert_eq!(m.answers, 1);
+        assert!(!m.rounds.is_empty());
+        let delta_sum: usize = m.rounds.iter().map(|r| r.delta).sum();
+        assert_eq!(delta_sum, m.delta_total());
+        // Top-down has no natural rounds: a summary round is synthesized.
+        let m = db.explain_analyze("sg(g1, Y)", Strategy::TopDown).unwrap();
+        assert_eq!(m.rounds.len(), 1);
+        assert_eq!(m.rounds[0].counters.probed, m.totals.probed);
+        let text = m.to_string();
+        assert!(text.contains("strategy top-down"), "{text}");
+        assert!(text.contains("round"), "{text}");
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod solver;
 pub mod system;
 
 pub use buffered::{eval_buffered, CountGuard, Pruner, SumGuard};
+pub use chainsplit_engine::{Counters, EvalMetrics, PhaseTimings, RoundMetrics};
 pub use cost::CostModel;
 pub use db::{Answer, DeductiveDb, QueryOutcome, Strategy};
 pub use efficiency::chain_split_magic;

@@ -18,7 +18,9 @@
 use crate::buffered::eval_buffered;
 use crate::system::System;
 use chainsplit_chain::plan_split;
-use chainsplit_engine::{eval_builtin, match_relation, BuiltinOutcome, Counters, EvalError};
+use chainsplit_engine::{
+    eval_builtin, match_relation, BuiltinOutcome, Counters, EvalError, RoundMetrics,
+};
 use chainsplit_logic::{fresh, unify_atoms, Ad, Adornment, Atom, Subst};
 
 /// Budgets for a solver run.
@@ -48,6 +50,10 @@ pub struct Solver<'a> {
     pub sys: &'a System,
     pub opts: SolveOptions,
     pub counters: Counters,
+    /// Per-level breakdown of buffered chain-split runs: one entry per
+    /// chain level swept, `delta` = nodes buffered at that level (the
+    /// buffered-chain size). Goal-directed resolution adds no entries.
+    pub rounds: Vec<RoundMetrics>,
     fuel_left: usize,
 }
 
@@ -68,6 +74,7 @@ impl<'a> Solver<'a> {
             sys,
             opts,
             counters: Counters::default(),
+            rounds: Vec::new(),
             fuel_left: opts.fuel,
         }
     }
@@ -100,7 +107,9 @@ impl<'a> Solver<'a> {
         // Builtins.
         match eval_builtin(atom, s)? {
             Some(BuiltinOutcome::Solutions(sols)) => {
-                self.counters.considered += 1;
+                self.counters.builtin_evals += 1;
+                self.counters.probed += sols.len().max(1);
+                self.counters.matched += sols.len();
                 out.extend(sols);
                 return Ok(());
             }
@@ -126,12 +135,13 @@ impl<'a> Solver<'a> {
             // Goal-directed resolution over the rectified rules.
             let rules: Vec<_> = self.sys.rules_of(atom.pred).into_iter().cloned().collect();
             for rule in rules {
-                self.counters.considered += 1;
+                self.counters.probed += 1;
                 let fr = rule.rename(fresh::rename_tag());
                 let mut s2 = s.clone();
                 if !unify_atoms(&mut s2, atom, &fr.head) {
                     continue;
                 }
+                self.counters.matched += 1;
                 let body: Vec<&Atom> = fr.body.iter().collect();
                 self.solve_body_dynamic(&body, &s2, depth + 1, out)?;
             }
@@ -218,6 +228,7 @@ impl<'a> Solver<'a> {
         }
         match eval_builtin(atom, s)? {
             Some(BuiltinOutcome::Solutions(sols)) => {
+                self.counters.builtin_evals += 1;
                 return Ok(sols.into_iter().next());
             }
             Some(BuiltinOutcome::NotEvaluable) => {
@@ -240,12 +251,13 @@ impl<'a> Solver<'a> {
             }
             let rules: Vec<_> = self.sys.rules_of(atom.pred).into_iter().cloned().collect();
             for rule in rules {
-                self.counters.considered += 1;
+                self.counters.probed += 1;
                 let fr = rule.rename(fresh::rename_tag());
                 let mut s2 = s.clone();
                 if !unify_atoms(&mut s2, atom, &fr.head) {
                     continue;
                 }
+                self.counters.matched += 1;
                 let body: Vec<&Atom> = fr.body.iter().collect();
                 if let Some(sol) = self.solve_body_first(&body, &s2, depth + 1)? {
                     return Ok(Some(sol));

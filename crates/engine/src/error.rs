@@ -41,29 +41,83 @@ impl std::error::Error for EvalError {}
 /// Work counters shared by all evaluators; benchmark tables report these
 /// alongside wall-clock so the paper's ordinal claims can be checked on
 /// machine-independent numbers.
+///
+/// `probed` / `matched` split what a single `considered` counter used to
+/// conflate: `probed` counts every candidate *inspected* (rows walked past
+/// by a scan included, so it reflects real work regardless of access
+/// path), while `matched` counts only the candidates that unified. The
+/// access-path trio (`index_hits` / `index_builds` / `scans`) records how
+/// each [`Relation::select`](chainsplit_relation::Relation::select) found
+/// its rows.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct Counters {
     /// Facts newly derived (tuples inserted into IDB relations, buffered
     /// nodes created, answers produced).
     pub derived: usize,
-    /// Candidate derivations considered (join attempts / unifications).
-    pub considered: usize,
+    /// Candidates inspected: stored rows looked at (including rows a scan
+    /// walked past), rule heads tried, table answers probed, builtin
+    /// solutions enumerated.
+    pub probed: usize,
+    /// Candidates that unified / passed their filter.
+    pub matched: usize,
     /// Fixpoint rounds or chain levels processed.
     pub iterations: usize,
-    /// Magic-set tuples derived (magic-sets methods only).
+    /// Magic-set or supplementary tuples derived (magic-sets methods only).
     pub magic_facts: usize,
     /// Peak number of simultaneously buffered tuples (chain-split
     /// methods only).
     pub buffered_peak: usize,
+    /// `select` calls answered by a pre-existing hash index.
+    pub index_hits: usize,
+    /// `select` calls that lazily built the index they then used.
+    pub index_builds: usize,
+    /// `select` calls that fell back to a row-by-row scan.
+    pub scans: usize,
+    /// Builtin (arithmetic / comparison / list) evaluations.
+    pub builtin_evals: usize,
 }
 
 impl Counters {
     pub fn add(&mut self, other: &Counters) {
         self.derived += other.derived;
-        self.considered += other.considered;
+        self.probed += other.probed;
+        self.matched += other.matched;
         self.iterations += other.iterations;
         self.magic_facts += other.magic_facts;
         self.buffered_peak = self.buffered_peak.max(other.buffered_peak);
+        self.index_hits += other.index_hits;
+        self.index_builds += other.index_builds;
+        self.scans += other.scans;
+        self.builtin_evals += other.builtin_evals;
+    }
+
+    /// The work done since `earlier` (a snapshot of `self` taken before a
+    /// round). All monotone counters subtract; `buffered_peak` keeps the
+    /// current value, since a max cannot be attributed to one round.
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            derived: self.derived - earlier.derived,
+            probed: self.probed - earlier.probed,
+            matched: self.matched - earlier.matched,
+            iterations: self.iterations - earlier.iterations,
+            magic_facts: self.magic_facts - earlier.magic_facts,
+            buffered_peak: self.buffered_peak,
+            index_hits: self.index_hits - earlier.index_hits,
+            index_builds: self.index_builds - earlier.index_builds,
+            scans: self.scans - earlier.scans,
+            builtin_evals: self.builtin_evals - earlier.builtin_evals,
+        }
+    }
+
+    /// Record one [`AccessPath`](chainsplit_relation::AccessPath) taken by
+    /// a `select` call.
+    pub fn record_path(&mut self, path: chainsplit_relation::AccessPath) {
+        use chainsplit_relation::AccessPath;
+        match path {
+            AccessPath::IndexHit => self.index_hits += 1,
+            AccessPath::IndexBuild => self.index_builds += 1,
+            AccessPath::KeyScan | AccessPath::FullScan => self.scans += 1,
+        }
     }
 }
 
@@ -75,21 +129,70 @@ mod tests {
     fn counters_add_takes_max_of_peaks() {
         let mut a = Counters {
             derived: 1,
-            considered: 2,
+            probed: 2,
+            matched: 1,
             iterations: 3,
             magic_facts: 4,
             buffered_peak: 10,
+            ..Counters::default()
         };
         let b = Counters {
             derived: 10,
-            considered: 20,
+            probed: 20,
+            matched: 15,
             iterations: 30,
             magic_facts: 40,
             buffered_peak: 5,
+            index_hits: 2,
+            scans: 1,
+            ..Counters::default()
         };
         a.add(&b);
         assert_eq!(a.derived, 11);
+        assert_eq!(a.probed, 22);
+        assert_eq!(a.matched, 16);
+        assert_eq!(a.index_hits, 2);
+        assert_eq!(a.scans, 1);
         assert_eq!(a.buffered_peak, 10);
+    }
+
+    #[test]
+    fn counters_since_subtracts_monotone_fields() {
+        let earlier = Counters {
+            derived: 3,
+            probed: 10,
+            matched: 5,
+            buffered_peak: 7,
+            ..Counters::default()
+        };
+        let later = Counters {
+            derived: 8,
+            probed: 25,
+            matched: 12,
+            buffered_peak: 9,
+            scans: 2,
+            ..Counters::default()
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.derived, 5);
+        assert_eq!(d.probed, 15);
+        assert_eq!(d.matched, 7);
+        assert_eq!(d.scans, 2);
+        // Peaks do not subtract.
+        assert_eq!(d.buffered_peak, 9);
+    }
+
+    #[test]
+    fn record_path_buckets_by_access_path() {
+        use chainsplit_relation::AccessPath;
+        let mut c = Counters::default();
+        c.record_path(AccessPath::IndexHit);
+        c.record_path(AccessPath::IndexBuild);
+        c.record_path(AccessPath::KeyScan);
+        c.record_path(AccessPath::FullScan);
+        assert_eq!(c.index_hits, 1);
+        assert_eq!(c.index_builds, 1);
+        assert_eq!(c.scans, 2);
     }
 
     #[test]

@@ -34,8 +34,9 @@ pub fn match_relation(
             key.push(s.resolve(arg));
         }
     }
-    for tuple in rel.select(&cols, &key) {
-        counters.considered += 1;
+    let mut sel = rel.select(&cols, &key);
+    counters.record_path(sel.path());
+    for tuple in sel.by_ref() {
         let mut s2 = s.clone();
         let ok = atom
             .args
@@ -43,9 +44,14 @@ pub fn match_relation(
             .zip(tuple.fields())
             .all(|(a, f)| unify(&mut s2, a, f));
         if ok {
+            counters.matched += 1;
             out.push(s2);
         }
     }
+    // Rows the scan walked past count too — that work is exactly what an
+    // index saves, and the probed/matched gap is how EXPLAIN ANALYZE
+    // shows it.
+    counters.probed += sel.inspected();
 }
 
 /// Where a body atom finds its tuples.
@@ -72,19 +78,101 @@ pub fn eval_body<'a>(
     lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
     counters: &mut Counters,
 ) -> Result<Vec<Subst>, EvalError> {
-    let mut remaining: Vec<(&Atom, AtomSource)> = body.to_vec();
-    let mut frontier = vec![init];
+    // A frontier grown from a single substitution stays
+    // groundness-uniform (every atom binds the same variables in every
+    // branch), so non-uniformity here is a bug worth asserting on.
+    eval_frontier(body.to_vec(), vec![init], lookup, counters, true)
+}
+
+/// Like [`eval_body`], but starting from an arbitrary set of input
+/// substitutions. Unlike a frontier grown internally from one `init`,
+/// a caller-supplied frontier may mix groundness patterns; mixed groups
+/// are evaluated separately (each group gets its own join order).
+pub fn eval_body_frontier<'a>(
+    body: &[(&Atom, AtomSource<'a>)],
+    frontier: Vec<Subst>,
+    lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
+    counters: &mut Counters,
+) -> Result<Vec<Subst>, EvalError> {
+    eval_frontier(body.to_vec(), frontier, lookup, counters, false)
+}
+
+/// Per-atom bitmask of which arguments are ground under `s`, over the
+/// remaining body atoms — the only property the join-order score reads.
+/// Arguments beyond 64 fold onto bit 63 (conservative: patterns that
+/// differ only there still compare equal, at worst skipping the split).
+fn groundness_sig(remaining: &[(&Atom, AtomSource)], s: &Subst) -> Vec<u64> {
+    remaining
+        .iter()
+        .map(|(a, _)| {
+            let mut mask = 0u64;
+            for (i, arg) in a.args.iter().enumerate() {
+                if s.is_ground(arg) {
+                    mask |= 1 << i.min(63);
+                }
+            }
+            mask
+        })
+        .collect()
+}
+
+fn eval_frontier<'a>(
+    mut remaining: Vec<(&Atom, AtomSource<'a>)>,
+    mut frontier: Vec<Subst>,
+    lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
+    counters: &mut Counters,
+    expect_uniform: bool,
+) -> Result<Vec<Subst>, EvalError> {
     while !remaining.is_empty() {
         if frontier.is_empty() {
             return Ok(vec![]);
         }
+        // The atom score below probes only `frontier[0]`, which is sound
+        // only while every frontier substitution shares one groundness
+        // pattern. Verify that before trusting the probe; a mixed frontier
+        // is split into uniform groups, each joined in its own order.
+        if frontier.len() > 1 {
+            let sig0 = groundness_sig(&remaining, &frontier[0]);
+            if frontier[1..]
+                .iter()
+                .any(|s| groundness_sig(&remaining, s) != sig0)
+            {
+                debug_assert!(
+                    !expect_uniform,
+                    "frontier grown from one substitution lost groundness \
+                     uniformity over {:?}",
+                    remaining
+                        .iter()
+                        .map(|(a, _)| a.to_string())
+                        .collect::<Vec<_>>()
+                );
+                let mut groups: Vec<(Vec<u64>, Vec<Subst>)> = Vec::new();
+                for s in frontier {
+                    let sig = groundness_sig(&remaining, &s);
+                    match groups.iter_mut().find(|(g, _)| *g == sig) {
+                        Some((_, members)) => members.push(s),
+                        None => groups.push((sig, vec![s])),
+                    }
+                }
+                let mut all = Vec::new();
+                for (_, group) in groups {
+                    all.extend(eval_frontier(
+                        remaining.clone(),
+                        group,
+                        lookup,
+                        counters,
+                        false,
+                    )?);
+                }
+                return Ok(all);
+            }
+        }
         // Pick the most useful evaluable atom under the frontier: evaluable
         // builtins first (they only filter/compute), then stored atoms by
         // descending bound-argument count — a selective indexed lookup must
-        // run before an unconstrained scan, or joins go cross-product. All
-        // frontier substitutions share the groundness pattern of the
-        // variables bound so far (they came through the same atom prefix),
-        // so probing with the first is representative.
+        // run before an unconstrained scan, or joins go cross-product. The
+        // uniformity check above makes the first substitution
+        // representative of the whole frontier.
         let probe = &frontier[0];
         let score = |a: &Atom, src: &AtomSource| -> Option<(u8, usize)> {
             match src {
@@ -127,7 +215,11 @@ pub fn eval_body<'a>(
                 AtomSource::Fixed(rel) => match_relation(rel, atom, s, counters, &mut next),
                 AtomSource::Auto => match eval_builtin(atom, s)? {
                     Some(BuiltinOutcome::Solutions(sols)) => {
-                        counters.considered += sols.len();
+                        counters.builtin_evals += 1;
+                        // At least one probe even when a filtering builtin
+                        // rejects the substitution outright.
+                        counters.probed += sols.len().max(1);
+                        counters.matched += sols.len();
                         next.extend(sols);
                     }
                     Some(BuiltinOutcome::NotEvaluable) => {
@@ -223,7 +315,70 @@ mod tests {
         let sols = eval_body_auto(&body, Subst::new(), &lookup, &mut c).unwrap();
         // adam and eve each have (cain, abel) and (abel, cain).
         assert_eq!(sols.len(), 4);
-        assert!(c.considered > 0);
+        assert!(c.probed > 0);
+        assert!(c.matched > 0);
+        assert!(c.builtin_evals > 0);
+        // Every match was inspected first.
+        assert!(c.probed >= c.matched);
+    }
+
+    #[test]
+    fn match_relation_scan_and_index_agree_on_logical_metrics() {
+        // Satellite check: the same lookup through a key scan and through
+        // a hash index must produce identical *logical* metrics (matched
+        // tuples, solutions) — only the access-path counters and the
+        // probed (rows-inspected) figure may differ.
+        let db = family();
+        let rel = db
+            .relation(chainsplit_logic::Pred::new("parent", 2))
+            .unwrap();
+        let atom = parse_query("parent(adam, X)").unwrap();
+
+        let mut scan_out = Vec::new();
+        let mut scan_c = Counters::default();
+        match_relation(rel, &atom, &Subst::new(), &mut scan_c, &mut scan_out);
+        assert_eq!(scan_c.scans, 1, "4-row relation must use the scan path");
+
+        let mut indexed = rel.clone();
+        indexed.ensure_index(&[0]);
+        let mut idx_out = Vec::new();
+        let mut idx_c = Counters::default();
+        match_relation(&indexed, &atom, &Subst::new(), &mut idx_c, &mut idx_out);
+        assert_eq!(idx_c.index_hits, 1);
+        assert_eq!(idx_c.scans, 0);
+
+        // Logical metrics identical.
+        assert_eq!(scan_out, idx_out);
+        assert_eq!(scan_c.matched, idx_c.matched);
+        // Physical work differs: the scan inspected all 4 rows, the index
+        // only adam's 2.
+        assert_eq!(scan_c.probed, 4);
+        assert_eq!(idx_c.probed, 2);
+    }
+
+    #[test]
+    fn mixed_frontier_falls_back_to_per_group_ordering() {
+        // Regression for the frontier[0] scoring probe: a caller-supplied
+        // frontier where X is ground in one substitution and free in the
+        // other used to be scored entirely by the first substitution. With
+        // X ground, `X < 3` looks evaluable and would be scheduled first —
+        // wrongly, for the second substitution. The uniformity check must
+        // split the frontier and evaluate each group in its own order.
+        let db = family();
+        let mut ground_x = Subst::new();
+        ground_x.bind(Var::named("X"), Term::Int(1));
+        let free_x = Subst::new();
+
+        let lt = parse_query("X < 3").unwrap();
+        let gen = parse_query("X = 2").unwrap();
+        let body = vec![(&lt, AtomSource::Auto), (&gen, AtomSource::Auto)];
+        let mut c = Counters::default();
+        let lookup = |p: chainsplit_logic::Pred| db.relation(p);
+        let sols = eval_body_frontier(&body, vec![ground_x, free_x], &lookup, &mut c).unwrap();
+        // Group 1 (X = 1): 1 < 3 holds, but X = 2 then fails -> no solution.
+        // Group 2 (X free): X = 2 binds first, 2 < 3 holds -> one solution.
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].resolve(&Term::Var(Var::named("X"))), Term::Int(2));
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod builtins;
 pub mod error;
 pub mod eval;
 pub mod magic;
+pub mod metrics;
 pub mod naive;
 pub mod seminaive;
 pub mod supplementary;
@@ -31,10 +32,13 @@ pub mod topdown;
 
 pub use builtins::{eval_builtin, is_builtin_atom, BuiltinOutcome};
 pub use error::{Counters, EvalError};
-pub use eval::{eval_body, eval_body_auto, match_relation, unify_filter, AtomSource};
+pub use eval::{
+    eval_body, eval_body_auto, eval_body_frontier, match_relation, unify_filter, AtomSource,
+};
 pub use magic::{
     magic_eval, magic_transform, DelayPreds, FullSip, MagicProgram, MagicResult, SipStrategy,
 };
+pub use metrics::{duration_ms, EvalMetrics, PhaseTimings, RoundMetrics};
 pub use naive::{naive_eval, BottomUpOptions, BottomUpResult};
 pub use seminaive::seminaive_eval;
 pub use supplementary::{supplementary_magic_eval, supplementary_magic_transform};

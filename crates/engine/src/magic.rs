@@ -19,6 +19,7 @@
 //! cardinalities are reported in `Counters::magic_facts`.
 
 use crate::error::{Counters, EvalError};
+use crate::metrics::{duration_ms, PhaseTimings, RoundMetrics};
 use crate::seminaive::{seminaive_eval, BottomUpOptions};
 use chainsplit_chain::ModeTable;
 use chainsplit_logic::{
@@ -26,6 +27,7 @@ use chainsplit_logic::{
 };
 use chainsplit_relation::Database;
 use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
 
 /// Decides which body atoms may propagate bindings in the SIP.
 pub trait SipStrategy {
@@ -250,6 +252,11 @@ pub struct MagicResult {
     /// Answer substitutions over the query's variables.
     pub answers: Vec<Subst>,
     pub counters: Counters,
+    /// Per-round breakdown of the semi-naive run over the rewritten
+    /// program (round 0 fires the magic seed and base rules).
+    pub rounds: Vec<RoundMetrics>,
+    /// Transform (compile), seed, fixpoint and answer-extraction timings.
+    pub phases: PhaseTimings,
 }
 
 /// Transforms, evaluates semi-naively, and extracts the query's answers.
@@ -260,7 +267,9 @@ pub fn magic_eval(
     sip: &dyn SipStrategy,
     opts: BottomUpOptions,
 ) -> Result<MagicResult, EvalError> {
+    let compile_start = Instant::now();
     let mp = magic_transform(rules, query, sip)?;
+    let compile_ms = duration_ms(compile_start.elapsed());
     let run = seminaive_eval(&mp.rules, edb, opts)?;
     let mut counters = run.counters;
     counters.magic_facts = mp
@@ -269,6 +278,7 @@ pub fn magic_eval(
         .map(|&p| run.idb.relation(p).map_or(0, |r| r.len()))
         .sum();
 
+    let answer_start = Instant::now();
     let mut answers = Vec::new();
     if let Some(rel) = run.idb.relation(mp.answer_pred) {
         for t in rel.iter() {
@@ -282,7 +292,16 @@ pub fn magic_eval(
             }
         }
     }
-    Ok(MagicResult { answers, counters })
+    Ok(MagicResult {
+        answers,
+        counters,
+        rounds: run.rounds,
+        phases: PhaseTimings {
+            compile_ms,
+            answer_ms: duration_ms(answer_start.elapsed()),
+            ..run.phases
+        },
+    })
 }
 
 /// Checks a rule body mentions only variables bound by `bound` plus its own

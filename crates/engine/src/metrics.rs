@@ -1,0 +1,209 @@
+//! Structured `EXPLAIN ANALYZE` output.
+//!
+//! Every evaluator already maintains [`Counters`]; this module adds the
+//! *shape* around them: per-round snapshots ([`RoundMetrics`]), wall time
+//! per evaluation phase ([`PhaseTimings`]), and the assembled report
+//! ([`EvalMetrics`]) that `DeductiveDb::explain_analyze` and the shell's
+//! `:profile` command render.
+//!
+//! A "round" is whatever unit of saturation the strategy has: a
+//! semi-naive fixpoint round (delta = tuples newly derived that round),
+//! a buffered chain-split level (delta = nodes buffered at that level),
+//! or — for goal-directed strategies with no natural rounds — a single
+//! summary entry covering the whole evaluation.
+
+use crate::error::Counters;
+use std::fmt;
+use std::time::Duration;
+
+/// One fixpoint round (or chain level) of an evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundMetrics {
+    /// Round number, starting at 0 (the seeding round for bottom-up
+    /// methods, which fires the base rules and any magic seed fact).
+    pub round: usize,
+    /// Size of the delta this round produced: tuples newly derived, or
+    /// nodes buffered at this chain level.
+    pub delta: usize,
+    /// Work done within this round only (`buffered_peak` is the running
+    /// peak, not a per-round figure).
+    pub counters: Counters,
+}
+
+/// Wall time spent in each evaluation phase, in milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Program compilation: rectify / classify / chain-compile, plus any
+    /// magic or supplementary rewrite. Zero when a cached compilation was
+    /// reused.
+    pub compile_ms: f64,
+    /// Seeding: base-rule firing and magic seed-fact installation.
+    pub seed_ms: f64,
+    /// The fixpoint loop (or goal-directed search) itself.
+    pub fixpoint_ms: f64,
+    /// Answer extraction and constraint filtering.
+    pub answer_ms: f64,
+}
+
+impl PhaseTimings {
+    pub fn total_ms(&self) -> f64 {
+        self.compile_ms + self.seed_ms + self.fixpoint_ms + self.answer_ms
+    }
+}
+
+/// Milliseconds for a [`Duration`], with sub-millisecond resolution.
+pub fn duration_ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// The full `EXPLAIN ANALYZE` report for one query under one strategy.
+#[derive(Clone, Debug, Default)]
+pub struct EvalMetrics {
+    /// Display name of the strategy that ran.
+    pub strategy: String,
+    /// Number of answers returned.
+    pub answers: usize,
+    /// Work summed over the whole evaluation.
+    pub totals: Counters,
+    /// Per-round breakdown; never empty — strategies without natural
+    /// rounds report a single summary round.
+    pub rounds: Vec<RoundMetrics>,
+    /// Wall time per phase.
+    pub phases: PhaseTimings,
+}
+
+impl EvalMetrics {
+    /// Sum of per-round delta sizes. For saturating (bottom-up) methods
+    /// this equals the number of tuples in the final materialized
+    /// relations, since every tuple enters the delta exactly once.
+    pub fn delta_total(&self) -> usize {
+        self.rounds.iter().map(|r| r.delta).sum()
+    }
+}
+
+impl fmt::Display for EvalMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "strategy {}: {} answers in {:.3} ms",
+            self.strategy,
+            self.answers,
+            self.phases.total_ms()
+        )?;
+        writeln!(
+            f,
+            "  phases: compile {:.3} ms | seed {:.3} ms | fixpoint {:.3} ms | answers {:.3} ms",
+            self.phases.compile_ms,
+            self.phases.seed_ms,
+            self.phases.fixpoint_ms,
+            self.phases.answer_ms
+        )?;
+        let t = &self.totals;
+        writeln!(
+            f,
+            "  totals: derived {} | probed {} | matched {} | rounds {} | magic {} | buffered peak {}",
+            t.derived, t.probed, t.matched, t.iterations, t.magic_facts, t.buffered_peak
+        )?;
+        writeln!(
+            f,
+            "  access: index hits {} | index builds {} | scans {} | builtin evals {}",
+            t.index_hits, t.index_builds, t.scans, t.builtin_evals
+        )?;
+        writeln!(
+            f,
+            "  {:>5} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6}",
+            "round", "delta", "derived", "probed", "matched", "idx", "scan", "magic"
+        )?;
+        for r in &self.rounds {
+            let c = &r.counters;
+            writeln!(
+                f,
+                "  {:>5} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6}",
+                r.round,
+                r.delta,
+                c.derived,
+                c.probed,
+                c.matched,
+                c.index_hits + c.index_builds,
+                c.scans,
+                c.magic_facts
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_total_sums_rounds() {
+        let m = EvalMetrics {
+            strategy: "semi-naive".into(),
+            answers: 2,
+            rounds: vec![
+                RoundMetrics {
+                    round: 0,
+                    delta: 4,
+                    ..RoundMetrics::default()
+                },
+                RoundMetrics {
+                    round: 1,
+                    delta: 3,
+                    ..RoundMetrics::default()
+                },
+            ],
+            ..EvalMetrics::default()
+        };
+        assert_eq!(m.delta_total(), 7);
+    }
+
+    #[test]
+    fn display_renders_phases_rounds_and_access_paths() {
+        let m = EvalMetrics {
+            strategy: "magic".into(),
+            answers: 1,
+            totals: Counters {
+                derived: 5,
+                probed: 9,
+                matched: 6,
+                index_hits: 2,
+                scans: 1,
+                ..Counters::default()
+            },
+            rounds: vec![RoundMetrics {
+                round: 0,
+                delta: 5,
+                counters: Counters {
+                    derived: 5,
+                    ..Counters::default()
+                },
+            }],
+            phases: PhaseTimings {
+                compile_ms: 0.5,
+                seed_ms: 0.1,
+                fixpoint_ms: 1.0,
+                answer_ms: 0.2,
+            },
+        };
+        let s = m.to_string();
+        assert!(s.contains("strategy magic"));
+        assert!(s.contains("compile 0.500 ms"));
+        assert!(s.contains("index hits 2"));
+        assert!(s.contains("round"));
+        // One header line plus one round line.
+        assert_eq!(s.lines().count(), 6);
+    }
+
+    #[test]
+    fn phase_total_is_sum() {
+        let p = PhaseTimings {
+            compile_ms: 1.0,
+            seed_ms: 2.0,
+            fixpoint_ms: 3.0,
+            answer_ms: 4.0,
+        };
+        assert!((p.total_ms() - 10.0).abs() < 1e-9);
+    }
+}

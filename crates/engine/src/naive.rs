@@ -6,8 +6,10 @@
 
 use crate::error::{Counters, EvalError};
 use crate::eval::eval_body_auto;
+use crate::metrics::{duration_ms, PhaseTimings, RoundMetrics};
 use chainsplit_logic::{Pred, Rule, Subst};
 use chainsplit_relation::{Database, Tuple};
+use std::time::Instant;
 
 /// Budget options for the bottom-up evaluators.
 #[derive(Clone, Copy, Debug)]
@@ -27,11 +29,18 @@ impl Default for BottomUpOptions {
     }
 }
 
-/// The result of a bottom-up run: all derived IDB relations plus counters.
+/// The result of a bottom-up run: all derived IDB relations plus counters,
+/// a per-round breakdown, and phase timings.
 #[derive(Debug)]
 pub struct BottomUpResult {
     pub idb: Database,
     pub counters: Counters,
+    /// One entry per fixpoint round; `delta` is the number of tuples that
+    /// round added, so the deltas sum to `idb.total_rows()`.
+    pub rounds: Vec<RoundMetrics>,
+    /// Seed / fixpoint wall time (compile and answer phases belong to the
+    /// callers that have them).
+    pub phases: PhaseTimings,
 }
 
 /// Runs naive evaluation of `rules` over `edb` to fixpoint.
@@ -47,7 +56,10 @@ pub fn naive_eval(
 ) -> Result<BottomUpResult, EvalError> {
     let mut idb = Database::new();
     let mut counters = Counters::default();
+    let mut rounds: Vec<RoundMetrics> = Vec::new();
+    let fixpoint_start = Instant::now();
     loop {
+        let round_base = counters;
         counters.iterations += 1;
         if counters.iterations > opts.max_rounds {
             return Err(EvalError::FuelExceeded {
@@ -68,11 +80,11 @@ pub fn naive_eval(
                 new_facts.push((head.pred, Tuple::new(head.args)));
             }
         }
-        let mut changed = false;
+        let mut inserted = 0usize;
         for (pred, t) in new_facts {
             if idb.relation_mut(pred).insert(t) {
                 counters.derived += 1;
-                changed = true;
+                inserted += 1;
                 if counters.derived > opts.max_facts {
                     return Err(EvalError::FuelExceeded {
                         limit: opts.max_facts,
@@ -80,8 +92,21 @@ pub fn naive_eval(
                 }
             }
         }
-        if !changed {
-            return Ok(BottomUpResult { idb, counters });
+        rounds.push(RoundMetrics {
+            round: rounds.len(),
+            delta: inserted,
+            counters: counters.since(&round_base),
+        });
+        if inserted == 0 {
+            return Ok(BottomUpResult {
+                idb,
+                counters,
+                rounds,
+                phases: PhaseTimings {
+                    fixpoint_ms: duration_ms(fixpoint_start.elapsed()),
+                    ..PhaseTimings::default()
+                },
+            });
         }
     }
 }

@@ -12,9 +12,11 @@
 
 use crate::error::{Counters, EvalError};
 use crate::eval::{eval_body, AtomSource};
+use crate::metrics::{duration_ms, PhaseTimings, RoundMetrics};
 use chainsplit_logic::{Pred, Rule, Subst};
 use chainsplit_relation::{Database, DeltaRelation, Tuple};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 pub use crate::naive::{BottomUpOptions, BottomUpResult};
 
@@ -48,7 +50,12 @@ pub fn seminaive_eval(
         .filter(|r| r.body.iter().any(|a| is_idb(a.pred)))
         .collect();
 
+    let mut rounds: Vec<RoundMetrics> = Vec::new();
+    let mut phases = PhaseTimings::default();
+
     {
+        let seed_start = Instant::now();
+        let round_base = counters;
         let mut seed: Vec<(Pred, Tuple)> = Vec::new();
         for rule in &base_rules {
             let lookup = |p: Pred| edb.relation(p);
@@ -64,14 +71,26 @@ pub fn seminaive_eval(
                 seed.push((head.pred, Tuple::new(head.args)));
             }
         }
+        let mut seeded = 0usize;
         for (pred, t) in seed {
             if deltas.get_mut(&pred).unwrap().seed(t) {
                 counters.derived += 1;
+                seeded += 1;
             }
         }
+        // Round 0 is the seeding round: base rules, and for rewritten
+        // magic programs the magic seed fact.
+        rounds.push(RoundMetrics {
+            round: 0,
+            delta: seeded,
+            counters: counters.since(&round_base),
+        });
+        phases.seed_ms = duration_ms(seed_start.elapsed());
     }
 
+    let fixpoint_start = Instant::now();
     loop {
+        let round_base = counters;
         counters.iterations += 1;
         if counters.iterations > opts.max_rounds {
             return Err(EvalError::FuelExceeded {
@@ -121,9 +140,11 @@ pub fn seminaive_eval(
             }
         }
 
+        let mut inserted = 0usize;
         for (pred, t) in derived {
             if deltas.get_mut(&pred).unwrap().derive(t) {
                 counters.derived += 1;
+                inserted += 1;
                 if counters.derived > opts.max_facts {
                     return Err(EvalError::FuelExceeded {
                         limit: opts.max_facts,
@@ -131,11 +152,17 @@ pub fn seminaive_eval(
                 }
             }
         }
+        rounds.push(RoundMetrics {
+            round: rounds.len(),
+            delta: inserted,
+            counters: counters.since(&round_base),
+        });
         let advanced: usize = deltas.values_mut().map(DeltaRelation::advance).sum();
         if advanced == 0 {
             break;
         }
     }
+    phases.fixpoint_ms = duration_ms(fixpoint_start.elapsed());
 
     let mut idb = Database::new();
     for (pred, d) in &deltas {
@@ -144,7 +171,12 @@ pub fn seminaive_eval(
             rel.insert(t.clone());
         }
     }
-    Ok(BottomUpResult { idb, counters })
+    Ok(BottomUpResult {
+        idb,
+        counters,
+        rounds,
+        phases,
+    })
 }
 
 #[cfg(test)]
@@ -184,8 +216,42 @@ mod tests {
              path(X, Y) :- edge(X, Z), path(Z, Y).",
         );
         assert_same_idb(&n.idb, &s.idb);
-        // Semi-naive must consider fewer join candidates than naive.
-        assert!(s.counters.considered < n.counters.considered);
+        // Semi-naive must inspect fewer join candidates than naive.
+        assert!(s.counters.probed < n.counters.probed);
+        assert!(s.counters.matched < n.counters.matched);
+    }
+
+    #[test]
+    fn round_deltas_sum_to_final_relation_size() {
+        // Each tuple enters the delta exactly once, so the per-round delta
+        // sizes must sum to the final materialized size — for both the
+        // `path` and `sg` workloads the observability layer reports on.
+        let (_, path) = both(
+            "edge(a, b). edge(b, c). edge(c, d). edge(d, b).
+             path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        );
+        let delta_sum: usize = path.rounds.iter().map(|r| r.delta).sum();
+        assert_eq!(delta_sum, path.idb.total_rows());
+        assert!(path.rounds.len() >= 2, "path needs several rounds");
+
+        let (_, sg) = both(
+            "parent(c1, p1). parent(c2, p1). parent(g1, c1). parent(g2, c2).
+             parent(h1, g1). parent(h2, g2).
+             sibling(c1, c2). sibling(c2, c1).
+             sg(X, Y) :- sibling(X, Y).
+             sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).",
+        );
+        let delta_sum: usize = sg.rounds.iter().map(|r| r.delta).sum();
+        assert_eq!(delta_sum, sg.idb.total_rows());
+        // Per-round counters sum back to the totals (modulo the peak).
+        let mut acc = Counters::default();
+        for r in &sg.rounds {
+            acc.add(&r.counters);
+        }
+        assert_eq!(acc.derived, sg.counters.derived);
+        assert_eq!(acc.probed, sg.counters.probed);
+        assert_eq!(acc.matched, sg.counters.matched);
     }
 
     #[test]

@@ -20,11 +20,13 @@
 
 use crate::error::EvalError;
 use crate::magic::{MagicProgram, SipStrategy};
+use crate::metrics::{duration_ms, PhaseTimings};
 use crate::seminaive::{seminaive_eval, BottomUpOptions};
 use chainsplit_chain::ModeTable;
 use chainsplit_logic::{Adornment, Atom, Pred, Rule, Subst, Sym, Term, Var};
 use chainsplit_relation::Database;
 use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
 
 use crate::magic::MagicResult;
 
@@ -248,7 +250,9 @@ pub fn supplementary_magic_eval(
     sip: &dyn SipStrategy,
     opts: BottomUpOptions,
 ) -> Result<MagicResult, EvalError> {
+    let compile_start = Instant::now();
     let mp = supplementary_magic_transform(rules, query, sip)?;
+    let compile_ms = duration_ms(compile_start.elapsed());
     let run = seminaive_eval(&mp.rules, edb, opts)?;
     let mut counters = run.counters;
     counters.magic_facts = mp
@@ -256,6 +260,7 @@ pub fn supplementary_magic_eval(
         .iter()
         .map(|&p| run.idb.relation(p).map_or(0, |r| r.len()))
         .sum();
+    let answer_start = Instant::now();
     let mut answers = Vec::new();
     if let Some(rel) = run.idb.relation(mp.answer_pred) {
         for t in rel.iter() {
@@ -269,7 +274,16 @@ pub fn supplementary_magic_eval(
             }
         }
     }
-    Ok(MagicResult { answers, counters })
+    Ok(MagicResult {
+        answers,
+        counters,
+        rounds: run.rounds,
+        phases: PhaseTimings {
+            compile_ms,
+            answer_ms: duration_ms(answer_start.elapsed()),
+            ..run.phases
+        },
+    })
 }
 
 #[cfg(test)]
@@ -327,10 +341,10 @@ mod tests {
             .unwrap();
         assert_eq!(plain.answers.len(), supp.answers.len());
         assert!(
-            supp.counters.considered < plain.counters.considered,
+            supp.counters.probed < plain.counters.probed,
             "supplementary {} !< plain {}",
-            supp.counters.considered,
-            plain.counters.considered
+            supp.counters.probed,
+            plain.counters.probed
         );
     }
 

@@ -148,7 +148,7 @@ impl<'a> Tabled<'a> {
         // Clone the answers (cheap: Arc-shared) to release the borrow.
         let answers: Vec<Vec<Term>> = self.tables[&key].answers.clone();
         for ans in answers {
-            self.counters.considered += 1;
+            self.counters.probed += 1;
             let tag = fresh::rename_tag();
             let mut s2 = s.clone();
             let ok = goal
@@ -157,6 +157,7 @@ impl<'a> Tabled<'a> {
                 .zip(ans.iter())
                 .all(|(g, a)| unify(&mut s2, g, &a.rename(tag)));
             if ok {
+                self.counters.matched += 1;
                 out.push(s2);
             }
         }
@@ -194,7 +195,12 @@ impl<'a> Tabled<'a> {
         let picked = rest.remove(pick);
         let mut sols = Vec::new();
         match eval_builtin(picked, s)? {
-            Some(BuiltinOutcome::Solutions(v)) => sols.extend(v),
+            Some(BuiltinOutcome::Solutions(v)) => {
+                self.counters.builtin_evals += 1;
+                self.counters.probed += v.len().max(1);
+                self.counters.matched += v.len();
+                sols.extend(v);
+            }
             Some(BuiltinOutcome::NotEvaluable) => {
                 return Err(EvalError::NotEvaluable {
                     atom: s.resolve_atom(picked).to_string(),
@@ -240,7 +246,7 @@ impl<'a> Tabled<'a> {
                 .map(|rs| rs.iter().map(|r| (*r).clone()).collect())
                 .unwrap_or_default();
             for rule in rules {
-                self.counters.considered += 1;
+                self.counters.probed += 1;
                 let fr = rule.rename(fresh::rename_tag());
                 let mut s = Subst::new();
                 let call = Atom {
@@ -252,6 +258,7 @@ impl<'a> Tabled<'a> {
                 if !unify_atoms(&mut s, &call, &fr.head) {
                     continue;
                 }
+                self.counters.matched += 1;
                 let body: Vec<&Atom> = fr.body.iter().collect();
                 let mut sols = Vec::new();
                 self.solve_body(&body, &s, &mut sols)?;

@@ -93,7 +93,9 @@ impl<'a> TopDown<'a> {
         // Builtins.
         match eval_builtin(goal, s)? {
             Some(BuiltinOutcome::Solutions(sols)) => {
-                self.counters.considered += 1;
+                self.counters.builtin_evals += 1;
+                self.counters.probed += sols.len().max(1);
+                self.counters.matched += sols.len();
                 out.extend(sols);
                 return Ok(());
             }
@@ -108,12 +110,13 @@ impl<'a> TopDown<'a> {
         if let Some(rules) = self.rules_by_pred.get(&goal.pred) {
             let rules: Vec<&Rule> = rules.clone();
             for rule in rules {
-                self.counters.considered += 1;
+                self.counters.probed += 1;
                 let fresh_rule = rule.rename(fresh::rename_tag());
                 let mut s2 = s.clone();
                 if !unify_atoms(&mut s2, goal, &fresh_rule.head) {
                     continue;
                 }
+                self.counters.matched += 1;
                 self.solve_body(&fresh_rule.body, &s2, depth + 1, out)?;
             }
             return Ok(());

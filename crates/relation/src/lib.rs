@@ -19,6 +19,6 @@ pub mod tuple;
 pub use database::Database;
 pub use delta::DeltaRelation;
 pub use hash::{FxHashMap, FxHashSet};
-pub use relation::{Relation, Selection};
+pub use relation::{AccessPath, Relation, Selection, LAZY_INDEX_THRESHOLD};
 pub use stats::Stats;
 pub use tuple::Tuple;

@@ -17,7 +17,10 @@ use std::fmt;
 type Index = FxHashMap<Vec<Term>, Vec<usize>>;
 
 /// Scans below this size beat index construction; stay lazy.
-const LAZY_INDEX_THRESHOLD: usize = 32;
+///
+/// Public so tests and benchmarks can size relations just below or above
+/// the boundary to force a particular access path.
+pub const LAZY_INDEX_THRESHOLD: usize = 32;
 
 /// A set of ground tuples of a fixed arity.
 #[derive(Default)]
@@ -121,17 +124,20 @@ impl Relation {
     pub fn select(&self, cols: &[usize], key: &[Term]) -> Selection<'_> {
         debug_assert_eq!(cols.len(), key.len());
         if cols.is_empty() {
-            return Selection::All(self.rows.iter());
+            return Selection::new(AccessPath::FullScan, SelInner::All(self.rows.iter()));
         }
         {
             let indexes = self.indexes.read();
             if let Some(index) = indexes.get(cols) {
                 let ids = index.get(key).cloned().unwrap_or_default();
-                return Selection::Ids {
-                    rows: &self.rows,
-                    ids,
-                    next: 0,
-                };
+                return Selection::new(
+                    AccessPath::IndexHit,
+                    SelInner::Ids {
+                        rows: &self.rows,
+                        ids,
+                        next: 0,
+                    },
+                );
             }
         }
         if self.rows.len() >= LAZY_INDEX_THRESHOLD {
@@ -140,17 +146,23 @@ impl Relation {
                 .entry(cols.to_vec())
                 .or_insert_with(|| Self::build_index(&self.rows, cols));
             let ids = index.get(key).cloned().unwrap_or_default();
-            return Selection::Ids {
-                rows: &self.rows,
-                ids,
-                next: 0,
-            };
+            return Selection::new(
+                AccessPath::IndexBuild,
+                SelInner::Ids {
+                    rows: &self.rows,
+                    ids,
+                    next: 0,
+                },
+            );
         }
-        Selection::Scan {
-            iter: self.rows.iter(),
-            cols: cols.to_vec(),
-            key: key.to_vec(),
-        }
+        Selection::new(
+            AccessPath::KeyScan,
+            SelInner::Scan {
+                iter: self.rows.iter(),
+                cols: cols.to_vec(),
+                key: key.to_vec(),
+            },
+        )
     }
 
     /// Number of distinct projections onto `cols` — the basis for the
@@ -186,8 +198,37 @@ impl Relation {
     }
 }
 
+/// How a [`Relation::select`] call located its rows.
+///
+/// Distinguishing these is what lets `EXPLAIN ANALYZE` separate probes
+/// that touched a hash bucket from probes that walked the whole relation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessPath {
+    /// No bound columns: every row is yielded.
+    FullScan,
+    /// A pre-existing hash index answered the lookup.
+    IndexHit,
+    /// The lookup crossed [`LAZY_INDEX_THRESHOLD`] and built the index it
+    /// then used; later lookups on the same columns are [`AccessPath::IndexHit`]s.
+    IndexBuild,
+    /// Below the threshold: rows were filtered one by one.
+    KeyScan,
+}
+
 /// Iterator over a [`Relation::select`] result.
-pub enum Selection<'a> {
+///
+/// Besides yielding the matching rows, it records which [`AccessPath`] the
+/// lookup took and how many rows it *inspected* — for indexed paths that
+/// equals the rows yielded, while a [`AccessPath::KeyScan`] inspects every
+/// row it walks past, matching or not. Evaluators fold `inspected()` into
+/// their `probed` counter after draining the iterator.
+pub struct Selection<'a> {
+    path: AccessPath,
+    inspected: usize,
+    inner: SelInner<'a>,
+}
+
+enum SelInner<'a> {
     All(std::slice::Iter<'a, Tuple>),
     Ids {
         rows: &'a [Tuple],
@@ -202,19 +243,50 @@ pub enum Selection<'a> {
     },
 }
 
+impl<'a> Selection<'a> {
+    fn new(path: AccessPath, inner: SelInner<'a>) -> Selection<'a> {
+        Selection {
+            path,
+            inspected: 0,
+            inner,
+        }
+    }
+
+    /// The access path this lookup took.
+    pub fn path(&self) -> AccessPath {
+        self.path
+    }
+
+    /// Rows inspected so far (see type-level docs).
+    pub fn inspected(&self) -> usize {
+        self.inspected
+    }
+}
+
 impl<'a> Iterator for Selection<'a> {
     type Item = &'a Tuple;
 
     fn next(&mut self) -> Option<&'a Tuple> {
-        match self {
-            Selection::All(it) => it.next(),
-            Selection::Ids { rows, ids, next } => {
+        match &mut self.inner {
+            SelInner::All(it) => {
+                let row = it.next()?;
+                self.inspected += 1;
+                Some(row)
+            }
+            SelInner::Ids { rows, ids, next } => {
                 let id = *ids.get(*next)?;
                 *next += 1;
+                self.inspected += 1;
                 Some(&rows[id])
             }
-            Selection::Scan { iter, cols, key } => {
-                iter.find(|row| cols.iter().zip(key.iter()).all(|(&c, k)| row.get(c) == k))
+            SelInner::Scan { iter, cols, key } => {
+                for row in iter {
+                    self.inspected += 1;
+                    if cols.iter().zip(key.iter()).all(|(&c, k)| row.get(c) == k) {
+                        return Some(row);
+                    }
+                }
+                None
             }
         }
     }
@@ -352,6 +424,53 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut r = Relation::new(2);
         r.insert(Tuple::new(vec![Term::Int(1)]));
+    }
+
+    #[test]
+    fn access_path_classification() {
+        let mut r = Relation::new(2);
+        for a in 0..4 {
+            r.insert(pair(a, a + 10));
+        }
+        // Small relation, no index: key scan.
+        assert_eq!(r.select(&[0], &[Term::Int(2)]).path(), AccessPath::KeyScan);
+        // Empty column set: full scan.
+        assert_eq!(r.select(&[], &[]).path(), AccessPath::FullScan);
+        // Explicit index: hit.
+        r.ensure_index(&[0]);
+        assert_eq!(r.select(&[0], &[Term::Int(2)]).path(), AccessPath::IndexHit);
+        // Large relation, cold column set: first lookup builds, second hits.
+        let mut big = Relation::new(2);
+        for a in 0..(LAZY_INDEX_THRESHOLD as i64 + 4) {
+            big.insert(pair(a, a));
+        }
+        assert_eq!(
+            big.select(&[1], &[Term::Int(3)]).path(),
+            AccessPath::IndexBuild
+        );
+        assert_eq!(
+            big.select(&[1], &[Term::Int(3)]).path(),
+            AccessPath::IndexHit
+        );
+    }
+
+    #[test]
+    fn scan_inspects_all_rows_index_inspects_matches() {
+        let mut r = Relation::new(2);
+        for b in 0..10 {
+            r.insert(pair(b % 2, b));
+        }
+        // Key scan walks every row even though only half match.
+        let mut sel = r.select(&[0], &[Term::Int(0)]);
+        let matched = sel.by_ref().count();
+        assert_eq!(matched, 5);
+        assert_eq!(sel.inspected(), 10);
+        // The index only touches the matching bucket.
+        r.ensure_index(&[0]);
+        let mut sel = r.select(&[0], &[Term::Int(0)]);
+        let matched = sel.by_ref().count();
+        assert_eq!(matched, 5);
+        assert_eq!(sel.inspected(), 5);
     }
 
     #[test]

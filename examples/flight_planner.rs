@@ -69,12 +69,12 @@ fn main() {
     println!("\n== constraint pushing vs filter-at-the-end ==");
     println!(
         "  with pushing   : {:>6} buffered tuples, {:>8} join probes",
-        pruned.counters.buffered_peak, pruned.counters.considered
+        pruned.counters.buffered_peak, pruned.counters.probed
     );
     println!(
         "  filter at end  : {:>6} buffered tuples, {:>8} join probes ({} raw routes)",
         unpruned.counters.buffered_peak,
-        unpruned.counters.considered,
+        unpruned.counters.probed,
         raw.len()
     );
     assert!(pruned.counters.buffered_peak <= unpruned.counters.buffered_peak);

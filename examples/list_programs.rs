@@ -53,7 +53,7 @@ fn main() {
             "  isort/{:<9} ok: {} derivations, {} probes",
             strategy.to_string(),
             outcome.counters.derived,
-            outcome.counters.considered
+            outcome.counters.probed
         );
     }
     for strategy in [Strategy::Auto, Strategy::TopDown] {
@@ -65,7 +65,7 @@ fn main() {
             "  qsort/{:<9} ok: {} derivations, {} probes",
             strategy.to_string(),
             outcome.counters.derived,
-            outcome.counters.considered
+            outcome.counters.probed
         );
     }
 

@@ -49,7 +49,7 @@ fn main() {
             "queens({n}): {} solutions ({} derivations, {} probes)",
             outcome.answers.len(),
             outcome.counters.derived,
-            outcome.counters.considered
+            outcome.counters.probed
         );
         if n == 6 {
             for a in &outcome.answers {

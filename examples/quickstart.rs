@@ -62,7 +62,7 @@ fn main() {
             strategy.to_string(),
             outcome.answers.len(),
             outcome.counters.derived,
-            outcome.counters.considered,
+            outcome.counters.probed,
         );
     }
 }

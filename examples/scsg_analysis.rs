@@ -67,7 +67,7 @@ fn main() {
         std.answers.len(),
         std.counters.magic_facts,
         std.counters.derived,
-        std.counters.considered
+        std.counters.probed
     );
     println!("== chain-split magic sets (Algorithm 3.1) ==");
     println!(
@@ -75,7 +75,7 @@ fn main() {
         split.answers.len(),
         split.counters.magic_facts,
         split.counters.derived,
-        split.counters.considered
+        split.counters.probed
     );
 
     assert_eq!(std.answers.len(), split.answers.len());

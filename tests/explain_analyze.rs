@@ -1,0 +1,118 @@
+//! Integration tests for the EXPLAIN ANALYZE observability layer:
+//! `DeductiveDb::explain_analyze` must report per-round metrics and phase
+//! timings for every strategy, and the per-round deltas must be
+//! consistent with the totals the evaluators already report.
+
+use chain_split::core::{DeductiveDb, EvalMetrics, Strategy as Method};
+use chain_split::workloads::fixtures;
+
+const ALL_STRATEGIES: [Method; 8] = [
+    Method::Auto,
+    Method::TopDown,
+    Method::Naive,
+    Method::SemiNaive,
+    Method::Magic,
+    Method::SupplementaryMagic,
+    Method::ChainSplitMagic,
+    Method::Tabled,
+];
+
+fn family_db() -> DeductiveDb {
+    let mut db = DeductiveDb::new();
+    db.load(fixtures::SG).unwrap();
+    db.load(
+        "parent(c1, p1). parent(c2, p1). parent(g1, c1). parent(g2, c2).
+         parent(h1, g1). parent(h2, g2).
+         sibling(c1, c2). sibling(c2, c1).",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn all_strategies_report_rounds_and_totals() {
+    for strat in ALL_STRATEGIES {
+        let mut db = family_db();
+        let m: EvalMetrics = db
+            .explain_analyze("sg(h1, Y)", strat)
+            .unwrap_or_else(|e| panic!("{strat}: {e}"));
+        assert_eq!(m.strategy, strat.to_string());
+        assert_eq!(m.answers, 1, "{strat}");
+        assert!(!m.rounds.is_empty(), "{strat}: no rounds");
+        // Round counters must sum to the totals for every monotone field.
+        let probed: usize = m.rounds.iter().map(|r| r.counters.probed).sum();
+        let matched: usize = m.rounds.iter().map(|r| r.counters.matched).sum();
+        assert_eq!(probed, m.totals.probed, "{strat}: probed mismatch");
+        assert_eq!(matched, m.totals.matched, "{strat}: matched mismatch");
+        assert!(matched <= probed, "{strat}: matched > probed");
+        // Phase timings are populated (non-negative, total covers them).
+        assert!(m.phases.total_ms() >= m.phases.fixpoint_ms, "{strat}");
+        // Display renders the header, phases line and one row per round.
+        let text = m.to_string();
+        assert!(text.contains("phases:"), "{strat}: {text}");
+        assert!(
+            text.lines().count() >= 5 + m.rounds.len(),
+            "{strat}: {text}"
+        );
+    }
+}
+
+#[test]
+fn bottom_up_round_deltas_sum_to_derived_facts() {
+    for strat in [Method::SemiNaive, Method::Magic, Method::ChainSplitMagic] {
+        let mut db = family_db();
+        let m = db.explain_analyze("sg(h1, Y)", strat).unwrap();
+        assert!(m.rounds.len() > 1, "{strat}: expected multiple rounds");
+        // Each round's delta is the number of new tuples that round; the
+        // final round is the empty round that detects the fixpoint.
+        assert_eq!(m.rounds.last().unwrap().delta, 0, "{strat}");
+        let delta_sum: usize = m.rounds.iter().map(|r| r.delta).sum();
+        assert_eq!(delta_sum, m.delta_total(), "{strat}");
+        assert!(delta_sum > 0, "{strat}: no facts derived");
+    }
+}
+
+#[test]
+fn magic_strategies_report_magic_phase_work() {
+    let mut db = family_db();
+    let m = db.explain_analyze("sg(h1, Y)", Method::Magic).unwrap();
+    assert!(m.totals.magic_facts > 0);
+    // The magic transform is timed as compile work and answer extraction
+    // is separated from the fixpoint.
+    assert!(m.phases.total_ms() > 0.0);
+}
+
+#[test]
+fn chain_split_buffered_rounds_track_levels() {
+    let mut db = DeductiveDb::new();
+    db.load(fixtures::APPEND).unwrap();
+    let m = db
+        .explain_analyze("append(U, V, [1, 2, 3])", Method::Auto)
+        .unwrap();
+    assert_eq!(m.answers, 4);
+    // The buffered executor records one round per chain level (plus a
+    // final residual round for work outside the sweep); the buffered
+    // peak bounds each level's delta.
+    assert!(m.rounds.len() >= 2);
+    for r in &m.rounds[..m.rounds.len() - 1] {
+        assert!(r.delta <= m.totals.buffered_peak, "level {}", r.round);
+    }
+}
+
+#[test]
+fn repeated_runs_agree_on_logical_metrics() {
+    // Wall times vary run to run; the logical metrics must not.
+    let run = || {
+        let mut db = family_db();
+        db.explain_analyze("sg(h1, Y)", Method::SemiNaive).unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.answers, b.answers);
+    assert_eq!(a.totals.probed, b.totals.probed);
+    assert_eq!(a.totals.matched, b.totals.matched);
+    assert_eq!(a.totals.derived, b.totals.derived);
+    assert_eq!(a.rounds.len(), b.rounds.len());
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(ra.delta, rb.delta, "round {}", ra.round);
+    }
+}

@@ -62,7 +62,13 @@ fn budget_exhaustion_is_an_error_not_a_hang() {
     assert!(db.query_with("loop(a)", Strategy::Auto).is_err());
     assert!(db.query_with("loop(a)", Strategy::TopDown).is_err());
     // Tabled handles the loop fine — that is its whole point.
-    assert_eq!(db.query_with("loop(a)", Strategy::Tabled).unwrap().answers.len(), 1);
+    assert_eq!(
+        db.query_with("loop(a)", Strategy::Tabled)
+            .unwrap()
+            .answers
+            .len(),
+        1
+    );
 }
 
 #[test]
@@ -80,14 +86,27 @@ fn cyclic_chain_data_is_guarded() {
     };
     // The level-indexed executor refuses; magic and tabled answer.
     assert!(db.query_with("path(a, Y)", Strategy::ChainSplit).is_err());
-    assert_eq!(db.query_with("path(a, Y)", Strategy::Magic).unwrap().answers.len(), 2);
-    assert_eq!(db.query_with("path(a, Y)", Strategy::Tabled).unwrap().answers.len(), 2);
+    assert_eq!(
+        db.query_with("path(a, Y)", Strategy::Magic)
+            .unwrap()
+            .answers
+            .len(),
+        2
+    );
+    assert_eq!(
+        db.query_with("path(a, Y)", Strategy::Tabled)
+            .unwrap()
+            .answers
+            .len(),
+        2
+    );
 }
 
 #[test]
 fn type_errors_surface() {
     let mut db = DeductiveDb::new();
-    db.load("age(bob, thirty). older(X) :- age(X, A), A > 18.").unwrap();
+    db.load("age(bob, thirty). older(X) :- age(X, A), A > 18.")
+        .unwrap();
     let err = db.query("older(X)").unwrap_err();
     assert!(err.to_string().contains("type error"), "{err}");
 }
@@ -109,7 +128,9 @@ fn deep_recursion_is_fine_at_scale() {
         db.add_fact(e);
     }
     db.bottom_up_options = BottomUpOptions::default();
-    let o = db.query_with("path(n0, Y)", Strategy::ChainSplitMagic).unwrap();
+    let o = db
+        .query_with("path(n0, Y)", Strategy::ChainSplitMagic)
+        .unwrap();
     assert_eq!(o.answers.len(), 400);
     let o = db.query_with("path(n0, Y)", Strategy::ChainSplit).unwrap();
     assert_eq!(o.answers.len(), 400);

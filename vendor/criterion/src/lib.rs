@@ -1,0 +1,169 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The benches in this workspace only use `Criterion::benchmark_group`,
+//! `bench_function`, `sample_size` and the `criterion_group!` /
+//! `criterion_main!` macros, so that is what this shim provides: each
+//! bench runs `sample_size` timed samples (after one warm-up) and prints
+//! min / median / max wall time per iteration. No statistics beyond that —
+//! the paper's ordinal comparisons are carried by the `table_e*` binaries,
+//! which report machine-independent work counters.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _c: self,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let n = self.sample_size;
+        run_bench(name, n, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    // Warm-up sample, discarded.
+    f(&mut b);
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.elapsed = Duration::ZERO;
+        b.iters = 0;
+        f(&mut b);
+        if b.iters > 0 {
+            per_iter.push(b.elapsed / b.iters as u32);
+        }
+    }
+    per_iter.sort();
+    if per_iter.is_empty() {
+        println!("  {name}: no iterations recorded");
+        return;
+    }
+    let median = per_iter[per_iter.len() / 2];
+    println!(
+        "  {name}: median {median:?} (min {:?}, max {:?}, {} samples)",
+        per_iter[0],
+        per_iter[per_iter.len() - 1],
+        per_iter.len()
+    );
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: collects bench functions into one
+/// runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: a `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("t");
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            runs += 1;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+}
