@@ -1,0 +1,77 @@
+//! Regression gate over two recorded benchmark runs.
+//!
+//! ```text
+//! bench_compare OLD.json NEW.json [--threshold 0.25] [--skip-wall] [--skip-counters]
+//! ```
+//!
+//! Exits nonzero when the new run breaks an ordinal claim of the old one
+//! (a winner flips, a crossover moves), changes a machine-independent
+//! counter, or regresses wall-clock beyond the threshold. CI compares a
+//! fresh `table_e1` run against the committed baseline with `--skip-wall`,
+//! because the baseline was recorded on different hardware but the
+//! counters are exact.
+
+use chainsplit_bench::report::{compare, summarize, BenchReport, CompareOptions};
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: bench_compare OLD.json NEW.json [--threshold FRACTION] [--skip-wall] [--skip-counters]";
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut opts = CompareOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let Some(v) = args.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("bench_compare: --threshold needs a number\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                opts.wall_threshold = v;
+            }
+            "--skip-wall" => opts.check_wall = false,
+            "--skip-counters" => opts.check_counters = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("bench_compare: unknown flag `{arg}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let load =
+        |p: &str| -> Result<BenchReport, String> { BenchReport::load(std::path::Path::new(p)) };
+    let (old, new) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let failures = compare(&old, &new, &opts);
+    if failures.is_empty() {
+        println!("bench_compare: OK — {}", summarize(&new));
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench_compare: {} failure(s) comparing {} -> {}",
+            failures.len(),
+            paths[0],
+            paths[1]
+        );
+        for f in &failures {
+            println!("  FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

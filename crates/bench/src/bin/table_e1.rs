@@ -6,11 +6,12 @@
 //! chain-split magic sets. Paper claim: the chain-split plan "is more
 //! efficient than the method which relies on blind binding passing".
 
-use chainsplit_bench::{header, measure, row, scsg_db};
+use chainsplit_bench::{header, measure, row, scsg_db, BenchReport};
 use chainsplit_core::Strategy;
 use chainsplit_workloads::{query_person, FamilyConfig};
 
 fn main() {
+    let mut report = BenchReport::new("e1");
     println!("# E1: scsg — standard magic vs chain-split magic (Algorithm 3.1)");
     println!("# countries=2, generations=4; expansion ratio of same_country = people/country\n");
     header(&[
@@ -40,6 +41,13 @@ fn main() {
         ] {
             let mut db = scsg_db(cfg);
             let r = measure(&mut db, &q, strat).expect("scsg evaluates");
+            report.push_run(
+                &format!("people={people}"),
+                people as f64,
+                name,
+                &format!("{strat:?}"),
+                &r,
+            );
             row(&[
                 people.to_string(),
                 facts.to_string(),
@@ -54,4 +62,5 @@ fn main() {
             ]);
         }
     }
+    report.write_default().expect("write BENCH_e1.json");
 }

@@ -8,11 +8,12 @@
 //! single-chain evaluation against per-chain magic evaluation of the
 //! original program.
 
-use chainsplit_bench::{header, measure, merged_sg_db, row, sg_db};
+use chainsplit_bench::{header, measure, merged_sg_db, row, sg_db, BenchReport};
 use chainsplit_core::Strategy;
 use chainsplit_workloads::FamilyConfig;
 
 fn main() {
+    let mut report = BenchReport::new("e2");
     println!("# E2: sg — merged cross-product chain vs per-chain (magic) evaluation");
     println!("# generations=4; merged step relation is quadratic in lineages\n");
     header(&[
@@ -37,6 +38,13 @@ fn main() {
         let mut db = sg_db(cfg);
         let q = format!("sg(g{generations}_0_0, Y)");
         let r = measure(&mut db, &q, Strategy::Magic).expect("sg magic evaluates");
+        report.push_run(
+            &format!("lineages={people}"),
+            people as f64,
+            "per-chain (magic)",
+            "Magic",
+            &r,
+        );
         let edb: usize = {
             let sys = db.system();
             sys.edb.total_rows()
@@ -56,6 +64,13 @@ fn main() {
         let mut db = merged_sg_db(people, generations);
         let q = "msg(Y)".to_string();
         let r = measure(&mut db, &q, Strategy::Auto).expect("merged sg evaluates");
+        report.push_run(
+            &format!("lineages={people}"),
+            people as f64,
+            "merged cross-product",
+            "Auto",
+            &r,
+        );
         let edb: usize = {
             let sys = db.system();
             sys.edb.total_rows()
@@ -71,4 +86,5 @@ fn main() {
             format!("{:.2}", r.wall_ms),
         ]);
     }
+    report.write_default().expect("write BENCH_e2.json");
 }

@@ -7,12 +7,13 @@
 //! Prolog evaluation) and bottom-up semi-naive, which cannot evaluate the
 //! functional recursion at all (reported DNF).
 
-use chainsplit_bench::{append_db, header, measure, row};
+use chainsplit_bench::{append_db, header, measure, row, BenchReport};
 use chainsplit_core::Strategy;
 use chainsplit_logic::Term;
 use chainsplit_workloads::random_ints;
 
 fn main() {
+    let mut report = BenchReport::new("e3");
     println!("# E3: append(U, V, W^b) — buffered chain-split vs baselines (Algorithm 3.2)");
     println!("# |W| elements; answers = |W|+1 splits\n");
     header(&[
@@ -33,26 +34,35 @@ fn main() {
                 continue;
             }
             let mut db = append_db();
+            let param = format!("|W|={len}");
+            let strategy = format!("{strat:?}");
             match measure(&mut db, &q, strat) {
-                Ok(r) => row(&[
-                    len.to_string(),
-                    name.to_string(),
-                    r.answers.to_string(),
-                    r.derived.to_string(),
-                    r.buffered_peak.to_string(),
-                    r.probed.to_string(),
-                    format!("{:.2}", r.wall_ms),
-                ]),
-                Err(e) => row(&[
-                    len.to_string(),
-                    name.to_string(),
-                    "DNF".to_string(),
-                    "-".to_string(),
-                    "-".to_string(),
-                    "-".to_string(),
-                    format!("({e})"),
-                ]),
+                Ok(r) => {
+                    report.push_run(&param, len as f64, name, &strategy, &r);
+                    row(&[
+                        len.to_string(),
+                        name.to_string(),
+                        r.answers.to_string(),
+                        r.derived.to_string(),
+                        r.buffered_peak.to_string(),
+                        r.probed.to_string(),
+                        format!("{:.2}", r.wall_ms),
+                    ]);
+                }
+                Err(e) => {
+                    report.push_dnf(&param, len as f64, name, &strategy);
+                    row(&[
+                        len.to_string(),
+                        name.to_string(),
+                        "DNF".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        format!("({e})"),
+                    ]);
+                }
             }
         }
     }
+    report.write_default().expect("write BENCH_e3.json");
 }

@@ -5,11 +5,12 @@
 //! (partial sums prune the up sweep) against evaluating everything and
 //! filtering at the end, and against top-down SLD with a final filter.
 
-use chainsplit_bench::{header, measure, row, travel_db};
+use chainsplit_bench::{header, measure, row, travel_db, BenchReport};
 use chainsplit_core::Strategy;
 use chainsplit_workloads::{endpoints, FlightConfig};
 
 fn main() {
+    let mut report = BenchReport::new("e4");
     println!("# E4: travel with fare budget — constraint pushing vs filter-at-end (Algorithm 3.3)");
     println!("# fares 100-400 per hop, budget 900: routes over ~3 hops are hopeless\n");
     header(&[
@@ -31,6 +32,14 @@ fn main() {
         // Pushed: Auto evaluates with the guard pruning the up sweep.
         let mut db = travel_db(cfg);
         let pushed = measure(&mut db, &constrained, Strategy::ChainSplit).expect("pushed run");
+        let param = format!("airports={airports}");
+        report.push_run(
+            &param,
+            airports as f64,
+            "push constraint (3.3)",
+            "ChainSplit",
+            &pushed,
+        );
         row(&[
             airports.to_string(),
             "push constraint (3.3)".to_string(),
@@ -43,6 +52,13 @@ fn main() {
         // Filter at end: full enumeration, then count the survivors.
         let mut db = travel_db(cfg);
         let full = measure(&mut db, &unconstrained, Strategy::ChainSplit).expect("full run");
+        report.push_run(
+            &param,
+            airports as f64,
+            "filter at end",
+            "ChainSplit",
+            &full,
+        );
         row(&[
             airports.to_string(),
             "filter at end".to_string(),
@@ -55,22 +71,29 @@ fn main() {
         // Top-down baseline (full enumeration + filter).
         let mut db = travel_db(cfg);
         match measure(&mut db, &unconstrained, Strategy::TopDown) {
-            Ok(td) => row(&[
-                airports.to_string(),
-                "top-down SLD".to_string(),
-                format!("{} (of {})", pushed.answers, td.answers),
-                "-".to_string(),
-                td.probed.to_string(),
-                format!("{:.2}", td.wall_ms),
-            ]),
-            Err(e) => row(&[
-                airports.to_string(),
-                "top-down SLD".to_string(),
-                "DNF".to_string(),
-                "-".to_string(),
-                "-".to_string(),
-                format!("({e})"),
-            ]),
+            Ok(td) => {
+                report.push_run(&param, airports as f64, "top-down SLD", "TopDown", &td);
+                row(&[
+                    airports.to_string(),
+                    "top-down SLD".to_string(),
+                    format!("{} (of {})", pushed.answers, td.answers),
+                    "-".to_string(),
+                    td.probed.to_string(),
+                    format!("{:.2}", td.wall_ms),
+                ]);
+            }
+            Err(e) => {
+                report.push_dnf(&param, airports as f64, "top-down SLD", "TopDown");
+                row(&[
+                    airports.to_string(),
+                    "top-down SLD".to_string(),
+                    "DNF".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    format!("({e})"),
+                ]);
+            }
         }
     }
+    report.write_default().expect("write BENCH_e4.json");
 }

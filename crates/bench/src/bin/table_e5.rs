@@ -4,12 +4,13 @@
 //! head) and dispatches the inner `insert^bbf` recursion to its own
 //! chain-split plan. Baseline: top-down SLD on the original program.
 
-use chainsplit_bench::{header, measure, row, sorting_db};
+use chainsplit_bench::{header, measure, row, sorting_db, BenchReport};
 use chainsplit_core::Strategy;
 use chainsplit_logic::Term;
 use chainsplit_workloads::{descending, random_ints};
 
 fn main() {
+    let mut report = BenchReport::new("e5");
     println!("# E5: isort — nested chain-split vs top-down SLD (§4.1)");
     println!("# random lists (seeded) and descending lists (insert's easy case)\n");
     header(&["len", "shape", "method", "derived", "probed", "wall ms"]);
@@ -26,6 +27,13 @@ fn main() {
                 let mut db = sorting_db();
                 let r = measure(&mut db, &q, strat).expect("isort evaluates");
                 assert_eq!(r.answers, 1);
+                report.push_run(
+                    &format!("len={len} {shape}"),
+                    len as f64,
+                    name,
+                    &format!("{strat:?}"),
+                    &r,
+                );
                 row(&[
                     len.to_string(),
                     shape.to_string(),
@@ -37,4 +45,5 @@ fn main() {
             }
         }
     }
+    report.write_default().expect("write BENCH_e5.json");
 }

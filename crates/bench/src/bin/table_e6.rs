@@ -4,12 +4,13 @@
 //! with chain-split scheduling; the embedded `append` runs under its own
 //! buffered chain-split plan. Baseline: top-down SLD.
 
-use chainsplit_bench::{header, measure, row, sorting_db};
+use chainsplit_bench::{header, measure, row, sorting_db, BenchReport};
 use chainsplit_core::Strategy;
 use chainsplit_logic::Term;
 use chainsplit_workloads::random_ints;
 
 fn main() {
+    let mut report = BenchReport::new("e6");
     println!("# E6: qsort — nonlinear chain-split vs top-down SLD (§4.2)\n");
     header(&["len", "method", "derived", "probed", "wall ms"]);
     for len in [8usize, 32, 64, 128] {
@@ -22,6 +23,13 @@ fn main() {
             let mut db = sorting_db();
             let r = measure(&mut db, &q, strat).expect("qsort evaluates");
             assert_eq!(r.answers, 1);
+            report.push_run(
+                &format!("len={len}"),
+                len as f64,
+                name,
+                &format!("{strat:?}"),
+                &r,
+            );
             row(&[
                 len.to_string(),
                 name.to_string(),
@@ -31,4 +39,5 @@ fn main() {
             ]);
         }
     }
+    report.write_default().expect("write BENCH_e6.json");
 }

@@ -7,7 +7,7 @@
 //! tracks the better of the two forced plans on both sides of the
 //! crossover.
 
-use chainsplit_bench::{header, row, scsg_system, time_ms};
+use chainsplit_bench::{header, row, run_from_magic, scsg_system, time_ms, BenchReport};
 use chainsplit_core::{chain_split_magic, CostModel};
 use chainsplit_engine::{magic_eval, BottomUpOptions, DelayPreds, FullSip};
 use chainsplit_logic::{parse_query, Pred};
@@ -15,6 +15,7 @@ use chainsplit_workloads::{query_person, FamilyConfig};
 use std::collections::HashSet;
 
 fn main() {
+    let mut report = BenchReport::new("e7");
     println!("# E7: scsg threshold ablation — follow vs split vs cost-model decision");
     println!(
         "# expansion ratio of same_country = people/country; thresholds: follow < 2, split > 16\n"
@@ -71,6 +72,13 @@ fn main() {
         runs.push(("cost model (3.1)", auto, t_auto, decision));
 
         for (name, r, wall, note) in runs {
+            report.push_run(
+                &format!("expansion={people}"),
+                people as f64,
+                name,
+                if note.is_empty() { name } else { note },
+                &run_from_magic(&r, wall),
+            );
             row(&[
                 people.to_string(),
                 name.to_string(),
@@ -84,4 +92,5 @@ fn main() {
             ]);
         }
     }
+    report.write_default().expect("write BENCH_e7.json");
 }

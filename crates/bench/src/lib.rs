@@ -12,16 +12,23 @@
 
 #![forbid(unsafe_code)]
 
+pub mod report;
+
 use chainsplit_core::{DeductiveDb, Strategy, System};
 use chainsplit_logic::{parse_program, Program, Rule};
 use chainsplit_workloads as workloads;
 use std::time::Instant;
 
-/// Wall-clock one closure, in milliseconds.
+pub use chainsplit_engine::duration_ms;
+pub use report::{compare, summarize, BenchReport, BenchRow, CompareOptions};
+
+/// Wall-clock one closure, in milliseconds. The conversion is
+/// [`duration_ms`] — the same helper `EXPLAIN ANALYZE` uses — so the
+/// tables and the metrics layer can never disagree on rounding.
 pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
-    (out, start.elapsed().as_secs_f64() * 1e3)
+    (out, duration_ms(start.elapsed()))
 }
 
 /// Prints a markdown-style table row.
@@ -77,6 +84,25 @@ pub fn measure(db: &mut DeductiveDb, query: &str, strategy: Strategy) -> Result<
             scans: o.counters.scans,
         }),
         Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Builds a [`Run`] from an engine-level
+/// [`MagicResult`](chainsplit_engine::MagicResult) (experiment E7
+/// drives `magic_eval`/`chain_split_magic` directly rather than going
+/// through [`DeductiveDb`]).
+pub fn run_from_magic(r: &chainsplit_engine::MagicResult, wall_ms: f64) -> Run {
+    Run {
+        answers: r.answers.len(),
+        wall_ms,
+        derived: r.counters.derived,
+        probed: r.counters.probed,
+        matched: r.counters.matched,
+        magic_facts: r.counters.magic_facts,
+        buffered_peak: r.counters.buffered_peak,
+        rounds: r.rounds.len(),
+        index_hits: r.counters.index_hits,
+        scans: r.counters.scans,
     }
 }
 

@@ -1,0 +1,457 @@
+//! Machine-readable benchmark records (`results/BENCH_*.json`) and the
+//! regression comparison behind the `bench_compare` binary.
+//!
+//! Every `table_eN` binary prints its human-readable markdown table *and*
+//! pushes the same measurements into a [`BenchReport`], written as a
+//! schema-versioned JSON file next to the `.txt`. The paper's claims are
+//! ordinal — who wins a row, where a crossover falls — so [`compare`]
+//! checks exactly those properties between two recorded runs, using the
+//! machine-independent `probed` counter to rank methods (wall-clock is
+//! gated separately, with a tolerance, because it moves with the host).
+
+use crate::Run;
+use chainsplit_trace::json::Json;
+use std::fmt::Write as _;
+
+/// Version of the `BENCH_*.json` schema. Bump when row keys change.
+pub const BENCH_SCHEMA_VERSION: usize = 1;
+
+/// The exact key set of one serialized row, in document order — pinned by
+/// a golden test so schema drift is deliberate.
+pub const BENCH_ROW_KEYS: [&str; 15] = [
+    "param",
+    "param_value",
+    "method",
+    "strategy",
+    "dnf",
+    "answers",
+    "wall_ms",
+    "derived",
+    "probed",
+    "matched",
+    "magic_facts",
+    "buffered_peak",
+    "rounds",
+    "index_hits",
+    "scans",
+];
+
+/// One measured table row.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Human-readable sweep position, e.g. `people=8` or `|W|=256`.
+    pub param: String,
+    /// Numeric sweep position (orders the rows of a method).
+    pub param_value: f64,
+    /// Display name of the method, e.g. `chain-split magic`.
+    pub method: String,
+    /// The [`Strategy`](chainsplit_core::Strategy) (or planner) that ran.
+    pub strategy: String,
+    /// Did-not-finish: the method cannot evaluate this row's query. The
+    /// numeric fields are zero and excluded from comparisons.
+    pub dnf: bool,
+    /// Answer count and work counters (see [`Run`]).
+    pub answers: usize,
+    /// Wall-clock milliseconds (host-dependent).
+    pub wall_ms: f64,
+    /// Tuples derived.
+    pub derived: usize,
+    /// Candidates inspected — the machine-independent work measure that
+    /// ranks methods in [`compare`].
+    pub probed: usize,
+    /// Candidates that unified.
+    pub matched: usize,
+    /// Magic/supplementary tuples.
+    pub magic_facts: usize,
+    /// Peak buffered tuples (chain-split methods).
+    pub buffered_peak: usize,
+    /// Fixpoint rounds or chain levels.
+    pub rounds: usize,
+    /// `select` calls answered by an index.
+    pub index_hits: usize,
+    /// `select` calls that scanned.
+    pub scans: usize,
+}
+
+/// A full experiment record: what `results/BENCH_eN.json` holds.
+#[derive(Clone, Debug, Default)]
+pub struct BenchReport {
+    /// Experiment id, e.g. `e1`.
+    pub experiment: String,
+    /// Rows in sweep order (methods interleaved per param, as printed).
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// An empty report for `experiment` (e.g. `"e3"`).
+    pub fn new(experiment: &str) -> BenchReport {
+        BenchReport {
+            experiment: experiment.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records a finished [`Run`].
+    pub fn push_run(
+        &mut self,
+        param: &str,
+        param_value: f64,
+        method: &str,
+        strategy: &str,
+        r: &Run,
+    ) {
+        self.rows.push(BenchRow {
+            param: param.to_string(),
+            param_value,
+            method: method.to_string(),
+            strategy: strategy.to_string(),
+            dnf: false,
+            answers: r.answers,
+            wall_ms: r.wall_ms,
+            derived: r.derived,
+            probed: r.probed,
+            matched: r.matched,
+            magic_facts: r.magic_facts,
+            buffered_peak: r.buffered_peak,
+            rounds: r.rounds,
+            index_hits: r.index_hits,
+            scans: r.scans,
+        });
+    }
+
+    /// Records a method that could not evaluate the row's query (DNF).
+    pub fn push_dnf(&mut self, param: &str, param_value: f64, method: &str, strategy: &str) {
+        self.rows.push(BenchRow {
+            param: param.to_string(),
+            param_value,
+            method: method.to_string(),
+            strategy: strategy.to_string(),
+            dnf: true,
+            answers: 0,
+            wall_ms: 0.0,
+            derived: 0,
+            probed: 0,
+            matched: 0,
+            magic_facts: 0,
+            buffered_peak: 0,
+            rounds: 0,
+            index_hits: 0,
+            scans: 0,
+        });
+    }
+
+    /// The JSON document for this report.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("param".into(), Json::str(r.param.clone())),
+                    ("param_value".into(), Json::Num(r.param_value)),
+                    ("method".into(), Json::str(r.method.clone())),
+                    ("strategy".into(), Json::str(r.strategy.clone())),
+                    ("dnf".into(), Json::Bool(r.dnf)),
+                    ("answers".into(), Json::int(r.answers)),
+                    ("wall_ms".into(), Json::Num(r.wall_ms)),
+                    ("derived".into(), Json::int(r.derived)),
+                    ("probed".into(), Json::int(r.probed)),
+                    ("matched".into(), Json::int(r.matched)),
+                    ("magic_facts".into(), Json::int(r.magic_facts)),
+                    ("buffered_peak".into(), Json::int(r.buffered_peak)),
+                    ("rounds".into(), Json::int(r.rounds)),
+                    ("index_hits".into(), Json::int(r.index_hits)),
+                    ("scans".into(), Json::int(r.scans)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema_version".into(), Json::int(BENCH_SCHEMA_VERSION)),
+            ("experiment".into(), Json::str(self.experiment.clone())),
+            ("rows".into(), Json::Arr(rows)),
+        ])
+    }
+
+    /// Reads a report back from its JSON document.
+    pub fn from_json(doc: &Json) -> Result<BenchReport, String> {
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_usize)
+            .ok_or("missing schema_version")?;
+        if version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {version} (this binary reads {BENCH_SCHEMA_VERSION})"
+            ));
+        }
+        let experiment = doc
+            .get("experiment")
+            .and_then(Json::as_str)
+            .ok_or("missing experiment")?
+            .to_string();
+        let mut rows = Vec::new();
+        for (i, row) in doc
+            .get("rows")
+            .ok_or("missing rows")?
+            .as_array()
+            .iter()
+            .enumerate()
+        {
+            let s = |k: &str| -> Result<String, String> {
+                row.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("row {i}: missing {k}"))
+            };
+            let n = |k: &str| -> Result<usize, String> {
+                row.get(k)
+                    .and_then(Json::as_usize)
+                    .ok_or(format!("row {i}: missing {k}"))
+            };
+            let f = |k: &str| -> Result<f64, String> {
+                row.get(k)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("row {i}: missing {k}"))
+            };
+            rows.push(BenchRow {
+                param: s("param")?,
+                param_value: f("param_value")?,
+                method: s("method")?,
+                strategy: s("strategy")?,
+                dnf: row
+                    .get("dnf")
+                    .and_then(Json::as_bool)
+                    .ok_or(format!("row {i}: missing dnf"))?,
+                answers: n("answers")?,
+                wall_ms: f("wall_ms")?,
+                derived: n("derived")?,
+                probed: n("probed")?,
+                matched: n("matched")?,
+                magic_facts: n("magic_facts")?,
+                buffered_peak: n("buffered_peak")?,
+                rounds: n("rounds")?,
+                index_hits: n("index_hits")?,
+                scans: n("scans")?,
+            });
+        }
+        Ok(BenchReport { experiment, rows })
+    }
+
+    /// Loads a report from a file.
+    pub fn load(path: &std::path::Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        BenchReport::from_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Writes this report to `<dir>/BENCH_<experiment>.json`, where `dir`
+    /// is `$BENCH_DIR` or `results`. Called at the end of every `table_eN`
+    /// binary; the note goes to stderr so it cannot contaminate the table
+    /// on stdout.
+    pub fn write_default(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::env::var("BENCH_DIR").unwrap_or_else(|_| "results".to_string());
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
+        std::fs::write(&path, self.to_json().to_pretty())?;
+        eprintln!("[bench] wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+/// Knobs for [`compare`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompareOptions {
+    /// Fractional wall-clock slowdown tolerated per row (0.25 = +25%).
+    pub wall_threshold: f64,
+    /// Ignore slowdowns smaller than this many milliseconds — sub-ms rows
+    /// are dominated by timer noise.
+    pub wall_floor_ms: f64,
+    /// Gate wall-clock at all (off when comparing across hosts, e.g. a
+    /// committed baseline in CI).
+    pub check_wall: bool,
+    /// Require the machine-independent counters to match exactly.
+    pub check_counters: bool,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions {
+            wall_threshold: 0.25,
+            wall_floor_ms: 1.0,
+            check_wall: true,
+            check_counters: true,
+        }
+    }
+}
+
+/// Winner sequence over the sweep: for each param (in `param_value`
+/// order), the method with the least `probed` work among the methods that
+/// finished. Ties break to the method name, so the sequence is total.
+fn winners(report: &BenchReport) -> Vec<(String, Option<String>)> {
+    let mut params: Vec<(f64, String)> = Vec::new();
+    for r in &report.rows {
+        if !params.iter().any(|(_, p)| *p == r.param) {
+            params.push((r.param_value, r.param.clone()));
+        }
+    }
+    params.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    params
+        .into_iter()
+        .map(|(_, param)| {
+            let winner = report
+                .rows
+                .iter()
+                .filter(|r| r.param == param && !r.dnf)
+                .min_by(|a, b| (a.probed, &a.method).cmp(&(b.probed, &b.method)))
+                .map(|r| r.method.clone());
+            (param, winner)
+        })
+        .collect()
+}
+
+/// The sweep position after which the winner changes, as `(param, from,
+/// to)` transitions — the paper's "crossover".
+fn crossovers(w: &[(String, Option<String>)]) -> Vec<String> {
+    let mut out = Vec::new();
+    for pair in w.windows(2) {
+        let (pa, wa) = &pair[0];
+        let (pb, wb) = &pair[1];
+        if wa != wb {
+            out.push(format!(
+                "{pa}->{pb}: {} -> {}",
+                wa.as_deref().unwrap_or("(none)"),
+                wb.as_deref().unwrap_or("(none)")
+            ));
+        }
+    }
+    out
+}
+
+/// Compares a new run against an old one. Returns one message per
+/// violated check; empty means the new run preserves the old run's
+/// ordinal claims (and wall-clock/counters, per `opts`).
+pub fn compare(old: &BenchReport, new: &BenchReport, opts: &CompareOptions) -> Vec<String> {
+    let mut failures = Vec::new();
+    if old.experiment != new.experiment {
+        failures.push(format!(
+            "experiment mismatch: old is `{}`, new is `{}`",
+            old.experiment, new.experiment
+        ));
+        return failures;
+    }
+
+    // Row-by-row: every (param, method) pair must exist on both sides.
+    for o in &old.rows {
+        let Some(n) = new
+            .rows
+            .iter()
+            .find(|n| n.param == o.param && n.method == o.method)
+        else {
+            failures.push(format!("row [{} | {}] disappeared", o.param, o.method));
+            continue;
+        };
+        if o.dnf != n.dnf {
+            failures.push(format!(
+                "row [{} | {}]: DNF flipped {} -> {}",
+                o.param, o.method, o.dnf, n.dnf
+            ));
+            continue;
+        }
+        if o.dnf {
+            continue;
+        }
+        if opts.check_counters {
+            let pairs = [
+                ("answers", o.answers, n.answers),
+                ("derived", o.derived, n.derived),
+                ("probed", o.probed, n.probed),
+                ("matched", o.matched, n.matched),
+                ("magic_facts", o.magic_facts, n.magic_facts),
+                ("buffered_peak", o.buffered_peak, n.buffered_peak),
+                ("rounds", o.rounds, n.rounds),
+                ("index_hits", o.index_hits, n.index_hits),
+                ("scans", o.scans, n.scans),
+            ];
+            for (name, ov, nv) in pairs {
+                if ov != nv {
+                    failures.push(format!(
+                        "row [{} | {}]: {name} changed {ov} -> {nv}",
+                        o.param, o.method
+                    ));
+                }
+            }
+        }
+        if opts.check_wall && n.wall_ms > o.wall_ms * (1.0 + opts.wall_threshold) {
+            let slow = n.wall_ms - o.wall_ms;
+            if slow > opts.wall_floor_ms {
+                failures.push(format!(
+                    "row [{} | {}]: wall regression {:.2} ms -> {:.2} ms (+{:.0}%, threshold {:.0}%)",
+                    o.param,
+                    o.method,
+                    o.wall_ms,
+                    n.wall_ms,
+                    100.0 * slow / o.wall_ms,
+                    100.0 * opts.wall_threshold
+                ));
+            }
+        }
+    }
+    for n in &new.rows {
+        if !old
+            .rows
+            .iter()
+            .any(|o| o.param == n.param && o.method == n.method)
+        {
+            failures.push(format!("row [{} | {}] is new", n.param, n.method));
+        }
+    }
+
+    // Ordinal claims: the winner at every sweep position, and the
+    // crossover structure, must be stable.
+    let wo = winners(old);
+    let wn = winners(new);
+    for (param, w_old) in &wo {
+        if let Some((_, w_new)) = wn.iter().find(|(p, _)| p == param) {
+            if w_old != w_new {
+                failures.push(format!(
+                    "ordinal flip at {param}: winner was {}, now {}",
+                    w_old.as_deref().unwrap_or("(none)"),
+                    w_new.as_deref().unwrap_or("(none)")
+                ));
+            }
+        }
+    }
+    let (co, cn) = (crossovers(&wo), crossovers(&wn));
+    if co != cn {
+        failures.push(format!(
+            "crossover moved: old [{}] vs new [{}]",
+            co.join("; "),
+            cn.join("; ")
+        ));
+    }
+    failures
+}
+
+/// One-paragraph textual summary of a report, for `bench_compare`'s
+/// success output.
+pub fn summarize(report: &BenchReport) -> String {
+    let mut out = String::new();
+    let w = winners(report);
+    write!(
+        out,
+        "{}: {} rows over {} sweep positions",
+        report.experiment,
+        report.rows.len(),
+        w.len()
+    )
+    .unwrap();
+    let co = crossovers(&w);
+    if co.is_empty() {
+        if let Some((_, Some(m))) = w.first() {
+            write!(out, "; {m} wins throughout").unwrap();
+        }
+    } else {
+        write!(out, "; crossovers: {}", co.join("; ")).unwrap();
+    }
+    out
+}

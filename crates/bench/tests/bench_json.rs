@@ -1,0 +1,147 @@
+//! Golden test pinning the `BENCH_*.json` schema, plus behavioral tests
+//! for the `bench_compare` regression checks. If the schema must change,
+//! bump `BENCH_SCHEMA_VERSION` and update `BENCH_ROW_KEYS` deliberately.
+
+use chainsplit_bench::report::{BENCH_ROW_KEYS, BENCH_SCHEMA_VERSION};
+use chainsplit_bench::{compare, measure, sg_db, BenchReport, CompareOptions};
+use chainsplit_core::Strategy;
+use chainsplit_trace::json::Json;
+use chainsplit_workloads::FamilyConfig;
+
+/// A small but real report: one sweep position, two methods, measured.
+fn small_report() -> BenchReport {
+    let cfg = FamilyConfig {
+        countries: 1,
+        people_per_country: 4,
+        generations: 2,
+    };
+    let mut report = BenchReport::new("golden");
+    for (name, strat) in [
+        ("magic", Strategy::Magic),
+        ("semi-naive", Strategy::SemiNaive),
+    ] {
+        let mut db = sg_db(cfg);
+        let r = measure(&mut db, "sg(g2_0_0, Y)", strat).expect("sg evaluates");
+        report.push_run("people=4", 4.0, name, &format!("{strat:?}"), &r);
+    }
+    report
+}
+
+#[test]
+fn golden_schema_is_pinned() {
+    let report = small_report();
+    let doc = Json::parse(&report.to_json().to_pretty()).expect("self-parse");
+
+    // Top level: version stamp, experiment id, rows.
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_usize),
+        Some(BENCH_SCHEMA_VERSION)
+    );
+    assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("golden"));
+    let rows = doc.get("rows").expect("rows").as_array();
+    assert_eq!(rows.len(), 2, "one row per (param, method) pair");
+
+    // Every row carries exactly the pinned key set, in document order.
+    for row in rows {
+        assert_eq!(row.keys(), BENCH_ROW_KEYS, "row key set drifted");
+    }
+
+    // Round-trip through the parser preserves the measurements.
+    let back = BenchReport::from_json(&doc).expect("round-trip");
+    assert_eq!(back.experiment, report.experiment);
+    assert_eq!(back.rows.len(), report.rows.len());
+    for (a, b) in back.rows.iter().zip(&report.rows) {
+        assert_eq!(a.method, b.method);
+        assert_eq!(a.probed, b.probed);
+        assert_eq!(a.answers, b.answers);
+    }
+}
+
+#[test]
+fn unknown_schema_version_is_rejected() {
+    let mut doc = small_report().to_json();
+    if let Json::Obj(fields) = &mut doc {
+        fields[0].1 = Json::int(BENCH_SCHEMA_VERSION + 1);
+    }
+    let err = BenchReport::from_json(&doc).unwrap_err();
+    assert!(err.contains("schema_version"), "{err}");
+}
+
+#[test]
+fn identical_runs_compare_clean() {
+    let report = small_report();
+    let failures = compare(&report, &report, &CompareOptions::default());
+    assert!(failures.is_empty(), "{failures:?}");
+}
+
+#[test]
+fn ordinal_flip_is_detected() {
+    let old = small_report();
+    let mut new = old.clone();
+    // Invert the probed ordering so the per-param winner flips.
+    let max = new.rows.iter().map(|r| r.probed).max().unwrap();
+    for r in &mut new.rows {
+        r.probed = max + 1 - r.probed;
+    }
+    let opts = CompareOptions {
+        check_counters: false,
+        check_wall: false,
+        ..CompareOptions::default()
+    };
+    let failures = compare(&old, &new, &opts);
+    assert!(
+        failures.iter().any(|f| f.contains("ordinal flip")),
+        "{failures:?}"
+    );
+}
+
+#[test]
+fn counter_drift_is_detected() {
+    let old = small_report();
+    let mut new = old.clone();
+    new.rows[0].derived += 1;
+    let failures = compare(&old, &new, &CompareOptions::default());
+    assert!(
+        failures.iter().any(|f| f.contains("derived changed")),
+        "{failures:?}"
+    );
+}
+
+#[test]
+fn wall_regression_respects_threshold_and_skip() {
+    let mut old = small_report();
+    for r in &mut old.rows {
+        r.wall_ms = 100.0;
+    }
+    let mut new = old.clone();
+    new.rows[0].wall_ms = 140.0; // +40% > 25% threshold
+
+    let failures = compare(&old, &new, &CompareOptions::default());
+    assert!(
+        failures.iter().any(|f| f.contains("wall regression")),
+        "{failures:?}"
+    );
+
+    // --skip-wall: same drift passes (cross-machine comparison).
+    let opts = CompareOptions {
+        check_wall: false,
+        ..CompareOptions::default()
+    };
+    assert!(compare(&old, &new, &opts).is_empty());
+
+    // Within threshold: passes.
+    new.rows[0].wall_ms = 120.0;
+    assert!(compare(&old, &new, &CompareOptions::default()).is_empty());
+}
+
+#[test]
+fn missing_row_is_detected() {
+    let old = small_report();
+    let mut new = old.clone();
+    new.rows.pop();
+    let failures = compare(&old, &new, &CompareOptions::default());
+    assert!(
+        failures.iter().any(|f| f.contains("disappeared")),
+        "{failures:?}"
+    );
+}

@@ -45,6 +45,14 @@ commands:
   :profile <goal>                run the query and show per-round metrics
                                  (EXPLAIN ANALYZE under the set strategy)
   :exists <goal>                 existence check (first answer only)
+  :trace on|off                  collect evaluation spans (compile, seed,
+                                 fixpoint, per-round, per-access-path)
+  :trace export <file>           write the collected spans as a Chrome
+                                 trace-event file (chrome://tracing or
+                                 https://ui.perfetto.dev), e.g.
+                                   :trace on
+                                   ?- sg(ann, Y).
+                                   :trace export run.trace.json
   :timing on|off                 toggle per-query timing + counters
   :constraint <body>             add an integrity constraint (denial)
   :check                         check all integrity constraints
@@ -129,16 +137,17 @@ impl Shell {
             }
             "explain" => match self.db.explain(arg) {
                 Ok(e) => e,
-                Err(e) => format!("error: {e}"),
+                Err(e) => render_error(arg, &e),
             },
             "profile" => match self.db.explain_analyze(arg, self.strategy) {
                 Ok(m) => m.to_string(),
-                Err(e) => format!("error: {e}"),
+                Err(e) => render_error(arg, &e),
             },
             "exists" => match self.db.exists(arg) {
                 Ok(b) => format!("{b}."),
-                Err(e) => format!("error: {e}"),
+                Err(e) => render_error(arg, &e),
             },
+            "trace" => self.trace_command(arg),
             "timing" => {
                 self.timing = arg == "on";
                 format!("timing: {}", if self.timing { "on" } else { "off" })
@@ -160,6 +169,43 @@ impl Shell {
             other => format!("unknown command `:{other}` (see :help)"),
         };
         (out, Control::Continue)
+    }
+
+    fn trace_command(&mut self, arg: &str) -> String {
+        match arg {
+            "" => format!(
+                "trace: {} ({} spans collected)",
+                if chainsplit_trace::is_enabled() {
+                    "on"
+                } else {
+                    "off"
+                },
+                chainsplit_trace::span_count()
+            ),
+            "on" => {
+                chainsplit_trace::clear();
+                chainsplit_trace::enable();
+                "trace: on (spans collect until :trace export or :trace off)".to_string()
+            }
+            "off" => {
+                chainsplit_trace::disable();
+                format!(
+                    "trace: off ({} spans still held; :trace export <file> to write)",
+                    chainsplit_trace::span_count()
+                )
+            }
+            arg => match arg.strip_prefix("export") {
+                Some(path) if !path.trim().is_empty() => {
+                    let path = path.trim();
+                    match chainsplit_trace::export_chrome_to(std::path::Path::new(path)) {
+                        Ok(n) => format!("trace: wrote {n} spans to {path}"),
+                        Err(e) => format!("cannot write {path}: {e}"),
+                    }
+                }
+                Some(_) => "usage: :trace export <file>".to_string(),
+                None => "usage: :trace on|off|export <file>".to_string(),
+            },
+        }
     }
 
     fn stats(&mut self) -> String {
@@ -220,9 +266,24 @@ impl Shell {
                 }
                 out
             }
-            Err(e) => format!("error: {e}"),
+            Err(e) => render_error(query, &e),
         }
     }
+}
+
+/// Renders a [`DbError`] for the shell — every command that takes a goal
+/// (queries, `:profile`, `:explain`, `:exists`) reports failures through
+/// this one path. Parse errors additionally show the offending input line
+/// with a caret under the failing column.
+fn render_error(input: &str, e: &chainsplit_core::DbError) -> String {
+    let mut out = format!("error: {e}");
+    if let chainsplit_core::DbError::Parse(p) = e {
+        if let Some(line) = input.trim().lines().nth(p.line.saturating_sub(1) as usize) {
+            let caret_at = (p.col.saturating_sub(1) as usize).min(line.len());
+            out.push_str(&format!("\n  {line}\n  {}^", " ".repeat(caret_at)));
+        }
+    }
+    out
 }
 
 #[cfg(test)]

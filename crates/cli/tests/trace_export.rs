@@ -1,0 +1,71 @@
+//! End-to-end: `:trace on` → query → `:trace export` must produce a
+//! Chrome-trace JSON file (the format Perfetto / chrome://tracing loads):
+//! an array of complete events with `name`/`ph`/`ts`/`dur`/`pid`/`tid`,
+//! whose span names cover the evaluation pipeline.
+
+use chainsplit_cli::{Control, Shell};
+use chainsplit_trace::json::Json;
+
+#[test]
+fn trace_export_writes_perfetto_loadable_file() {
+    let mut shell = Shell::new();
+    for line in [
+        "parent(a, b).",
+        "parent(b, c).",
+        "parent(c, d).",
+        "anc(X, Y) :- parent(X, Y).",
+        "anc(X, Y) :- parent(X, Z), anc(Z, Y).",
+    ] {
+        let (out, ctl) = shell.process(line);
+        assert_eq!(out, "ok.");
+        assert_eq!(ctl, Control::Continue);
+    }
+
+    let (out, _) = shell.process(":trace on");
+    assert!(out.starts_with("trace: on"), "{out}");
+
+    let (out, _) = shell.process("?- anc(a, Y).");
+    assert!(out.contains("Y = "), "{out}");
+
+    let path = std::env::temp_dir().join(format!("chainsplit_trace_{}.json", std::process::id()));
+    let (out, _) = shell.process(&format!(":trace export {}", path.display()));
+    assert!(out.starts_with("trace: wrote"), "{out}");
+    shell.process(":trace off");
+
+    let text = std::fs::read_to_string(&path).expect("export file exists");
+    std::fs::remove_file(&path).ok();
+
+    // Valid JSON array of complete events.
+    let doc = Json::parse(&text).expect("export is valid JSON");
+    let events = doc.as_array();
+    assert!(!events.is_empty(), "trace has events");
+    for ev in events {
+        for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+            assert!(ev.get(key).is_some(), "event missing `{key}`: {ev:?}");
+        }
+        assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(ev.get("ts").and_then(Json::as_f64).is_some());
+        assert!(ev.get("dur").and_then(Json::as_f64).is_some());
+    }
+
+    // The span tree covers the evaluation pipeline.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|ev| ev.get("name").and_then(Json::as_str))
+        .collect();
+    for expected in ["compile", "seed", "fixpoint", "answer", "query"] {
+        assert!(
+            names.iter().any(|n| n.contains(expected)),
+            "no `{expected}` span in {names:?}"
+        );
+    }
+    let cats: Vec<&str> = events
+        .iter()
+        .filter_map(|ev| ev.get("cat").and_then(Json::as_str))
+        .collect();
+    assert!(cats.contains(&"round"), "no per-round spans in {cats:?}");
+    assert!(
+        cats.contains(&"access"),
+        "no per-access-path spans in {cats:?}"
+    );
+}

@@ -115,10 +115,13 @@ pub fn eval_buffered(
     pruner: Option<&Pruner>,
     out: &mut Vec<Subst>,
 ) -> Result<(), EvalError> {
+    let mut top_span = chainsplit_trace::span!("chain-split", pred = rec.pred);
+    top_span.set_attr("split", plan.is_split());
     let frontier_pos = plan.frontier();
     let n_guards = pruner.map_or(0, |p| p.guards.len());
 
     // Level-0 frontier: the query's ground values at the bound positions.
+    let seed_span = chainsplit_trace::span!("seed", pred = rec.pred);
     let mut q_vals: Vec<Term> = Vec::with_capacity(frontier_pos.len());
     for &j in &frontier_pos {
         let v = s.resolve(&query.args[j]);
@@ -130,6 +133,7 @@ pub fn eval_buffered(
     // only when even the cheapest path to this tuple is hopeless).
     let mut frontier: FxHashMap<Vec<Term>, Vec<i64>> = FxHashMap::default();
     frontier.insert(q_vals.clone(), vec![0; n_guards]);
+    drop(seed_span);
 
     let delayed_atoms: Vec<&Atom> = plan
         .delayed
@@ -146,7 +150,11 @@ pub fn eval_buffered(
     let mut exits: Vec<Vec<Vec<Term>>> = Vec::new(); // exits[i]: full tuples at level i
 
     // ---- Up sweep ----
+    let up_span = chainsplit_trace::span!("up-sweep", pred = rec.pred);
     loop {
+        let mut round_span =
+            chainsplit_trace::Span::enter_cat(format!("level {}", nodes_up.len()), "round");
+        round_span.set_attr("level", nodes_up.len());
         let round_base = solver.counters;
         solver.counters.iterations += 1;
         if nodes_up.len() >= solver.opts.max_levels {
@@ -296,6 +304,7 @@ pub fn eval_buffered(
             delta: level_nodes.len(),
             counters: solver.counters.since(&round_base),
         });
+        round_span.set_attr("delta", level_nodes.len());
         let done = next_frontier.is_empty();
         nodes_up.push(level_nodes);
         if done {
@@ -303,8 +312,10 @@ pub fn eval_buffered(
         }
         frontier = next_frontier;
     }
+    drop(up_span);
 
     // ---- Down sweep ----
+    let _down_span = chainsplit_trace::span!("down-sweep", pred = rec.pred);
     let k = exits.len() - 1;
     // answers[i]: full tuples valid at level i, indexed by frontier values.
     let mut answers: FxHashMap<Vec<Term>, Vec<Vec<Term>>> = FxHashMap::default();

@@ -207,6 +207,7 @@ impl DeductiveDb {
     /// The compiled system (compiling on first use).
     pub fn system(&mut self) -> &System {
         if self.system.is_none() {
+            let _sp = chainsplit_trace::span!("compile", stage = "system-build");
             self.system = Some(System::build(&self.source));
         }
         self.system.as_ref().unwrap()
@@ -218,7 +219,15 @@ impl DeductiveDb {
         let src = src.trim();
         let src = src.strip_prefix("?-").unwrap_or(src).trim();
         let src = src.strip_suffix('.').unwrap_or(src);
-        let rule = parse_rule(&format!("goal__ :- {src}."))?;
+        // The goal is wrapped in a synthetic rule head; shift first-line
+        // columns back so errors point into the user's own text.
+        const WRAPPER: &str = "goal__ :- ";
+        let rule = parse_rule(&format!("{WRAPPER}{src}.")).map_err(|mut e| {
+            if e.line == 1 {
+                e.col = e.col.saturating_sub(WRAPPER.len() as u32).max(1);
+            }
+            e
+        })?;
         let mut atoms = rule.body.into_iter();
         let head = atoms.next().expect("non-empty goal");
         Ok((head, atoms.collect()))
@@ -248,6 +257,8 @@ impl DeductiveDb {
         let tab_opts = self.tabled_options;
         let cost = self.cost_model;
         let source = self.source.clone();
+        let mut query_span = chainsplit_trace::span!("query", pred = atom.pred);
+        query_span.set_attr("strategy", strategy);
         let sys = self.system();
         let qvars = {
             let mut v = atom.vars();
@@ -276,10 +287,16 @@ impl DeductiveDb {
             Strategy::Auto | Strategy::ChainSplit => {
                 let mut solver = Solver::new(sys, solve_opts);
                 let t0 = Instant::now();
-                let sols = eval_partial(&mut solver, atom, constraints)?;
+                let sols = {
+                    let _sp = chainsplit_trace::span!("fixpoint", strategy = strategy);
+                    eval_partial(&mut solver, atom, constraints)?
+                };
                 let fixpoint_ms = duration_ms(t0.elapsed());
                 let t1 = Instant::now();
-                let answers = project(sols);
+                let answers = {
+                    let _sp = chainsplit_trace::span!("answer", pred = atom.pred);
+                    project(sols)
+                };
                 QueryOutcome {
                     answers,
                     counters: solver.counters,
@@ -297,6 +314,7 @@ impl DeductiveDb {
                 let (sols, counters) = tabled_query(&source, atom, tab_opts)?;
                 let fixpoint_ms = duration_ms(t0.elapsed());
                 let t1 = Instant::now();
+                let _sp = chainsplit_trace::span!("answer", pred = atom.pred);
                 let sols = filter_constraints(sols, constraints)?;
                 let answers = project(sols);
                 QueryOutcome {
@@ -316,6 +334,7 @@ impl DeductiveDb {
                 let (sols, counters) = topdown_query(&source, atom, td_opts)?;
                 let fixpoint_ms = duration_ms(t0.elapsed());
                 let t1 = Instant::now();
+                let _sp = chainsplit_trace::span!("answer", pred = atom.pred);
                 let sols = filter_constraints(sols, constraints)?;
                 let answers = project(sols);
                 QueryOutcome {
@@ -350,6 +369,7 @@ impl DeductiveDb {
                     seminaive_eval(&rules, &sys.edb, bu_opts)?
                 };
                 let t0 = Instant::now();
+                let _sp = chainsplit_trace::span!("answer", pred = atom.pred);
                 let rel = run.idb.relation(atom.pred);
                 let sols = unify_filter(rel, atom);
                 let sols = filter_constraints(sols, constraints)?;

@@ -36,6 +36,20 @@ pub fn match_relation(
     }
     let mut sel = rel.select(&cols, &key);
     counters.record_path(sel.path());
+    let mut select_span = chainsplit_trace::Span::enter_cat("select", "access");
+    if select_span.is_recording() {
+        use chainsplit_relation::AccessPath;
+        select_span.set_attr("pred", atom.pred);
+        select_span.set_attr(
+            "path",
+            match sel.path() {
+                AccessPath::IndexHit => "index_hit",
+                AccessPath::IndexBuild => "index_build",
+                AccessPath::KeyScan => "key_scan",
+                AccessPath::FullScan => "full_scan",
+            },
+        );
+    }
     for tuple in sel.by_ref() {
         let mut s2 = s.clone();
         let ok = atom

@@ -268,7 +268,10 @@ pub fn magic_eval(
     opts: BottomUpOptions,
 ) -> Result<MagicResult, EvalError> {
     let compile_start = Instant::now();
-    let mp = magic_transform(rules, query, sip)?;
+    let mp = {
+        let _sp = chainsplit_trace::span!("compile", stage = "magic-transform");
+        magic_transform(rules, query, sip)?
+    };
     let compile_ms = duration_ms(compile_start.elapsed());
     let run = seminaive_eval(&mp.rules, edb, opts)?;
     let mut counters = run.counters;
@@ -279,6 +282,7 @@ pub fn magic_eval(
         .sum();
 
     let answer_start = Instant::now();
+    let _answer_span = chainsplit_trace::span!("answer", pred = query.pred);
     let mut answers = Vec::new();
     if let Some(rel) = run.idb.relation(mp.answer_pred) {
         for t in rel.iter() {

@@ -31,7 +31,10 @@ pub struct RoundMetrics {
 }
 
 /// Wall time spent in each evaluation phase, in milliseconds.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+///
+/// Deliberately not `PartialEq`: the fields are measured `f64` durations,
+/// and equality on those invites misuse — compare the counters instead.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimings {
     /// Program compilation: rectify / classify / chain-compile, plus any
     /// magic or supplementary rewrite. Zero when a cached compilation was

@@ -57,8 +57,12 @@ pub fn naive_eval(
     let mut idb = Database::new();
     let mut counters = Counters::default();
     let mut rounds: Vec<RoundMetrics> = Vec::new();
+    let _fixpoint_span = chainsplit_trace::span!("fixpoint", strategy = "naive");
     let fixpoint_start = Instant::now();
     loop {
+        let mut round_span =
+            chainsplit_trace::Span::enter_cat(format!("round {}", rounds.len()), "round");
+        round_span.set_attr("round", rounds.len());
         let round_base = counters;
         counters.iterations += 1;
         if counters.iterations > opts.max_rounds {
@@ -97,6 +101,7 @@ pub fn naive_eval(
             delta: inserted,
             counters: counters.since(&round_base),
         });
+        round_span.set_attr("delta", inserted);
         if inserted == 0 {
             return Ok(BottomUpResult {
                 idb,

@@ -54,6 +54,7 @@ pub fn seminaive_eval(
     let mut phases = PhaseTimings::default();
 
     {
+        let mut seed_span = chainsplit_trace::span!("seed");
         let seed_start = Instant::now();
         let round_base = counters;
         let mut seed: Vec<(Pred, Tuple)> = Vec::new();
@@ -85,11 +86,16 @@ pub fn seminaive_eval(
             delta: seeded,
             counters: counters.since(&round_base),
         });
+        seed_span.set_attr("delta", seeded);
         phases.seed_ms = duration_ms(seed_start.elapsed());
     }
 
+    let _fixpoint_span = chainsplit_trace::span!("fixpoint", strategy = "semi-naive");
     let fixpoint_start = Instant::now();
     loop {
+        let mut round_span =
+            chainsplit_trace::Span::enter_cat(format!("round {}", rounds.len()), "round");
+        round_span.set_attr("round", rounds.len());
         let round_base = counters;
         counters.iterations += 1;
         if counters.iterations > opts.max_rounds {
@@ -157,6 +163,7 @@ pub fn seminaive_eval(
             delta: inserted,
             counters: counters.since(&round_base),
         });
+        round_span.set_attr("delta", inserted);
         let advanced: usize = deltas.values_mut().map(DeltaRelation::advance).sum();
         if advanced == 0 {
             break;

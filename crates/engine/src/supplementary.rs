@@ -251,7 +251,10 @@ pub fn supplementary_magic_eval(
     opts: BottomUpOptions,
 ) -> Result<MagicResult, EvalError> {
     let compile_start = Instant::now();
-    let mp = supplementary_magic_transform(rules, query, sip)?;
+    let mp = {
+        let _sp = chainsplit_trace::span!("compile", stage = "supplementary-transform");
+        supplementary_magic_transform(rules, query, sip)?
+    };
     let compile_ms = duration_ms(compile_start.elapsed());
     let run = seminaive_eval(&mp.rules, edb, opts)?;
     let mut counters = run.counters;
@@ -261,6 +264,7 @@ pub fn supplementary_magic_eval(
         .map(|&p| run.idb.relation(p).map_or(0, |r| r.len()))
         .sum();
     let answer_start = Instant::now();
+    let _answer_span = chainsplit_trace::span!("answer", pred = query.pred);
     let mut answers = Vec::new();
     if let Some(rel) = run.idb.relation(mp.answer_pred) {
         for t in rel.iter() {

@@ -339,7 +339,10 @@ pub fn tabled_query(
     let (facts, rules) = program.split_facts();
     let db = Database::from_facts(facts);
     let mut t = Tabled::new(&rules, &db, opts);
-    let answers = t.solve(query)?;
+    let answers = {
+        let _sp = chainsplit_trace::span!("fixpoint", strategy = "tabled", pred = query.pred);
+        t.solve(query)?
+    };
     let mut counters = t.counters;
     counters.magic_facts = t.table_count();
     Ok((answers, counters))

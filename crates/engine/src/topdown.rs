@@ -164,7 +164,10 @@ pub fn topdown_query(
     let (facts, rules) = program.split_facts();
     let db = Database::from_facts(facts);
     let mut td = TopDown::new(&rules, &db, opts);
-    let answers = td.solve(query)?;
+    let answers = {
+        let _sp = chainsplit_trace::span!("fixpoint", strategy = "top-down", pred = query.pred);
+        td.solve(query)?
+    };
     Ok((answers, td.counters))
 }
 

@@ -1,0 +1,316 @@
+//! # chainsplit-trace
+//!
+//! Zero-dependency span tracing for the chain-split deductive database.
+//!
+//! The evaluators are instrumented with [`Span`] RAII guards (usually via
+//! the [`span!`] macro). When tracing is **off** — the default — a guard is
+//! a single relaxed atomic load and an inert struct: no clock reads, no
+//! locking, no allocation, so instrumented hot paths cost nothing
+//! measurable. When tracing is **on**, every dropped guard records a
+//! [`SpanRecord`] (name, category, monotonic start, duration, thread,
+//! parent span, attributes) into a global collector, and the collected run
+//! can be exported as a Chrome trace-event JSON array loadable by
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! ```
+//! chainsplit_trace::clear();
+//! chainsplit_trace::enable();
+//! {
+//!     let mut outer = chainsplit_trace::span!("fixpoint", strategy = "semi-naive");
+//!     let _inner = chainsplit_trace::span!("round", round = 0);
+//!     outer.set_attr("rounds", 1);
+//! }
+//! chainsplit_trace::disable();
+//! let spans = chainsplit_trace::snapshot();
+//! assert_eq!(spans.len(), 2);
+//! assert!(chainsplit_trace::export_chrome().starts_with('['));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+use json::Json;
+use std::cell::RefCell;
+use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span, as recorded when its guard dropped.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Unique id of this span within the process.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Nesting depth on its thread (0 = top level).
+    pub depth: usize,
+    /// Small dense id of the recording thread.
+    pub tid: u64,
+    /// Span name (e.g. `fixpoint`, `round`, `select`).
+    pub name: String,
+    /// Category (e.g. `phase`, `round`, `access`).
+    pub cat: &'static str,
+    /// Microseconds since the process trace anchor.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Attribute key/value pairs (predicate, strategy, chain level, access
+    /// path, …), values pre-rendered to strings.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+fn collector() -> &'static Mutex<Vec<SpanRecord>> {
+    static COLLECTOR: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Ids of the open spans on this thread, innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turns span collection on. Existing records are kept; call [`clear`]
+/// first to start a fresh trace.
+pub fn enable() {
+    anchor(); // pin the time origin no later than the first enable
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns span collection off. Guards already open keep recording so the
+/// trace stays balanced.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether spans are currently being collected.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drops every collected record.
+pub fn clear() {
+    collector()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+/// The number of records collected so far.
+pub fn span_count() -> usize {
+    collector().lock().unwrap_or_else(|e| e.into_inner()).len()
+}
+
+/// A copy of every collected record, in completion order.
+pub fn snapshot() -> Vec<SpanRecord> {
+    collector()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+/// An open span. Created via [`Span::enter`] or the [`span!`] macro;
+/// recording happens when the guard drops. When tracing is disabled the
+/// guard is inert and [`Span::set_attr`] is free.
+#[must_use = "a span measures the scope it lives in"]
+pub struct Span(Option<Open>);
+
+struct Open {
+    id: u64,
+    parent: Option<u64>,
+    depth: usize,
+    tid: u64,
+    name: String,
+    cat: &'static str,
+    start: Instant,
+    attrs: Vec<(&'static str, String)>,
+}
+
+impl Span {
+    /// Opens a span in the default `span` category.
+    pub fn enter(name: impl Into<String>) -> Span {
+        Span::enter_cat(name, "span")
+    }
+
+    /// Opens a span in an explicit category.
+    pub fn enter_cat(name: impl Into<String>, cat: &'static str) -> Span {
+        if !is_enabled() {
+            return Span(None);
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let tid = TID.with(|t| *t);
+        let (parent, depth) = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            let depth = s.len();
+            s.push(id);
+            (parent, depth)
+        });
+        Span(Some(Open {
+            id,
+            parent,
+            depth,
+            tid,
+            name: name.into(),
+            cat,
+            start: Instant::now(),
+            attrs: Vec::new(),
+        }))
+    }
+
+    /// Attaches an attribute (no-op when the guard is inert). Values are
+    /// rendered immediately so the borrow need not outlive the call.
+    pub fn set_attr(&mut self, key: &'static str, value: impl Display) {
+        if let Some(open) = &mut self.0 {
+            open.attrs.push((key, value.to_string()));
+        }
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(open) = self.0.take() else { return };
+        let dur_us = open.start.elapsed().as_micros() as u64;
+        let start_us = open.start.saturating_duration_since(anchor()).as_micros() as u64;
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            debug_assert_eq!(s.last(), Some(&open.id), "span guards must nest");
+            s.retain(|&id| id != open.id);
+        });
+        let record = SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            depth: open.depth,
+            tid: open.tid,
+            name: open.name,
+            cat: open.cat,
+            start_us,
+            dur_us,
+            attrs: open.attrs,
+        };
+        collector()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record);
+    }
+}
+
+/// Opens a [`Span`], optionally with attributes:
+/// `span!("round", round = i, delta = n)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let mut __span = $crate::Span::enter($name);
+        $(__span.set_attr(stringify!($key), &$value);)+
+        __span
+    }};
+}
+
+/// Renders the collected spans as a Chrome trace-event JSON array
+/// (`ph: "X"` complete events, microsecond timestamps) — load it in
+/// `chrome://tracing` or Perfetto.
+pub fn export_chrome() -> String {
+    let spans = snapshot();
+    let events: Vec<Json> = spans
+        .iter()
+        .map(|s| {
+            let args: Vec<(String, Json)> = s
+                .attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), Json::str(v.clone())))
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::str(s.name.clone())),
+                ("cat".into(), Json::str(s.cat)),
+                ("ph".into(), Json::str("X")),
+                ("ts".into(), Json::int(s.start_us as usize)),
+                ("dur".into(), Json::int(s.dur_us as usize)),
+                ("pid".into(), Json::int(1)),
+                ("tid".into(), Json::int(s.tid as usize)),
+                ("args".into(), Json::Obj(args)),
+            ])
+        })
+        .collect();
+    Json::Arr(events).to_pretty()
+}
+
+/// Writes [`export_chrome`] output to `path`.
+pub fn export_chrome_to(path: &std::path::Path) -> std::io::Result<usize> {
+    let n = span_count();
+    std::fs::write(path, export_chrome())?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global collector is shared across the test binary's threads, so
+    // every test that inspects it filters on its own span names.
+
+    #[test]
+    fn disabled_guards_record_nothing() {
+        disable();
+        {
+            let mut s = span!("disabled-probe", key = 1);
+            s.set_attr("more", "x");
+            assert!(!s.is_recording());
+        }
+        assert!(!snapshot().iter().any(|s| s.name == "disabled-probe"));
+    }
+
+    #[test]
+    fn attributes_and_categories_are_recorded() {
+        enable();
+        {
+            let mut s = Span::enter_cat("attr-probe", "access");
+            s.set_attr("pred", "parent/2");
+            s.set_attr("path", "index_hit");
+        }
+        disable();
+        let spans = snapshot();
+        let s = spans.iter().find(|s| s.name == "attr-probe").unwrap();
+        assert_eq!(s.cat, "access");
+        assert_eq!(s.attrs.len(), 2);
+        assert_eq!(s.attrs[0], ("pred", "parent/2".to_string()));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_event_keys() {
+        enable();
+        {
+            let _outer = span!("export-outer", strategy = "magic");
+            let _inner = span!("export-inner");
+        }
+        disable();
+        let text = export_chrome();
+        let doc = Json::parse(&text).expect("chrome export parses");
+        let events = doc.as_array();
+        assert!(events.len() >= 2);
+        for e in events {
+            for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid", "args"] {
+                assert!(e.get(key).is_some(), "missing {key} in {e:?}");
+            }
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Tracer invariants under concurrency: every guard produces exactly one
+//! record (balance), and on each thread a child span's interval nests
+//! inside its parent's (well-formed span tree).
+//!
+//! Runs as its own integration-test binary so no other test is writing to
+//! the global collector concurrently.
+
+use chainsplit_trace::{snapshot, SpanRecord};
+use std::collections::HashMap;
+
+const THREADS: usize = 8;
+const OUTER_PER_THREAD: usize = 25;
+const INNER_PER_OUTER: usize = 4;
+
+#[test]
+fn spans_balance_and_nest_across_threads() {
+    chainsplit_trace::clear();
+    chainsplit_trace::enable();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..OUTER_PER_THREAD {
+                    let mut outer = chainsplit_trace::span!("outer", thread = t, iter = i);
+                    for j in 0..INNER_PER_OUTER {
+                        let _inner = chainsplit_trace::span!("inner", j = j);
+                        // A grandchild exercises depth > 1.
+                        let _leaf = chainsplit_trace::Span::enter_cat("leaf", "access");
+                    }
+                    outer.set_attr("done", true);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    chainsplit_trace::disable();
+
+    let spans = snapshot();
+
+    // Balance: one record per guard, nothing lost and nothing doubled.
+    let expected = THREADS * OUTER_PER_THREAD * (1 + 2 * INNER_PER_OUTER);
+    assert_eq!(spans.len(), expected);
+    let mut ids = spans.iter().map(|s| s.id).collect::<Vec<_>>();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), expected, "span ids must be unique");
+
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    for s in &spans {
+        match s.parent {
+            None => assert_eq!(s.depth, 0, "orphan span must be top-level: {s:?}"),
+            Some(pid) => {
+                let p = by_id.get(&pid).expect("parent was recorded");
+                // Parents stay on the thread that opened them.
+                assert_eq!(p.tid, s.tid, "parent on another thread: {s:?}");
+                assert_eq!(s.depth, p.depth + 1, "depth mismatch: {s:?}");
+                // Temporal containment: the child ran within the parent
+                // (2 µs of slack absorbs microsecond truncation).
+                assert!(p.start_us <= s.start_us, "child started early: {s:?}");
+                assert!(
+                    s.start_us + s.dur_us <= p.start_us + p.dur_us + 2,
+                    "child {s:?} outlived parent {p:?}"
+                );
+            }
+        }
+    }
+
+    // Every outer span carries its attributes, including ones set late.
+    let outers: Vec<_> = spans.iter().filter(|s| s.name == "outer").collect();
+    assert_eq!(outers.len(), THREADS * OUTER_PER_THREAD);
+    for o in outers {
+        assert!(o.attrs.iter().any(|(k, v)| *k == "done" && v == "true"));
+    }
+}

@@ -1,9 +1,22 @@
 #!/usr/bin/env bash
 # Regenerates every experiment table into results/ (see EXPERIMENTS.md).
+#
+# Each table_eN prints its markdown table on stdout (tee'd to
+# results/table_eN.txt) and writes machine-readable results/BENCH_eN.json
+# as a side effect. Building first keeps cargo's progress chatter out of
+# the tee'd tables, and `pipefail` makes a failing binary fail the script
+# even though tee is the last command in the pipe.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
+
+echo "=== build (release) ==="
+cargo build -p chainsplit-bench --release --bins
+
 for n in 1 2 3 4 5 6 7; do
     echo "=== table_e$n ==="
-    cargo run -p chainsplit-bench --release --bin "table_e$n" | tee "results/table_e$n.txt"
+    "target/release/table_e$n" | tee "results/table_e$n.txt"
 done
+
+echo "=== machine-readable results ==="
+ls -l results/BENCH_e*.json
