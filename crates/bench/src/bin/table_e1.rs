@@ -5,15 +5,39 @@
 //! compare standard magic sets (binding crosses `same_country`) against
 //! chain-split magic sets. Paper claim: the chain-split plan "is more
 //! efficient than the method which relies on blind binding passing".
+//!
+//! A second table sweeps the worker thread count (1/2/4/8) on the largest
+//! configuration: wall-clock and speedup move with the host's cores, the
+//! work counters must not move at all (DESIGN.md §5).
+//!
+//! `table_e1 [--threads N]` sets the thread count for the main table
+//! (default: `CHAINSPLIT_THREADS` or 1).
 
 use chainsplit_bench::{header, measure, row, scsg_db, BenchReport};
 use chainsplit_core::Strategy;
+use chainsplit_par::env_threads;
 use chainsplit_workloads::{query_person, FamilyConfig};
 
+fn arg_threads() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+            eprintln!("usage: table_e1 [--threads N]");
+            std::process::exit(2);
+        }
+    }
+    env_threads()
+}
+
 fn main() {
+    let threads = arg_threads();
     let mut report = BenchReport::new("e1");
     println!("# E1: scsg — standard magic vs chain-split magic (Algorithm 3.1)");
-    println!("# countries=2, generations=4; expansion ratio of same_country = people/country\n");
+    println!("# countries=2, generations=4; expansion ratio of same_country = people/country");
+    println!("# threads={threads}\n");
     header(&[
         "people/country",
         "EDB facts",
@@ -40,6 +64,7 @@ fn main() {
             ("chain-split magic", Strategy::ChainSplitMagic),
         ] {
             let mut db = scsg_db(cfg);
+            db.set_threads(threads);
             let r = measure(&mut db, &q, strat).expect("scsg evaluates");
             report.push_run(
                 &format!("people={people}"),
@@ -61,6 +86,47 @@ fn main() {
                 format!("{:.2}", r.wall_ms),
             ]);
         }
+    }
+
+    // Threads sweep: the parallel semi-naive fixpoint under chain-split
+    // magic on the largest configuration. Speedup is wall-clock relative
+    // to 1 thread (host-dependent); probed/matched are asserted invariant.
+    let cfg = FamilyConfig {
+        countries: 2,
+        people_per_country: 48,
+        generations: 4,
+    };
+    let q = format!("scsg({}, Y)", query_person(cfg));
+    println!("\n# threads sweep: chain-split magic, people/country=48");
+    header(&["threads", "wall ms", "speedup", "probed", "matched"]);
+    let mut base: Option<(f64, usize, usize)> = None;
+    for t in [1usize, 2, 4, 8] {
+        let mut db = scsg_db(cfg);
+        db.set_threads(t);
+        let r = measure(&mut db, &q, Strategy::ChainSplitMagic).expect("scsg evaluates");
+        let (base_wall, base_probed, base_matched) =
+            *base.get_or_insert((r.wall_ms, r.probed, r.matched));
+        assert_eq!(
+            (r.probed, r.matched),
+            (base_probed, base_matched),
+            "work counters must be thread-invariant"
+        );
+        // param_value offset sorts the sweep after the main table's
+        // params, keeping the winner/crossover sequence readable.
+        report.push_run(
+            &format!("threads={t}"),
+            10_000.0 + t as f64,
+            "chain-split magic (threads sweep)",
+            "ChainSplitMagic",
+            &r,
+        );
+        row(&[
+            t.to_string(),
+            format!("{:.2}", r.wall_ms),
+            format!("{:.2}x", base_wall / r.wall_ms.max(f64::MIN_POSITIVE)),
+            r.probed.to_string(),
+            r.matched.to_string(),
+        ]);
     }
     report.write_default().expect("write BENCH_e1.json");
 }

@@ -6,16 +6,40 @@
 //! element) and reconstructs `U` downward. Baselines: top-down SLD (the
 //! Prolog evaluation) and bottom-up semi-naive, which cannot evaluate the
 //! functional recursion at all (reported DNF).
+//!
+//! A second table sweeps the worker thread count (1/2/4/8) on the largest
+//! list for the buffered chain-split up-sweep: wall-clock moves with the
+//! host, the work counters must not move at all (DESIGN.md §5).
+//!
+//! `table_e3 [--threads N]` sets the thread count for the main table
+//! (default: `CHAINSPLIT_THREADS` or 1).
 
 use chainsplit_bench::{append_db, header, measure, row, BenchReport};
 use chainsplit_core::Strategy;
 use chainsplit_logic::Term;
+use chainsplit_par::env_threads;
 use chainsplit_workloads::random_ints;
 
+fn arg_threads() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+            eprintln!("usage: table_e3 [--threads N]");
+            std::process::exit(2);
+        }
+    }
+    env_threads()
+}
+
 fn main() {
+    let threads = arg_threads();
     let mut report = BenchReport::new("e3");
     println!("# E3: append(U, V, W^b) — buffered chain-split vs baselines (Algorithm 3.2)");
-    println!("# |W| elements; answers = |W|+1 splits\n");
+    println!("# |W| elements; answers = |W|+1 splits");
+    println!("# threads={threads}\n");
     header(&[
         "|W|", "method", "answers", "derived", "buffered", "probed", "wall ms",
     ]);
@@ -34,6 +58,7 @@ fn main() {
                 continue;
             }
             let mut db = append_db();
+            db.set_threads(threads);
             let param = format!("|W|={len}");
             let strategy = format!("{strat:?}");
             match measure(&mut db, &q, strat) {
@@ -63,6 +88,44 @@ fn main() {
                 }
             }
         }
+    }
+
+    // Threads sweep: the buffered up-sweep partitions each level's
+    // frontier across workers. Speedup is wall-clock relative to 1 thread
+    // (host-dependent); probed/matched are asserted invariant.
+    let len = 512usize;
+    let w = Term::int_list(random_ints(len, 5));
+    let q = format!("append(U, V, {w})");
+    println!("\n# threads sweep: buffered chain-split, |W|=512");
+    header(&["threads", "wall ms", "speedup", "probed", "matched"]);
+    let mut base: Option<(f64, usize, usize)> = None;
+    for t in [1usize, 2, 4, 8] {
+        let mut db = append_db();
+        db.set_threads(t);
+        let r = measure(&mut db, &q, Strategy::ChainSplit).expect("append evaluates");
+        let (base_wall, base_probed, base_matched) =
+            *base.get_or_insert((r.wall_ms, r.probed, r.matched));
+        assert_eq!(
+            (r.probed, r.matched),
+            (base_probed, base_matched),
+            "work counters must be thread-invariant"
+        );
+        // param_value offset sorts the sweep after the main table's
+        // params, keeping the winner/crossover sequence readable.
+        report.push_run(
+            &format!("threads={t}"),
+            10_000.0 + t as f64,
+            "buffered chain-split (threads sweep)",
+            "ChainSplit",
+            &r,
+        );
+        row(&[
+            t.to_string(),
+            format!("{:.2}", r.wall_ms),
+            format!("{:.2}x", base_wall / r.wall_ms.max(f64::MIN_POSITIVE)),
+            r.probed.to_string(),
+            r.matched.to_string(),
+        ]);
     }
     report.write_default().expect("write BENCH_e3.json");
 }

@@ -40,20 +40,13 @@ fn main() {
         let sys = scsg_system(cfg);
         let q = parse_query(&format!("scsg({}, Y)", query_person(cfg))).unwrap();
         let model = CostModel::default();
+        let opts = BottomUpOptions::default();
         let weak = model.weak_linkages(&sys, &q);
         let decision = if weak.is_empty() { "follow" } else { "split" };
 
         let mut runs: Vec<(&str, _, f64, &str)> = Vec::new();
-        let (follow, t_follow) = time_ms(|| {
-            magic_eval(
-                &sys.rectified.rules,
-                &sys.edb,
-                &q,
-                &FullSip,
-                BottomUpOptions::default(),
-            )
-            .unwrap()
-        });
+        let (follow, t_follow) =
+            time_ms(|| magic_eval(&sys.rectified.rules, &sys.edb, &q, &FullSip, opts).unwrap());
         runs.push(("forced follow", follow, t_follow, ""));
         let forced: HashSet<Pred> = [Pred::new("same_country", 2)].into();
         let (split, t_split) = time_ms(|| {
@@ -62,13 +55,12 @@ fn main() {
                 &sys.edb,
                 &q,
                 &DelayPreds(forced.clone()),
-                BottomUpOptions::default(),
+                opts,
             )
             .unwrap()
         });
         runs.push(("forced split", split, t_split, ""));
-        let (auto, t_auto) =
-            time_ms(|| chain_split_magic(&sys, &q, &model, BottomUpOptions::default()).unwrap());
+        let (auto, t_auto) = time_ms(|| chain_split_magic(&sys, &q, &model, opts).unwrap());
         runs.push(("cost model (3.1)", auto, t_auto, decision));
 
         for (name, r, wall, note) in runs {
@@ -77,7 +69,7 @@ fn main() {
                 people as f64,
                 name,
                 if note.is_empty() { name } else { note },
-                &run_from_magic(&r, wall),
+                &run_from_magic(&r, wall, opts.threads),
             );
             row(&[
                 people.to_string(),

@@ -61,6 +61,9 @@ pub struct Run {
     pub rounds: usize,
     pub index_hits: usize,
     pub scans: usize,
+    /// Worker threads the run used (counters are thread-invariant; this
+    /// contextualizes `wall_ms`).
+    pub threads: usize,
 }
 
 /// Runs `query` on `db` under `strategy`, measuring wall-clock and
@@ -82,6 +85,7 @@ pub fn measure(db: &mut DeductiveDb, query: &str, strategy: Strategy) -> Result<
             rounds: o.rounds.len(),
             index_hits: o.counters.index_hits,
             scans: o.counters.scans,
+            threads: db.threads(),
         }),
         Err(e) => Err(e.to_string()),
     }
@@ -91,7 +95,7 @@ pub fn measure(db: &mut DeductiveDb, query: &str, strategy: Strategy) -> Result<
 /// [`MagicResult`](chainsplit_engine::MagicResult) (experiment E7
 /// drives `magic_eval`/`chain_split_magic` directly rather than going
 /// through [`DeductiveDb`]).
-pub fn run_from_magic(r: &chainsplit_engine::MagicResult, wall_ms: f64) -> Run {
+pub fn run_from_magic(r: &chainsplit_engine::MagicResult, wall_ms: f64, threads: usize) -> Run {
     Run {
         answers: r.answers.len(),
         wall_ms,
@@ -103,6 +107,7 @@ pub fn run_from_magic(r: &chainsplit_engine::MagicResult, wall_ms: f64) -> Run {
         rounds: r.rounds.len(),
         index_hits: r.counters.index_hits,
         scans: r.counters.scans,
+        threads,
     }
 }
 

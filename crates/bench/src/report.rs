@@ -14,11 +14,12 @@ use chainsplit_trace::json::Json;
 use std::fmt::Write as _;
 
 /// Version of the `BENCH_*.json` schema. Bump when row keys change.
-pub const BENCH_SCHEMA_VERSION: usize = 1;
+/// v2 added `threads` (worker threads the row ran with; 0 for DNF rows).
+pub const BENCH_SCHEMA_VERSION: usize = 2;
 
 /// The exact key set of one serialized row, in document order — pinned by
 /// a golden test so schema drift is deliberate.
-pub const BENCH_ROW_KEYS: [&str; 15] = [
+pub const BENCH_ROW_KEYS: [&str; 16] = [
     "param",
     "param_value",
     "method",
@@ -34,6 +35,7 @@ pub const BENCH_ROW_KEYS: [&str; 15] = [
     "rounds",
     "index_hits",
     "scans",
+    "threads",
 ];
 
 /// One measured table row.
@@ -71,6 +73,11 @@ pub struct BenchRow {
     pub index_hits: usize,
     /// `select` calls that scanned.
     pub scans: usize,
+    /// Worker threads the row ran with (0 on DNF rows). Counters are
+    /// thread-invariant by construction (DESIGN.md §5), so rows measured
+    /// at different thread counts stay counter-comparable; `threads`
+    /// contextualizes the wall-clock column.
+    pub threads: usize,
 }
 
 /// A full experiment record: what `results/BENCH_eN.json` holds.
@@ -116,6 +123,7 @@ impl BenchReport {
             rounds: r.rounds,
             index_hits: r.index_hits,
             scans: r.scans,
+            threads: r.threads,
         });
     }
 
@@ -137,6 +145,7 @@ impl BenchReport {
             rounds: 0,
             index_hits: 0,
             scans: 0,
+            threads: 0,
         });
     }
 
@@ -162,6 +171,7 @@ impl BenchReport {
                     ("rounds".into(), Json::int(r.rounds)),
                     ("index_hits".into(), Json::int(r.index_hits)),
                     ("scans".into(), Json::int(r.scans)),
+                    ("threads".into(), Json::int(r.threads)),
                 ])
             })
             .collect();
@@ -231,6 +241,7 @@ impl BenchReport {
                 rounds: n("rounds")?,
                 index_hits: n("index_hits")?,
                 scans: n("scans")?,
+                threads: n("threads")?,
             });
         }
         Ok(BenchReport { experiment, rows })
@@ -371,6 +382,9 @@ pub fn compare(old: &BenchReport, new: &BenchReport, opts: &CompareOptions) -> V
                 ("rounds", o.rounds, n.rounds),
                 ("index_hits", o.index_hits, n.index_hits),
                 ("scans", o.scans, n.scans),
+                // `threads` is deliberately absent: it is run context,
+                // like wall_ms — counters must match across thread
+                // counts, which is exactly what this check proves.
             ];
             for (name, ov, nv) in pairs {
                 if ov != nv {

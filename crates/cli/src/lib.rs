@@ -54,6 +54,10 @@ commands:
                                    ?- sg(ann, Y).
                                    :trace export run.trace.json
   :timing on|off                 toggle per-query timing + counters
+  :threads [N]                   show or set worker threads for parallel
+                                 evaluation (default: CHAINSPLIT_THREADS
+                                 or 1; answers and counters are identical
+                                 for every N)
   :constraint <body>             add an integrity constraint (denial)
   :check                         check all integrity constraints
   :save <file>                   write the loaded program to a file
@@ -151,6 +155,19 @@ impl Shell {
             "timing" => {
                 self.timing = arg == "on";
                 format!("timing: {}", if self.timing { "on" } else { "off" })
+            }
+            "threads" => {
+                if arg.is_empty() {
+                    format!("threads: {}", self.db.threads())
+                } else {
+                    match arg.parse::<usize>() {
+                        Ok(n) if n >= 1 => {
+                            self.db.set_threads(n);
+                            format!("threads: {n}")
+                        }
+                        _ => "usage: :threads <N> (N >= 1)".to_string(),
+                    }
+                }
             }
             "constraint" => match self.db.add_integrity_constraint(arg) {
                 Ok(()) => "constraint added.".to_string(),
@@ -360,6 +377,22 @@ mod tests {
         sh.process(":timing on");
         let out = sh.process("?- p(X).").0;
         assert!(out.contains("derived"), "{out}");
+    }
+
+    #[test]
+    fn threads_command() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.process(":threads 4").0, "threads: 4");
+        assert_eq!(sh.process(":threads").0, "threads: 4");
+        assert!(sh.process(":threads 0").0.starts_with("usage:"));
+        assert!(sh.process(":threads many").0.starts_with("usage:"));
+        // Queries still answer correctly with workers on.
+        sh.process("edge(a, b).");
+        sh.process("edge(b, c).");
+        sh.process("path(X, Y) :- edge(X, Y).");
+        sh.process("path(X, Y) :- edge(X, Z), path(Z, Y).");
+        let out = sh.process("?- path(a, Y).").0;
+        assert!(out.contains('b') && out.contains('c'), "{out}");
     }
 
     #[test]

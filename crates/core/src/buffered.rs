@@ -20,11 +20,19 @@
 //! up sweep threads monotone partial sums through the frontier and prunes
 //! hopeless derivations early (see `crate::partial`).
 
-use crate::solver::Solver;
+use crate::solver::{SolveOptions, Solver};
 use chainsplit_chain::{CompiledRecursion, SplitPlan};
-use chainsplit_engine::{EvalError, RoundMetrics};
+use chainsplit_engine::{Counters, EvalError, RoundMetrics};
 use chainsplit_logic::{unify, Atom, Subst, Term, Var};
-use chainsplit_relation::{FxHashMap, FxHashSet};
+use chainsplit_par::Pool;
+use chainsplit_relation::{hash::FxHasher, FxHashMap, FxHashSet};
+use std::hash::{Hash, Hasher};
+
+/// How many hash partitions each level's frontier is split into. Fixed —
+/// independent of the thread count — so partition membership, and with it
+/// every per-partition counter, is identical whether the partitions run
+/// on one thread or eight. See DESIGN.md §5.
+pub const FRONTIER_PARTITIONS: usize = 8;
 
 /// A monotone-sum guard (Algorithm 3.3): `addend` is summed along the
 /// chain; a derivation whose partial sum can no longer satisfy
@@ -100,6 +108,36 @@ struct Node {
     partials: Vec<i64>,
 }
 
+/// What one up-sweep worker returns for its frontier partition: raw
+/// (undeduplicated) exit tuples, candidate nodes, and the work its child
+/// solver did. Node and exit identity are global properties of the level,
+/// so deduplication happens at the merge, in partition order.
+struct WorkerOut {
+    exits: Vec<Vec<Term>>,
+    /// `(up_vals, out_key, partials)` per surviving derivation.
+    cands: Vec<(Vec<Term>, Vec<Term>, Vec<i64>)>,
+    counters: Counters,
+    rounds: Vec<RoundMetrics>,
+    fuel_spent: usize,
+}
+
+/// Folds a worker's counters into the parent's. Unlike [`Counters::add`]
+/// this **sums** `buffered_peak`: a nested chain-split inside a worker
+/// accumulates into the same cumulative buffer total the sequential code
+/// tracked on the one shared counter struct.
+fn merge_worker_counters(parent: &mut Counters, w: &Counters) {
+    parent.derived += w.derived;
+    parent.probed += w.probed;
+    parent.matched += w.matched;
+    parent.iterations += w.iterations;
+    parent.magic_facts += w.magic_facts;
+    parent.buffered_peak += w.buffered_peak;
+    parent.index_hits += w.index_hits;
+    parent.index_builds += w.index_builds;
+    parent.scans += w.scans;
+    parent.builtin_evals += w.builtin_evals;
+}
+
 /// Runs Algorithm 3.2 for `query` (an instance of `rec.pred`) under `plan`.
 ///
 /// Appends one substitution per answer to `out`, each extending `s` with
@@ -148,6 +186,7 @@ pub fn eval_buffered(
 
     let mut nodes_up: Vec<Vec<Node>> = Vec::new(); // nodes_up[i]: frontier_i -> frontier_{i+1}
     let mut exits: Vec<Vec<Vec<Term>>> = Vec::new(); // exits[i]: full tuples at level i
+    let pool = Pool::new(solver.opts.threads);
 
     // ---- Up sweep ----
     let up_span = chainsplit_trace::span!("up-sweep", pred = rec.pred);
@@ -163,136 +202,229 @@ pub fn eval_buffered(
             });
         }
 
-        // Exit rules against the current frontier.
+        // Partition the frontier by tuple hash — a fixed partition count,
+        // so the split (and every counter each partition accrues) does
+        // not depend on the thread count.
+        let mut parts: Vec<Vec<(Vec<Term>, Vec<i64>)>> =
+            (0..FRONTIER_PARTITIONS).map(|_| Vec::new()).collect();
+        for (t, partials) in &frontier {
+            let mut h = FxHasher::default();
+            t.hash(&mut h);
+            let slot = (h.finish() % FRONTIER_PARTITIONS as u64) as usize;
+            parts[slot].push((t.clone(), partials.clone()));
+        }
+
+        // Level-count guards (length-style constraints): when the *next*
+        // level is already hopeless, fire only the exit rules and stop
+        // generating nodes entirely. The guard reads the level number
+        // alone, so it is decided before the fan-out.
+        let do_eval = pruner.is_none_or(|p| p.admits_level(nodes_up.len() + 1));
+
+        // Each worker runs the exit rules and (when admitted) the
+        // evaluated portion for its partition on a child solver seeded
+        // with the parent's remaining fuel; nested chain-splits inside a
+        // worker run sequentially.
+        let level_id = round_span.id();
+        let sys = solver.sys;
+        let child_opts = SolveOptions {
+            threads: 1,
+            ..solver.opts
+        };
+        let fuel_left = solver.fuel_left;
+        let evaluated_atoms_ref = &evaluated_atoms;
+        let frontier_pos_ref = &frontier_pos;
+        let tasks: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .filter(|(_, part)| !part.is_empty())
+            .map(|(pi, part)| {
+                move || -> Result<WorkerOut, EvalError> {
+                    let mut worker_span = chainsplit_trace::Span::enter_cat_under(
+                        format!("worker {pi}"),
+                        "worker",
+                        level_id,
+                    );
+                    worker_span.set_attr("pred", rec.pred);
+                    worker_span.set_attr("tuples", part.len());
+                    let mut child = Solver::new(sys, child_opts);
+                    child.fuel_left = fuel_left;
+
+                    // Exit rules against this partition of the frontier.
+                    let mut raw_exits: Vec<Vec<Term>> = Vec::new();
+                    for (t, _) in part {
+                        for er in &rec.exit_rules {
+                            let mut s0 = Subst::new();
+                            let mut ok = true;
+                            for (jj, &j) in frontier_pos_ref.iter().enumerate() {
+                                if !unify(&mut s0, &er.head.args[j], &t[jj]) {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if !ok {
+                                continue;
+                            }
+                            let body: Vec<&Atom> = er.body.iter().collect();
+                            let mut sols = Vec::new();
+                            child.solve_body_dynamic(&body, &s0, depth + 1, &mut sols)?;
+                            for sol in sols {
+                                let tuple: Vec<Term> =
+                                    er.head.args.iter().map(|a| sol.resolve(a)).collect();
+                                if tuple.iter().any(|x| !x.is_ground()) {
+                                    return Err(EvalError::NotEvaluable {
+                                        atom: format!("exit answer not ground: {er}"),
+                                    });
+                                }
+                                raw_exits.push(tuple);
+                            }
+                        }
+                    }
+
+                    // Evaluated portion: one candidate per surviving
+                    // derivation (pruning is per-derivation, so it stays
+                    // in the worker; node identity is global, so the
+                    // dedup waits for the merge).
+                    let mut cands: Vec<(Vec<Term>, Vec<Term>, Vec<i64>)> = Vec::new();
+                    if do_eval {
+                        for (t, partials) in part {
+                            let mut s0 = Subst::new();
+                            for (jj, &j) in frontier_pos_ref.iter().enumerate() {
+                                let hv = rec.head_var(j);
+                                if !unify(&mut s0, &Term::Var(hv), &t[jj]) {
+                                    unreachable!("binding fresh head var cannot fail");
+                                }
+                            }
+                            let mut sols = Vec::new();
+                            child.solve_body_dynamic(
+                                evaluated_atoms_ref,
+                                &s0,
+                                depth + 1,
+                                &mut sols,
+                            )?;
+                            for sol in sols {
+                                let up_vals: Vec<Term> = plan
+                                    .up_bound
+                                    .iter()
+                                    .map(|&v| sol.resolve(&Term::Var(v)))
+                                    .collect();
+                                // Partial sums for the pruner.
+                                let mut new_partials = partials.clone();
+                                if let Some(p) = pruner {
+                                    let mut dead = false;
+                                    for (gi, g) in p.guards.iter().enumerate() {
+                                        let addend = sol.resolve(&Term::Var(g.addend));
+                                        match addend {
+                                            Term::Int(a) => new_partials[gi] += a,
+                                            _ => {
+                                                return Err(EvalError::TypeError {
+                                                    atom: format!(
+                                                        "monotone addend {} is not an integer: {addend}",
+                                                        g.addend
+                                                    ),
+                                                })
+                                            }
+                                        }
+                                        if !g.admits(new_partials[gi]) {
+                                            dead = true;
+                                        }
+                                    }
+                                    if dead || !p.admits(&new_partials) {
+                                        child.counters.probed += 1;
+                                        continue; // pruned: hopeless derivation
+                                    }
+                                }
+                                let out_key: Vec<Term> = frontier_pos_ref
+                                    .iter()
+                                    .map(|&j| sol.resolve(&rec.rec_atom().args[j]))
+                                    .collect();
+                                if out_key.iter().any(|x| !x.is_ground()) {
+                                    return Err(EvalError::NotEvaluable {
+                                        atom: format!("chain step not ground for {}", rec.pred),
+                                    });
+                                }
+                                cands.push((up_vals, out_key, new_partials));
+                            }
+                        }
+                    }
+                    Ok(WorkerOut {
+                        exits: raw_exits,
+                        cands,
+                        counters: child.counters,
+                        rounds: child.rounds,
+                        fuel_spent: fuel_left - child.fuel_left,
+                    })
+                }
+            })
+            .collect();
+        let results = pool.run(tasks).map_err(|e| EvalError::Unsupported {
+            reason: e.to_string(),
+        })?;
+
+        // Merge in partition order: counters, nested rounds, and fuel
+        // fold in; exits deduplicate globally; candidates pass through
+        // the same dedup-and-min rule the sequential code used. Every
+        // step is schedule-independent.
         let mut level_exits: Vec<Vec<Term>> = Vec::new();
         let mut seen_exit: FxHashSet<Vec<Term>> = FxHashSet::default();
-        for t in frontier.keys() {
-            for er in &rec.exit_rules {
-                let mut s0 = Subst::new();
-                let mut ok = true;
-                for (jj, &j) in frontier_pos.iter().enumerate() {
-                    if !unify(&mut s0, &er.head.args[j], &t[jj]) {
-                        ok = false;
-                        break;
-                    }
-                }
-                if !ok {
-                    continue;
-                }
-                let body: Vec<&Atom> = er.body.iter().collect();
-                let mut sols = Vec::new();
-                solver.solve_body_dynamic(&body, &s0, depth + 1, &mut sols)?;
-                for sol in sols {
-                    let tuple: Vec<Term> = er.head.args.iter().map(|a| sol.resolve(a)).collect();
-                    if tuple.iter().any(|x| !x.is_ground()) {
-                        return Err(EvalError::NotEvaluable {
-                            atom: format!("exit answer not ground: {er}"),
-                        });
-                    }
-                    if seen_exit.insert(tuple.clone()) {
-                        level_exits.push(tuple);
-                    }
+        let mut all_cands: Vec<(Vec<Term>, Vec<Term>, Vec<i64>)> = Vec::new();
+        for r in results {
+            let w = r?;
+            merge_worker_counters(&mut solver.counters, &w.counters);
+            for mut rm in w.rounds {
+                rm.round = solver.rounds.len();
+                solver.rounds.push(rm);
+            }
+            solver.fuel_left = solver.fuel_left.saturating_sub(w.fuel_spent);
+            for tuple in w.exits {
+                if seen_exit.insert(tuple.clone()) {
+                    level_exits.push(tuple);
                 }
             }
+            all_cands.extend(w.cands);
         }
         exits.push(level_exits);
 
-        // Level-count guards (length-style constraints): if the *next*
-        // level is already hopeless, stop generating nodes entirely.
-        if let Some(p) = pruner {
-            if !p.admits_level(nodes_up.len() + 1) {
-                nodes_up.push(Vec::new());
-                break;
-            }
+        if !do_eval {
+            nodes_up.push(Vec::new());
+            break;
         }
 
-        // Evaluated portion: one node per derivation.
+        // One node per distinct buffer content.
         let mut level_nodes: Vec<Node> = Vec::new();
         let mut node_index: FxHashMap<Vec<Term>, usize> = FxHashMap::default();
         let mut next_frontier: FxHashMap<Vec<Term>, Vec<i64>> = FxHashMap::default();
-        for (t, partials) in &frontier {
-            let mut s0 = Subst::new();
-            for (jj, &j) in frontier_pos.iter().enumerate() {
-                let hv = rec.head_var(j);
-                if !unify(&mut s0, &Term::Var(hv), &t[jj]) {
-                    unreachable!("binding fresh head var cannot fail");
-                }
-            }
-            let mut sols = Vec::new();
-            solver.solve_body_dynamic(&evaluated_atoms, &s0, depth + 1, &mut sols)?;
-            for sol in sols {
-                let up_vals: Vec<Term> = plan
-                    .up_bound
-                    .iter()
-                    .map(|&v| sol.resolve(&Term::Var(v)))
-                    .collect();
-                // Partial sums for the pruner.
-                let mut new_partials = partials.clone();
-                if let Some(p) = pruner {
-                    let mut dead = false;
-                    for (gi, g) in p.guards.iter().enumerate() {
-                        let addend = sol.resolve(&Term::Var(g.addend));
-                        match addend {
-                            Term::Int(a) => new_partials[gi] += a,
-                            _ => {
-                                return Err(EvalError::TypeError {
-                                    atom: format!(
-                                        "monotone addend {} is not an integer: {addend}",
-                                        g.addend
-                                    ),
-                                })
-                            }
-                        }
-                        if !g.admits(new_partials[gi]) {
-                            dead = true;
-                        }
+        for (up_vals, out_key, new_partials) in all_cands {
+            match node_index.get(&up_vals) {
+                Some(&i) => {
+                    // Same buffer content reached again: keep the
+                    // cheapest partials (same up_vals implies the same
+                    // out_key, so the frontier entry takes the min too).
+                    let n = &mut level_nodes[i];
+                    for (a, b) in n.partials.iter_mut().zip(&new_partials) {
+                        *a = (*a).min(*b);
                     }
-                    if dead || !p.admits(&new_partials) {
-                        solver.counters.probed += 1;
-                        continue; // pruned: hopeless derivation
-                    }
-                }
-                let out_key: Vec<Term> = frontier_pos
-                    .iter()
-                    .map(|&j| sol.resolve(&rec.rec_atom().args[j]))
-                    .collect();
-                if out_key.iter().any(|x| !x.is_ground()) {
-                    return Err(EvalError::NotEvaluable {
-                        atom: format!("chain step not ground for {}", rec.pred),
-                    });
-                }
-                match node_index.get(&up_vals) {
-                    Some(&i) => {
-                        // Same buffer content reached again: keep the
-                        // cheapest partials (same up_vals implies the same
-                        // out_key, so the frontier entry takes the min too).
-                        let n = &mut level_nodes[i];
-                        for (a, b) in n.partials.iter_mut().zip(&new_partials) {
+                    if let Some(ps) = next_frontier.get_mut(&out_key) {
+                        for (a, b) in ps.iter_mut().zip(&new_partials) {
                             *a = (*a).min(*b);
                         }
-                        if let Some(ps) = next_frontier.get_mut(&out_key) {
+                    }
+                }
+                None => {
+                    node_index.insert(up_vals.clone(), level_nodes.len());
+                    next_frontier
+                        .entry(out_key.clone())
+                        .and_modify(|ps| {
                             for (a, b) in ps.iter_mut().zip(&new_partials) {
                                 *a = (*a).min(*b);
                             }
-                        }
-                    }
-                    None => {
-                        node_index.insert(up_vals.clone(), level_nodes.len());
-                        next_frontier
-                            .entry(out_key.clone())
-                            .and_modify(|ps| {
-                                for (a, b) in ps.iter_mut().zip(&new_partials) {
-                                    *a = (*a).min(*b);
-                                }
-                            })
-                            .or_insert_with(|| new_partials.clone());
-                        level_nodes.push(Node {
-                            up_vals,
-                            out_key,
-                            partials: new_partials,
-                        });
-                        solver.counters.derived += 1;
-                    }
+                        })
+                        .or_insert_with(|| new_partials.clone());
+                    level_nodes.push(Node {
+                        up_vals,
+                        out_key,
+                        partials: new_partials,
+                    });
+                    solver.counters.derived += 1;
                 }
             }
         }

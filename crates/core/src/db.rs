@@ -182,6 +182,21 @@ impl DeductiveDb {
         }
     }
 
+    /// Sets the worker-thread count for every parallel evaluator (the
+    /// semi-naive fixpoint family and the buffered chain-split up-sweep).
+    /// `0` and `1` both mean sequential. Answers and work counters are
+    /// identical for every value — only wall time changes (DESIGN.md §5).
+    pub fn set_threads(&mut self, n: usize) {
+        let n = n.max(1);
+        self.solve_options.threads = n;
+        self.bottom_up_options.threads = n;
+    }
+
+    /// The worker-thread count parallel evaluators will use.
+    pub fn threads(&self) -> usize {
+        self.bottom_up_options.threads
+    }
+
     /// Loads a program fragment (facts and/or rules).
     pub fn load(&mut self, src: &str) -> Result<(), DbError> {
         let p = parse_program(src)?;

@@ -33,6 +33,10 @@ pub struct SolveOptions {
     /// Maximum chain levels per buffered evaluation (guards cyclic data,
     /// where plain counting does not terminate — see \[5\]).
     pub max_levels: usize,
+    /// Worker threads for the buffered chain-split up-sweep (1 =
+    /// sequential). Answers and work counters are identical for every
+    /// value — see DESIGN.md §5.
+    pub threads: usize,
 }
 
 impl Default for SolveOptions {
@@ -41,6 +45,7 @@ impl Default for SolveOptions {
             max_depth: 100_000,
             fuel: 100_000_000,
             max_levels: 100_000,
+            threads: chainsplit_par::env_threads(),
         }
     }
 }
@@ -54,7 +59,7 @@ pub struct Solver<'a> {
     /// chain level swept, `delta` = nodes buffered at that level (the
     /// buffered-chain size). Goal-directed resolution adds no entries.
     pub rounds: Vec<RoundMetrics>,
-    fuel_left: usize,
+    pub(crate) fuel_left: usize,
 }
 
 /// The adornment of `atom` at run time: a position is bound iff its
@@ -397,6 +402,7 @@ mod tests {
                 max_depth: 50,
                 fuel: 10_000,
                 max_levels: 100,
+                ..SolveOptions::default()
             },
         );
         assert!(solver.query(&q).is_err());

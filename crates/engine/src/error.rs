@@ -18,6 +18,10 @@ pub enum EvalError {
     FuelExceeded { limit: usize },
     /// The method does not apply to this program/query shape.
     Unsupported { reason: String },
+    /// A frontier grown from one substitution lost groundness uniformity —
+    /// the join-order planner's per-signature scoring would silently pick
+    /// a wrong order, so evaluation refuses instead.
+    NonUniformFrontier { atom: String },
 }
 
 impl fmt::Display for EvalError {
@@ -32,6 +36,12 @@ impl fmt::Display for EvalError {
             }
             EvalError::FuelExceeded { limit } => write!(f, "step budget {limit} exceeded"),
             EvalError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+            EvalError::NonUniformFrontier { atom } => {
+                write!(
+                    f,
+                    "frontier over `{atom}` lost groundness uniformity; cannot plan a join order"
+                )
+            }
         }
     }
 }

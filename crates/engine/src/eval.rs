@@ -98,6 +98,20 @@ pub fn eval_body<'a>(
     eval_frontier(body.to_vec(), vec![init], lookup, counters, true)
 }
 
+/// Like [`eval_body_frontier`], but the caller asserts the frontier is
+/// groundness-uniform (one join order serves every substitution). If it
+/// is not, evaluation refuses with [`EvalError::NonUniformFrontier`]
+/// rather than silently planning from an unrepresentative substitution —
+/// the release-mode teeth behind what used to be a `debug_assert`.
+pub fn eval_body_uniform<'a>(
+    body: &[(&Atom, AtomSource<'a>)],
+    frontier: Vec<Subst>,
+    lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
+    counters: &mut Counters,
+) -> Result<Vec<Subst>, EvalError> {
+    eval_frontier(body.to_vec(), frontier, lookup, counters, true)
+}
+
 /// Like [`eval_body`], but starting from an arbitrary set of input
 /// substitutions. Unlike a frontier grown internally from one `init`,
 /// a caller-supplied frontier may mix groundness patterns; mixed groups
@@ -151,15 +165,20 @@ fn eval_frontier<'a>(
                 .iter()
                 .any(|s| groundness_sig(&remaining, s) != sig0)
             {
-                debug_assert!(
-                    !expect_uniform,
-                    "frontier grown from one substitution lost groundness \
-                     uniformity over {:?}",
-                    remaining
-                        .iter()
-                        .map(|(a, _)| a.to_string())
-                        .collect::<Vec<_>>()
-                );
+                // A frontier grown from one substitution must stay
+                // uniform; losing uniformity means a unification bug
+                // upstream, and an assert that vanishes in release would
+                // let the planner silently pick a wrong join order. Fail
+                // loudly in every profile instead.
+                if expect_uniform {
+                    return Err(EvalError::NonUniformFrontier {
+                        atom: remaining
+                            .iter()
+                            .map(|(a, _)| a.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    });
+                }
                 let mut groups: Vec<(Vec<u64>, Vec<Subst>)> = Vec::new();
                 for s in frontier {
                     let sig = groundness_sig(&remaining, &s);
@@ -393,6 +412,33 @@ mod tests {
         // Group 2 (X free): X = 2 binds first, 2 < 3 holds -> one solution.
         assert_eq!(sols.len(), 1);
         assert_eq!(sols[0].resolve(&Term::Var(Var::named("X"))), Term::Int(2));
+    }
+
+    #[test]
+    fn non_uniform_frontier_is_a_returned_error_not_a_debug_assert() {
+        // A caller that promises uniformity but ships a mixed frontier
+        // must get a clean `NonUniformFrontier` in every build profile
+        // (this used to be a debug_assert, i.e. silent in release).
+        let db = family();
+        let mut ground_x = Subst::new();
+        ground_x.bind(Var::named("X"), Term::Int(1));
+        let free_x = Subst::new();
+
+        let lt = parse_query("X < 3").unwrap();
+        let gen = parse_query("X = 2").unwrap();
+        let body = vec![(&lt, AtomSource::Auto), (&gen, AtomSource::Auto)];
+        let mut c = Counters::default();
+        let lookup = |p: chainsplit_logic::Pred| db.relation(p);
+        let err =
+            eval_body_uniform(&body, vec![ground_x.clone(), free_x], &lookup, &mut c).unwrap_err();
+        assert!(matches!(err, EvalError::NonUniformFrontier { .. }));
+        assert!(err.to_string().contains("uniformity"));
+
+        // An actually-uniform frontier sails through the same seam.
+        let mut ground_too = Subst::new();
+        ground_too.bind(Var::named("X"), Term::Int(2));
+        let sols = eval_body_uniform(&body, vec![ground_x, ground_too], &lookup, &mut c).unwrap();
+        assert_eq!(sols.len(), 1); // only X = 2 survives `X = 2, X < 3`
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub struct BottomUpOptions {
     pub max_rounds: usize,
     /// Abort with `FuelExceeded` once this many facts have been derived.
     pub max_facts: usize,
+    /// Worker threads for the semi-naive fixpoint (1 = sequential; the
+    /// naive oracle always runs sequentially). Answers and work counters
+    /// are identical for every value — see DESIGN.md §5.
+    pub threads: usize,
 }
 
 impl Default for BottomUpOptions {
@@ -25,6 +29,7 @@ impl Default for BottomUpOptions {
         BottomUpOptions {
             max_rounds: 1_000_000,
             max_facts: 50_000_000,
+            threads: chainsplit_par::env_threads(),
         }
     }
 }
@@ -197,6 +202,7 @@ mod tests {
             BottomUpOptions {
                 max_rounds: 50,
                 max_facts: 1_000_000,
+                ..BottomUpOptions::default()
             },
         )
         .unwrap_err();

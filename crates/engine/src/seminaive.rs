@@ -14,11 +14,46 @@ use crate::error::{Counters, EvalError};
 use crate::eval::{eval_body, AtomSource};
 use crate::metrics::{duration_ms, PhaseTimings, RoundMetrics};
 use chainsplit_logic::{Pred, Rule, Subst};
-use chainsplit_relation::{Database, DeltaRelation, Tuple};
+use chainsplit_par::Pool;
+use chainsplit_relation::{Database, DeltaRelation, Relation, Tuple};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 pub use crate::naive::{BottomUpOptions, BottomUpResult};
+
+/// How many hash partitions each round's delta is split into. Fixed —
+/// independent of the thread count — so that partition membership, and
+/// therefore every per-partition work counter, is identical whether the
+/// partitions run on one thread or eight. See DESIGN.md §5.
+pub const DELTA_PARTITIONS: usize = 8;
+
+/// Columns of the delta occurrence `body[dpos]` whose variables join with
+/// the rest of the rule (other body atoms or the head). Tuples are
+/// partitioned by hashing these columns; an empty result means "hash the
+/// whole tuple", which is still a valid (if join-oblivious) partition.
+fn join_key_cols(rule: &Rule, dpos: usize) -> Vec<usize> {
+    let mut other_vars = rule.head.vars();
+    for (i, a) in rule.body.iter().enumerate() {
+        if i != dpos {
+            other_vars.extend(a.vars());
+        }
+    }
+    rule.body[dpos]
+        .args
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.vars().iter().any(|v| other_vars.contains(v)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// One schedulable piece of a fixpoint round: a delta variant of a rule
+/// restricted to one hash partition of the delta relation.
+struct Unit<'a> {
+    rule: &'a Rule,
+    dpos: usize,
+    part: Relation,
+}
 
 /// Runs semi-naive evaluation of `rules` over `edb` to fixpoint.
 pub fn seminaive_eval(
@@ -90,6 +125,7 @@ pub fn seminaive_eval(
         phases.seed_ms = duration_ms(seed_start.elapsed());
     }
 
+    let pool = Pool::new(opts.threads);
     let _fixpoint_span = chainsplit_trace::span!("fixpoint", strategy = "semi-naive");
     let fixpoint_start = Instant::now();
     loop {
@@ -104,10 +140,14 @@ pub fn seminaive_eval(
             });
         }
 
-        let mut derived: Vec<(Pred, Tuple)> = Vec::new();
+        // One unit per (rule, IDB occurrence, non-empty delta partition):
+        // that occurrence reads its partition of the delta, every other
+        // atom reads the full state. The partitioning is by hash of the
+        // join-key columns and into a fixed number of partitions, so the
+        // unit list — and every counter each unit accrues — is the same
+        // for every thread count.
+        let mut units: Vec<Unit<'_>> = Vec::new();
         for rule in &rec_rules {
-            // One variant per IDB occurrence: that occurrence reads the
-            // delta, every other atom reads the full state.
             let idb_positions: Vec<usize> = rule
                 .body
                 .iter()
@@ -120,30 +160,71 @@ pub fn seminaive_eval(
                 if delta_rel.is_empty() {
                     continue;
                 }
-                let mut tagged: Vec<(&chainsplit_logic::Atom, AtomSource)> = Vec::new();
-                // The delta occurrence leads: it is the novelty the round
-                // is about, and leading with it seeds bindings.
-                tagged.push((&rule.body[dpos], AtomSource::Fixed(delta_rel)));
-                for (i, a) in rule.body.iter().enumerate() {
-                    if i == dpos {
+                let cols = join_key_cols(rule, dpos);
+                for part in delta_rel.partition_by_hash(DELTA_PARTITIONS, &cols) {
+                    if part.is_empty() {
                         continue;
                     }
-                    match deltas.get(&a.pred) {
-                        Some(d) => tagged.push((a, AtomSource::Fixed(d.all()))),
-                        None => tagged.push((a, AtomSource::Auto)),
-                    }
-                }
-                let lookup = |p: Pred| edb.relation(p);
-                for s in eval_body(&tagged, Subst::new(), &lookup, &mut counters)? {
-                    let head = s.resolve_atom(&rule.head);
-                    if !head.is_ground() {
-                        return Err(EvalError::NotEvaluable {
-                            atom: head.to_string(),
-                        });
-                    }
-                    derived.push((head.pred, Tuple::new(head.args)));
+                    units.push(Unit { rule, dpos, part });
                 }
             }
+        }
+
+        let round_id = round_span.id();
+        let deltas_ref = &deltas;
+        let tasks: Vec<_> = units
+            .iter()
+            .enumerate()
+            .map(|(wi, u)| {
+                move || -> Result<(Vec<(Pred, Tuple)>, Counters), EvalError> {
+                    let mut worker_span = chainsplit_trace::Span::enter_cat_under(
+                        format!("worker {wi}"),
+                        "worker",
+                        round_id,
+                    );
+                    worker_span.set_attr("pred", u.rule.head.pred);
+                    worker_span.set_attr("tuples", u.part.len());
+                    let mut c = Counters::default();
+                    let mut out: Vec<(Pred, Tuple)> = Vec::new();
+                    let mut tagged: Vec<(&chainsplit_logic::Atom, AtomSource)> = Vec::new();
+                    // The delta occurrence leads: it is the novelty the
+                    // round is about, and leading with it seeds bindings.
+                    tagged.push((&u.rule.body[u.dpos], AtomSource::Fixed(&u.part)));
+                    for (i, a) in u.rule.body.iter().enumerate() {
+                        if i == u.dpos {
+                            continue;
+                        }
+                        match deltas_ref.get(&a.pred) {
+                            Some(d) => tagged.push((a, AtomSource::Fixed(d.all()))),
+                            None => tagged.push((a, AtomSource::Auto)),
+                        }
+                    }
+                    let lookup = |p: Pred| edb.relation(p);
+                    for s in eval_body(&tagged, Subst::new(), &lookup, &mut c)? {
+                        let head = s.resolve_atom(&u.rule.head);
+                        if !head.is_ground() {
+                            return Err(EvalError::NotEvaluable {
+                                atom: head.to_string(),
+                            });
+                        }
+                        out.push((head.pred, Tuple::new(head.args)));
+                    }
+                    Ok((out, c))
+                }
+            })
+            .collect();
+        let results = pool.run(tasks).map_err(|e| EvalError::Unsupported {
+            reason: e.to_string(),
+        })?;
+
+        // Merge in unit order: counters sum fieldwise and derived tuples
+        // concatenate, so the result is independent of which worker ran
+        // which unit when.
+        let mut derived: Vec<(Pred, Tuple)> = Vec::new();
+        for r in results {
+            let (out, c) = r?;
+            counters.add(&c);
+            derived.extend(out);
         }
 
         let mut inserted = 0usize;
@@ -314,6 +395,7 @@ mod tests {
             BottomUpOptions {
                 max_rounds: 1_000_000,
                 max_facts: 100,
+                ..BottomUpOptions::default()
             },
         )
         .unwrap_err();

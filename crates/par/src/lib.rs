@@ -1,0 +1,210 @@
+//! # chainsplit-par
+//!
+//! A zero-dependency scoped worker pool with **deterministic result
+//! collection**, built on `std::thread::scope` — the offline vendored-stub
+//! policy rules out rayon, and the evaluators need far less than rayon
+//! offers anyway: run a batch of independent closures, give the results
+//! back *in task order* no matter which thread finished which task when.
+//!
+//! The determinism contract is the whole point: a caller that partitions a
+//! semi-naive delta into tasks and merges the returned buffers in task
+//! order observes **bit-identical output for any thread count**, including
+//! `threads == 1` (which runs the tasks inline on the caller's thread with
+//! no spawns at all). Work counters computed inside tasks therefore sum to
+//! the same totals regardless of parallelism — the invariant the
+//! differential fuzzer in `tests/strategy_agreement.rs` enforces.
+//!
+//! ```
+//! use chainsplit_par::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let tasks: Vec<_> = (0..64).map(|i| move || i * i).collect();
+//! let squares = pool.run(tasks).unwrap();
+//! assert_eq!(squares[10], 100); // task order, not completion order
+//! ```
+//!
+//! A panicking task surfaces as a clean [`PoolError::WorkerPanicked`] —
+//! never a hang and never a poisoned lock taking the process down.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard};
+use std::thread;
+
+/// A pool failure. Tasks cannot fail on their own (they return plain
+/// values); the only failure mode is a task panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// A task panicked. `task` is the index (in submission order) of a
+    /// panicking task — the first one the pool observed. Remaining queued
+    /// tasks are abandoned, running ones finish, and all results are
+    /// dropped.
+    WorkerPanicked { task: usize },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanicked { task } => {
+                write!(f, "worker panicked evaluating task {task}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Reads the `CHAINSPLIT_THREADS` environment variable: the default
+/// thread count for every evaluator option struct. Unset, empty, or
+/// unparsable values (and `0`) fall back to `1` — parallelism is strictly
+/// opt-in.
+pub fn env_threads() -> usize {
+    std::env::var("CHAINSPLIT_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking task is reported through `PoolError`, so a poisoned
+    // mutex carries no extra information — take the data anyway.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A worker pool of a fixed thread count.
+///
+/// The pool is a lightweight handle: threads are scoped to each
+/// [`Pool::run`] call (so tasks may freely borrow from the caller's
+/// stack), and the handle itself is trivially reusable across queries.
+#[derive(Clone, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool that runs tasks on up to `threads` threads (clamped to at
+    /// least 1). `Pool::new(1)` never spawns: tasks run inline, in order,
+    /// on the caller's thread.
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task, returning their results **in task order**.
+    ///
+    /// At most `threads` tasks run concurrently (the caller's thread
+    /// participates, so `threads == n` means `n - 1` spawns). Excess tasks
+    /// queue and are picked up as workers free up, so submitting far more
+    /// tasks than threads is the normal, efficient case. An empty task
+    /// list returns an empty vector without touching a thread.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Result<Vec<T>, PoolError>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            // Inline path: same panic contract as the parallel path, no
+            // spawn overhead. This is the `threads = 1` default.
+            let mut out = Vec::with_capacity(n);
+            for (i, task) in tasks.into_iter().enumerate() {
+                match catch_unwind(AssertUnwindSafe(task)) {
+                    Ok(v) => out.push(v),
+                    Err(_) => return Err(PoolError::WorkerPanicked { task: i }),
+                }
+            }
+            return Ok(out);
+        }
+
+        let queue: Mutex<VecDeque<(usize, F)>> =
+            Mutex::new(tasks.into_iter().enumerate().collect());
+        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        let panicked: Mutex<Option<usize>> = Mutex::new(None);
+
+        let work = || loop {
+            if lock(&panicked).is_some() {
+                break; // a sibling already failed: stop draining
+            }
+            let Some((i, task)) = lock(&queue).pop_front() else {
+                break;
+            };
+            match catch_unwind(AssertUnwindSafe(task)) {
+                Ok(v) => lock(&results)[i] = Some(v),
+                Err(_) => {
+                    let mut p = lock(&panicked);
+                    *p = Some(p.map_or(i, |j| j.min(i)));
+                    break;
+                }
+            }
+        };
+
+        thread::scope(|s| {
+            for _ in 1..workers {
+                s.spawn(work);
+            }
+            work(); // the caller participates instead of blocking idle
+        });
+
+        if let Some(task) = lock(&panicked).take() {
+            return Err(PoolError::WorkerPanicked { task });
+        }
+        let collected = lock(&results)
+            .iter_mut()
+            .map(|slot| slot.take().expect("every queued task ran"))
+            .collect();
+        Ok(collected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = Pool::new(4);
+        let tasks: Vec<_> = (0..32usize).map(|i| move || i * 10).collect();
+        let out = pool.run(tasks).unwrap();
+        assert_eq!(out, (0..32usize).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run(vec![|| 7]).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn tasks_may_borrow_caller_state() {
+        let data: Vec<usize> = (0..100).collect();
+        let pool = Pool::new(3);
+        let tasks: Vec<_> = data
+            .chunks(17)
+            .map(|chunk| move || chunk.iter().sum::<usize>())
+            .collect();
+        let sums = pool.run(tasks).unwrap();
+        assert_eq!(sums.iter().sum::<usize>(), data.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn env_threads_defaults_to_one() {
+        // The test runner does not set CHAINSPLIT_THREADS.
+        if std::env::var("CHAINSPLIT_THREADS").is_err() {
+            assert_eq!(env_threads(), 1);
+        }
+    }
+}

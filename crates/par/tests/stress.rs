@@ -1,0 +1,124 @@
+//! Stress tests for the worker pool: the failure modes a fixpoint engine
+//! cannot afford — hangs, lost results, schedule-dependent output.
+
+use chainsplit_par::{Pool, PoolError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn oversubscription_64_tasks_2_threads() {
+    // Far more tasks than threads: everything still runs exactly once and
+    // lands in its own slot.
+    let ran = AtomicUsize::new(0);
+    let pool = Pool::new(2);
+    let tasks: Vec<_> = (0..64usize)
+        .map(|i| {
+            let ran = &ran;
+            move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                i * i
+            }
+        })
+        .collect();
+    let out = pool.run(tasks).unwrap();
+    assert_eq!(ran.load(Ordering::Relaxed), 64);
+    assert_eq!(out, (0..64usize).map(|i| i * i).collect::<Vec<_>>());
+}
+
+#[test]
+fn empty_partition_rounds() {
+    // A fixpoint round whose every partition is empty submits no tasks at
+    // all; the pool must return an empty result without spawning.
+    let pool = Pool::new(8);
+    for _ in 0..100 {
+        let out: Vec<usize> = pool.run(Vec::<fn() -> usize>::new()).unwrap();
+        assert!(out.is_empty());
+    }
+}
+
+#[test]
+fn panicking_worker_is_a_clean_error_not_a_hang() {
+    let pool = Pool::new(4);
+    let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+        .map(|i| {
+            Box::new(move || {
+                if i == 5 {
+                    panic!("worker blew up");
+                }
+                i
+            }) as Box<dyn FnOnce() -> usize + Send>
+        })
+        .collect();
+    let err = pool.run(tasks).unwrap_err();
+    let PoolError::WorkerPanicked { task } = err;
+    assert!(task < 16);
+    assert!(err.to_string().contains("panicked"));
+
+    // The inline path reports the panicking task precisely.
+    let sequential = Pool::new(1);
+    let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+        .map(|i| {
+            Box::new(move || {
+                if i == 5 {
+                    panic!("worker blew up");
+                }
+                i
+            }) as Box<dyn FnOnce() -> usize + Send>
+        })
+        .collect();
+    assert_eq!(
+        sequential.run(tasks).unwrap_err(),
+        PoolError::WorkerPanicked { task: 5 }
+    );
+}
+
+#[test]
+fn pool_reuse_across_queries() {
+    // One pool handle, many runs — the shape of a shell session issuing
+    // query after query. Results must stay deterministic throughout,
+    // including after a run that panicked.
+    let pool = Pool::new(4);
+    for round in 0..10usize {
+        let tasks: Vec<_> = (0..20usize).map(|i| move || round * 100 + i).collect();
+        let out = pool.run(tasks).unwrap();
+        assert_eq!(
+            out,
+            (0..20usize).map(|i| round * 100 + i).collect::<Vec<_>>()
+        );
+    }
+    let bad: Vec<Box<dyn FnOnce() -> usize + Send>> =
+        vec![Box::new(|| -> usize { panic!("transient") }) as Box<dyn FnOnce() -> usize + Send>];
+    assert!(pool.run(bad).is_err());
+    // Still usable after the panic.
+    let out = pool.run((0..8usize).map(|i| move || i + 1).collect::<Vec<_>>());
+    assert_eq!(out.unwrap(), (1..=8usize).collect::<Vec<_>>());
+}
+
+#[test]
+fn output_is_identical_for_any_thread_count() {
+    // The determinism contract, stated directly: same tasks, any thread
+    // count, same result vector.
+    let reference: Vec<u64> = Pool::new(1)
+        .run(
+            (0..50u64)
+                .map(|i| move || i.wrapping_mul(0x9e37_79b9))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+    for threads in [2, 3, 4, 8, 64] {
+        let out = Pool::new(threads)
+            .run(
+                (0..50u64)
+                    .map(|i| move || i.wrapping_mul(0x9e37_79b9))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        assert_eq!(out, reference, "thread count {threads} changed the output");
+    }
+}
+
+#[test]
+fn more_threads_than_tasks() {
+    let pool = Pool::new(32);
+    let out = pool.run(vec![|| 1, || 2]).unwrap();
+    assert_eq!(out, vec![1, 2]);
+}

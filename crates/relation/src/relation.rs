@@ -13,6 +13,7 @@ use crate::tuple::Tuple;
 use chainsplit_logic::Term;
 use parking_lot::RwLock;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 type Index = FxHashMap<Vec<Term>, Vec<usize>>;
 
@@ -142,12 +143,22 @@ impl Relation {
         }
         if self.rows.len() >= LAZY_INDEX_THRESHOLD {
             let mut indexes = self.indexes.write();
+            // Another thread may have built the index between our read
+            // probe above and taking the write lock; report what actually
+            // happened so exactly one lookup per (relation, column set)
+            // counts as a build under any schedule — the access-path
+            // counters must not depend on thread interleaving.
+            let path = if indexes.contains_key(cols) {
+                AccessPath::IndexHit
+            } else {
+                AccessPath::IndexBuild
+            };
             let index = indexes
                 .entry(cols.to_vec())
                 .or_insert_with(|| Self::build_index(&self.rows, cols));
             let ids = index.get(key).cloned().unwrap_or_default();
             return Selection::new(
-                AccessPath::IndexBuild,
+                path,
                 SelInner::Ids {
                     rows: &self.rows,
                     ids,
@@ -195,6 +206,35 @@ impl Relation {
     /// Extends with every tuple of `other`; returns how many were new.
     pub fn extend_from(&mut self, other: &Relation) -> usize {
         other.iter().filter(|t| self.insert((*t).clone())).count()
+    }
+
+    /// Splits the rows into `n` relations by the Fx hash of the
+    /// projection onto `cols` (the whole tuple when `cols` is empty).
+    ///
+    /// The assignment is a pure function of the row values, so the same
+    /// relation partitions identically on every call — the basis of the
+    /// parallel evaluators' determinism guarantee. Rows keep their
+    /// relative order within each partition. Tuples agreeing on `cols`
+    /// land in the same partition, so a join keyed on those columns can
+    /// be evaluated per-partition without cross-partition duplicates.
+    pub fn partition_by_hash(&self, n: usize, cols: &[usize]) -> Vec<Relation> {
+        let n = n.max(1);
+        let mut parts: Vec<Relation> = (0..n).map(|_| Relation::new(self.arity)).collect();
+        for row in &self.rows {
+            let mut hasher = crate::hash::FxHasher::default();
+            if cols.is_empty() {
+                for f in row.fields() {
+                    f.hash(&mut hasher);
+                }
+            } else {
+                for &c in cols {
+                    row.get(c).hash(&mut hasher);
+                }
+            }
+            let slot = (hasher.finish() % n as u64) as usize;
+            parts[slot].insert(row.clone());
+        }
+        parts
     }
 }
 
@@ -471,6 +511,78 @@ mod tests {
         let matched = sel.by_ref().count();
         assert_eq!(matched, 5);
         assert_eq!(sel.inspected(), 5);
+    }
+
+    #[test]
+    fn partition_by_hash_is_a_stable_partition() {
+        let mut r = Relation::new(2);
+        for a in 0..40 {
+            r.insert(pair(a % 7, a));
+        }
+        let parts = r.partition_by_hash(8, &[0]);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts.iter().map(Relation::len).sum::<usize>(), r.len());
+        for row in r.iter() {
+            assert_eq!(
+                parts.iter().filter(|p| p.contains(row)).count(),
+                1,
+                "{row} must land in exactly one partition"
+            );
+        }
+        // Same key column value -> same partition.
+        for key in 0..7i64 {
+            let holders: Vec<usize> = parts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.iter().any(|t| t.get(0) == &Term::Int(key)))
+                .map(|(i, _)| i)
+                .collect();
+            assert!(holders.len() <= 1, "key {key} split across {holders:?}");
+        }
+        // Deterministic across calls, and n = 0 clamps to one partition.
+        let again = r.partition_by_hash(8, &[0]);
+        for (a, b) in parts.iter().zip(&again) {
+            assert_eq!(a.rows(), b.rows());
+        }
+        let whole = r.partition_by_hash(0, &[]);
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].len(), r.len());
+    }
+
+    #[test]
+    fn concurrent_select_reports_one_build_per_column_set() {
+        // The access-path fix: when many threads race to select on a cold
+        // column set, exactly one of them may report IndexBuild; the rest
+        // must see IndexHit. Schedule-dependent counters would break the
+        // parallel evaluators' determinism contract.
+        let mut r = Relation::new(2);
+        for a in 0..(LAZY_INDEX_THRESHOLD as i64 * 2) {
+            r.insert(pair(a % 5, a));
+        }
+        let r = &r;
+        let paths: Vec<AccessPath> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    s.spawn(move || {
+                        let mut sel = r.select(&[0], &[Term::Int(i % 5)]);
+                        let _ = sel.by_ref().count();
+                        sel.path()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let builds = paths
+            .iter()
+            .filter(|&&p| p == AccessPath::IndexBuild)
+            .count();
+        assert_eq!(
+            builds, 1,
+            "exactly one select may report the build: {paths:?}"
+        );
+        assert!(paths
+            .iter()
+            .all(|&p| matches!(p, AccessPath::IndexBuild | AccessPath::IndexHit)));
     }
 
     #[test]

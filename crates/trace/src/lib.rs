@@ -112,6 +112,14 @@ pub fn span_count() -> usize {
     collector().lock().unwrap_or_else(|e| e.into_inner()).len()
 }
 
+/// Id of the innermost open span on the current thread, if any.
+pub fn current_span_id() -> Option<u64> {
+    if !is_enabled() {
+        return None;
+    }
+    STACK.with(|s| s.borrow().last().copied())
+}
+
 /// A copy of every collected record, in completion order.
 pub fn snapshot() -> Vec<SpanRecord> {
     collector()
@@ -167,6 +175,28 @@ impl Span {
             start: Instant::now(),
             attrs: Vec::new(),
         }))
+    }
+
+    /// Opens a span in an explicit category with an explicit parent id,
+    /// for spans that logically nest under a span on **another thread**
+    /// (e.g. a `worker` span under the fixpoint `round` that spawned it).
+    /// The span still joins this thread's stack so its own children nest
+    /// normally. `None` falls back to the thread-local parent.
+    pub fn enter_cat_under(
+        name: impl Into<String>,
+        cat: &'static str,
+        parent: Option<u64>,
+    ) -> Span {
+        let mut span = Span::enter_cat(name, cat);
+        if let (Some(open), Some(parent)) = (&mut span.0, parent) {
+            open.parent = Some(parent);
+        }
+        span
+    }
+
+    /// The id this span will record under, or `None` when inert.
+    pub fn id(&self) -> Option<u64> {
+        self.0.as_ref().map(|open| open.id)
     }
 
     /// Attaches an attribute (no-op when the guard is inert). Values are
@@ -292,6 +322,46 @@ mod tests {
         assert_eq!(s.cat, "access");
         assert_eq!(s.attrs.len(), 2);
         assert_eq!(s.attrs[0], ("pred", "parent/2".to_string()));
+    }
+
+    #[test]
+    fn cross_thread_parenting_with_enter_cat_under() {
+        enable();
+        let (round_id, worker_id, select_id);
+        {
+            let round = Span::enter_cat("parent-probe round", "round");
+            round_id = round.id().expect("recording span has an id");
+            let handle = std::thread::spawn(move || {
+                let worker = Span::enter_cat_under("parent-probe worker", "worker", Some(round_id));
+                let wid = worker.id().unwrap();
+                let select = Span::enter_cat("parent-probe select", "access");
+                let sid = select.id().unwrap();
+                (wid, sid)
+            });
+            (worker_id, select_id) = handle.join().unwrap();
+        }
+        disable();
+        let spans = snapshot();
+        let worker = spans.iter().find(|s| s.id == worker_id).unwrap();
+        assert_eq!(worker.parent, Some(round_id), "worker parents to the round");
+        let select = spans.iter().find(|s| s.id == select_id).unwrap();
+        assert_eq!(
+            select.parent,
+            Some(worker_id),
+            "worker's children nest on its own thread"
+        );
+        assert_ne!(
+            worker.tid,
+            spans.iter().find(|s| s.id == round_id).unwrap().tid
+        );
+    }
+
+    #[test]
+    fn inert_spans_have_no_id_and_no_current() {
+        disable();
+        let s = Span::enter_cat_under("inert-probe", "worker", Some(42));
+        assert_eq!(s.id(), None);
+        assert_eq!(current_span_id(), None);
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! Deterministic random program/EDB generation for differential fuzzing.
+//!
+//! [`gen_case`] maps a `u64` seed to a [`FuzzCase`]: a program covering one
+//! of the paper's recursion shapes plus a random EDB and a query. The
+//! generator is pure — the same seed always yields the same case on every
+//! platform — so a failing seed printed by the fuzzer is a complete
+//! reproduction recipe.
+
+use crate::{fixtures, flight_facts, lists, random_dag_edges, FlightConfig};
+use std::fmt;
+
+/// SplitMix64 (Steele et al.): a tiny, statistically solid, portable PRNG.
+/// Every stream is a pure function of the seed — exactly what a
+/// reproducible fuzzer needs, and no `rand` dependency.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n = 0` yields 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.next_u64() % n
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Which evaluation strategies a generated program can run under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrategyClass {
+    /// Every strategy applies.
+    All,
+    /// Only goal-directed resolution (auto / top-down): the program is a
+    /// functional recursion whose exit rule denotes an infinite relation,
+    /// so the set-oriented bottom-up family cannot run.
+    GoalDirected,
+    /// Only the set-oriented family (and auto, which budget-stops
+    /// gracefully): the EDB is cyclic, so plain SLD recursion diverges.
+    BottomUp,
+}
+
+/// One generated differential-fuzzing case.
+#[derive(Clone, Debug)]
+pub struct FuzzCase {
+    /// The seed that produced this case (reproduction recipe).
+    pub seed: u64,
+    /// Which program shape was generated (`sg`, `scsg`, `path`, `trip`,
+    /// `append`, `travel`).
+    pub shape: &'static str,
+    /// The rule portion of the program.
+    pub rules: String,
+    /// The EDB, one fact per entry — kept separate so a failing case can
+    /// shrink by halving the fact list.
+    pub facts: Vec<String>,
+    /// The query to pose.
+    pub query: String,
+    /// Which strategies apply to this program/EDB combination.
+    pub class: StrategyClass,
+}
+
+impl FuzzCase {
+    /// The full loadable program: rules first, then the EDB.
+    pub fn program(&self) -> String {
+        let mut src = String::from(&self.rules);
+        src.push('\n');
+        for f in &self.facts {
+            src.push_str(f);
+            src.push('\n');
+        }
+        src
+    }
+}
+
+impl fmt::Display for FuzzCase {
+    /// Corpus format: a `% query:` header line, then the program — the
+    /// same layout `tests/corpus/*.dl` files use.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "% query: {}", self.query)?;
+        writeln!(f, "% shape: {} (seed {})", self.shape, self.seed)?;
+        match self.class {
+            StrategyClass::All => {}
+            StrategyClass::GoalDirected => writeln!(f, "% strategies: goal-directed")?,
+            StrategyClass::BottomUp => writeln!(f, "% strategies: bottom-up")?,
+        }
+        write!(f, "{}", self.program())
+    }
+}
+
+/// A random acyclic `parent` forest with `sibling` pairs: facts for the
+/// `sg` / `scsg` shapes. `parent(p_i, p_j)` only for `i > j`.
+fn family_forest(rng: &mut SplitMix64, n: usize, facts: &mut Vec<String>) {
+    for i in 1..n {
+        let j = rng.below(i as u64);
+        facts.push(format!("parent(p{i}, p{j})."));
+        if rng.chance(1, 3) {
+            let k = rng.below(i as u64);
+            facts.push(format!("parent(p{i}, p{k})."));
+        }
+    }
+    for _ in 0..n.div_ceil(2) {
+        let a = rng.below(n as u64);
+        let b = rng.below(n as u64);
+        facts.push(format!("sibling(p{a}, p{b})."));
+        facts.push(format!("sibling(p{b}, p{a})."));
+    }
+}
+
+/// Maps `seed` to a deterministic random case covering the paper's
+/// program shapes.
+pub fn gen_case(seed: u64) -> FuzzCase {
+    let mut rng = SplitMix64::new(seed);
+    let shape = rng.below(6);
+    let mut facts: Vec<String> = Vec::new();
+    match shape {
+        // Same generation over a random family forest.
+        0 => {
+            let n = 3 + rng.below(20) as usize;
+            family_forest(&mut rng, n, &mut facts);
+            let probe = rng.below(n as u64);
+            FuzzCase {
+                seed,
+                shape: "sg",
+                rules: fixtures::SG.to_string(),
+                facts,
+                query: format!("sg(p{probe}, Y)"),
+                class: StrategyClass::All,
+            }
+        }
+        // Same-country same-generation: sg plus a same_country link
+        // between the two parent atoms (Example 1.2's chain).
+        1 => {
+            let n = 3 + rng.below(16) as usize;
+            family_forest(&mut rng, n, &mut facts);
+            for _ in 0..n {
+                let a = rng.below(n as u64);
+                let b = rng.below(n as u64);
+                facts.push(format!("same_country(p{a}, p{b})."));
+                facts.push(format!("same_country(p{b}, p{a})."));
+            }
+            let probe = rng.below(n as u64);
+            FuzzCase {
+                seed,
+                shape: "scsg",
+                rules: fixtures::SCSG.to_string(),
+                facts,
+                query: format!("scsg(p{probe}, Y)"),
+                class: StrategyClass::All,
+            }
+        }
+        // Transitive closure over a random DAG (sometimes with a back
+        // edge, making it cyclic — bottom-up fixpoints must still
+        // terminate, while plain SLD would diverge, so cyclic instances
+        // run the set-oriented family only).
+        2 => {
+            let n = 3 + rng.below(16) as usize;
+            for e in random_dag_edges(n, 1 + rng.below(3) as usize, rng.next_u64()) {
+                facts.push(format!("{e}."));
+            }
+            let cyclic = rng.chance(1, 3);
+            if cyclic {
+                let a = rng.below(n as u64);
+                facts.push(format!("edge(n{}, n{}).", n - 1, a));
+            }
+            let probe = rng.below(n as u64);
+            FuzzCase {
+                seed,
+                shape: "path",
+                rules: fixtures::PATH.to_string(),
+                facts,
+                query: format!("path(n{probe}, Y)"),
+                class: if cyclic {
+                    StrategyClass::BottomUp
+                } else {
+                    StrategyClass::All
+                },
+            }
+        }
+        // Weighted reachability: a mixed-groundness recursive body (two
+        // stored atoms plus an arithmetic builtin whose inputs only
+        // ground mid-join).
+        3 => {
+            let n = 3 + rng.below(10) as usize;
+            for i in 1..n {
+                let j = rng.below(i as u64);
+                let c = 1 + rng.below(9);
+                facts.push(format!("edge2(n{j}, n{i}, {c})."));
+                if rng.chance(1, 4) {
+                    let k = rng.below(i as u64);
+                    let c2 = 1 + rng.below(9);
+                    facts.push(format!("edge2(n{k}, n{i}, {c2})."));
+                }
+            }
+            let probe = rng.below(n as u64);
+            FuzzCase {
+                seed,
+                shape: "trip",
+                rules: "trip(X, Y, C) :- edge2(X, Y, C).
+trip(X, Z, C) :- edge2(X, Y, C1), trip(Y, Z, C2), plus(C1, C2, C)."
+                    .to_string(),
+                facts,
+                query: format!("trip(n{probe}, Z, C)"),
+                class: StrategyClass::All,
+            }
+        }
+        // append backwards: the functional chain-split case (§2.2).
+        4 => {
+            let len = rng.below(9) as usize;
+            let list = lists::random_list(len, rng.next_u64());
+            FuzzCase {
+                seed,
+                shape: "append",
+                rules: fixtures::APPEND.to_string(),
+                facts,
+                query: format!("append(U, V, {list})"),
+                class: StrategyClass::GoalDirected,
+            }
+        }
+        // travel with fare summing, sometimes with a pushable fare
+        // constraint (§3.3 / Algorithm 3.3).
+        _ => {
+            let cfg = FlightConfig {
+                airports: 3 + rng.below(5) as usize,
+                extra_flights: rng.below(6) as usize,
+                fare_min: 50,
+                fare_max: 400,
+                seed: rng.next_u64(),
+            };
+            for a in flight_facts(cfg) {
+                facts.push(format!("{a}."));
+            }
+            let (from, to) = crate::endpoints(cfg);
+            let base = format!("travel(L, {from}, DT, {to}, AT, F)");
+            let query = if rng.chance(1, 2) {
+                format!("{base}, F <= {}", 100 + rng.below(1500))
+            } else {
+                base
+            };
+            FuzzCase {
+                seed,
+                shape: "travel",
+                rules: fixtures::TRAVEL.to_string(),
+                facts,
+                query,
+                class: StrategyClass::GoalDirected,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..64 {
+            let a = gen_case(seed);
+            let b = gen_case(seed);
+            assert_eq!(a.program(), b.program(), "seed {seed}");
+            assert_eq!(a.query, b.query, "seed {seed}");
+            assert_eq!(a.shape, b.shape, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_shapes_appear_in_small_seed_range() {
+        let mut shapes: Vec<&str> = (0..48).map(|s| gen_case(s).shape).collect();
+        shapes.sort_unstable();
+        shapes.dedup();
+        assert_eq!(
+            shapes,
+            ["append", "path", "scsg", "sg", "travel", "trip"],
+            "every generator shape must be reachable"
+        );
+    }
+
+    #[test]
+    fn generated_programs_parse() {
+        for seed in 0..48 {
+            let case = gen_case(seed);
+            chainsplit_logic::parse_program(&case.program())
+                .unwrap_or_else(|e| panic!("seed {seed} ({}): {e}", case.shape));
+        }
+    }
+
+    #[test]
+    fn splitmix_streams_differ_by_seed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(2);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -15,10 +15,12 @@
 pub mod family;
 pub mod fixtures;
 pub mod flights;
+pub mod fuzz;
 pub mod graphs;
 pub mod lists;
 
 pub use family::{fact_count, family_facts, query_person, FamilyConfig};
 pub use flights::{endpoints, flight_facts, FlightConfig};
+pub use fuzz::{gen_case, FuzzCase, SplitMix64, StrategyClass};
 pub use graphs::{chain_edges, merged_sg_facts, random_dag_edges, tree_edges};
 pub use lists::{ascending, descending, random_ints, random_list, sorted_ints};

@@ -1,0 +1,217 @@
+//! The differential-fuzzing oracle: every applicable strategy, at every
+//! thread count, must tell the same story.
+//!
+//! For a generated [`FuzzCase`] the harness runs the query under each
+//! applicable strategy at each requested thread count and checks two
+//! invariants:
+//!
+//! 1. **Strategy agreement** — the sorted answer sets of all strategies
+//!    are identical (the classical differential oracle);
+//! 2. **Thread determinism** — for a fixed strategy, the outcome at every
+//!    thread count is *bit-identical*: the same sorted answers, the same
+//!    exact work counters (`probed`, `matched`, `derived`, …), or the
+//!    same error. This is the determinism contract of the parallel
+//!    fixpoint (DESIGN.md §5) stated as an executable property.
+//!
+//! A failing case shrinks by repeatedly halving its EDB while the failure
+//! reproduces ([`shrink_case`]), and prints as a corpus-format program
+//! with its seed — a complete reproduction recipe.
+
+use crate::core::{DbError, DeductiveDb, Strategy};
+use crate::engine::{Counters, EvalError};
+use crate::workloads::fuzz::{FuzzCase, StrategyClass};
+use std::fmt;
+
+/// All strategies: applies to function-free, acyclic cases.
+pub const ALL_STRATEGIES: [Strategy; 8] = [
+    Strategy::Auto,
+    Strategy::TopDown,
+    Strategy::Naive,
+    Strategy::SemiNaive,
+    Strategy::Magic,
+    Strategy::SupplementaryMagic,
+    Strategy::ChainSplitMagic,
+    Strategy::Tabled,
+];
+
+/// Strategies applicable to functional recursions (whose exit rules
+/// denote infinite relations, so the set-oriented family cannot run).
+pub const GOAL_DIRECTED_STRATEGIES: [Strategy; 2] = [Strategy::Auto, Strategy::TopDown];
+
+/// Strategies applicable to cyclic EDBs: the set-oriented family (whose
+/// fixpoints terminate on cycles) plus auto (whose chain-split planner
+/// budget-stops gracefully). Plain SLD recursion would diverge.
+pub const BOTTOM_UP_STRATEGIES: [Strategy; 7] = [
+    Strategy::Auto,
+    Strategy::Naive,
+    Strategy::SemiNaive,
+    Strategy::Magic,
+    Strategy::SupplementaryMagic,
+    Strategy::ChainSplitMagic,
+    Strategy::Tabled,
+];
+
+/// The strategies a case runs under.
+pub fn strategies_for(case: &FuzzCase) -> &'static [Strategy] {
+    match case.class {
+        StrategyClass::All => &ALL_STRATEGIES,
+        StrategyClass::GoalDirected => &GOAL_DIRECTED_STRATEGIES,
+        StrategyClass::BottomUp => &BOTTOM_UP_STRATEGIES,
+    }
+}
+
+/// One (strategy, threads) outcome, normalized for comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Outcome {
+    Ok {
+        answers: Vec<String>,
+        counters: Counters,
+    },
+    /// The strategy ran out of depth or fuel budget. Goal-directed SLD
+    /// legitimately diverges on cyclic recursions (no tabling), so a
+    /// budget stop is "strategy inapplicable here", not a disagreement —
+    /// but it must still be thread-deterministic.
+    Budget(String),
+    Err(String),
+}
+
+fn run_one(case: &FuzzCase, strategy: Strategy, threads: usize) -> Outcome {
+    let mut db = DeductiveDb::new();
+    if let Err(e) = db.load(&case.program()) {
+        return Outcome::Err(format!("load: {e}"));
+    }
+    db.set_threads(threads);
+    // Cyclic EDBs make the counting-based chain-split planner diverge; it
+    // budget-stops on `max_levels`. The production guard (100k levels) is
+    // needlessly slow for an oracle that only checks the stop itself is
+    // deterministic, so use a budget still far above any generated case's
+    // real chain depth.
+    db.solve_options.max_levels = 200;
+    match db.query_with(&case.query, strategy) {
+        Ok(outcome) => {
+            let mut answers: Vec<String> = outcome.answers.iter().map(|a| a.to_string()).collect();
+            answers.sort();
+            Outcome::Ok {
+                answers,
+                counters: outcome.counters,
+            }
+        }
+        Err(DbError::Eval(
+            e @ (EvalError::DepthExceeded { .. } | EvalError::FuelExceeded { .. }),
+        )) => Outcome::Budget(e.to_string()),
+        Err(e) => Outcome::Err(e.to_string()),
+    }
+}
+
+/// A verified disagreement, with everything needed to reproduce it.
+#[derive(Debug)]
+pub struct Mismatch {
+    pub seed: u64,
+    pub shape: &'static str,
+    pub detail: String,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed {} ({}): {}", self.seed, self.shape, self.detail)
+    }
+}
+
+/// Checks both oracle invariants on `case`. `threads` must be non-empty;
+/// its first entry provides the reference outcome. On success returns the
+/// number of reference answers.
+pub fn check_case(case: &FuzzCase, threads: &[usize]) -> Result<usize, Mismatch> {
+    assert!(!threads.is_empty(), "need at least one thread count");
+    let fail = |detail: String| Mismatch {
+        seed: case.seed,
+        shape: case.shape,
+        detail,
+    };
+    let mut reference: Option<(Strategy, Vec<String>)> = None;
+    for &strategy in strategies_for(case) {
+        let base = run_one(case, strategy, threads[0]);
+        // Invariant 2: bit-identical outcomes across thread counts —
+        // answers, exact counters, or the exact error.
+        for &t in &threads[1..] {
+            let other = run_one(case, strategy, t);
+            if other != base {
+                return Err(fail(format!(
+                    "{strategy} differs between threads={} and threads={t}:\n  {:?}\nvs\n  {:?}",
+                    threads[0], base, other
+                )));
+            }
+        }
+        // Invariant 1: all strategies agree on the answer set.
+        match base {
+            Outcome::Ok { answers, .. } => match &reference {
+                None => reference = Some((strategy, answers)),
+                Some((ref_strategy, ref_answers)) => {
+                    if &answers != ref_answers {
+                        return Err(fail(format!(
+                            "{strategy} disagrees with {ref_strategy}: {} vs {} answers\n{:?}\nvs\n{:?}",
+                            answers.len(),
+                            ref_answers.len(),
+                            answers,
+                            ref_answers
+                        )));
+                    }
+                }
+            },
+            Outcome::Budget(_) => {}
+            Outcome::Err(e) => {
+                return Err(fail(format!("{strategy} failed: {e}")));
+            }
+        }
+    }
+    Ok(reference.map_or(0, |(_, a)| a.len()))
+}
+
+/// Greedily shrinks a failing case by halving its EDB: keep any half on
+/// which the failure still reproduces, stop when neither half fails.
+pub fn shrink_case(case: &FuzzCase, threads: &[usize]) -> FuzzCase {
+    let mut cur = case.clone();
+    while cur.facts.len() > 1 {
+        let half = cur.facts.len() / 2;
+        let first = FuzzCase {
+            facts: cur.facts[..half].to_vec(),
+            ..cur.clone()
+        };
+        if check_case(&first, threads).is_err() {
+            cur = first;
+            continue;
+        }
+        let second = FuzzCase {
+            facts: cur.facts[half..].to_vec(),
+            ..cur.clone()
+        };
+        if check_case(&second, threads).is_err() {
+            cur = second;
+            continue;
+        }
+        break;
+    }
+    cur
+}
+
+/// Runs `count` consecutive seeds starting at `start`; on the first
+/// failure returns the shrunk case and the mismatch (boxed: the payload
+/// is cold and large relative to the hot `Ok` count).
+pub fn run_seeds(
+    start: u64,
+    count: u64,
+    threads: &[usize],
+) -> Result<u64, Box<(FuzzCase, Mismatch)>> {
+    let mut total_answers = 0u64;
+    for seed in start..start + count {
+        let case = crate::workloads::fuzz::gen_case(seed);
+        match check_case(&case, threads) {
+            Ok(n) => total_answers += n as u64,
+            Err(_) => {
+                let shrunk = shrink_case(&case, threads);
+                let m = check_case(&shrunk, threads).expect_err("shrunk case must still fail");
+                return Err(Box::new((shrunk, m)));
+            }
+        }
+    }
+    Ok(total_answers)
+}

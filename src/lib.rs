@@ -37,6 +37,8 @@
 //! assert!(!answers.is_empty());
 //! ```
 
+pub mod differential;
+
 pub use chainsplit_chain as chain;
 pub use chainsplit_core as core;
 pub use chainsplit_engine as engine;

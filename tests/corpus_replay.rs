@@ -1,0 +1,103 @@
+//! Fast, non-random replay of the minimized regression corpus.
+//!
+//! Each `tests/corpus/*.dl` file is a program the fuzzer (or a hand
+//! analysis) once minimized, with a `% query:` header naming the goal and
+//! an optional `% strategies:` header restricting which evaluation family
+//! applies. Every program replays through the same differential oracle
+//! the fuzzer uses: identical sorted answers across all applicable
+//! strategies, and bit-identical outcomes (answers *and* work counters)
+//! across thread counts 1, 2, 4 and 8.
+
+use chain_split::differential::check_case;
+use chain_split::workloads::fuzz::{FuzzCase, StrategyClass};
+use std::fs;
+use std::path::PathBuf;
+
+/// Parses the corpus format: `%`-prefixed header/comment lines (only
+/// `% query:` and `% strategies:` are significant), then the program.
+fn parse_corpus(name: &'static str, text: &str) -> FuzzCase {
+    let mut query = None;
+    let mut class = StrategyClass::All;
+    let mut body = String::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("% query:") {
+            query = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("% strategies:") {
+            class = match rest.trim() {
+                "goal-directed" => StrategyClass::GoalDirected,
+                "bottom-up" => StrategyClass::BottomUp,
+                other => panic!("{name}: unknown strategies class `{other}`"),
+            };
+        } else if line.trim_start().starts_with('%') {
+            // provenance comments
+        } else {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    FuzzCase {
+        seed: 0,
+        shape: name,
+        rules: body,
+        facts: Vec::new(),
+        query: query.unwrap_or_else(|| panic!("{name}: missing `% query:` header")),
+        class,
+    }
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("tests/corpus must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "dl"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_replays_identically_across_strategies_and_threads() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 10,
+        "regression corpus unexpectedly small: {} programs",
+        files.len()
+    );
+    for path in files {
+        let name: &'static str = Box::leak(
+            path.file_name()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned()
+                .into_boxed_str(),
+        );
+        let text = fs::read_to_string(&path).unwrap();
+        let case = parse_corpus(name, &text);
+        if let Err(m) = check_case(&case, &[1, 2, 4, 8]) {
+            panic!("corpus {name}: {m}");
+        }
+    }
+}
+
+#[test]
+fn corpus_programs_have_answers_where_expected() {
+    // Spot-check a few known answer counts so a corpus file that silently
+    // stops producing answers (rather than disagreeing) is still caught.
+    let expect = [
+        ("sg_siblings.dl", 2usize), // cain<->abel via sibling, eve via parents
+        ("path_line.dl", 4),        // n1..n4
+        ("append_splits.dl", 4),    // |list| + 1 splits
+        ("travel_fare.dl", 1),      // only f1+f2 fits the budget
+        ("sg_no_answers.dl", 0),
+    ];
+    for (file, want) in expect {
+        let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests/corpus", file]
+            .iter()
+            .collect();
+        let text = fs::read_to_string(&path).unwrap();
+        let case = parse_corpus(Box::leak(file.to_string().into_boxed_str()), &text);
+        let got = check_case(&case, &[1]).unwrap_or_else(|m| panic!("{file}: {m}"));
+        assert_eq!(got, want, "{file}: reference answer count");
+    }
+}

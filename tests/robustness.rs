@@ -54,6 +54,7 @@ fn budget_exhaustion_is_an_error_not_a_hang() {
         max_depth: 100,
         fuel: 10_000,
         max_levels: 100,
+        ..SolveOptions::default()
     };
     db.top_down_options = TopDownOptions {
         max_depth: 100,

@@ -1,22 +1,19 @@
-//! Property tests across evaluation strategies: on randomly generated
-//! workloads, every method must return the same answers, and the
-//! functional recursions must agree with native Rust implementations.
+//! Differential tests across evaluation strategies, driven by the
+//! deterministic fuzzer in [`chain_split::differential`]: on generated
+//! workloads every applicable method must return the same answers, every
+//! method must be bit-identical across thread counts (answers *and* work
+//! counters), and the functional recursions must agree with native Rust
+//! implementations.
+//!
+//! Everything here is seeded — a failure names the exact seed, and
+//! `cargo run --release --bin fuzz -- --start <seed> --seeds 1` replays
+//! and shrinks it.
 
 use chain_split::core::{DeductiveDb, Strategy as Method};
+use chain_split::differential::{check_case, shrink_case};
 use chain_split::logic::Term;
 use chain_split::workloads::fixtures;
-use proptest::prelude::*;
-
-const ALL_STRATEGIES: [Method; 8] = [
-    Method::Auto,
-    Method::TopDown,
-    Method::Naive,
-    Method::SemiNaive,
-    Method::Magic,
-    Method::SupplementaryMagic,
-    Method::ChainSplitMagic,
-    Method::Tabled,
-];
+use chain_split::workloads::fuzz::{gen_case, SplitMix64};
 
 fn sorted_answers(db: &mut DeductiveDb, q: &str, strat: Method) -> Vec<String> {
     let mut v: Vec<String> = db
@@ -30,71 +27,42 @@ fn sorted_answers(db: &mut DeductiveDb, q: &str, strat: Method) -> Vec<String> {
     v
 }
 
-/// A random acyclic parent forest plus sibling pairs.
-fn arb_family() -> impl Strategy<Value = (String, usize)> {
-    (2usize..24, any::<u64>()).prop_map(|(n, seed)| {
-        let mut src = String::new();
-        let mut s = seed;
-        let mut next = move || {
-            // xorshift: deterministic, no rand dependency needed here.
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            s
-        };
-        // parent(i, j) only for i > j keeps the data acyclic.
-        for i in 1..n {
-            let j = (next() as usize) % i;
-            src.push_str(&format!("parent(p{i}, p{j}).\n"));
-            if next() % 3 == 0 {
-                let k = (next() as usize) % i;
-                src.push_str(&format!("parent(p{i}, p{k}).\n"));
-            }
+/// The core oracle: a block of fixed fuzzer seeds, each checked across
+/// all applicable strategies at 1 and 4 threads. Any mismatch is shrunk
+/// and printed as a corpus-format reproduction before failing.
+#[test]
+fn fuzzer_seeds_agree_across_strategies_and_threads() {
+    let threads = [1, 4];
+    for seed in 0..12 {
+        let case = gen_case(seed);
+        if let Err(m) = check_case(&case, &threads) {
+            let shrunk = shrink_case(&case, &threads);
+            panic!("differential mismatch: {m}\nshrunk reproduction:\n{shrunk}");
         }
-        for _ in 0..n / 2 {
-            let a = (next() as usize) % n;
-            let b = (next() as usize) % n;
-            src.push_str(&format!("sibling(p{a}, p{b}). sibling(p{b}, p{a}).\n"));
-        }
-        (src, n)
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// All six strategies agree on sg over random families.
-    #[test]
-    fn sg_strategies_agree((facts, n) in arb_family(), probe in 0usize..24) {
-        let mut db = DeductiveDb::new();
-        db.load(fixtures::SG).unwrap();
-        db.load(&facts).unwrap();
-        let q = format!("sg(p{}, Y)", probe % n);
-        let reference = sorted_answers(&mut db, &q, Method::Auto);
-        for strat in ALL_STRATEGIES {
-            prop_assert_eq!(&sorted_answers(&mut db, &q, strat), &reference, "{}", strat);
+/// Thread-count sweep on a smaller seed block: outcomes must be
+/// bit-identical at 1, 2, 4 and 8 threads (the acceptance sweep).
+#[test]
+fn fuzzer_seeds_are_deterministic_across_full_thread_sweep() {
+    let threads = [1, 2, 4, 8];
+    for seed in 0..6 {
+        let case = gen_case(seed);
+        if let Err(m) = check_case(&case, &threads) {
+            let shrunk = shrink_case(&case, &threads);
+            panic!("differential mismatch: {m}\nshrunk reproduction:\n{shrunk}");
         }
     }
+}
 
-    /// path over random DAG edges: bottom-up, magic and chain-split agree.
-    #[test]
-    fn path_strategies_agree(n in 2usize..20, seed in any::<u64>(), probe in 0usize..20) {
-        let mut db = DeductiveDb::new();
-        db.load(fixtures::PATH).unwrap();
-        for e in chain_split::workloads::random_dag_edges(n, 2, seed) {
-            db.add_fact(e);
-        }
-        let q = format!("path(n{}, Y)", probe % n);
-        let reference = sorted_answers(&mut db, &q, Method::SemiNaive);
-        for strat in ALL_STRATEGIES {
-            prop_assert_eq!(&sorted_answers(&mut db, &q, strat), &reference, "{}", strat);
-        }
-    }
-
-    /// isort and qsort agree with Rust's sort, under both chain-split and
-    /// top-down evaluation.
-    #[test]
-    fn sorting_agrees_with_native(data in prop::collection::vec(0i64..100, 0..24)) {
+/// isort and qsort agree with Rust's sort, under both chain-split and
+/// top-down evaluation, on deterministic random lists.
+#[test]
+fn sorting_agrees_with_native() {
+    let mut rng = SplitMix64::new(0xBAD5EED);
+    for len in [0usize, 1, 2, 5, 9, 14] {
+        let data: Vec<i64> = (0..len).map(|_| rng.below(100) as i64).collect();
         let mut db = DeductiveDb::new();
         db.load(fixtures::ISORT).unwrap();
         db.load(fixtures::QSORT).unwrap();
@@ -105,16 +73,20 @@ proptest! {
         for q in [format!("isort({list}, Ys)"), format!("qsort({list}, Ys)")] {
             for strat in [Method::Auto, Method::TopDown] {
                 let a = sorted_answers(&mut db, &q, strat);
-                prop_assert_eq!(a.len(), 1, "{} {}", strat, q);
-                prop_assert_eq!(&a[0], &expected, "{} {}", strat, q);
+                assert_eq!(a.len(), 1, "{strat} {q}");
+                assert_eq!(a[0], expected, "{strat} {q}");
             }
         }
     }
+}
 
-    /// append backwards enumerates exactly the n+1 splits, agreeing with
-    /// the native computation, under chain-split and top-down.
-    #[test]
-    fn append_splits_agree(data in prop::collection::vec(0i64..100, 0..16)) {
+/// append backwards enumerates exactly the n+1 splits, agreeing with the
+/// native computation, under chain-split and top-down.
+#[test]
+fn append_splits_agree() {
+    let mut rng = SplitMix64::new(0xA99E17D);
+    for len in [0usize, 1, 3, 7, 12] {
+        let data: Vec<i64> = (0..len).map(|_| rng.below(100) as i64).collect();
         let mut db = DeductiveDb::new();
         db.load(fixtures::APPEND).unwrap();
         let list = Term::int_list(data.clone());
@@ -133,16 +105,18 @@ proptest! {
             v
         };
         for strat in [Method::Auto, Method::TopDown] {
-            prop_assert_eq!(&sorted_answers(&mut db, &q, strat), &expected, "{}", strat);
+            assert_eq!(sorted_answers(&mut db, &q, strat), expected, "{strat}");
         }
     }
+}
 
-    /// append forward agrees with native concatenation.
-    #[test]
-    fn append_forward_agrees(
-        a in prop::collection::vec(0i64..100, 0..12),
-        b in prop::collection::vec(0i64..100, 0..12),
-    ) {
+/// append forward agrees with native concatenation.
+#[test]
+fn append_forward_agrees() {
+    let mut rng = SplitMix64::new(0xF02AD);
+    for (la, lb) in [(0usize, 0usize), (0, 4), (4, 0), (3, 5), (8, 8)] {
+        let a: Vec<i64> = (0..la).map(|_| rng.below(100) as i64).collect();
+        let b: Vec<i64> = (0..lb).map(|_| rng.below(100) as i64).collect();
         let mut db = DeductiveDb::new();
         db.load(fixtures::APPEND).unwrap();
         let mut cat = a.clone();
@@ -150,26 +124,25 @@ proptest! {
         let q = format!("append({}, {}, W)", Term::int_list(a), Term::int_list(b));
         let expected = vec![format!("W = {}", Term::int_list(cat))];
         for strat in [Method::Auto, Method::TopDown] {
-            prop_assert_eq!(&sorted_answers(&mut db, &q, strat), &expected, "{}", strat);
+            assert_eq!(sorted_answers(&mut db, &q, strat), expected, "{strat}");
         }
     }
+}
 
-    /// Constraint pushing never changes answers: travel with a pushed fare
-    /// bound equals travel filtered after the fact.
-    #[test]
-    fn constraint_pushing_preserves_answers(
-        airports in 3usize..8,
-        extra in 0usize..6,
-        seed in any::<u64>(),
-        budget in 0i64..2000,
-    ) {
+/// Constraint pushing never changes answers: travel with a pushed fare
+/// bound equals travel filtered after the fact.
+#[test]
+fn constraint_pushing_preserves_answers() {
+    let mut rng = SplitMix64::new(0x7EAFE11E);
+    for _ in 0..6 {
         let cfg = chain_split::workloads::FlightConfig {
-            airports,
-            extra_flights: extra,
+            airports: 3 + rng.below(5) as usize,
+            extra_flights: rng.below(6) as usize,
             fare_min: 50,
             fare_max: 400,
-            seed,
+            seed: rng.next_u64(),
         };
+        let budget = (100 + rng.below(1500)) as i64;
         let mut db = DeductiveDb::new();
         db.load(fixtures::TRAVEL).unwrap();
         for f in chain_split::workloads::flight_facts(cfg) {
@@ -184,8 +157,7 @@ proptest! {
                 .iter()
                 .filter(|a| {
                     a.bindings.iter().any(|(var, t)| {
-                        var.name.as_str() == "F"
-                            && matches!(t, Term::Int(f) if *f <= budget)
+                        var.name.as_str() == "F" && matches!(t, Term::Int(f) if *f <= budget)
                     })
                 })
                 .map(|a| a.to_string())
@@ -194,11 +166,7 @@ proptest! {
             v
         };
         // Pushed-constraint answers.
-        let constrained = sorted_answers(
-            &mut db,
-            &format!("{base}, F <= {budget}"),
-            Method::Auto,
-        );
-        prop_assert_eq!(constrained, expected);
+        let constrained = sorted_answers(&mut db, &format!("{base}, F <= {budget}"), Method::Auto);
+        assert_eq!(constrained, expected, "cfg {cfg:?} budget {budget}");
     }
 }
