@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices DESIGN.md §7 calls out:
+//! Ablation benches for the design choices DESIGN.md §8 calls out:
 //! index-backed vs scan joins, the pointer-shortcut term equality, and
 //! semi-naive vs naive differentiation.
 

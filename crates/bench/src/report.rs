@@ -13,9 +13,16 @@ use crate::Run;
 use chainsplit_trace::json::Json;
 use std::fmt::Write as _;
 
-/// Version of the `BENCH_*.json` schema. Bump when row keys change.
+/// Version of the `BENCH_*.json` schema. Bump when row keys change *or*
+/// when the meaning of a recorded counter changes (old baselines stop
+/// being comparable either way).
 /// v2 added `threads` (worker threads the row ran with; 0 for DNF rows).
-pub const BENCH_SCHEMA_VERSION: usize = 2;
+/// v3 kept the key set but changed counter semantics: under the
+/// frontier-at-a-time executor (DESIGN.md §6), `probed`, `index_hits` and
+/// `scans` count *physical* probes — one per distinct key per join step —
+/// while `matched` stays per substitution-tuple pair, so `matched` may
+/// exceed `probed`.
+pub const BENCH_SCHEMA_VERSION: usize = 3;
 
 /// The exact key set of one serialized row, in document order — pinned by
 /// a golden test so schema drift is deliberate.

@@ -12,7 +12,39 @@
 use crate::builtins::{eval_builtin, is_builtin_atom, BuiltinOutcome};
 use crate::error::{Counters, EvalError};
 use chainsplit_logic::{unify, Atom, Pred, Subst, Term};
-use chainsplit_relation::Relation;
+use chainsplit_relation::{FxHashMap, Relation};
+
+/// Test-only escape hatch back to the per-substitution executor.
+///
+/// The differential oracle re-runs every generated program through the
+/// pre-frontier join loop and demands identical sorted answers; nothing
+/// else should ever flip this. The flag is thread-local, so it only
+/// affects evaluation on the calling thread — callers must pin
+/// `threads = 1` (the pool's inline path) for it to cover a whole run.
+#[doc(hidden)]
+pub mod legacy {
+    use std::cell::Cell;
+
+    thread_local! {
+        static PER_SUBSTITUTION: Cell<bool> = const { Cell::new(false) };
+    }
+
+    pub(crate) fn forced() -> bool {
+        PER_SUBSTITUTION.with(Cell::get)
+    }
+
+    /// Runs `f` with the per-substitution executor forced on this thread.
+    pub fn with_per_substitution<R>(f: impl FnOnce() -> R) -> R {
+        struct Reset(bool);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                PER_SUBSTITUTION.with(|c| c.set(self.0));
+            }
+        }
+        let _reset = Reset(PER_SUBSTITUTION.with(|c| c.replace(true)));
+        f()
+    }
+}
 
 /// Extends `out` with every extension of `s` matching `atom` against `rel`.
 ///
@@ -66,6 +98,90 @@ pub fn match_relation(
     // index saves, and the probed/matched gap is how EXPLAIN ANALYZE
     // shows it.
     counters.probed += sel.inspected();
+}
+
+/// Extends every substitution of a groundness-uniform `frontier` through
+/// `atom` against `rel` — the frontier-at-a-time join step.
+///
+/// Where [`match_relation`] pays one `select` per substitution, this pays
+/// one per *distinct* probe key: the frontier is projected onto the atom's
+/// bound columns (computed once — uniformity makes `frontier[0]`
+/// representative), each distinct key is probed once and its matches
+/// cached, and every substitution then streams against its cached bucket.
+/// Magic and chain-split frontiers repeat keys heavily, so the memo turns
+/// O(|frontier|) physical lookups into O(|distinct keys|).
+///
+/// Counter semantics follow the physical work: `probed` and the
+/// access-path counters advance once per distinct key (so `matched` may
+/// exceed `probed` when substitutions share buckets), while `matched`
+/// stays one per surviving (substitution, tuple) pair.
+pub fn match_relation_frontier(
+    rel: &Relation,
+    atom: &Atom,
+    frontier: &[Subst],
+    counters: &mut Counters,
+    out: &mut Vec<Subst>,
+) {
+    let Some(probe) = frontier.first() else {
+        return;
+    };
+    // Bound columns under the (uniform) frontier; the rest unify per tuple.
+    let mut cols: Vec<usize> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    for (i, arg) in atom.args.iter().enumerate() {
+        if probe.is_ground(arg) {
+            cols.push(i);
+        } else {
+            free.push(i);
+        }
+    }
+    // Probe memo: distinct key -> the tuples it selected. Buckets hold
+    // borrowed tuples; draining the selection inside the miss arm keeps
+    // the index read lock scoped to the physical probe.
+    let mut memo: FxHashMap<Vec<Term>, Vec<&chainsplit_relation::Tuple>> = FxHashMap::default();
+    let mut key_buf: Vec<Term> = Vec::with_capacity(cols.len());
+    for s in frontier {
+        key_buf.clear();
+        for &c in &cols {
+            key_buf.push(s.resolve(&atom.args[c]));
+        }
+        if !memo.contains_key(&key_buf) {
+            let mut sel = rel.select(&cols, &key_buf);
+            counters.record_path(sel.path());
+            let mut select_span = chainsplit_trace::Span::enter_cat("select", "access");
+            if select_span.is_recording() {
+                use chainsplit_relation::AccessPath;
+                select_span.set_attr("pred", atom.pred);
+                select_span.set_attr(
+                    "path",
+                    match sel.path() {
+                        AccessPath::IndexHit => "index_hit",
+                        AccessPath::IndexBuild => "index_build",
+                        AccessPath::KeyScan => "key_scan",
+                        AccessPath::FullScan => "full_scan",
+                    },
+                );
+            }
+            let bucket: Vec<_> = sel.by_ref().collect();
+            counters.probed += sel.inspected();
+            drop(sel);
+            memo.insert(key_buf.clone(), bucket);
+        }
+        let bucket = &memo[&key_buf];
+        for &tuple in bucket {
+            // `select` already guarantees equality on the bound columns,
+            // and tuple fields are ground — only the free positions need
+            // unification, against a copy-on-write fork of `s`.
+            let mut s2 = s.clone();
+            let ok = free
+                .iter()
+                .all(|&i| unify(&mut s2, &atom.args[i], &tuple.fields()[i]));
+            if ok {
+                counters.matched += 1;
+                out.push(s2);
+            }
+        }
+    }
 }
 
 /// Where a body atom finds its tuples.
@@ -243,30 +359,41 @@ fn eval_frontier<'a>(
         };
         let (atom, src) = remaining.remove(k);
         let mut next = Vec::new();
-        for s in &frontier {
-            match src {
-                AtomSource::Fixed(rel) => match_relation(rel, atom, s, counters, &mut next),
-                AtomSource::Auto => match eval_builtin(atom, s)? {
-                    Some(BuiltinOutcome::Solutions(sols)) => {
-                        counters.builtin_evals += 1;
-                        // At least one probe even when a filtering builtin
-                        // rejects the substitution outright.
-                        counters.probed += sols.len().max(1);
-                        counters.matched += sols.len();
-                        next.extend(sols);
-                    }
-                    Some(BuiltinOutcome::NotEvaluable) => {
-                        return Err(EvalError::NotEvaluable {
-                            atom: s.resolve_atom(atom).to_string(),
-                        })
-                    }
-                    None => {
-                        if let Some(rel) = lookup(atom.pred) {
-                            match_relation(rel, atom, s, counters, &mut next);
+        let stored: Option<&Relation> = match src {
+            AtomSource::Fixed(rel) => Some(rel),
+            AtomSource::Auto if is_builtin_atom(atom) => {
+                // Builtins are procedural and per-substitution by nature:
+                // every frontier member evaluates (and counts) on its own.
+                for s in &frontier {
+                    match eval_builtin(atom, s)? {
+                        Some(BuiltinOutcome::Solutions(sols)) => {
+                            counters.builtin_evals += 1;
+                            // At least one probe even when a filtering
+                            // builtin rejects the substitution outright.
+                            counters.probed += sols.len().max(1);
+                            counters.matched += sols.len();
+                            next.extend(sols);
                         }
-                        // No relation: empty extension, no matches.
+                        Some(BuiltinOutcome::NotEvaluable) => {
+                            return Err(EvalError::NotEvaluable {
+                                atom: s.resolve_atom(atom).to_string(),
+                            })
+                        }
+                        None => unreachable!("is_builtin_atom admitted {atom}"),
                     }
-                },
+                }
+                None
+            }
+            // No relation: empty extension, no matches.
+            AtomSource::Auto => lookup(atom.pred),
+        };
+        if let Some(rel) = stored {
+            if legacy::forced() {
+                for s in &frontier {
+                    match_relation(rel, atom, s, counters, &mut next);
+                }
+            } else {
+                match_relation_frontier(rel, atom, &frontier, counters, &mut next);
             }
         }
         frontier = next;
@@ -351,8 +478,6 @@ mod tests {
         assert!(c.probed > 0);
         assert!(c.matched > 0);
         assert!(c.builtin_evals > 0);
-        // Every match was inspected first.
-        assert!(c.probed >= c.matched);
     }
 
     #[test]
@@ -478,6 +603,75 @@ mod tests {
         assert_eq!(
             sols[0].resolve(&Term::Var(Var::named("Y"))),
             Term::sym("cain")
+        );
+    }
+
+    #[test]
+    fn frontier_executor_matches_legacy_and_memoizes_probes() {
+        // Same frontier through both executors: identical solutions in
+        // identical order, identical `matched`, but the frontier executor
+        // pays one physical probe per *distinct* key (2 here) where the
+        // legacy loop pays one per substitution (3).
+        let db = family();
+        let rel = db
+            .relation(chainsplit_logic::Pred::new("parent", 2))
+            .unwrap();
+        let atom = parse_query("parent(P, X)").unwrap();
+        let frontier: Vec<Subst> = [("adam", 1), ("eve", 2), ("adam", 3)]
+            .iter()
+            .map(|&(p, q)| {
+                let mut s = Subst::new();
+                s.bind(Var::named("P"), Term::sym(p));
+                s.bind(Var::named("Q"), Term::Int(q));
+                s
+            })
+            .collect();
+
+        let mut new_out = Vec::new();
+        let mut new_c = Counters::default();
+        match_relation_frontier(rel, &atom, &frontier, &mut new_c, &mut new_out);
+
+        let mut old_out = Vec::new();
+        let mut old_c = Counters::default();
+        for s in &frontier {
+            match_relation(rel, &atom, s, &mut old_c, &mut old_out);
+        }
+
+        assert_eq!(new_out, old_out);
+        assert_eq!(new_out.len(), 6); // 3 substitutions x 2 children each
+        assert_eq!(new_c.matched, old_c.matched);
+        // 4-row relation scans: 2 distinct keys x 4 rows vs 3 probes x 4.
+        assert_eq!(new_c.probed, 8);
+        assert_eq!(old_c.probed, 12);
+        assert_eq!(new_c.scans, 2);
+        assert_eq!(old_c.scans, 3);
+    }
+
+    #[test]
+    fn legacy_seam_forces_per_substitution_joins() {
+        // End-to-end: the same body evaluates to the same solutions under
+        // the seam, while the probe counters reveal which executor ran.
+        let db = family();
+        let body = vec![
+            parse_query("parent(P, X)").unwrap(),
+            parse_query("parent(P, Y)").unwrap(),
+        ];
+        let lookup = |p: chainsplit_logic::Pred| db.relation(p);
+        let mut new_c = Counters::default();
+        let new_sols = eval_body_auto(&body, Subst::new(), &lookup, &mut new_c).unwrap();
+        let (old_sols, old_c) = legacy::with_per_substitution(|| {
+            let mut c = Counters::default();
+            let sols = eval_body_auto(&body, Subst::new(), &lookup, &mut c).unwrap();
+            (sols, c)
+        });
+        assert_eq!(new_sols, old_sols);
+        assert_eq!(new_c.matched, old_c.matched);
+        // Second atom: 4 substitutions but only 2 distinct P keys.
+        assert!(
+            new_c.probed < old_c.probed,
+            "{} vs {}",
+            new_c.probed,
+            old_c.probed
         );
     }
 

@@ -33,8 +33,8 @@ pub mod topdown;
 pub use builtins::{eval_builtin, is_builtin_atom, BuiltinOutcome};
 pub use error::{Counters, EvalError};
 pub use eval::{
-    eval_body, eval_body_auto, eval_body_frontier, eval_body_uniform, match_relation, unify_filter,
-    AtomSource,
+    eval_body, eval_body_auto, eval_body_frontier, eval_body_uniform, match_relation,
+    match_relation_frontier, unify_filter, AtomSource,
 };
 pub use magic::{
     magic_eval, magic_transform, DelayPreds, FullSip, MagicProgram, MagicResult, SipStrategy,

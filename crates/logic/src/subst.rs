@@ -4,6 +4,18 @@
 //! may itself contain bound variables, and [`Subst::resolve`] chases the
 //! chains. This is the standard representation for unification-based
 //! evaluation — binding is O(1) and chains are short in practice.
+//!
+//! # Copy-on-write layering
+//!
+//! The frontier-at-a-time executor forks every surviving substitution once
+//! per matching tuple, so `clone` must be O(1): a `Subst` is a chain of
+//! immutable layers behind `Arc`s, and cloning copies one pointer.
+//! [`Subst::bind`] mutates the head layer in place when this `Subst` is the
+//! only owner ([`Arc::get_mut`]), and otherwise pushes a fresh layer that
+//! shadows nothing (unification never rebinds). Lookup walks the chain, so
+//! chains are capped: once a fork would exceed `MAX_LAYER_DEPTH` layers
+//! the chain is flattened into a single map, keeping lookup O(small
+//! constant) even under the top-down solver's deep recursion.
 
 use crate::atom::Atom;
 use crate::term::{Term, Var};
@@ -11,10 +23,92 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+/// Longest layer chain before [`Subst::bind`] flattens into one map.
+///
+/// Forks are cheap but every layer adds a probe to the unbound-lookup
+/// path; eight keeps worst-case lookup small while still letting the hot
+/// fork-bind-fork pattern of frontier evaluation stay allocation-light.
+const MAX_LAYER_DEPTH: usize = 8;
+
+/// Bindings per layer before its entries upgrade from a linear vector to
+/// a hash map. Rule bodies bind a handful of variables, so the common
+/// fork-and-bind layer is a one-entry vector — cheaper to allocate and to
+/// probe than any hash table; only the top-down solver's deep recursions
+/// grow past this.
+const SMALL_LAYER: usize = 16;
+
+/// One layer's own bindings: linear below [`SMALL_LAYER`], hashed above.
+#[derive(Debug)]
+enum Entries {
+    Small(Vec<(Var, Term)>),
+    Large(HashMap<Var, Term>),
+}
+
+impl Entries {
+    fn get(&self, v: Var) -> Option<&Term> {
+        match self {
+            Entries::Small(items) => items.iter().find(|(u, _)| *u == v).map(|(_, t)| t),
+            Entries::Large(map) => map.get(&v),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Entries::Small(items) => items.len(),
+            Entries::Large(map) => map.len(),
+        }
+    }
+
+    /// Inserts a binding known not to be present (the no-rebind contract),
+    /// upgrading to a map when the linear vector stops being cheap.
+    fn insert_new(&mut self, v: Var, t: Term) {
+        match self {
+            Entries::Small(items) => {
+                if items.len() < SMALL_LAYER {
+                    items.push((v, t));
+                } else {
+                    let mut map: HashMap<Var, Term> = items.drain(..).collect();
+                    map.insert(v, t);
+                    *self = Entries::Large(map);
+                }
+            }
+            Entries::Large(map) => {
+                map.insert(v, t);
+            }
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (Var, &Term)> {
+        let small = match self {
+            Entries::Small(items) => Some(items.iter().map(|(v, t)| (*v, t))),
+            Entries::Large(_) => None,
+        };
+        let large = match self {
+            Entries::Small(_) => None,
+            Entries::Large(map) => Some(map.iter().map(|(v, t)| (*v, t))),
+        };
+        small
+            .into_iter()
+            .flatten()
+            .chain(large.into_iter().flatten())
+    }
+}
+
+/// One immutable block of bindings. `count`/`depth` are cumulative over the
+/// whole chain hanging off `parent`, so `len` and the flatten decision are
+/// O(1).
+#[derive(Debug)]
+struct Layer {
+    entries: Entries,
+    parent: Option<Arc<Layer>>,
+    count: usize,
+    depth: usize,
+}
+
 /// A set of variable bindings.
-#[derive(Clone, Default, PartialEq, Eq)]
+#[derive(Clone, Default)]
 pub struct Subst {
-    map: HashMap<Var, Term>,
+    head: Option<Arc<Layer>>,
 }
 
 impl Subst {
@@ -23,30 +117,82 @@ impl Subst {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.head.as_deref().map_or(0, |l| l.count)
     }
 
     /// Binds `v` to `t`. Panics in debug builds if `v` is already bound —
     /// unification never rebinds.
     pub fn bind(&mut self, v: Var, t: Term) {
-        let prev = self.map.insert(v, t);
-        debug_assert!(prev.is_none(), "variable {v} bound twice");
+        debug_assert!(self.lookup(v).is_none(), "variable {v} bound twice");
+        match &mut self.head {
+            None => {
+                self.head = Some(Arc::new(Layer {
+                    entries: Entries::Small(vec![(v, t)]),
+                    parent: None,
+                    count: 1,
+                    depth: 1,
+                }));
+            }
+            Some(arc) => {
+                if let Some(layer) = Arc::get_mut(arc) {
+                    // Sole owner: extend in place, no new layer.
+                    layer.entries.insert_new(v, t);
+                    layer.count += 1;
+                } else if arc.depth >= MAX_LAYER_DEPTH {
+                    // Shared and already deep: flatten the chain so lookup
+                    // cost stays bounded no matter how often we fork.
+                    let count = arc.count + 1;
+                    let mut entries = if count <= SMALL_LAYER {
+                        Entries::Small(Vec::with_capacity(count))
+                    } else {
+                        Entries::Large(HashMap::with_capacity(count))
+                    };
+                    flatten_into(arc, &mut entries);
+                    entries.insert_new(v, t);
+                    let count = entries.len();
+                    self.head = Some(Arc::new(Layer {
+                        entries,
+                        parent: None,
+                        count,
+                        depth: 1,
+                    }));
+                } else {
+                    // Shared: push a one-binding layer over the shared tail.
+                    let parent = Arc::clone(arc);
+                    let count = parent.count + 1;
+                    let depth = parent.depth + 1;
+                    self.head = Some(Arc::new(Layer {
+                        entries: Entries::Small(vec![(v, t)]),
+                        parent: Some(parent),
+                        count,
+                        depth,
+                    }));
+                }
+            }
+        }
     }
 
     /// The direct binding of `v`, if any (no chain chasing).
     pub fn lookup(&self, v: Var) -> Option<&Term> {
-        self.map.get(&v)
+        let mut cur = self.head.as_deref();
+        while let Some(l) = cur {
+            if let Some(t) = l.entries.get(v) {
+                return Some(t);
+            }
+            cur = l.parent.as_deref();
+        }
+        None
     }
 
     /// Follows binding chains from `t` until reaching a non-variable term or
     /// an unbound variable. Does not descend into sub-terms.
     pub fn walk<'a>(&'a self, mut t: &'a Term) -> &'a Term {
         while let Term::Var(v) = t {
-            match self.map.get(v) {
+            match self.lookup(*v) {
                 Some(next) => t = next,
                 None => break,
             }
@@ -89,8 +235,22 @@ impl Subst {
     }
 
     /// Iterates over the raw (triangular) bindings.
+    ///
+    /// Collects once up front: layers can be shared with substitutions that
+    /// kept binding, and yielding newest-layer-first with de-duplication is
+    /// simpler (and cold — display/tests only) than a lazy walk.
     pub fn iter(&self) -> impl Iterator<Item = (Var, &Term)> {
-        self.map.iter().map(|(v, t)| (*v, t))
+        let mut out: Vec<(Var, &Term)> = Vec::with_capacity(self.len());
+        let mut cur = self.head.as_deref();
+        while let Some(l) = cur {
+            for (v, t) in l.entries.iter() {
+                if !out.iter().any(|&(seen, _)| seen == v) {
+                    out.push((v, t));
+                }
+            }
+            cur = l.parent.as_deref();
+        }
+        out.into_iter()
     }
 
     /// Restricts the substitution to fully-resolved bindings for `vars` —
@@ -101,6 +261,31 @@ impl Subst {
             .collect()
     }
 }
+
+/// Copies every binding of `layer`'s chain into `out`, oldest layer first
+/// (no layer ever shadows another — the no-rebind contract).
+fn flatten_into(layer: &Layer, out: &mut Entries) {
+    if let Some(parent) = &layer.parent {
+        flatten_into(parent, out);
+    }
+    for (v, t) in layer.entries.iter() {
+        out.insert_new(v, t.clone());
+    }
+}
+
+/// Map equality: layering is an implementation detail, two substitutions
+/// are equal iff they bind the same variables to equal terms.
+impl PartialEq for Subst {
+    fn eq(&self, other: &Subst) -> bool {
+        match (&self.head, &other.head) {
+            (None, None) => true,
+            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => true,
+            _ => self.len() == other.len() && self.iter().all(|(v, t)| other.lookup(v) == Some(t)),
+        }
+    }
+}
+
+impl Eq for Subst {}
 
 impl fmt::Display for Subst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -184,5 +369,106 @@ mod tests {
         s.bind(Var::named("Y"), Term::Int(2));
         s.bind(Var::named("X"), Term::var("Y"));
         assert_eq!(s.to_string(), "{X = 2, Y = 2}");
+    }
+
+    #[test]
+    fn clone_is_isolated_cow() {
+        // Binding on a fork must never leak into the original or siblings.
+        let mut base = Subst::new();
+        base.bind(Var::named("A"), Term::Int(1));
+        let frozen = base.clone();
+        let mut fork1 = base.clone();
+        let mut fork2 = base.clone();
+        fork1.bind(Var::named("B"), Term::Int(2));
+        fork2.bind(Var::named("B"), Term::Int(3));
+        assert_eq!(frozen.len(), 1);
+        assert_eq!(frozen.lookup(Var::named("B")), None);
+        assert_eq!(fork1.lookup(Var::named("B")), Some(&Term::Int(2)));
+        assert_eq!(fork2.lookup(Var::named("B")), Some(&Term::Int(3)));
+        assert_eq!(fork1.lookup(Var::named("A")), Some(&Term::Int(1)));
+        assert_ne!(fork1, fork2);
+    }
+
+    #[test]
+    fn equality_ignores_layering() {
+        // Same bindings reached through different fork histories must
+        // compare equal: layering is representation, not meaning.
+        let mut flat = Subst::new();
+        flat.bind(Var::named("X"), Term::Int(1));
+        flat.bind(Var::named("Y"), Term::Int(2));
+
+        let mut layered = Subst::new();
+        layered.bind(Var::named("X"), Term::Int(1));
+        let _pin = layered.clone(); // force the next bind onto a new layer
+        layered.bind(Var::named("Y"), Term::Int(2));
+
+        assert_eq!(flat, layered);
+        assert_eq!(layered, flat);
+        let mut different = flat.clone();
+        different.bind(Var::named("Z"), Term::Int(3));
+        assert_ne!(flat, different);
+    }
+
+    #[test]
+    fn deep_fork_chains_flatten() {
+        // Fork-and-bind far past MAX_LAYER_DEPTH: all bindings must stay
+        // visible (the flatten path preserves the whole chain) and len must
+        // stay exact.
+        let mut s = Subst::new();
+        let mut pins = Vec::new();
+        for i in 0..(MAX_LAYER_DEPTH as i64 * 4) {
+            pins.push(s.clone()); // share the head so bind must fork
+            s.bind(Var::named(&format!("V{i}")), Term::Int(i));
+        }
+        assert_eq!(s.len(), MAX_LAYER_DEPTH * 4);
+        for i in 0..(MAX_LAYER_DEPTH as i64 * 4) {
+            assert_eq!(
+                s.lookup(Var::named(&format!("V{i}"))),
+                Some(&Term::Int(i)),
+                "binding V{i} lost"
+            );
+        }
+        // Earlier pins still see exactly their prefix.
+        assert_eq!(pins[3].len(), 3);
+        assert_eq!(pins[3].lookup(Var::named("V3")), None);
+    }
+
+    #[test]
+    fn iter_yields_each_binding_once() {
+        let mut s = Subst::new();
+        s.bind(Var::named("X"), Term::Int(1));
+        let _pin = s.clone();
+        s.bind(Var::named("Y"), Term::Int(2));
+        let mut got: Vec<(Var, Term)> = s.iter().map(|(v, t)| (v, t.clone())).collect();
+        got.sort_by_key(|(v, _)| (v.name.as_str().to_string(), v.rename));
+        assert_eq!(
+            got,
+            vec![
+                (Var::named("X"), Term::Int(1)),
+                (Var::named("Y"), Term::Int(2)),
+            ]
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "bound twice")]
+    fn rebind_panics_in_debug() {
+        let mut s = Subst::new();
+        s.bind(Var::named("X"), Term::Int(1));
+        s.bind(Var::named("X"), Term::Int(2));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "bound twice")]
+    fn rebind_across_layers_panics_in_debug() {
+        // The rebind guard must see through layer boundaries, not just the
+        // head map.
+        let mut s = Subst::new();
+        s.bind(Var::named("X"), Term::Int(1));
+        let _pin = s.clone(); // X now lives in a shared tail layer
+        s.bind(Var::named("Y"), Term::Int(2));
+        s.bind(Var::named("X"), Term::Int(3));
     }
 }

@@ -121,4 +121,46 @@ proptest! {
         let l = Term::list(elems.clone());
         prop_assert_eq!(l.as_list().unwrap(), elems);
     }
+
+    /// The copy-on-write layered `Subst` behaves exactly like a flat map
+    /// under arbitrary interleavings of forks (clones) and fresh binds:
+    /// same lookups, same length, same equality relation between forks.
+    #[test]
+    fn cow_subst_matches_flat_map_model(
+        ops in prop::collection::vec((0usize..8, 0u32..10, arb_ground_term()), 1..40)
+    ) {
+        use std::collections::HashMap;
+        let mut substs: Vec<Subst> = vec![Subst::new()];
+        let mut models: Vec<HashMap<Term, Term>> = vec![HashMap::new()];
+        for (at, var_id, ground) in ops {
+            let i = at % substs.len();
+            let v = Term::var(&format!("V{var_id}"));
+            // Fork, then bind into the fork: the COW path a frontier
+            // executor takes per emitted match. Skip vars the model says
+            // are already bound (rebinding is a contract violation).
+            if models[i].contains_key(&v) {
+                continue;
+            }
+            let mut forked = substs[i].clone();
+            let mut model = models[i].clone();
+            prop_assert!(unify(&mut forked, &v, &ground));
+            model.insert(v, ground);
+            substs.push(forked);
+            models.push(model);
+        }
+        for (s, m) in substs.iter().zip(&models) {
+            prop_assert_eq!(s.len(), m.len());
+            prop_assert_eq!(s.is_empty(), m.is_empty());
+            for (v, t) in m {
+                prop_assert_eq!(&s.resolve(v), t);
+            }
+        }
+        // Equality between any two forks is extensional: it agrees with
+        // model equality regardless of how the layers are stacked.
+        for i in 0..substs.len() {
+            for j in 0..substs.len() {
+                prop_assert_eq!(substs[i] == substs[j], models[i] == models[j]);
+            }
+        }
+    }
 }

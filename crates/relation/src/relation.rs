@@ -11,7 +11,7 @@
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::tuple::Tuple;
 use chainsplit_logic::Term;
-use parking_lot::RwLock;
+use parking_lot::{MappedRwLockReadGuard, RwLock, RwLockReadGuard};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
@@ -117,61 +117,88 @@ impl Relation {
         self.indexes.read().contains_key(cols)
     }
 
-    /// The rows whose projection onto `cols` equals `key`.
-    ///
-    /// Uses an index when one exists; over a relation worth indexing,
-    /// builds one on the spot (subsequent lookups and inserts keep it
-    /// current); tiny relations just scan.
-    pub fn select(&self, cols: &[usize], key: &[Term]) -> Selection<'_> {
-        debug_assert_eq!(cols.len(), key.len());
-        if cols.is_empty() {
-            return Selection::new(AccessPath::FullScan, SelInner::All(self.rows.iter()));
-        }
-        {
-            let indexes = self.indexes.read();
-            if let Some(index) = indexes.get(cols) {
-                let ids = index.get(key).cloned().unwrap_or_default();
-                return Selection::new(
-                    AccessPath::IndexHit,
-                    SelInner::Ids {
-                        rows: &self.rows,
-                        ids,
-                        next: 0,
-                    },
-                );
-            }
-        }
-        if self.rows.len() >= LAZY_INDEX_THRESHOLD {
-            let mut indexes = self.indexes.write();
-            // Another thread may have built the index between our read
-            // probe above and taking the write lock; report what actually
-            // happened so exactly one lookup per (relation, column set)
-            // counts as a build under any schedule — the access-path
-            // counters must not depend on thread interleaving.
-            let path = if indexes.contains_key(cols) {
-                AccessPath::IndexHit
-            } else {
-                AccessPath::IndexBuild
-            };
-            let index = indexes
-                .entry(cols.to_vec())
-                .or_insert_with(|| Self::build_index(&self.rows, cols));
-            let ids = index.get(key).cloned().unwrap_or_default();
-            return Selection::new(
+    /// Projects an already-taken read guard onto the `(cols, key)` bucket.
+    /// `None` when the key has no bucket — the caller reports a miss with
+    /// zero allocation (the satellite fix for the old
+    /// `cloned().unwrap_or_default()`).
+    fn bucket_under<'r>(
+        &'r self,
+        guard: RwLockReadGuard<'r, FxHashMap<Vec<usize>, Index>>,
+        cols: &[usize],
+        key: &[Term],
+        path: AccessPath,
+    ) -> Selection<'r, 'static> {
+        match RwLockReadGuard::try_map(guard, |indexes| {
+            indexes
+                .get(cols)
+                .and_then(|index| index.get(key))
+                .map(Vec::as_slice)
+        }) {
+            Ok(ids) => Selection::new(
                 path,
                 SelInner::Ids {
                     rows: &self.rows,
                     ids,
                     next: 0,
                 },
-            );
+            ),
+            Err(_) => Selection::new(path, SelInner::Empty),
+        }
+    }
+
+    /// The rows whose projection onto `cols` equals `key`.
+    ///
+    /// Uses an index when one exists; over a relation worth indexing,
+    /// builds one on the spot (subsequent lookups and inserts keep it
+    /// current); tiny relations just scan.
+    ///
+    /// Zero-copy contract: an indexed selection *borrows* its id bucket
+    /// out of the index (the returned [`Selection`] holds the index read
+    /// lock until dropped), and a key scan borrows `cols`/`key` — nothing
+    /// is cloned per probe. Consequently the caller must drain or drop the
+    /// selection before calling anything that writes this relation's
+    /// indexes (`select` on a cold column set, `ensure_index`) from the
+    /// same thread, or it will deadlock on the non-reentrant lock.
+    pub fn select<'r, 'k>(&'r self, cols: &'k [usize], key: &'k [Term]) -> Selection<'r, 'k> {
+        debug_assert_eq!(cols.len(), key.len());
+        if cols.is_empty() {
+            return Selection::new(AccessPath::FullScan, SelInner::All(self.rows.iter()));
+        }
+        let indexes = self.indexes.read();
+        if indexes.contains_key(cols) {
+            return self.bucket_under(indexes, cols, key, AccessPath::IndexHit);
+        }
+        drop(indexes);
+        if self.rows.len() >= LAZY_INDEX_THRESHOLD {
+            let path = {
+                let mut indexes = self.indexes.write();
+                // Another thread may have built the index between our read
+                // probe above and taking the write lock; report what
+                // actually happened so exactly one lookup per (relation,
+                // column set) counts as a build under any schedule — the
+                // access-path counters must not depend on thread
+                // interleaving.
+                let path = if indexes.contains_key(cols) {
+                    AccessPath::IndexHit
+                } else {
+                    AccessPath::IndexBuild
+                };
+                indexes
+                    .entry(cols.to_vec())
+                    .or_insert_with(|| Self::build_index(&self.rows, cols));
+                path
+            };
+            // Re-take as a reader to hand out a borrowed bucket. Indexes
+            // are never removed and buckets only change under `&mut self`,
+            // so the entry built above is still there and current.
+            return self.bucket_under(self.indexes.read(), cols, key, path);
         }
         Selection::new(
             AccessPath::KeyScan,
             SelInner::Scan {
                 iter: self.rows.iter(),
-                cols: cols.to_vec(),
-                key: key.to_vec(),
+                cols,
+                key,
             },
         )
     }
@@ -262,29 +289,33 @@ pub enum AccessPath {
 /// equals the rows yielded, while a [`AccessPath::KeyScan`] inspects every
 /// row it walks past, matching or not. Evaluators fold `inspected()` into
 /// their `probed` counter after draining the iterator.
-pub struct Selection<'a> {
+pub struct Selection<'r, 'k> {
     path: AccessPath,
     inspected: usize,
-    inner: SelInner<'a>,
+    inner: SelInner<'r, 'k>,
 }
 
-enum SelInner<'a> {
-    All(std::slice::Iter<'a, Tuple>),
+enum SelInner<'r, 'k> {
+    All(std::slice::Iter<'r, Tuple>),
     Ids {
-        rows: &'a [Tuple],
-        /// Owned: the ids come from inside the index lock.
-        ids: Vec<usize>,
+        rows: &'r [Tuple],
+        /// Borrowed straight out of the index; the mapped guard keeps the
+        /// index read-locked (and thus the bucket alive) while we iterate.
+        ids: MappedRwLockReadGuard<'r, [usize]>,
         next: usize,
     },
+    /// Indexed lookup on a key with no bucket: nothing to yield, nothing
+    /// allocated, no lock held.
+    Empty,
     Scan {
-        iter: std::slice::Iter<'a, Tuple>,
-        cols: Vec<usize>,
-        key: Vec<Term>,
+        iter: std::slice::Iter<'r, Tuple>,
+        cols: &'k [usize],
+        key: &'k [Term],
     },
 }
 
-impl<'a> Selection<'a> {
-    fn new(path: AccessPath, inner: SelInner<'a>) -> Selection<'a> {
+impl<'r, 'k> Selection<'r, 'k> {
+    fn new(path: AccessPath, inner: SelInner<'r, 'k>) -> Selection<'r, 'k> {
         Selection {
             path,
             inspected: 0,
@@ -303,10 +334,10 @@ impl<'a> Selection<'a> {
     }
 }
 
-impl<'a> Iterator for Selection<'a> {
-    type Item = &'a Tuple;
+impl<'r> Iterator for Selection<'r, '_> {
+    type Item = &'r Tuple;
 
-    fn next(&mut self) -> Option<&'a Tuple> {
+    fn next(&mut self) -> Option<&'r Tuple> {
         match &mut self.inner {
             SelInner::All(it) => {
                 let row = it.next()?;
@@ -319,6 +350,7 @@ impl<'a> Iterator for Selection<'a> {
                 self.inspected += 1;
                 Some(&rows[id])
             }
+            SelInner::Empty => None,
             SelInner::Scan { iter, cols, key } => {
                 for row in iter {
                     self.inspected += 1;
@@ -500,17 +532,29 @@ mod tests {
         for b in 0..10 {
             r.insert(pair(b % 2, b));
         }
+        let cols = [0usize];
+        let key = [Term::Int(0)];
         // Key scan walks every row even though only half match.
-        let mut sel = r.select(&[0], &[Term::Int(0)]);
-        let matched = sel.by_ref().count();
-        assert_eq!(matched, 5);
-        assert_eq!(sel.inspected(), 10);
+        {
+            let mut sel = r.select(&cols, &key);
+            let matched = sel.by_ref().count();
+            assert_eq!(matched, 5);
+            assert_eq!(sel.inspected(), 10);
+        }
         // The index only touches the matching bucket.
-        r.ensure_index(&[0]);
-        let mut sel = r.select(&[0], &[Term::Int(0)]);
+        r.ensure_index(&cols);
+        let mut sel = r.select(&cols, &key);
         let matched = sel.by_ref().count();
         assert_eq!(matched, 5);
         assert_eq!(sel.inspected(), 5);
+        drop(sel);
+        // An indexed miss inspects nothing (and allocates nothing: the
+        // Empty selection holds neither bucket nor lock).
+        let miss_key = [Term::Int(77)];
+        let mut sel = r.select(&cols, &miss_key);
+        assert_eq!(sel.path(), AccessPath::IndexHit);
+        assert_eq!(sel.by_ref().count(), 0);
+        assert_eq!(sel.inspected(), 0);
     }
 
     #[test]
@@ -564,7 +608,9 @@ mod tests {
             let handles: Vec<_> = (0..8)
                 .map(|i| {
                     s.spawn(move || {
-                        let mut sel = r.select(&[0], &[Term::Int(i % 5)]);
+                        let cols = [0usize];
+                        let key = [Term::Int(i % 5)];
+                        let mut sel = r.select(&cols, &key);
                         let _ = sel.by_ref().count();
                         sel.path()
                     })

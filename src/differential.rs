@@ -11,7 +11,14 @@
 //!    thread count is *bit-identical*: the same sorted answers, the same
 //!    exact work counters (`probed`, `matched`, `derived`, …), or the
 //!    same error. This is the determinism contract of the parallel
-//!    fixpoint (DESIGN.md §5) stated as an executable property.
+//!    fixpoint (DESIGN.md §5) stated as an executable property;
+//! 3. **Executor equivalence** — re-running each strategy through the
+//!    legacy per-substitution join loop (the seam in
+//!    `chainsplit_engine::eval::legacy`) yields the same sorted answers
+//!    and the same kind of outcome as the frontier-at-a-time executor.
+//!    Work counters are deliberately *not* compared: probe memoization
+//!    changes what `probed` and the access-path counters measure
+//!    (DESIGN.md §6).
 //!
 //! A failing case shrinks by repeatedly halving its EDB while the failure
 //! reproduces ([`shrink_case`]), and prints as a corpus-format program
@@ -111,6 +118,20 @@ pub struct Mismatch {
     pub detail: String,
 }
 
+impl Outcome {
+    /// This outcome with its counters zeroed — the comparison shape for
+    /// cross-executor checks, where counter semantics legitimately differ.
+    fn without_counters(&self) -> Outcome {
+        match self {
+            Outcome::Ok { answers, .. } => Outcome::Ok {
+                answers: answers.clone(),
+                counters: Counters::default(),
+            },
+            other => other.clone(),
+        }
+    }
+}
+
 impl fmt::Display for Mismatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "seed {} ({}): {}", self.seed, self.shape, self.detail)
@@ -140,6 +161,19 @@ pub fn check_case(case: &FuzzCase, threads: &[usize]) -> Result<usize, Mismatch>
                     threads[0], base, other
                 )));
             }
+        }
+        // Invariant 3: executor equivalence. The legacy seam is
+        // thread-local, so pin threads = 1 (the pool's inline path) to
+        // keep the whole run on the flagged thread; answers are
+        // thread-invariant (invariant 2), so comparing against `base` is
+        // sound whatever threads[0] is.
+        let legacy =
+            crate::engine::eval::legacy::with_per_substitution(|| run_one(case, strategy, 1));
+        if legacy.without_counters() != base.without_counters() {
+            return Err(fail(format!(
+                "{strategy} differs between the frontier and legacy executors:\n  {:?}\nvs\n  {:?}",
+                base, legacy
+            )));
         }
         // Invariant 1: all strategies agree on the answer set.
         match base {

@@ -44,7 +44,13 @@ fn all_strategies_report_rounds_and_totals() {
         let matched: usize = m.rounds.iter().map(|r| r.counters.matched).sum();
         assert_eq!(probed, m.totals.probed, "{strat}: probed mismatch");
         assert_eq!(matched, m.totals.matched, "{strat}: matched mismatch");
-        assert!(matched <= probed, "{strat}: matched > probed");
+        // Under the frontier executor `probed` counts physical work (one
+        // select per distinct probe key), while `matched` stays logical
+        // (one per surviving substitution-tuple pair) — so matched may
+        // legitimately exceed probed on key-repeating frontiers, and the
+        // old `matched <= probed` invariant is gone. Both must still be
+        // live counters on a recursive workload.
+        assert!(probed > 0, "{strat}: no probes recorded");
         // Phase timings are populated (non-negative, total covers them).
         assert!(m.phases.total_ms() >= m.phases.fixpoint_ms, "{strat}");
         // Display renders the header, phases line and one row per round.

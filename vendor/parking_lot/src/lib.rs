@@ -6,9 +6,11 @@
 //! deliberately swallowed (`PoisonError::into_inner`) to match
 //! parking_lot's semantics, where a panicking holder does not poison.
 
+use std::marker::PhantomData;
+use std::ops::Deref;
 use std::sync::PoisonError;
 
-pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+pub use std::sync::{MutexGuard, RwLockWriteGuard};
 
 /// A reader-writer lock with parking_lot's panic-free guard API.
 #[derive(Default, Debug)]
@@ -26,7 +28,9 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        RwLockReadGuard {
+            inner: self.0.read().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
@@ -35,6 +39,93 @@ impl<T: ?Sized> RwLock<T> {
 
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A read guard that supports parking_lot's `map`/`try_map` projection —
+/// std's guard only gained those on nightly, so the stub wraps it.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<'a, T: ?Sized> RwLockReadGuard<'a, T> {
+    /// Projects the guard onto a component of the protected data, as
+    /// [`RwLockReadGuard::map`] in real parking_lot.
+    pub fn map<U: ?Sized, F>(orig: Self, f: F) -> MappedRwLockReadGuard<'a, U>
+    where
+        F: FnOnce(&T) -> &U,
+    {
+        let ptr: *const U = f(&orig.inner);
+        MappedRwLockReadGuard {
+            _held: Box::new(orig.inner),
+            ptr,
+            marker: PhantomData,
+        }
+    }
+
+    /// Fallible projection: returns the untouched guard back on `None`, as
+    /// [`RwLockReadGuard::try_map`] in real parking_lot.
+    pub fn try_map<U: ?Sized, F>(orig: Self, f: F) -> Result<MappedRwLockReadGuard<'a, U>, Self>
+    where
+        F: FnOnce(&T) -> Option<&U>,
+    {
+        match f(&orig.inner) {
+            Some(component) => {
+                let ptr: *const U = component;
+                Ok(MappedRwLockReadGuard {
+                    _held: Box::new(orig.inner),
+                    ptr,
+                    marker: PhantomData,
+                })
+            }
+            None => Err(orig),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Type-erasure target for the original guard kept alive inside a
+/// [`MappedRwLockReadGuard`] (`Any` would demand `'static`).
+trait Held {}
+impl<T: ?Sized> Held for std::sync::RwLockReadGuard<'_, T> {}
+
+/// A read guard projected onto a component of the locked data.
+///
+/// Holds the original guard (type-erased) so the lock stays read-held for
+/// the mapped guard's lifetime, plus a raw pointer to the component.
+///
+/// Safety: `ptr` was derived from a `&U` borrowed out of the guarded data,
+/// whose owner is kept alive (and read-locked) by `_held`; the `PhantomData`
+/// ties the projection to the lock's `'a` borrow, so the pointer cannot
+/// outlive either the data or the read lock.
+pub struct MappedRwLockReadGuard<'a, U: ?Sized> {
+    _held: Box<dyn Held + 'a>,
+    ptr: *const U,
+    marker: PhantomData<&'a U>,
+}
+
+impl<U: ?Sized> Deref for MappedRwLockReadGuard<'_, U> {
+    type Target = U;
+    fn deref(&self) -> &U {
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<U: ?Sized + std::fmt::Debug> std::fmt::Debug for MappedRwLockReadGuard<'_, U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
     }
 }
 
@@ -72,6 +163,32 @@ mod tests {
         assert_eq!(*l.read(), 1);
         *l.write() += 1;
         assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
+    fn read_guard_maps_to_component() {
+        let l = RwLock::new((1, vec![2, 3]));
+        let mapped = RwLockReadGuard::map(l.read(), |pair| pair.1.as_slice());
+        assert_eq!(&*mapped, &[2, 3]);
+        // The mapped guard still holds the read lock: another reader is
+        // fine, a writer would deadlock (not testable single-threaded).
+        assert_eq!(l.read().0, 1);
+        drop(mapped);
+        l.write().0 = 9;
+        assert_eq!(l.read().0, 9);
+    }
+
+    #[test]
+    fn try_map_returns_guard_on_none() {
+        let l = RwLock::new(vec![1, 2]);
+        let guard = l.read();
+        let back = match RwLockReadGuard::try_map(guard, |v| v.get(7)) {
+            Ok(_) => panic!("index 7 must miss"),
+            Err(g) => g,
+        };
+        assert_eq!(back.len(), 2);
+        let hit = RwLockReadGuard::try_map(back, |v| v.get(1)).ok().unwrap();
+        assert_eq!(*hit, 2);
     }
 
     #[test]
