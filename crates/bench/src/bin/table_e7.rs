@@ -45,8 +45,9 @@ fn main() {
         let decision = if weak.is_empty() { "follow" } else { "split" };
 
         let mut runs: Vec<(&str, _, f64, &str)> = Vec::new();
-        let (follow, t_follow) =
-            time_ms(|| magic_eval(&sys.rectified.rules, &sys.edb, &q, &FullSip, opts).unwrap());
+        let (follow, t_follow) = time_ms(|| {
+            magic_eval(&sys.rectified.rules, &sys.edb, &q, &FullSip, opts.clone()).unwrap()
+        });
         runs.push(("forced follow", follow, t_follow, ""));
         let forced: HashSet<Pred> = [Pred::new("same_country", 2)].into();
         let (split, t_split) = time_ms(|| {
@@ -55,12 +56,12 @@ fn main() {
                 &sys.edb,
                 &q,
                 &DelayPreds(forced.clone()),
-                opts,
+                opts.clone(),
             )
             .unwrap()
         });
         runs.push(("forced split", split, t_split, ""));
-        let (auto, t_auto) = time_ms(|| chain_split_magic(&sys, &q, &model, opts).unwrap());
+        let (auto, t_auto) = time_ms(|| chain_split_magic(&sys, &q, &model, opts.clone()).unwrap());
         runs.push(("cost model (3.1)", auto, t_auto, decision));
 
         for (name, r, wall, note) in runs {

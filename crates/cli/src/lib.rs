@@ -8,8 +8,9 @@
 #![forbid(unsafe_code)]
 
 use chainsplit_core::{DeductiveDb, Strategy};
+use chainsplit_governor::Budget;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Interactive session state.
 pub struct Shell {
@@ -54,6 +55,13 @@ commands:
                                    ?- sg(ann, Y).
                                    :trace export run.trace.json
   :timing on|off                 toggle per-query timing + counters
+  :timeout [MS|off]              show or set a wall-clock deadline per
+                                 query; an expired deadline returns the
+                                 answers derived so far, marked incomplete
+  :budget [show how all limits stand, or set one:]
+  :budget rounds|tuples|bytes|wall <N>
+  :budget off                    lift every limit (Ctrl-C still cancels
+                                 the running query, not the shell)
   :threads [N]                   show or set worker threads for parallel
                                  evaluation (default: CHAINSPLIT_THREADS
                                  or 1; answers and counters are identical
@@ -156,6 +164,8 @@ impl Shell {
                 self.timing = arg == "on";
                 format!("timing: {}", if self.timing { "on" } else { "off" })
             }
+            "timeout" => self.timeout_command(arg),
+            "budget" => self.budget_command(arg),
             "threads" => {
                 if arg.is_empty() {
                     format!("threads: {}", self.db.threads())
@@ -225,6 +235,67 @@ impl Shell {
         }
     }
 
+    fn timeout_command(&mut self, arg: &str) -> String {
+        let mut budget = self.db.budget();
+        match arg {
+            "" => match budget.wall {
+                Some(d) => format!("timeout: {} ms", d.as_millis()),
+                None => "timeout: off".to_string(),
+            },
+            "off" => {
+                budget.wall = None;
+                self.db.set_budget(budget);
+                "timeout: off".to_string()
+            }
+            ms => match ms.parse::<u64>() {
+                Ok(ms) if ms >= 1 => {
+                    budget.wall = Some(Duration::from_millis(ms));
+                    self.db.set_budget(budget);
+                    format!("timeout: {ms} ms")
+                }
+                _ => "usage: :timeout <MS>|off".to_string(),
+            },
+        }
+    }
+
+    fn budget_command(&mut self, arg: &str) -> String {
+        let mut budget = self.db.budget();
+        let show = |b: &Budget| {
+            let lim = |v: Option<u64>| v.map_or("off".to_string(), |n| n.to_string());
+            format!(
+                "budget: wall {} | rounds {} | tuples {} | bytes {}",
+                b.wall
+                    .map_or("off".to_string(), |d| format!("{} ms", d.as_millis())),
+                lim(b.max_rounds),
+                lim(b.max_tuples),
+                lim(b.max_bytes_est),
+            )
+        };
+        if arg.is_empty() {
+            return show(&budget);
+        }
+        if arg == "off" {
+            self.db.set_budget(Budget::default());
+            return show(&Budget::default());
+        }
+        let mut parts = arg.split_whitespace();
+        let (Some(which), Some(value)) = (parts.next(), parts.next()) else {
+            return "usage: :budget [rounds|tuples|bytes|wall <N> | off]".to_string();
+        };
+        let Ok(n) = value.parse::<u64>() else {
+            return format!("`{value}` is not a number");
+        };
+        match which {
+            "rounds" => budget.max_rounds = Some(n),
+            "tuples" => budget.max_tuples = Some(n),
+            "bytes" => budget.max_bytes_est = Some(n),
+            "wall" => budget.wall = Some(Duration::from_millis(n)),
+            other => return format!("unknown budget `{other}` (rounds, tuples, bytes, wall)"),
+        }
+        self.db.set_budget(budget);
+        show(&budget)
+    }
+
     fn stats(&mut self) -> String {
         let sys = self.db.system();
         let mut out = String::new();
@@ -247,6 +318,8 @@ impl Shell {
     }
 
     fn run_query(&mut self, query: &str) -> String {
+        // A Ctrl-C from a *previous* query must not cancel this one.
+        chainsplit_governor::clear_interrupt();
         let start = Instant::now();
         match self.db.query_with(query, self.strategy) {
             Ok(outcome) => {
@@ -266,6 +339,9 @@ impl Shell {
                         writeln!(out, "… {} more", outcome.answers.len() - shown).unwrap();
                     }
                     write!(out, "{} answer(s).", outcome.answers.len()).unwrap();
+                }
+                if let Some(trip) = &outcome.trip {
+                    write!(out, "\n[incomplete: {trip}]").unwrap();
                 }
                 if self.timing {
                     let ms = start.elapsed().as_secs_f64() * 1e3;
@@ -393,6 +469,54 @@ mod tests {
         sh.process("path(X, Y) :- edge(X, Z), path(Z, Y).");
         let out = sh.process("?- path(a, Y).").0;
         assert!(out.contains('b') && out.contains('c'), "{out}");
+    }
+
+    #[test]
+    fn timeout_command_round_trips() {
+        let mut sh = Shell::new();
+        assert_eq!(sh.process(":timeout").0, "timeout: off");
+        assert_eq!(sh.process(":timeout 250").0, "timeout: 250 ms");
+        assert_eq!(sh.process(":timeout").0, "timeout: 250 ms");
+        assert_eq!(sh.process(":timeout off").0, "timeout: off");
+        assert!(sh.process(":timeout soon").0.starts_with("usage:"));
+    }
+
+    #[test]
+    fn budget_command_sets_and_lifts_limits() {
+        let mut sh = Shell::new();
+        assert_eq!(
+            sh.process(":budget").0,
+            "budget: wall off | rounds off | tuples off | bytes off"
+        );
+        assert!(sh.process(":budget rounds 3").0.contains("rounds 3"));
+        assert!(sh.process(":budget tuples 100").0.contains("tuples 100"));
+        let shown = sh.process(":budget").0;
+        assert!(
+            shown.contains("rounds 3") && shown.contains("tuples 100"),
+            "{shown}"
+        );
+        assert!(sh.process(":budget off").0.contains("rounds off"));
+        assert!(sh.process(":budget fuel 9").0.contains("unknown budget"));
+        assert!(sh.process(":budget rounds lots").0.contains("not a number"));
+    }
+
+    #[test]
+    fn tripped_query_is_marked_incomplete_and_recovers() {
+        let mut sh = Shell::new();
+        sh.process("edge(a, b). edge(b, c). edge(c, d). edge(d, e).");
+        sh.process("path(X, Y) :- edge(X, Y).");
+        sh.process("path(X, Y) :- edge(X, Z), path(Z, Y).");
+        sh.process(":strategy semi-naive");
+        sh.process(":budget rounds 2");
+        let out = sh.process("?- path(a, Y).").0;
+        assert!(out.contains("[incomplete:"), "{out}");
+        assert!(out.contains("rounds"), "{out}");
+        // Lifting the budget restores the complete answer set on the
+        // same shell session.
+        sh.process(":budget off");
+        let out = sh.process("?- path(a, Y).").0;
+        assert!(out.contains("4 answer(s)."), "{out}");
+        assert!(!out.contains("incomplete"), "{out}");
     }
 
     #[test]

@@ -9,7 +9,30 @@
 use chainsplit_cli::{Control, Shell};
 use std::io::{BufRead, Write};
 
+/// Routes Ctrl-C to [`chainsplit_governor::interrupt`]: the running query
+/// observes the flag at its next cooperative check and drains to a partial
+/// result; the shell itself keeps running. `interrupt()` is a single
+/// relaxed atomic store, so the handler is async-signal-safe. Declaring
+/// libc's `signal` directly avoids a signal-handling dependency.
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigint(_signum: i32) {
+        chainsplit_governor::interrupt();
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
 fn main() {
+    install_sigint_handler();
     let mut shell = Shell::new();
     let mut args = std::env::args().skip(1);
     let mut one_shot: Option<String> = None;

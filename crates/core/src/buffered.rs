@@ -23,9 +23,10 @@
 use crate::solver::{SolveOptions, Solver};
 use chainsplit_chain::{CompiledRecursion, SplitPlan};
 use chainsplit_engine::{Counters, EvalError, RoundMetrics};
+use chainsplit_governor::BudgetTrip;
 use chainsplit_logic::{unify, Atom, Subst, Term, Var};
 use chainsplit_par::Pool;
-use chainsplit_relation::{hash::FxHasher, FxHashMap, FxHashSet};
+use chainsplit_relation::{hash::FxHasher, term_estimated_bytes, FxHashMap, FxHashSet};
 use std::hash::{Hash, Hasher};
 
 /// How many hash partitions each level's frontier is split into. Fixed —
@@ -187,6 +188,7 @@ pub fn eval_buffered(
     let mut nodes_up: Vec<Vec<Node>> = Vec::new(); // nodes_up[i]: frontier_i -> frontier_{i+1}
     let mut exits: Vec<Vec<Vec<Term>>> = Vec::new(); // exits[i]: full tuples at level i
     let pool = Pool::new(solver.opts.threads);
+    let gov = solver.opts.governor.clone();
 
     // ---- Up sweep ----
     let up_span = chainsplit_trace::span!("up-sweep", pred = rec.pred);
@@ -194,6 +196,18 @@ pub fn eval_buffered(
         let mut round_span =
             chainsplit_trace::Span::enter_cat(format!("level {}", nodes_up.len()), "round");
         round_span.set_attr("level", nodes_up.len());
+        // Level boundary = drain point, but only for the *top-level*
+        // chain-split: its completed levels feed a down sweep that yields
+        // sound partial answers. A nested run (depth > 0) propagates the
+        // trip instead — a truncated subgoal answer set inside an
+        // enclosing conjunction would be silently unsound.
+        if let Err(t) = gov.on_round("up-sweep") {
+            if depth == 0 {
+                solver.trip = Some(t);
+                break;
+            }
+            return Err(t.into());
+        }
         let round_base = solver.counters;
         solver.counters.iterations += 1;
         if nodes_up.len() >= solver.opts.max_levels {
@@ -228,8 +242,9 @@ pub fn eval_buffered(
         let sys = solver.sys;
         let child_opts = SolveOptions {
             threads: 1,
-            ..solver.opts
+            ..solver.opts.clone()
         };
+        let child_opts = &child_opts;
         let fuel_left = solver.fuel_left;
         let evaluated_atoms_ref = &evaluated_atoms;
         let frontier_pos_ref = &frontier_pos;
@@ -246,7 +261,7 @@ pub fn eval_buffered(
                     );
                     worker_span.set_attr("pred", rec.pred);
                     worker_span.set_attr("tuples", part.len());
-                    let mut child = Solver::new(sys, child_opts);
+                    let mut child = Solver::new(sys, child_opts.clone());
                     child.fuel_left = fuel_left;
 
                     // Exit rules against this partition of the frontier.
@@ -356,9 +371,7 @@ pub fn eval_buffered(
                 }
             })
             .collect();
-        let results = pool.run(tasks).map_err(|e| EvalError::Unsupported {
-            reason: e.to_string(),
-        })?;
+        let results = pool.run(tasks).map_err(EvalError::from)?;
 
         // Merge in partition order: counters, nested rounds, and fuel
         // fold in; exits deduplicate globally; candidates pass through
@@ -367,20 +380,36 @@ pub fn eval_buffered(
         let mut level_exits: Vec<Vec<Term>> = Vec::new();
         let mut seen_exit: FxHashSet<Vec<Term>> = FxHashSet::default();
         let mut all_cands: Vec<(Vec<Term>, Vec<Term>, Vec<i64>)> = Vec::new();
+        let mut level_trip: Option<BudgetTrip> = None;
         for r in results {
-            let w = r?;
-            merge_worker_counters(&mut solver.counters, &w.counters);
-            for mut rm in w.rounds {
-                rm.round = solver.rounds.len();
-                solver.rounds.push(rm);
-            }
-            solver.fuel_left = solver.fuel_left.saturating_sub(w.fuel_spent);
-            for tuple in w.exits {
-                if seen_exit.insert(tuple.clone()) {
-                    level_exits.push(tuple);
+            match r {
+                Ok(w) => {
+                    merge_worker_counters(&mut solver.counters, &w.counters);
+                    for mut rm in w.rounds {
+                        rm.round = solver.rounds.len();
+                        solver.rounds.push(rm);
+                    }
+                    solver.fuel_left = solver.fuel_left.saturating_sub(w.fuel_spent);
+                    for tuple in w.exits {
+                        if seen_exit.insert(tuple.clone()) {
+                            level_exits.push(tuple);
+                        }
+                    }
+                    all_cands.extend(w.cands);
                 }
+                // A budget trip inside a worker: the level is incomplete,
+                // so its exits and candidates are all discarded and the
+                // top-level run drains into the down sweep over the
+                // completed levels. Nested runs propagate.
+                Err(e) => match e.budget_trip() {
+                    Some(t) if depth == 0 => level_trip = Some(t),
+                    _ => return Err(e),
+                },
             }
-            all_cands.extend(w.cands);
+        }
+        if let Some(t) = level_trip {
+            solver.trip = Some(t);
+            break;
         }
         exits.push(level_exits);
 
@@ -429,6 +458,16 @@ pub fn eval_buffered(
             }
         }
         solver.counters.buffered_peak += level_nodes.len();
+        // The buffered nodes are what this algorithm *stores*: they are
+        // the byte-budget surface of the up sweep.
+        if gov.active() {
+            gov.add_tuples(level_nodes.len() as u64);
+            let bytes: u64 = level_nodes
+                .iter()
+                .map(|n| n.up_vals.iter().map(term_estimated_bytes).sum::<usize>() as u64)
+                .sum();
+            gov.add_bytes(bytes);
+        }
         // One round per chain level; the delta is the buffered-chain size
         // at this level (0 for chain-following / counting runs).
         solver.rounds.push(RoundMetrics {
@@ -445,6 +484,12 @@ pub fn eval_buffered(
         frontier = next_frontier;
     }
     drop(up_span);
+
+    // A trip before the first level completed leaves nothing to propagate:
+    // no answers, which is the sound empty under-approximation.
+    if exits.is_empty() {
+        return Ok(());
+    }
 
     // ---- Down sweep ----
     let _down_span = chainsplit_trace::span!("down-sweep", pred = rec.pred);
@@ -501,7 +546,25 @@ pub fn eval_buffered(
                     }
                     solver.counters.matched += 1;
                     let mut sols = Vec::new();
-                    solver.solve_body_dynamic(&delayed_atoms, &s0, depth + 1, &mut sols)?;
+                    // The delayed portion re-enters goal-directed
+                    // resolution, which polls the governor: once a trip is
+                    // latched (e.g. drained out of the up sweep above),
+                    // strided checks in here keep erroring. For the
+                    // top-level run every solution already produced is
+                    // independently proved, so keep the partials and move
+                    // on; nested runs propagate as usual.
+                    if let Err(e) =
+                        solver.solve_body_dynamic(&delayed_atoms, &s0, depth + 1, &mut sols)
+                    {
+                        match e.budget_trip() {
+                            Some(t) if depth == 0 => {
+                                if solver.trip.is_none() {
+                                    solver.trip = Some(t);
+                                }
+                            }
+                            _ => return Err(e),
+                        }
+                    }
                     for sol in sols {
                         let tuple: Vec<Term> = head_args.iter().map(|h| sol.resolve(h)).collect();
                         if tuple.iter().any(|x| !x.is_ground()) {
@@ -627,6 +690,45 @@ mod tests {
         );
         let err = solver.query(&q).unwrap_err();
         assert!(matches!(err, EvalError::FuelExceeded { .. }));
+    }
+
+    #[test]
+    fn bytes_budget_drains_the_up_sweep() {
+        let sys = System::build(&parse_program(APPEND).unwrap());
+        let q = parse_query("append(U, V, [1, 2, 3, 4, 5, 6, 7, 8])").unwrap();
+        let full = {
+            let mut solver = Solver::new(&sys, SolveOptions::default());
+            solver.query(&q).unwrap().len()
+        };
+        let opts = SolveOptions::default();
+        opts.governor.set_budget(chainsplit_governor::Budget {
+            max_bytes_est: Some(1),
+            ..Default::default()
+        });
+        opts.governor.begin_query();
+        let mut solver = Solver::new(&sys, opts);
+        let sols = solver.query(&q).unwrap();
+        let trip = solver.trip.expect("bytes budget must trip");
+        assert_eq!(trip.resource, chainsplit_governor::Resource::Bytes);
+        assert_eq!(trip.phase, "up-sweep");
+        // The first buffered level already exceeds one byte, so the drain
+        // happens mid-chain: fewer answers than the full run.
+        assert!(sols.len() < full, "{} !< {full}", sols.len());
+    }
+
+    #[test]
+    fn cancellation_reaches_the_up_sweep() {
+        let sys = System::build(&parse_program(APPEND).unwrap());
+        let q = parse_query("append(U, V, [1, 2, 3])").unwrap();
+        let opts = SolveOptions::default();
+        opts.governor.begin_query();
+        opts.governor.cancel_token().cancel();
+        let mut solver = Solver::new(&sys, opts);
+        let sols = solver.query(&q).unwrap();
+        let trip = solver.trip.expect("cancellation must trip");
+        assert_eq!(trip.resource, chainsplit_governor::Resource::Cancelled);
+        // Cancelled before the first level completed: no answers at all.
+        assert!(sols.is_empty());
     }
 
     #[test]

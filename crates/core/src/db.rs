@@ -15,6 +15,7 @@ use chainsplit_engine::{
     BottomUpOptions, Counters, EvalError, EvalMetrics, PhaseTimings, RoundMetrics, TabledOptions,
     TopDownOptions,
 };
+use chainsplit_governor::{Budget, BudgetTrip, CancelToken, Governor};
 use chainsplit_logic::{parse_program, parse_rule, Atom, ParseError, Program, Subst, Term, Var};
 use std::fmt;
 use std::time::Instant;
@@ -101,6 +102,18 @@ pub struct QueryOutcome {
     pub rounds: Vec<RoundMetrics>,
     /// Wall time per evaluation phase.
     pub phases: PhaseTimings,
+    /// `Some` when a resource budget or cancellation stopped evaluation
+    /// early. The answers then hold what was derived before the trip: a
+    /// sound under-approximation of the full answer set (DESIGN.md §10).
+    pub trip: Option<BudgetTrip>,
+}
+
+impl QueryOutcome {
+    /// `true` when the answer set may be incomplete because a budget
+    /// tripped or the query was cancelled.
+    pub fn is_partial(&self) -> bool {
+        self.trip.is_some()
+    }
 }
 
 /// Errors surfaced by the facade.
@@ -160,6 +173,9 @@ pub struct DeductiveDb {
     pub tabled_options: TabledOptions,
     /// Thresholds for the efficiency-based split decision.
     pub cost_model: CostModel,
+    /// The resource governor shared by every evaluator this db runs:
+    /// deadlines, round/tuple/byte budgets, and cooperative cancellation.
+    governor: Governor,
 }
 
 impl Default for DeductiveDb {
@@ -179,7 +195,31 @@ impl DeductiveDb {
             top_down_options: TopDownOptions::default(),
             tabled_options: TabledOptions::default(),
             cost_model: CostModel::default(),
+            governor: Governor::new(),
         }
+    }
+
+    /// The governor every query on this db runs under.
+    pub fn governor(&self) -> &Governor {
+        &self.governor
+    }
+
+    /// Sets (or clears, with `Budget::default()`) the resource budget
+    /// applied to every subsequent query. The deadline in `budget.wall`
+    /// is re-armed at each query start, not from this call.
+    pub fn set_budget(&self, budget: Budget) {
+        self.governor.set_budget(budget);
+    }
+
+    /// The currently configured budget.
+    pub fn budget(&self) -> Budget {
+        self.governor.budget()
+    }
+
+    /// A shareable token that cancels the currently running (and any
+    /// future) query when triggered from another thread.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.governor.cancel_token()
     }
 
     /// Sets the worker-thread count for every parallel evaluator (the
@@ -266,10 +306,26 @@ impl DeductiveDb {
         constraints: &[Atom],
         strategy: Strategy,
     ) -> Result<QueryOutcome, DbError> {
-        let solve_opts = self.solve_options;
-        let bu_opts = self.bottom_up_options;
-        let td_opts = self.top_down_options;
-        let tab_opts = self.tabled_options;
+        // Re-arm the deadline and clear any previous trip, then hand every
+        // evaluator the same governor handle via its options.
+        self.governor.begin_query();
+        let gov = self.governor.clone();
+        let solve_opts = SolveOptions {
+            governor: gov.clone(),
+            ..self.solve_options.clone()
+        };
+        let bu_opts = BottomUpOptions {
+            governor: gov.clone(),
+            ..self.bottom_up_options.clone()
+        };
+        let td_opts = TopDownOptions {
+            governor: gov.clone(),
+            ..self.top_down_options.clone()
+        };
+        let tab_opts = TabledOptions {
+            governor: gov.clone(),
+            ..self.tabled_options.clone()
+        };
         let cost = self.cost_model;
         let source = self.source.clone();
         let mut query_span = chainsplit_trace::span!("query", pred = atom.pred);
@@ -322,11 +378,12 @@ impl DeductiveDb {
                         answer_ms: duration_ms(t1.elapsed()),
                         ..PhaseTimings::default()
                     },
+                    trip: solver.trip,
                 }
             }
             Strategy::Tabled => {
                 let t0 = Instant::now();
-                let (sols, counters) = tabled_query(&source, atom, tab_opts)?;
+                let (sols, counters, trip) = tabled_query(&source, atom, tab_opts)?;
                 let fixpoint_ms = duration_ms(t0.elapsed());
                 let t1 = Instant::now();
                 let _sp = chainsplit_trace::span!("answer", pred = atom.pred);
@@ -342,11 +399,12 @@ impl DeductiveDb {
                         answer_ms: duration_ms(t1.elapsed()),
                         ..PhaseTimings::default()
                     },
+                    trip,
                 }
             }
             Strategy::TopDown => {
                 let t0 = Instant::now();
-                let (sols, counters) = topdown_query(&source, atom, td_opts)?;
+                let (sols, counters, trip) = topdown_query(&source, atom, td_opts)?;
                 let fixpoint_ms = duration_ms(t0.elapsed());
                 let t1 = Instant::now();
                 let _sp = chainsplit_trace::span!("answer", pred = atom.pred);
@@ -362,6 +420,7 @@ impl DeductiveDb {
                         answer_ms: duration_ms(t1.elapsed()),
                         ..PhaseTimings::default()
                     },
+                    trip,
                 }
             }
             Strategy::Naive | Strategy::SemiNaive => {
@@ -397,6 +456,7 @@ impl DeductiveDb {
                     strategy,
                     rounds: run.rounds,
                     phases,
+                    trip: run.trip,
                 }
             }
             Strategy::SupplementaryMagic => {
@@ -414,6 +474,7 @@ impl DeductiveDb {
                     strategy,
                     rounds: r.rounds,
                     phases: r.phases,
+                    trip: r.trip,
                 }
             }
             Strategy::Magic => {
@@ -425,6 +486,7 @@ impl DeductiveDb {
                     strategy,
                     rounds: r.rounds,
                     phases: r.phases,
+                    trip: r.trip,
                 }
             }
             Strategy::ChainSplitMagic => {
@@ -436,6 +498,7 @@ impl DeductiveDb {
                     strategy,
                     rounds: r.rounds,
                     phases: r.phases,
+                    trip: r.trip,
                 }
             }
         };
@@ -458,12 +521,12 @@ impl DeductiveDb {
     /// Checks every integrity constraint against the current state.
     /// Returns one human-readable witness per violated constraint.
     pub fn check_integrity(&mut self) -> Result<Vec<String>, DbError> {
-        let solve_opts = self.solve_options;
+        let solve_opts = self.solve_options.clone();
         let ics = self.constraints.clone();
         let sys = self.system();
         let mut violations = Vec::new();
         for body in &ics {
-            let mut solver = Solver::new(sys, solve_opts);
+            let mut solver = Solver::new(sys, solve_opts.clone());
             let atoms: Vec<&Atom> = body.iter().collect();
             let mut sols = Vec::new();
             solver.solve_body_dynamic(&atoms, &Subst::new(), 0, &mut sols)?;
@@ -493,7 +556,7 @@ impl DeductiveDb {
     /// Goal-directed search stops at the first success.
     pub fn exists(&mut self, query: &str) -> Result<bool, DbError> {
         let (atom, constraints) = self.parse_goal(query)?;
-        let solve_opts = self.solve_options;
+        let solve_opts = self.solve_options.clone();
         let sys = self.system();
         let mut solver = Solver::new(sys, solve_opts);
         if constraints.is_empty() {
@@ -774,6 +837,39 @@ mod tests {
             assert_eq!(db.query(q).unwrap().len(), 1, "{q}");
         }
         assert!(db.query("p(X), q(").is_err());
+    }
+
+    #[test]
+    fn budget_trips_then_lifting_it_restores_full_answers() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+             path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        let full = db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
+        assert!(full.trip.is_none());
+        assert!(!full.is_partial());
+        db.set_budget(Budget {
+            max_rounds: Some(2),
+            ..Budget::default()
+        });
+        let partial = db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
+        let trip = partial.trip.expect("rounds budget must trip");
+        assert_eq!(trip.resource, chainsplit_governor::Resource::Rounds);
+        assert!(partial.answers.len() < full.answers.len());
+        // Crash consistency: lifting the budget on the *same* db restores
+        // the complete answer set.
+        db.set_budget(Budget::default());
+        let again = db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
+        assert!(again.trip.is_none());
+        let sort = |o: &QueryOutcome| {
+            let mut v: Vec<String> = o.answers.iter().map(|a| a.to_string()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sort(&again), sort(&full));
     }
 
     #[test]

@@ -270,7 +270,15 @@ pub fn eval_partial(
             )?;
         }
         None => {
-            solver.solve_atom(query, &Subst::new(), 0, &mut raw)?;
+            // A governor budget trip keeps the answers proved so far (each
+            // independently sound); the residual filter below still runs,
+            // so partial answers respect every constraint.
+            if let Err(e) = solver.solve_atom(query, &Subst::new(), 0, &mut raw) {
+                match e.budget_trip() {
+                    Some(t) => solver.trip = Some(t),
+                    None => return Err(e),
+                }
+            }
         }
     }
 

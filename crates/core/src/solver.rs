@@ -21,10 +21,11 @@ use chainsplit_chain::plan_split;
 use chainsplit_engine::{
     eval_builtin, match_relation, BuiltinOutcome, Counters, EvalError, RoundMetrics,
 };
+use chainsplit_governor::{BudgetTrip, Governor};
 use chainsplit_logic::{fresh, unify_atoms, Ad, Adornment, Atom, Subst};
 
 /// Budgets for a solver run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SolveOptions {
     /// Maximum goal-resolution depth.
     pub max_depth: usize,
@@ -37,6 +38,9 @@ pub struct SolveOptions {
     /// sequential). Answers and work counters are identical for every
     /// value — see DESIGN.md §5.
     pub threads: usize,
+    /// The resource governor, polled every 1024 goal invocations and at
+    /// every buffered up-sweep level. Disarmed by default.
+    pub governor: Governor,
 }
 
 impl Default for SolveOptions {
@@ -46,6 +50,7 @@ impl Default for SolveOptions {
             fuel: 100_000_000,
             max_levels: 100_000,
             threads: chainsplit_par::env_threads(),
+            governor: Governor::new(),
         }
     }
 }
@@ -59,6 +64,9 @@ pub struct Solver<'a> {
     /// chain level swept, `delta` = nodes buffered at that level (the
     /// buffered-chain size). Goal-directed resolution adds no entries.
     pub rounds: Vec<RoundMetrics>,
+    /// `Some` when a governor budget tripped: the answers returned are
+    /// those proved before the drain point (a sound under-approximation).
+    pub trip: Option<BudgetTrip>,
     pub(crate) fuel_left: usize,
 }
 
@@ -75,12 +83,14 @@ pub fn runtime_adornment(atom: &Atom, s: &Subst) -> Adornment {
 
 impl<'a> Solver<'a> {
     pub fn new(sys: &'a System, opts: SolveOptions) -> Solver<'a> {
+        let fuel_left = opts.fuel;
         Solver {
             sys,
             opts,
             counters: Counters::default(),
             rounds: Vec::new(),
-            fuel_left: opts.fuel,
+            trip: None,
+            fuel_left,
         }
     }
 
@@ -91,6 +101,11 @@ impl<'a> Solver<'a> {
             });
         }
         self.fuel_left -= 1;
+        // Strided governor poll — goal-directed resolution has no round
+        // boundary, so this is its cooperative check point.
+        if self.fuel_left & 0x3FF == 0 {
+            self.opts.governor.check("resolve")?;
+        }
         Ok(())
     }
 
@@ -206,9 +221,19 @@ impl<'a> Solver<'a> {
     }
 
     /// Convenience: all solutions of `atom` from an empty substitution.
+    ///
+    /// A governor budget trip is *not* an error here: the answers proved
+    /// before the trip are returned and [`Solver::trip`] records why the
+    /// search stopped early.
     pub fn query(&mut self, atom: &Atom) -> Result<Vec<Subst>, EvalError> {
         let mut out = Vec::new();
-        self.solve_atom(atom, &Subst::new(), 0, &mut out)?;
+        match self.solve_atom(atom, &Subst::new(), 0, &mut out) {
+            Ok(()) => {}
+            Err(e) => match e.budget_trip() {
+                Some(t) => self.trip = Some(t),
+                None => return Err(e),
+            },
+        }
         Ok(out)
     }
 

@@ -1,5 +1,6 @@
 //! Evaluation errors and resource budgets.
 
+use chainsplit_governor::{BudgetTrip, Resource};
 use std::fmt;
 
 /// An evaluation failure.
@@ -22,6 +23,67 @@ pub enum EvalError {
     /// the join-order planner's per-signature scoring would silently pick
     /// a wrong order, so evaluation refuses instead.
     NonUniformFrontier { atom: String },
+    /// A [`chainsplit_governor::Governor`] budget was exhausted (or the
+    /// query was cancelled, or a fault was injected). Carries the fields
+    /// of the latched [`BudgetTrip`]. Evaluators that can drain to a
+    /// consistent boundary convert this into a partial result with the
+    /// trip attached instead of returning it as an error; it surfaces as
+    /// an `Err` only where partial answers would be unsound (e.g. inside
+    /// a nested sub-evaluation).
+    BudgetExceeded {
+        resource: Resource,
+        limit: u64,
+        observed: u64,
+        phase: &'static str,
+    },
+    /// A parallel worker panicked mid-query. The panic poisons only that
+    /// query — the pool and the enclosing `DeductiveDb` stay usable.
+    /// `task` is the partition index, `message` the panic payload (kept so
+    /// fuzz shrinking can bucket crashes).
+    WorkerPanicked { task: usize, message: String },
+}
+
+impl From<chainsplit_par::PoolError> for EvalError {
+    fn from(e: chainsplit_par::PoolError) -> EvalError {
+        match e {
+            chainsplit_par::PoolError::WorkerPanicked { task, message } => {
+                EvalError::WorkerPanicked { task, message }
+            }
+        }
+    }
+}
+
+impl From<BudgetTrip> for EvalError {
+    fn from(t: BudgetTrip) -> EvalError {
+        EvalError::BudgetExceeded {
+            resource: t.resource,
+            limit: t.limit,
+            observed: t.observed,
+            phase: t.phase,
+        }
+    }
+}
+
+impl EvalError {
+    /// The governor trip behind this error, if it is a `BudgetExceeded`.
+    /// The drain points use this to tell graceful budget stops apart from
+    /// genuine failures.
+    pub fn budget_trip(&self) -> Option<BudgetTrip> {
+        match *self {
+            EvalError::BudgetExceeded {
+                resource,
+                limit,
+                observed,
+                phase,
+            } => Some(BudgetTrip {
+                resource,
+                limit,
+                observed,
+                phase,
+            }),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -41,6 +103,13 @@ impl fmt::Display for EvalError {
                     f,
                     "frontier over `{atom}` lost groundness uniformity; cannot plan a join order"
                 )
+            }
+            e @ EvalError::BudgetExceeded { .. } => {
+                let trip = e.budget_trip().expect("matched BudgetExceeded");
+                write!(f, "budget exceeded: {trip}")
+            }
+            EvalError::WorkerPanicked { task, message } => {
+                write!(f, "worker panicked evaluating partition {task}: {message}")
             }
         }
     }
@@ -214,5 +283,19 @@ mod tests {
         assert!(EvalError::DepthExceeded { limit: 9 }
             .to_string()
             .contains('9'));
+    }
+
+    #[test]
+    fn budget_exceeded_round_trips_through_budget_trip() {
+        let trip = BudgetTrip {
+            resource: Resource::Wall,
+            limit: 50,
+            observed: 61,
+            phase: "up-sweep",
+        };
+        let e = EvalError::from(trip);
+        assert_eq!(e.budget_trip(), Some(trip));
+        assert_eq!(e.to_string(), format!("budget exceeded: {trip}"));
+        assert_eq!(EvalError::FuelExceeded { limit: 3 }.budget_trip(), None);
     }
 }

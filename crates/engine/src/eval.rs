@@ -11,6 +11,7 @@
 
 use crate::builtins::{eval_builtin, is_builtin_atom, BuiltinOutcome};
 use crate::error::{Counters, EvalError};
+use chainsplit_governor::Governor;
 use chainsplit_logic::{unify, Atom, Pred, Subst, Term};
 use chainsplit_relation::{FxHashMap, Relation};
 
@@ -207,11 +208,12 @@ pub fn eval_body<'a>(
     init: Subst,
     lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
     counters: &mut Counters,
+    gov: &Governor,
 ) -> Result<Vec<Subst>, EvalError> {
     // A frontier grown from a single substitution stays
     // groundness-uniform (every atom binds the same variables in every
     // branch), so non-uniformity here is a bug worth asserting on.
-    eval_frontier(body.to_vec(), vec![init], lookup, counters, true)
+    eval_frontier(body.to_vec(), vec![init], lookup, counters, gov, true)
 }
 
 /// Like [`eval_body_frontier`], but the caller asserts the frontier is
@@ -224,8 +226,9 @@ pub fn eval_body_uniform<'a>(
     frontier: Vec<Subst>,
     lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
     counters: &mut Counters,
+    gov: &Governor,
 ) -> Result<Vec<Subst>, EvalError> {
-    eval_frontier(body.to_vec(), frontier, lookup, counters, true)
+    eval_frontier(body.to_vec(), frontier, lookup, counters, gov, true)
 }
 
 /// Like [`eval_body`], but starting from an arbitrary set of input
@@ -237,8 +240,9 @@ pub fn eval_body_frontier<'a>(
     frontier: Vec<Subst>,
     lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
     counters: &mut Counters,
+    gov: &Governor,
 ) -> Result<Vec<Subst>, EvalError> {
-    eval_frontier(body.to_vec(), frontier, lookup, counters, false)
+    eval_frontier(body.to_vec(), frontier, lookup, counters, gov, false)
 }
 
 /// Per-atom bitmask of which arguments are ground under `s`, over the
@@ -265,12 +269,18 @@ fn eval_frontier<'a>(
     mut frontier: Vec<Subst>,
     lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
     counters: &mut Counters,
+    gov: &Governor,
     expect_uniform: bool,
 ) -> Result<Vec<Subst>, EvalError> {
     while !remaining.is_empty() {
         if frontier.is_empty() {
             return Ok(vec![]);
         }
+        // Cooperative governor checkpoint, once per probe batch (each
+        // join step evaluates one atom over the whole frontier). Pure
+        // reads: the work counters are untouched, so probed/matched stay
+        // bit-identical whether or not a budget is armed.
+        gov.check("probe-batch")?;
         // The atom score below probes only `frontier[0]`, which is sound
         // only while every frontier substitution shares one groundness
         // pattern. Verify that before trusting the probe; a mixed frontier
@@ -310,6 +320,7 @@ fn eval_frontier<'a>(
                         group,
                         lookup,
                         counters,
+                        gov,
                         false,
                     )?);
                 }
@@ -426,9 +437,10 @@ pub fn eval_body_auto<'a>(
     init: Subst,
     lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
     counters: &mut Counters,
+    gov: &Governor,
 ) -> Result<Vec<Subst>, EvalError> {
     let tagged: Vec<(&Atom, AtomSource)> = body.iter().map(|a| (a, AtomSource::Auto)).collect();
-    eval_body(&tagged, init, lookup, counters)
+    eval_body(&tagged, init, lookup, counters, gov)
 }
 
 #[cfg(test)]
@@ -472,7 +484,7 @@ mod tests {
         ];
         let mut c = Counters::default();
         let lookup = |p: chainsplit_logic::Pred| db.relation(p);
-        let sols = eval_body_auto(&body, Subst::new(), &lookup, &mut c).unwrap();
+        let sols = eval_body_auto(&body, Subst::new(), &lookup, &mut c, &Governor::new()).unwrap();
         // adam and eve each have (cain, abel) and (abel, cain).
         assert_eq!(sols.len(), 4);
         assert!(c.probed > 0);
@@ -532,7 +544,14 @@ mod tests {
         let body = vec![(&lt, AtomSource::Auto), (&gen, AtomSource::Auto)];
         let mut c = Counters::default();
         let lookup = |p: chainsplit_logic::Pred| db.relation(p);
-        let sols = eval_body_frontier(&body, vec![ground_x, free_x], &lookup, &mut c).unwrap();
+        let sols = eval_body_frontier(
+            &body,
+            vec![ground_x, free_x],
+            &lookup,
+            &mut c,
+            &Governor::new(),
+        )
+        .unwrap();
         // Group 1 (X = 1): 1 < 3 holds, but X = 2 then fails -> no solution.
         // Group 2 (X free): X = 2 binds first, 2 < 3 holds -> one solution.
         assert_eq!(sols.len(), 1);
@@ -554,15 +573,28 @@ mod tests {
         let body = vec![(&lt, AtomSource::Auto), (&gen, AtomSource::Auto)];
         let mut c = Counters::default();
         let lookup = |p: chainsplit_logic::Pred| db.relation(p);
-        let err =
-            eval_body_uniform(&body, vec![ground_x.clone(), free_x], &lookup, &mut c).unwrap_err();
+        let err = eval_body_uniform(
+            &body,
+            vec![ground_x.clone(), free_x],
+            &lookup,
+            &mut c,
+            &Governor::new(),
+        )
+        .unwrap_err();
         assert!(matches!(err, EvalError::NonUniformFrontier { .. }));
         assert!(err.to_string().contains("uniformity"));
 
         // An actually-uniform frontier sails through the same seam.
         let mut ground_too = Subst::new();
         ground_too.bind(Var::named("X"), Term::Int(2));
-        let sols = eval_body_uniform(&body, vec![ground_x, ground_too], &lookup, &mut c).unwrap();
+        let sols = eval_body_uniform(
+            &body,
+            vec![ground_x, ground_too],
+            &lookup,
+            &mut c,
+            &Governor::new(),
+        )
+        .unwrap();
         assert_eq!(sols.len(), 1); // only X = 2 survives `X = 2, X < 3`
     }
 
@@ -572,7 +604,7 @@ mod tests {
         let body = vec![parse_query("ancestor(X, Y)").unwrap()];
         let mut c = Counters::default();
         let lookup = |p: chainsplit_logic::Pred| db.relation(p);
-        let sols = eval_body_auto(&body, Subst::new(), &lookup, &mut c).unwrap();
+        let sols = eval_body_auto(&body, Subst::new(), &lookup, &mut c, &Governor::new()).unwrap();
         assert!(sols.is_empty());
     }
 
@@ -582,7 +614,8 @@ mod tests {
         let body = vec![parse_query("X < Y").unwrap()];
         let mut c = Counters::default();
         let lookup = |p: chainsplit_logic::Pred| db.relation(p);
-        let err = eval_body_auto(&body, Subst::new(), &lookup, &mut c).unwrap_err();
+        let err =
+            eval_body_auto(&body, Subst::new(), &lookup, &mut c, &Governor::new()).unwrap_err();
         assert!(matches!(err, EvalError::NotEvaluable { .. }));
     }
 
@@ -598,7 +631,7 @@ mod tests {
         let tagged = vec![(&atom, AtomSource::Fixed(&delta))];
         let mut c = Counters::default();
         let lookup = |p: chainsplit_logic::Pred| db.relation(p);
-        let sols = eval_body(&tagged, Subst::new(), &lookup, &mut c).unwrap();
+        let sols = eval_body(&tagged, Subst::new(), &lookup, &mut c, &Governor::new()).unwrap();
         assert_eq!(sols.len(), 1); // only the delta row, not all four
         assert_eq!(
             sols[0].resolve(&Term::Var(Var::named("Y"))),
@@ -658,10 +691,12 @@ mod tests {
         ];
         let lookup = |p: chainsplit_logic::Pred| db.relation(p);
         let mut new_c = Counters::default();
-        let new_sols = eval_body_auto(&body, Subst::new(), &lookup, &mut new_c).unwrap();
+        let new_sols =
+            eval_body_auto(&body, Subst::new(), &lookup, &mut new_c, &Governor::new()).unwrap();
         let (old_sols, old_c) = legacy::with_per_substitution(|| {
             let mut c = Counters::default();
-            let sols = eval_body_auto(&body, Subst::new(), &lookup, &mut c).unwrap();
+            let sols =
+                eval_body_auto(&body, Subst::new(), &lookup, &mut c, &Governor::new()).unwrap();
             (sols, c)
         });
         assert_eq!(new_sols, old_sols);
@@ -683,7 +718,26 @@ mod tests {
         let body = vec![parse_query("parent(P, X)").unwrap()];
         let mut c = Counters::default();
         let lookup = |p: chainsplit_logic::Pred| db.relation(p);
-        let sols = eval_body_auto(&body, init, &lookup, &mut c).unwrap();
+        let sols = eval_body_auto(&body, init, &lookup, &mut c, &Governor::new()).unwrap();
         assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn cancelled_governor_stops_the_probe_batch() {
+        let db = family();
+        let body = vec![
+            parse_query("parent(P, X)").unwrap(),
+            parse_query("parent(P, Y)").unwrap(),
+        ];
+        let lookup = |p: chainsplit_logic::Pred| db.relation(p);
+        let gov = Governor::new();
+        gov.cancel_token().cancel();
+        let mut c = Counters::default();
+        let err = eval_body_auto(&body, Subst::new(), &lookup, &mut c, &gov).unwrap_err();
+        let trip = err.budget_trip().expect("a cancellation trip");
+        assert_eq!(trip.resource, chainsplit_governor::Resource::Cancelled);
+        assert_eq!(trip.phase, "probe-batch");
+        // The check is a pure read: no work was counted before the stop.
+        assert_eq!(c, Counters::default());
     }
 }

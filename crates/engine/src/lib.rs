@@ -31,6 +31,7 @@ pub mod tabled;
 pub mod topdown;
 
 pub use builtins::{eval_builtin, is_builtin_atom, BuiltinOutcome};
+pub use chainsplit_governor::{Budget, BudgetTrip, CancelToken, Governor, Resource};
 pub use error::{Counters, EvalError};
 pub use eval::{
     eval_body, eval_body_auto, eval_body_frontier, eval_body_uniform, match_relation,

@@ -257,6 +257,10 @@ pub struct MagicResult {
     pub rounds: Vec<RoundMetrics>,
     /// Transform (compile), seed, fixpoint and answer-extraction timings.
     pub phases: PhaseTimings,
+    /// `Some` when a governor budget tripped during the semi-naive run:
+    /// `answers` holds only what was derivable from the drained partial
+    /// fixpoint (a sound under-approximation).
+    pub trip: Option<chainsplit_governor::BudgetTrip>,
 }
 
 /// Transforms, evaluates semi-naively, and extracts the query's answers.
@@ -305,6 +309,7 @@ pub fn magic_eval(
             answer_ms: duration_ms(answer_start.elapsed()),
             ..run.phases
         },
+        trip: run.trip,
     })
 }
 

@@ -7,14 +7,17 @@
 use crate::error::{Counters, EvalError};
 use crate::eval::eval_body_auto;
 use crate::metrics::{duration_ms, PhaseTimings, RoundMetrics};
+use chainsplit_governor::{BudgetTrip, Governor};
 use chainsplit_logic::{Pred, Rule, Subst};
 use chainsplit_relation::{Database, Tuple};
 use std::time::Instant;
 
 /// Budget options for the bottom-up evaluators.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BottomUpOptions {
-    /// Abort with `FuelExceeded` after this many fixpoint rounds.
+    /// Abort with `FuelExceeded` after this many fixpoint rounds. A
+    /// hard safety net (not gracefully drained); for per-query limits
+    /// with partial results, set a `Budget` on the governor instead.
     pub max_rounds: usize,
     /// Abort with `FuelExceeded` once this many facts have been derived.
     pub max_facts: usize,
@@ -22,14 +25,18 @@ pub struct BottomUpOptions {
     /// naive oracle always runs sequentially). Answers and work counters
     /// are identical for every value — see DESIGN.md §5.
     pub threads: usize,
+    /// The resource governor checked at round boundaries and probe
+    /// batches. Disarmed by default (no budget, nothing to observe).
+    pub governor: Governor,
 }
 
 impl Default for BottomUpOptions {
     fn default() -> Self {
         BottomUpOptions {
-            max_rounds: 1_000_000,
+            max_rounds: chainsplit_governor::DEFAULT_MAX_ROUNDS,
             max_facts: 50_000_000,
             threads: chainsplit_par::env_threads(),
+            governor: Governor::new(),
         }
     }
 }
@@ -46,6 +53,11 @@ pub struct BottomUpResult {
     /// Seed / fixpoint wall time (compile and answer phases belong to the
     /// callers that have them).
     pub phases: PhaseTimings,
+    /// `Some` when a governor budget tripped: the run drained at the last
+    /// consistent boundary and `idb` is a sound *under*-approximation of
+    /// the fixpoint (everything present is derivable; the fixpoint was
+    /// not reached).
+    pub trip: Option<BudgetTrip>,
 }
 
 /// Runs naive evaluation of `rules` over `edb` to fixpoint.
@@ -64,10 +76,19 @@ pub fn naive_eval(
     let mut rounds: Vec<RoundMetrics> = Vec::new();
     let _fixpoint_span = chainsplit_trace::span!("fixpoint", strategy = "naive");
     let fixpoint_start = Instant::now();
-    loop {
+    let gov = &opts.governor;
+    let mut trip: Option<BudgetTrip> = None;
+    'fixpoint: loop {
         let mut round_span =
             chainsplit_trace::Span::enter_cat(format!("round {}", rounds.len()), "round");
         round_span.set_attr("round", rounds.len());
+        // The round boundary is the drain point: everything inserted so
+        // far is derivable, so on a trip we stop *here* and return the
+        // partial IDB with the trip attached instead of erroring.
+        if let Err(t) = gov.on_round("naive-round") {
+            trip = Some(t);
+            break 'fixpoint;
+        }
         let round_base = counters;
         counters.iterations += 1;
         if counters.iterations > opts.max_rounds {
@@ -78,7 +99,19 @@ pub fn naive_eval(
         let mut new_facts: Vec<(Pred, Tuple)> = Vec::new();
         for rule in rules {
             let lookup = |p: Pred| idb.relation(p).or_else(|| edb.relation(p));
-            let sols = eval_body_auto(&rule.body, Subst::new(), &lookup, &mut counters)?;
+            let sols = match eval_body_auto(&rule.body, Subst::new(), &lookup, &mut counters, gov) {
+                Ok(sols) => sols,
+                // A mid-round budget trip drains too: the IDB holds only
+                // complete earlier rounds (this round's derivations are
+                // still in `new_facts`/unstarted), which is consistent.
+                Err(e) => match e.budget_trip() {
+                    Some(t) => {
+                        trip = Some(t);
+                        break 'fixpoint;
+                    }
+                    None => return Err(e),
+                },
+            };
             for s in sols {
                 let head = s.resolve_atom(&rule.head);
                 if !head.is_ground() {
@@ -90,10 +123,22 @@ pub fn naive_eval(
             }
         }
         let mut inserted = 0usize;
+        let account = gov.active();
         for (pred, t) in new_facts {
+            // Size up front (only when a budget is armed) so the tuple
+            // can move into the relation without a clone on the hot path.
+            let bytes = if account {
+                t.estimated_bytes() as u64
+            } else {
+                0
+            };
             if idb.relation_mut(pred).insert(t) {
                 counters.derived += 1;
                 inserted += 1;
+                if account {
+                    gov.add_tuples(1);
+                    gov.add_bytes(bytes);
+                }
                 if counters.derived > opts.max_facts {
                     return Err(EvalError::FuelExceeded {
                         limit: opts.max_facts,
@@ -108,17 +153,19 @@ pub fn naive_eval(
         });
         round_span.set_attr("delta", inserted);
         if inserted == 0 {
-            return Ok(BottomUpResult {
-                idb,
-                counters,
-                rounds,
-                phases: PhaseTimings {
-                    fixpoint_ms: duration_ms(fixpoint_start.elapsed()),
-                    ..PhaseTimings::default()
-                },
-            });
+            break 'fixpoint;
         }
     }
+    Ok(BottomUpResult {
+        idb,
+        counters,
+        rounds,
+        phases: PhaseTimings {
+            fixpoint_ms: duration_ms(fixpoint_start.elapsed()),
+            ..PhaseTimings::default()
+        },
+        trip,
+    })
 }
 
 #[cfg(test)]
@@ -213,5 +260,33 @@ mod tests {
     fn empty_rules_empty_result() {
         let r = run("edge(a, b).");
         assert_eq!(r.idb.total_rows(), 0);
+        assert_eq!(r.trip, None);
+    }
+
+    #[test]
+    fn governor_rounds_budget_drains_to_partial_result() {
+        let program = parse_program(
+            "n(0).
+             n(Y) :- n(X), plus(X, 1, Y).",
+        )
+        .unwrap();
+        let (facts, rules) = program.split_facts();
+        let edb = Database::from_facts(facts);
+        let opts = BottomUpOptions::default();
+        opts.governor.set_budget(chainsplit_governor::Budget {
+            max_rounds: Some(10),
+            ..Default::default()
+        });
+        opts.governor.begin_query();
+        // Unlike the hard `max_rounds` fuel error, the governor budget
+        // returns Ok: a partial IDB, partial round metrics, and the trip.
+        let r = naive_eval(&rules, &edb, opts).unwrap();
+        let trip = r.trip.expect("rounds budget must trip");
+        assert_eq!(trip.resource, chainsplit_governor::Resource::Rounds);
+        assert_eq!(trip.phase, "naive-round");
+        assert_eq!(r.rounds.len(), 10);
+        // 10 completed rounds of the counter program derived n(1)..n(10)
+        // — a consistent under-approximation, not discarded work.
+        assert_eq!(r.idb.relation(Pred::new("n", 1)).unwrap().len(), 10);
     }
 }

@@ -13,6 +13,7 @@
 use crate::error::{Counters, EvalError};
 use crate::eval::{eval_body, AtomSource};
 use crate::metrics::{duration_ms, PhaseTimings, RoundMetrics};
+use chainsplit_governor::BudgetTrip;
 use chainsplit_logic::{Pred, Rule, Subst};
 use chainsplit_par::Pool;
 use chainsplit_relation::{Database, DeltaRelation, Relation, Tuple};
@@ -87,17 +88,33 @@ pub fn seminaive_eval(
 
     let mut rounds: Vec<RoundMetrics> = Vec::new();
     let mut phases = PhaseTimings::default();
+    let gov = &opts.governor;
+    let mut trip: Option<BudgetTrip> = None;
 
     {
         let mut seed_span = chainsplit_trace::span!("seed");
         let seed_start = Instant::now();
         let round_base = counters;
         let mut seed: Vec<(Pred, Tuple)> = Vec::new();
-        for rule in &base_rules {
+        'seed: for rule in &base_rules {
             let lookup = |p: Pred| edb.relation(p);
             let tagged: Vec<(&chainsplit_logic::Atom, AtomSource)> =
                 rule.body.iter().map(|a| (a, AtomSource::Auto)).collect();
-            for s in eval_body(&tagged, Subst::new(), &lookup, &mut counters)? {
+            let sols = match eval_body(&tagged, Subst::new(), &lookup, &mut counters, gov) {
+                Ok(sols) => sols,
+                // A budget trip during seeding drains to the cleanest
+                // state of all: discard the half-built seed round and
+                // return an empty (trivially consistent) IDB.
+                Err(e) => match e.budget_trip() {
+                    Some(t) => {
+                        seed.clear();
+                        trip = Some(t);
+                        break 'seed;
+                    }
+                    None => return Err(e),
+                },
+            };
+            for s in sols {
                 let head = s.resolve_atom(&rule.head);
                 if !head.is_ground() {
                     return Err(EvalError::NotEvaluable {
@@ -108,10 +125,20 @@ pub fn seminaive_eval(
             }
         }
         let mut seeded = 0usize;
+        let account = gov.active();
         for (pred, t) in seed {
+            let bytes = if account {
+                t.estimated_bytes() as u64
+            } else {
+                0
+            };
             if deltas.get_mut(&pred).unwrap().seed(t) {
                 counters.derived += 1;
                 seeded += 1;
+                if account {
+                    gov.add_tuples(1);
+                    gov.add_bytes(bytes);
+                }
             }
         }
         // Round 0 is the seeding round: base rules, and for rewritten
@@ -128,10 +155,17 @@ pub fn seminaive_eval(
     let pool = Pool::new(opts.threads);
     let _fixpoint_span = chainsplit_trace::span!("fixpoint", strategy = "semi-naive");
     let fixpoint_start = Instant::now();
-    loop {
+    'fixpoint: while trip.is_none() {
         let mut round_span =
             chainsplit_trace::Span::enter_cat(format!("round {}", rounds.len()), "round");
         round_span.set_attr("round", rounds.len());
+        // Round boundary = drain point: every delta has been advanced, so
+        // on a trip the materialized state below is a consistent
+        // under-approximation of the fixpoint.
+        if let Err(t) = gov.on_round("seminaive-round") {
+            trip = Some(t);
+            break 'fixpoint;
+        }
         let round_base = counters;
         counters.iterations += 1;
         if counters.iterations > opts.max_rounds {
@@ -200,7 +234,10 @@ pub fn seminaive_eval(
                         }
                     }
                     let lookup = |p: Pred| edb.relation(p);
-                    for s in eval_body(&tagged, Subst::new(), &lookup, &mut c)? {
+                    // Workers observe the shared governor at every probe
+                    // batch, so cross-thread cancellation and deadlines
+                    // reach into a round in flight.
+                    for s in eval_body(&tagged, Subst::new(), &lookup, &mut c, gov)? {
                         let head = s.resolve_atom(&u.rule.head);
                         if !head.is_ground() {
                             return Err(EvalError::NotEvaluable {
@@ -213,25 +250,46 @@ pub fn seminaive_eval(
                 }
             })
             .collect();
-        let results = pool.run(tasks).map_err(|e| EvalError::Unsupported {
-            reason: e.to_string(),
-        })?;
+        let results = pool.run(tasks).map_err(EvalError::from)?;
 
         // Merge in unit order: counters sum fieldwise and derived tuples
         // concatenate, so the result is independent of which worker ran
         // which unit when.
         let mut derived: Vec<(Pred, Tuple)> = Vec::new();
         for r in results {
-            let (out, c) = r?;
-            counters.add(&c);
-            derived.extend(out);
+            match r {
+                Ok((out, c)) => {
+                    counters.add(&c);
+                    derived.extend(out);
+                }
+                // A budget trip inside a unit drains the whole round:
+                // its partial derivations are discarded (they never reach
+                // `pending`), leaving the last advanced state consistent.
+                Err(e) => match e.budget_trip() {
+                    Some(t) => {
+                        trip = Some(t);
+                        break 'fixpoint;
+                    }
+                    None => return Err(e),
+                },
+            }
         }
 
         let mut inserted = 0usize;
+        let account = gov.active();
         for (pred, t) in derived {
+            let bytes = if account {
+                t.estimated_bytes() as u64
+            } else {
+                0
+            };
             if deltas.get_mut(&pred).unwrap().derive(t) {
                 counters.derived += 1;
                 inserted += 1;
+                if account {
+                    gov.add_tuples(1);
+                    gov.add_bytes(bytes);
+                }
                 if counters.derived > opts.max_facts {
                     return Err(EvalError::FuelExceeded {
                         limit: opts.max_facts,
@@ -247,11 +305,13 @@ pub fn seminaive_eval(
         round_span.set_attr("delta", inserted);
         let advanced: usize = deltas.values_mut().map(DeltaRelation::advance).sum();
         if advanced == 0 {
-            break;
+            break 'fixpoint;
         }
     }
     phases.fixpoint_ms = duration_ms(fixpoint_start.elapsed());
 
+    // `DeltaRelation::all()` excludes un-advanced pending tuples, so this
+    // materialization is consistent on both the fixpoint and drain paths.
     let mut idb = Database::new();
     for (pred, d) in &deltas {
         let rel = idb.relation_mut(*pred);
@@ -264,6 +324,7 @@ pub fn seminaive_eval(
         counters,
         rounds,
         phases,
+        trip,
     })
 }
 
@@ -400,6 +461,59 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, EvalError::FuelExceeded { .. }));
+    }
+
+    #[test]
+    fn governor_rounds_budget_drains_at_round_boundary() {
+        let program = parse_program(
+            "n(0).
+             n(Y) :- n(X), plus(X, 1, Y).",
+        )
+        .unwrap();
+        let (facts, rules) = program.split_facts();
+        let edb = Database::from_facts(facts);
+        let opts = BottomUpOptions::default();
+        opts.governor.set_budget(chainsplit_governor::Budget {
+            max_rounds: Some(10),
+            ..Default::default()
+        });
+        opts.governor.begin_query();
+        let r = seminaive_eval(&rules, &edb, opts).unwrap();
+        let trip = r.trip.expect("rounds budget must trip");
+        assert_eq!(trip.resource, chainsplit_governor::Resource::Rounds);
+        assert_eq!(trip.phase, "seminaive-round");
+        // Seed round + 10 completed fixpoint rounds, all advanced: the
+        // partial IDB holds n(0)..n(10) — a consistent under-approximation.
+        assert_eq!(r.rounds.len(), 11);
+        assert_eq!(r.idb.relation(Pred::new("n", 1)).unwrap().len(), 11);
+    }
+
+    #[test]
+    fn governor_tuple_budget_drains_mid_fixpoint() {
+        // A fast-growing closure: the tuple budget trips while rounds are
+        // still producing, and the partial IDB is a subset of the fixpoint.
+        let src = "edge(a, b). edge(b, c). edge(c, d). edge(d, e). edge(e, a).
+             t(X, Y) :- edge(X, Y).
+             t(X, Y) :- t(X, Z), t(Z, Y).";
+        let program = parse_program(src).unwrap();
+        let (facts, rules) = program.split_facts();
+        let edb = Database::from_facts(facts);
+        let full = seminaive_eval(&rules, &edb, BottomUpOptions::default()).unwrap();
+        let opts = BottomUpOptions::default();
+        opts.governor.set_budget(chainsplit_governor::Budget {
+            max_tuples: Some(8),
+            ..Default::default()
+        });
+        opts.governor.begin_query();
+        let r = seminaive_eval(&rules, &edb, opts).unwrap();
+        let trip = r.trip.expect("tuple budget must trip");
+        assert_eq!(trip.resource, chainsplit_governor::Resource::Tuples);
+        let full_t = full.idb.relation(Pred::new("t", 2)).unwrap();
+        let part_t = r.idb.relation(Pred::new("t", 2)).unwrap();
+        assert!(part_t.len() < full_t.len());
+        for t in part_t.iter() {
+            assert!(full_t.contains(t), "partial result must under-approximate");
+        }
     }
 
     #[test]

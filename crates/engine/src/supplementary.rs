@@ -287,6 +287,7 @@ pub fn supplementary_magic_eval(
             answer_ms: duration_ms(answer_start.elapsed()),
             ..run.phases
         },
+        trip: run.trip,
     })
 }
 

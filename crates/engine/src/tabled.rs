@@ -16,25 +16,31 @@
 use crate::builtins::{eval_builtin, BuiltinOutcome};
 use crate::error::{Counters, EvalError};
 use crate::eval::match_relation;
+use chainsplit_governor::{BudgetTrip, Governor};
 use chainsplit_logic::{fresh, unify, unify_atoms, Atom, Pred, Program, Rule, Subst, Term, Var};
-use chainsplit_relation::{Database, FxHashSet};
+use chainsplit_relation::{term_estimated_bytes, Database, FxHashSet};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Budgets for tabled evaluation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct TabledOptions {
-    /// Abort after this many whole-table-space sweeps.
+    /// Abort after this many whole-table-space sweeps (a hard error, not
+    /// a graceful drain; use a governor `Budget` for the latter).
     pub max_sweeps: usize,
     /// Abort once this many answers exist across all tables.
     pub max_answers: usize,
+    /// The resource governor checked at sweep boundaries and between
+    /// rule evaluations. Disarmed by default.
+    pub governor: Governor,
 }
 
 impl Default for TabledOptions {
     fn default() -> Self {
         TabledOptions {
-            max_sweeps: 1_000_000,
+            max_sweeps: chainsplit_governor::DEFAULT_MAX_ROUNDS,
             max_answers: 50_000_000,
+            governor: Governor::new(),
         }
     }
 }
@@ -92,6 +98,11 @@ pub struct Tabled<'a> {
     current: Option<CallKey>,
     total_answers: usize,
     pub counters: Counters,
+    /// `Some` when a governor budget tripped: the tables hold a sound
+    /// under-approximation (every stored answer is derivable) and
+    /// [`Tabled::solve`] returned whatever the query's table held at the
+    /// drain point.
+    pub trip: Option<BudgetTrip>,
 }
 
 impl<'a> Tabled<'a> {
@@ -110,6 +121,7 @@ impl<'a> Tabled<'a> {
             current: None,
             total_answers: 0,
             counters: Counters::default(),
+            trip: None,
         }
     }
 
@@ -246,6 +258,13 @@ impl<'a> Tabled<'a> {
                 .map(|rs| rs.iter().map(|r| (*r).clone()).collect())
                 .unwrap_or_default();
             for rule in rules {
+                // Tables are monotone, so any (table, rule) boundary is a
+                // drain point: everything stored so far is derivable.
+                if let Err(t) = self.opts.governor.check("tabled-sweep") {
+                    self.trip = Some(t);
+                    self.current = None;
+                    return Ok(());
+                }
                 self.counters.probed += 1;
                 let fr = rule.rename(fresh::rename_tag());
                 let mut s = Subst::new();
@@ -262,15 +281,25 @@ impl<'a> Tabled<'a> {
                 let body: Vec<&Atom> = fr.body.iter().collect();
                 let mut sols = Vec::new();
                 self.solve_body(&body, &s, &mut sols)?;
+                let account = self.opts.governor.active();
                 for sol in sols {
                     let tuple: Vec<Term> = call.args.iter().map(|a| sol.resolve(a)).collect();
                     let tuple = canonicalize(&tuple);
+                    let bytes = if account {
+                        tuple.iter().map(term_estimated_bytes).sum::<usize>() as u64
+                    } else {
+                        0
+                    };
                     let table = self.tables.get_mut(&key).expect("registered");
                     if table.seen.insert(tuple.clone()) {
                         table.answers.push(tuple);
                         self.total_answers += 1;
                         self.counters.derived += 1;
                         self.dirty.insert(key.clone());
+                        if account {
+                            self.opts.governor.add_tuples(1);
+                            self.opts.governor.add_bytes(bytes);
+                        }
                         if self.total_answers > self.opts.max_answers {
                             return Err(EvalError::FuelExceeded {
                                 limit: self.opts.max_answers,
@@ -307,6 +336,13 @@ impl<'a> Tabled<'a> {
         let args: Vec<Term> = query.args.clone();
         self.register(query.pred, args);
         loop {
+            // Sweep boundary = drain point: on a trip the query's table
+            // already holds every answer from completed sweeps, and the
+            // lookup below returns that partial set.
+            if let Err(t) = self.opts.governor.on_round("tabled-sweep") {
+                self.trip = Some(t);
+                break;
+            }
             self.counters.iterations += 1;
             if self.counters.iterations > self.opts.max_sweeps {
                 return Err(EvalError::FuelExceeded {
@@ -315,7 +351,7 @@ impl<'a> Tabled<'a> {
             }
             let previous_dirty = std::mem::take(&mut self.dirty);
             self.sweep(&previous_dirty)?;
-            if self.dirty.is_empty() {
+            if self.trip.is_some() || self.dirty.is_empty() {
                 break;
             }
         }
@@ -330,12 +366,14 @@ impl<'a> Tabled<'a> {
     }
 }
 
-/// Convenience: run one query tabled over a parsed program.
+/// Convenience: run one query tabled over a parsed program. The third
+/// element is `Some` when a governor budget tripped (answers are then the
+/// partial set the tables held at the drain point).
 pub fn tabled_query(
     program: &Program,
     query: &Atom,
     opts: TabledOptions,
-) -> Result<(Vec<Subst>, Counters), EvalError> {
+) -> Result<(Vec<Subst>, Counters, Option<BudgetTrip>), EvalError> {
     let (facts, rules) = program.split_facts();
     let db = Database::from_facts(facts);
     let mut t = Tabled::new(&rules, &db, opts);
@@ -345,7 +383,7 @@ pub fn tabled_query(
     };
     let mut counters = t.counters;
     counters.magic_facts = t.table_count();
-    Ok((answers, counters))
+    Ok((answers, counters, t.trip))
 }
 
 #[cfg(test)]
@@ -356,7 +394,7 @@ mod tests {
     fn run(src: &str, query: &str) -> Vec<String> {
         let p = parse_program(src).unwrap();
         let q = parse_query(query).unwrap();
-        let (sols, _) = tabled_query(&p, &q, TabledOptions::default()).unwrap();
+        let (sols, _, _) = tabled_query(&p, &q, TabledOptions::default()).unwrap();
         let mut v: Vec<String> = sols
             .iter()
             .map(|s| s.resolve_atom(&q).to_string())
@@ -430,9 +468,10 @@ mod tests {
         )
         .unwrap();
         let q = parse_query("append([], [7], W)").unwrap();
-        let (sols, counters) = tabled_query(&p, &q, TabledOptions::default()).unwrap();
+        let (sols, counters, trip) = tabled_query(&p, &q, TabledOptions::default()).unwrap();
         assert_eq!(sols.len(), 1);
         assert!(counters.magic_facts >= 1); // at least the query's table
+        assert_eq!(trip, None);
     }
 
     #[test]
@@ -461,10 +500,34 @@ mod tests {
             TabledOptions {
                 max_sweeps: 20,
                 max_answers: 1_000_000,
+                ..TabledOptions::default()
             },
         )
         .unwrap_err();
         assert!(matches!(err, EvalError::FuelExceeded { .. }));
+    }
+
+    #[test]
+    fn governor_sweep_budget_drains_to_partial_answers() {
+        let p = parse_program(
+            "n(0).
+             n(Y) :- n(X), plus(X, 1, Y).",
+        )
+        .unwrap();
+        let q = parse_query("n(X)").unwrap();
+        let opts = TabledOptions::default();
+        opts.governor.set_budget(chainsplit_governor::Budget {
+            max_rounds: Some(10),
+            ..Default::default()
+        });
+        opts.governor.begin_query();
+        let (sols, _, trip) = tabled_query(&p, &q, opts).unwrap();
+        let trip = trip.expect("sweep budget must trip");
+        assert_eq!(trip.resource, chainsplit_governor::Resource::Rounds);
+        assert_eq!(trip.phase, "tabled-sweep");
+        // Completed sweeps each add one n answer: a non-empty partial set.
+        assert!(!sols.is_empty());
+        assert!(sols.len() <= 11);
     }
 
     #[test]

@@ -13,15 +13,19 @@
 use crate::builtins::{eval_builtin, BuiltinOutcome};
 use crate::error::{Counters, EvalError};
 use crate::eval::match_relation;
+use chainsplit_governor::{BudgetTrip, Governor};
 use chainsplit_logic::{fresh, unify_atoms, Atom, Pred, Program, Rule, Subst};
 use chainsplit_relation::Database;
 use std::collections::HashMap;
 
 /// Budgets for top-down resolution.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct TopDownOptions {
     pub max_depth: usize,
     pub fuel: usize,
+    /// The resource governor, polled every 1024 resolution steps (SLD has
+    /// no round boundary, so the stride is the cooperative check point).
+    pub governor: Governor,
 }
 
 impl Default for TopDownOptions {
@@ -29,6 +33,7 @@ impl Default for TopDownOptions {
         TopDownOptions {
             max_depth: 100_000,
             fuel: 50_000_000,
+            governor: Governor::new(),
         }
     }
 }
@@ -40,6 +45,10 @@ pub struct TopDown<'a> {
     opts: TopDownOptions,
     fuel_left: usize,
     pub counters: Counters,
+    /// `Some` when a governor budget tripped: [`TopDown::solve`] then
+    /// returned the answers found before the trip (each one independently
+    /// proved, so the set is a sound under-approximation).
+    pub trip: Option<BudgetTrip>,
 }
 
 impl<'a> TopDown<'a> {
@@ -50,20 +59,32 @@ impl<'a> TopDown<'a> {
         for r in rules {
             rules_by_pred.entry(r.head.pred).or_default().push(r);
         }
+        let fuel_left = opts.fuel;
         TopDown {
             rules_by_pred,
             db,
             opts,
-            fuel_left: opts.fuel,
+            fuel_left,
             counters: Counters::default(),
+            trip: None,
         }
     }
 
     /// All solutions of `goal` from an empty binding.
     pub fn solve(&mut self, goal: &Atom) -> Result<Vec<Subst>, EvalError> {
         self.fuel_left = self.opts.fuel;
+        self.trip = None;
         let mut out = Vec::new();
-        self.solve_goal(goal, &Subst::new(), 0, &mut out)?;
+        match self.solve_goal(goal, &Subst::new(), 0, &mut out) {
+            Ok(()) => {}
+            // Depth-first search has no round boundary, but every answer
+            // already pushed was independently proved: keep them, record
+            // the trip, and stop searching.
+            Err(e) => match e.budget_trip() {
+                Some(t) => self.trip = Some(t),
+                None => return Err(e),
+            },
+        }
         Ok(out)
     }
 
@@ -74,6 +95,11 @@ impl<'a> TopDown<'a> {
             });
         }
         self.fuel_left -= 1;
+        // Strided governor poll: cheap enough to sit on the hot path,
+        // frequent enough that deadlines land within microseconds.
+        if self.fuel_left & 0x3FF == 0 {
+            self.opts.governor.check("sld-resolve")?;
+        }
         Ok(())
     }
 
@@ -140,6 +166,9 @@ impl<'a> TopDown<'a> {
         match body.split_first() {
             None => {
                 self.counters.derived += 1;
+                if self.opts.governor.active() {
+                    self.opts.governor.add_tuples(1);
+                }
                 out.push(s.clone());
                 Ok(())
             }
@@ -155,12 +184,14 @@ impl<'a> TopDown<'a> {
     }
 }
 
-/// Convenience: run one query top-down.
+/// Convenience: run one query top-down. The third element is `Some` when a
+/// governor budget tripped (answers are then the partial set proved before
+/// the trip).
 pub fn topdown_query(
     program: &Program,
     query: &Atom,
     opts: TopDownOptions,
-) -> Result<(Vec<Subst>, Counters), EvalError> {
+) -> Result<(Vec<Subst>, Counters, Option<BudgetTrip>), EvalError> {
     let (facts, rules) = program.split_facts();
     let db = Database::from_facts(facts);
     let mut td = TopDown::new(&rules, &db, opts);
@@ -168,7 +199,7 @@ pub fn topdown_query(
         let _sp = chainsplit_trace::span!("fixpoint", strategy = "top-down", pred = query.pred);
         td.solve(query)?
     };
-    Ok((answers, td.counters))
+    Ok((answers, td.counters, td.trip))
 }
 
 #[cfg(test)]
@@ -253,6 +284,7 @@ mod tests {
             TopDownOptions {
                 max_depth: 100,
                 fuel: 1_000_000,
+                ..TopDownOptions::default()
             },
         )
         .unwrap_err();
@@ -271,10 +303,29 @@ mod tests {
             TopDownOptions {
                 max_depth: 100_000,
                 fuel: 1000,
+                ..TopDownOptions::default()
             },
         )
         .unwrap_err();
         assert!(matches!(err, EvalError::FuelExceeded { .. }));
+    }
+
+    #[test]
+    fn cancellation_keeps_answers_proved_so_far() {
+        let src = "b(1). b(2). b(3). b(4). b(5).
+             w(A, B, C, D, E, F, G, H) :- b(A), b(B), b(C), b(D), b(E), b(F), b(G), b(H).";
+        let p = parse_program(src).unwrap();
+        let q = parse_query("w(A, B, C, D, E, F, G, H)").unwrap();
+        let opts = TopDownOptions::default();
+        opts.governor.begin_query();
+        opts.governor.cancel_token().cancel();
+        let (sols, _, trip) = topdown_query(&p, &q, opts).unwrap();
+        let trip = trip.expect("cancellation must trip");
+        assert_eq!(trip.resource, chainsplit_governor::Resource::Cancelled);
+        assert_eq!(trip.phase, "sld-resolve");
+        // The strided poll fires within 1024 steps: far fewer than the
+        // 390625 total answers of the full search.
+        assert!(sols.len() < 390_625);
     }
 
     #[test]

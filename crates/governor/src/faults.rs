@@ -1,0 +1,182 @@
+//! Deterministic fault injection (feature `fault-inject` only).
+//!
+//! Every [`Governor::check`](crate::Governor::check) is an *injection
+//! point*: when a [`FaultPlan`] is armed, each point draws from a seeded
+//! SplitMix64 stream and, with probability `rate_ppm / 1e6`, fires a
+//! fault — a probe-time error (surfacing as
+//! `EvalError::BudgetExceeded { resource: Fault, .. }`), a forced
+//! cancellation, synthetic latency, or (when `plan.panic` is set) a
+//! panic, exercising the pool's worker-panic containment.
+//!
+//! The decision for point *n* depends only on `(seed, n)`, so a
+//! single-threaded replay of the same plan fires the same faults at the
+//! same points. Multi-threaded runs interleave points
+//! nondeterministically — which is fine for the crash-consistency
+//! invariant, which only asserts that *after* faults are disarmed the
+//! same query re-runs to the correct, bit-identical answer.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A seeded fault plan. Probability is per injection point, in parts per
+/// million.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub rate_ppm: u32,
+    /// Sleep applied by a `Latency` fault.
+    pub latency: Duration,
+    /// Include `Panic` in the fault mix (off for fuzzing, on for the
+    /// worker-panic containment tests).
+    pub panic: bool,
+}
+
+impl FaultPlan {
+    /// A plan firing errors/cancellations/latency (no panics).
+    pub fn new(seed: u64, rate_ppm: u32) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rate_ppm,
+            latency: Duration::from_micros(50),
+            panic: false,
+        }
+    }
+}
+
+/// The kind of fault a point fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Surfaced as a trip with [`Resource::Fault`](crate::Resource::Fault).
+    Error,
+    /// Forces the governor's cancellation flag.
+    Cancel,
+    /// Sleeps for the plan's latency.
+    Latency,
+    /// Panics at the check site (only when `plan.panic` is set).
+    Panic,
+}
+
+/// A fired fault with its injection point index.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultHit {
+    pub fault: Fault,
+    pub point: u64,
+    pub latency: Duration,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static POINT: AtomicU64 = AtomicU64::new(0);
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+fn plan_slot() -> std::sync::MutexGuard<'static, Option<FaultPlan>> {
+    PLAN.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arms `plan` process-wide and resets the injection-point counter.
+pub fn arm(plan: FaultPlan) {
+    *plan_slot() = Some(plan);
+    POINT.store(0, Relaxed);
+    ARMED.store(true, Relaxed);
+}
+
+/// Disarms fault injection. Subsequent checks inject nothing.
+pub fn disarm() {
+    ARMED.store(false, Relaxed);
+    *plan_slot() = None;
+}
+
+/// Whether a plan is currently armed.
+pub fn is_armed() -> bool {
+    ARMED.load(Relaxed)
+}
+
+/// The number of injection points visited since the last [`arm`].
+pub fn points_visited() -> u64 {
+    POINT.load(Relaxed)
+}
+
+/// SplitMix64: the same generator the fuzz workloads use, so fault
+/// streams are reproducible from a printed seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws the decision for the next injection point. `None` when disarmed
+/// or the point rolls under the rate.
+pub(crate) fn poll() -> Option<FaultHit> {
+    if !ARMED.load(Relaxed) {
+        return None;
+    }
+    let plan = (*plan_slot())?;
+    let point = POINT.fetch_add(1, Relaxed);
+    let h = splitmix64(plan.seed ^ point.wrapping_mul(0xD129_0D3B_53B0_8B1D));
+    if (h % 1_000_000) as u32 >= plan.rate_ppm {
+        return None;
+    }
+    let kinds: u64 = if plan.panic { 4 } else { 3 };
+    let fault = match (h >> 32) % kinds {
+        0 => Fault::Error,
+        1 => Fault::Cancel,
+        2 => Fault::Latency,
+        _ => Fault::Panic,
+    };
+    Some(FaultHit {
+        fault,
+        point,
+        latency: plan.latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The plan is process-global, so tests that arm it serialize here.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_polls_are_none() {
+        let _guard = test_guard();
+        disarm();
+        assert!(poll().is_none());
+        assert!(!is_armed());
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_in_point_order() {
+        let _guard = test_guard();
+        arm(FaultPlan::new(42, 100_000));
+        let first: Vec<Option<Fault>> = (0..256).map(|_| poll().map(|h| h.fault)).collect();
+        let fired = first.iter().flatten().count();
+        assert!(fired > 0, "a 10% rate must fire within 256 points");
+        assert!(fired < 256);
+        // Re-arming the same plan replays the identical stream.
+        arm(FaultPlan::new(42, 100_000));
+        let second: Vec<Option<Fault>> = (0..256).map(|_| poll().map(|h| h.fault)).collect();
+        assert_eq!(first, second);
+        disarm();
+    }
+
+    #[test]
+    fn zero_rate_never_fires_and_panic_needs_opt_in() {
+        let _guard = test_guard();
+        arm(FaultPlan::new(7, 0));
+        assert!((0..1000).all(|_| poll().is_none()));
+        arm(FaultPlan::new(7, 1_000_000));
+        // Full rate, panics off: every point fires, none are panics.
+        for _ in 0..512 {
+            let hit = poll().expect("rate 1.0 always fires");
+            assert_ne!(hit.fault, Fault::Panic);
+        }
+        disarm();
+    }
+}

@@ -1,0 +1,634 @@
+//! # chainsplit-governor
+//!
+//! The cooperative resource governor of the chain-split deductive
+//! database: one cheap, shareable handle that every evaluator checks at
+//! its natural batch boundaries (fixpoint rounds, probe batches, buffered
+//! up-sweep levels, SLD resolution strides).
+//!
+//! A [`Governor`] carries a unified [`Budget`] — wall-clock deadline,
+//! round / tuple / estimated-byte ceilings — plus a [`CancelToken`] that
+//! any thread may fire. Exhaustion never panics and never tears state
+//! down mid-batch: a check returns a structured [`BudgetTrip`] and the
+//! evaluators *drain* to the last consistent boundary, returning the
+//! answers and `RoundMetrics` derived so far, marked incomplete.
+//!
+//! Cost model: when no budget is set and no cancellation is pending, a
+//! check is a relaxed atomic load of the global interrupt flag plus one
+//! relaxed load of the governor's `armed` flag — no clock reads, no
+//! locking, no allocation. The governor never touches the evaluators'
+//! work counters, so `probed`/`matched`/`derived` stay bit-identical
+//! whether or not a governor is attached (the determinism contract of
+//! DESIGN.md §5 is preserved).
+//!
+//! The first trip is latched (first-wins) and emitted as a `cat=governor`
+//! trace span so budget trips are visible in Perfetto exports.
+//!
+//! With the `fault-inject` feature, the `faults` module adds a deterministic
+//! fault-injection seam: every governor check is also a seeded injection
+//! point that can surface probe-time errors, forced cancellations,
+//! synthetic latency, or (opt-in) panics.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+#[cfg(feature = "fault-inject")]
+pub mod faults;
+
+/// The one documented default round / sweep ceiling shared by every
+/// bottom-up strategy and the tabled evaluator. A safety net against
+/// unbounded recursion, far above any workload's real round count; use a
+/// [`Budget`] for per-query limits.
+pub const DEFAULT_MAX_ROUNDS: usize = 1_000_000;
+
+/// Acquires `m`, ignoring poisoning: the governor's shared state stays
+/// meaningful even if a holder panicked.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Which budgeted resource a trip exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The wall-clock deadline passed (`limit`/`observed` in ms).
+    Wall,
+    /// The fixpoint round / sweep ceiling was hit.
+    Rounds,
+    /// The derived-tuple ceiling was hit.
+    Tuples,
+    /// The estimated-bytes ceiling was hit.
+    Bytes,
+    /// A [`CancelToken`] fired (or Ctrl-C was pressed).
+    Cancelled,
+    /// A deterministic injected fault (`fault-inject` builds only;
+    /// `observed` is the injection point index).
+    Fault,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Resource::Wall => "wall-clock",
+            Resource::Rounds => "rounds",
+            Resource::Tuples => "tuples",
+            Resource::Bytes => "bytes",
+            Resource::Cancelled => "cancelled",
+            Resource::Fault => "injected-fault",
+        })
+    }
+}
+
+/// A unified per-query resource budget. `None` everywhere (the default)
+/// means unlimited: the governor disarms and checks cost two relaxed
+/// loads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline, armed at [`Governor::begin_query`].
+    pub wall: Option<Duration>,
+    /// Ceiling on fixpoint rounds / tabled sweeps / up-sweep levels.
+    pub max_rounds: Option<u64>,
+    /// Ceiling on tuples derived (inserted facts, buffered nodes).
+    pub max_tuples: Option<u64>,
+    /// Ceiling on the estimated bytes of derived tuples.
+    pub max_bytes_est: Option<u64>,
+}
+
+impl Budget {
+    /// Whether every limit is unset.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall.is_none()
+            && self.max_rounds.is_none()
+            && self.max_tuples.is_none()
+            && self.max_bytes_est.is_none()
+    }
+
+    /// A budget with only a wall-clock deadline.
+    pub fn with_wall_ms(ms: u64) -> Budget {
+        Budget {
+            wall: Some(Duration::from_millis(ms)),
+            ..Budget::default()
+        }
+    }
+}
+
+/// A latched budget exhaustion: which resource, the configured limit, the
+/// observed value at the check, and the evaluator phase that noticed.
+/// Wall values are in milliseconds, bytes in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetTrip {
+    pub resource: Resource,
+    pub limit: u64,
+    pub observed: u64,
+    pub phase: &'static str,
+}
+
+impl fmt::Display for BudgetTrip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.resource {
+            Resource::Wall => write!(
+                f,
+                "wall-clock deadline of {} ms exceeded ({} ms observed) at {}",
+                self.limit, self.observed, self.phase
+            ),
+            Resource::Cancelled => write!(f, "query cancelled at {}", self.phase),
+            Resource::Fault => write!(
+                f,
+                "injected fault at {} (injection point {})",
+                self.phase, self.observed
+            ),
+            r => write!(
+                f,
+                "{} budget of {} exceeded ({} observed) at {}",
+                r, self.limit, self.observed, self.phase
+            ),
+        }
+    }
+}
+
+/// Process-wide interrupt flag: the only thing a SIGINT handler touches.
+static INTERRUPT: AtomicBool = AtomicBool::new(false);
+
+/// Requests cancellation of whatever query is currently observing a
+/// governor, from a signal handler or any thread. Async-signal-safe: a
+/// single relaxed atomic store.
+pub fn interrupt() {
+    INTERRUPT.store(true, Relaxed);
+}
+
+/// Whether an interrupt is pending (set but not yet consumed by a check).
+pub fn interrupt_pending() -> bool {
+    INTERRUPT.load(Relaxed)
+}
+
+/// Clears a pending interrupt, e.g. before starting a fresh query so a
+/// stale Ctrl-C cannot cancel it.
+pub fn clear_interrupt() {
+    INTERRUPT.store(false, Relaxed);
+}
+
+#[derive(Debug)]
+struct GovInner {
+    /// Fast-path flag: any limit set, or a cancellation pending. One
+    /// relaxed load decides whether a check does any further work.
+    armed: AtomicBool,
+    cancelled: AtomicBool,
+    /// Set once the first trip latched; later checks return it verbatim.
+    tripped: AtomicBool,
+    /// Configured wall budget in µs; `u64::MAX` = none.
+    wall_us: AtomicU64,
+    /// Deadline in µs since `epoch`; `u64::MAX` = none. Re-armed from
+    /// `wall_us` at every `begin_query`.
+    deadline_us: AtomicU64,
+    /// µs since `epoch` when the deadline was armed (for `observed`).
+    armed_at_us: AtomicU64,
+    lim_rounds: AtomicU64,
+    lim_tuples: AtomicU64,
+    lim_bytes: AtomicU64,
+    rounds: AtomicU64,
+    tuples: AtomicU64,
+    bytes: AtomicU64,
+    trip: Mutex<Option<BudgetTrip>>,
+    epoch: Instant,
+}
+
+/// The shareable governor handle. Cloning is an `Arc` clone; every clone
+/// observes the same budget, accounting, cancellation, and trip latch.
+#[derive(Clone, Debug)]
+pub struct Governor {
+    inner: Arc<GovInner>,
+}
+
+impl Default for Governor {
+    fn default() -> Self {
+        Governor::new()
+    }
+}
+
+/// A handle that cancels the query its governor is attached to, from any
+/// thread. Cancellation is cooperative: the running evaluator notices at
+/// its next check and drains gracefully.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<GovInner>,
+}
+
+impl CancelToken {
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Relaxed);
+        self.inner.armed.store(true, Relaxed);
+    }
+}
+
+const NONE: u64 = u64::MAX;
+
+fn opt(limit: u64) -> Option<u64> {
+    (limit != NONE).then_some(limit)
+}
+
+impl Governor {
+    /// A fresh, disarmed governor (unlimited budget).
+    pub fn new() -> Governor {
+        Governor {
+            inner: Arc::new(GovInner {
+                armed: AtomicBool::new(false),
+                cancelled: AtomicBool::new(false),
+                tripped: AtomicBool::new(false),
+                wall_us: AtomicU64::new(NONE),
+                deadline_us: AtomicU64::new(NONE),
+                armed_at_us: AtomicU64::new(0),
+                lim_rounds: AtomicU64::new(NONE),
+                lim_tuples: AtomicU64::new(NONE),
+                lim_bytes: AtomicU64::new(NONE),
+                rounds: AtomicU64::new(0),
+                tuples: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
+                trip: Mutex::new(None),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// Installs `budget` and (re)arms the deadline from now. Limits apply
+    /// to the counters accumulated since the last [`Governor::begin_query`].
+    pub fn set_budget(&self, budget: Budget) {
+        let i = &self.inner;
+        let now = self.now_us();
+        i.wall_us
+            .store(budget.wall.map_or(NONE, |d| d.as_micros() as u64), Relaxed);
+        i.lim_rounds
+            .store(budget.max_rounds.unwrap_or(NONE), Relaxed);
+        i.lim_tuples
+            .store(budget.max_tuples.unwrap_or(NONE), Relaxed);
+        i.lim_bytes
+            .store(budget.max_bytes_est.unwrap_or(NONE), Relaxed);
+        i.armed_at_us.store(now, Relaxed);
+        i.deadline_us.store(
+            budget
+                .wall
+                .map_or(NONE, |d| now.saturating_add(d.as_micros() as u64)),
+            Relaxed,
+        );
+        i.armed
+            .store(!budget.is_unlimited() || i.cancelled.load(Relaxed), Relaxed);
+    }
+
+    /// The currently installed budget.
+    pub fn budget(&self) -> Budget {
+        let i = &self.inner;
+        Budget {
+            wall: opt(i.wall_us.load(Relaxed)).map(Duration::from_micros),
+            max_rounds: opt(i.lim_rounds.load(Relaxed)),
+            max_tuples: opt(i.lim_tuples.load(Relaxed)),
+            max_bytes_est: opt(i.lim_bytes.load(Relaxed)),
+        }
+    }
+
+    /// Resets per-query state — accounting, the trip latch, pending
+    /// cancellation — and re-arms the wall deadline from now. Called at
+    /// the top of every query.
+    pub fn begin_query(&self) {
+        let i = &self.inner;
+        i.rounds.store(0, Relaxed);
+        i.tuples.store(0, Relaxed);
+        i.bytes.store(0, Relaxed);
+        i.tripped.store(false, Relaxed);
+        *lock(&i.trip) = None;
+        i.cancelled.store(false, Relaxed);
+        let now = self.now_us();
+        i.armed_at_us.store(now, Relaxed);
+        let wall = i.wall_us.load(Relaxed);
+        i.deadline_us.store(
+            if wall == NONE {
+                NONE
+            } else {
+                now.saturating_add(wall)
+            },
+            Relaxed,
+        );
+        i.armed.store(!self.budget().is_unlimited(), Relaxed);
+    }
+
+    /// A token that cancels this governor's query from another thread.
+    pub fn cancel_token(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Whether any limit is set or a cancellation is pending — i.e.
+    /// whether accounting calls will do real work. Callers may use this
+    /// to skip byte-size estimation entirely when disarmed.
+    pub fn active(&self) -> bool {
+        self.inner.armed.load(Relaxed)
+    }
+
+    /// The first trip latched since the last `begin_query`, if any.
+    pub fn trip(&self) -> Option<BudgetTrip> {
+        if self.inner.tripped.load(Relaxed) {
+            *lock(&self.inner.trip)
+        } else {
+            None
+        }
+    }
+
+    /// Records `n` derived tuples against the tuple budget.
+    pub fn add_tuples(&self, n: u64) {
+        if self.active() {
+            self.inner.tuples.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Records `n` estimated bytes against the byte budget.
+    pub fn add_bytes(&self, n: u64) {
+        if self.active() {
+            self.inner.bytes.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Marks a round / sweep / level boundary and checks the budget.
+    pub fn on_round(&self, phase: &'static str) -> Result<(), BudgetTrip> {
+        if self.active() {
+            self.inner.rounds.fetch_add(1, Relaxed);
+        }
+        self.check(phase)
+    }
+
+    /// The cooperative check. Returns the latched [`BudgetTrip`] once any
+    /// limit is exhausted, a cancellation fired, or (in `fault-inject`
+    /// builds) a fault triggered; `Ok(())` otherwise.
+    pub fn check(&self, phase: &'static str) -> Result<(), BudgetTrip> {
+        #[cfg(feature = "fault-inject")]
+        self.poll_faults(phase)?;
+        // A pending process-wide interrupt is folded into this governor's
+        // cancellation flag (and consumed) so all workers sharing the
+        // handle observe it, then cleared so it cancels exactly one query.
+        if INTERRUPT.load(Relaxed) && INTERRUPT.swap(false, Relaxed) {
+            self.inner.cancelled.store(true, Relaxed);
+            self.inner.armed.store(true, Relaxed);
+        }
+        if !self.inner.armed.load(Relaxed) {
+            return Ok(());
+        }
+        self.check_armed(phase)
+    }
+
+    #[cold]
+    fn check_armed(&self, phase: &'static str) -> Result<(), BudgetTrip> {
+        let i = &self.inner;
+        if i.tripped.load(Relaxed) {
+            if let Some(first) = *lock(&i.trip) {
+                return Err(first);
+            }
+        }
+        if i.cancelled.load(Relaxed) {
+            return Err(self.latch(BudgetTrip {
+                resource: Resource::Cancelled,
+                limit: 0,
+                observed: 0,
+                phase,
+            }));
+        }
+        let deadline = i.deadline_us.load(Relaxed);
+        if deadline != NONE {
+            let now = self.now_us();
+            if now >= deadline {
+                return Err(self.latch(BudgetTrip {
+                    resource: Resource::Wall,
+                    limit: i.wall_us.load(Relaxed) / 1_000,
+                    observed: now.saturating_sub(i.armed_at_us.load(Relaxed)) / 1_000,
+                    phase,
+                }));
+            }
+        }
+        for (resource, lim, used) in [
+            (Resource::Rounds, &i.lim_rounds, &i.rounds),
+            (Resource::Tuples, &i.lim_tuples, &i.tuples),
+            (Resource::Bytes, &i.lim_bytes, &i.bytes),
+        ] {
+            let limit = lim.load(Relaxed);
+            if limit != NONE {
+                let observed = used.load(Relaxed);
+                if observed > limit {
+                    return Err(self.latch(BudgetTrip {
+                        resource,
+                        limit,
+                        observed,
+                        phase,
+                    }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Latches `trip` first-wins and emits the `cat=governor` trace event
+    /// on the winning latch. Returns the latched (possibly earlier) trip.
+    fn latch(&self, trip: BudgetTrip) -> BudgetTrip {
+        let mut slot = lock(&self.inner.trip);
+        if let Some(first) = *slot {
+            return first;
+        }
+        *slot = Some(trip);
+        self.inner.tripped.store(true, Relaxed);
+        drop(slot);
+        let mut span = chainsplit_trace::Span::enter_cat("budget-trip", "governor");
+        if span.is_recording() {
+            span.set_attr("resource", trip.resource);
+            span.set_attr("limit", trip.limit);
+            span.set_attr("observed", trip.observed);
+            span.set_attr("phase", trip.phase);
+        }
+        trip
+    }
+
+    fn now_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn poll_faults(&self, phase: &'static str) -> Result<(), BudgetTrip> {
+        if let Some(hit) = faults::poll() {
+            match hit.fault {
+                faults::Fault::Latency => std::thread::sleep(hit.latency),
+                faults::Fault::Cancel => {
+                    self.inner.cancelled.store(true, Relaxed);
+                    self.inner.armed.store(true, Relaxed);
+                }
+                faults::Fault::Panic => {
+                    panic!(
+                        "injected panic at {} (injection point {})",
+                        phase, hit.point
+                    )
+                }
+                faults::Fault::Error => {
+                    return Err(self.latch(BudgetTrip {
+                        resource: Resource::Fault,
+                        limit: 0,
+                        observed: hit.point,
+                        phase,
+                    }));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn disarmed_checks_are_free_and_ok() {
+        let g = Governor::new();
+        assert!(!g.active());
+        assert!(g.check("x").is_ok());
+        assert!(g.on_round("x").is_ok());
+        g.add_tuples(10);
+        g.add_bytes(10);
+        assert!(g.check("x").is_ok());
+        assert_eq!(g.trip(), None);
+    }
+
+    #[test]
+    fn rounds_budget_trips_and_latches_first() {
+        let g = Governor::new();
+        g.set_budget(Budget {
+            max_rounds: Some(2),
+            ..Budget::default()
+        });
+        g.begin_query();
+        assert!(g.on_round("r").is_ok());
+        assert!(g.on_round("r").is_ok());
+        let trip = g.on_round("first-over").unwrap_err();
+        assert_eq!(trip.resource, Resource::Rounds);
+        assert_eq!(trip.limit, 2);
+        assert_eq!(trip.observed, 3);
+        assert_eq!(trip.phase, "first-over");
+        // Latched: a later check reports the first trip, not a new one.
+        let again = g.on_round("later").unwrap_err();
+        assert_eq!(again, trip);
+        assert_eq!(g.trip(), Some(trip));
+        // A new query clears the latch.
+        g.begin_query();
+        assert_eq!(g.trip(), None);
+        assert!(g.on_round("r").is_ok());
+    }
+
+    #[test]
+    fn tuple_and_byte_budgets_trip() {
+        let g = Governor::new();
+        g.set_budget(Budget {
+            max_tuples: Some(5),
+            max_bytes_est: Some(1000),
+            ..Budget::default()
+        });
+        g.begin_query();
+        g.add_tuples(5);
+        assert!(g.check("p").is_ok(), "at the limit is not over it");
+        g.add_tuples(1);
+        let trip = g.check("p").unwrap_err();
+        assert_eq!(trip.resource, Resource::Tuples);
+        assert_eq!((trip.limit, trip.observed), (5, 6));
+    }
+
+    #[test]
+    fn wall_deadline_trips() {
+        let g = Governor::new();
+        g.set_budget(Budget {
+            wall: Some(Duration::from_millis(5)),
+            ..Budget::default()
+        });
+        g.begin_query();
+        assert!(g.check("before").is_ok());
+        thread::sleep(Duration::from_millis(10));
+        let trip = g.check("after").unwrap_err();
+        assert_eq!(trip.resource, Resource::Wall);
+        assert_eq!(trip.limit, 5);
+        assert!(trip.observed >= 5, "observed {} ms", trip.observed);
+    }
+
+    #[test]
+    fn deadline_rearms_per_query() {
+        let g = Governor::new();
+        g.set_budget(Budget::with_wall_ms(20));
+        g.begin_query();
+        thread::sleep(Duration::from_millis(30));
+        assert!(g.check("old").is_err());
+        g.begin_query();
+        assert!(g.check("new").is_ok(), "begin_query re-arms the deadline");
+    }
+
+    #[test]
+    fn cancel_token_works_without_budget_and_across_threads() {
+        let g = Governor::new();
+        let token = g.cancel_token();
+        assert!(g.check("before").is_ok());
+        thread::spawn(move || token.cancel()).join().unwrap();
+        let trip = g.check("after").unwrap_err();
+        assert_eq!(trip.resource, Resource::Cancelled);
+        assert_eq!(trip.phase, "after");
+        // begin_query clears a consumed cancellation.
+        g.begin_query();
+        assert!(g.check("next").is_ok());
+    }
+
+    #[test]
+    fn global_interrupt_cancels_one_query_and_self_clears() {
+        let g = Governor::new();
+        interrupt();
+        assert!(interrupt_pending());
+        let trip = g.check("sigint").unwrap_err();
+        assert_eq!(trip.resource, Resource::Cancelled);
+        assert!(!interrupt_pending(), "interrupt is consumed by the check");
+        // Consumed into this governor: a fresh governor is unaffected.
+        let other = Governor::new();
+        assert!(other.check("other").is_ok());
+        clear_interrupt();
+    }
+
+    #[test]
+    fn budget_round_trips() {
+        let g = Governor::new();
+        let b = Budget {
+            wall: Some(Duration::from_millis(250)),
+            max_rounds: Some(7),
+            max_tuples: Some(1_000),
+            max_bytes_est: Some(1 << 20),
+        };
+        g.set_budget(b);
+        assert_eq!(g.budget(), b);
+        g.set_budget(Budget::default());
+        assert!(g.budget().is_unlimited());
+        assert!(!g.active());
+    }
+
+    #[test]
+    fn trip_display_is_structured() {
+        let wall = BudgetTrip {
+            resource: Resource::Wall,
+            limit: 50,
+            observed: 53,
+            phase: "up-sweep",
+        };
+        assert_eq!(
+            wall.to_string(),
+            "wall-clock deadline of 50 ms exceeded (53 ms observed) at up-sweep"
+        );
+        let tuples = BudgetTrip {
+            resource: Resource::Tuples,
+            limit: 10,
+            observed: 11,
+            phase: "seminaive-round",
+        };
+        assert_eq!(
+            tuples.to_string(),
+            "tuples budget of 10 exceeded (11 observed) at seminaive-round"
+        );
+    }
+}

@@ -38,23 +38,37 @@ use std::thread;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PoolError {
     /// A task panicked. `task` is the index (in submission order) of a
-    /// panicking task — the first one the pool observed. Remaining queued
-    /// tasks are abandoned, running ones finish, and all results are
-    /// dropped.
-    WorkerPanicked { task: usize },
+    /// panicking task — the first one the pool observed — and `message` is
+    /// its panic payload (so crash reports can be bucketed by message).
+    /// Remaining queued tasks are abandoned, running ones finish, and all
+    /// results are dropped. The pool handle stays reusable.
+    WorkerPanicked { task: usize, message: String },
 }
 
 impl std::fmt::Display for PoolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PoolError::WorkerPanicked { task } => {
-                write!(f, "worker panicked evaluating task {task}")
+            PoolError::WorkerPanicked { task, message } => {
+                write!(f, "worker panicked evaluating task {task}: {message}")
             }
         }
     }
 }
 
 impl std::error::Error for PoolError {}
+
+/// Extracts the human-readable message from a panic payload. `panic!`
+/// with a literal yields `&str`, with a format string yields `String`;
+/// anything else (a custom `panic_any` payload) has no portable text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Reads the `CHAINSPLIT_THREADS` environment variable: the default
 /// thread count for every evaluator option struct. Unset, empty, or
@@ -123,7 +137,12 @@ impl Pool {
             for (i, task) in tasks.into_iter().enumerate() {
                 match catch_unwind(AssertUnwindSafe(task)) {
                     Ok(v) => out.push(v),
-                    Err(_) => return Err(PoolError::WorkerPanicked { task: i }),
+                    Err(payload) => {
+                        return Err(PoolError::WorkerPanicked {
+                            task: i,
+                            message: panic_message(payload),
+                        })
+                    }
                 }
             }
             return Ok(out);
@@ -132,7 +151,7 @@ impl Pool {
         let queue: Mutex<VecDeque<(usize, F)>> =
             Mutex::new(tasks.into_iter().enumerate().collect());
         let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-        let panicked: Mutex<Option<usize>> = Mutex::new(None);
+        let panicked: Mutex<Option<(usize, String)>> = Mutex::new(None);
 
         let work = || loop {
             if lock(&panicked).is_some() {
@@ -143,9 +162,15 @@ impl Pool {
             };
             match catch_unwind(AssertUnwindSafe(task)) {
                 Ok(v) => lock(&results)[i] = Some(v),
-                Err(_) => {
+                Err(payload) => {
+                    // Keep the lowest-indexed panic so the report is
+                    // deterministic even when several tasks blow up.
+                    let msg = panic_message(payload);
                     let mut p = lock(&panicked);
-                    *p = Some(p.map_or(i, |j| j.min(i)));
+                    match &*p {
+                        Some((j, _)) if *j <= i => {}
+                        _ => *p = Some((i, msg)),
+                    }
                     break;
                 }
             }
@@ -158,8 +183,8 @@ impl Pool {
             work(); // the caller participates instead of blocking idle
         });
 
-        if let Some(task) = lock(&panicked).take() {
-            return Err(PoolError::WorkerPanicked { task });
+        if let Some((task, message)) = lock(&panicked).take() {
+            return Err(PoolError::WorkerPanicked { task, message });
         }
         let collected = lock(&results)
             .iter_mut()

@@ -49,9 +49,11 @@ fn panicking_worker_is_a_clean_error_not_a_hang() {
         })
         .collect();
     let err = pool.run(tasks).unwrap_err();
-    let PoolError::WorkerPanicked { task } = err;
+    let PoolError::WorkerPanicked { task, ref message } = err;
     assert!(task < 16);
+    assert_eq!(message, "worker blew up");
     assert!(err.to_string().contains("panicked"));
+    assert!(err.to_string().contains("worker blew up"));
 
     // The inline path reports the panicking task precisely.
     let sequential = Pool::new(1);
@@ -67,8 +69,28 @@ fn panicking_worker_is_a_clean_error_not_a_hang() {
         .collect();
     assert_eq!(
         sequential.run(tasks).unwrap_err(),
-        PoolError::WorkerPanicked { task: 5 }
+        PoolError::WorkerPanicked {
+            task: 5,
+            message: "worker blew up".to_string()
+        }
     );
+}
+
+#[test]
+fn panic_messages_capture_formatted_and_opaque_payloads() {
+    let pool = Pool::new(1);
+    // Formatted panics arrive as `String` payloads.
+    let formatted: Vec<Box<dyn FnOnce() -> usize + Send>> =
+        vec![Box::new(|| -> usize { panic!("bad partition {}", 3) })
+            as Box<dyn FnOnce() -> usize + Send>];
+    let PoolError::WorkerPanicked { message, .. } = pool.run(formatted).unwrap_err();
+    assert_eq!(message, "bad partition 3");
+    // `panic_any` with a non-string payload still yields a stable marker.
+    let opaque: Vec<Box<dyn FnOnce() -> usize + Send>> =
+        vec![Box::new(|| -> usize { std::panic::panic_any(42usize) })
+            as Box<dyn FnOnce() -> usize + Send>];
+    let PoolError::WorkerPanicked { message, .. } = pool.run(opaque).unwrap_err();
+    assert_eq!(message, "non-string panic payload");
 }
 
 #[test]

@@ -21,4 +21,4 @@ pub use delta::DeltaRelation;
 pub use hash::{FxHashMap, FxHashSet};
 pub use relation::{AccessPath, Relation, Selection, LAZY_INDEX_THRESHOLD};
 pub use stats::Stats;
-pub use tuple::Tuple;
+pub use tuple::{term_estimated_bytes, Tuple};

@@ -36,6 +36,26 @@ impl Tuple {
     pub fn project(&self, cols: &[usize]) -> Vec<Term> {
         cols.iter().map(|&c| self.0[c].clone()).collect()
     }
+
+    /// Estimated heap footprint of this tuple, for the governor's byte
+    /// budget. A deliberately simple size model (struct sizes plus
+    /// recursive list/compound payloads, structure-sharing not
+    /// discounted): stable across platforms in spirit, cheap to compute,
+    /// and monotone in real memory use — which is all a budget needs.
+    pub fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<Tuple>() + self.0.iter().map(term_estimated_bytes).sum::<usize>()
+    }
+}
+
+/// Estimated heap footprint of one ground term (see
+/// [`Tuple::estimated_bytes`]).
+pub fn term_estimated_bytes(t: &Term) -> usize {
+    let own = std::mem::size_of::<Term>();
+    match t {
+        Term::Var(_) | Term::Int(_) | Term::Sym(_) | Term::Nil => own,
+        Term::Cons(h, t) => own + term_estimated_bytes(h) + term_estimated_bytes(t),
+        Term::Comp(_, args) => own + args.iter().map(term_estimated_bytes).sum::<usize>(),
+    }
 }
 
 impl From<Vec<Term>> for Tuple {
@@ -107,5 +127,20 @@ mod tests {
     fn display() {
         let t = Tuple::new(vec![Term::sym("yvr"), Term::Int(600)]);
         assert_eq!(t.to_string(), "(yvr, 600)");
+    }
+
+    #[test]
+    fn estimated_bytes_grows_with_structure() {
+        let flat = Tuple::new(vec![Term::Int(1), Term::Int(2)]);
+        let listy = Tuple::new(vec![Term::int_list([1, 2, 3, 4]), Term::Int(2)]);
+        assert!(flat.estimated_bytes() > 0);
+        assert!(
+            listy.estimated_bytes() > flat.estimated_bytes(),
+            "a 4-element list must cost more than a scalar: {} vs {}",
+            listy.estimated_bytes(),
+            flat.estimated_bytes()
+        );
+        // Deterministic: the same tuple always sizes the same.
+        assert_eq!(listy.estimated_bytes(), listy.estimated_bytes());
     }
 }

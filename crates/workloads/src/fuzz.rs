@@ -103,6 +103,45 @@ impl fmt::Display for FuzzCase {
     }
 }
 
+/// Parses the regression-corpus format (`tests/corpus/*.dl` and fuzzer
+/// output): `%`-prefixed header/comment lines — only `% query:` and
+/// `% strategies:` are significant — then the program text.
+///
+/// # Panics
+///
+/// Panics when the `% query:` header is missing or a `% strategies:`
+/// value is unknown: corpus files are repository fixtures, so a malformed
+/// one is a bug worth failing loudly on.
+pub fn parse_corpus(name: &'static str, text: &str) -> FuzzCase {
+    let mut query = None;
+    let mut class = StrategyClass::All;
+    let mut body = String::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("% query:") {
+            query = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("% strategies:") {
+            class = match rest.trim() {
+                "goal-directed" => StrategyClass::GoalDirected,
+                "bottom-up" => StrategyClass::BottomUp,
+                other => panic!("{name}: unknown strategies class `{other}`"),
+            };
+        } else if line.trim_start().starts_with('%') {
+            // provenance comments
+        } else {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    FuzzCase {
+        seed: 0,
+        shape: name,
+        rules: body,
+        facts: Vec::new(),
+        query: query.unwrap_or_else(|| panic!("{name}: missing `% query:` header")),
+        class,
+    }
+}
+
 /// A random acyclic `parent` forest with `sibling` pairs: facts for the
 /// `sg` / `scsg` shapes. `parent(p_i, p_j)` only for `i > j`.
 fn family_forest(rng: &mut SplitMix64, n: usize, facts: &mut Vec<String>) {

@@ -8,15 +8,26 @@
 //! corpus format (suitable for `tests/corpus/`), then the process exits
 //! non-zero.
 //!
+//! With `--fault-rate` and/or `--timeout-ms` the driver switches to the
+//! **crash-consistency oracle**: each seed's query is disrupted (injected
+//! faults from a seeded stream, a wall-clock deadline) and the same
+//! database handle must then re-run the query to the correct,
+//! bit-identical outcome once the disruption is lifted. Fault rates
+//! above zero need a `--features fault-inject` build.
+//!
 //! ```text
 //! fuzz [--start S] [--seeds N] [--threads 1,4]
+//!      [--fault-rate P] [--fault-seed S] [--timeout-ms MS]
 //! ```
 
-use chain_split::differential::run_seeds;
+use chain_split::differential::{run_seeds, run_seeds_disrupted, Disruption};
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: fuzz [--start S] [--seeds N] [--threads 1,4]");
+    eprintln!(
+        "usage: fuzz [--start S] [--seeds N] [--threads 1,4] \
+         [--fault-rate P] [--fault-seed S] [--timeout-ms MS]"
+    );
     std::process::exit(2);
 }
 
@@ -24,6 +35,9 @@ fn main() -> ExitCode {
     let mut start: u64 = 0;
     let mut seeds: u64 = 25;
     let mut threads: Vec<usize> = vec![1, 4];
+    let mut fault_rate: f64 = 0.0;
+    let mut fault_seed: u64 = 0xC0FFEE;
+    let mut timeout_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -40,8 +54,50 @@ fn main() -> ExitCode {
                     usage();
                 }
             }
+            "--fault-rate" => {
+                fault_rate = value().parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&fault_rate) {
+                    usage();
+                }
+            }
+            "--fault-seed" => fault_seed = value().parse().unwrap_or_else(|_| usage()),
+            "--timeout-ms" => timeout_ms = Some(value().parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
+    }
+
+    let disruption = Disruption {
+        fault_rate_ppm: (fault_rate * 1_000_000.0) as u32,
+        fault_seed,
+        timeout_ms,
+    };
+    if disruption.fault_rate_ppm > 0 && !cfg!(feature = "fault-inject") {
+        eprintln!("fuzz: --fault-rate > 0 needs a `--features fault-inject` build");
+        return ExitCode::from(2);
+    }
+    if disruption.fault_rate_ppm > 0 || disruption.timeout_ms.is_some() {
+        println!(
+            "fuzz: crash-consistency, seeds {start}..{} x threads {threads:?} \
+             (fault rate {} ppm, seed {fault_seed}, timeout {timeout_ms:?})",
+            start + seeds,
+            disruption.fault_rate_ppm
+        );
+        return match run_seeds_disrupted(start, seeds, &threads, &disruption) {
+            Ok(checked) => {
+                println!("fuzz: OK — {checked} disrupted seeds recovered bit-identically");
+                ExitCode::SUCCESS
+            }
+            Err(failure) => {
+                let (case, mismatch) = *failure;
+                eprintln!("fuzz: FAILED — {mismatch}");
+                eprintln!(
+                    "fuzz: reproduction (re-run with --start {} --seeds 1):",
+                    mismatch.seed
+                );
+                eprintln!("{case}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     println!(

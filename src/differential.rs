@@ -95,6 +95,12 @@ fn run_one(case: &FuzzCase, strategy: Strategy, threads: usize) -> Outcome {
     // real chain depth.
     db.solve_options.max_levels = 200;
     match db.query_with(&case.query, strategy) {
+        // A governor trip degrades gracefully into a partial result; for
+        // the oracle that is a budget stop, not an answer set (partial
+        // sets legitimately differ between strategies).
+        Ok(outcome) if outcome.trip.is_some() => {
+            Outcome::Budget(outcome.trip.expect("matched Some").to_string())
+        }
         Ok(outcome) => {
             let mut answers: Vec<String> = outcome.answers.iter().map(|a| a.to_string()).collect();
             answers.sort();
@@ -104,7 +110,9 @@ fn run_one(case: &FuzzCase, strategy: Strategy, threads: usize) -> Outcome {
             }
         }
         Err(DbError::Eval(
-            e @ (EvalError::DepthExceeded { .. } | EvalError::FuelExceeded { .. }),
+            e @ (EvalError::DepthExceeded { .. }
+            | EvalError::FuelExceeded { .. }
+            | EvalError::BudgetExceeded { .. }),
         )) => Outcome::Budget(e.to_string()),
         Err(e) => Outcome::Err(e.to_string()),
     }
@@ -248,4 +256,141 @@ pub fn run_seeds(
         }
     }
     Ok(total_answers)
+}
+
+/// How to disrupt a query for the crash-consistency invariant: injected
+/// faults (probe-time errors / forced cancellations / latency, from the
+/// seeded stream in `chainsplit_governor::faults`), a wall-clock
+/// deadline, or both.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Disruption {
+    /// Per-injection-point fault probability in parts per million.
+    /// Non-zero rates require the `fault-inject` feature.
+    pub fault_rate_ppm: u32,
+    /// Seed for the fault stream (reproduction recipe).
+    pub fault_seed: u64,
+    /// Wall-clock deadline applied to the disrupted run.
+    pub timeout_ms: Option<u64>,
+}
+
+#[cfg(feature = "fault-inject")]
+fn arm_disruption_faults(d: &Disruption) {
+    if d.fault_rate_ppm > 0 {
+        chainsplit_governor::faults::arm(chainsplit_governor::faults::FaultPlan::new(
+            d.fault_seed,
+            d.fault_rate_ppm,
+        ));
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn arm_disruption_faults(d: &Disruption) {
+    assert_eq!(
+        d.fault_rate_ppm, 0,
+        "fault injection requires building with `--features fault-inject`"
+    );
+}
+
+fn disarm_disruption_faults() {
+    #[cfg(feature = "fault-inject")]
+    chainsplit_governor::faults::disarm();
+}
+
+/// The **crash-consistency invariant**: disrupting a query — injected
+/// faults, a deadline, a mid-flight cancellation — must leave the
+/// database able to re-run the *same* query on the *same* handle to the
+/// correct, bit-identical outcome once the disruption is lifted.
+///
+/// For every applicable strategy at every thread count: run clean on a
+/// fresh db (the reference), disrupt a second run on the same db and
+/// ignore whatever it produces, lift the disruption, run a third time on
+/// the same db, and require the third outcome to equal the reference
+/// exactly (answers *and* counters).
+///
+/// Callers running with faults armed must serialize: the fault plan is
+/// process-global.
+pub fn check_crash_consistency(
+    case: &FuzzCase,
+    threads: &[usize],
+    disruption: &Disruption,
+) -> Result<(), Mismatch> {
+    let fail = |detail: String| Mismatch {
+        seed: case.seed,
+        shape: case.shape,
+        detail,
+    };
+    for &t in threads {
+        for &strategy in strategies_for(case) {
+            let mut db = DeductiveDb::new();
+            if let Err(e) = db.load(&case.program()) {
+                return Err(fail(format!("load: {e}")));
+            }
+            db.set_threads(t);
+            db.solve_options.max_levels = 200;
+            let run = |db: &mut DeductiveDb| match db.query_with(&case.query, strategy) {
+                Ok(outcome) if outcome.trip.is_some() => {
+                    Outcome::Budget(outcome.trip.expect("matched Some").to_string())
+                }
+                Ok(outcome) => {
+                    let mut answers: Vec<String> =
+                        outcome.answers.iter().map(|a| a.to_string()).collect();
+                    answers.sort();
+                    Outcome::Ok {
+                        answers,
+                        counters: outcome.counters,
+                    }
+                }
+                Err(e) => Outcome::Err(e.to_string()),
+            };
+            // Warm-up before the reference: the first query on a fresh db
+            // lazily builds EDB indexes (`index_builds`), which later runs
+            // hit (`index_hits`); with the cache warm, the reference and
+            // the recovery run compare counter-exact.
+            let _ = run(&mut db);
+            let reference = run(&mut db);
+            // Disrupt: deadline and/or injected faults. The disrupted
+            // outcome is deliberately not inspected — it may be partial,
+            // an error, or even complete (the disruption never fired).
+            if let Some(ms) = disruption.timeout_ms {
+                db.set_budget(crate::governor::Budget::with_wall_ms(ms));
+            }
+            arm_disruption_faults(disruption);
+            let _ = run(&mut db);
+            disarm_disruption_faults();
+            db.set_budget(crate::governor::Budget::default());
+            // Lifted: the same handle must produce the reference outcome.
+            let after = run(&mut db);
+            if after != reference {
+                return Err(fail(format!(
+                    "{strategy} at threads={t} is not crash-consistent \
+                     (fault seed {}, rate {} ppm, timeout {:?}):\n  clean: {:?}\nvs after recovery: {:?}",
+                    disruption.fault_seed, disruption.fault_rate_ppm, disruption.timeout_ms,
+                    reference, after
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs `count` consecutive seeds through the crash-consistency oracle,
+/// deriving each seed's fault stream from the case seed so reruns
+/// reproduce. Returns the number of cases checked.
+pub fn run_seeds_disrupted(
+    start: u64,
+    count: u64,
+    threads: &[usize],
+    disruption: &Disruption,
+) -> Result<u64, Box<(FuzzCase, Mismatch)>> {
+    for seed in start..start + count {
+        let case = crate::workloads::fuzz::gen_case(seed);
+        let d = Disruption {
+            fault_seed: disruption.fault_seed ^ seed,
+            ..*disruption
+        };
+        if let Err(m) = check_crash_consistency(&case, threads, &d) {
+            return Err(Box::new((case, m)));
+        }
+    }
+    Ok(count)
 }

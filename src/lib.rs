@@ -18,6 +18,8 @@
 //! - [`engine`]: baseline evaluators (naive, semi-naive, magic sets,
 //!   counting, top-down SLD) and moded builtins;
 //! - [`core`]: the chain-split planner and Algorithms 3.1–3.3;
+//! - [`governor`]: resource budgets, deadlines, cooperative cancellation,
+//!   and deterministic fault injection (feature `fault-inject`);
 //! - [`workloads`]: deterministic synthetic workload generators.
 //!
 //! ## Quickstart
@@ -42,6 +44,7 @@ pub mod differential;
 pub use chainsplit_chain as chain;
 pub use chainsplit_core as core;
 pub use chainsplit_engine as engine;
+pub use chainsplit_governor as governor;
 pub use chainsplit_logic as logic;
 pub use chainsplit_relation as relation;
 pub use chainsplit_workloads as workloads;

@@ -9,41 +9,9 @@
 //! across thread counts 1, 2, 4 and 8.
 
 use chain_split::differential::check_case;
-use chain_split::workloads::fuzz::{FuzzCase, StrategyClass};
+use chain_split::workloads::fuzz::parse_corpus;
 use std::fs;
 use std::path::PathBuf;
-
-/// Parses the corpus format: `%`-prefixed header/comment lines (only
-/// `% query:` and `% strategies:` are significant), then the program.
-fn parse_corpus(name: &'static str, text: &str) -> FuzzCase {
-    let mut query = None;
-    let mut class = StrategyClass::All;
-    let mut body = String::new();
-    for line in text.lines() {
-        if let Some(rest) = line.strip_prefix("% query:") {
-            query = Some(rest.trim().to_string());
-        } else if let Some(rest) = line.strip_prefix("% strategies:") {
-            class = match rest.trim() {
-                "goal-directed" => StrategyClass::GoalDirected,
-                "bottom-up" => StrategyClass::BottomUp,
-                other => panic!("{name}: unknown strategies class `{other}`"),
-            };
-        } else if line.trim_start().starts_with('%') {
-            // provenance comments
-        } else {
-            body.push_str(line);
-            body.push('\n');
-        }
-    }
-    FuzzCase {
-        seed: 0,
-        shape: name,
-        rules: body,
-        facts: Vec::new(),
-        query: query.unwrap_or_else(|| panic!("{name}: missing `% query:` header")),
-        class,
-    }
-}
 
 fn corpus_files() -> Vec<PathBuf> {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");

@@ -1,0 +1,131 @@
+//! Fault-injection replays (`--features fault-inject` builds only).
+//!
+//! Every corpus program is disrupted — deterministic injected faults
+//! (probe-time errors, forced cancellations, latency) plus a tight
+//! deadline — and must satisfy the crash-consistency invariant: once the
+//! disruption is lifted, the *same* database handle re-runs the query to
+//! the correct, bit-identical outcome. A separate test opts into panic
+//! faults to verify a worker panic poisons only the query it hit.
+//!
+//! The fault plan is process-global, so every test here serializes on one
+//! mutex.
+
+#![cfg(feature = "fault-inject")]
+
+use chain_split::core::{DeductiveDb, Strategy};
+use chain_split::differential::{check_crash_consistency, Disruption};
+use chain_split::governor::faults::{self, FaultPlan};
+use chain_split::workloads::fuzz::parse_corpus;
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes the tests in this file: faults arm process-wide.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn fault_guard() -> MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("tests/corpus must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "dl"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_replays_crash_consistently_under_faults() {
+    let _guard = fault_guard();
+    for (i, path) in corpus_files().into_iter().enumerate() {
+        let name: &'static str = Box::leak(
+            path.file_name()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned()
+                .into_boxed_str(),
+        );
+        let text = fs::read_to_string(&path).unwrap();
+        let case = parse_corpus(name, &text);
+        // A 2% per-point rate fires within ~50 injection points — early
+        // enough to disrupt even the small corpus fixpoints — and the
+        // 50 ms deadline covers queries too short to reach a fault.
+        let disruption = Disruption {
+            fault_rate_ppm: 20_000,
+            fault_seed: 0xFACE ^ i as u64,
+            timeout_ms: Some(50),
+        };
+        if let Err(m) = check_crash_consistency(&case, &[1, 4], &disruption) {
+            panic!("corpus {name}: {m}");
+        }
+    }
+    assert!(!faults::is_armed(), "oracle must disarm after each run");
+}
+
+#[test]
+fn panic_fault_poisons_only_the_query_and_db_stays_usable() {
+    let _guard = fault_guard();
+    let text = fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/corpus/path_cycle.dl"
+    ))
+    .unwrap();
+    let case = parse_corpus("path_cycle.dl", &text);
+    let mut db = DeductiveDb::new();
+    db.load(&case.program()).unwrap();
+    db.set_threads(4);
+    let clean = db.query_with(&case.query, Strategy::SemiNaive).unwrap();
+    let reference: Vec<String> = clean.answers.iter().map(|a| a.to_string()).collect();
+
+    // Every injection point fires, panics included. A panic inside a pool
+    // worker surfaces as EvalError::WorkerPanicked; one on the calling
+    // thread unwinds to the catch below. Either way it must poison only
+    // this query.
+    faults::arm(FaultPlan {
+        panic: true,
+        ..FaultPlan::new(7, 1_000_000)
+    });
+    let disrupted = catch_unwind(AssertUnwindSafe(|| {
+        db.query_with(&case.query, Strategy::SemiNaive)
+    }));
+    faults::disarm();
+    assert!(
+        faults::points_visited() > 0,
+        "the disrupted run must reach at least one injection point"
+    );
+    // Whatever happened — panic, WorkerPanicked, fault trip — is fine;
+    // what matters is the db still answers correctly afterwards.
+    drop(disrupted);
+    let again = db.query_with(&case.query, Strategy::SemiNaive).unwrap();
+    assert!(again.trip.is_none());
+    let after: Vec<String> = again.answers.iter().map(|a| a.to_string()).collect();
+    assert_eq!(after, reference);
+}
+
+#[test]
+fn worker_panic_surfaces_with_partition_and_message_then_pool_recovers() {
+    // Containment without faults: drive the pool the way the fixpoint
+    // does and check the panic report carries the partition index and
+    // message, then the same handle keeps working.
+    let pool = chainsplit_par::Pool::new(4);
+    let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+        .map(|i| {
+            Box::new(move || {
+                if i == 3 {
+                    panic!("partition {i} hit a poisoned tuple");
+                }
+                i
+            }) as Box<dyn FnOnce() -> usize + Send>
+        })
+        .collect();
+    let chainsplit_par::PoolError::WorkerPanicked { task, message } = pool.run(tasks).unwrap_err();
+    assert_eq!(task, 3);
+    assert_eq!(message, "partition 3 hit a poisoned tuple");
+    let ok = pool.run((0..8usize).map(|i| move || i).collect::<Vec<_>>());
+    assert_eq!(ok.unwrap(), (0..8).collect::<Vec<_>>());
+}

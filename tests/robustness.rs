@@ -2,9 +2,11 @@
 //! queries, budget exhaustion, and adversarial data must produce clean
 //! errors — never hangs, panics, or wrong answers.
 
-use chain_split::core::{DeductiveDb, SolveOptions, Strategy};
+use chain_split::core::{DeductiveDb, QueryOutcome, SolveOptions, Strategy};
 use chain_split::engine::{BottomUpOptions, TopDownOptions};
+use chain_split::governor::{Budget, Resource};
 use chain_split::workloads::fixtures;
+use std::time::{Duration, Instant};
 
 #[test]
 fn malformed_programs_report_positions() {
@@ -59,6 +61,7 @@ fn budget_exhaustion_is_an_error_not_a_hang() {
     db.top_down_options = TopDownOptions {
         max_depth: 100,
         fuel: 10_000,
+        ..TopDownOptions::default()
     };
     assert!(db.query_with("loop(a)", Strategy::Auto).is_err());
     assert!(db.query_with("loop(a)", Strategy::TopDown).is_err());
@@ -156,6 +159,124 @@ fn same_name_different_arity_coexist() {
     .unwrap();
     assert_eq!(db.query("q(X)").unwrap().len(), 1);
     assert_eq!(db.query("r(X, Y)").unwrap().len(), 1);
+}
+
+/// The cyclic corpus program (`tests/corpus/path_cycle.dl`) with its EDB
+/// scaled up to a `n`-node cycle: big enough that a fixpoint spans many
+/// rounds and tens of milliseconds even in debug builds, yet the full
+/// closure still completes for the recovery reference.
+fn scaled_cycle_db(n: usize) -> DeductiveDb {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/corpus/path_cycle.dl"
+    ))
+    .unwrap();
+    let case = chain_split::workloads::fuzz::parse_corpus("path_cycle.dl", &text);
+    let mut db = DeductiveDb::new();
+    db.load(&case.program()).unwrap();
+    for i in 0..n {
+        db.load_rule(&format!("edge(m{i}, m{}).", (i + 1) % n))
+            .unwrap();
+    }
+    db
+}
+
+fn sorted_answers(o: &QueryOutcome) -> Vec<String> {
+    let mut v: Vec<String> = o.answers.iter().map(|a| a.to_string()).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn deadline_expiry_mid_round_returns_partial_metrics_then_recovers() {
+    // The acceptance scenario: a 50 ms deadline against the (scaled)
+    // cyclic corpus program trips with partial metrics well within 2x the
+    // deadline, at one worker and at four; lifting the budget on the SAME
+    // db then reproduces the clean reference bit-for-bit.
+    for threads in [1usize, 4] {
+        let mut db = scaled_cycle_db(220);
+        db.set_threads(threads);
+        // Warm-up so the clean reference runs with the EDB's lazy indexes
+        // already built — index_hits/index_builds then compare exactly.
+        let _ = db.query_with("path(n0, Y)", Strategy::SemiNaive).unwrap();
+        let clean = db.query_with("path(n0, Y)", Strategy::SemiNaive).unwrap();
+        assert!(clean.trip.is_none());
+
+        db.set_budget(Budget::with_wall_ms(50));
+        let t0 = Instant::now();
+        let partial = db.query_with("path(n0, Y)", Strategy::SemiNaive).unwrap();
+        let elapsed = t0.elapsed();
+        let trip = partial
+            .trip
+            .unwrap_or_else(|| panic!("50 ms deadline must trip at threads={threads}"));
+        assert_eq!(trip.resource, Resource::Wall, "threads={threads}");
+        // Partial metrics came back with the drained result: the rounds
+        // completed before the deadline, with their counters.
+        assert!(
+            !partial.rounds.is_empty(),
+            "threads={threads}: partial RoundMetrics expected"
+        );
+        assert!(partial.counters.derived > 0, "threads={threads}");
+        // Responsiveness: the cooperative checks sit on round boundaries
+        // and probe batches, so the drain lands in a small multiple of
+        // the deadline. 2x is the acceptance bound; allow slack for CI
+        // scheduling noise on top of the 100 ms ideal.
+        assert!(
+            elapsed < Duration::from_millis(2000),
+            "threads={threads}: drain took {elapsed:?}"
+        );
+
+        db.set_budget(Budget::default());
+        let recovered = db.query_with("path(n0, Y)", Strategy::SemiNaive).unwrap();
+        assert!(recovered.trip.is_none(), "threads={threads}");
+        assert_eq!(
+            sorted_answers(&recovered),
+            sorted_answers(&clean),
+            "threads={threads}: recovery must match the clean reference"
+        );
+        assert_eq!(
+            recovered.counters, clean.counters,
+            "threads={threads}: recovered counters must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn cancellation_from_a_second_thread_drains_gracefully() {
+    let mut db = scaled_cycle_db(220);
+    let token = db.cancel_token();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(20));
+        token.cancel();
+    });
+    let outcome = db.query_with("path(n0, Y)", Strategy::SemiNaive).unwrap();
+    canceller.join().unwrap();
+    let trip = outcome.trip.expect("cross-thread cancellation must trip");
+    assert_eq!(trip.resource, Resource::Cancelled);
+    // The db stays usable: the next query runs to completion.
+    let again = db.query_with("path(n0, Y)", Strategy::SemiNaive).unwrap();
+    assert!(again.trip.is_none());
+    assert!(outcome.answers.len() <= again.answers.len());
+}
+
+#[test]
+fn byte_budget_trips_the_buffered_up_sweep_then_recovers() {
+    let mut db = DeductiveDb::new();
+    db.load(fixtures::APPEND).unwrap();
+    db.set_budget(Budget {
+        max_bytes_est: Some(1),
+        ..Budget::default()
+    });
+    let q = "append(U, V, [1, 2, 3, 4, 5, 6, 7, 8])";
+    let partial = db.query_with(q, Strategy::ChainSplit).unwrap();
+    let trip = partial.trip.expect("a 1-byte budget must trip");
+    assert_eq!(trip.resource, Resource::Bytes);
+    assert_eq!(trip.phase, "up-sweep");
+    assert!(partial.answers.len() < 9);
+    db.set_budget(Budget::default());
+    let full = db.query_with(q, Strategy::ChainSplit).unwrap();
+    assert!(full.trip.is_none());
+    assert_eq!(full.answers.len(), 9);
 }
 
 #[test]
