@@ -1,0 +1,97 @@
+//! E8 — Repeated-query sessions through the answer cache (DESIGN.md §11).
+//!
+//! A session poses the same `scsg` query `repeats` times against an
+//! unchanged database. Cache-off re-evaluates from scratch every time, so
+//! its work counters grow linearly in `repeats`; cache-on pays the full
+//! first evaluation and answers every repeat from the epoch-validated
+//! answer cache with zero new probed/matched work. The claim under test:
+//! the cached session's total work is *constant* in `repeats` — the
+//! crossover sits at the second repetition and the hit rate is
+//! `(repeats - 1) / repeats`.
+//!
+//! Counters are summed across the session (`buffered_peak` is a max), so
+//! every row is the machine-independent cost of the whole session, and
+//! the `bench_compare` ordinal gate checks the crossover like any other
+//! table.
+
+use chainsplit_bench::{header, row, scsg_db, time_ms, BenchReport, Run};
+use chainsplit_core::{DeductiveDb, Strategy};
+use chainsplit_engine::Counters;
+use chainsplit_workloads::{query_person, FamilyConfig};
+
+/// Runs the same query `repeats` times on one database handle, summing
+/// the session's counters.
+fn session(db: &mut DeductiveDb, query: &str, repeats: usize) -> Run {
+    let strategy = Strategy::SemiNaive;
+    // Compile (and on the cache-off side, build indexes) outside the
+    // timed section, mirroring `measure`.
+    let _ = db.system();
+    let hits_before = db.cache_stats().hits;
+    let mut total = Counters::default();
+    let mut answers = 0;
+    let mut rounds = 0;
+    let ((), wall_ms) = time_ms(|| {
+        for _ in 0..repeats {
+            let o = db.query_with(query, strategy).expect("scsg evaluates");
+            total.add(&o.counters);
+            answers = o.answers.len();
+            rounds += o.rounds.len();
+        }
+    });
+    Run {
+        answers,
+        wall_ms,
+        derived: total.derived,
+        probed: total.probed,
+        matched: total.matched,
+        magic_facts: total.magic_facts,
+        buffered_peak: total.buffered_peak,
+        rounds,
+        index_hits: total.index_hits,
+        scans: total.scans,
+        cache_hits: (db.cache_stats().hits - hits_before) as usize,
+        threads: db.threads(),
+    }
+}
+
+fn main() {
+    let mut report = BenchReport::new("e8");
+    let cfg = FamilyConfig {
+        countries: 2,
+        people_per_country: 16,
+        generations: 4,
+    };
+    let q = format!("scsg({}, Y)", query_person(cfg));
+    println!("# E8: repeated scsg sessions — answer cache off vs on (semi-naive)");
+    println!("# total work per session; cache-on pays the first evaluation only\n");
+    header(&[
+        "repeats", "cache", "answers", "probed", "matched", "derived", "hits", "hit rate",
+        "wall ms",
+    ]);
+    for repeats in [1usize, 2, 4, 8, 16] {
+        for (name, enabled) in [("cache-off", false), ("cache-on", true)] {
+            let mut db = scsg_db(cfg);
+            db.set_cache_enabled(enabled);
+            let r = session(&mut db, &q, repeats);
+            report.push_run(
+                &format!("repeats={repeats}"),
+                repeats as f64,
+                name,
+                "SemiNaive",
+                &r,
+            );
+            row(&[
+                repeats.to_string(),
+                name.to_string(),
+                r.answers.to_string(),
+                r.probed.to_string(),
+                r.matched.to_string(),
+                r.derived.to_string(),
+                r.cache_hits.to_string(),
+                format!("{:.0}%", 100.0 * r.cache_hits as f64 / repeats as f64),
+                format!("{:.2}", r.wall_ms),
+            ]);
+        }
+    }
+    report.write_default().expect("write BENCH_e8.json");
+}

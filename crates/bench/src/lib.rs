@@ -61,6 +61,11 @@ pub struct Run {
     pub rounds: usize,
     pub index_hits: usize,
     pub scans: usize,
+    /// Queries answered from the answer cache during the run. [`measure`]
+    /// always reports 0 (it runs one query on a cache-off database);
+    /// the repeated-query experiment (E8) fills it in from
+    /// [`DeductiveDb::cache_stats`].
+    pub cache_hits: usize,
     /// Worker threads the run used (counters are thread-invariant; this
     /// contextualizes `wall_ms`).
     pub threads: usize,
@@ -85,6 +90,7 @@ pub fn measure(db: &mut DeductiveDb, query: &str, strategy: Strategy) -> Result<
             rounds: o.rounds.len(),
             index_hits: o.counters.index_hits,
             scans: o.counters.scans,
+            cache_hits: 0,
             threads: db.threads(),
         }),
         Err(e) => Err(e.to_string()),
@@ -107,6 +113,7 @@ pub fn run_from_magic(r: &chainsplit_engine::MagicResult, wall_ms: f64, threads:
         rounds: r.rounds.len(),
         index_hits: r.counters.index_hits,
         scans: r.counters.scans,
+        cache_hits: 0,
         threads,
     }
 }

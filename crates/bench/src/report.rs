@@ -22,11 +22,13 @@ use std::fmt::Write as _;
 /// `scans` count *physical* probes — one per distinct key per join step —
 /// while `matched` stays per substitution-tuple pair, so `matched` may
 /// exceed `probed`.
-pub const BENCH_SCHEMA_VERSION: usize = 3;
+/// v4 added `cache_hits` (queries in the row answered from the answer
+/// cache, DESIGN.md §11; 0 everywhere except cache experiments).
+pub const BENCH_SCHEMA_VERSION: usize = 4;
 
 /// The exact key set of one serialized row, in document order — pinned by
 /// a golden test so schema drift is deliberate.
-pub const BENCH_ROW_KEYS: [&str; 16] = [
+pub const BENCH_ROW_KEYS: [&str; 17] = [
     "param",
     "param_value",
     "method",
@@ -42,6 +44,7 @@ pub const BENCH_ROW_KEYS: [&str; 16] = [
     "rounds",
     "index_hits",
     "scans",
+    "cache_hits",
     "threads",
 ];
 
@@ -80,6 +83,9 @@ pub struct BenchRow {
     pub index_hits: usize,
     /// `select` calls that scanned.
     pub scans: usize,
+    /// Queries in the row answered from the answer cache (DESIGN.md §11).
+    /// Zero outside cache experiments: `measure` runs cache-off.
+    pub cache_hits: usize,
     /// Worker threads the row ran with (0 on DNF rows). Counters are
     /// thread-invariant by construction (DESIGN.md §5), so rows measured
     /// at different thread counts stay counter-comparable; `threads`
@@ -130,6 +136,7 @@ impl BenchReport {
             rounds: r.rounds,
             index_hits: r.index_hits,
             scans: r.scans,
+            cache_hits: r.cache_hits,
             threads: r.threads,
         });
     }
@@ -152,6 +159,7 @@ impl BenchReport {
             rounds: 0,
             index_hits: 0,
             scans: 0,
+            cache_hits: 0,
             threads: 0,
         });
     }
@@ -178,6 +186,7 @@ impl BenchReport {
                     ("rounds".into(), Json::int(r.rounds)),
                     ("index_hits".into(), Json::int(r.index_hits)),
                     ("scans".into(), Json::int(r.scans)),
+                    ("cache_hits".into(), Json::int(r.cache_hits)),
                     ("threads".into(), Json::int(r.threads)),
                 ])
             })
@@ -248,6 +257,7 @@ impl BenchReport {
                 rounds: n("rounds")?,
                 index_hits: n("index_hits")?,
                 scans: n("scans")?,
+                cache_hits: n("cache_hits")?,
                 threads: n("threads")?,
             });
         }
@@ -389,6 +399,7 @@ pub fn compare(old: &BenchReport, new: &BenchReport, opts: &CompareOptions) -> V
                 ("rounds", o.rounds, n.rounds),
                 ("index_hits", o.index_hits, n.index_hits),
                 ("scans", o.scans, n.scans),
+                ("cache_hits", o.cache_hits, n.cache_hits),
                 // `threads` is deliberately absent: it is run context,
                 // like wall_ms — counters must match across thread
                 // counts, which is exactly what this check proves.

@@ -62,6 +62,12 @@ commands:
   :budget rounds|tuples|bytes|wall <N>
   :budget off                    lift every limit (Ctrl-C still cancels
                                  the running query, not the shell)
+  :cache on|off                  toggle the cross-query answer cache
+                                 (epoch-invalidated: rule loads and fact
+                                 inserts into supporting predicates drop
+                                 exactly the affected entries)
+  :cache stats                   hit/miss/invalidation/eviction counts
+  :cache clear                   drop every cached answer set
   :threads [N]                   show or set worker threads for parallel
                                  evaluation (default: CHAINSPLIT_THREADS
                                  or 1; answers and counters are identical
@@ -166,6 +172,7 @@ impl Shell {
             }
             "timeout" => self.timeout_command(arg),
             "budget" => self.budget_command(arg),
+            "cache" => self.cache_command(arg),
             "threads" => {
                 if arg.is_empty() {
                     format!("threads: {}", self.db.threads())
@@ -294,6 +301,39 @@ impl Shell {
         }
         self.db.set_budget(budget);
         show(&budget)
+    }
+
+    fn cache_command(&mut self, arg: &str) -> String {
+        match arg {
+            "" => {
+                let (entries, bytes) = self.db.cache_usage();
+                format!(
+                    "cache: {} ({entries} entries, {bytes} bytes)",
+                    if self.db.cache_enabled() { "on" } else { "off" }
+                )
+            }
+            "on" => {
+                self.db.set_cache_enabled(true);
+                "cache: on".to_string()
+            }
+            "off" => {
+                self.db.set_cache_enabled(false);
+                "cache: off".to_string()
+            }
+            "stats" => {
+                let s = self.db.cache_stats();
+                let (entries, bytes) = self.db.cache_usage();
+                format!(
+                    "cache: hits {} | misses {} | stale {} | evicted {} | entries {entries} | bytes {bytes}",
+                    s.hits, s.misses, s.invalidations, s.evictions
+                )
+            }
+            "clear" => {
+                self.db.clear_cache();
+                "cache: cleared.".to_string()
+            }
+            _ => "usage: :cache [on|off|stats|clear]".to_string(),
+        }
     }
 
     fn stats(&mut self) -> String {
@@ -517,6 +557,47 @@ mod tests {
         let out = sh.process("?- path(a, Y).").0;
         assert!(out.contains("4 answer(s)."), "{out}");
         assert!(!out.contains("incomplete"), "{out}");
+    }
+
+    #[test]
+    fn cache_command_round_trips() {
+        let mut sh = Shell::new();
+        sh.process("e(1).");
+        sh.process("p(X) :- e(X).");
+        assert_eq!(sh.process(":cache").0, "cache: off (0 entries, 0 bytes)");
+        assert_eq!(sh.process(":cache on").0, "cache: on");
+        sh.process("?- p(X).");
+        sh.process("?- p(X).");
+        let s = sh.process(":cache stats").0;
+        assert!(s.contains("hits 1"), "{s}");
+        assert!(s.contains("misses 1"), "{s}");
+        assert!(s.contains("entries 1"), "{s}");
+        let shown = sh.process(":cache").0;
+        assert!(shown.starts_with("cache: on (1 entries"), "{shown}");
+        assert_eq!(sh.process(":cache clear").0, "cache: cleared.");
+        assert!(sh.process(":cache").0.contains("0 entries"));
+        assert_eq!(sh.process(":cache off").0, "cache: off");
+        assert!(sh.process(":cache sideways").0.starts_with("usage:"));
+    }
+
+    #[test]
+    fn cache_survives_fact_asserts_to_unrelated_predicates() {
+        let mut sh = Shell::new();
+        sh.process("ea(1). eb(2).");
+        sh.process("pa(X) :- ea(X).");
+        sh.process("pb(X) :- eb(X).");
+        sh.process(":cache on");
+        sh.process("?- pa(X).");
+        sh.process("?- pb(X).");
+        // Asserting into `ea` drops only the `pa` entry.
+        sh.process("ea(3).");
+        sh.process("?- pb(X).");
+        let s = sh.process(":cache stats").0;
+        assert!(s.contains("hits 1"), "{s}");
+        assert!(s.contains("stale"), "{s}");
+        // The invalidated entry re-fills with the new answer set.
+        let out = sh.process("?- pa(X).").0;
+        assert!(out.contains("2 answer(s)."), "{out}");
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! The cross-query answer cache (DESIGN.md §11).
+//!
+//! Recursive workloads re-ask the same goals; the tabling literature
+//! (linear tabling, SLG) shows answer reuse across calls is the dominant
+//! win there. [`AnswerCache`] memoizes *complete* query outcomes keyed by
+//! the goal, its builtin constraints, the strategy, and the **program
+//! epoch** — and each entry carries a snapshot of the **EDB epochs** of
+//! its support set (the extensional predicates the goal can reach in the
+//! dependency graph), so a fact insert invalidates exactly the entries it
+//! can influence:
+//!
+//! - rule loads bump the program epoch → every older entry is
+//!   unreachable (and purged);
+//! - a fact insert bumps only the mutated predicate's EDB epoch → an
+//!   entry goes stale iff that predicate is in its support set.
+//!
+//! Partial outcomes (budget trips) and errors are never cached, so the
+//! cache cannot change what a query reports — a hit replays the complete
+//! answer set bit-identically with zero new probed/matched work. Entries
+//! are byte-estimated and evicted LRU under a byte budget (the same
+//! accounting currency as `Budget::max_bytes_est` in the governor).
+
+use crate::db::{Answer, Strategy};
+use chainsplit_engine::Counters;
+use chainsplit_logic::{Atom, Pred};
+use std::collections::HashMap;
+
+/// Default byte budget: generous for the workloads this engine targets,
+/// small enough that a runaway answer set cannot hold the heap hostage.
+pub const DEFAULT_CACHE_BYTES: u64 = 16 * 1024 * 1024;
+
+/// What makes two queries "the same question".
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    pub goal: Atom,
+    pub constraints: Vec<Atom>,
+    pub strategy: Strategy,
+    pub program_epoch: u64,
+}
+
+/// One cached outcome.
+struct Entry {
+    answers: Vec<Answer>,
+    /// The work the original evaluation did — what `:cache stats` and an
+    /// honest `:profile` can attribute a hit to.
+    counters: Counters,
+    /// EDB-epoch snapshot of the goal's support set at insert time.
+    support: Vec<(Pred, u64)>,
+    bytes: u64,
+    /// LRU stamp: bumped on every hit.
+    last_used: u64,
+}
+
+/// Hit/miss/invalidation/eviction counters, cumulative per cache.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Entries dropped because a supporting predicate's EDB epoch moved.
+    pub invalidations: u64,
+    /// Entries dropped by the LRU byte budget.
+    pub evictions: u64,
+}
+
+/// What a lookup found: the cached answers plus the original counters.
+pub struct CachedOutcome<'a> {
+    pub answers: &'a [Answer],
+    pub counters: Counters,
+}
+
+/// The epoch-invalidated, byte-budgeted answer cache.
+pub struct AnswerCache {
+    entries: HashMap<CacheKey, Entry>,
+    bytes: u64,
+    max_bytes: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Default for AnswerCache {
+    fn default() -> Self {
+        AnswerCache {
+            entries: HashMap::new(),
+            bytes: 0,
+            max_bytes: DEFAULT_CACHE_BYTES,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+impl AnswerCache {
+    /// Looks `key` up, validating the entry's support set against the
+    /// current per-predicate EDB epochs. A stale entry is removed and
+    /// counted as an invalidation (and a miss).
+    pub fn lookup(
+        &mut self,
+        key: &CacheKey,
+        edb_epochs: &HashMap<Pred, u64>,
+    ) -> Option<CachedOutcome<'_>> {
+        let stale = match self.entries.get(key) {
+            None => {
+                self.stats.misses += 1;
+                self.trace_event("miss", &key.goal);
+                return None;
+            }
+            Some(e) => e
+                .support
+                .iter()
+                .any(|(p, epoch)| edb_epochs.get(p).copied().unwrap_or(0) != *epoch),
+        };
+        if stale {
+            let e = self.entries.remove(key).expect("checked above");
+            self.bytes -= e.bytes;
+            self.stats.invalidations += 1;
+            self.stats.misses += 1;
+            self.trace_event("stale", &key.goal);
+            return None;
+        }
+        self.clock += 1;
+        self.stats.hits += 1;
+        self.trace_event("hit", &key.goal);
+        let clock = self.clock;
+        let e = self.entries.get_mut(key).expect("checked above");
+        e.last_used = clock;
+        Some(CachedOutcome {
+            answers: &e.answers,
+            counters: e.counters,
+        })
+    }
+
+    /// Inserts a complete outcome. Oversized outcomes (bigger than the
+    /// whole budget) are not cached; otherwise LRU entries are evicted
+    /// until the new entry fits.
+    pub fn insert(
+        &mut self,
+        key: CacheKey,
+        answers: Vec<Answer>,
+        counters: Counters,
+        support: Vec<(Pred, u64)>,
+    ) {
+        let bytes = entry_bytes(&key, &answers);
+        if bytes > self.max_bytes {
+            return;
+        }
+        if let Some(old) = self.entries.remove(&key) {
+            self.bytes -= old.bytes;
+        }
+        while self.bytes + bytes > self.max_bytes {
+            let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let evicted = self.entries.remove(&lru).expect("lru key exists");
+            self.bytes -= evicted.bytes;
+            self.stats.evictions += 1;
+            self.trace_event("evict", &lru.goal);
+        }
+        self.clock += 1;
+        self.bytes += bytes;
+        self.entries.insert(
+            key,
+            Entry {
+                answers,
+                counters,
+                support,
+                bytes,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Drops every entry (the stats survive — they describe the session).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    /// Cumulative hit/miss/invalidation/eviction counts.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Estimated bytes currently held.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The byte budget.
+    pub fn capacity(&self) -> u64 {
+        self.max_bytes
+    }
+
+    /// Re-budgets the cache, evicting LRU entries if it now overflows.
+    pub fn set_capacity(&mut self, max_bytes: u64) {
+        self.max_bytes = max_bytes;
+        while self.bytes > self.max_bytes {
+            let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let evicted = self.entries.remove(&lru).expect("lru key exists");
+            self.bytes -= evicted.bytes;
+            self.stats.evictions += 1;
+            self.trace_event("evict", &lru.goal);
+        }
+    }
+
+    fn trace_event(&self, event: &'static str, goal: &Atom) {
+        let mut sp = chainsplit_trace::Span::enter_cat("cache", "cache");
+        if sp.is_recording() {
+            sp.set_attr("event", event);
+            sp.set_attr("pred", goal.pred);
+            sp.set_attr("entries", self.entries.len());
+            sp.set_attr("bytes", self.bytes);
+        }
+    }
+}
+
+/// Deterministic byte estimate of one entry, in the same currency as the
+/// governor's `max_bytes_est`: term nodes times a nominal node size, plus
+/// fixed per-answer and per-binding overheads.
+fn entry_bytes(key: &CacheKey, answers: &[Answer]) -> u64 {
+    const NODE: u64 = 24;
+    const BINDING: u64 = 16;
+    const ANSWER: u64 = 32;
+    let mut total = 64u64;
+    for a in &key.constraints {
+        total += a.args.iter().map(|t| t.size() as u64).sum::<u64>() * NODE;
+    }
+    total += key.goal.args.iter().map(|t| t.size() as u64).sum::<u64>() * NODE;
+    for ans in answers {
+        total += ANSWER;
+        for (_, t) in &ans.bindings {
+            total += BINDING + t.size() as u64 * NODE;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::{parse_query, Term};
+
+    fn key(goal: &str, epoch: u64) -> CacheKey {
+        CacheKey {
+            goal: parse_query(goal).unwrap(),
+            constraints: Vec::new(),
+            strategy: Strategy::Auto,
+            program_epoch: epoch,
+        }
+    }
+
+    fn one_answer(val: i64) -> Vec<Answer> {
+        let goal = parse_query("p(X)").unwrap();
+        vec![Answer {
+            bindings: vec![(goal.vars()[0], Term::Int(val))],
+        }]
+    }
+
+    #[test]
+    fn hit_miss_and_epoch_invalidation() {
+        let mut cache = AnswerCache::default();
+        let mut epochs = HashMap::new();
+        let p = Pred::new("e", 1);
+        let k = key("p(X)", 0);
+        assert!(cache.lookup(&k, &epochs).is_none());
+        cache.insert(k.clone(), one_answer(1), Counters::default(), vec![(p, 0)]);
+        assert!(cache.lookup(&k, &epochs).is_some());
+        // A fact insert into the supporting predicate bumps its epoch.
+        epochs.insert(p, 1);
+        assert!(cache.lookup(&k, &epochs).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn unrelated_epoch_bump_preserves_entry() {
+        let mut cache = AnswerCache::default();
+        let mut epochs = HashMap::new();
+        let k = key("p(X)", 0);
+        cache.insert(
+            k.clone(),
+            one_answer(1),
+            Counters::default(),
+            vec![(Pred::new("e", 1), 0)],
+        );
+        epochs.insert(Pred::new("unrelated", 1), 7);
+        assert!(cache.lookup(&k, &epochs).is_some());
+    }
+
+    #[test]
+    fn program_epoch_changes_the_key() {
+        let mut cache = AnswerCache::default();
+        let epochs = HashMap::new();
+        cache.insert(key("p(X)", 0), one_answer(1), Counters::default(), vec![]);
+        assert!(cache.lookup(&key("p(X)", 1), &epochs).is_none());
+        assert!(cache.lookup(&key("p(X)", 0), &epochs).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_budget() {
+        let mut cache = AnswerCache::default();
+        let epochs = HashMap::new();
+        let one = entry_bytes(&key("p0(X)", 0), &one_answer(0));
+        // Room for two entries, not three.
+        cache.set_capacity(one * 2 + one / 2);
+        for i in 0..2 {
+            cache.insert(
+                key(&format!("p{i}(X)"), 0),
+                one_answer(i),
+                Counters::default(),
+                vec![],
+            );
+        }
+        // Touch p0 so p1 is the LRU victim.
+        assert!(cache.lookup(&key("p0(X)", 0), &epochs).is_some());
+        cache.insert(key("p2(X)", 0), one_answer(2), Counters::default(), vec![]);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup(&key("p0(X)", 0), &epochs).is_some());
+        assert!(cache.lookup(&key("p1(X)", 0), &epochs).is_none());
+        assert!(cache.lookup(&key("p2(X)", 0), &epochs).is_some());
+    }
+
+    #[test]
+    fn oversized_outcome_is_not_cached() {
+        let mut cache = AnswerCache::default();
+        cache.set_capacity(8);
+        cache.insert(key("p(X)", 0), one_answer(1), Counters::default(), vec![]);
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let mut cache = AnswerCache::default();
+        for i in 0..4 {
+            cache.insert(
+                key(&format!("p{i}(X)"), 0),
+                one_answer(i),
+                Counters::default(),
+                vec![],
+            );
+        }
+        assert_eq!(cache.len(), 4);
+        cache.set_capacity(entry_bytes(&key("p0(X)", 0), &one_answer(0)));
+        assert!(cache.len() <= 1, "{} entries left", cache.len());
+        assert!(cache.bytes() <= cache.capacity());
+    }
+}

@@ -21,7 +21,7 @@ use std::fmt;
 use std::time::Instant;
 
 /// Which evaluation method to run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Strategy {
     /// The planner decides: chain-split for compiled recursions, goal-
     /// directed resolution otherwise.
@@ -66,7 +66,7 @@ impl fmt::Display for Strategy {
 }
 
 /// One query answer: the query variables and their values.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Answer {
     pub bindings: Vec<(Var, Term)>,
 }
@@ -106,6 +106,10 @@ pub struct QueryOutcome {
     /// early. The answers then hold what was derived before the trip: a
     /// sound under-approximation of the full answer set (DESIGN.md §10).
     pub trip: Option<BudgetTrip>,
+    /// `true` when the answers were replayed from the cross-query answer
+    /// cache (DESIGN.md §11). The counters are then zero — a hit does no
+    /// new probe/match/derive work.
+    pub cached: bool,
 }
 
 impl QueryOutcome {
@@ -166,6 +170,18 @@ pub struct DeductiveDb {
     /// Integrity constraints: denial bodies that must stay unsatisfiable.
     constraints: Vec<Vec<Atom>>,
     system: Option<System>,
+    /// Bumped by every rule-program change (`load` with rules, `load_rule`
+    /// of a proper rule, an exit-rule fact). Plain EDB fact inserts do
+    /// *not* bump it — they bump the mutated predicate's entry in
+    /// `edb_epochs` instead, so the answer cache invalidates by support
+    /// set rather than wholesale.
+    program_epoch: u64,
+    /// Per-predicate EDB mutation epochs (missing means 0: never mutated
+    /// since the last recompile).
+    edb_epochs: std::collections::HashMap<chainsplit_logic::Pred, u64>,
+    /// The cross-query answer cache (DESIGN.md §11). Off by default.
+    cache: crate::cache::AnswerCache,
+    cache_enabled: bool,
     /// Evaluation budgets.
     pub solve_options: SolveOptions,
     pub bottom_up_options: BottomUpOptions,
@@ -190,6 +206,10 @@ impl DeductiveDb {
             source: Program::default(),
             constraints: Vec::new(),
             system: None,
+            program_epoch: 0,
+            edb_epochs: std::collections::HashMap::new(),
+            cache: crate::cache::AnswerCache::default(),
+            cache_enabled: false,
             solve_options: SolveOptions::default(),
             bottom_up_options: BottomUpOptions::default(),
             top_down_options: TopDownOptions::default(),
@@ -238,25 +258,90 @@ impl DeductiveDb {
     }
 
     /// Loads a program fragment (facts and/or rules).
+    ///
+    /// A facts-only fragment (every clause a ground fact of a predicate
+    /// with no proper rule) is ingested straight into the EDB: the
+    /// compiled system — rectification, classification, chain
+    /// compilation — survives untouched, and only the mutated predicates'
+    /// EDB epochs move. Anything containing a rule recompiles.
     pub fn load(&mut self, src: &str) -> Result<(), DbError> {
         let p = parse_program(src)?;
-        self.source.rules.extend(p.rules);
-        self.system = None;
+        if p.rules
+            .iter()
+            .all(|r| r.is_fact() && r.head.is_ground() && !self.is_idb_pred(r.head.pred))
+        {
+            for r in p.rules {
+                self.ingest_fact(r.head);
+            }
+        } else {
+            self.source.rules.extend(p.rules);
+            self.invalidate_program();
+        }
         Ok(())
     }
 
-    /// Loads a single clause.
+    /// Loads a single clause (fact inserts keep the compiled system, like
+    /// [`load`](Self::load)).
     pub fn load_rule(&mut self, src: &str) -> Result<(), DbError> {
         let r = parse_rule(src)?;
-        self.source.rules.push(r);
-        self.system = None;
+        if r.is_fact() && r.head.is_ground() && !self.is_idb_pred(r.head.pred) {
+            self.ingest_fact(r.head);
+        } else {
+            self.source.rules.push(r);
+            self.invalidate_program();
+        }
         Ok(())
     }
 
-    /// Adds a ground fact directly.
+    /// Adds a fact directly. A ground fact of an extensional predicate
+    /// skips recompilation; a fact of an IDB predicate is a new exit rule
+    /// and recompiles like any rule change.
     pub fn add_fact(&mut self, fact: Atom) {
+        if fact.is_ground() && !self.is_idb_pred(fact.pred) {
+            self.ingest_fact(fact);
+        } else {
+            self.source.rules.push(chainsplit_logic::Rule::fact(fact));
+            self.invalidate_program();
+        }
+    }
+
+    /// Is `pred` intensional under the current program? Mirrors
+    /// [`Program::split_facts`]: any non-(ground-fact) clause with this
+    /// head predicate makes it IDB, so a new fact for it would be an exit
+    /// rule, not EDB content.
+    fn is_idb_pred(&self, pred: chainsplit_logic::Pred) -> bool {
+        match &self.system {
+            Some(sys) => sys.is_idb(pred),
+            None => self
+                .source
+                .rules
+                .iter()
+                .any(|r| r.head.pred == pred && !(r.is_fact() && r.head.is_ground())),
+        }
+    }
+
+    /// EDB fact ingestion: append to the source (so `dump` and the
+    /// source-driven strategies see it), patch the compiled EDB in place
+    /// if a system exists, and bump the predicate's EDB epoch.
+    fn ingest_fact(&mut self, fact: Atom) {
+        if let Some(sys) = &mut self.system {
+            sys.edb.add_fact(&fact);
+            if !sys.modes.is_edb(fact.pred) {
+                sys.modes.add_edb(fact.pred);
+            }
+        }
+        *self.edb_epochs.entry(fact.pred).or_insert(0) += 1;
         self.source.rules.push(chainsplit_logic::Rule::fact(fact));
+    }
+
+    /// A rule-program change: drop the compiled system, bump the program
+    /// epoch (every cached answer's key goes unreachable) and purge the
+    /// now-dead cache entries.
+    fn invalidate_program(&mut self) {
         self.system = None;
+        self.program_epoch += 1;
+        self.edb_epochs.clear();
+        self.cache.clear();
     }
 
     /// The compiled system (compiling on first use).
@@ -266,6 +351,63 @@ impl DeductiveDb {
             self.system = Some(System::build(&self.source));
         }
         self.system.as_ref().unwrap()
+    }
+
+    /// Turns the cross-query answer cache on or off. Entries survive a
+    /// toggle (epoch validation still applies); partial and failed
+    /// outcomes are never cached, so answers and trips are bit-identical
+    /// with the cache on or off.
+    pub fn set_cache_enabled(&mut self, on: bool) {
+        self.cache_enabled = on;
+    }
+
+    /// Whether the answer cache is consulted.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Cumulative cache hit/miss/invalidation/eviction counts.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Entries and estimated bytes currently cached.
+    pub fn cache_usage(&self) -> (usize, u64) {
+        (self.cache.len(), self.cache.bytes())
+    }
+
+    /// Drops every cached answer set (stats survive).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Re-budgets the cache in estimated bytes (LRU-evicting on shrink).
+    pub fn set_cache_capacity(&mut self, max_bytes: u64) {
+        self.cache.set_capacity(max_bytes);
+    }
+
+    /// The support set of a goal: the extensional predicates it can reach
+    /// in the dependency graph (plus itself when extensional), each with
+    /// its current EDB epoch. A cached entry stays valid exactly while
+    /// these epochs hold still.
+    fn support_epochs(
+        sys: &System,
+        edb_epochs: &std::collections::HashMap<chainsplit_logic::Pred, u64>,
+        goal: chainsplit_logic::Pred,
+    ) -> Vec<(chainsplit_logic::Pred, u64)> {
+        let mut preds: Vec<chainsplit_logic::Pred> = sys
+            .graph
+            .reachable(goal)
+            .into_iter()
+            .filter(|&p| !sys.is_idb(p) && !chainsplit_chain::is_builtin(p))
+            .collect();
+        if !sys.is_idb(goal) && !chainsplit_chain::is_builtin(goal) && !preds.contains(&goal) {
+            preds.push(goal);
+        }
+        preds
+            .into_iter()
+            .map(|p| (p, edb_epochs.get(&p).copied().unwrap_or(0)))
+            .collect()
     }
 
     /// Parses a query of the form `p(args)` or `p(args), c1, c2, …` where
@@ -327,10 +469,35 @@ impl DeductiveDb {
             ..self.tabled_options.clone()
         };
         let cost = self.cost_model;
-        let source = self.source.clone();
         let mut query_span = chainsplit_trace::span!("query", pred = atom.pred);
         query_span.set_attr("strategy", strategy);
-        let sys = self.system();
+        if self.system.is_none() {
+            let _sp = chainsplit_trace::span!("compile", stage = "system-build");
+            self.system = Some(System::build(&self.source));
+        }
+        let cache_key = self.cache_enabled.then(|| crate::cache::CacheKey {
+            goal: atom.clone(),
+            constraints: constraints.to_vec(),
+            strategy,
+            program_epoch: self.program_epoch,
+        });
+        if let Some(key) = &cache_key {
+            if let Some(hit) = self.cache.lookup(key, &self.edb_epochs) {
+                return Ok(QueryOutcome {
+                    answers: hit.answers.to_vec(),
+                    counters: Counters::default(),
+                    strategy,
+                    rounds: Vec::new(),
+                    phases: PhaseTimings::default(),
+                    trip: None,
+                    cached: true,
+                });
+            }
+        }
+        let sys = self.system.as_ref().expect("compiled above");
+        // The source-driven strategies (tabled, top-down) borrow the
+        // program in place — no per-query clone.
+        let source = &self.source;
         let qvars = {
             let mut v = atom.vars();
             for c in constraints {
@@ -349,8 +516,11 @@ impl DeductiveDb {
                     bindings: s.project(&qvars),
                 })
                 .collect();
+            // Dedup structurally on the binding tuples: terms share
+            // structure via `Arc`, so the clone into the seen-set is
+            // cheap — no per-answer string rendering.
             let mut seen = std::collections::HashSet::new();
-            out.retain(|a| seen.insert(a.to_string()));
+            out.retain(|a| seen.insert(a.clone()));
             out
         };
 
@@ -379,11 +549,12 @@ impl DeductiveDb {
                         ..PhaseTimings::default()
                     },
                     trip: solver.trip,
+                    cached: false,
                 }
             }
             Strategy::Tabled => {
                 let t0 = Instant::now();
-                let (sols, counters, trip) = tabled_query(&source, atom, tab_opts)?;
+                let (sols, counters, trip) = tabled_query(source, atom, tab_opts)?;
                 let fixpoint_ms = duration_ms(t0.elapsed());
                 let t1 = Instant::now();
                 let _sp = chainsplit_trace::span!("answer", pred = atom.pred);
@@ -400,11 +571,12 @@ impl DeductiveDb {
                         ..PhaseTimings::default()
                     },
                     trip,
+                    cached: false,
                 }
             }
             Strategy::TopDown => {
                 let t0 = Instant::now();
-                let (sols, counters, trip) = topdown_query(&source, atom, td_opts)?;
+                let (sols, counters, trip) = topdown_query(source, atom, td_opts)?;
                 let fixpoint_ms = duration_ms(t0.elapsed());
                 let t1 = Instant::now();
                 let _sp = chainsplit_trace::span!("answer", pred = atom.pred);
@@ -421,6 +593,7 @@ impl DeductiveDb {
                         ..PhaseTimings::default()
                     },
                     trip,
+                    cached: false,
                 }
             }
             Strategy::Naive | Strategy::SemiNaive => {
@@ -457,6 +630,7 @@ impl DeductiveDb {
                     rounds: run.rounds,
                     phases,
                     trip: run.trip,
+                    cached: false,
                 }
             }
             Strategy::SupplementaryMagic => {
@@ -475,6 +649,7 @@ impl DeductiveDb {
                     rounds: r.rounds,
                     phases: r.phases,
                     trip: r.trip,
+                    cached: false,
                 }
             }
             Strategy::Magic => {
@@ -487,6 +662,7 @@ impl DeductiveDb {
                     rounds: r.rounds,
                     phases: r.phases,
                     trip: r.trip,
+                    cached: false,
                 }
             }
             Strategy::ChainSplitMagic => {
@@ -499,9 +675,21 @@ impl DeductiveDb {
                     rounds: r.rounds,
                     phases: r.phases,
                     trip: r.trip,
+                    cached: false,
                 }
             }
         };
+        // Only complete outcomes are cached: a hit must replay exactly
+        // what a fresh evaluation would report, and partial answer sets
+        // depend on the budget that tripped them.
+        if let Some(key) = cache_key {
+            if outcome.trip.is_none() {
+                let sys = self.system.as_ref().expect("compiled above");
+                let support = Self::support_epochs(sys, &self.edb_epochs, atom.pred);
+                self.cache
+                    .insert(key, outcome.answers.clone(), outcome.counters, support);
+            }
+        }
         Ok(outcome)
     }
 
@@ -636,6 +824,7 @@ impl DeductiveDb {
         self.system();
         let compile_ms = duration_ms(t0.elapsed());
         let outcome = self.query_with(query, strategy)?;
+        let cached = outcome.cached;
         let mut phases = outcome.phases;
         if freshly_compiled {
             // Magic strategies also time their rule transform as compile
@@ -672,7 +861,13 @@ impl DeductiveDb {
             }
         }
         Ok(EvalMetrics {
-            strategy: strategy.to_string(),
+            // An honest `:profile` on a hit: the zero counters are real
+            // (no new work ran), and the strategy line says why.
+            strategy: if cached {
+                format!("{strategy} [cached]")
+            } else {
+                strategy.to_string()
+            },
             answers: outcome.answers.len(),
             totals: outcome.counters,
             rounds,
@@ -880,6 +1075,276 @@ mod tests {
         assert_eq!(a.len(), 1);
         assert_eq!(a[0].to_string(), "true");
         assert!(db.query("p(2)").unwrap().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod mutation_path_tests {
+    use super::*;
+
+    #[test]
+    fn fact_inserts_keep_the_compiled_system() {
+        let mut db = DeductiveDb::new();
+        db.load("p(X) :- e(X). e(1).").unwrap();
+        assert_eq!(db.query("p(X)").unwrap().len(), 1);
+        let seq = db.system().build_seq;
+        // Every fact-ingestion path: add_fact, load_rule of a ground
+        // fact, load of a facts-only fragment.
+        db.add_fact(chainsplit_logic::parse_query("e(2)").unwrap());
+        db.load_rule("e(3).").unwrap();
+        db.load("e(4). e(5).").unwrap();
+        assert_eq!(
+            db.system().build_seq,
+            seq,
+            "EDB fact inserts must not recompile"
+        );
+        assert_eq!(db.query("p(X)").unwrap().len(), 5);
+        // A rule load is a program change: recompile.
+        db.load_rule("q(X) :- e(X).").unwrap();
+        assert_ne!(db.system().build_seq, seq);
+        assert_eq!(db.query("q(X)").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn fact_insert_into_fresh_predicate_is_queryable() {
+        let mut db = DeductiveDb::new();
+        db.load("p(X) :- e(X). e(1).").unwrap();
+        let seq = db.system().build_seq;
+        db.add_fact(chainsplit_logic::parse_query("brand_new(7)").unwrap());
+        assert_eq!(db.system().build_seq, seq);
+        assert_eq!(db.query("brand_new(X)").unwrap().len(), 1);
+        assert_eq!(db.query("brand_new(7)").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn idb_fact_is_an_exit_rule_and_recompiles() {
+        let mut db = DeductiveDb::new();
+        db.load("p(X) :- e(X). e(1).").unwrap();
+        let seq = db.system().build_seq;
+        // `p` is intensional: a ground `p` fact changes the rule program.
+        db.add_fact(chainsplit_logic::parse_query("p(9)").unwrap());
+        assert_ne!(db.system().build_seq, seq);
+        assert_eq!(db.query("p(X)").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn non_ground_fact_goes_through_the_rule_path() {
+        let mut db = DeductiveDb::new();
+        db.load("e(1).").unwrap();
+        let _ = db.system();
+        db.load_rule("every(X).").unwrap();
+        // Non-ground "facts" denote infinite relations: rule compiler's
+        // problem, so the system must have been rebuilt.
+        assert!(db.system().is_idb(chainsplit_logic::Pred::new("every", 1)));
+    }
+
+    #[test]
+    fn dump_still_contains_ingested_facts() {
+        let mut db = DeductiveDb::new();
+        db.load("p(X) :- e(X).").unwrap();
+        let _ = db.system();
+        db.add_fact(chainsplit_logic::parse_query("e(42)").unwrap());
+        let text = db.dump();
+        assert!(text.contains("e(42)"), "{text}");
+        let mut db2 = DeductiveDb::new();
+        db2.load(&text).unwrap();
+        assert_eq!(db2.query("p(X)").unwrap().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+
+    fn sorted(answers: &[Answer]) -> Vec<String> {
+        let mut v: Vec<String> = answers.iter().map(|a| a.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn cache_is_off_by_default() {
+        let mut db = DeductiveDb::new();
+        db.load("e(1). p(X) :- e(X).").unwrap();
+        assert!(!db.cache_enabled());
+        db.query("p(X)").unwrap();
+        db.query("p(X)").unwrap();
+        assert_eq!(db.cache_stats().hits, 0);
+        assert_eq!(db.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn repeated_query_hits_with_zero_new_work() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "edge(a, b). edge(b, c).
+             path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        db.set_cache_enabled(true);
+        let cold = db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
+        assert!(!cold.cached);
+        assert!(cold.counters.probed > 0);
+        let warm = db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
+        assert!(warm.cached, "identical re-query must hit");
+        assert_eq!(warm.counters.probed, 0, "a hit does no new probe work");
+        assert_eq!(warm.counters.matched, 0);
+        assert_eq!(warm.counters.derived, 0);
+        assert_eq!(sorted(&warm.answers), sorted(&cold.answers));
+        assert_eq!(db.cache_stats().hits, 1);
+        assert_eq!(db.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn different_strategy_or_goal_is_a_different_entry() {
+        let mut db = DeductiveDb::new();
+        db.load("edge(a, b). path(X, Y) :- edge(X, Y).").unwrap();
+        db.set_cache_enabled(true);
+        db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
+        let other = db.query_with("path(a, Y)", Strategy::Magic).unwrap();
+        assert!(!other.cached, "strategy is part of the key");
+        let other_goal = db.query_with("path(X, b)", Strategy::SemiNaive).unwrap();
+        assert!(!other_goal.cached);
+        assert_eq!(db.cache_usage().0, 3);
+    }
+
+    #[test]
+    fn rule_load_misses_via_program_epoch() {
+        let mut db = DeductiveDb::new();
+        db.load("e(1). p(X) :- e(X).").unwrap();
+        db.set_cache_enabled(true);
+        db.query("p(X)").unwrap();
+        assert!(db.query_with("p(X)", Strategy::Auto).unwrap().cached);
+        db.load_rule("p(X) :- e2(X).").unwrap();
+        let after = db.query_with("p(X)", Strategy::Auto).unwrap();
+        assert!(!after.cached, "a rule load must invalidate");
+        assert!(db.query_with("p(X)", Strategy::Auto).unwrap().cached);
+    }
+
+    #[test]
+    fn fact_insert_invalidates_supporting_entries_only() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "ea(1). eb(9).
+             pa(X) :- ea(X).
+             pb(X) :- eb(X).",
+        )
+        .unwrap();
+        db.set_cache_enabled(true);
+        db.query("pa(X)").unwrap();
+        db.query("pb(X)").unwrap();
+        // `ea` supports only `pa`: the `pb` entry must survive the insert.
+        db.add_fact(chainsplit_logic::parse_query("ea(2)").unwrap());
+        let pb = db.query_with("pb(X)", Strategy::Auto).unwrap();
+        assert!(pb.cached, "unrelated insert must preserve the hit");
+        let pa = db.query_with("pa(X)", Strategy::Auto).unwrap();
+        assert!(!pa.cached, "supporting insert must invalidate");
+        assert_eq!(pa.answers.len(), 2);
+        assert_eq!(db.cache_stats().invalidations, 1);
+        // An insert into a brand-new unrelated predicate preserves both.
+        db.add_fact(chainsplit_logic::parse_query("elsewhere(0)").unwrap());
+        assert!(db.query_with("pa(X)", Strategy::Auto).unwrap().cached);
+        assert!(db.query_with("pb(X)", Strategy::Auto).unwrap().cached);
+    }
+
+    #[test]
+    fn direct_edb_queries_invalidate_on_their_own_predicate() {
+        let mut db = DeductiveDb::new();
+        db.load("e(1). p(X) :- e(X).").unwrap();
+        db.set_cache_enabled(true);
+        assert_eq!(db.query("e(X)").unwrap().len(), 1);
+        assert!(db.query_with("e(X)", Strategy::Auto).unwrap().cached);
+        db.add_fact(chainsplit_logic::parse_query("e(2)").unwrap());
+        let after = db.query_with("e(X)", Strategy::Auto).unwrap();
+        assert!(!after.cached);
+        assert_eq!(after.answers.len(), 2);
+    }
+
+    #[test]
+    fn eviction_under_a_tight_byte_budget() {
+        let mut db = DeductiveDb::new();
+        db.load("e(1). e(2). p(X) :- e(X). q(X) :- e(X).").unwrap();
+        db.set_cache_enabled(true);
+        db.set_cache_capacity(400);
+        db.query("p(X)").unwrap();
+        db.query("q(X)").unwrap();
+        assert!(
+            db.cache_stats().evictions > 0 || db.cache_usage().0 < 2,
+            "two entries must not both fit in 400 bytes: {:?} {:?}",
+            db.cache_stats(),
+            db.cache_usage()
+        );
+        // Answers stay correct throughout.
+        assert_eq!(db.query("p(X)").unwrap().len(), 2);
+        assert_eq!(db.query("q(X)").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn tripped_outcomes_are_not_cached() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+             path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        db.set_cache_enabled(true);
+        db.set_budget(Budget {
+            max_rounds: Some(2),
+            ..Budget::default()
+        });
+        let partial = db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
+        assert!(partial.trip.is_some());
+        db.set_budget(Budget::default());
+        let full = db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
+        assert!(
+            !full.cached,
+            "the partial outcome must not have been cached"
+        );
+        assert!(full.trip.is_none());
+        assert_eq!(full.answers.len(), 4);
+        assert!(
+            db.query_with("path(a, Y)", Strategy::SemiNaive)
+                .unwrap()
+                .cached
+        );
+    }
+
+    #[test]
+    fn constraints_are_part_of_the_key() {
+        let mut db = DeductiveDb::new();
+        db.load("n(1). n(5). n(9). pick(X) :- n(X).").unwrap();
+        db.set_cache_enabled(true);
+        assert_eq!(db.query("pick(X), X > 2").unwrap().len(), 2);
+        assert_eq!(db.query("pick(X), X > 6").unwrap().len(), 1);
+        let a = db.query_with("pick(X), X > 2", Strategy::Auto).unwrap();
+        assert!(a.cached);
+        assert_eq!(a.answers.len(), 2);
+    }
+
+    #[test]
+    fn clear_cache_drops_entries() {
+        let mut db = DeductiveDb::new();
+        db.load("e(1). p(X) :- e(X).").unwrap();
+        db.set_cache_enabled(true);
+        db.query("p(X)").unwrap();
+        assert_eq!(db.cache_usage().0, 1);
+        db.clear_cache();
+        assert_eq!(db.cache_usage().0, 0);
+        assert!(!db.query_with("p(X)", Strategy::Auto).unwrap().cached);
+    }
+
+    #[test]
+    fn profile_marks_a_cached_run() {
+        let mut db = DeductiveDb::new();
+        db.load("e(1). p(X) :- e(X).").unwrap();
+        db.set_cache_enabled(true);
+        db.query_with("p(X)", Strategy::SemiNaive).unwrap();
+        let m = db.explain_analyze("p(X)", Strategy::SemiNaive).unwrap();
+        assert!(m.strategy.contains("[cached]"), "{}", m.strategy);
+        assert_eq!(m.totals.probed, 0);
+        assert_eq!(m.answers, 1);
     }
 }
 

@@ -13,11 +13,13 @@
 //!   constraint pushing over monotone accumulators;
 //! - [`cost`] / [`efficiency`]: the §2.1 quantitative analysis and
 //!   **Algorithm 3.1**, efficiency-based chain-split magic sets;
-//! - [`db`]: the public [`DeductiveDb`] facade.
+//! - [`db`]: the public [`DeductiveDb`] facade;
+//! - [`cache`]: the epoch-invalidated cross-query answer cache.
 
 #![forbid(unsafe_code)]
 
 pub mod buffered;
+pub mod cache;
 pub mod cost;
 pub mod db;
 pub mod efficiency;
@@ -26,6 +28,7 @@ pub mod solver;
 pub mod system;
 
 pub use buffered::{eval_buffered, CountGuard, Pruner, SumGuard};
+pub use cache::{AnswerCache, CacheKey, CacheStats};
 pub use chainsplit_engine::{Counters, EvalMetrics, PhaseTimings, RoundMetrics};
 pub use cost::CostModel;
 pub use db::{Answer, DbError, DeductiveDb, QueryOutcome, Strategy};

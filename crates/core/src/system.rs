@@ -33,7 +33,13 @@ pub struct System {
     pub compiled: BTreeMap<Pred, CompiledRecursion>,
     /// Recursion class of every IDB predicate.
     pub classes: BTreeMap<Pred, RecursionClass>,
+    /// Process-wide build sequence number: two [`System`] values compare
+    /// equal here iff they are the *same* compilation. Lets tests assert
+    /// that EDB fact ingestion did not silently recompile the program.
+    pub build_seq: u64,
 }
+
+static NEXT_BUILD_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl System {
     /// Compiles `program` (facts + rules) into a system.
@@ -86,6 +92,7 @@ impl System {
             graph,
             compiled,
             classes,
+            build_seq: NEXT_BUILD_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 

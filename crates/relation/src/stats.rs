@@ -59,10 +59,14 @@ impl<'a> Stats<'a> {
     }
 
     /// Selectivity of binding positions `bound` of `pred`: the fraction of
-    /// tuples matching one average binding (1.0 when nothing is bound).
+    /// tuples matching one average binding (1.0 when nothing is bound, 0.0
+    /// for an absent/empty relation — no binding can match anything).
     pub fn selectivity(&self, pred: Pred, bound: &[usize]) -> f64 {
         let n = self.cardinality(pred);
-        if n == 0 || bound.is_empty() {
+        if n == 0 {
+            return 0.0;
+        }
+        if bound.is_empty() {
             return 1.0;
         }
         self.expansion(pred, bound) / n as f64
@@ -120,7 +124,9 @@ mod tests {
         let s = Stats::new(&db);
         assert_eq!(s.cardinality(Pred::new("nope", 2)), 0);
         assert_eq!(s.expansion(Pred::new("nope", 2), &[0]), 0.0);
-        assert_eq!(s.selectivity(Pred::new("nope", 2), &[0]), 1.0);
+        // An empty relation matches nothing, whatever is bound.
+        assert_eq!(s.selectivity(Pred::new("nope", 2), &[0]), 0.0);
+        assert_eq!(s.selectivity(Pred::new("nope", 2), &[]), 0.0);
     }
 
     #[test]

@@ -15,17 +15,23 @@
 //! bit-identical outcome once the disruption is lifted. Fault rates
 //! above zero need a `--features fault-inject` build.
 //!
+//! With `--cache` the driver switches to the **cache-consistency
+//! oracle**: each seed runs a mutation-interleaved query session on two
+//! databases in lockstep — one with the answer cache enabled — and the
+//! cached database must report the same answers and trips at every step
+//! while hitting (and invalidating) exactly when the epochs say it must.
+//!
 //! ```text
-//! fuzz [--start S] [--seeds N] [--threads 1,4]
+//! fuzz [--start S] [--seeds N] [--threads 1,4] [--cache]
 //!      [--fault-rate P] [--fault-seed S] [--timeout-ms MS]
 //! ```
 
-use chain_split::differential::{run_seeds, run_seeds_disrupted, Disruption};
+use chain_split::differential::{run_seeds, run_seeds_cached, run_seeds_disrupted, Disruption};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fuzz [--start S] [--seeds N] [--threads 1,4] \
+        "usage: fuzz [--start S] [--seeds N] [--threads 1,4] [--cache] \
          [--fault-rate P] [--fault-seed S] [--timeout-ms MS]"
     );
     std::process::exit(2);
@@ -38,6 +44,7 @@ fn main() -> ExitCode {
     let mut fault_rate: f64 = 0.0;
     let mut fault_seed: u64 = 0xC0FFEE;
     let mut timeout_ms: Option<u64> = None;
+    let mut cache: bool = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -62,8 +69,39 @@ fn main() -> ExitCode {
             }
             "--fault-seed" => fault_seed = value().parse().unwrap_or_else(|_| usage()),
             "--timeout-ms" => timeout_ms = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--cache" => cache = true,
             _ => usage(),
         }
+    }
+
+    if cache {
+        if fault_rate > 0.0 || timeout_ms.is_some() {
+            eprintln!("fuzz: --cache does not combine with --fault-rate/--timeout-ms");
+            return ExitCode::from(2);
+        }
+        println!(
+            "fuzz: cache-consistency, seeds {start}..{} x threads {threads:?} \
+             x all applicable strategies",
+            start + seeds
+        );
+        return match run_seeds_cached(start, seeds, &threads) {
+            Ok(checked) => {
+                println!(
+                    "fuzz: OK — {checked} mutation-interleaved seeds agreed cache-on vs cache-off"
+                );
+                ExitCode::SUCCESS
+            }
+            Err(failure) => {
+                let (case, mismatch) = *failure;
+                eprintln!("fuzz: FAILED — {mismatch}");
+                eprintln!(
+                    "fuzz: reproduction (re-run with --cache --start {} --seeds 1):",
+                    mismatch.seed
+                );
+                eprintln!("{case}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let disruption = Disruption {

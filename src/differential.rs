@@ -373,6 +373,171 @@ pub fn check_crash_consistency(
     Ok(())
 }
 
+/// One step of the cache-consistency script: an optional mutation
+/// applied to both databases, the query re-posed, and whether the
+/// cache-on side must answer from cache (given the previous pose
+/// completed).
+struct CacheStep {
+    label: &'static str,
+    add: Option<crate::logic::Atom>,
+    rule: Option<&'static str>,
+    expect_hit: bool,
+}
+
+/// The **cache-consistency invariant** (DESIGN.md §11): with the answer
+/// cache enabled, every query in a mutation-interleaved session must
+/// report exactly the answers and trips a cache-less database reports.
+///
+/// For every applicable strategy at every thread count, two databases
+/// load the same case — one with the cache on — and run a scripted
+/// session in lockstep: query, identical re-query (must *hit*), a fact
+/// re-insert into a supporting predicate (must *invalidate*), a fact
+/// insert into a fresh unrelated predicate (must *preserve* the hit), a
+/// rule load (program epoch: must invalidate), and a final re-query.
+/// After each step the two outcomes must agree on answers and trips
+/// (counters are exempt: a hit legitimately reports zero new work).
+pub fn check_cache_consistency(case: &FuzzCase, threads: &[usize]) -> Result<(), Mismatch> {
+    let fail = |detail: String| Mismatch {
+        seed: case.seed,
+        shape: case.shape,
+        detail,
+    };
+    let parse_atom = |src: &str| {
+        crate::logic::parse_query(src.trim_end_matches('.'))
+            .unwrap_or_else(|e| panic!("fact `{src}` must parse: {e}"))
+    };
+    let mut script = vec![
+        CacheStep {
+            label: "initial query",
+            add: None,
+            rule: None,
+            expect_hit: false,
+        },
+        CacheStep {
+            label: "identical re-query",
+            add: None,
+            rule: None,
+            expect_hit: true,
+        },
+    ];
+    if let Some(f) = case.facts.first() {
+        // Re-inserting an existing fact keeps the answer set but bumps
+        // the predicate's EDB epoch: targeted invalidation, exercised
+        // without perturbing what the oracle compares.
+        script.push(CacheStep {
+            label: "re-insert into a supporting predicate",
+            add: Some(parse_atom(f)),
+            rule: None,
+            expect_hit: false,
+        });
+    }
+    script.push(CacheStep {
+        label: "insert into an unrelated fresh predicate",
+        add: Some(parse_atom("zzz_unrelated(c0)")),
+        rule: None,
+        expect_hit: true,
+    });
+    script.push(CacheStep {
+        label: "rule load",
+        add: None,
+        rule: Some("zzz_new(X) :- zzz_unrelated(X)."),
+        expect_hit: false,
+    });
+    script.push(CacheStep {
+        label: "post-mutation re-query",
+        add: None,
+        rule: None,
+        expect_hit: true,
+    });
+
+    for &t in threads {
+        for &strategy in strategies_for(case) {
+            let build = || {
+                let mut db = DeductiveDb::new();
+                db.load(&case.program())
+                    .map_err(|e| fail(format!("load: {e}")))?;
+                db.set_threads(t);
+                db.solve_options.max_levels = 200;
+                Ok::<DeductiveDb, Mismatch>(db)
+            };
+            let mut off = build()?;
+            let mut on = build()?;
+            on.set_cache_enabled(true);
+            let pose = |db: &mut DeductiveDb| match db.query_with(&case.query, strategy) {
+                Ok(o) if o.trip.is_some() => (
+                    Outcome::Budget(o.trip.expect("matched Some").to_string()),
+                    false,
+                ),
+                Ok(o) => {
+                    let mut answers: Vec<String> =
+                        o.answers.iter().map(|a| a.to_string()).collect();
+                    answers.sort();
+                    (
+                        Outcome::Ok {
+                            answers,
+                            counters: o.counters,
+                        },
+                        o.cached,
+                    )
+                }
+                Err(e) => (Outcome::Err(e.to_string()), false),
+            };
+            let mut prev_complete = false;
+            for step in &script {
+                if let Some(fact) = &step.add {
+                    off.add_fact(fact.clone());
+                    on.add_fact(fact.clone());
+                }
+                if let Some(rule) = step.rule {
+                    off.load_rule(rule)
+                        .map_err(|e| fail(format!("rule: {e}")))?;
+                    on.load_rule(rule).map_err(|e| fail(format!("rule: {e}")))?;
+                }
+                let (off_out, _) = pose(&mut off);
+                let (on_out, on_cached) = pose(&mut on);
+                if on_out.without_counters() != off_out.without_counters() {
+                    return Err(fail(format!(
+                        "{strategy} at threads={t} diverges cache-on vs cache-off \
+                         after `{}`:\n  off: {:?}\nvs on: {:?}",
+                        step.label, off_out, on_out
+                    )));
+                }
+                let complete = matches!(&on_out, Outcome::Ok { .. });
+                if step.expect_hit && prev_complete && complete && !on_cached {
+                    return Err(fail(format!(
+                        "{strategy} at threads={t}: `{}` should have been a cache hit",
+                        step.label
+                    )));
+                }
+                if !step.expect_hit && on_cached {
+                    return Err(fail(format!(
+                        "{strategy} at threads={t}: `{}` served a stale cache entry",
+                        step.label
+                    )));
+                }
+                prev_complete = complete;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs `count` consecutive seeds through the cache-consistency oracle.
+/// Returns the number of cases checked.
+pub fn run_seeds_cached(
+    start: u64,
+    count: u64,
+    threads: &[usize],
+) -> Result<u64, Box<(FuzzCase, Mismatch)>> {
+    for seed in start..start + count {
+        let case = crate::workloads::fuzz::gen_case(seed);
+        if let Err(m) = check_cache_consistency(&case, threads) {
+            return Err(Box::new((case, m)));
+        }
+    }
+    Ok(count)
+}
+
 /// Runs `count` consecutive seeds through the crash-consistency oracle,
 /// deriving each seed's fault stream from the case seed so reruns
 /// reproduce. Returns the number of cases checked.

@@ -1,0 +1,48 @@
+//! Corpus replay through the cache-consistency oracle.
+//!
+//! Every minimized corpus program runs a mutation-interleaved query
+//! session on two databases in lockstep — one with the answer cache
+//! enabled — at thread counts 1 and 4. The cached database must report
+//! the same answers and trips at every step, hit the cache on identical
+//! re-queries and after unrelated fact inserts, and invalidate after
+//! supporting-fact inserts and rule loads (DESIGN.md §11).
+
+use chain_split::differential::check_cache_consistency;
+use chain_split::workloads::fuzz::parse_corpus;
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("tests/corpus must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "dl"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_replays_identically_with_the_cache_on() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 10,
+        "regression corpus unexpectedly small: {} programs",
+        files.len()
+    );
+    for path in files {
+        let name: &'static str = Box::leak(
+            path.file_name()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned()
+                .into_boxed_str(),
+        );
+        let text = fs::read_to_string(&path).unwrap();
+        let case = parse_corpus(name, &text);
+        if let Err(m) = check_cache_consistency(&case, &[1, 4]) {
+            panic!("corpus {name}: {m}");
+        }
+    }
+}
