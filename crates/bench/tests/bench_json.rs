@@ -57,6 +57,37 @@ fn golden_schema_is_pinned() {
     }
 }
 
+/// The `:why export` proof document is version-stamped alongside the
+/// bench schema: pin its key sets here too, from a real export, so a
+/// drift in either surface fails the same golden gate.
+#[test]
+fn proof_export_schema_is_pinned() {
+    use chainsplit_provenance::{PROOF_DOC_KEYS, PROOF_NODE_KEYS, PROOF_SCHEMA_VERSION};
+    let cfg = FamilyConfig {
+        countries: 1,
+        people_per_country: 4,
+        generations: 2,
+    };
+    let mut db = sg_db(cfg);
+    let report = db.explain_answer("sg(g2_0_0, Y)").expect("sg explains");
+    assert!(!report.proofs.is_empty(), "sg must have at least one proof");
+    let doc = Json::parse(&report.export_json().to_pretty()).expect("self-parse");
+    assert_eq!(doc.keys(), PROOF_DOC_KEYS, "proof document keys drifted");
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_usize),
+        Some(PROOF_SCHEMA_VERSION)
+    );
+    fn check_node(node: &Json) {
+        assert_eq!(node.keys(), PROOF_NODE_KEYS, "proof node keys drifted");
+        for child in node.get("children").expect("children").as_array() {
+            check_node(child);
+        }
+    }
+    for proof in doc.get("proofs").expect("proofs").as_array() {
+        check_node(proof);
+    }
+}
+
 #[test]
 fn unknown_schema_version_is_rejected() {
     let mut doc = small_report().to_json();

@@ -20,6 +20,8 @@ pub struct Shell {
     pub timing: bool,
     /// Maximum answers printed per query (0 = unlimited).
     pub max_print: usize,
+    /// The last `:why` report, held for `:why export <file>`.
+    pub last_why: Option<chainsplit_core::ProofReport>,
 }
 
 impl Default for Shell {
@@ -29,6 +31,7 @@ impl Default for Shell {
             strategy: Strategy::Auto,
             timing: false,
             max_print: 50,
+            last_why: None,
         }
     }
 }
@@ -43,6 +46,11 @@ commands:
                                   supplementary-magic, chain-split-magic,
                                   chain-split, tabled)
   :explain <goal>                show the compilation / split plan
+  :why <goal>                    run the query with provenance recording
+                                 on and print one proof tree per answer
+                                 (why does each answer hold?)
+  :why export <file>             write the last :why report as a
+                                 schema-versioned JSON document
   :profile <goal>                run the query and show per-round metrics
                                  (EXPLAIN ANALYZE under the set strategy)
   :exists <goal>                 existence check (first answer only)
@@ -75,7 +83,9 @@ commands:
   :constraint <body>             add an integrity constraint (denial)
   :check                         check all integrity constraints
   :save <file>                   write the loaded program to a file
-  :stats                         database statistics
+  :stats                         database statistics (per-predicate
+                                 cardinalities, built access paths,
+                                 cache occupancy)
   :help                          this text
   :quit                          leave";
 
@@ -157,6 +167,7 @@ impl Shell {
                 Ok(e) => e,
                 Err(e) => render_error(arg, &e),
             },
+            "why" => self.why_command(arg),
             "profile" => match self.db.explain_analyze(arg, self.strategy) {
                 Ok(m) => m.to_string(),
                 Err(e) => render_error(arg, &e),
@@ -203,6 +214,48 @@ impl Shell {
             other => format!("unknown command `:{other}` (see :help)"),
         };
         (out, Control::Continue)
+    }
+
+    fn why_command(&mut self, arg: &str) -> String {
+        if arg.is_empty() {
+            return "usage: :why <goal> | :why export <file>".to_string();
+        }
+        if arg == "export" || arg.starts_with("export ") {
+            let path = arg["export".len()..].trim();
+            if path.is_empty() {
+                return "usage: :why export <file>".to_string();
+            }
+            return match &self.last_why {
+                None => "no proof collected yet (run :why <goal> first)".to_string(),
+                Some(report) => match std::fs::write(path, report.export_json().to_pretty()) {
+                    Ok(()) => {
+                        format!("why: wrote {} proof(s) to {path}", report.proofs.len())
+                    }
+                    Err(e) => format!("cannot write {path}: {e}"),
+                },
+            };
+        }
+        match self.db.explain_answer_with(arg, self.strategy) {
+            Ok(report) => {
+                let mut out = if report.proofs.is_empty() {
+                    "no.".to_string()
+                } else {
+                    report.render()
+                };
+                write!(
+                    out,
+                    "\n[{} | {} answer(s), {} proof(s){}]",
+                    report.strategy,
+                    report.answers.len(),
+                    report.proofs.len(),
+                    if report.cached { ", cached" } else { "" },
+                )
+                .unwrap();
+                self.last_why = Some(report);
+                out
+            }
+            Err(e) => render_error(arg, &e),
+        }
     }
 
     fn trace_command(&mut self, arg: &str) -> String {
@@ -337,12 +390,34 @@ impl Shell {
     }
 
     fn stats(&mut self) -> String {
+        let cache_on = self.db.cache_enabled();
+        let (cache_entries, cache_bytes) = self.db.cache_usage();
+        let cache_stats = self.db.cache_stats();
         let sys = self.db.system();
         let mut out = String::new();
         writeln!(out, "EDB: {} facts", sys.edb.total_rows()).unwrap();
         for p in sys.edb.preds() {
             let rel = sys.edb.relation(p).unwrap();
-            writeln!(out, "  {p}: {} tuples", rel.len()).unwrap();
+            // Access paths appear on demand, so the listed column sets
+            // record how queries have actually probed this relation.
+            let index_cols = rel.index_cols();
+            let paths = if index_cols.is_empty() {
+                "scan only".to_string()
+            } else {
+                format!(
+                    "{} access path(s): {}",
+                    index_cols.len(),
+                    index_cols
+                        .iter()
+                        .map(|cols| {
+                            let cols: Vec<String> = cols.iter().map(usize::to_string).collect();
+                            format!("[{}]", cols.join(","))
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
+            };
+            writeln!(out, "  {p}: {} tuples, {paths}", rel.len()).unwrap();
         }
         writeln!(out, "IDB: {} predicates", sys.classes.len()).unwrap();
         for (p, class) in &sys.classes {
@@ -352,6 +427,25 @@ impl Shell {
                 .map(|r| format!(", {} chain(s)", r.n_chains()))
                 .unwrap_or_default();
             writeln!(out, "  {p}: {class}{chains}").unwrap();
+        }
+        writeln!(
+            out,
+            "cache: {} | {cache_entries} entries, {cache_bytes} bytes | hits {} | misses {} | stale {} | evicted {}",
+            if cache_on { "on" } else { "off" },
+            cache_stats.hits,
+            cache_stats.misses,
+            cache_stats.invalidations,
+            cache_stats.evictions,
+        )
+        .unwrap();
+        if chainsplit_provenance::is_enabled() {
+            writeln!(
+                out,
+                "provenance: on | {} witnesses, {} bytes",
+                chainsplit_provenance::witness_count(),
+                chainsplit_provenance::arena_bytes(),
+            )
+            .unwrap();
         }
         out.pop();
         out
@@ -608,6 +702,97 @@ mod tests {
         let s = sh.process(":stats").0;
         assert!(s.contains("e/2: 1 tuples"), "{s}");
         assert!(s.contains("t/2: non-recursive"), "{s}");
+        assert!(s.contains("cache: off"), "{s}");
+        // No query has probed `e` with a bound key yet: scan only.
+        assert!(s.contains("scan only"), "{s}");
+    }
+
+    #[test]
+    fn stats_reports_access_paths_and_cache_occupancy() {
+        let mut sh = Shell::new();
+        // A chain long enough to clear the lazy-index threshold, so the
+        // bound-argument probes actually build an access path.
+        for i in 0..=chainsplit_relation::LAZY_INDEX_THRESHOLD {
+            sh.process(&format!("edge(n{i}, n{}).", i + 1));
+        }
+        sh.process("path(X, Y) :- edge(X, Y).");
+        sh.process("path(X, Y) :- edge(X, Z), path(Z, Y).");
+        sh.process(":cache on");
+        // The default (auto) strategy probes the system's own EDB, so the
+        // access paths it builds are visible to :stats afterwards;
+        // top-down would probe a per-query scratch database.
+        sh.process("?- path(n0, Y).");
+        let s = sh.process(":stats").0;
+        // The bound-first-argument probe built an index on column 0.
+        assert!(s.contains("access path(s): [0]"), "{s}");
+        assert!(s.contains("cache: on | 1 entries"), "{s}");
+        assert!(s.contains("misses 1"), "{s}");
+    }
+
+    #[test]
+    fn why_renders_proof_trees() {
+        let mut sh = Shell::new();
+        sh.process("edge(a, b). edge(b, c).");
+        sh.process("path(X, Y) :- edge(X, Y).");
+        sh.process("path(X, Y) :- edge(X, Z), path(Z, Y).");
+        let out = sh.process(":why path(a, c)").0;
+        assert!(out.contains("path(a, c)"), "{out}");
+        // The two-hop answer is justified through the recursive rule and
+        // bottoms out in EDB facts.
+        assert!(out.contains("edge(a, b)"), "{out}");
+        assert!(out.contains("edge(b, c)"), "{out}");
+        assert!(out.contains("fact"), "{out}");
+        assert!(out.contains("1 answer(s), 1 proof(s)"), "{out}");
+        // Recording is session-scoped: the shell's db left it off.
+        assert!(!chainsplit_provenance::is_enabled());
+    }
+
+    #[test]
+    fn why_says_no_for_underivable_goals() {
+        let mut sh = Shell::new();
+        sh.process("p(1).");
+        let out = sh.process(":why p(2)").0;
+        assert!(out.starts_with("no."), "{out}");
+    }
+
+    #[test]
+    fn why_export_writes_schema_versioned_json() {
+        let dir = std::env::temp_dir().join("chainsplit_cli_why_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("why.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let mut sh = Shell::new();
+        assert!(sh
+            .process(&format!(":why export {path_str}"))
+            .0
+            .contains("no proof collected yet"));
+        sh.process("edge(a, b).");
+        sh.process("path(X, Y) :- edge(X, Y).");
+        sh.process(":why path(a, Y)");
+        let out = sh.process(&format!(":why export {path_str}")).0;
+        assert!(out.contains("wrote 1 proof(s)"), "{out}");
+        let doc =
+            chainsplit_trace::json::Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema_version").and_then(|v| v.as_usize()),
+            Some(chainsplit_provenance::PROOF_SCHEMA_VERSION)
+        );
+        assert_eq!(doc.get("proofs").map(|p| p.as_array().len()), Some(1));
+    }
+
+    #[test]
+    fn why_and_explain_share_the_caret_error_path() {
+        let mut sh = Shell::new();
+        sh.process("p(1).");
+        let why = sh.process(":why p(").0;
+        let explain = sh.process(":explain p(").0;
+        for out in [&why, &explain] {
+            assert!(out.starts_with("error:"), "{out}");
+            // The offending line echoes with a caret under the column.
+            assert!(out.contains("p("), "{out}");
+            assert!(out.contains('^'), "{out}");
+        }
+        assert!(sh.process(":why").0.starts_with("usage:"));
     }
 
     #[test]

@@ -107,7 +107,17 @@ struct Node {
     out_key: Vec<Term>,
     /// Monotone partial sums (one per pruner guard).
     partials: Vec<i64>,
+    /// Fully resolved evaluated-portion atoms of the first candidate that
+    /// produced this node, in `plan.evaluated` order. Only captured while
+    /// provenance recording is on: the down sweep needs them to compose
+    /// the recursive rule's witness, because the down-sweep substitution
+    /// never re-binds up-sweep-local variables.
+    ev_atoms: Option<Vec<Atom>>,
 }
+
+/// A surviving up-sweep derivation before the merge-side node dedup:
+/// `(up_vals, out_key, partials, evaluated-portion capture)`.
+type Cand = (Vec<Term>, Vec<Term>, Vec<i64>, Option<Vec<Atom>>);
 
 /// What one up-sweep worker returns for its frontier partition: raw
 /// (undeduplicated) exit tuples, candidate nodes, and the work its child
@@ -115,11 +125,13 @@ struct Node {
 /// so deduplication happens at the merge, in partition order.
 struct WorkerOut {
     exits: Vec<Vec<Term>>,
-    /// `(up_vals, out_key, partials)` per surviving derivation.
-    cands: Vec<(Vec<Term>, Vec<Term>, Vec<i64>)>,
+    cands: Vec<Cand>,
     counters: Counters,
     rounds: Vec<RoundMetrics>,
     fuel_spent: usize,
+    /// Witnesses buffered on the worker thread (exit-rule firings plus
+    /// anything the child solver derived), flushed in partition order.
+    wbuf: Vec<chainsplit_provenance::Pending>,
 }
 
 /// Folds a worker's counters into the parent's. Unlike [`Counters::add`]
@@ -261,6 +273,19 @@ pub fn eval_buffered(
                     );
                     worker_span.set_attr("pred", rec.pred);
                     worker_span.set_attr("tuples", part.len());
+                    // Witnesses recorded on this thread (exit firings and
+                    // everything inside the child solver) buffer locally
+                    // and flush at the merge, in partition order —
+                    // first-witness-wins stays schedule-independent. The
+                    // inner closure keeps the begin/take pairing intact on
+                    // every error path: pool threads and the participating
+                    // caller are reused, so a leaked buffer would swallow
+                    // later recordings.
+                    let prov = chainsplit_provenance::is_enabled();
+                    if prov {
+                        chainsplit_provenance::begin_buffer();
+                    }
+                    let inner = || -> Result<WorkerOut, EvalError> {
                     let mut child = Solver::new(sys, child_opts.clone());
                     child.fuel_left = fuel_left;
 
@@ -290,6 +315,15 @@ pub fn eval_buffered(
                                         atom: format!("exit answer not ground: {er}"),
                                     });
                                 }
+                                if prov {
+                                    let whead = Atom {
+                                        pred: er.head.pred,
+                                        args: tuple.clone(),
+                                    };
+                                    let wbody: Vec<Atom> =
+                                        er.body.iter().map(|a| sol.resolve_atom(a)).collect();
+                                    chainsplit_provenance::record(&whead, er, &wbody);
+                                }
                                 raw_exits.push(tuple);
                             }
                         }
@@ -299,7 +333,7 @@ pub fn eval_buffered(
                     // derivation (pruning is per-derivation, so it stays
                     // in the worker; node identity is global, so the
                     // dedup waits for the merge).
-                    let mut cands: Vec<(Vec<Term>, Vec<Term>, Vec<i64>)> = Vec::new();
+                    let mut cands: Vec<Cand> = Vec::new();
                     if do_eval {
                         for (t, partials) in part {
                             let mut s0 = Subst::new();
@@ -357,7 +391,13 @@ pub fn eval_buffered(
                                         atom: format!("chain step not ground for {}", rec.pred),
                                     });
                                 }
-                                cands.push((up_vals, out_key, new_partials));
+                                let ev_cap = prov.then(|| {
+                                    evaluated_atoms_ref
+                                        .iter()
+                                        .map(|a| sol.resolve_atom(a))
+                                        .collect::<Vec<Atom>>()
+                                });
+                                cands.push((up_vals, out_key, new_partials, ev_cap));
                             }
                         }
                     }
@@ -367,7 +407,19 @@ pub fn eval_buffered(
                         counters: child.counters,
                         rounds: child.rounds,
                         fuel_spent: fuel_left - child.fuel_left,
+                        wbuf: Vec::new(),
                     })
+                    };
+                    let mut result = inner();
+                    let wbuf = if prov {
+                        chainsplit_provenance::take_buffer()
+                    } else {
+                        Vec::new()
+                    };
+                    if let Ok(w) = &mut result {
+                        w.wbuf = wbuf;
+                    }
+                    result
                 }
             })
             .collect();
@@ -379,7 +431,7 @@ pub fn eval_buffered(
         // step is schedule-independent.
         let mut level_exits: Vec<Vec<Term>> = Vec::new();
         let mut seen_exit: FxHashSet<Vec<Term>> = FxHashSet::default();
-        let mut all_cands: Vec<(Vec<Term>, Vec<Term>, Vec<i64>)> = Vec::new();
+        let mut all_cands: Vec<Cand> = Vec::new();
         let mut level_trip: Option<BudgetTrip> = None;
         for r in results {
             match r {
@@ -390,6 +442,7 @@ pub fn eval_buffered(
                         solver.rounds.push(rm);
                     }
                     solver.fuel_left = solver.fuel_left.saturating_sub(w.fuel_spent);
+                    gov.add_bytes(chainsplit_provenance::flush(w.wbuf));
                     for tuple in w.exits {
                         if seen_exit.insert(tuple.clone()) {
                             level_exits.push(tuple);
@@ -422,12 +475,14 @@ pub fn eval_buffered(
         let mut level_nodes: Vec<Node> = Vec::new();
         let mut node_index: FxHashMap<Vec<Term>, usize> = FxHashMap::default();
         let mut next_frontier: FxHashMap<Vec<Term>, Vec<i64>> = FxHashMap::default();
-        for (up_vals, out_key, new_partials) in all_cands {
+        for (up_vals, out_key, new_partials, ev_cap) in all_cands {
             match node_index.get(&up_vals) {
                 Some(&i) => {
                     // Same buffer content reached again: keep the
                     // cheapest partials (same up_vals implies the same
                     // out_key, so the frontier entry takes the min too).
+                    // The first candidate's evaluated-portion capture is
+                    // kept, consistent with first-witness-wins.
                     let n = &mut level_nodes[i];
                     for (a, b) in n.partials.iter_mut().zip(&new_partials) {
                         *a = (*a).min(*b);
@@ -452,6 +507,7 @@ pub fn eval_buffered(
                         up_vals,
                         out_key,
                         partials: new_partials,
+                        ev_atoms: ev_cap,
                     });
                     solver.counters.derived += 1;
                 }
@@ -571,6 +627,38 @@ pub fn eval_buffered(
                             return Err(EvalError::NotEvaluable {
                                 atom: format!("answer not ground for {}", rec.pred),
                             });
+                        }
+                        if chainsplit_provenance::is_enabled() {
+                            if let Some(ev) = &node.ev_atoms {
+                                // The witness body in original rule order:
+                                // the recursive atom and the delayed
+                                // portion resolve under the down-sweep
+                                // substitution; the evaluated portion was
+                                // captured on the node at up-sweep time
+                                // (its local variables are not bound
+                                // here).
+                                let whead = Atom {
+                                    pred: rec.recursive_rule.head.pred,
+                                    args: tuple.clone(),
+                                };
+                                let wbody: Vec<Atom> = rec
+                                    .recursive_rule
+                                    .body
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(bi, batom)| {
+                                        match plan.evaluated.iter().position(|&e| e == bi) {
+                                            Some(p) => ev[p].clone(),
+                                            None => sol.resolve_atom(batom),
+                                        }
+                                    })
+                                    .collect();
+                                gov.add_bytes(chainsplit_provenance::record(
+                                    &whead,
+                                    &rec.recursive_rule,
+                                    &wbody,
+                                ));
+                            }
                         }
                         push(tuple, &mut level_answers, &mut level_seen);
                     }

@@ -23,6 +23,7 @@
 use crate::db::{Answer, Strategy};
 use chainsplit_engine::Counters;
 use chainsplit_logic::{Atom, Pred};
+use chainsplit_provenance::Witness;
 use std::collections::HashMap;
 
 /// Default byte budget: generous for the workloads this engine targets,
@@ -46,6 +47,11 @@ struct Entry {
     counters: Counters,
     /// EDB-epoch snapshot of the goal's support set at insert time.
     support: Vec<(Pred, u64)>,
+    /// The transitive witness closure of the answers, captured at fill
+    /// time while provenance recording was on. `None` when the entry was
+    /// filled with recording off — such an entry cannot serve a
+    /// provenance-on lookup (the hit would silently drop lineage).
+    provenance: Option<Vec<Witness>>,
     bytes: u64,
     /// LRU stamp: bumped on every hit.
     last_used: u64,
@@ -62,10 +68,12 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-/// What a lookup found: the cached answers plus the original counters.
+/// What a lookup found: the cached answers plus the original counters
+/// (and, when captured, the lineage snapshot for the hit to replay).
 pub struct CachedOutcome<'a> {
     pub answers: &'a [Answer],
     pub counters: Counters,
+    pub provenance: Option<&'a [Witness]>,
 }
 
 /// The epoch-invalidated, byte-budgeted answer cache.
@@ -92,11 +100,15 @@ impl Default for AnswerCache {
 impl AnswerCache {
     /// Looks `key` up, validating the entry's support set against the
     /// current per-predicate EDB epochs. A stale entry is removed and
-    /// counted as an invalidation (and a miss).
+    /// counted as an invalidation (and a miss). With `need_provenance`
+    /// set, an entry filled without a lineage snapshot is treated as a
+    /// miss (left in place — a later provenance-off lookup can still use
+    /// it; a provenance-on refill replaces it).
     pub fn lookup(
         &mut self,
         key: &CacheKey,
         edb_epochs: &HashMap<Pred, u64>,
+        need_provenance: bool,
     ) -> Option<CachedOutcome<'_>> {
         let stale = match self.entries.get(key) {
             None => {
@@ -117,6 +129,16 @@ impl AnswerCache {
             self.trace_event("stale", &key.goal);
             return None;
         }
+        if need_provenance
+            && self
+                .entries
+                .get(key)
+                .is_some_and(|e| e.provenance.is_none())
+        {
+            self.stats.misses += 1;
+            self.trace_event("miss", &key.goal);
+            return None;
+        }
         self.clock += 1;
         self.stats.hits += 1;
         self.trace_event("hit", &key.goal);
@@ -126,6 +148,7 @@ impl AnswerCache {
         Some(CachedOutcome {
             answers: &e.answers,
             counters: e.counters,
+            provenance: e.provenance.as_deref(),
         })
     }
 
@@ -138,8 +161,12 @@ impl AnswerCache {
         answers: Vec<Answer>,
         counters: Counters,
         support: Vec<(Pred, u64)>,
+        provenance: Option<Vec<Witness>>,
     ) {
-        let bytes = entry_bytes(&key, &answers);
+        let bytes = entry_bytes(&key, &answers)
+            + provenance
+                .as_deref()
+                .map_or(0, |ws| ws.iter().map(witness_bytes).sum());
         if bytes > self.max_bytes {
             return;
         }
@@ -168,6 +195,7 @@ impl AnswerCache {
                 answers,
                 counters,
                 support,
+                provenance,
                 bytes,
                 last_used: self.clock,
             },
@@ -255,6 +283,16 @@ fn entry_bytes(key: &CacheKey, answers: &[Answer]) -> u64 {
     total
 }
 
+/// Byte estimate of one cached witness, same currency as [`entry_bytes`].
+fn witness_bytes(w: &Witness) -> u64 {
+    const NODE: u64 = 24;
+    let atom = |a: &Atom| 32 + a.args.iter().map(|t| t.size() as u64).sum::<u64>() * NODE;
+    atom(&w.head)
+        + atom(&w.rule.head)
+        + w.rule.body.iter().map(&atom).sum::<u64>()
+        + w.body.iter().map(&atom).sum::<u64>()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,12 +320,18 @@ mod tests {
         let mut epochs = HashMap::new();
         let p = Pred::new("e", 1);
         let k = key("p(X)", 0);
-        assert!(cache.lookup(&k, &epochs).is_none());
-        cache.insert(k.clone(), one_answer(1), Counters::default(), vec![(p, 0)]);
-        assert!(cache.lookup(&k, &epochs).is_some());
+        assert!(cache.lookup(&k, &epochs, false).is_none());
+        cache.insert(
+            k.clone(),
+            one_answer(1),
+            Counters::default(),
+            vec![(p, 0)],
+            None,
+        );
+        assert!(cache.lookup(&k, &epochs, false).is_some());
         // A fact insert into the supporting predicate bumps its epoch.
         epochs.insert(p, 1);
-        assert!(cache.lookup(&k, &epochs).is_none());
+        assert!(cache.lookup(&k, &epochs, false).is_none());
         assert_eq!(cache.stats().invalidations, 1);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().misses, 2);
@@ -304,18 +348,25 @@ mod tests {
             one_answer(1),
             Counters::default(),
             vec![(Pred::new("e", 1), 0)],
+            None,
         );
         epochs.insert(Pred::new("unrelated", 1), 7);
-        assert!(cache.lookup(&k, &epochs).is_some());
+        assert!(cache.lookup(&k, &epochs, false).is_some());
     }
 
     #[test]
     fn program_epoch_changes_the_key() {
         let mut cache = AnswerCache::default();
         let epochs = HashMap::new();
-        cache.insert(key("p(X)", 0), one_answer(1), Counters::default(), vec![]);
-        assert!(cache.lookup(&key("p(X)", 1), &epochs).is_none());
-        assert!(cache.lookup(&key("p(X)", 0), &epochs).is_some());
+        cache.insert(
+            key("p(X)", 0),
+            one_answer(1),
+            Counters::default(),
+            vec![],
+            None,
+        );
+        assert!(cache.lookup(&key("p(X)", 1), &epochs, false).is_none());
+        assert!(cache.lookup(&key("p(X)", 0), &epochs, false).is_some());
     }
 
     #[test]
@@ -331,22 +382,35 @@ mod tests {
                 one_answer(i),
                 Counters::default(),
                 vec![],
+                None,
             );
         }
         // Touch p0 so p1 is the LRU victim.
-        assert!(cache.lookup(&key("p0(X)", 0), &epochs).is_some());
-        cache.insert(key("p2(X)", 0), one_answer(2), Counters::default(), vec![]);
+        assert!(cache.lookup(&key("p0(X)", 0), &epochs, false).is_some());
+        cache.insert(
+            key("p2(X)", 0),
+            one_answer(2),
+            Counters::default(),
+            vec![],
+            None,
+        );
         assert_eq!(cache.stats().evictions, 1);
-        assert!(cache.lookup(&key("p0(X)", 0), &epochs).is_some());
-        assert!(cache.lookup(&key("p1(X)", 0), &epochs).is_none());
-        assert!(cache.lookup(&key("p2(X)", 0), &epochs).is_some());
+        assert!(cache.lookup(&key("p0(X)", 0), &epochs, false).is_some());
+        assert!(cache.lookup(&key("p1(X)", 0), &epochs, false).is_none());
+        assert!(cache.lookup(&key("p2(X)", 0), &epochs, false).is_some());
     }
 
     #[test]
     fn oversized_outcome_is_not_cached() {
         let mut cache = AnswerCache::default();
         cache.set_capacity(8);
-        cache.insert(key("p(X)", 0), one_answer(1), Counters::default(), vec![]);
+        cache.insert(
+            key("p(X)", 0),
+            one_answer(1),
+            Counters::default(),
+            vec![],
+            None,
+        );
         assert!(cache.is_empty());
         assert_eq!(cache.bytes(), 0);
     }
@@ -360,6 +424,7 @@ mod tests {
                 one_answer(i),
                 Counters::default(),
                 vec![],
+                None,
             );
         }
         assert_eq!(cache.len(), 4);

@@ -482,7 +482,16 @@ impl DeductiveDb {
             program_epoch: self.program_epoch,
         });
         if let Some(key) = &cache_key {
-            if let Some(hit) = self.cache.lookup(key, &self.edb_epochs) {
+            // With recording on, only entries that captured a lineage
+            // snapshot can hit — and the hit replays that snapshot, so
+            // cached answers stay explainable.
+            let need_prov = chainsplit_provenance::is_enabled();
+            if let Some(hit) = self.cache.lookup(key, &self.edb_epochs, need_prov) {
+                if need_prov {
+                    if let Some(snap) = hit.provenance {
+                        gov.add_bytes(chainsplit_provenance::replay(snap));
+                    }
+                }
                 return Ok(QueryOutcome {
                     answers: hit.answers.to_vec(),
                     counters: Counters::default(),
@@ -686,8 +695,21 @@ impl DeductiveDb {
             if outcome.trip.is_none() {
                 let sys = self.system.as_ref().expect("compiled above");
                 let support = Self::support_epochs(sys, &self.edb_epochs, atom.pred);
-                self.cache
-                    .insert(key, outcome.answers.clone(), outcome.counters, support);
+                // The lineage snapshot is the transitive witness closure
+                // of the answers — complete (it may include witnesses
+                // interned before this query), so a later hit replays
+                // everything `:why` needs.
+                let provenance = chainsplit_provenance::is_enabled().then(|| {
+                    let roots = ground_instances(atom, &outcome.answers);
+                    chainsplit_provenance::closure_for(&roots)
+                });
+                self.cache.insert(
+                    key,
+                    outcome.answers.clone(),
+                    outcome.counters,
+                    support,
+                    provenance,
+                );
             }
         }
         Ok(outcome)
@@ -874,6 +896,130 @@ impl DeductiveDb {
             phases,
         })
     }
+
+    /// *Why* does each answer of `query` hold? Runs the query with
+    /// provenance recording on and builds one proof tree per ground
+    /// answer instance — the `:why` of this engine. See
+    /// [`explain_answer_with`](Self::explain_answer_with).
+    pub fn explain_answer(&mut self, query: &str) -> Result<ProofReport, DbError> {
+        self.explain_answer_with(query, Strategy::Auto)
+    }
+
+    /// [`explain_answer`](Self::explain_answer) under an explicit
+    /// strategy — different strategies justify the same answers through
+    /// differently shaped proofs (chain-split composes the recursive rule
+    /// per level; semi-naive derives bottom-up), while the proof *leaves*
+    /// agree.
+    ///
+    /// When provenance recording is off, a fresh recording session is
+    /// opened (serialised via [`chainsplit_provenance::exclusive`]) and
+    /// torn down afterwards; when the caller already records, their arena
+    /// is used and left untouched. Proof trees are capped via the
+    /// governor's byte budget
+    /// ([`ProofLimits::from_byte_budget`](chainsplit_provenance::ProofLimits::from_byte_budget)).
+    pub fn explain_answer_with(
+        &mut self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<ProofReport, DbError> {
+        let (atom, constraints) = self.parse_goal(query)?;
+        let owned = !chainsplit_provenance::is_enabled();
+        let _guard = owned.then(chainsplit_provenance::exclusive);
+        if owned {
+            chainsplit_provenance::clear();
+            chainsplit_provenance::enable();
+        }
+        let result = (|| {
+            let outcome = self.query_atom(&atom, &constraints, strategy)?;
+            let limits = chainsplit_provenance::ProofLimits::from_byte_budget(
+                self.governor.budget().max_bytes_est,
+            );
+            let sys = self.system.as_ref().expect("query compiled the system");
+            let classify =
+                |a: &Atom| {
+                    if chainsplit_chain::is_builtin(a.pred) {
+                        chainsplit_provenance::LeafKind::Builtin
+                    } else if sys.edb.relation(a.pred).is_some_and(|r| {
+                        r.contains(&chainsplit_relation::Tuple::new(a.args.clone()))
+                    }) {
+                        chainsplit_provenance::LeafKind::Fact
+                    } else {
+                        chainsplit_provenance::LeafKind::Unknown
+                    }
+                };
+            let proofs = ground_instances(&atom, &outcome.answers)
+                .iter()
+                .map(|r| chainsplit_provenance::proof_tree(r, &limits, &classify))
+                .collect();
+            Ok(ProofReport {
+                goal: atom.clone(),
+                strategy: outcome.strategy,
+                cached: outcome.cached,
+                answers: outcome.answers,
+                proofs,
+            })
+        })();
+        if owned {
+            chainsplit_provenance::disable();
+            chainsplit_provenance::clear();
+        }
+        result
+    }
+}
+
+/// Proof trees for one goal: what [`DeductiveDb::explain_answer`] returns.
+pub struct ProofReport {
+    /// The goal as parsed.
+    pub goal: Atom,
+    /// The strategy that evaluated it.
+    pub strategy: Strategy,
+    /// Whether the answers (and their lineage) replayed from the cache.
+    pub cached: bool,
+    /// The query's answers, as [`DeductiveDb::query`] would report them.
+    pub answers: Vec<Answer>,
+    /// One proof tree per ground answer instance, in answer order.
+    pub proofs: Vec<chainsplit_provenance::ProofNode>,
+}
+
+impl ProofReport {
+    /// Pretty trees, one per proof, separated by blank lines.
+    pub fn render(&self) -> String {
+        self.proofs
+            .iter()
+            .map(chainsplit_provenance::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// The schema-versioned `:why export` JSON document.
+    pub fn export_json(&self) -> chainsplit_trace::json::Json {
+        chainsplit_provenance::export_json(&self.goal.to_string(), &self.proofs)
+    }
+}
+
+/// The ground instances of `goal` named by `answers`, deduplicated in
+/// answer order. Answers leaving goal variables open denote non-ground
+/// schemes and are skipped — no ground tuple to explain.
+fn ground_instances(goal: &Atom, answers: &[Answer]) -> Vec<Atom> {
+    let mut out: Vec<Atom> = Vec::new();
+    for ans in answers {
+        let mut s = Subst::new();
+        let mut ok = true;
+        for (v, t) in &ans.bindings {
+            if !chainsplit_logic::unify(&mut s, &Term::Var(*v), t) {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let inst = s.resolve_atom(goal);
+        if inst.is_ground() && !out.contains(&inst) {
+            out.push(inst);
+        }
+    }
+    out
 }
 
 /// Filters substitutions by builtin constraints, threading bindings from

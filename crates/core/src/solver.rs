@@ -163,7 +163,23 @@ impl<'a> Solver<'a> {
                 }
                 self.counters.matched += 1;
                 let body: Vec<&Atom> = fr.body.iter().collect();
-                self.solve_body_dynamic(&body, &s2, depth + 1, out)?;
+                if chainsplit_provenance::is_enabled() {
+                    // Detour through a local buffer so each solution can
+                    // be witnessed against the canonical (unrenamed) rule.
+                    let mut sols = Vec::new();
+                    self.solve_body_dynamic(&body, &s2, depth + 1, &mut sols)?;
+                    for sol in &sols {
+                        let head = sol.resolve_atom(&fr.head);
+                        let wbody: Vec<Atom> =
+                            fr.body.iter().map(|a| sol.resolve_atom(a)).collect();
+                        self.opts
+                            .governor
+                            .add_bytes(chainsplit_provenance::record(&head, &rule, &wbody));
+                    }
+                    out.extend(sols);
+                } else {
+                    self.solve_body_dynamic(&body, &s2, depth + 1, out)?;
+                }
             }
             return Ok(());
         }
@@ -290,6 +306,14 @@ impl<'a> Solver<'a> {
                 self.counters.matched += 1;
                 let body: Vec<&Atom> = fr.body.iter().collect();
                 if let Some(sol) = self.solve_body_first(&body, &s2, depth + 1)? {
+                    if chainsplit_provenance::is_enabled() {
+                        let head = sol.resolve_atom(&fr.head);
+                        let wbody: Vec<Atom> =
+                            fr.body.iter().map(|a| sol.resolve_atom(a)).collect();
+                        self.opts
+                            .governor
+                            .add_bytes(chainsplit_provenance::record(&head, &rule, &wbody));
+                    }
                     return Ok(Some(sol));
                 }
             }

@@ -119,6 +119,10 @@ pub fn naive_eval(
                         atom: head.to_string(),
                     });
                 }
+                if chainsplit_provenance::is_enabled() {
+                    let body: Vec<_> = rule.body.iter().map(|a| s.resolve_atom(a)).collect();
+                    gov.add_bytes(chainsplit_provenance::record(&head, rule, &body));
+                }
                 new_facts.push((head.pred, Tuple::new(head.args)));
             }
         }

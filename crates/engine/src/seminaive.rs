@@ -56,6 +56,14 @@ struct Unit<'a> {
     part: Relation,
 }
 
+/// What one parallel unit yields: its derived tuples, its counters, and
+/// the witnesses it buffered (flushed on the merge thread in unit order).
+type UnitYield = (
+    Vec<(Pred, Tuple)>,
+    Counters,
+    Vec<chainsplit_provenance::Pending>,
+);
+
 /// Runs semi-naive evaluation of `rules` over `edb` to fixpoint.
 pub fn seminaive_eval(
     rules: &[Rule],
@@ -120,6 +128,10 @@ pub fn seminaive_eval(
                     return Err(EvalError::NotEvaluable {
                         atom: head.to_string(),
                     });
+                }
+                if chainsplit_provenance::is_enabled() {
+                    let body: Vec<_> = rule.body.iter().map(|a| s.resolve_atom(a)).collect();
+                    gov.add_bytes(chainsplit_provenance::record(&head, rule, &body));
                 }
                 seed.push((head.pred, Tuple::new(head.args)));
             }
@@ -210,7 +222,7 @@ pub fn seminaive_eval(
             .iter()
             .enumerate()
             .map(|(wi, u)| {
-                move || -> Result<(Vec<(Pred, Tuple)>, Counters), EvalError> {
+                move || -> Result<UnitYield, EvalError> {
                     let mut worker_span = chainsplit_trace::Span::enter_cat_under(
                         format!("worker {wi}"),
                         "worker",
@@ -218,35 +230,59 @@ pub fn seminaive_eval(
                     );
                     worker_span.set_attr("pred", u.rule.head.pred);
                     worker_span.set_attr("tuples", u.part.len());
-                    let mut c = Counters::default();
-                    let mut out: Vec<(Pred, Tuple)> = Vec::new();
-                    let mut tagged: Vec<(&chainsplit_logic::Atom, AtomSource)> = Vec::new();
-                    // The delta occurrence leads: it is the novelty the
-                    // round is about, and leading with it seeds bindings.
-                    tagged.push((&u.rule.body[u.dpos], AtomSource::Fixed(&u.part)));
-                    for (i, a) in u.rule.body.iter().enumerate() {
-                        if i == u.dpos {
-                            continue;
-                        }
-                        match deltas_ref.get(&a.pred) {
-                            Some(d) => tagged.push((a, AtomSource::Fixed(d.all()))),
-                            None => tagged.push((a, AtomSource::Auto)),
-                        }
+                    // Witnesses are buffered per unit and flushed on the
+                    // merge thread in unit order, so first-witness-wins is
+                    // thread-count-invariant (DESIGN.md §12).
+                    let prov = chainsplit_provenance::is_enabled();
+                    if prov {
+                        chainsplit_provenance::begin_buffer();
                     }
-                    let lookup = |p: Pred| edb.relation(p);
-                    // Workers observe the shared governor at every probe
-                    // batch, so cross-thread cancellation and deadlines
-                    // reach into a round in flight.
-                    for s in eval_body(&tagged, Subst::new(), &lookup, &mut c, gov)? {
-                        let head = s.resolve_atom(&u.rule.head);
-                        if !head.is_ground() {
-                            return Err(EvalError::NotEvaluable {
-                                atom: head.to_string(),
-                            });
+                    let inner = || -> Result<(Vec<(Pred, Tuple)>, Counters), EvalError> {
+                        let mut c = Counters::default();
+                        let mut out: Vec<(Pred, Tuple)> = Vec::new();
+                        let mut tagged: Vec<(&chainsplit_logic::Atom, AtomSource)> = Vec::new();
+                        // The delta occurrence leads: it is the novelty the
+                        // round is about, and leading with it seeds bindings.
+                        tagged.push((&u.rule.body[u.dpos], AtomSource::Fixed(&u.part)));
+                        for (i, a) in u.rule.body.iter().enumerate() {
+                            if i == u.dpos {
+                                continue;
+                            }
+                            match deltas_ref.get(&a.pred) {
+                                Some(d) => tagged.push((a, AtomSource::Fixed(d.all()))),
+                                None => tagged.push((a, AtomSource::Auto)),
+                            }
                         }
-                        out.push((head.pred, Tuple::new(head.args)));
-                    }
-                    Ok((out, c))
+                        let lookup = |p: Pred| edb.relation(p);
+                        // Workers observe the shared governor at every probe
+                        // batch, so cross-thread cancellation and deadlines
+                        // reach into a round in flight.
+                        for s in eval_body(&tagged, Subst::new(), &lookup, &mut c, gov)? {
+                            let head = s.resolve_atom(&u.rule.head);
+                            if !head.is_ground() {
+                                return Err(EvalError::NotEvaluable {
+                                    atom: head.to_string(),
+                                });
+                            }
+                            if prov {
+                                let body: Vec<_> =
+                                    u.rule.body.iter().map(|a| s.resolve_atom(a)).collect();
+                                chainsplit_provenance::record(&head, u.rule, &body);
+                            }
+                            out.push((head.pred, Tuple::new(head.args)));
+                        }
+                        Ok((out, c))
+                    };
+                    let result = inner();
+                    // Always uninstall the buffer: pool threads (and the
+                    // participating caller) are reused, and a leaked buffer
+                    // would swallow later direct recordings.
+                    let wbuf = if prov {
+                        chainsplit_provenance::take_buffer()
+                    } else {
+                        Vec::new()
+                    };
+                    result.map(|(out, c)| (out, c, wbuf))
                 }
             })
             .collect();
@@ -258,8 +294,9 @@ pub fn seminaive_eval(
         let mut derived: Vec<(Pred, Tuple)> = Vec::new();
         for r in results {
             match r {
-                Ok((out, c)) => {
+                Ok((out, c, wbuf)) => {
                     counters.add(&c);
+                    gov.add_bytes(chainsplit_provenance::flush(wbuf));
                     derived.extend(out);
                 }
                 // A budget trip inside a unit drains the whole round:

@@ -284,6 +284,20 @@ impl<'a> Tabled<'a> {
                 let account = self.opts.governor.active();
                 for sol in sols {
                     let tuple: Vec<Term> = call.args.iter().map(|a| sol.resolve(a)).collect();
+                    if chainsplit_provenance::is_enabled() {
+                        // Witness the ground instances only (`record`
+                        // skips non-ground answer schemes): the resolved
+                        // call instance is the derived tuple, justified by
+                        // the canonical rule's resolved body.
+                        let head = Atom {
+                            pred: key.pred,
+                            args: tuple.clone(),
+                        };
+                        let wbody: Vec<Atom> =
+                            fr.body.iter().map(|a| sol.resolve_atom(a)).collect();
+                        let bytes = chainsplit_provenance::record(&head, &rule, &wbody);
+                        self.opts.governor.add_bytes(bytes);
+                    }
                     let tuple = canonicalize(&tuple);
                     let bytes = if account {
                         tuple.iter().map(term_estimated_bytes).sum::<usize>() as u64

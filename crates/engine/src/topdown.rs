@@ -143,7 +143,27 @@ impl<'a> TopDown<'a> {
                     continue;
                 }
                 self.counters.matched += 1;
-                self.solve_body(&fresh_rule.body, &s2, depth + 1, out)?;
+                if chainsplit_provenance::is_enabled() {
+                    // Detour the rule's solutions through a buffer so each
+                    // can witness the (canonical) rule it instantiated.
+                    // `solve_body`'s counters are output-independent, so
+                    // the provenance-off path is bit-identical.
+                    let mut sols = Vec::new();
+                    self.solve_body(&fresh_rule.body, &s2, depth + 1, &mut sols)?;
+                    for sol in &sols {
+                        let head = sol.resolve_atom(&fresh_rule.head);
+                        let body: Vec<Atom> = fresh_rule
+                            .body
+                            .iter()
+                            .map(|a| sol.resolve_atom(a))
+                            .collect();
+                        let bytes = chainsplit_provenance::record(&head, rule, &body);
+                        self.opts.governor.add_bytes(bytes);
+                    }
+                    out.extend(sols);
+                } else {
+                    self.solve_body(&fresh_rule.body, &s2, depth + 1, out)?;
+                }
             }
             return Ok(());
         }

@@ -1,0 +1,899 @@
+//! # chainsplit-provenance
+//!
+//! Why-provenance for the chain-split deductive database: *why does this
+//! answer exist?*
+//!
+//! The evaluators are instrumented with [`record`] calls at every site
+//! that resolves a rule head to a derived tuple. When recording is **off**
+//! — the default — a call is a single relaxed atomic load, so the hot
+//! paths cost nothing measurable and every work counter stays bit-identical
+//! to an uninstrumented build. When recording is **on**, each call stores
+//! one *witness* per derived ground tuple — the pair `(rule, substituted
+//! body atoms)` that justified it — into a global interned arena with
+//! **first-witness-wins** semantics: a tuple derivable ten ways keeps the
+//! justification that was offered first.
+//!
+//! Parallel evaluators must not race the arena (first-wins would become
+//! schedule-dependent). They instead install a **thread-local buffer**
+//! around each worker task ([`begin_buffer`] / [`take_buffer`]) and flush
+//! the collected buffers on the merge thread in deterministic partition
+//! order ([`flush`]) — the same discipline that keeps their answers and
+//! counters thread-count-invariant extends to witnesses.
+//!
+//! On top of the arena sit [`proof_tree`] (a depth/node-capped proof tree
+//! for one ground atom), a pretty tree [`render`]er, and a
+//! schema-versioned JSON [`export_json`] built on
+//! [`chainsplit_trace::json`].
+//!
+//! ```
+//! use chainsplit_logic::{parse_program, parse_query};
+//! let p = parse_program("e(a, b).").unwrap();
+//! let _guard = chainsplit_provenance::exclusive();
+//! chainsplit_provenance::clear();
+//! chainsplit_provenance::enable();
+//! let head = parse_query("p(a, b)").unwrap();
+//! let body = parse_query("e(a, b)").unwrap();
+//! let rule = chainsplit_logic::parse_rule("p(X, Y) :- e(X, Y).").unwrap();
+//! chainsplit_provenance::record(&head, &rule, std::slice::from_ref(&body));
+//! chainsplit_provenance::disable();
+//! assert_eq!(chainsplit_provenance::witness_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+use chainsplit_logic::{Atom, Rule, Term};
+use chainsplit_trace::json::Json;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Version stamp of the `:why export` JSON document. Bump deliberately,
+/// together with [`PROOF_DOC_KEYS`] / [`PROOF_NODE_KEYS`].
+pub const PROOF_SCHEMA_VERSION: usize = 1;
+
+/// Top-level key set of the export document, in document order.
+pub const PROOF_DOC_KEYS: [&str; 4] = ["schema_version", "kind", "goal", "proofs"];
+
+/// Key set of every proof-tree node in the export, in document order.
+pub const PROOF_NODE_KEYS: [&str; 4] = ["atom", "kind", "rule", "children"];
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns witness recording on. Existing witnesses are kept; call
+/// [`clear`] first to start a fresh lineage session.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns witness recording off. The arena is kept for inspection.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether witnesses are currently being recorded. This is the one
+/// relaxed load every instrumented hot path pays when recording is off.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One materialized witness: the head tuple, the rule that derived it,
+/// and the ground body instance that rule was applied to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    pub head: Atom,
+    pub rule: Rule,
+    pub body: Vec<Atom>,
+}
+
+/// A witness buffered on a worker thread, awaiting a deterministic
+/// [`flush`] on the merge thread.
+#[derive(Clone, Debug)]
+pub struct Pending {
+    head: Atom,
+    rule: Rule,
+    body: Vec<Atom>,
+}
+
+/// The interned arena: ground atoms and rules are stored once; a witness
+/// is three small id lists.
+#[derive(Default)]
+struct Store {
+    atoms: Vec<Atom>,
+    atom_ids: HashMap<Atom, u32>,
+    rules: Vec<Rule>,
+    rule_ids: HashMap<Rule, u32>,
+    /// head atom id -> (rule id, body atom ids); first-witness-wins.
+    witnesses: HashMap<u32, (u32, Vec<u32>)>,
+    /// Head ids in the order their witnesses latched.
+    order: Vec<u32>,
+    /// Governor-currency estimate of the arena's size.
+    bytes: u64,
+}
+
+fn store() -> &'static Mutex<Store> {
+    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Store::default()))
+}
+
+fn lock() -> MutexGuard<'static, Store> {
+    store().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Serialises whole provenance sessions: the arena is process-global, so
+/// concurrent sessions (e.g. parallel tests in one binary) must hold this
+/// guard around their `clear`/`enable` … `disable`/inspect window.
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    static SESSION: OnceLock<Mutex<()>> = OnceLock::new();
+    SESSION
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    /// The stack of active worker buffers on this thread. A stack, not a
+    /// slot: `Pool::new(1)` runs tasks inline and the calling thread
+    /// participates in every pool, so a nested parallel evaluation (a
+    /// chain-split inside a chain-split worker) opens a buffer on a
+    /// thread that already holds one. Witnesses land in the innermost
+    /// buffer; an inner [`flush`] appends to the enclosing buffer, so
+    /// merge order composes across nesting levels.
+    static BUFFER: RefCell<Vec<Vec<Pending>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Governor-currency size estimate of one term (matches the coarse
+/// node/binding accounting used elsewhere; exactness is not the point —
+/// monotone growth under a shared ceiling is).
+fn term_bytes(t: &Term) -> u64 {
+    match t {
+        Term::Var(_) | Term::Int(_) | Term::Sym(_) | Term::Nil => 16,
+        Term::Cons(h, tl) => 16 + term_bytes(h) + term_bytes(tl),
+        Term::Comp(_, args) => 16 + args.iter().map(term_bytes).sum::<u64>(),
+    }
+}
+
+fn atom_bytes(a: &Atom) -> u64 {
+    24 + a.args.iter().map(term_bytes).sum::<u64>()
+}
+
+impl Store {
+    fn intern_atom(&mut self, a: &Atom) -> (u32, u64) {
+        if let Some(&id) = self.atom_ids.get(a) {
+            return (id, 0);
+        }
+        let id = self.atoms.len() as u32;
+        let bytes = atom_bytes(a);
+        self.atoms.push(a.clone());
+        self.atom_ids.insert(a.clone(), id);
+        (id, bytes)
+    }
+
+    fn intern_rule(&mut self, r: &Rule) -> (u32, u64) {
+        if let Some(&id) = self.rule_ids.get(r) {
+            return (id, 0);
+        }
+        let id = self.rules.len() as u32;
+        let bytes = atom_bytes(&r.head) + r.body.iter().map(atom_bytes).sum::<u64>();
+        self.rules.push(r.clone());
+        self.rule_ids.insert(r.clone(), id);
+        (id, bytes)
+    }
+
+    /// Offers one witness; first-wins. Returns the estimated bytes the
+    /// arena grew by (0 for a duplicate head).
+    fn offer(&mut self, head: &Atom, rule: &Rule, body: &[Atom]) -> u64 {
+        if let Some(&hid) = self.atom_ids.get(head) {
+            if self.witnesses.contains_key(&hid) {
+                return 0;
+            }
+        }
+        let (hid, mut bytes) = self.intern_atom(head);
+        if self.witnesses.contains_key(&hid) {
+            return 0;
+        }
+        let (rid, rb) = self.intern_rule(rule);
+        bytes += rb;
+        let mut body_ids = Vec::with_capacity(body.len());
+        for b in body {
+            let (bid, bb) = self.intern_atom(b);
+            bytes += bb;
+            body_ids.push(bid);
+        }
+        bytes += 16 + 4 * body_ids.len() as u64;
+        self.witnesses.insert(hid, (rid, body_ids));
+        self.order.push(hid);
+        self.bytes += bytes;
+        bytes
+    }
+
+    fn materialize(&self, hid: u32) -> Witness {
+        let (rid, body_ids) = &self.witnesses[&hid];
+        Witness {
+            head: self.atoms[hid as usize].clone(),
+            rule: self.rules[*rid as usize].clone(),
+            body: body_ids
+                .iter()
+                .map(|&b| self.atoms[b as usize].clone())
+                .collect(),
+        }
+    }
+}
+
+/// Records one witness for a derived tuple, when recording is on.
+///
+/// Only fully ground instances are recorded (a non-ground head or body
+/// atom — e.g. a tabled answer scheme with an open tail — is silently
+/// skipped: the lineage oracle validates exactly what was recorded).
+/// Inside a worker buffer the witness is deferred to [`flush`]; otherwise
+/// it is offered to the arena directly and the estimated bytes the arena
+/// grew by are returned, for the caller to charge against the governor's
+/// byte budget.
+pub fn record(head: &Atom, rule: &Rule, body: &[Atom]) -> u64 {
+    if !is_enabled() {
+        return 0;
+    }
+    if !head.is_ground() || body.iter().any(|b| !b.is_ground()) {
+        return 0;
+    }
+    let deferred = BUFFER.with(|b| {
+        let mut b = b.borrow_mut();
+        if let Some(buf) = b.last_mut() {
+            buf.push(Pending {
+                head: head.clone(),
+                rule: rule.clone(),
+                body: body.to_vec(),
+            });
+            true
+        } else {
+            false
+        }
+    });
+    if deferred {
+        0
+    } else {
+        lock().offer(head, rule, body)
+    }
+}
+
+/// Pushes an empty witness buffer on the current thread. Call at the
+/// top of a parallel worker task; pair with [`take_buffer`].
+pub fn begin_buffer() {
+    BUFFER.with(|b| b.borrow_mut().push(Vec::new()));
+}
+
+/// Pops and returns the current thread's innermost witness buffer
+/// (empty if none was installed). The buffer travels with the task
+/// result to the merge thread, which applies it via [`flush`] in merge
+/// order.
+pub fn take_buffer() -> Vec<Pending> {
+    BUFFER.with(|b| b.borrow_mut().pop()).unwrap_or_default()
+}
+
+/// Offers a worker's buffered witnesses, in buffer order. On a thread
+/// that itself holds an active buffer (a nested parallel merge) the
+/// witnesses re-buffer there instead, preserving composed merge order;
+/// otherwise they go to the arena and the total estimated bytes the
+/// arena grew by is returned.
+pub fn flush(buf: Vec<Pending>) -> u64 {
+    if buf.is_empty() {
+        return 0;
+    }
+    let rebuffered = BUFFER.with(|b| {
+        let mut b = b.borrow_mut();
+        if let Some(outer) = b.last_mut() {
+            outer.extend(buf.iter().cloned());
+            true
+        } else {
+            false
+        }
+    });
+    if rebuffered {
+        return 0;
+    }
+    let mut s = lock();
+    buf.iter().map(|p| s.offer(&p.head, &p.rule, &p.body)).sum()
+}
+
+/// Drops every recorded witness and interned object.
+pub fn clear() {
+    *lock() = Store::default();
+}
+
+/// The number of witnessed tuples.
+pub fn witness_count() -> usize {
+    lock().witnesses.len()
+}
+
+/// The governor-currency size estimate of the arena.
+pub fn arena_bytes() -> u64 {
+    lock().bytes
+}
+
+/// The recorded witness for `atom`, if any.
+pub fn witness_of(atom: &Atom) -> Option<Witness> {
+    let s = lock();
+    let hid = *s.atom_ids.get(atom)?;
+    s.witnesses.contains_key(&hid).then(|| s.materialize(hid))
+}
+
+/// Every recorded witness, in the order the witnesses latched.
+pub fn snapshot() -> Vec<Witness> {
+    let s = lock();
+    s.order.iter().map(|&hid| s.materialize(hid)).collect()
+}
+
+/// A position in the latch order; pair with [`delta_since`] to capture
+/// the witnesses a bounded stretch of evaluation recorded.
+pub fn delta_mark() -> usize {
+    lock().order.len()
+}
+
+/// The witnesses latched since `mark`, in latch order.
+pub fn delta_since(mark: usize) -> Vec<Witness> {
+    let s = lock();
+    s.order[mark.min(s.order.len())..]
+        .iter()
+        .map(|&hid| s.materialize(hid))
+        .collect()
+}
+
+/// Re-offers a previously captured snapshot (e.g. when an answer cache
+/// hit replays the lineage captured at fill time). First-wins still
+/// applies; returns the estimated bytes the arena grew by.
+pub fn replay(witnesses: &[Witness]) -> u64 {
+    if witnesses.is_empty() {
+        return 0;
+    }
+    let mut s = lock();
+    witnesses
+        .iter()
+        .map(|w| s.offer(&w.head, &w.rule, &w.body))
+        .sum()
+}
+
+/// The transitive witness closure supporting `roots`: every witness
+/// reachable from the roots through body atoms, in deterministic
+/// root-then-breadth order. Used to capture a complete replayable
+/// snapshot for one query's answers without dragging in unrelated
+/// lineage.
+pub fn closure_for(roots: &[Atom]) -> Vec<Witness> {
+    let s = lock();
+    let mut out = Vec::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut queue: Vec<u32> = roots
+        .iter()
+        .filter_map(|a| s.atom_ids.get(a).copied())
+        .collect();
+    let mut i = 0;
+    while i < queue.len() {
+        let hid = queue[i];
+        i += 1;
+        if !seen.insert(hid) {
+            continue;
+        }
+        let Some((_, body_ids)) = s.witnesses.get(&hid) else {
+            continue;
+        };
+        out.push(s.materialize(hid));
+        queue.extend(body_ids.iter().copied());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Proof trees
+// ---------------------------------------------------------------------
+
+/// Why a proof node has no children.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeafKind {
+    /// An extensional fact.
+    Fact,
+    /// An evaluable (builtin) atom that holds.
+    Builtin,
+    /// No witness and not classifiable — e.g. recording was off while
+    /// this tuple was derived, or the arena was cleared since.
+    Unknown,
+}
+
+/// What a proof node is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Derived by `rule`; children justify the body atoms in rule order.
+    Derived { rule: Rule },
+    /// A leaf of the proof.
+    Leaf(LeafKind),
+    /// The subtree was cut by the depth/node budget or a lineage cycle.
+    Elided,
+}
+
+/// One node of a proof tree.
+#[derive(Clone, Debug)]
+pub struct ProofNode {
+    pub atom: Atom,
+    pub kind: NodeKind,
+    pub children: Vec<ProofNode>,
+}
+
+/// Caps on proof-tree construction, in the governor's budget currency:
+/// trees are cut (nodes become [`NodeKind::Elided`]) rather than grown
+/// without bound.
+#[derive(Clone, Copy, Debug)]
+pub struct ProofLimits {
+    pub max_depth: usize,
+    pub max_nodes: usize,
+}
+
+impl Default for ProofLimits {
+    fn default() -> Self {
+        ProofLimits {
+            max_depth: 64,
+            max_nodes: 4096,
+        }
+    }
+}
+
+impl ProofLimits {
+    /// Derives limits from an (optional) governor byte budget: a proof
+    /// node costs roughly an interned atom, so the node cap is the byte
+    /// ceiling divided by the per-atom estimate, floored to something
+    /// useful and capped by the defaults.
+    pub fn from_byte_budget(max_bytes_est: Option<u64>) -> ProofLimits {
+        let d = ProofLimits::default();
+        match max_bytes_est {
+            None => d,
+            Some(b) => ProofLimits {
+                max_depth: d.max_depth,
+                max_nodes: ((b / 64).clamp(16, d.max_nodes as u64)) as usize,
+            },
+        }
+    }
+}
+
+/// Builds the proof tree of `root` from the recorded witnesses.
+/// `classify` labels witness-less atoms (EDB fact, builtin, unknown);
+/// `limits` cap the tree, and a cycle along the path elides rather than
+/// recurses.
+pub fn proof_tree(
+    root: &Atom,
+    limits: &ProofLimits,
+    classify: &dyn Fn(&Atom) -> LeafKind,
+) -> ProofNode {
+    let mut nodes = 0usize;
+    let mut path: Vec<Atom> = Vec::new();
+    build(root, limits, classify, 0, &mut nodes, &mut path)
+}
+
+fn build(
+    atom: &Atom,
+    limits: &ProofLimits,
+    classify: &dyn Fn(&Atom) -> LeafKind,
+    depth: usize,
+    nodes: &mut usize,
+    path: &mut Vec<Atom>,
+) -> ProofNode {
+    *nodes += 1;
+    if depth >= limits.max_depth || *nodes > limits.max_nodes || path.contains(atom) {
+        return ProofNode {
+            atom: atom.clone(),
+            kind: NodeKind::Elided,
+            children: Vec::new(),
+        };
+    }
+    let Some(w) = witness_of(atom) else {
+        return ProofNode {
+            atom: atom.clone(),
+            kind: NodeKind::Leaf(classify(atom)),
+            children: Vec::new(),
+        };
+    };
+    path.push(atom.clone());
+    let children = w
+        .body
+        .iter()
+        .map(|b| build(b, limits, classify, depth + 1, nodes, path))
+        .collect();
+    path.pop();
+    ProofNode {
+        atom: atom.clone(),
+        kind: NodeKind::Derived { rule: w.rule },
+        children,
+    }
+}
+
+impl ProofNode {
+    /// Total node count of the tree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(ProofNode::size).sum::<usize>()
+    }
+
+    /// Height of the tree (a lone node has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(ProofNode::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The leaf atoms of the tree, left to right.
+    pub fn leaves(&self) -> Vec<&Atom> {
+        let mut out = Vec::new();
+        fn walk<'a>(n: &'a ProofNode, out: &mut Vec<&'a Atom>) {
+            if n.children.is_empty() {
+                out.push(&n.atom);
+            } else {
+                for c in &n.children {
+                    walk(c, out);
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// A structural shape signature: node kinds and arities in preorder.
+    /// Two proofs of the same answer under different strategies compare
+    /// equal here iff they derive it *the same way*.
+    pub fn shape(&self) -> String {
+        let mut out = String::new();
+        fn walk(n: &ProofNode, out: &mut String) {
+            let tag = match &n.kind {
+                NodeKind::Derived { .. } => 'D',
+                NodeKind::Leaf(LeafKind::Fact) => 'F',
+                NodeKind::Leaf(LeafKind::Builtin) => 'B',
+                NodeKind::Leaf(LeafKind::Unknown) => '?',
+                NodeKind::Elided => 'E',
+            };
+            out.push(tag);
+            if !n.children.is_empty() {
+                out.push('(');
+                for c in &n.children {
+                    walk(c, out);
+                }
+                out.push(')');
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// Renders a proof tree as an indented pretty tree:
+///
+/// ```text
+/// path(a, c)   [path(X, Y) :- edge(X, Z), path(Z, Y).]
+/// ├─ edge(a, b)   [fact]
+/// └─ path(b, c)   [path(X, Y) :- edge(X, Y).]
+///    └─ edge(b, c)   [fact]
+/// ```
+pub fn render(node: &ProofNode) -> String {
+    let mut out = String::new();
+    fn annotate(n: &ProofNode) -> String {
+        match &n.kind {
+            NodeKind::Derived { rule } => format!("   [{rule}]"),
+            NodeKind::Leaf(LeafKind::Fact) => "   [fact]".to_string(),
+            NodeKind::Leaf(LeafKind::Builtin) => "   [builtin]".to_string(),
+            NodeKind::Leaf(LeafKind::Unknown) => "   [unexplained]".to_string(),
+            NodeKind::Elided => "   [elided: budget or cycle]".to_string(),
+        }
+    }
+    fn walk(n: &ProofNode, prefix: &str, out: &mut String) {
+        let last = n.children.len().saturating_sub(1);
+        for (i, c) in n.children.iter().enumerate() {
+            let (branch, pad) = if i == last {
+                ("└─ ", "   ")
+            } else {
+                ("├─ ", "│  ")
+            };
+            out.push_str(prefix);
+            out.push_str(branch);
+            out.push_str(&c.atom.to_string());
+            out.push_str(&annotate(c));
+            out.push('\n');
+            walk(c, &format!("{prefix}{pad}"), out);
+        }
+    }
+    out.push_str(&node.atom.to_string());
+    out.push_str(&annotate(node));
+    out.push('\n');
+    walk(node, "", &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// JSON export (schema-versioned, alongside the trace schema)
+// ---------------------------------------------------------------------
+
+fn node_to_json(n: &ProofNode) -> Json {
+    let kind = match &n.kind {
+        NodeKind::Derived { .. } => "derived",
+        NodeKind::Leaf(LeafKind::Fact) => "fact",
+        NodeKind::Leaf(LeafKind::Builtin) => "builtin",
+        NodeKind::Leaf(LeafKind::Unknown) => "unknown",
+        NodeKind::Elided => "elided",
+    };
+    let rule = match &n.kind {
+        NodeKind::Derived { rule } => Json::str(rule.to_string()),
+        _ => Json::Null,
+    };
+    Json::Obj(vec![
+        ("atom".into(), Json::str(n.atom.to_string())),
+        ("kind".into(), Json::str(kind)),
+        ("rule".into(), rule),
+        (
+            "children".into(),
+            Json::Arr(n.children.iter().map(node_to_json).collect()),
+        ),
+    ])
+}
+
+/// Renders proof trees for `goal` as the schema-versioned `:why export`
+/// document (see [`PROOF_DOC_KEYS`] / [`PROOF_NODE_KEYS`]).
+pub fn export_json(goal: &str, proofs: &[ProofNode]) -> Json {
+    Json::Obj(vec![
+        ("schema_version".into(), Json::int(PROOF_SCHEMA_VERSION)),
+        ("kind".into(), Json::str("chainsplit-proof")),
+        ("goal".into(), Json::str(goal)),
+        (
+            "proofs".into(),
+            Json::Arr(proofs.iter().map(node_to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::{parse_query, parse_rule};
+
+    fn atom(s: &str) -> Atom {
+        parse_query(s).unwrap()
+    }
+
+    fn rule(s: &str) -> Rule {
+        parse_rule(s).unwrap()
+    }
+
+    /// Records the linear path proof a(b(c-fact)).
+    fn record_path_chain() {
+        let r1 = rule("path(X, Y) :- edge(X, Y).");
+        let r2 = rule("path(X, Y) :- edge(X, Z), path(Z, Y).");
+        assert!(record(&atom("path(b, c)"), &r1, &[atom("edge(b, c)")]) > 0);
+        assert!(
+            record(
+                &atom("path(a, c)"),
+                &r2,
+                &[atom("edge(a, b)"), atom("path(b, c)")],
+            ) > 0
+        );
+    }
+
+    #[test]
+    fn disabled_recording_is_inert() {
+        let _g = exclusive();
+        clear();
+        disable();
+        assert_eq!(
+            record(&atom("p(a)"), &rule("p(X) :- e(X)."), &[atom("e(a)")]),
+            0
+        );
+        assert_eq!(witness_count(), 0);
+        assert_eq!(arena_bytes(), 0);
+    }
+
+    #[test]
+    fn first_witness_wins_and_bytes_grow_once() {
+        let _g = exclusive();
+        clear();
+        enable();
+        let r1 = rule("p(X) :- e(X).");
+        let r2 = rule("p(X) :- f(X).");
+        let b1 = record(&atom("p(a)"), &r1, &[atom("e(a)")]);
+        assert!(b1 > 0);
+        assert_eq!(record(&atom("p(a)"), &r2, &[atom("f(a)")]), 0);
+        disable();
+        let w = witness_of(&atom("p(a)")).unwrap();
+        assert_eq!(w.rule, r1);
+        assert_eq!(w.body, vec![atom("e(a)")]);
+        assert_eq!(arena_bytes(), b1);
+        clear();
+    }
+
+    #[test]
+    fn non_ground_instances_are_skipped() {
+        let _g = exclusive();
+        clear();
+        enable();
+        assert_eq!(
+            record(&atom("p(X)"), &rule("p(X) :- e(X)."), &[atom("e(a)")]),
+            0
+        );
+        assert_eq!(
+            record(&atom("p(a)"), &rule("p(X) :- e(X)."), &[atom("e(Y)")]),
+            0
+        );
+        disable();
+        assert_eq!(witness_count(), 0);
+        clear();
+    }
+
+    #[test]
+    fn buffered_witnesses_flush_in_order() {
+        let _g = exclusive();
+        clear();
+        enable();
+        let r1 = rule("p(X) :- e(X).");
+        let r2 = rule("p(X) :- f(X).");
+        // Two workers race to justify p(a); the merge thread flushes
+        // worker 0 first, so its witness must win whatever the thread
+        // schedule was.
+        let worker = |r: Rule, b: Atom| {
+            std::thread::spawn(move || {
+                begin_buffer();
+                record(&atom("p(a)"), &r, &[b]);
+                take_buffer()
+            })
+        };
+        let h0 = worker(r1.clone(), atom("e(a)"));
+        let h1 = worker(r2, atom("f(a)"));
+        let bufs = [h0.join().unwrap(), h1.join().unwrap()];
+        assert_eq!(witness_count(), 0, "buffered, not yet offered");
+        let mut bytes = 0;
+        for b in bufs {
+            bytes += flush(b);
+        }
+        disable();
+        assert!(bytes > 0);
+        assert_eq!(witness_of(&atom("p(a)")).unwrap().rule, r1);
+        clear();
+    }
+
+    #[test]
+    fn snapshot_delta_and_replay_round_trip() {
+        let _g = exclusive();
+        clear();
+        enable();
+        record_path_chain();
+        let snap = snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].head, atom("path(b, c)"), "latch order");
+        let mark = delta_mark();
+        record(
+            &atom("path(b, b)"),
+            &rule("path(X, Y) :- edge(X, Y)."),
+            &[atom("edge(b, b)")],
+        );
+        let delta = delta_since(mark);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].head, atom("path(b, b)"));
+        // Replay into a fresh arena restores the witnesses.
+        clear();
+        assert!(replay(&snap) > 0);
+        assert_eq!(replay(&snap), 0, "idempotent");
+        assert_eq!(witness_count(), 2);
+        disable();
+        clear();
+    }
+
+    #[test]
+    fn closure_collects_only_reachable_witnesses() {
+        let _g = exclusive();
+        clear();
+        enable();
+        record_path_chain();
+        record(
+            &atom("unrelated(z)"),
+            &rule("unrelated(X) :- e(X)."),
+            &[atom("e(z)")],
+        );
+        disable();
+        let c = closure_for(&[atom("path(a, c)")]);
+        assert_eq!(c.len(), 2);
+        assert!(c.iter().all(|w| w.head.pred.name.as_str() == "path"));
+        clear();
+    }
+
+    #[test]
+    fn proof_tree_renders_and_shapes() {
+        let _g = exclusive();
+        clear();
+        enable();
+        record_path_chain();
+        disable();
+        let classify = |a: &Atom| {
+            if a.pred.name.as_str() == "edge" {
+                LeafKind::Fact
+            } else {
+                LeafKind::Unknown
+            }
+        };
+        let t = proof_tree(&atom("path(a, c)"), &ProofLimits::default(), &classify);
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.shape(), "D(FD(F))");
+        let leaves: Vec<String> = t.leaves().iter().map(|a| a.to_string()).collect();
+        assert_eq!(leaves, ["edge(a, b)", "edge(b, c)"]);
+        let text = render(&t);
+        assert!(text.starts_with("path(a, c)"), "{text}");
+        assert!(text.contains("└─ path(b, c)"), "{text}");
+        assert!(text.contains("[fact]"), "{text}");
+        clear();
+    }
+
+    #[test]
+    fn cycles_and_budgets_elide() {
+        let _g = exclusive();
+        clear();
+        enable();
+        let r = rule("p(X) :- p(X).");
+        // A self-justifying witness cannot arise from the evaluators
+        // (fixpoints derive bottom-up), but the builder must still not
+        // loop on one.
+        record(&atom("p(a)"), &r, &[atom("p(a)")]);
+        disable();
+        let t = proof_tree(&atom("p(a)"), &ProofLimits::default(), &|_| {
+            LeafKind::Unknown
+        });
+        assert_eq!(t.depth(), 2);
+        assert!(matches!(t.children[0].kind, NodeKind::Elided));
+        // A node cap elides, too.
+        let capped = ProofLimits {
+            max_depth: 64,
+            max_nodes: 1,
+        };
+        let t = proof_tree(&atom("p(a)"), &capped, &|_| LeafKind::Unknown);
+        assert!(matches!(t.kind, NodeKind::Derived { .. }));
+        assert!(matches!(t.children[0].kind, NodeKind::Elided));
+        clear();
+    }
+
+    #[test]
+    fn export_schema_is_pinned() {
+        let _g = exclusive();
+        clear();
+        enable();
+        record_path_chain();
+        disable();
+        let t = proof_tree(&atom("path(a, c)"), &ProofLimits::default(), &|_| {
+            LeafKind::Fact
+        });
+        let doc = export_json("path(a, Y)", std::slice::from_ref(&t));
+        let doc = Json::parse(&doc.to_pretty()).expect("self-parse");
+        assert_eq!(doc.keys(), PROOF_DOC_KEYS);
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_usize),
+            Some(PROOF_SCHEMA_VERSION)
+        );
+        assert_eq!(
+            doc.get("kind").and_then(Json::as_str),
+            Some("chainsplit-proof")
+        );
+        fn check_node(n: &Json) {
+            assert_eq!(n.keys(), PROOF_NODE_KEYS);
+            for c in n.get("children").unwrap().as_array() {
+                check_node(c);
+            }
+        }
+        let proofs = doc.get("proofs").unwrap().as_array();
+        assert_eq!(proofs.len(), 1);
+        for p in proofs {
+            check_node(p);
+        }
+        clear();
+    }
+
+    #[test]
+    fn byte_budget_derives_node_caps() {
+        let d = ProofLimits::from_byte_budget(None);
+        assert_eq!(d.max_nodes, ProofLimits::default().max_nodes);
+        let small = ProofLimits::from_byte_budget(Some(64 * 32));
+        assert_eq!(small.max_nodes, 32);
+        let tiny = ProofLimits::from_byte_budget(Some(1));
+        assert_eq!(tiny.max_nodes, 16);
+        let huge = ProofLimits::from_byte_budget(Some(u64::MAX / 2));
+        assert_eq!(huge.max_nodes, ProofLimits::default().max_nodes);
+    }
+}

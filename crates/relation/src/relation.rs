@@ -117,6 +117,15 @@ impl Relation {
         self.indexes.read().contains_key(cols)
     }
 
+    /// The column sets of every access path (hash index) built so far,
+    /// sorted — indexes appear on demand, so this is a record of how the
+    /// relation has actually been probed.
+    pub fn index_cols(&self) -> Vec<Vec<usize>> {
+        let mut cols: Vec<Vec<usize>> = self.indexes.read().keys().cloned().collect();
+        cols.sort();
+        cols
+    }
+
     /// Projects an already-taken read guard onto the `(cols, key)` bucket.
     /// `None` when the key has no bucket — the caller reports a miss with
     /// zero allocation (the satellite fix for the old

@@ -21,17 +21,25 @@
 //! cached database must report the same answers and trips at every step
 //! while hitting (and invalidating) exactly when the epochs say it must.
 //!
+//! With `--provenance` the driver switches to the **lineage oracle**:
+//! each seed's query runs with witness recording on, every recorded
+//! witness must ground-instantiate its rule with all body atoms
+//! themselves derivable, and the witness snapshot must be bit-identical
+//! at every thread count (DESIGN.md §12).
+//!
 //! ```text
-//! fuzz [--start S] [--seeds N] [--threads 1,4] [--cache]
+//! fuzz [--start S] [--seeds N] [--threads 1,4] [--cache] [--provenance]
 //!      [--fault-rate P] [--fault-seed S] [--timeout-ms MS]
 //! ```
 
-use chain_split::differential::{run_seeds, run_seeds_cached, run_seeds_disrupted, Disruption};
+use chain_split::differential::{
+    run_seeds, run_seeds_cached, run_seeds_disrupted, run_seeds_provenance, Disruption,
+};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fuzz [--start S] [--seeds N] [--threads 1,4] [--cache] \
+        "usage: fuzz [--start S] [--seeds N] [--threads 1,4] [--cache] [--provenance] \
          [--fault-rate P] [--fault-seed S] [--timeout-ms MS]"
     );
     std::process::exit(2);
@@ -45,6 +53,7 @@ fn main() -> ExitCode {
     let mut fault_seed: u64 = 0xC0FFEE;
     let mut timeout_ms: Option<u64> = None;
     let mut cache: bool = false;
+    let mut provenance: bool = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -70,8 +79,37 @@ fn main() -> ExitCode {
             "--fault-seed" => fault_seed = value().parse().unwrap_or_else(|_| usage()),
             "--timeout-ms" => timeout_ms = Some(value().parse().unwrap_or_else(|_| usage())),
             "--cache" => cache = true,
+            "--provenance" => provenance = true,
             _ => usage(),
         }
+    }
+
+    if provenance {
+        if cache || fault_rate > 0.0 || timeout_ms.is_some() {
+            eprintln!("fuzz: --provenance does not combine with --cache/--fault-rate/--timeout-ms");
+            return ExitCode::from(2);
+        }
+        println!(
+            "fuzz: lineage oracle, seeds {start}..{} x threads {threads:?} \
+             x all applicable strategies",
+            start + seeds
+        );
+        return match run_seeds_provenance(start, seeds, &threads) {
+            Ok(checked) => {
+                println!("fuzz: OK — {checked} seeds recorded valid, thread-identical witnesses");
+                ExitCode::SUCCESS
+            }
+            Err(failure) => {
+                let (case, mismatch) = *failure;
+                eprintln!("fuzz: FAILED — {mismatch}");
+                eprintln!(
+                    "fuzz: reproduction (re-run with --provenance --start {} --seeds 1):",
+                    mismatch.seed
+                );
+                eprintln!("{case}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if cache {

@@ -538,6 +538,174 @@ pub fn run_seeds_cached(
     Ok(count)
 }
 
+/// One witness that failed lineage validation.
+fn bad_witness(strategy: Strategy, t: usize, w: &crate::provenance::Witness, why: &str) -> String {
+    format!(
+        "{strategy} at threads={t}: invalid witness for `{}` via `{}`: {why}",
+        w.head, w.rule
+    )
+}
+
+/// Validates every witness in `snap` against the database it was
+/// recorded from: the witness must ground-instantiate its rule (one
+/// consistent substitution maps the rule head to the witness head and
+/// each rule body atom to the corresponding witness body atom), and
+/// every body atom must itself be derivable — a satisfied builtin, an
+/// EDB fact, or the head of another witness in the snapshot.
+fn validate_witnesses(
+    snap: &[crate::provenance::Witness],
+    db: &mut DeductiveDb,
+    strategy: Strategy,
+    t: usize,
+) -> Result<(), String> {
+    use crate::engine::{eval_builtin, is_builtin_atom, BuiltinOutcome};
+    use crate::logic::{unify_atoms, Subst};
+    let derived: std::collections::HashSet<&crate::logic::Atom> =
+        snap.iter().map(|w| &w.head).collect();
+    for w in snap {
+        if !w.head.is_ground() {
+            return Err(bad_witness(strategy, t, w, "head is not ground"));
+        }
+        if w.rule.body.len() != w.body.len() {
+            return Err(bad_witness(strategy, t, w, "body arity mismatch"));
+        }
+        // One consistent substitution must instantiate the whole rule.
+        let mut s = Subst::new();
+        if !unify_atoms(&mut s, &w.rule.head, &w.head) {
+            return Err(bad_witness(strategy, t, w, "head does not match rule head"));
+        }
+        for (ra, wa) in w.rule.body.iter().zip(&w.body) {
+            if !unify_atoms(&mut s, ra, wa) {
+                return Err(bad_witness(
+                    strategy,
+                    t,
+                    w,
+                    &format!("body atom `{wa}` does not instantiate `{ra}`"),
+                ));
+            }
+        }
+        // Every body atom must be independently derivable.
+        for wa in &w.body {
+            if is_builtin_atom(wa) {
+                match eval_builtin(wa, &Subst::new()) {
+                    Ok(Some(BuiltinOutcome::Solutions(sols))) if !sols.is_empty() => {}
+                    other => {
+                        return Err(bad_witness(
+                            strategy,
+                            t,
+                            w,
+                            &format!("builtin `{wa}` does not hold ({other:?})"),
+                        ));
+                    }
+                }
+                continue;
+            }
+            if !wa.is_ground() {
+                return Err(bad_witness(
+                    strategy,
+                    t,
+                    w,
+                    &format!("body atom `{wa}` is not ground"),
+                ));
+            }
+            let in_edb = db
+                .system()
+                .edb
+                .relation(wa.pred)
+                .is_some_and(|r| r.contains(&crate::relation::Tuple::new(wa.args.clone())));
+            if !in_edb && !derived.contains(wa) {
+                return Err(bad_witness(
+                    strategy,
+                    t,
+                    w,
+                    &format!("body atom `{wa}` is neither an EDB fact nor witnessed"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The **lineage invariant** (DESIGN.md §12): with provenance recording
+/// on, every witness in the arena must ground-instantiate a real rule of
+/// the program whose body atoms are all themselves derivable — builtins
+/// that hold, EDB facts, or heads of other recorded witnesses — and for
+/// a fixed strategy the full witness snapshot (contents *and* first-wins
+/// order) must be bit-identical at every thread count.
+///
+/// Callers must serialize: provenance recording is process-global, so
+/// this function holds the [`crate::provenance::exclusive`] session for
+/// its whole run.
+pub fn check_provenance(case: &FuzzCase, threads: &[usize]) -> Result<(), Mismatch> {
+    assert!(!threads.is_empty(), "need at least one thread count");
+    let fail = |detail: String| Mismatch {
+        seed: case.seed,
+        shape: case.shape,
+        detail,
+    };
+    let _session = crate::provenance::exclusive();
+    for &strategy in strategies_for(case) {
+        let mut reference: Option<(usize, Vec<crate::provenance::Witness>)> = None;
+        for &t in threads {
+            let mut db = DeductiveDb::new();
+            if let Err(e) = db.load(&case.program()) {
+                crate::provenance::disable();
+                return Err(fail(format!("load: {e}")));
+            }
+            db.set_threads(t);
+            db.solve_options.max_levels = 200;
+            crate::provenance::clear();
+            crate::provenance::enable();
+            let run = db.query_with(&case.query, strategy);
+            let snap = crate::provenance::snapshot();
+            crate::provenance::disable();
+            crate::provenance::clear();
+            match run {
+                // Partial results and budget stops still must have only
+                // valid witnesses; the snapshot check below covers them.
+                Ok(_) => {}
+                Err(DbError::Eval(
+                    EvalError::DepthExceeded { .. }
+                    | EvalError::FuelExceeded { .. }
+                    | EvalError::BudgetExceeded { .. },
+                )) => {}
+                Err(e) => return Err(fail(format!("{strategy} failed: {e}"))),
+            }
+            validate_witnesses(&snap, &mut db, strategy, t).map_err(fail)?;
+            match &reference {
+                None => reference = Some((t, snap)),
+                Some((t0, ref_snap)) => {
+                    if &snap != ref_snap {
+                        return Err(fail(format!(
+                            "{strategy}: witness snapshot differs between threads={t0} \
+                             and threads={t}: {} vs {} witnesses",
+                            ref_snap.len(),
+                            snap.len()
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs `count` consecutive seeds through the lineage oracle. Returns
+/// the number of cases checked.
+pub fn run_seeds_provenance(
+    start: u64,
+    count: u64,
+    threads: &[usize],
+) -> Result<u64, Box<(FuzzCase, Mismatch)>> {
+    for seed in start..start + count {
+        let case = crate::workloads::fuzz::gen_case(seed);
+        if let Err(m) = check_provenance(&case, threads) {
+            return Err(Box::new((case, m)));
+        }
+    }
+    Ok(count)
+}
+
 /// Runs `count` consecutive seeds through the crash-consistency oracle,
 /// deriving each seed's fault stream from the case seed so reruns
 /// reproduce. Returns the number of cases checked.

@@ -20,6 +20,8 @@
 //! - [`core`]: the chain-split planner and Algorithms 3.1–3.3;
 //! - [`governor`]: resource budgets, deadlines, cooperative cancellation,
 //!   and deterministic fault injection (feature `fault-inject`);
+//! - [`provenance`]: opt-in why-provenance — witness recording, proof
+//!   trees, and the schema-versioned `:why export` document;
 //! - [`workloads`]: deterministic synthetic workload generators.
 //!
 //! ## Quickstart
@@ -46,5 +48,6 @@ pub use chainsplit_core as core;
 pub use chainsplit_engine as engine;
 pub use chainsplit_governor as governor;
 pub use chainsplit_logic as logic;
+pub use chainsplit_provenance as provenance;
 pub use chainsplit_relation as relation;
 pub use chainsplit_workloads as workloads;

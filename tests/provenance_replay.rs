@@ -1,0 +1,215 @@
+//! Provenance replay over the minimized regression corpus.
+//!
+//! Every `tests/corpus/*.dl` program replays through the lineage oracle
+//! (`differential::check_provenance`): with witness recording on, every
+//! recorded witness must ground-instantiate its rule with all body atoms
+//! themselves derivable, and the witness snapshot must be bit-identical
+//! at threads 1 and 4. A second pass asserts the recording gate is free
+//! when off: a query that runs after a provenance session reports
+//! answers *and* work counters bit-identical to one that ran before it.
+//!
+//! Also pins the acceptance example for `:why`: on a chain program the
+//! proof tree's *shape* differs between chain-split and semi-naive
+//! evaluation (exit-through-helper vs level-by-level composition) while
+//! the proof *leaves* — the EDB facts the answer rests on — agree.
+
+use chain_split::core::{DeductiveDb, Strategy};
+use chain_split::differential::{check_provenance, strategies_for};
+use chain_split::workloads::fuzz::{parse_corpus, FuzzCase};
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_cases() -> Vec<FuzzCase> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("tests/corpus must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "dl"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|path| {
+            let name: &'static str = Box::leak(
+                path.file_name()
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned()
+                    .into_boxed_str(),
+            );
+            let text = fs::read_to_string(&path).unwrap();
+            parse_corpus(name, &text)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_witnesses_are_valid_and_thread_identical() {
+    for case in corpus_cases() {
+        if let Err(m) = check_provenance(&case, &[1, 4]) {
+            panic!("corpus {}: {m}", case.shape);
+        }
+    }
+}
+
+#[test]
+fn recording_session_leaves_counters_bit_identical() {
+    let run = |case: &FuzzCase, strategy: Strategy, threads: usize| {
+        let mut db = DeductiveDb::new();
+        db.load(&case.program()).unwrap();
+        db.set_threads(threads);
+        db.solve_options.max_levels = 200;
+        db.query_with(&case.query, strategy)
+            .map(|o| {
+                let mut answers: Vec<String> = o.answers.iter().map(|a| a.to_string()).collect();
+                answers.sort();
+                (answers, o.counters)
+            })
+            .map_err(|e| e.to_string())
+    };
+    for case in corpus_cases() {
+        for &threads in &[1usize, 4] {
+            for &strategy in strategies_for(&case) {
+                // Reference: no provenance session has ever run.
+                let before = run(&case, strategy, threads);
+                // A full recording session…
+                {
+                    let _session = chain_split::provenance::exclusive();
+                    chain_split::provenance::clear();
+                    chain_split::provenance::enable();
+                    let with_recording = run(&case, strategy, threads);
+                    chain_split::provenance::disable();
+                    chain_split::provenance::clear();
+                    // …never touches the work counters, even while on.
+                    assert_eq!(
+                        with_recording, before,
+                        "{} {strategy} threads={threads}: recording changed the outcome",
+                        case.shape
+                    );
+                }
+                // …and leaves nothing behind once off.
+                let after = run(&case, strategy, threads);
+                assert_eq!(
+                    after, before,
+                    "{} {strategy} threads={threads}: outcome differs after a recording session",
+                    case.shape
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance example: a transitive-closure chain (the paper's
+/// canonical chain recursion) with a multi-hop helper exit. Chain-split
+/// justifies `path(a, t)` through the helper exit it solved during the
+/// up sweep; semi-naive reaches the same tuple first through round-order
+/// composition of the recursive rule. Different proof shapes, same EDB
+/// leaves.
+const SHAPE_PROGRAM: &str = "\
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+path(X, Y) :- three_hop(X, Y).
+hop2(X, Y) :- edge(X, Z), edge(Z, Y).
+three_hop(X, Y) :- hop2(X, Z), edge(Z, Y).
+edge(a, b). edge(b, c). edge(c, t).";
+
+fn proof_profile(strategy: Strategy) -> (String, Vec<String>) {
+    let mut db = DeductiveDb::new();
+    db.load(SHAPE_PROGRAM).unwrap();
+    let report = db.explain_answer_with("path(a, t)", strategy).unwrap();
+    assert_eq!(report.proofs.len(), 1, "{strategy}: one ground answer");
+    let proof = &report.proofs[0];
+    let mut leaves: Vec<String> = proof.leaves().iter().map(|a| a.to_string()).collect();
+    leaves.sort();
+    leaves.dedup();
+    (proof.shape(), leaves)
+}
+
+#[test]
+fn chain_split_and_semi_naive_proof_shapes_differ_with_agreeing_leaves() {
+    let (split_shape, split_leaves) = proof_profile(Strategy::ChainSplit);
+    let (sn_shape, sn_leaves) = proof_profile(Strategy::SemiNaive);
+    assert_ne!(
+        split_shape, sn_shape,
+        "chain-split and semi-naive should justify path(a, t) differently"
+    );
+    assert_eq!(
+        split_leaves, sn_leaves,
+        "both proofs must rest on the same EDB facts"
+    );
+    assert_eq!(
+        split_leaves,
+        vec!["edge(a, b)", "edge(b, c)", "edge(c, t)"],
+        "the leaves are exactly the chain's edges"
+    );
+}
+
+#[test]
+fn provenance_arena_bytes_count_against_the_byte_budget() {
+    // Witness recording charges the arena against the governor's byte
+    // currency, so a budget that exactly fits the plain query must trip
+    // once recording is on.
+    let trips = |max_bytes: u64, record: bool| {
+        let mut db = DeductiveDb::new();
+        db.load(SHAPE_PROGRAM).unwrap();
+        db.set_budget(chain_split::governor::Budget {
+            max_bytes_est: Some(max_bytes),
+            ..chain_split::governor::Budget::default()
+        });
+        if record {
+            chain_split::provenance::clear();
+            chain_split::provenance::enable();
+        }
+        let outcome = db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
+        if record {
+            chain_split::provenance::disable();
+            chain_split::provenance::clear();
+        }
+        outcome.trip.is_some()
+    };
+    let _session = chain_split::provenance::exclusive();
+    // Measure the arena an unconstrained recording run accumulates.
+    chain_split::provenance::clear();
+    chain_split::provenance::enable();
+    let mut db = DeductiveDb::new();
+    db.load(SHAPE_PROGRAM).unwrap();
+    db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
+    let arena = chain_split::provenance::arena_bytes();
+    chain_split::provenance::disable();
+    chain_split::provenance::clear();
+    assert!(arena > 0, "recording must have charged arena bytes");
+    // Bisect the smallest budget the plain query fits under.
+    let (mut lo, mut hi) = (0u64, 1 << 22);
+    assert!(!trips(hi, false), "the ceiling must fit the plain query");
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if trips(mid, false) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // The plain query fits exactly at `hi`; the recording run's extra
+    // arena bytes push the same workload over any budget below
+    // `hi + arena`.
+    assert!(!trips(hi + arena, false));
+    assert!(
+        trips(hi + arena - 1, true),
+        "arena bytes ({arena}) must count against the byte budget"
+    );
+}
+
+#[test]
+fn cached_answers_stay_explainable() {
+    let mut db = DeductiveDb::new();
+    db.load(SHAPE_PROGRAM).unwrap();
+    db.set_cache_enabled(true);
+    let first = db.explain_answer("path(a, t)").unwrap();
+    let second = db.explain_answer("path(a, t)").unwrap();
+    assert!(!first.cached && second.cached, "second explain must hit");
+    assert_eq!(first.render(), second.render(), "replayed lineage agrees");
+    assert_eq!(
+        first.export_json().to_compact(),
+        second.export_json().to_compact()
+    );
+}
