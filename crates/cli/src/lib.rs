@@ -40,6 +40,16 @@ const HELP: &str = "\
 commands:
   ?- <goal>[, <constraint>…].   run a query (e.g. ?- sg(ann, Y), Y \\= ann.)
   <clause>.                      assert a fact or rule
+  :retract <fact>.               retract a fact: a ground EDB fact comes
+                                 out in place (the compiled system
+                                 survives, affected cache entries and
+                                 witnesses drop, a materialization
+                                 repairs via delete-and-rederive); an
+                                 exit-rule fact recompiles
+  :materialize [status|off]      build the maintained IDB materialization
+                                 (kept consistent across asserts and
+                                 :retract by incremental DRed repair),
+                                 show its state, or drop it
   :load <file>                   load a program file
   :strategy [name]               show or set the evaluation method
                                  (auto, top-down, naive, semi-naive, magic,
@@ -84,8 +94,9 @@ commands:
   :check                         check all integrity constraints
   :save <file>                   write the loaded program to a file
   :stats                         database statistics (per-predicate
-                                 cardinalities, built access paths,
-                                 cache occupancy)
+                                 cardinalities and EDB mutation epochs,
+                                 built access paths, cache occupancy,
+                                 materialization state)
   :help                          this text
   :quit                          leave";
 
@@ -206,6 +217,8 @@ impl Shell {
                 Ok(v) => v.join("\n"),
                 Err(e) => format!("error: {e}"),
             },
+            "retract" => self.retract_command(arg),
+            "materialize" => self.materialize_command(arg),
             "save" => match std::fs::write(arg, self.db.dump()) {
                 Ok(()) => format!("saved {arg}."),
                 Err(e) => format!("cannot write {arg}: {e}"),
@@ -389,10 +402,87 @@ impl Shell {
         }
     }
 
+    fn retract_command(&mut self, arg: &str) -> String {
+        let src = arg.trim().trim_end_matches('.');
+        if src.is_empty() {
+            return "usage: :retract <fact>.".to_string();
+        }
+        let fact = match chainsplit_logic::parse_query(src) {
+            Ok(a) => a,
+            Err(e) => return format!("error: {e}"),
+        };
+        match self.db.retract_fact(&fact) {
+            Ok(out) if !out.removed => format!("nothing to retract: {fact} is not loaded."),
+            Ok(out) => {
+                let mut text = format!("retracted {fact}.");
+                if out.recompiled {
+                    text.push_str(" (rule program changed: recompiled)");
+                }
+                if let Some(repair) = &out.repair {
+                    write!(
+                        text,
+                        " [repair: {} deleted / {} rederived in {}+{} round(s)]",
+                        repair.deleted,
+                        repair.rederived,
+                        repair.delete_rounds,
+                        repair.rederive_rounds
+                    )
+                    .unwrap();
+                    if repair.trip.is_some() {
+                        text.push_str(" [tripped: materialization dropped]");
+                    }
+                }
+                if out.witnesses_evicted > 0 {
+                    write!(text, " [{} witness(es) evicted]", out.witnesses_evicted).unwrap();
+                }
+                text
+            }
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
+    fn materialize_command(&mut self, arg: &str) -> String {
+        match arg {
+            "" => match self.db.materialize() {
+                Ok(true) => {
+                    let m = self.db.materialization().unwrap();
+                    format!(
+                        "materialized: {} IDB tuple(s) over {} predicate(s).",
+                        m.idb_rows(),
+                        m.idb_preds().len()
+                    )
+                }
+                Ok(false) => {
+                    "cannot materialize: not bottom-up evaluable (or a budget tripped).".to_string()
+                }
+                Err(e) => format!("error: {e}"),
+            },
+            "status" => match self.db.materialization() {
+                Some(m) => format!(
+                    "materialized: yes | {} IDB tuple(s), {} predicate(s), {} repair(s)",
+                    m.idb_rows(),
+                    m.idb_preds().len(),
+                    m.repairs()
+                ),
+                None => "materialized: no".to_string(),
+            },
+            "off" => {
+                self.db.dematerialize();
+                "materialization dropped.".to_string()
+            }
+            _ => "usage: :materialize [status|off]".to_string(),
+        }
+    }
+
     fn stats(&mut self) -> String {
         let cache_on = self.db.cache_enabled();
         let (cache_entries, cache_bytes) = self.db.cache_usage();
         let cache_stats = self.db.cache_stats();
+        let epochs = self.db.edb_epochs().clone();
+        let materialized = self
+            .db
+            .materialization()
+            .map(|m| (m.idb_rows(), m.idb_preds().len(), m.repairs()));
         let sys = self.db.system();
         let mut out = String::new();
         writeln!(out, "EDB: {} facts", sys.edb.total_rows()).unwrap();
@@ -417,7 +507,8 @@ impl Shell {
                         .join(" ")
                 )
             };
-            writeln!(out, "  {p}: {} tuples, {paths}", rel.len()).unwrap();
+            let epoch = epochs.get(&p).copied().unwrap_or(0);
+            writeln!(out, "  {p}: {} tuples, epoch {epoch}, {paths}", rel.len()).unwrap();
         }
         writeln!(out, "IDB: {} predicates", sys.classes.len()).unwrap();
         for (p, class) in &sys.classes {
@@ -438,6 +529,14 @@ impl Shell {
             cache_stats.evictions,
         )
         .unwrap();
+        match materialized {
+            Some((rows, preds, repairs)) => writeln!(
+                out,
+                "materialization: on | {rows} IDB tuple(s), {preds} predicate(s), {repairs} repair(s)"
+            )
+            .unwrap(),
+            None => writeln!(out, "materialization: off").unwrap(),
+        }
         if chainsplit_provenance::is_enabled() {
             writeln!(
                 out,
@@ -727,6 +826,83 @@ mod tests {
         assert!(s.contains("access path(s): [0]"), "{s}");
         assert!(s.contains("cache: on | 1 entries"), "{s}");
         assert!(s.contains("misses 1"), "{s}");
+    }
+
+    #[test]
+    fn retract_removes_a_fact_in_place() {
+        let mut sh = Shell::new();
+        sh.process("edge(a, b). edge(b, c).");
+        sh.process("path(X, Y) :- edge(X, Y).");
+        sh.process("path(X, Y) :- edge(X, Z), path(Z, Y).");
+        let before = sh.process("?- path(a, Y).").0;
+        assert!(before.contains("2 answer(s)."), "{before}");
+        let out = sh.process(":retract edge(b, c).").0;
+        assert_eq!(out, "retracted edge(b, c).");
+        let after = sh.process("?- path(a, Y).").0;
+        assert!(after.contains("1 answer(s)."), "{after}");
+        // Retracting it again is a no-op with an honest message.
+        let again = sh.process(":retract edge(b, c).").0;
+        assert!(again.starts_with("nothing to retract:"), "{again}");
+        assert!(sh.process(":retract").0.starts_with("usage:"));
+        assert!(sh.process(":retract edge(").0.starts_with("error:"));
+    }
+
+    #[test]
+    fn retract_of_an_exit_rule_fact_recompiles() {
+        let mut sh = Shell::new();
+        sh.process("e(1).");
+        sh.process("p(X) :- e(X).");
+        sh.process("p(9).");
+        let out = sh.process(":retract p(9).").0;
+        assert!(out.contains("recompiled"), "{out}");
+        assert_eq!(sh.process("?- p(9).").0, "no.");
+    }
+
+    #[test]
+    fn materialize_builds_repairs_and_drops() {
+        let mut sh = Shell::new();
+        sh.process("edge(a, b). edge(b, c). edge(c, d).");
+        sh.process("path(X, Y) :- edge(X, Y).");
+        sh.process("path(X, Y) :- edge(X, Z), path(Z, Y).");
+        let built = sh.process(":materialize").0;
+        assert_eq!(built, "materialized: 6 IDB tuple(s) over 1 predicate(s).");
+        // A retraction repairs the materialization incrementally …
+        let out = sh.process(":retract edge(b, c).").0;
+        assert!(out.contains("[repair:"), "{out}");
+        let answers = sh.process("?- path(a, Y).").0;
+        assert!(answers.contains("1 answer(s)."), "{answers}");
+        let status = sh.process(":materialize status").0;
+        assert!(status.contains("yes"), "{status}");
+        assert!(status.contains("1 repair(s)"), "{status}");
+        // … and :materialize off drops it without touching answers.
+        assert_eq!(sh.process(":materialize off").0, "materialization dropped.");
+        assert_eq!(sh.process(":materialize status").0, "materialized: no");
+        assert!(sh.process(":materialize sideways").0.starts_with("usage:"));
+    }
+
+    #[test]
+    fn goal_directed_programs_report_unmaterializable() {
+        let mut sh = Shell::new();
+        sh.process("append([], L, L).");
+        sh.process("append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).");
+        let out = sh.process(":materialize").0;
+        assert!(out.starts_with("cannot materialize:"), "{out}");
+        assert_eq!(sh.process(":materialize status").0, "materialized: no");
+    }
+
+    #[test]
+    fn stats_reports_edb_epochs_and_materialization() {
+        let mut sh = Shell::new();
+        sh.process("e(1, 2). e(2, 3).");
+        sh.process("t(X, Y) :- e(X, Y).");
+        let s = sh.process(":stats").0;
+        assert!(s.contains("e/2: 2 tuples, epoch 0"), "{s}");
+        assert!(s.contains("materialization: off"), "{s}");
+        sh.process(":retract e(2, 3).");
+        sh.process(":materialize");
+        let s = sh.process(":stats").0;
+        assert!(s.contains("e/2: 1 tuples, epoch 1"), "{s}");
+        assert!(s.contains("materialization: on | 1 IDB tuple(s)"), "{s}");
     }
 
     #[test]

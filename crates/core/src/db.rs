@@ -11,9 +11,9 @@ use crate::partial::eval_partial;
 use crate::solver::{SolveOptions, Solver};
 use crate::system::System;
 use chainsplit_engine::{
-    duration_ms, naive_eval, seminaive_eval, tabled_query, topdown_query, unify_filter,
-    BottomUpOptions, Counters, EvalError, EvalMetrics, PhaseTimings, RoundMetrics, TabledOptions,
-    TopDownOptions,
+    dred, duration_ms, naive_eval, seminaive_eval, tabled_query, topdown_query, unify_filter,
+    BottomUpOptions, Counters, EvalError, EvalMetrics, PhaseTimings, RepairOutcome, RoundMetrics,
+    TabledOptions, TopDownOptions,
 };
 use chainsplit_governor::{Budget, BudgetTrip, CancelToken, Governor};
 use chainsplit_logic::{parse_program, parse_rule, Atom, ParseError, Program, Subst, Term, Var};
@@ -120,6 +120,25 @@ impl QueryOutcome {
     }
 }
 
+/// What [`DeductiveDb::retract_fact`] did.
+#[derive(Clone, Debug, Default)]
+pub struct RetractOutcome {
+    /// Whether any matching clause was removed. `false` means the
+    /// retraction was a no-op: no epoch moved and cached answers keep
+    /// hitting.
+    pub removed: bool,
+    /// `true` when the retraction was a rule-program change (an exit-rule
+    /// fact of an intensional predicate, or a non-ground clause) and the
+    /// compiled system was dropped for recompilation.
+    pub recompiled: bool,
+    /// The incremental DRed repair report, when a materialization was
+    /// live and the repair ran to completion or tripped.
+    pub repair: Option<RepairOutcome>,
+    /// Recorded witnesses evicted because their proof closure touched the
+    /// retracted fact (0 when provenance recording is off).
+    pub witnesses_evicted: usize,
+}
+
 /// Errors surfaced by the facade.
 #[derive(Debug)]
 pub enum DbError {
@@ -192,6 +211,10 @@ pub struct DeductiveDb {
     /// The resource governor shared by every evaluator this db runs:
     /// deadlines, round/tuple/byte budgets, and cooperative cancellation.
     governor: Governor,
+    /// The maintained IDB fixpoint plus support counts (DESIGN.md §13).
+    /// `None` until [`materialize`](Self::materialize); dropped on any
+    /// rule-program change or mid-repair budget trip.
+    materialization: Option<dred::Materialization>,
 }
 
 impl Default for DeductiveDb {
@@ -216,6 +239,7 @@ impl DeductiveDb {
             tabled_options: TabledOptions::default(),
             cost_model: CostModel::default(),
             governor: Governor::new(),
+            materialization: None,
         }
     }
 
@@ -305,6 +329,119 @@ impl DeductiveDb {
         }
     }
 
+    /// Retracts a fact. The fast path — a ground fact of an extensional
+    /// predicate — removes it from the EDB in place: the compiled system
+    /// survives, only the predicate's EDB epoch moves (so the answer
+    /// cache invalidates exactly the dependency-reachable entries), any
+    /// recorded witnesses whose proofs touched the fact are evicted, and
+    /// a maintained materialization is repaired incrementally via
+    /// Delete-and-Rederive (DESIGN.md §13).
+    ///
+    /// Retracting an absent fact is a no-op: nothing moves, and cached
+    /// answers keep hitting. A fact of an intensional predicate (an exit
+    /// rule) or a non-ground "fact" is a rule-program change: the
+    /// matching clauses are removed and the system recompiles.
+    pub fn retract_fact(&mut self, fact: &Atom) -> Result<RetractOutcome, DbError> {
+        let mut outcome = RetractOutcome::default();
+        if !fact.is_ground() || self.is_idb_pred(fact.pred) {
+            // Rule path: drop every syntactically matching fact clause.
+            let before = self.source.rules.len();
+            self.source
+                .rules
+                .retain(|r| !(r.is_fact() && r.head == *fact));
+            if self.source.rules.len() == before {
+                return Ok(outcome);
+            }
+            self.invalidate_program();
+            outcome.removed = true;
+            outcome.recompiled = true;
+            return Ok(outcome);
+        }
+        // EDB path. Presence check first: retracting an absent fact must
+        // not bump the epoch (cached answers stay valid and keep hitting).
+        let before = self.source.rules.len();
+        self.source
+            .rules
+            .retain(|r| !(r.is_fact() && r.head == *fact));
+        if self.source.rules.len() == before {
+            return Ok(outcome);
+        }
+        outcome.removed = true;
+        if let Some(sys) = &mut self.system {
+            sys.edb.remove_fact(fact);
+        }
+        *self.edb_epochs.entry(fact.pred).or_insert(0) += 1;
+        if chainsplit_provenance::is_enabled() {
+            outcome.witnesses_evicted = chainsplit_provenance::evict_dependents(fact);
+        }
+        if self.materialization.is_some() {
+            outcome.repair = self.repair_materialization(fact, dred::retract);
+        }
+        Ok(outcome)
+    }
+
+    /// Builds (or rebuilds) the maintained materialization: the full IDB
+    /// fixpoint over the compiled rules plus exact support counts, kept
+    /// incrementally consistent across [`add_fact`](Self::add_fact) and
+    /// [`retract_fact`](Self::retract_fact) until the next rule-program
+    /// change. Returns `false` when the program is not bottom-up
+    /// evaluable (e.g. functional recursions) or a budget tripped the
+    /// build — the db then simply stays unmaterialized.
+    pub fn materialize(&mut self) -> Result<bool, DbError> {
+        self.materialization = None;
+        self.governor.begin_query();
+        let opts = BottomUpOptions {
+            governor: self.governor.clone(),
+            ..self.bottom_up_options.clone()
+        };
+        let sys = self.system();
+        let rules = sys.rectified.rules.clone();
+        let edb = sys.edb.clone();
+        match dred::materialize(&rules, &edb, &opts) {
+            Ok(out) => {
+                self.materialization = out.materialization;
+                Ok(self.materialization.is_some())
+            }
+            Err(EvalError::NotEvaluable { .. }) | Err(EvalError::Unsupported { .. }) => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Whether a maintained materialization is currently live.
+    pub fn is_materialized(&self) -> bool {
+        self.materialization.is_some()
+    }
+
+    /// Drops the maintained materialization (`:materialize off`). Queries
+    /// are unaffected — the materialization is an acceleration, never the
+    /// source of truth.
+    pub fn dematerialize(&mut self) {
+        self.materialization = None;
+    }
+
+    /// The maintained materialization, for inspection (`:materialize`).
+    pub fn materialization(&self) -> Option<&dred::Materialization> {
+        self.materialization.as_ref()
+    }
+
+    /// The canonical digest of the maintained IDB state — sorted
+    /// `pred(tuple)#support` lines. The differential oracle compares this
+    /// against a from-scratch rebuild after every mutation.
+    pub fn materialization_digest(&self) -> Option<Vec<String>> {
+        self.materialization.as_ref().map(|m| m.digest())
+    }
+
+    /// The EDB mutation epoch of one predicate (0: never mutated since
+    /// the last recompile).
+    pub fn edb_epoch(&self, pred: chainsplit_logic::Pred) -> u64 {
+        self.edb_epochs.get(&pred).copied().unwrap_or(0)
+    }
+
+    /// Every predicate with a non-zero EDB mutation epoch (`:stats`).
+    pub fn edb_epochs(&self) -> &std::collections::HashMap<chainsplit_logic::Pred, u64> {
+        &self.edb_epochs
+    }
+
     /// Is `pred` intensional under the current program? Mirrors
     /// [`Program::split_facts`]: any non-(ground-fact) clause with this
     /// head predicate makes it IDB, so a new fact for it would be an exit
@@ -322,7 +459,8 @@ impl DeductiveDb {
 
     /// EDB fact ingestion: append to the source (so `dump` and the
     /// source-driven strategies see it), patch the compiled EDB in place
-    /// if a system exists, and bump the predicate's EDB epoch.
+    /// if a system exists, bump the predicate's EDB epoch, and repair the
+    /// materialization incrementally when one is maintained.
     fn ingest_fact(&mut self, fact: Atom) {
         if let Some(sys) = &mut self.system {
             sys.edb.add_fact(&fact);
@@ -331,14 +469,51 @@ impl DeductiveDb {
             }
         }
         *self.edb_epochs.entry(fact.pred).or_insert(0) += 1;
+        if self.materialization.is_some() {
+            self.repair_materialization(&fact, dred::assert_fact);
+        }
         self.source.rules.push(chainsplit_logic::Rule::fact(fact));
     }
 
-    /// A rule-program change: drop the compiled system, bump the program
-    /// epoch (every cached answer's key goes unreachable) and purge the
-    /// now-dead cache entries.
+    /// Runs one incremental DRed repair (insert or retract) against the
+    /// maintained materialization. A budget trip or evaluation error
+    /// leaves the live state inconsistent, so the materialization is
+    /// dropped — always safe, it is a maintained acceleration, not truth.
+    fn repair_materialization(
+        &mut self,
+        fact: &Atom,
+        step: impl Fn(
+            &mut dred::Materialization,
+            &Atom,
+            &BottomUpOptions,
+        ) -> Result<RepairOutcome, EvalError>,
+    ) -> Option<RepairOutcome> {
+        self.governor.begin_query();
+        let opts = BottomUpOptions {
+            governor: self.governor.clone(),
+            ..self.bottom_up_options.clone()
+        };
+        let m = self.materialization.as_mut()?;
+        match step(m, fact, &opts) {
+            Ok(outcome) => {
+                if outcome.trip.is_some() {
+                    self.materialization = None;
+                }
+                Some(outcome)
+            }
+            Err(_) => {
+                self.materialization = None;
+                None
+            }
+        }
+    }
+
+    /// A rule-program change: drop the compiled system and the maintained
+    /// materialization, bump the program epoch (every cached answer's key
+    /// goes unreachable) and purge the now-dead cache entries.
     fn invalidate_program(&mut self) {
         self.system = None;
+        self.materialization = None;
         self.program_epoch += 1;
         self.edb_epochs.clear();
         self.cache.clear();
@@ -1285,6 +1460,83 @@ mod mutation_path_tests {
     }
 
     #[test]
+    fn fact_retracts_keep_the_compiled_system() {
+        let mut db = DeductiveDb::new();
+        db.load("p(X) :- e(X). e(1). e(2).").unwrap();
+        assert_eq!(db.query("p(X)").unwrap().len(), 2);
+        let seq = db.system().build_seq;
+        let out = db
+            .retract_fact(&chainsplit_logic::parse_query("e(2)").unwrap())
+            .unwrap();
+        assert!(out.removed);
+        assert!(!out.recompiled);
+        assert_eq!(
+            db.system().build_seq,
+            seq,
+            "EDB fact retracts must not recompile"
+        );
+        assert_eq!(db.query("p(X)").unwrap().len(), 1);
+        assert_eq!(db.edb_epoch(chainsplit_logic::Pred::new("e", 1)), 1);
+        // Retracting an absent fact is a no-op: no epoch movement.
+        let noop = db
+            .retract_fact(&chainsplit_logic::parse_query("e(9)").unwrap())
+            .unwrap();
+        assert!(!noop.removed);
+        assert_eq!(db.edb_epoch(chainsplit_logic::Pred::new("e", 1)), 1);
+    }
+
+    #[test]
+    fn idb_exit_rule_retract_recompiles() {
+        let mut db = DeductiveDb::new();
+        db.load("p(X) :- e(X). e(1). p(9).").unwrap();
+        assert_eq!(db.query("p(X)").unwrap().len(), 2);
+        let seq = db.system().build_seq;
+        // `p` is intensional: retracting its exit rule changes the program.
+        let out = db
+            .retract_fact(&chainsplit_logic::parse_query("p(9)").unwrap())
+            .unwrap();
+        assert!(out.removed);
+        assert!(out.recompiled);
+        assert_ne!(db.system().build_seq, seq);
+        assert_eq!(db.query("p(X)").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dump_drops_retracted_facts() {
+        let mut db = DeductiveDb::new();
+        db.load("p(X) :- e(X).").unwrap();
+        db.add_fact(chainsplit_logic::parse_query("e(42)").unwrap());
+        assert!(db.dump().contains("e(42)"));
+        db.retract_fact(&chainsplit_logic::parse_query("e(42)").unwrap())
+            .unwrap();
+        assert!(!db.dump().contains("e(42)"));
+        assert!(db.query("p(X)").unwrap().is_empty());
+    }
+
+    #[test]
+    fn retract_evicts_recorded_witnesses() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "edge(a, b). edge(b, c).
+             path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        let _g = chainsplit_provenance::exclusive();
+        chainsplit_provenance::clear();
+        chainsplit_provenance::enable();
+        db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
+        let before = chainsplit_provenance::witness_count();
+        let out = db
+            .retract_fact(&chainsplit_logic::parse_query("edge(b, c)").unwrap())
+            .unwrap();
+        assert!(out.witnesses_evicted > 0, "{out:?}");
+        assert!(chainsplit_provenance::witness_count() < before);
+        chainsplit_provenance::disable();
+        chainsplit_provenance::clear();
+    }
+
+    #[test]
     fn dump_still_contains_ingested_facts() {
         let mut db = DeductiveDb::new();
         db.load("p(X) :- e(X).").unwrap();
@@ -1395,6 +1647,71 @@ mod cache_tests {
     }
 
     #[test]
+    fn fact_retract_invalidates_supporting_entries_only() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "ea(1). ea(2). eb(9).
+             pa(X) :- ea(X).
+             pb(X) :- eb(X).",
+        )
+        .unwrap();
+        db.set_cache_enabled(true);
+        db.query("pa(X)").unwrap();
+        db.query("pb(X)").unwrap();
+        // `ea` supports only `pa`: the `pb` entry must survive the retract.
+        db.retract_fact(&chainsplit_logic::parse_query("ea(2)").unwrap())
+            .unwrap();
+        let pb = db.query_with("pb(X)", Strategy::Auto).unwrap();
+        assert!(pb.cached, "unrelated retraction must preserve the hit");
+        let pa = db.query_with("pa(X)", Strategy::Auto).unwrap();
+        assert!(!pa.cached, "supporting retraction must invalidate");
+        assert_eq!(pa.answers.len(), 1);
+        assert_eq!(db.cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn noop_retract_preserves_cache_hits() {
+        let mut db = DeductiveDb::new();
+        db.load("ea(1). pa(X) :- ea(X).").unwrap();
+        db.set_cache_enabled(true);
+        db.query("pa(X)").unwrap();
+        // The fact is absent: nothing moves, the entry stays valid.
+        let noop = db
+            .retract_fact(&chainsplit_logic::parse_query("ea(7)").unwrap())
+            .unwrap();
+        assert!(!noop.removed);
+        assert!(db.query_with("pa(X)", Strategy::Auto).unwrap().cached);
+        assert_eq!(db.cache_stats().invalidations, 0);
+    }
+
+    #[test]
+    fn cached_why_after_retract_is_an_honest_miss() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "edge(a, b). edge(b, c).
+             path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        db.set_cache_enabled(true);
+        let cold = db.explain_answer("path(a, Y)").unwrap();
+        assert!(!cold.cached);
+        assert_eq!(cold.answers.len(), 2);
+        let warm = db.explain_answer("path(a, Y)").unwrap();
+        assert!(warm.cached, "identical :why must replay from the cache");
+        db.retract_fact(&chainsplit_logic::parse_query("edge(b, c)").unwrap())
+            .unwrap();
+        let after = db.explain_answer("path(a, Y)").unwrap();
+        assert!(!after.cached, "retraction must force a fresh evaluation");
+        assert_eq!(after.answers.len(), 1);
+        let rendered = after.render();
+        assert!(
+            !rendered.contains("edge(b, c)"),
+            "no stale proof may cite the retracted fact: {rendered}"
+        );
+    }
+
+    #[test]
     fn direct_edb_queries_invalidate_on_their_own_predicate() {
         let mut db = DeductiveDb::new();
         db.load("e(1). p(X) :- e(X).").unwrap();
@@ -1491,6 +1808,97 @@ mod cache_tests {
         assert!(m.strategy.contains("[cached]"), "{}", m.strategy);
         assert_eq!(m.totals.probed, 0);
         assert_eq!(m.answers, 1);
+    }
+}
+
+#[cfg(test)]
+mod materialize_tests {
+    use super::*;
+
+    const TC: &str = "edge(a, b). edge(b, c). edge(c, a). edge(c, d).
+         path(X, Y) :- edge(X, Y).
+         path(X, Y) :- edge(X, Z), path(Z, Y).";
+
+    fn fact(src: &str) -> Atom {
+        chainsplit_logic::parse_query(src).unwrap()
+    }
+
+    #[test]
+    fn materialize_then_retract_matches_a_rebuild() {
+        let mut db = DeductiveDb::new();
+        db.load(TC).unwrap();
+        assert!(db.materialize().unwrap());
+        let out = db.retract_fact(&fact("edge(c, a)")).unwrap();
+        assert!(out.removed);
+        let repair = out.repair.expect("materialized db must repair");
+        assert!(repair.changed);
+        assert!(repair.deleted > 0, "{repair:?}");
+        assert!(db.is_materialized());
+        // The repaired state is bit-identical to a from-scratch rebuild
+        // over the post-retraction program.
+        let mut fresh = DeductiveDb::new();
+        fresh.load(&db.dump()).unwrap();
+        assert!(fresh.materialize().unwrap());
+        assert_eq!(db.materialization_digest(), fresh.materialization_digest());
+        assert_eq!(db.query("path(a, Y)").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn materialize_then_insert_repairs_incrementally() {
+        let mut db = DeductiveDb::new();
+        db.load(TC).unwrap();
+        assert!(db.materialize().unwrap());
+        db.add_fact(fact("edge(d, e)"));
+        assert!(db.is_materialized(), "an insert repairs, not drops");
+        assert_eq!(db.materialization().unwrap().repairs(), 1);
+        let mut fresh = DeductiveDb::new();
+        fresh.load(&db.dump()).unwrap();
+        assert!(fresh.materialize().unwrap());
+        assert_eq!(db.materialization_digest(), fresh.materialization_digest());
+    }
+
+    #[test]
+    fn rule_changes_drop_the_materialization() {
+        let mut db = DeductiveDb::new();
+        db.load(TC).unwrap();
+        assert!(db.materialize().unwrap());
+        db.load_rule("reach(X) :- path(a, X).").unwrap();
+        assert!(!db.is_materialized());
+    }
+
+    #[test]
+    fn goal_directed_programs_decline_to_materialize() {
+        let mut db = DeductiveDb::new();
+        db.load(
+            "append([], L, L).
+             append([X | L1], L2, [X | L3]) :- append(L1, L2, L3).",
+        )
+        .unwrap();
+        // Functional recursion: not bottom-up evaluable, no materialization
+        // — and no error either, the db just stays unmaterialized.
+        assert!(!db.materialize().unwrap());
+        assert!(!db.is_materialized());
+        assert_eq!(db.query("append(U, V, [1, 2, 3])").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn budget_trip_mid_repair_drops_the_materialization() {
+        let mut db = DeductiveDb::new();
+        db.load(TC).unwrap();
+        assert!(db.materialize().unwrap());
+        db.set_budget(Budget {
+            max_rounds: Some(1),
+            ..Budget::default()
+        });
+        let out = db.retract_fact(&fact("edge(a, b)")).unwrap();
+        assert!(out.removed);
+        assert!(
+            !db.is_materialized(),
+            "a tripped repair leaves no consistent state to keep: {out:?}"
+        );
+        // The db itself stays correct: queries recompute from the EDB.
+        db.set_budget(Budget::default());
+        assert_eq!(db.query("path(b, Y)").unwrap().len(), 3);
     }
 }
 

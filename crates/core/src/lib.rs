@@ -29,9 +29,9 @@ pub mod system;
 
 pub use buffered::{eval_buffered, CountGuard, Pruner, SumGuard};
 pub use cache::{AnswerCache, CacheKey, CacheStats};
-pub use chainsplit_engine::{Counters, EvalMetrics, PhaseTimings, RoundMetrics};
+pub use chainsplit_engine::{Counters, EvalMetrics, PhaseTimings, RepairOutcome, RoundMetrics};
 pub use cost::CostModel;
-pub use db::{Answer, DbError, DeductiveDb, ProofReport, QueryOutcome, Strategy};
+pub use db::{Answer, DbError, DeductiveDb, ProofReport, QueryOutcome, RetractOutcome, Strategy};
 pub use efficiency::chain_split_magic;
 pub use partial::{eval_partial, push_constraints, PushedQuery};
 pub use solver::{runtime_adornment, SolveOptions, Solver};

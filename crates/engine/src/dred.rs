@@ -1,0 +1,1182 @@
+//! Incremental retraction: counting + Delete-and-Rederive (DRed).
+//!
+//! The bottom-up evaluators are query-at-a-time — nothing persists between
+//! queries — so incremental *deletion* needs a state holder of its own. A
+//! [`Materialization`] owns a `live` database (the EDB plus every derived
+//! tuple at fixpoint) and, per derived predicate, a
+//! [`SupportCounts`] map giving each
+//! tuple its number of distinct rule instantiations. Retracting an EDB
+//! fact then repairs `live` in place instead of recomputing the fixpoint:
+//!
+//! 1. **Over-delete.** Starting from Δ₀ = {the retracted tuple}, run the
+//!    semi-naive loop *backwards*: each round enumerates exactly the rule
+//!    instantiations destroyed by this round's deletions and decrements
+//!    the support count of each affected head. A head tuple is deleted
+//!    (joining the next delta) when its predicate is recursive — a
+//!    positive count may be sustained by a derivation cycle, so counting
+//!    cannot be trusted — or when its count reaches zero (the counting
+//!    short-circuit, exact for non-recursive predicates).
+//! 2. **Re-derive.** Over-deleted tuples that still have support from the
+//!    surviving state are re-inserted, again to fixpoint: one targeted
+//!    pass that seeds each candidate's rule bodies with the head-match
+//!    substitution (indexed probes, not a full join), then semi-naive
+//!    propagation of the re-insertions.
+//! 3. **Recount.** Only when step 2 re-derived something: a decrement is
+//!    wrong exactly when the lost instantiation's supporting tuple came
+//!    back, so with nothing re-derived the counts are already exact.
+//!    Otherwise, support counts for every predicate that lost a
+//!    derivation are recomputed over the repaired state.
+//!
+//! The destroyed instantiations of step 1 are enumerated **exactly once**
+//! by the classic delta split: for the delta occurrence at body position
+//! `dpos`, positions `< dpos` read the *new* state (this round's delta
+//! already removed) and positions `> dpos` read the *old* state (delta
+//! still present), so an instantiation with several deleted tuples is
+//! charged to its earliest delta position only. Insertion maintenance
+//! ([`assert_fact`]) is the mirror image with the sides swapped.
+//!
+//! Every parallel phase reuses the frontier executor discipline of
+//! `seminaive`: deltas are split into [`DELTA_PARTITIONS`] fixed hash
+//! partitions by join-key columns, units run on the shared pool, and
+//! results merge in unit order — so repair work counters are bit-identical
+//! at any thread count. The governor is observed at round boundaries and
+//! probe batches; on a budget trip the repair *drains*: the outcome
+//! reports the trip and the caller must discard the materialization
+//! (mid-repair state is not a consistent fixpoint).
+
+use crate::error::{Counters, EvalError};
+use crate::eval::{eval_body, AtomSource};
+use crate::naive::BottomUpOptions;
+use crate::seminaive::{join_key_cols, seminaive_eval, DELTA_PARTITIONS};
+use chainsplit_governor::{BudgetTrip, Governor};
+use chainsplit_logic::{unify_atoms, Atom, Pred, Rule, Subst};
+use chainsplit_par::Pool;
+use chainsplit_relation::{Database, FxHashSet, Relation, SupportCounts, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Materialized fixpoint state that can absorb insertions and retractions
+/// incrementally. Built by [`materialize`]; repaired by [`assert_fact`]
+/// and [`retract`].
+pub struct Materialization {
+    rules: Vec<Rule>,
+    /// Head predicates, sorted — the derived (IDB) part of `live`.
+    idb_preds: Vec<Pred>,
+    /// Predicates on a dependency cycle: counting is advisory for these.
+    recursive: FxHashSet<Pred>,
+    /// EDB ∪ IDB at fixpoint. EDB and IDB predicates are disjoint (the
+    /// compiler's `split_facts` guarantees it), so one catalog holds both.
+    live: Database,
+    /// Per derived predicate: tuple → number of rule instantiations.
+    support: BTreeMap<Pred, SupportCounts>,
+    /// How many incremental repairs (asserts + retracts) this state has
+    /// absorbed since it was built.
+    repairs: u64,
+}
+
+impl Materialization {
+    /// The live database: EDB plus all derived tuples.
+    pub fn live(&self) -> &Database {
+        &self.live
+    }
+
+    /// Sorted head predicates.
+    pub fn idb_preds(&self) -> &[Pred] {
+        &self.idb_preds
+    }
+
+    /// Total derived tuples currently live.
+    pub fn idb_rows(&self) -> usize {
+        self.idb_preds
+            .iter()
+            .filter_map(|&p| self.live.relation(p))
+            .map(Relation::len)
+            .sum()
+    }
+
+    /// Whether `p` sits on a rule dependency cycle.
+    pub fn is_recursive(&self, p: Pred) -> bool {
+        self.recursive.contains(&p)
+    }
+
+    /// The support count for a derived tuple (zero when not derived).
+    pub fn support_of(&self, p: Pred, t: &Tuple) -> u64 {
+        self.support.get(&p).map_or(0, |s| s.get(t))
+    }
+
+    /// Incremental repairs absorbed since the state was built.
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// A canonical, sorted fingerprint of the derived state: one
+    /// `pred(tuple)#count` line per live derived tuple. Two
+    /// materializations of the same program state — one repaired
+    /// incrementally, one rebuilt from scratch — must digest identically;
+    /// this is what the retract-consistency oracle compares.
+    pub fn digest(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for &p in &self.idb_preds {
+            if let Some(rel) = self.live.relation(p) {
+                for t in rel.iter() {
+                    let c = self.support.get(&p).map_or(0, |s| s.get(t));
+                    out.push(format!("{p}{t}#{c}"));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// The result of [`materialize`]: the state (when the build completed),
+/// plus the work counters and any budget trip that drained it.
+pub struct MaterializeOutcome {
+    /// `None` when the build tripped a budget (partial fixpoints cannot be
+    /// repaired incrementally) — the trip says why.
+    pub materialization: Option<Materialization>,
+    pub counters: Counters,
+    pub trip: Option<BudgetTrip>,
+}
+
+/// What one incremental repair did.
+#[derive(Clone, Debug, Default)]
+pub struct RepairOutcome {
+    /// Whether the mutation changed the EDB at all (`false`: retracting an
+    /// absent fact / asserting a duplicate — both no-ops).
+    pub changed: bool,
+    /// Work counters across all repair phases; bit-identical at any
+    /// thread count.
+    pub counters: Counters,
+    /// Parallel over-delete rounds (retract only).
+    pub delete_rounds: usize,
+    /// Re-derivation rounds: the full pass plus semi-naive propagation.
+    pub rederive_rounds: usize,
+    /// Derived tuples over-deleted (some may have been re-derived).
+    pub deleted: usize,
+    /// Over-deleted tuples found to still have support and re-inserted.
+    pub rederived: usize,
+    /// `Some` when a governor budget tripped mid-repair. The live state
+    /// is then **not** a consistent fixpoint: the caller must drop the
+    /// materialization (drain-to-partial, same contract as a tripped
+    /// query materializing a partial IDB).
+    pub trip: Option<BudgetTrip>,
+}
+
+/// Builds a [`Materialization`]: semi-naive fixpoint, then one exact
+/// support-counting pass enumerating every rule instantiation over the
+/// fixpoint. Programs the bottom-up engine cannot evaluate (non-range-
+/// restricted heads, unbound builtins) surface the usual [`EvalError`].
+pub fn materialize(
+    rules: &[Rule],
+    edb: &Database,
+    opts: &BottomUpOptions,
+) -> Result<MaterializeOutcome, EvalError> {
+    let result = seminaive_eval(rules, edb, opts.clone())?;
+    let mut counters = result.counters;
+    if let Some(trip) = result.trip {
+        return Ok(MaterializeOutcome {
+            materialization: None,
+            counters,
+            trip: Some(trip),
+        });
+    }
+    let mut live = edb.clone();
+    live.merge(&result.idb);
+    // Catalog every predicate any rule mentions, so repair rounds can
+    // always borrow a (possibly empty) relation for a body atom.
+    for rule in rules {
+        live.relation_mut(rule.head.pred);
+        for a in &rule.body {
+            if !crate::builtins::is_builtin_atom(a) {
+                live.relation_mut(a.pred);
+            }
+        }
+    }
+    let idb_preds: Vec<Pred> = {
+        let mut v: Vec<Pred> = rules.iter().map(|r| r.head.pred).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let mut support: BTreeMap<Pred, SupportCounts> = idb_preds
+        .iter()
+        .map(|&p| (p, SupportCounts::new()))
+        .collect();
+    let gov = &opts.governor;
+    for rule in rules {
+        let tagged: Vec<(&Atom, AtomSource)> =
+            rule.body.iter().map(|a| (a, AtomSource::Auto)).collect();
+        let lookup = |p: Pred| live.relation(p);
+        let sols = match eval_body(&tagged, Subst::new(), &lookup, &mut counters, gov) {
+            Ok(sols) => sols,
+            Err(e) => match e.budget_trip() {
+                Some(trip) => {
+                    return Ok(MaterializeOutcome {
+                        materialization: None,
+                        counters,
+                        trip: Some(trip),
+                    })
+                }
+                None => return Err(e),
+            },
+        };
+        for s in sols {
+            let head = s.resolve_atom(&rule.head);
+            if !head.is_ground() {
+                return Err(EvalError::NotEvaluable {
+                    atom: head.to_string(),
+                });
+            }
+            support
+                .get_mut(&head.pred)
+                .expect("head pred is cataloged")
+                .inc(&Tuple::new(head.args));
+        }
+    }
+    Ok(MaterializeOutcome {
+        materialization: Some(Materialization {
+            rules: rules.to_vec(),
+            idb_preds,
+            recursive: recursive_preds(rules),
+            live,
+            support,
+            repairs: 0,
+        }),
+        counters,
+        trip: None,
+    })
+}
+
+/// Head predicates reachable from themselves through rule bodies.
+fn recursive_preds(rules: &[Rule]) -> FxHashSet<Pred> {
+    let heads: BTreeSet<Pred> = rules.iter().map(|r| r.head.pred).collect();
+    let mut adj: BTreeMap<Pred, BTreeSet<Pred>> = BTreeMap::new();
+    for r in rules {
+        for a in &r.body {
+            if heads.contains(&a.pred) {
+                adj.entry(r.head.pred).or_default().insert(a.pred);
+            }
+        }
+    }
+    let mut out = FxHashSet::default();
+    for &p in &heads {
+        let mut stack: Vec<Pred> = adj.get(&p).into_iter().flatten().copied().collect();
+        let mut seen: BTreeSet<Pred> = stack.iter().copied().collect();
+        let mut found = seen.contains(&p);
+        while let Some(q) = stack.pop() {
+            if q == p {
+                found = true;
+                break;
+            }
+            for &succ in adj.get(&q).into_iter().flatten() {
+                if seen.insert(succ) {
+                    stack.push(succ);
+                }
+            }
+        }
+        if found {
+            out.insert(p);
+        }
+    }
+    out
+}
+
+/// Runs one parallel delta round: one unit per (rule, non-builtin delta
+/// occurrence, non-empty hash partition), merged in unit order.
+///
+/// Side discipline (the exactly-once split): position `dpos` reads its
+/// partition of the delta; of the remaining positions, one side reads the
+/// state *without* the delta and the other the state *with* it. `overlay`
+/// holds the with/without variant for the delta predicates (all other
+/// predicates read `live` either way); `overlay_on_gt` says which side the
+/// overlay serves — `true` for retraction (delta already removed from
+/// `live`, so `> dpos` needs the overlay that still has it), `false` for
+/// insertion (delta already in `live`, so `< dpos` needs the overlay
+/// without it). Re-derivation passes an empty overlay: there both sides
+/// deliberately read `live`, trading duplicate enumeration (harmless — the
+/// candidate set dedups) for not cloning relations.
+///
+/// `head_filter` restricts units to rules whose head predicate has
+/// pending candidates (re-derivation only).
+///
+/// Returns the derived/destroyed head tuples in unit order, or the budget
+/// trip that drained the round (its partial yield is discarded).
+#[allow(clippy::too_many_arguments)]
+fn run_units(
+    pool: &Pool,
+    rules: &[Rule],
+    delta: &BTreeMap<Pred, Relation>,
+    live: &Database,
+    overlay: &BTreeMap<Pred, Relation>,
+    overlay_on_gt: bool,
+    head_filter: Option<&BTreeMap<Pred, FxHashSet<Tuple>>>,
+    gov: &Governor,
+    counters: &mut Counters,
+) -> Result<(UnitResults, Option<BudgetTrip>), EvalError> {
+    let mut units: Vec<(usize, usize, Relation)> = Vec::new();
+    for (ri, rule) in rules.iter().enumerate() {
+        if let Some(filter) = head_filter {
+            if filter
+                .get(&rule.head.pred)
+                .is_none_or(|pending| pending.is_empty())
+            {
+                continue;
+            }
+        }
+        for (dpos, a) in rule.body.iter().enumerate() {
+            if crate::builtins::is_builtin_atom(a) {
+                continue;
+            }
+            let Some(d) = delta.get(&a.pred) else {
+                continue;
+            };
+            if d.is_empty() {
+                continue;
+            }
+            let cols = join_key_cols(rule, dpos);
+            for part in d.partition_by_hash(DELTA_PARTITIONS, &cols) {
+                if !part.is_empty() {
+                    units.push((ri, dpos, part));
+                }
+            }
+        }
+    }
+    let tasks: Vec<_> = units
+        .iter()
+        .map(|(ri, dpos, part)| {
+            let rule = &rules[*ri];
+            move || -> Result<(Vec<(Pred, Tuple)>, Counters), EvalError> {
+                let mut c = Counters::default();
+                let mut out: Vec<(Pred, Tuple)> = Vec::new();
+                let mut tagged: Vec<(&Atom, AtomSource)> = Vec::new();
+                tagged.push((&rule.body[*dpos], AtomSource::Fixed(part)));
+                for (i, a) in rule.body.iter().enumerate() {
+                    if i == *dpos {
+                        continue;
+                    }
+                    if crate::builtins::is_builtin_atom(a) {
+                        tagged.push((a, AtomSource::Auto));
+                        continue;
+                    }
+                    let wants_overlay = if overlay_on_gt { i > *dpos } else { i < *dpos };
+                    let rel = if wants_overlay {
+                        overlay.get(&a.pred).or_else(|| live.relation(a.pred))
+                    } else {
+                        live.relation(a.pred)
+                    };
+                    match rel {
+                        Some(r) => tagged.push((a, AtomSource::Fixed(r))),
+                        // An uncataloged predicate has no tuples: the unit
+                        // cannot match anything.
+                        None => return Ok((out, c)),
+                    }
+                }
+                let lookup = |p: Pred| live.relation(p);
+                for s in eval_body(&tagged, Subst::new(), &lookup, &mut c, gov)? {
+                    let head = s.resolve_atom(&rule.head);
+                    if !head.is_ground() {
+                        return Err(EvalError::NotEvaluable {
+                            atom: head.to_string(),
+                        });
+                    }
+                    out.push((head.pred, Tuple::new(head.args)));
+                }
+                Ok((out, c))
+            }
+        })
+        .collect();
+    let results = pool.run(tasks).map_err(EvalError::from)?;
+    let mut heads: Vec<(Pred, Tuple)> = Vec::new();
+    for r in results {
+        match r {
+            Ok((out, c)) => {
+                counters.add(&c);
+                heads.extend(out);
+            }
+            // A trip inside a unit drains the whole round; its partial
+            // yield never reaches the caller.
+            Err(e) => match e.budget_trip() {
+                Some(trip) => return Ok((Vec::new(), Some(trip))),
+                None => return Err(e),
+            },
+        }
+    }
+    Ok((heads, None))
+}
+
+/// Merged `(head predicate, head tuple)` results of one delta round, in
+/// deterministic unit order.
+type UnitResults = Vec<(Pred, Tuple)>;
+
+/// The predicates whose overlay variant [`run_units`] will actually
+/// dereference this round: non-builtin body atoms on the overlay side of
+/// some delta occurrence (`after` the occurrence for retraction, `before`
+/// it for insertion). Everything else reads `live` directly, so a lazy
+/// shadow only needs syncing for these.
+fn overlay_reads(
+    rules: &[Rule],
+    delta: &BTreeMap<Pred, Relation>,
+    overlay_on_gt: bool,
+) -> BTreeSet<Pred> {
+    let mut read = BTreeSet::new();
+    for rule in rules {
+        for (dpos, a) in rule.body.iter().enumerate() {
+            if crate::builtins::is_builtin_atom(a) {
+                continue;
+            }
+            if delta.get(&a.pred).is_none_or(|d| d.is_empty()) {
+                continue;
+            }
+            let side = if overlay_on_gt {
+                &rule.body[dpos + 1..]
+            } else {
+                &rule.body[..dpos]
+            };
+            for b in side {
+                if !crate::builtins::is_builtin_atom(b) {
+                    read.insert(b.pred);
+                }
+            }
+        }
+    }
+    read
+}
+
+fn singleton_delta(pred: Pred, t: Tuple) -> BTreeMap<Pred, Relation> {
+    let mut rel = Relation::new(pred.arity as usize);
+    rel.insert(t);
+    BTreeMap::from([(pred, rel)])
+}
+
+/// Incrementally absorbs the insertion of a ground EDB fact: the mirror
+/// of [`retract`]'s over-delete, with the delta split's sides swapped and
+/// increments instead of decrements. New derivations propagate
+/// semi-naively; support counts stay exact throughout (insertion never
+/// needs a rederive or recount phase).
+///
+/// On a budget trip the outcome reports it and the materialization must
+/// be discarded by the caller.
+pub fn assert_fact(
+    m: &mut Materialization,
+    fact: &Atom,
+    opts: &BottomUpOptions,
+) -> Result<RepairOutcome, EvalError> {
+    let mut outcome = RepairOutcome::default();
+    if !m.live.add_fact(fact) {
+        return Ok(outcome);
+    }
+    outcome.changed = true;
+    m.repairs += 1;
+    let gov = &opts.governor;
+    let pool = Pool::new(opts.threads);
+    let mut delta = singleton_delta(fact.pred, Tuple::new(fact.args.clone()));
+    let mut derived_total = 0usize;
+    // The "without the delta" overlay: delta tuples are already in `live`,
+    // so positions < dpos read live minus delta. Cloning live for every
+    // round made chain repairs accidentally quartic, so the overlay is a
+    // lazy persistent shadow per predicate: cloned once, synced only in
+    // rounds that actually probe it ([`overlay_reads`]), with processed
+    // deltas queued in `pending` until then.
+    let mut overlay: BTreeMap<Pred, Relation> = BTreeMap::new();
+    let mut pending: BTreeMap<Pred, Vec<Tuple>> = BTreeMap::new();
+    loop {
+        if let Err(trip) = gov.on_round("dred-insert") {
+            outcome.trip = Some(trip);
+            return Ok(outcome);
+        }
+        outcome.counters.iterations += 1;
+        outcome.rederive_rounds += 1;
+        if outcome.rederive_rounds > opts.max_rounds {
+            return Err(EvalError::FuelExceeded {
+                limit: opts.max_rounds,
+            });
+        }
+        for p in overlay_reads(&m.rules, &delta, false) {
+            if let Some(o) = overlay.get_mut(&p) {
+                // Flush the additions queued since the last sync: the
+                // shadow is then live minus exactly the current delta.
+                if let Some(ts) = pending.get_mut(&p) {
+                    for t in ts.drain(..) {
+                        o.insert(t);
+                    }
+                }
+            } else {
+                // First read: clone live (which includes the current
+                // delta) and take the delta back out.
+                let mut o = m
+                    .live
+                    .relation(p)
+                    .cloned()
+                    .unwrap_or_else(|| Relation::new(p.arity as usize));
+                if let Some(d) = delta.get(&p) {
+                    o.remove_all(d.iter());
+                }
+                overlay.insert(p, o);
+            }
+        }
+        let (gained, trip) = run_units(
+            &pool,
+            &m.rules,
+            &delta,
+            &m.live,
+            &overlay,
+            false,
+            None,
+            gov,
+            &mut outcome.counters,
+        )?;
+        if let Some(trip) = trip {
+            outcome.trip = Some(trip);
+            return Ok(outcome);
+        }
+        let account = gov.active();
+        let mut next: BTreeMap<Pred, Relation> = BTreeMap::new();
+        for (pred, t) in gained {
+            m.support
+                .get_mut(&pred)
+                .expect("derived heads are IDB")
+                .inc(&t);
+            let already = m.live.relation(pred).is_some_and(|r| r.contains(&t));
+            if !already {
+                if account {
+                    gov.add_tuples(1);
+                    gov.add_bytes(t.estimated_bytes() as u64);
+                }
+                m.live.relation_mut(pred).insert(t.clone());
+                next.entry(pred)
+                    .or_insert_with(|| Relation::new(pred.arity as usize))
+                    .insert(t);
+                outcome.counters.derived += 1;
+                derived_total += 1;
+                if derived_total > opts.max_facts {
+                    return Err(EvalError::FuelExceeded {
+                        limit: opts.max_facts,
+                    });
+                }
+            }
+        }
+        // The processed delta is now plain live state: queue it so the
+        // shadow regains it at its next sync.
+        for (p, d) in &delta {
+            if overlay.contains_key(p) {
+                pending.entry(*p).or_default().extend(d.iter().cloned());
+            }
+        }
+        if next.is_empty() {
+            return Ok(outcome);
+        }
+        delta = next;
+    }
+}
+
+/// The targeted phase-2 first pass: each over-deleted candidate seeds the
+/// body join of its predicate's rules with the head-match substitution, so
+/// derivability is decided by a few indexed probes. Candidates found
+/// derivable move from `candidates` into `live` and `delta`. On a budget
+/// trip, sets `outcome.trip` and returns.
+fn rederive_targeted(
+    m: &mut Materialization,
+    candidates: &mut BTreeMap<Pred, FxHashSet<Tuple>>,
+    delta: &mut BTreeMap<Pred, Relation>,
+    outcome: &mut RepairOutcome,
+    gov: &Governor,
+    account: bool,
+) -> Result<(), EvalError> {
+    let preds: Vec<Pred> = candidates.keys().copied().collect();
+    for p in preds {
+        let mut todo: Vec<Tuple> = candidates[&p].iter().cloned().collect();
+        todo.sort();
+        for t in todo {
+            let goal = Atom {
+                pred: p,
+                args: t.fields().to_vec(),
+            };
+            let mut supported = false;
+            for rule in &m.rules {
+                if rule.head.pred != p {
+                    continue;
+                }
+                let mut seed = Subst::new();
+                if !unify_atoms(&mut seed, &rule.head, &goal) {
+                    continue;
+                }
+                let tagged: Vec<(&Atom, AtomSource)> =
+                    rule.body.iter().map(|a| (a, AtomSource::Auto)).collect();
+                let found = {
+                    let lookup = |p: Pred| m.live.relation(p);
+                    match eval_body(&tagged, seed, &lookup, &mut outcome.counters, gov) {
+                        Ok(sols) => !sols.is_empty(),
+                        Err(e) => match e.budget_trip() {
+                            Some(trip) => {
+                                outcome.trip = Some(trip);
+                                return Ok(());
+                            }
+                            None => return Err(e),
+                        },
+                    }
+                };
+                if found {
+                    supported = true;
+                    break;
+                }
+            }
+            if supported {
+                if account {
+                    gov.add_tuples(1);
+                    gov.add_bytes(t.estimated_bytes() as u64);
+                }
+                candidates.get_mut(&p).expect("keyed above").remove(&t);
+                m.live.relation_mut(p).insert(t.clone());
+                delta
+                    .entry(p)
+                    .or_insert_with(|| Relation::new(p.arity as usize))
+                    .insert(t);
+                outcome.rederived += 1;
+                outcome.counters.derived += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The full phase-2 first pass: one join pass over every rule whose head
+/// predicate has candidates, re-inserting each solution that matches one.
+/// Preferable to [`rederive_targeted`] when most of the fixpoint was
+/// over-deleted. On a budget trip, sets `outcome.trip` and returns.
+fn rederive_full(
+    m: &mut Materialization,
+    candidates: &mut BTreeMap<Pred, FxHashSet<Tuple>>,
+    delta: &mut BTreeMap<Pred, Relation>,
+    outcome: &mut RepairOutcome,
+    gov: &Governor,
+    account: bool,
+) -> Result<(), EvalError> {
+    for rule in &m.rules {
+        if candidates
+            .get(&rule.head.pred)
+            .is_none_or(|pending| pending.is_empty())
+        {
+            continue;
+        }
+        let tagged: Vec<(&Atom, AtomSource)> =
+            rule.body.iter().map(|a| (a, AtomSource::Auto)).collect();
+        let sols = {
+            let lookup = |p: Pred| m.live.relation(p);
+            match eval_body(&tagged, Subst::new(), &lookup, &mut outcome.counters, gov) {
+                Ok(sols) => sols,
+                Err(e) => match e.budget_trip() {
+                    Some(trip) => {
+                        outcome.trip = Some(trip);
+                        return Ok(());
+                    }
+                    None => return Err(e),
+                },
+            }
+        };
+        for s in sols {
+            let head = s.resolve_atom(&rule.head);
+            if !head.is_ground() {
+                return Err(EvalError::NotEvaluable {
+                    atom: head.to_string(),
+                });
+            }
+            let t = Tuple::new(head.args);
+            if candidates
+                .get_mut(&head.pred)
+                .is_some_and(|pending| pending.remove(&t))
+            {
+                if account {
+                    gov.add_tuples(1);
+                    gov.add_bytes(t.estimated_bytes() as u64);
+                }
+                m.live.relation_mut(head.pred).insert(t.clone());
+                delta
+                    .entry(head.pred)
+                    .or_insert_with(|| Relation::new(head.pred.arity as usize))
+                    .insert(t);
+                outcome.rederived += 1;
+                outcome.counters.derived += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Incrementally absorbs the retraction of a ground EDB fact:
+/// over-delete, re-derive, recount (module docs). On a budget trip the
+/// outcome reports it and the live state is **not** consistent — the
+/// caller must discard the materialization.
+pub fn retract(
+    m: &mut Materialization,
+    fact: &Atom,
+    opts: &BottomUpOptions,
+) -> Result<RepairOutcome, EvalError> {
+    let mut outcome = RepairOutcome::default();
+    if !m.live.remove_fact(fact) {
+        return Ok(outcome);
+    }
+    outcome.changed = true;
+    m.repairs += 1;
+    let gov = &opts.governor;
+    let pool = Pool::new(opts.threads);
+
+    // Phase 1: over-delete. `deleted` accumulates every removed derived
+    // tuple (the rederive candidates); `recount` every predicate that
+    // lost at least one instantiation (their counts are recomputed at the
+    // end — over-deletion may over-decrement).
+    let mut delta = singleton_delta(fact.pred, Tuple::new(fact.args.clone()));
+    let mut deleted: BTreeMap<Pred, FxHashSet<Tuple>> = BTreeMap::new();
+    let mut recount: BTreeSet<Pred> = BTreeSet::new();
+    // The "with the delta" overlay: delta tuples are already removed from
+    // `live`, so positions > dpos read live plus delta. Cloning live for
+    // every round made chain repairs accidentally quartic, so the overlay
+    // is a lazy persistent shadow per predicate: cloned once, synced only
+    // in rounds that actually probe it ([`overlay_reads`]), with processed
+    // deltas queued in `pending` until then.
+    let mut overlay: BTreeMap<Pred, Relation> = BTreeMap::new();
+    let mut pending: BTreeMap<Pred, Vec<Tuple>> = BTreeMap::new();
+    loop {
+        if let Err(trip) = gov.on_round("dred-delete") {
+            outcome.trip = Some(trip);
+            return Ok(outcome);
+        }
+        outcome.counters.iterations += 1;
+        outcome.delete_rounds += 1;
+        if outcome.delete_rounds > opts.max_rounds {
+            return Err(EvalError::FuelExceeded {
+                limit: opts.max_rounds,
+            });
+        }
+        for p in overlay_reads(&m.rules, &delta, true) {
+            if let Some(o) = overlay.get_mut(&p) {
+                // Flush the removals queued since the last sync: the
+                // shadow is then live plus exactly the current delta.
+                if let Some(ts) = pending.get_mut(&p) {
+                    o.remove_all(ts.iter());
+                    ts.clear();
+                }
+            } else {
+                // First read: clone live (which already lacks the current
+                // delta) and put the delta back in.
+                let mut o = m
+                    .live
+                    .relation(p)
+                    .cloned()
+                    .unwrap_or_else(|| Relation::new(p.arity as usize));
+                if let Some(d) = delta.get(&p) {
+                    o.extend_from(d);
+                }
+                overlay.insert(p, o);
+            }
+        }
+        let (lost, trip) = run_units(
+            &pool,
+            &m.rules,
+            &delta,
+            &m.live,
+            &overlay,
+            true,
+            None,
+            gov,
+            &mut outcome.counters,
+        )?;
+        if let Some(trip) = trip {
+            outcome.trip = Some(trip);
+            return Ok(outcome);
+        }
+        let mut next: BTreeMap<Pred, Relation> = BTreeMap::new();
+        let mut kill: BTreeMap<Pred, FxHashSet<Tuple>> = BTreeMap::new();
+        for (pred, t) in lost {
+            recount.insert(pred);
+            let remaining = m
+                .support
+                .get_mut(&pred)
+                .expect("destroyed heads are IDB")
+                .dec(&t);
+            let in_live = m.live.relation(pred).is_some_and(|r| r.contains(&t));
+            // Recursive predicates over-delete on any loss (a positive
+            // count may rest on a cycle); non-recursive ones trust the
+            // count — zero means no derivation is left, and a transient
+            // zero caused by over-decrementing is healed by re-derivation.
+            // The removal itself is deferred to one batch per predicate
+            // (per-tuple removal re-scans rows and rebuilds indexes every
+            // time — the `kill` dedup keeps later instantiations of the
+            // same lost tuple from double-counting, as `in_live` did when
+            // removal was immediate).
+            if in_live
+                && (m.recursive.contains(&pred) || remaining == 0)
+                && kill.entry(pred).or_default().insert(t.clone())
+            {
+                next.entry(pred)
+                    .or_insert_with(|| Relation::new(pred.arity as usize))
+                    .insert(t.clone());
+                deleted.entry(pred).or_default().insert(t);
+                outcome.deleted += 1;
+            }
+        }
+        for (p, ts) in &kill {
+            m.live.relation_mut(*p).remove_all(ts.iter());
+        }
+        // The processed delta is gone from live for good: queue it so
+        // the shadow drops it at its next sync.
+        for (p, d) in &delta {
+            if overlay.contains_key(p) {
+                pending.entry(*p).or_default().extend(d.iter().cloned());
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        delta = next;
+    }
+
+    // Phase 2: re-derive. Candidates still derivable from the surviving
+    // state come back; each re-insertion may re-support further
+    // candidates, propagated semi-naively.
+    let mut candidates = deleted;
+    if candidates.values().any(|s| !s.is_empty()) {
+        if let Err(trip) = gov.on_round("dred-rederive") {
+            outcome.trip = Some(trip);
+            return Ok(outcome);
+        }
+        outcome.rederive_rounds += 1;
+        let account = gov.active();
+        let mut delta: BTreeMap<Pred, Relation> = BTreeMap::new();
+        // Two first-pass shapes, picked by how much of the fixpoint was
+        // over-deleted (a deterministic size test, so the choice — and
+        // with it every counter — is identical at any thread count; the
+        // rederived *set* is the same either way, it is the unique
+        // fixpoint of "derivable from the surviving state"):
+        //
+        // * **Targeted** (small deltas): each candidate seeds the body
+        //   join of its predicate's rules with the head-match
+        //   substitution — the bound head variables turn the join into a
+        //   few indexed probes, so the pass scales with the over-deletion,
+        //   not with the database.
+        // * **Full** (mass deletions): one join pass over every rule whose
+        //   head has candidates — per-candidate probing would redo the
+        //   same large join piecewise at a per-call overhead.
+        let total: usize = candidates.values().map(FxHashSet::len).sum();
+        if total <= m.idb_rows() / 4 {
+            rederive_targeted(m, &mut candidates, &mut delta, &mut outcome, gov, account)?;
+        } else {
+            rederive_full(m, &mut candidates, &mut delta, &mut outcome, gov, account)?;
+        }
+        if outcome.trip.is_some() {
+            return Ok(outcome);
+        }
+        // Propagate: a re-inserted tuple may re-support other candidates.
+        while !delta.is_empty() {
+            if let Err(trip) = gov.on_round("dred-rederive") {
+                outcome.trip = Some(trip);
+                return Ok(outcome);
+            }
+            outcome.counters.iterations += 1;
+            outcome.rederive_rounds += 1;
+            if outcome.rederive_rounds > opts.max_rounds {
+                return Err(EvalError::FuelExceeded {
+                    limit: opts.max_rounds,
+                });
+            }
+            let overlay = BTreeMap::new();
+            let (gained, trip) = run_units(
+                &pool,
+                &m.rules,
+                &delta,
+                &m.live,
+                &overlay,
+                false,
+                Some(&candidates),
+                gov,
+                &mut outcome.counters,
+            )?;
+            if let Some(trip) = trip {
+                outcome.trip = Some(trip);
+                return Ok(outcome);
+            }
+            let mut next: BTreeMap<Pred, Relation> = BTreeMap::new();
+            for (pred, t) in gained {
+                if candidates
+                    .get_mut(&pred)
+                    .is_some_and(|pending| pending.remove(&t))
+                {
+                    if account {
+                        gov.add_tuples(1);
+                        gov.add_bytes(t.estimated_bytes() as u64);
+                    }
+                    m.live.relation_mut(pred).insert(t.clone());
+                    next.entry(pred)
+                        .or_insert_with(|| Relation::new(pred.arity as usize))
+                        .insert(t);
+                    outcome.rederived += 1;
+                    outcome.counters.derived += 1;
+                }
+            }
+            delta = next;
+        }
+    }
+
+    // Phase 3: recount. Needed only when an over-deleted tuple came back:
+    // a decrement charged to a lost instantiation is wrong exactly when a
+    // body tuple of that instantiation was later re-derived. When nothing
+    // was re-derived, every enumerated instantiation is genuinely dead and
+    // the delta split charged each exactly once, so the counts are already
+    // exact (and `dec` drops zero entries, matching a from-scratch count).
+    // Otherwise every predicate that lost an instantiation gets its counts
+    // rebuilt over the repaired state (sequential — thread-count-
+    // invariant).
+    if outcome.rederived > 0 && !recount.is_empty() {
+        if let Err(trip) = gov.on_round("dred-recount") {
+            outcome.trip = Some(trip);
+            return Ok(outcome);
+        }
+        for &p in &recount {
+            m.support
+                .get_mut(&p)
+                .expect("recount preds are IDB")
+                .clear();
+        }
+        for rule in &m.rules {
+            if !recount.contains(&rule.head.pred) {
+                continue;
+            }
+            let tagged: Vec<(&Atom, AtomSource)> =
+                rule.body.iter().map(|a| (a, AtomSource::Auto)).collect();
+            let sols = {
+                let lookup = |p: Pred| m.live.relation(p);
+                match eval_body(&tagged, Subst::new(), &lookup, &mut outcome.counters, gov) {
+                    Ok(sols) => sols,
+                    Err(e) => match e.budget_trip() {
+                        Some(trip) => {
+                            outcome.trip = Some(trip);
+                            return Ok(outcome);
+                        }
+                        None => return Err(e),
+                    },
+                }
+            };
+            for s in sols {
+                let head = s.resolve_atom(&rule.head);
+                if !head.is_ground() {
+                    return Err(EvalError::NotEvaluable {
+                        atom: head.to_string(),
+                    });
+                }
+                m.support
+                    .get_mut(&head.pred)
+                    .expect("recount preds are IDB")
+                    .inc(&Tuple::new(head.args));
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::parse_program;
+
+    fn setup(src: &str) -> (Vec<Rule>, Database) {
+        let program = parse_program(src).unwrap();
+        let (facts, rules) = program.split_facts();
+        (rules, Database::from_facts(facts))
+    }
+
+    fn built(rules: &[Rule], edb: &Database) -> Materialization {
+        materialize(rules, edb, &BottomUpOptions::default())
+            .unwrap()
+            .materialization
+            .expect("untripped build")
+    }
+
+    fn atom(src: &str) -> Atom {
+        let p = parse_program(&format!("{src}.")).unwrap();
+        p.rules[0].head.clone()
+    }
+
+    const TC: &str = "edge(a, b). edge(b, c). edge(c, d). edge(d, b).
+         path(X, Y) :- edge(X, Y).
+         path(X, Y) :- edge(X, Z), path(Z, Y).";
+
+    #[test]
+    fn materialize_counts_are_exact() {
+        let (rules, edb) = setup(
+            "edge(a, b). edge(b, c). edge(a, c).
+             path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        );
+        let m = built(&rules, &edb);
+        let path = Pred::new("path", 2);
+        assert!(m.is_recursive(path));
+        // path(a, c) has two derivations: edge(a, c) and edge(a, b)∘path(b, c).
+        let t = Tuple::new(atom("path(a, c)").args);
+        assert_eq!(m.support_of(path, &t), 2);
+        // path(b, c) has one.
+        let t = Tuple::new(atom("path(b, c)").args);
+        assert_eq!(m.support_of(path, &t), 1);
+    }
+
+    #[test]
+    fn retract_matches_rebuild_on_cyclic_tc() {
+        let (rules, edb) = setup(TC);
+        let mut m = built(&rules, &edb);
+        // Deleting edge(d, b) breaks the cycle: a large over-delete with
+        // genuine rederivations.
+        let gone = atom("edge(d, b)");
+        let out = retract(&mut m, &gone, &BottomUpOptions::default()).unwrap();
+        assert!(out.changed);
+        assert!(out.trip.is_none());
+        assert!(out.deleted > 0);
+        let mut edb2 = edb.clone();
+        assert!(edb2.remove_fact(&gone));
+        let fresh = built(&rules, &edb2);
+        assert_eq!(m.digest(), fresh.digest());
+    }
+
+    #[test]
+    fn retract_each_edge_matches_rebuild() {
+        let (rules, edb) = setup(TC);
+        for victim in ["edge(a, b)", "edge(b, c)", "edge(c, d)", "edge(d, b)"] {
+            let gone = atom(victim);
+            let mut m = built(&rules, &edb);
+            retract(&mut m, &gone, &BottomUpOptions::default()).unwrap();
+            let mut edb2 = edb.clone();
+            assert!(edb2.remove_fact(&gone));
+            let fresh = built(&rules, &edb2);
+            assert_eq!(m.digest(), fresh.digest(), "retracting {victim}");
+        }
+    }
+
+    #[test]
+    fn retract_absent_fact_is_a_noop() {
+        let (rules, edb) = setup(TC);
+        let mut m = built(&rules, &edb);
+        let before = m.digest();
+        let out = retract(&mut m, &atom("edge(z, z)"), &BottomUpOptions::default()).unwrap();
+        assert!(!out.changed);
+        assert_eq!(out.deleted, 0);
+        assert_eq!(m.digest(), before);
+        assert_eq!(m.repairs(), 0);
+    }
+
+    #[test]
+    fn counting_short_circuits_nonrecursive_views() {
+        // q is a non-recursive view over a doubly-supported tuple: the
+        // first retraction decrements 2 -> 1 and must delete nothing.
+        let (rules, edb) = setup(
+            "base(1). base(2).
+             q(X) :- base(X).
+             q(X) :- base(X), other(X).
+             other(1).",
+        );
+        let mut m = built(&rules, &edb);
+        let q = Pred::new("q", 1);
+        assert!(!m.is_recursive(q));
+        let one = Tuple::new(atom("q(1)").args);
+        assert_eq!(m.support_of(q, &one), 2);
+        let out = retract(&mut m, &atom("other(1)"), &BottomUpOptions::default()).unwrap();
+        assert_eq!(out.deleted, 0, "count 2 -> 1 keeps the tuple");
+        assert_eq!(out.rederive_rounds, 0, "no over-deletion, no rederive");
+        assert_eq!(m.support_of(q, &one), 1);
+        // The second retraction takes the count to zero and deletes.
+        let out = retract(&mut m, &atom("base(1)"), &BottomUpOptions::default()).unwrap();
+        assert_eq!(out.deleted, 1);
+        assert!(!m.live().relation(q).unwrap().contains(&one));
+    }
+
+    #[test]
+    fn assert_then_retract_roundtrips() {
+        let (rules, edb) = setup(TC);
+        let mut m = built(&rules, &edb);
+        let before = m.digest();
+        let extra = atom("edge(a, d)");
+        let out = assert_fact(&mut m, &extra, &BottomUpOptions::default()).unwrap();
+        assert!(out.changed);
+        // Against a from-scratch build with the fact present.
+        let mut edb2 = edb.clone();
+        edb2.add_fact(&extra);
+        assert_eq!(m.digest(), built(&rules, &edb2).digest());
+        // Duplicate insert is a no-op.
+        let dup = assert_fact(&mut m, &extra, &BottomUpOptions::default()).unwrap();
+        assert!(!dup.changed);
+        // Retracting it restores the original state exactly.
+        retract(&mut m, &extra, &BottomUpOptions::default()).unwrap();
+        assert_eq!(m.digest(), before);
+    }
+
+    #[test]
+    fn repair_counters_are_thread_invariant() {
+        let (rules, edb) = setup(TC);
+        let gone = atom("edge(b, c)");
+        let extra = atom("edge(c, a)");
+        let mut reference: Option<(Counters, Counters, Vec<String>)> = None;
+        for threads in [1usize, 2, 4] {
+            let opts = BottomUpOptions {
+                threads,
+                ..BottomUpOptions::default()
+            };
+            let mut m = materialize(&rules, &edb, &opts)
+                .unwrap()
+                .materialization
+                .unwrap();
+            let a = assert_fact(&mut m, &extra, &opts).unwrap();
+            let r = retract(&mut m, &gone, &opts).unwrap();
+            let sample = (a.counters, r.counters, m.digest());
+            match &reference {
+                None => reference = Some(sample),
+                Some(expect) => assert_eq!(expect, &sample, "threads={threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn budget_trip_drains_the_repair() {
+        let (rules, edb) = setup(TC);
+        let opts = BottomUpOptions::default();
+        let mut m = built(&rules, &edb);
+        opts.governor.set_budget(chainsplit_governor::Budget {
+            max_rounds: Some(1),
+            ..Default::default()
+        });
+        opts.governor.begin_query();
+        let out = retract(&mut m, &atom("edge(d, b)"), &opts).unwrap();
+        let trip = out.trip.expect("rounds budget must trip the repair");
+        assert_eq!(trip.resource, chainsplit_governor::Resource::Rounds);
+        assert!(trip.phase.starts_with("dred-"));
+    }
+
+    #[test]
+    fn nonrecursive_tuple_supported_by_recursive_pred_survives_via_rederive() {
+        // reach(X) is a non-recursive view over recursive path: deleting
+        // edge(a, b) over-deletes path tuples whose rederivation must
+        // restore reach's support exactly.
+        let (rules, edb) = setup(
+            "edge(a, b). edge(b, c). edge(a, c). edge(c, d).
+             path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).
+             reach(Y) :- path(a, Y).",
+        );
+        let gone = atom("edge(a, b)");
+        let mut m = built(&rules, &edb);
+        retract(&mut m, &gone, &BottomUpOptions::default()).unwrap();
+        let mut edb2 = edb.clone();
+        assert!(edb2.remove_fact(&gone));
+        assert_eq!(m.digest(), built(&rules, &edb2).digest());
+    }
+
+    #[test]
+    fn builtin_bodies_are_maintained() {
+        let (rules, edb) = setup(
+            "n(0). n(1). n(2).
+             big(X) :- n(X), X > 0.
+             sum(Z) :- n(X), n(Y), plus(X, Y, Z).",
+        );
+        let gone = atom("n(2)");
+        let mut m = built(&rules, &edb);
+        retract(&mut m, &gone, &BottomUpOptions::default()).unwrap();
+        let mut edb2 = edb.clone();
+        assert!(edb2.remove_fact(&gone));
+        assert_eq!(m.digest(), built(&rules, &edb2).digest());
+    }
+}

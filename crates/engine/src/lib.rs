@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 pub mod builtins;
+pub mod dred;
 pub mod error;
 pub mod eval;
 pub mod magic;
@@ -32,6 +33,7 @@ pub mod topdown;
 
 pub use builtins::{eval_builtin, is_builtin_atom, BuiltinOutcome};
 pub use chainsplit_governor::{Budget, BudgetTrip, CancelToken, Governor, Resource};
+pub use dred::{Materialization, MaterializeOutcome, RepairOutcome};
 pub use error::{Counters, EvalError};
 pub use eval::{
     eval_body, eval_body_auto, eval_body_frontier, eval_body_uniform, match_relation,

@@ -32,7 +32,7 @@ pub const DELTA_PARTITIONS: usize = 8;
 /// the rest of the rule (other body atoms or the head). Tuples are
 /// partitioned by hashing these columns; an empty result means "hash the
 /// whole tuple", which is still a valid (if join-oblivious) partition.
-fn join_key_cols(rule: &Rule, dpos: usize) -> Vec<usize> {
+pub(crate) fn join_key_cols(rule: &Rule, dpos: usize) -> Vec<usize> {
     let mut other_vars = rule.head.vars();
     for (i, a) in rule.body.iter().enumerate() {
         if i != dpos {

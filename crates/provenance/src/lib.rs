@@ -352,6 +352,53 @@ pub fn replay(witnesses: &[Witness]) -> u64 {
         .sum()
 }
 
+/// Evicts every witness whose proof transitively rests on `deleted` —
+/// the retraction hook: once a tuple leaves the database, any proof that
+/// used it (directly or through intermediate derived tuples) is stale and
+/// must never be shown by `:why`. Returns the number of witnesses
+/// evicted.
+///
+/// The reverse dependency walk runs to fixpoint: a witness is evicted
+/// when any of its body atoms is the deleted tuple or an already-evicted
+/// head. Interned atoms and rules stay (ids must remain stable for the
+/// surviving witnesses); only the witness links and their latch-order
+/// entries go, and the byte estimate shrinks by the per-link share.
+/// Deterministic: the evicted *set* is a pure function of the arena
+/// contents, and the surviving latch order is preserved.
+pub fn evict_dependents(deleted: &Atom) -> usize {
+    let mut s = lock();
+    let Some(&did) = s.atom_ids.get(deleted) else {
+        return 0;
+    };
+    let mut stale: HashSet<u32> = HashSet::new();
+    stale.insert(did);
+    loop {
+        let mut grew = false;
+        for (&hid, (_, body_ids)) in &s.witnesses {
+            if !stale.contains(&hid) && body_ids.iter().any(|b| stale.contains(b)) {
+                stale.insert(hid);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let mut evicted = 0usize;
+    let mut freed = 0u64;
+    for hid in &stale {
+        if let Some((_, body_ids)) = s.witnesses.remove(hid) {
+            evicted += 1;
+            freed += 16 + 4 * body_ids.len() as u64;
+        }
+    }
+    if evicted > 0 {
+        s.order.retain(|hid| !stale.contains(hid));
+        s.bytes = s.bytes.saturating_sub(freed);
+    }
+    evicted
+}
+
 /// The transitive witness closure supporting `roots`: every witness
 /// reachable from the roots through body atoms, in deterministic
 /// root-then-breadth order. Used to capture a complete replayable
@@ -793,6 +840,35 @@ mod tests {
         let c = closure_for(&[atom("path(a, c)")]);
         assert_eq!(c.len(), 2);
         assert!(c.iter().all(|w| w.head.pred.name.as_str() == "path"));
+        clear();
+    }
+
+    #[test]
+    fn evict_dependents_drops_the_transitive_reverse_closure() {
+        let _g = exclusive();
+        clear();
+        enable();
+        record_path_chain();
+        record(
+            &atom("unrelated(z)"),
+            &rule("unrelated(X) :- e(X)."),
+            &[atom("e(z)")],
+        );
+        disable();
+        let bytes_before = arena_bytes();
+        // Nothing rests on an unknown tuple.
+        assert_eq!(evict_dependents(&atom("edge(z, z)")), 0);
+        // path(b, c) rests on edge(b, c) directly; path(a, c) rests on it
+        // through path(b, c). The unrelated witness survives.
+        assert_eq!(evict_dependents(&atom("edge(b, c)")), 2);
+        assert!(witness_of(&atom("path(b, c)")).is_none());
+        assert!(witness_of(&atom("path(a, c)")).is_none());
+        assert!(witness_of(&atom("unrelated(z)")).is_some());
+        assert_eq!(witness_count(), 1);
+        assert_eq!(snapshot().len(), 1, "latch order drops evicted entries");
+        assert!(arena_bytes() < bytes_before);
+        // Idempotent.
+        assert_eq!(evict_dependents(&atom("edge(b, c)")), 0);
         clear();
     }
 

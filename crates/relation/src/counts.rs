@@ -1,0 +1,130 @@
+//! Derivation-support counters for incremental retraction.
+//!
+//! A [`SupportCounts`] maps each derived tuple of one predicate to the
+//! number of distinct rule instantiations currently deriving it — the
+//! counting half of the counting + Delete-and-Rederive hybrid (Gupta,
+//! Mumick & Subrahmanian's `DRed`, specialised as in the maintenance
+//! literature): for tuples of *non-recursive* predicates the count is an
+//! exact decision procedure (count reaches zero ⇔ the tuple has no
+//! remaining derivation), which lets the over-deletion phase skip the
+//! rederivation round-trip for the common flat-view case. For recursive
+//! predicates the count is advisory only — a positive count may be
+//! sustained entirely by a derivation cycle — so DRed over-deletes and
+//! re-derives regardless, and the repair recounts affected predicates at
+//! the end to restore exactness.
+//!
+//! Counts are plain `u64`s keyed by tuple in an `FxHashMap`; all mutation
+//! is `&mut` and single-threaded (the repair loop merges unit results in
+//! deterministic unit order before touching counts), so no interior
+//! mutability is needed.
+
+use crate::hash::FxHashMap;
+use crate::tuple::Tuple;
+
+/// Per-predicate map from derived tuple to its number of derivations.
+#[derive(Clone, Default, Debug)]
+pub struct SupportCounts {
+    counts: FxHashMap<Tuple, u64>,
+}
+
+impl SupportCounts {
+    pub fn new() -> SupportCounts {
+        SupportCounts::default()
+    }
+
+    /// The current count for `t` (zero when untracked).
+    pub fn get(&self, t: &Tuple) -> u64 {
+        self.counts.get(t).copied().unwrap_or(0)
+    }
+
+    /// Adds one derivation for `t`; returns the new count.
+    pub fn inc(&mut self, t: &Tuple) -> u64 {
+        let c = self.counts.entry(t.clone()).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Removes one derivation for `t`; returns the new count.
+    ///
+    /// Saturates at zero: with the exact one-loss-one-decrement delta
+    /// split this never actually saturates, but a defensive floor keeps a
+    /// miscount from wrapping into a 2^64 phantom support.
+    pub fn dec(&mut self, t: &Tuple) -> u64 {
+        match self.counts.get_mut(t) {
+            Some(c) => {
+                *c = c.saturating_sub(1);
+                let now = *c;
+                if now == 0 {
+                    self.counts.remove(t);
+                }
+                now
+            }
+            None => 0,
+        }
+    }
+
+    /// Forgets `t` entirely (used when a tuple is deleted outright).
+    pub fn remove(&mut self, t: &Tuple) {
+        self.counts.remove(t);
+    }
+
+    /// Drops every count (used before an exact recount pass).
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+
+    /// Number of tuples with a positive count.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, u64)> {
+        self.counts.iter().map(|(t, &c)| (t, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::Term;
+
+    fn t(a: i64) -> Tuple {
+        Tuple::new(vec![Term::Int(a)])
+    }
+
+    #[test]
+    fn inc_dec_roundtrip() {
+        let mut s = SupportCounts::new();
+        assert_eq!(s.get(&t(1)), 0);
+        assert_eq!(s.inc(&t(1)), 1);
+        assert_eq!(s.inc(&t(1)), 2);
+        assert_eq!(s.dec(&t(1)), 1);
+        assert_eq!(s.dec(&t(1)), 0);
+        assert!(s.is_empty(), "zero-count tuples are dropped");
+    }
+
+    #[test]
+    fn dec_saturates_at_zero() {
+        let mut s = SupportCounts::new();
+        assert_eq!(s.dec(&t(9)), 0);
+        s.inc(&t(9));
+        s.dec(&t(9));
+        assert_eq!(s.dec(&t(9)), 0);
+        assert_eq!(s.get(&t(9)), 0);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut s = SupportCounts::new();
+        s.inc(&t(1));
+        s.inc(&t(2));
+        s.remove(&t(1));
+        assert_eq!(s.len(), 1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

@@ -41,6 +41,21 @@ impl Database {
             .insert(Tuple::new(fact.args.clone()))
     }
 
+    /// Removes a ground atom's row; returns `true` if it was present.
+    ///
+    /// The relation entry itself stays in the catalog even when its last
+    /// row goes — keeping the predicate listed (at cardinality 0) means
+    /// stats and traces stay stable across a retract/re-assert cycle.
+    ///
+    /// Panics if the atom is not ground, mirroring [`Database::add_fact`].
+    pub fn remove_fact(&mut self, fact: &Atom) -> bool {
+        assert!(fact.is_ground(), "EDB fact must be ground: {fact}");
+        match self.relations.get_mut(&fact.pred) {
+            Some(rel) => rel.remove(&Tuple::new(fact.args.clone())),
+            None => false,
+        }
+    }
+
     /// The relation for `pred`, if any facts exist.
     pub fn relation(&self, pred: Pred) -> Option<&Relation> {
         self.relations.get(&pred)
@@ -130,6 +145,20 @@ mod tests {
         b.add_fact(&fact("q", vec![Term::Int(2)]));
         assert_eq!(a.merge(&b), 1);
         assert!(a.contains_pred(Pred::new("q", 1)));
+    }
+
+    #[test]
+    fn remove_fact_roundtrip() {
+        let mut db = Database::new();
+        let e = fact("edge", vec![Term::Int(1), Term::Int(2)]);
+        assert!(!db.remove_fact(&e), "removing from an empty db is a no-op");
+        db.add_fact(&e);
+        assert!(db.remove_fact(&e));
+        assert!(!db.remove_fact(&e));
+        // The predicate stays cataloged at cardinality zero.
+        assert!(db.contains_pred(Pred::new("edge", 2)));
+        assert_eq!(db.total_rows(), 0);
+        assert!(db.add_fact(&e), "re-assert after retract is new again");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod counts;
 pub mod database;
 pub mod delta;
 pub mod hash;
@@ -16,6 +17,7 @@ pub mod relation;
 pub mod stats;
 pub mod tuple;
 
+pub use counts::SupportCounts;
 pub use database::Database;
 pub use delta::DeltaRelation;
 pub use hash::{FxHashMap, FxHashSet};

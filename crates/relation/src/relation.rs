@@ -79,6 +79,58 @@ impl Relation {
         true
     }
 
+    /// Removes a tuple; returns `true` if it was present.
+    ///
+    /// Remaining rows keep their relative insertion order, so evaluation
+    /// traces stay deterministic after a retraction. Indexes store row
+    /// ids, which all shift past the removal point, so every index built
+    /// so far is rebuilt from the surviving rows — retraction is the rare
+    /// operation here and pays the full cost; `insert` stays O(indexes).
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        if !self.seen.remove(t) {
+            return false;
+        }
+        let pos = self
+            .rows
+            .iter()
+            .position(|row| row == t)
+            .expect("tuple in `seen` must be stored in `rows`");
+        self.rows.remove(pos);
+        for (cols, index) in self.indexes.get_mut().iter_mut() {
+            *index = Self::build_index(&self.rows, cols);
+        }
+        true
+    }
+
+    /// Removes every given tuple in one pass; returns how many were
+    /// present. Equivalent to calling [`remove`](Self::remove) per tuple —
+    /// survivors keep their relative insertion order — but pays one row
+    /// scan per *batch* instead of per tuple and defers index rebuilds to
+    /// the next probe, which is what keeps incremental DRed repair rounds
+    /// linear.
+    pub fn remove_all<'a, I>(&mut self, tuples: I) -> usize
+    where
+        I: IntoIterator<Item = &'a Tuple>,
+    {
+        let mut removed = 0;
+        for t in tuples {
+            if self.seen.remove(t) {
+                removed += 1;
+            }
+        }
+        if removed == 0 {
+            return 0;
+        }
+        let seen = &self.seen;
+        self.rows.retain(|row| seen.contains(row));
+        // Drop indexes rather than rebuild: the next probe re-derives them
+        // from the same rows in the same order (identical content), and a
+        // repair loop that batch-removes from a relation it never probes
+        // again — the common DRed shape — pays nothing at all.
+        self.indexes.get_mut().clear();
+        removed
+    }
+
     pub fn contains(&self, t: &Tuple) -> bool {
         self.seen.contains(t)
     }
@@ -638,6 +690,26 @@ mod tests {
         assert!(paths
             .iter()
             .all(|&p| matches!(p, AccessPath::IndexBuild | AccessPath::IndexHit)));
+    }
+
+    #[test]
+    fn remove_preserves_order_and_rebuilds_indexes() {
+        let mut r = Relation::new(2);
+        r.insert(pair(1, 10));
+        r.insert(pair(2, 20));
+        r.insert(pair(3, 20));
+        r.ensure_index(&[1]);
+        assert!(r.remove(&pair(2, 20)));
+        assert!(!r.remove(&pair(2, 20)), "second removal is a no-op");
+        assert!(!r.contains(&pair(2, 20)));
+        let rows: Vec<_> = r.iter().cloned().collect();
+        assert_eq!(rows, vec![pair(1, 10), pair(3, 20)]);
+        // The rebuilt index serves the surviving row only.
+        let hits: Vec<_> = r.select(&[1], &[Term::Int(20)]).cloned().collect();
+        assert_eq!(hits, vec![pair(3, 20)]);
+        // Re-insertion after removal works and is indexed.
+        assert!(r.insert(pair(2, 20)));
+        assert_eq!(r.select(&[1], &[Term::Int(20)]).count(), 2);
     }
 
     #[test]

@@ -142,6 +142,132 @@ pub fn parse_corpus(name: &'static str, text: &str) -> FuzzCase {
     }
 }
 
+/// One scripted EDB mutation in a [`MutationScript`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MutOp {
+    /// Insert a ground fact — possibly a duplicate of a live fact, or the
+    /// revival of one retracted earlier in the script.
+    Insert(String),
+    /// Retract a ground fact — possibly one already gone (a no-op
+    /// retraction, which must leave cached answers hitting).
+    Retract(String),
+}
+
+impl fmt::Display for MutOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutOp::Insert(a) => write!(f, "insert {a}"),
+            MutOp::Retract(a) => write!(f, "retract {a}"),
+        }
+    }
+}
+
+/// A mutation session: a base [`FuzzCase`] plus an op sequence replayed
+/// in order, re-querying after every mutation. The differential oracle
+/// runs it in lockstep against a twin rebuilt from scratch after each op.
+#[derive(Clone, Debug)]
+pub struct MutationScript {
+    pub case: FuzzCase,
+    pub ops: Vec<MutOp>,
+}
+
+impl fmt::Display for MutationScript {
+    /// Corpus format: the [`FuzzCase`] headers plus one `% mutate:` line
+    /// per op, then the program — parseable by [`parse_mutation_corpus`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "% query: {}", self.case.query)?;
+        writeln!(f, "% shape: {} (seed {})", self.case.shape, self.case.seed)?;
+        match self.case.class {
+            StrategyClass::All => {}
+            StrategyClass::GoalDirected => writeln!(f, "% strategies: goal-directed")?,
+            StrategyClass::BottomUp => writeln!(f, "% strategies: bottom-up")?,
+        }
+        for op in &self.ops {
+            writeln!(f, "% mutate: {op}")?;
+        }
+        write!(f, "{}", self.case.program())
+    }
+}
+
+/// Parses the mutation-corpus format: the [`parse_corpus`] layout plus
+/// `% mutate: retract p(a)` / `% mutate: insert p(a)` header lines,
+/// replayed in file order.
+///
+/// # Panics
+///
+/// Panics on an unknown mutation verb — corpus files are repository
+/// fixtures, so a malformed one is a bug worth failing loudly on.
+pub fn parse_mutation_corpus(name: &'static str, text: &str) -> MutationScript {
+    let mut case = parse_corpus(name, text);
+    // Corpus files inline their EDB in the program body, but the mutation
+    // oracle needs it as a separate fact list — the twin is rebuilt from
+    // that list after every op, and the presence check for retractions
+    // keys off it. Pull ground unit clauses (no `:-`, no variable — our
+    // corpus facts are all-lowercase) out of the rule text, splitting
+    // multi-fact lines into one entry per fact.
+    let body = std::mem::take(&mut case.rules);
+    let mut rules = String::new();
+    for line in body.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.contains(":-") || t.chars().any(|c| c.is_ascii_uppercase()) {
+            rules.push_str(line);
+            rules.push('\n');
+        } else {
+            for clause in t.split('.') {
+                let clause = clause.trim();
+                if !clause.is_empty() {
+                    case.facts.push(format!("{clause}."));
+                }
+            }
+        }
+    }
+    case.rules = rules;
+    let mut ops = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("% mutate:") {
+            let rest = rest.trim();
+            if let Some(a) = rest.strip_prefix("retract ") {
+                ops.push(MutOp::Retract(a.trim().trim_end_matches('.').to_string()));
+            } else if let Some(a) = rest.strip_prefix("insert ") {
+                ops.push(MutOp::Insert(a.trim().trim_end_matches('.').to_string()));
+            } else {
+                panic!("{name}: unknown mutation op `{rest}`");
+            }
+        }
+    }
+    MutationScript { case, ops }
+}
+
+/// Maps `seed` to a deterministic mutation session over [`gen_case`]'s
+/// case for the same seed. Ops draw from the case's own EDB — blind to
+/// liveness, so the stream naturally covers retract-existing,
+/// retract-already-gone (no-op), insert-duplicate, and insert-revive.
+/// Shapes with an empty EDB (`append`) yield an empty op list: the
+/// session is then a pure query replay.
+pub fn gen_mutation_script(seed: u64) -> MutationScript {
+    let case = gen_case(seed);
+    let mut rng = SplitMix64::new(seed ^ 0xD1ED_0D8E_D15E_ED00);
+    let pool: Vec<String> = case
+        .facts
+        .iter()
+        .map(|f| f.trim().trim_end_matches('.').to_string())
+        .collect();
+    let mut ops = Vec::new();
+    if !pool.is_empty() {
+        let n_ops = 3 + rng.below(4) as usize;
+        for _ in 0..n_ops {
+            let fact = pool[rng.below(pool.len() as u64) as usize].clone();
+            // Retraction-heavy: that is the path under test.
+            if rng.chance(2, 3) {
+                ops.push(MutOp::Retract(fact));
+            } else {
+                ops.push(MutOp::Insert(fact));
+            }
+        }
+    }
+    MutationScript { case, ops }
+}
+
 /// A random acyclic `parent` forest with `sibling` pairs: facts for the
 /// `sg` / `scsg` shapes. `parent(p_i, p_j)` only for `i > j`.
 fn family_forest(rng: &mut SplitMix64, n: usize, facts: &mut Vec<String>) {
@@ -337,6 +463,49 @@ mod tests {
             chainsplit_logic::parse_program(&case.program())
                 .unwrap_or_else(|e| panic!("seed {seed} ({}): {e}", case.shape));
         }
+    }
+
+    #[test]
+    fn mutation_scripts_are_deterministic_and_round_trip() {
+        for seed in 0..48 {
+            let a = gen_mutation_script(seed);
+            let b = gen_mutation_script(seed);
+            assert_eq!(a.ops, b.ops, "seed {seed}");
+            assert_eq!(a.case.program(), b.case.program(), "seed {seed}");
+            let parsed = parse_mutation_corpus("round-trip", &a.to_string());
+            assert_eq!(parsed.ops, a.ops, "seed {seed}");
+            assert_eq!(parsed.case.query, a.case.query, "seed {seed}");
+            assert_eq!(parsed.case.class, a.case.class, "seed {seed}");
+            // The EDB must round-trip back out of the program body as a
+            // separate fact list (the oracle's twin is rebuilt from it).
+            let mut want: Vec<String> = a.case.facts.iter().map(|f| f.trim().into()).collect();
+            let mut got = parsed.case.facts.clone();
+            want.sort();
+            got.sort();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mutation_scripts_mutate_nonempty_edbs() {
+        let mut with_ops = 0;
+        let mut retracts = 0;
+        for seed in 0..48 {
+            let s = gen_mutation_script(seed);
+            if s.case.facts.is_empty() {
+                assert!(s.ops.is_empty(), "seed {seed}: nothing to mutate");
+            } else {
+                assert!(!s.ops.is_empty(), "seed {seed}");
+                with_ops += 1;
+                retracts += s
+                    .ops
+                    .iter()
+                    .filter(|o| matches!(o, MutOp::Retract(_)))
+                    .count();
+            }
+        }
+        assert!(with_ops > 30, "most shapes carry an EDB: {with_ops}");
+        assert!(retracts > 0, "the stream must exercise retraction");
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub mod lists;
 
 pub use family::{fact_count, family_facts, query_person, FamilyConfig};
 pub use flights::{endpoints, flight_facts, FlightConfig};
-pub use fuzz::{gen_case, FuzzCase, SplitMix64, StrategyClass};
+pub use fuzz::{
+    gen_case, gen_mutation_script, parse_corpus, parse_mutation_corpus, FuzzCase, MutOp,
+    MutationScript, SplitMix64, StrategyClass,
+};
 pub use graphs::{chain_edges, merged_sg_facts, random_dag_edges, tree_edges};
 pub use lists::{ascending, descending, random_ints, random_list, sorted_ints};

@@ -27,20 +27,29 @@
 //! themselves derivable, and the witness snapshot must be bit-identical
 //! at every thread count (DESIGN.md §12).
 //!
+//! With `--mutate` the driver switches to the **retraction-consistency
+//! oracle**: each seed replays a scripted insert/retract/query session on
+//! a live database (answer cache on, materialization repaired by
+//! incremental DRed) in lockstep against a twin rebuilt from scratch
+//! after every mutation, and the whole session log must be bit-identical
+//! at every thread count (DESIGN.md §13). Failing scripts shrink over the
+//! op sequence first, then the EDB.
+//!
 //! ```text
 //! fuzz [--start S] [--seeds N] [--threads 1,4] [--cache] [--provenance]
-//!      [--fault-rate P] [--fault-seed S] [--timeout-ms MS]
+//!      [--mutate] [--fault-rate P] [--fault-seed S] [--timeout-ms MS]
 //! ```
 
 use chain_split::differential::{
-    run_seeds, run_seeds_cached, run_seeds_disrupted, run_seeds_provenance, Disruption,
+    run_seeds, run_seeds_cached, run_seeds_disrupted, run_seeds_mutate, run_seeds_provenance,
+    Disruption,
 };
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--start S] [--seeds N] [--threads 1,4] [--cache] [--provenance] \
-         [--fault-rate P] [--fault-seed S] [--timeout-ms MS]"
+         [--mutate] [--fault-rate P] [--fault-seed S] [--timeout-ms MS]"
     );
     std::process::exit(2);
 }
@@ -54,6 +63,7 @@ fn main() -> ExitCode {
     let mut timeout_ms: Option<u64> = None;
     let mut cache: bool = false;
     let mut provenance: bool = false;
+    let mut mutate: bool = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -80,8 +90,43 @@ fn main() -> ExitCode {
             "--timeout-ms" => timeout_ms = Some(value().parse().unwrap_or_else(|_| usage())),
             "--cache" => cache = true,
             "--provenance" => provenance = true,
+            "--mutate" => mutate = true,
             _ => usage(),
         }
+    }
+
+    if mutate {
+        if cache || provenance || fault_rate > 0.0 || timeout_ms.is_some() {
+            eprintln!(
+                "fuzz: --mutate does not combine with --cache/--provenance/\
+                 --fault-rate/--timeout-ms"
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "fuzz: retraction-consistency, seeds {start}..{} x threads {threads:?} \
+             vs recompute-from-scratch twins",
+            start + seeds
+        );
+        return match run_seeds_mutate(start, seeds, &threads) {
+            Ok(total_ops) => {
+                println!(
+                    "fuzz: OK — {seeds} mutation sessions matched their rebuilt \
+                     twins ({total_ops} ops replayed)"
+                );
+                ExitCode::SUCCESS
+            }
+            Err(failure) => {
+                let (shrunk, mismatch) = *failure;
+                eprintln!("fuzz: FAILED — {mismatch}");
+                eprintln!(
+                    "fuzz: shrunk reproduction (re-run with --mutate --start {} --seeds 1):",
+                    mismatch.seed
+                );
+                eprintln!("{shrunk}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if provenance {

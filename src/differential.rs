@@ -26,7 +26,7 @@
 
 use crate::core::{DbError, DeductiveDb, Strategy};
 use crate::engine::{Counters, EvalError};
-use crate::workloads::fuzz::{FuzzCase, StrategyClass};
+use crate::workloads::fuzz::{FuzzCase, MutOp, MutationScript, StrategyClass};
 use std::fmt;
 
 /// All strategies: applies to function-free, acyclic cases.
@@ -704,6 +704,385 @@ pub fn run_seeds_provenance(
         }
     }
     Ok(count)
+}
+
+/// The strategy a mutation session runs under: the parallel semi-naive
+/// family where the program is bottom-up evaluable (the path DRed repair
+/// shares), goal-directed resolution for functional recursions (no
+/// materialization — the session still exercises retraction against the
+/// cache and the rebuilt twin).
+fn mutation_strategy(class: StrategyClass) -> Strategy {
+    match class {
+        StrategyClass::GoalDirected => Strategy::TopDown,
+        StrategyClass::All | StrategyClass::BottomUp => Strategy::SemiNaive,
+    }
+}
+
+fn pose_mutation_query(db: &mut DeductiveDb, query: &str, strategy: Strategy) -> (Outcome, bool) {
+    match db.query_with(query, strategy) {
+        Ok(o) if o.trip.is_some() => (
+            Outcome::Budget(o.trip.expect("matched Some").to_string()),
+            false,
+        ),
+        Ok(o) => {
+            let mut answers: Vec<String> = o.answers.iter().map(|a| a.to_string()).collect();
+            answers.sort();
+            (
+                Outcome::Ok {
+                    answers,
+                    counters: o.counters,
+                },
+                o.cached,
+            )
+        }
+        Err(DbError::Eval(
+            e @ (EvalError::DepthExceeded { .. }
+            | EvalError::FuelExceeded { .. }
+            | EvalError::BudgetExceeded { .. }),
+        )) => (Outcome::Budget(e.to_string()), false),
+        Err(e) => (Outcome::Err(e.to_string()), false),
+    }
+}
+
+/// Runs one mutation session at one thread count and returns its full
+/// log — one line per step covering answers, counters, cache behavior,
+/// repair work, and the materialization digest. The log is the
+/// cross-thread comparison key: it must be bit-identical at every
+/// thread count.
+fn run_mutation_session(
+    script: &MutationScript,
+    strategy: Strategy,
+    t: usize,
+) -> Result<Vec<String>, Mismatch> {
+    let case = &script.case;
+    let fail = |detail: String| Mismatch {
+        seed: case.seed,
+        shape: case.shape,
+        detail,
+    };
+    let parse_atom = |src: &str| {
+        crate::logic::parse_query(src)
+            .unwrap_or_else(|e| panic!("mutation fact `{src}` must parse: {e}"))
+    };
+    let build = |facts: &[String]| -> Result<DeductiveDb, Mismatch> {
+        let mut db = DeductiveDb::new();
+        let mut src = case.rules.clone();
+        src.push('\n');
+        for f in facts {
+            src.push_str(f);
+            src.push('\n');
+        }
+        db.load(&src).map_err(|e| fail(format!("load: {e}")))?;
+        db.set_threads(t);
+        db.solve_options.max_levels = 200;
+        Ok(db)
+    };
+    // The live side: answer cache on, materialized when the program is
+    // bottom-up evaluable. The twin is rebuilt from scratch after every
+    // mutation — recompute-from-scratch is the ground truth.
+    let mut live = build(&case.facts)?;
+    live.set_cache_enabled(true);
+    // Functional recursions enumerate unboundedly bottom-up (list heads
+    // grow): never ask them to materialize. Everything else must accept.
+    let materialized = if case.class == StrategyClass::GoalDirected {
+        false
+    } else {
+        live.materialize()
+            .map_err(|e| fail(format!("materialize: {e}")))?
+    };
+    let mut facts: Vec<String> = case.facts.clone();
+    let mut log: Vec<String> = vec![format!("materialized: {materialized}")];
+    let mut prev_complete = false;
+
+    // Step 0 is the cold query; each subsequent step applies one op and
+    // re-poses the same query on both sides.
+    for step in 0..=script.ops.len() {
+        let mut label = String::from("init");
+        let mut removed_line = String::new();
+        let mut expect_hit = false;
+        if step > 0 {
+            let op = &script.ops[step - 1];
+            label = op.to_string();
+            match op {
+                MutOp::Insert(f) => {
+                    // Any insert bumps the predicate's epoch — even a
+                    // duplicate — so the next pose must miss.
+                    live.add_fact(parse_atom(f));
+                    facts.push(format!("{f}."));
+                    expect_hit = false;
+                }
+                MutOp::Retract(f) => {
+                    let present = facts.iter().any(|x| x.trim().trim_end_matches('.') == f);
+                    let out = live
+                        .retract_fact(&parse_atom(f))
+                        .map_err(|e| fail(format!("retract {f}: {e}")))?;
+                    if out.removed != present {
+                        return Err(fail(format!(
+                            "retract {f} at threads={t}: removed={} but the \
+                             rebuilt twin says present={present}",
+                            out.removed
+                        )));
+                    }
+                    if present {
+                        facts.retain(|x| x.trim().trim_end_matches('.') != f);
+                    }
+                    // A no-op retraction moves nothing: cached answers
+                    // must keep hitting.
+                    expect_hit = !out.removed;
+                    removed_line = format!(" removed={} repair={:?}", out.removed, out.repair);
+                }
+            }
+        }
+        let (live_out, cached) = pose_mutation_query(&mut live, &case.query, strategy);
+        let mut twin = build(&facts)?;
+        let (twin_out, _) = pose_mutation_query(&mut twin, &case.query, strategy);
+        if live_out.without_counters() != twin_out.without_counters() {
+            return Err(fail(format!(
+                "{strategy} at threads={t} diverges from the rebuilt twin \
+                 after `{label}`:\n  live: {live_out:?}\nvs twin: {twin_out:?}"
+            )));
+        }
+        let complete = matches!(&live_out, Outcome::Ok { .. });
+        if step > 0 && expect_hit && prev_complete && complete && !cached {
+            return Err(fail(format!(
+                "{strategy} at threads={t}: re-query after no-op `{label}` \
+                 should have been a cache hit"
+            )));
+        }
+        if !expect_hit && cached && step > 0 {
+            return Err(fail(format!(
+                "{strategy} at threads={t}: re-query after `{label}` served \
+                 a stale cache entry"
+            )));
+        }
+        prev_complete = complete;
+        // The incrementally repaired materialization must be bit-identical
+        // to one built from scratch over the twin's EDB.
+        let mut digest_line = String::new();
+        if materialized {
+            if !live.is_materialized() {
+                return Err(fail(format!(
+                    "materialization lost after `{label}` at threads={t} \
+                     with no budget set"
+                )));
+            }
+            let twin_ok = twin
+                .materialize()
+                .map_err(|e| fail(format!("twin materialize: {e}")))?;
+            if !twin_ok {
+                return Err(fail(format!(
+                    "twin refuses to materialize after `{label}` at threads={t}"
+                )));
+            }
+            let live_digest = live.materialization_digest().expect("checked above");
+            let twin_digest = twin.materialization_digest().expect("checked above");
+            if live_digest != twin_digest {
+                let only_live: Vec<&String> = live_digest
+                    .iter()
+                    .filter(|l| !twin_digest.contains(l))
+                    .collect();
+                let only_twin: Vec<&String> = twin_digest
+                    .iter()
+                    .filter(|l| !live_digest.contains(l))
+                    .collect();
+                return Err(fail(format!(
+                    "repaired materialization diverges from a from-scratch \
+                     rebuild after `{label}` at threads={t}:\n  only live: \
+                     {only_live:?}\n  only twin: {only_twin:?}"
+                )));
+            }
+            digest_line = format!(
+                " digest={} rows, repairs={}",
+                live_digest.len(),
+                live.materialization().expect("checked above").repairs()
+            );
+        }
+        log.push(format!(
+            "{label}:{removed_line} cached={cached} {live_out:?}{digest_line}"
+        ));
+    }
+    Ok(log)
+}
+
+/// The lineage leg of the mutation oracle: with recording on, every
+/// witness surviving a retraction must still be valid — no proof may
+/// cite the retracted fact, directly or transitively
+/// ([`crate::provenance::evict_dependents`]).
+///
+/// Holds the process-global [`crate::provenance::exclusive`] session.
+fn check_retraction_provenance(
+    script: &MutationScript,
+    strategy: Strategy,
+    t: usize,
+) -> Result<(), Mismatch> {
+    if !script.ops.iter().any(|o| matches!(o, MutOp::Retract(_))) {
+        return Ok(());
+    }
+    let case = &script.case;
+    let fail = |detail: String| Mismatch {
+        seed: case.seed,
+        shape: case.shape,
+        detail,
+    };
+    let _session = crate::provenance::exclusive();
+    let mut db = DeductiveDb::new();
+    if let Err(e) = db.load(&case.program()) {
+        return Err(fail(format!("load: {e}")));
+    }
+    db.set_threads(t);
+    db.solve_options.max_levels = 200;
+    crate::provenance::clear();
+    crate::provenance::enable();
+    let result = (|| {
+        let record = |db: &mut DeductiveDb| match db.query_with(&case.query, strategy) {
+            Ok(_) => Ok(()),
+            Err(DbError::Eval(
+                EvalError::DepthExceeded { .. }
+                | EvalError::FuelExceeded { .. }
+                | EvalError::BudgetExceeded { .. },
+            )) => Ok(()),
+            Err(e) => Err(fail(format!("{strategy} failed: {e}"))),
+        };
+        record(&mut db)?;
+        for op in &script.ops {
+            let atom = crate::logic::parse_query(match op {
+                MutOp::Insert(f) | MutOp::Retract(f) => f,
+            })
+            .unwrap_or_else(|e| panic!("mutation fact must parse: {e}"));
+            match op {
+                MutOp::Insert(_) => {
+                    db.add_fact(atom);
+                }
+                MutOp::Retract(f) => {
+                    db.retract_fact(&atom)
+                        .map_err(|e| fail(format!("retract {f}: {e}")))?;
+                    let snap = crate::provenance::snapshot();
+                    validate_witnesses(&snap, &mut db, strategy, t)
+                        .map_err(|why| fail(format!("after retract {f}: {why}")))?;
+                }
+            }
+            // Re-record under the mutated EDB so later retractions also
+            // exercise eviction against fresh lineage.
+            record(&mut db)?;
+        }
+        Ok(())
+    })();
+    crate::provenance::disable();
+    crate::provenance::clear();
+    result
+}
+
+/// The **retraction-consistency invariant** (DESIGN.md §13): a live
+/// database running an interleaved insert/retract/query session — answer
+/// cache on, materialization maintained by incremental DRed repair —
+/// must stay indistinguishable from a twin rebuilt from scratch after
+/// every mutation, and the whole session log (answers, counters, cache
+/// hit/miss behavior, repair work, materialization digests) must be
+/// bit-identical at every thread count.
+pub fn check_retract_consistency(
+    script: &MutationScript,
+    threads: &[usize],
+) -> Result<(), Mismatch> {
+    assert!(!threads.is_empty(), "need at least one thread count");
+    let case = &script.case;
+    let strategy = mutation_strategy(case.class);
+    let mut reference: Option<(usize, Vec<String>)> = None;
+    for &t in threads {
+        let log = run_mutation_session(script, strategy, t)?;
+        match &reference {
+            None => reference = Some((t, log)),
+            Some((t0, ref_log)) => {
+                if &log != ref_log {
+                    return Err(Mismatch {
+                        seed: case.seed,
+                        shape: case.shape,
+                        detail: format!(
+                            "session log differs between threads={t0} and \
+                             threads={t}:\n{ref_log:#?}\nvs\n{log:#?}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    check_retraction_provenance(script, strategy, threads[0])
+}
+
+/// Greedily shrinks a failing mutation script: first halve the op
+/// sequence (a shorter session localizes which mutation breaks), then
+/// halve the EDB like [`shrink_case`].
+pub fn shrink_mutation_script(script: &MutationScript, threads: &[usize]) -> MutationScript {
+    let mut cur = script.clone();
+    while cur.ops.len() > 1 {
+        let half = cur.ops.len() / 2;
+        let first = MutationScript {
+            case: cur.case.clone(),
+            ops: cur.ops[..half].to_vec(),
+        };
+        if check_retract_consistency(&first, threads).is_err() {
+            cur = first;
+            continue;
+        }
+        let second = MutationScript {
+            case: cur.case.clone(),
+            ops: cur.ops[half..].to_vec(),
+        };
+        if check_retract_consistency(&second, threads).is_err() {
+            cur = second;
+            continue;
+        }
+        break;
+    }
+    while cur.case.facts.len() > 1 {
+        let half = cur.case.facts.len() / 2;
+        let first = MutationScript {
+            case: FuzzCase {
+                facts: cur.case.facts[..half].to_vec(),
+                ..cur.case.clone()
+            },
+            ops: cur.ops.clone(),
+        };
+        if check_retract_consistency(&first, threads).is_err() {
+            cur = first;
+            continue;
+        }
+        let second = MutationScript {
+            case: FuzzCase {
+                facts: cur.case.facts[half..].to_vec(),
+                ..cur.case.clone()
+            },
+            ops: cur.ops.clone(),
+        };
+        if check_retract_consistency(&second, threads).is_err() {
+            cur = second;
+            continue;
+        }
+        break;
+    }
+    cur
+}
+
+/// Runs `count` consecutive seeds through the retraction-consistency
+/// oracle. Returns the total number of mutation ops replayed.
+pub fn run_seeds_mutate(
+    start: u64,
+    count: u64,
+    threads: &[usize],
+) -> Result<u64, Box<(MutationScript, Mismatch)>> {
+    let mut total_ops = 0u64;
+    for seed in start..start + count {
+        let script = crate::workloads::fuzz::gen_mutation_script(seed);
+        match check_retract_consistency(&script, threads) {
+            Ok(()) => total_ops += script.ops.len() as u64,
+            Err(_) => {
+                let shrunk = shrink_mutation_script(&script, threads);
+                let m = check_retract_consistency(&shrunk, threads)
+                    .expect_err("shrunk script must still fail");
+                return Err(Box::new((shrunk, m)));
+            }
+        }
+    }
+    Ok(total_ops)
 }
 
 /// Runs `count` consecutive seeds through the crash-consistency oracle,

@@ -1,0 +1,63 @@
+//! Fast, non-random replay of the retraction regression corpus.
+//!
+//! Each `tests/corpus/mutation/*.dl` file is a scripted mutation session:
+//! a `% query:` header naming the goal, `% mutate:` headers listing the
+//! insert/retract ops in replay order, then the program. Every script
+//! replays through the same retraction-consistency oracle `fuzz --mutate`
+//! uses (DESIGN.md §13): a live database (answer cache on, maintained
+//! materialization repaired by incremental Delete-and-Rederive) runs the
+//! session in lockstep against a twin rebuilt from scratch after every
+//! op, and the whole session log — answers, repair outcomes, cache
+//! hit/miss behavior, materialization digests — must be bit-identical at
+//! thread counts 1, 2 and 4.
+
+use chain_split::differential::check_retract_consistency;
+use chain_split::workloads::fuzz::parse_mutation_corpus;
+use std::fs;
+use std::path::PathBuf;
+
+fn mutation_corpus_files() -> Vec<PathBuf> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/mutation");
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("tests/corpus/mutation must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "dl"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn mutation_corpus_replays_identically_across_thread_counts() {
+    let files = mutation_corpus_files();
+    assert!(
+        files.len() >= 5,
+        "retraction corpus unexpectedly small: {} scripts",
+        files.len()
+    );
+    for path in files {
+        let name: &'static str = Box::leak(
+            path.file_name()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned()
+                .into_boxed_str(),
+        );
+        let text = fs::read_to_string(&path).unwrap();
+        let script = parse_mutation_corpus(name, &text);
+        assert!(
+            !script.ops.is_empty(),
+            "{name}: a mutation fixture must carry `% mutate:` ops"
+        );
+        assert!(
+            script
+                .ops
+                .iter()
+                .any(|op| { matches!(op, chain_split::workloads::fuzz::MutOp::Retract(_)) }),
+            "{name}: a mutation fixture must exercise retraction"
+        );
+        if let Err(m) = check_retract_consistency(&script, &[1, 2, 4]) {
+            panic!("corpus {name}: {m}");
+        }
+    }
+}
