@@ -1,0 +1,85 @@
+//! Planner microbench (DESIGN.md §14): the skewed star join of
+//! experiment E9, planner-on vs planner-off, timed end to end through
+//! `DeductiveDb` so the measurement includes planning, provisioning and
+//! the plan cache — not just the join loop. The table-level ordinal
+//! claim (planner-on wins `probed` everywhere) lives in `table_e9`; this
+//! bench watches the wall-clock side of the same gap and the planner's
+//! own overhead on a workload where it cannot help (the plan equals the
+//! syntactic order).
+
+use chainsplit_bench::star_db;
+use chainsplit_core::{DeductiveDb, Strategy};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const HUBS: usize = 2;
+const SPOKES: usize = 32;
+const FANOUT: usize = 4;
+
+fn run(db: &mut DeductiveDb) -> usize {
+    db.query_with("q(A, B, C, H)", Strategy::SemiNaive)
+        .expect("star join evaluates")
+        .answers
+        .len()
+}
+
+fn bench_star_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_star_join");
+    group.bench_function("planner_on", |b| {
+        let mut db = star_db(HUBS, SPOKES, FANOUT);
+        let _ = db.system();
+        b.iter(|| run(&mut db))
+    });
+    group.bench_function("planner_off", |b| {
+        let mut db = star_db(HUBS, SPOKES, FANOUT);
+        db.set_plan_enabled(false);
+        let _ = db.system();
+        b.iter(|| run(&mut db))
+    });
+    group.finish();
+}
+
+fn bench_planner_overhead(c: &mut Criterion) {
+    // Transitive closure on a plain chain: every stored atom is the same
+    // size, so the planned order matches the syntactic one and the
+    // difference is pure planner bookkeeping (one cache hit per body per
+    // round after the first query).
+    let mut group = c.benchmark_group("planner_overhead_chain_tc");
+    let build = || {
+        let mut db = DeductiveDb::new();
+        db.load("path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).")
+            .unwrap();
+        for i in 0..64 {
+            db.load(&format!("edge(n{i}, n{}).", i + 1)).unwrap();
+        }
+        db
+    };
+    group.bench_function("planner_on", |b| {
+        let mut db = build();
+        let _ = db.system();
+        b.iter(|| {
+            db.query_with("path(n0, Y)", Strategy::SemiNaive)
+                .unwrap()
+                .answers
+                .len()
+        })
+    });
+    group.bench_function("planner_off", |b| {
+        let mut db = build();
+        db.set_plan_enabled(false);
+        let _ = db.system();
+        b.iter(|| {
+            db.query_with("path(n0, Y)", Strategy::SemiNaive)
+                .unwrap()
+                .answers
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = joins;
+    config = Criterion::default().sample_size(20);
+    targets = bench_star_join, bench_planner_overhead
+}
+criterion_main!(joins);

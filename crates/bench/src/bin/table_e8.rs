@@ -50,6 +50,9 @@ fn session(db: &mut DeductiveDb, query: &str, repeats: usize) -> Run {
         index_hits: total.index_hits,
         scans: total.scans,
         cache_hits: (db.cache_stats().hits - hits_before) as usize,
+        plan_hits: total.plan_hits,
+        plan_misses: total.plan_misses,
+        plan_replans: total.plan_replans,
         threads: db.threads(),
     }
 }

@@ -1,8 +1,9 @@
 //! # chainsplit-bench
 //!
 //! The benchmark harness regenerating the paper's evaluation (experiments
-//! E1–E7; see DESIGN.md §4 for the index and EXPERIMENTS.md for recorded
-//! results). Each `table_eN` binary prints one paper-style table; the
+//! E1–E7) plus the extension experiments (E8 answer cache, E9 join
+//! planner; see DESIGN.md §4 for the index and EXPERIMENTS.md for
+//! recorded results). Each `table_eN` binary prints one paper-style table; the
 //! criterion benches in `benches/` time the same configurations.
 //!
 //! The harness reports machine-independent counters (derived facts, magic
@@ -66,6 +67,12 @@ pub struct Run {
     /// the repeated-query experiment (E8) fills it in from
     /// [`DeductiveDb::cache_stats`].
     pub cache_hits: usize,
+    /// Join plans served from the plan cache (DESIGN.md §14).
+    pub plan_hits: usize,
+    /// Join plans computed for a body/signature seen for the first time.
+    pub plan_misses: usize,
+    /// Join plans recomputed after an epoch or size-band invalidation.
+    pub plan_replans: usize,
     /// Worker threads the run used (counters are thread-invariant; this
     /// contextualizes `wall_ms`).
     pub threads: usize,
@@ -91,6 +98,9 @@ pub fn measure(db: &mut DeductiveDb, query: &str, strategy: Strategy) -> Result<
             index_hits: o.counters.index_hits,
             scans: o.counters.scans,
             cache_hits: 0,
+            plan_hits: o.counters.plan_hits,
+            plan_misses: o.counters.plan_misses,
+            plan_replans: o.counters.plan_replans,
             threads: db.threads(),
         }),
         Err(e) => Err(e.to_string()),
@@ -114,6 +124,9 @@ pub fn run_from_magic(r: &chainsplit_engine::MagicResult, wall_ms: f64, threads:
         index_hits: r.counters.index_hits,
         scans: r.counters.scans,
         cache_hits: 0,
+        plan_hits: r.counters.plan_hits,
+        plan_misses: r.counters.plan_misses,
+        plan_replans: r.counters.plan_replans,
         threads,
     }
 }
@@ -160,6 +173,16 @@ pub fn sorting_db() -> DeductiveDb {
 pub fn append_db() -> DeductiveDb {
     let mut db = DeductiveDb::new();
     db.load(workloads::fixtures::APPEND).unwrap();
+    db
+}
+
+/// Builds the skewed star-join database (experiment E9, DESIGN.md §14).
+pub fn star_db(hubs: usize, spokes: usize, fanout: usize) -> DeductiveDb {
+    let mut db = DeductiveDb::new();
+    db.load(workloads::fixtures::STAR_JOIN).unwrap();
+    for f in workloads::star_join_facts(hubs, spokes, fanout) {
+        db.add_fact(f);
+    }
     db
 }
 

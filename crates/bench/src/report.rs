@@ -24,11 +24,15 @@ use std::fmt::Write as _;
 /// exceed `probed`.
 /// v4 added `cache_hits` (queries in the row answered from the answer
 /// cache, DESIGN.md §11; 0 everywhere except cache experiments).
-pub const BENCH_SCHEMA_VERSION: usize = 4;
+/// v5 added `plan_hits` / `plan_misses` / `plan_replans` (the cost-based
+/// join planner's cache counters, DESIGN.md §14) and, because the planner
+/// is on by default, changed the recorded join orders — `probed`,
+/// `matched`, `index_hits` and `scans` moved on planner-sensitive rows.
+pub const BENCH_SCHEMA_VERSION: usize = 5;
 
 /// The exact key set of one serialized row, in document order — pinned by
 /// a golden test so schema drift is deliberate.
-pub const BENCH_ROW_KEYS: [&str; 17] = [
+pub const BENCH_ROW_KEYS: [&str; 20] = [
     "param",
     "param_value",
     "method",
@@ -45,6 +49,9 @@ pub const BENCH_ROW_KEYS: [&str; 17] = [
     "index_hits",
     "scans",
     "cache_hits",
+    "plan_hits",
+    "plan_misses",
+    "plan_replans",
     "threads",
 ];
 
@@ -86,6 +93,12 @@ pub struct BenchRow {
     /// Queries in the row answered from the answer cache (DESIGN.md §11).
     /// Zero outside cache experiments: `measure` runs cache-off.
     pub cache_hits: usize,
+    /// Join plans served from the plan cache (DESIGN.md §14).
+    pub plan_hits: usize,
+    /// Join plans computed for a first-seen body/signature.
+    pub plan_misses: usize,
+    /// Join plans recomputed after an invalidation.
+    pub plan_replans: usize,
     /// Worker threads the row ran with (0 on DNF rows). Counters are
     /// thread-invariant by construction (DESIGN.md §5), so rows measured
     /// at different thread counts stay counter-comparable; `threads`
@@ -137,6 +150,9 @@ impl BenchReport {
             index_hits: r.index_hits,
             scans: r.scans,
             cache_hits: r.cache_hits,
+            plan_hits: r.plan_hits,
+            plan_misses: r.plan_misses,
+            plan_replans: r.plan_replans,
             threads: r.threads,
         });
     }
@@ -160,6 +176,9 @@ impl BenchReport {
             index_hits: 0,
             scans: 0,
             cache_hits: 0,
+            plan_hits: 0,
+            plan_misses: 0,
+            plan_replans: 0,
             threads: 0,
         });
     }
@@ -187,6 +206,9 @@ impl BenchReport {
                     ("index_hits".into(), Json::int(r.index_hits)),
                     ("scans".into(), Json::int(r.scans)),
                     ("cache_hits".into(), Json::int(r.cache_hits)),
+                    ("plan_hits".into(), Json::int(r.plan_hits)),
+                    ("plan_misses".into(), Json::int(r.plan_misses)),
+                    ("plan_replans".into(), Json::int(r.plan_replans)),
                     ("threads".into(), Json::int(r.threads)),
                 ])
             })
@@ -258,6 +280,9 @@ impl BenchReport {
                 index_hits: n("index_hits")?,
                 scans: n("scans")?,
                 cache_hits: n("cache_hits")?,
+                plan_hits: n("plan_hits")?,
+                plan_misses: n("plan_misses")?,
+                plan_replans: n("plan_replans")?,
                 threads: n("threads")?,
             });
         }
@@ -400,6 +425,9 @@ pub fn compare(old: &BenchReport, new: &BenchReport, opts: &CompareOptions) -> V
                 ("index_hits", o.index_hits, n.index_hits),
                 ("scans", o.scans, n.scans),
                 ("cache_hits", o.cache_hits, n.cache_hits),
+                ("plan_hits", o.plan_hits, n.plan_hits),
+                ("plan_misses", o.plan_misses, n.plan_misses),
+                ("plan_replans", o.plan_replans, n.plan_replans),
                 // `threads` is deliberately absent: it is run context,
                 // like wall_ms — counters must match across thread
                 // counts, which is exactly what this check proves.

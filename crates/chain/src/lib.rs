@@ -30,4 +30,7 @@ pub use finiteness::{check_finitely_evaluable, query_adornment, FinitenessConstr
 pub use graph::DepGraph;
 pub use modes::{builtin_modes, is_builtin, ModeTable};
 pub use rectify::{is_rectified, rectify_program, rectify_rule};
-pub use split::{exit_order, greedy_closure, plan_split, SplitError, SplitPlan};
+pub use split::{
+    exit_order, exit_order_costed, greedy_closure, greedy_closure_costed, plan_split,
+    plan_split_costed, CostFn, SplitError, SplitPlan,
+};

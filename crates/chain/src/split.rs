@@ -105,6 +105,13 @@ impl fmt::Display for SplitError {
 
 impl std::error::Error for SplitError {}
 
+/// A cardinality estimate for one atom given the currently bound
+/// variables: lower means "evaluate earlier". The chain crate has no
+/// access to stored relations, so callers that want statistics-driven
+/// ordering (the engine's cost-based join planner, DESIGN.md §14)
+/// inject it here; `None` keeps the syntactic first-evaluable order.
+pub type CostFn<'c> = &'c dyn Fn(&Atom, &HashSet<Var>) -> f64;
+
 /// Greedily orders `atoms` by finite evaluability starting from `bound`.
 /// Returns the chosen order and leaves `bound` extended with every variable
 /// the chosen atoms bind. Atoms whose index is in `skip` are never chosen.
@@ -114,6 +121,23 @@ pub fn greedy_closure(
     modes: &ModeTable,
     skip: &[usize],
 ) -> Vec<usize> {
+    greedy_closure_costed(atoms, bound, modes, skip, None)
+}
+
+/// [`greedy_closure`] with an optional cost model: among all atoms that
+/// are finitely evaluable under the current bound set, pick the one
+/// with the smallest estimate (first position wins ties). Because
+/// evaluability is monotone in the bound set (`Adornment::subsumes`),
+/// the *set* of atoms ordered is identical whichever evaluable
+/// candidate goes first — the cost model only changes the order within
+/// a sweep, never the split structure or the answers.
+pub fn greedy_closure_costed(
+    atoms: &[(usize, &Atom)],
+    bound: &mut HashSet<Var>,
+    modes: &ModeTable,
+    skip: &[usize],
+    cost: Option<CostFn<'_>>,
+) -> Vec<usize> {
     let mut order = Vec::new();
     let mut remaining: Vec<(usize, &Atom)> = atoms
         .iter()
@@ -121,10 +145,20 @@ pub fn greedy_closure(
         .copied()
         .collect();
     loop {
-        let pick = remaining.iter().position(|(_, a)| {
+        let evaluable = |(_, a): &(usize, &Atom)| {
             let ad = Adornment::of_atom(a, bound);
             modes.is_finite(a.pred, &ad)
-        });
+        };
+        let pick = match cost {
+            None => remaining.iter().position(evaluable),
+            Some(cost) => remaining
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| evaluable(c))
+                .map(|(k, (_, a))| (k, cost(a, bound)))
+                .min_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)))
+                .map(|(k, _)| k),
+        };
         match pick {
             Some(k) => {
                 let (idx, atom) = remaining.remove(k);
@@ -141,6 +175,17 @@ pub fn greedy_closure(
 /// Checks an exit rule is finitely evaluable when the head positions in
 /// `ad` are bound; returns the body evaluation order.
 pub fn exit_order(rule: &Rule, ad: &Adornment, modes: &ModeTable) -> Option<Vec<usize>> {
+    exit_order_costed(rule, ad, modes, None)
+}
+
+/// [`exit_order`] ranking evaluable candidates by `cost` (see
+/// [`greedy_closure_costed`]).
+pub fn exit_order_costed(
+    rule: &Rule,
+    ad: &Adornment,
+    modes: &ModeTable,
+    cost: Option<CostFn<'_>>,
+) -> Option<Vec<usize>> {
     let mut bound: HashSet<Var> = HashSet::new();
     for (j, arg) in rule.head.args.iter().enumerate() {
         if ad.0[j].is_bound() {
@@ -150,7 +195,7 @@ pub fn exit_order(rule: &Rule, ad: &Adornment, modes: &ModeTable) -> Option<Vec<
         }
     }
     let atoms: Vec<(usize, &Atom)> = rule.body.iter().enumerate().collect();
-    let order = greedy_closure(&atoms, &mut bound, modes, &[]);
+    let order = greedy_closure_costed(&atoms, &mut bound, modes, &[], cost);
     if order.len() != rule.body.len() {
         return None;
     }
@@ -171,6 +216,21 @@ pub fn plan_split(
     modes: &ModeTable,
     forced_delays: &[usize],
 ) -> Result<SplitPlan, SplitError> {
+    plan_split_costed(rec, query_ad, modes, forced_delays, None)
+}
+
+/// [`plan_split`] with a cost model ranking each sweep's evaluable
+/// candidates (see [`greedy_closure_costed`]). The split structure —
+/// which atoms land in the evaluated vs delayed portion, the stable
+/// adornment, the buffered variables — is identical with or without a
+/// cost model; only the order *within* each sweep changes.
+pub fn plan_split_costed(
+    rec: &CompiledRecursion,
+    query_ad: &Adornment,
+    modes: &ModeTable,
+    forced_delays: &[usize],
+    cost: Option<CostFn<'_>>,
+) -> Result<SplitPlan, SplitError> {
     assert_eq!(query_ad.len(), rec.arity());
     let path = rec.path_atoms();
 
@@ -182,7 +242,7 @@ pub fn plan_split(
             return Err(SplitError::AdornmentCollapsed);
         }
         let mut bound: HashSet<Var> = bound_pos.iter().map(|&j| rec.head_var(j)).collect();
-        let order = greedy_closure(&path, &mut bound, modes, forced_delays);
+        let order = greedy_closure_costed(&path, &mut bound, modes, forced_delays, cost);
         let rec_atom = rec.rec_atom();
         let next_pos: Vec<usize> = bound_pos
             .iter()
@@ -219,7 +279,7 @@ pub fn plan_split(
         .filter(|(i, _)| delayed_idxs.contains(i))
         .copied()
         .collect();
-    let delayed = greedy_closure(&delayed_atoms, &mut down_bound, modes, &[]);
+    let delayed = greedy_closure_costed(&delayed_atoms, &mut down_bound, modes, &[], cost);
     if delayed.len() != delayed_idxs.len() {
         let missing = delayed_atoms
             .iter()
@@ -241,7 +301,7 @@ pub fn plan_split(
     // --- Exit rules must be evaluable under the stable adornment. ---
     let mut exit_orders = Vec::with_capacity(rec.exit_rules.len());
     for er in &rec.exit_rules {
-        match exit_order(er, &adornment, modes) {
+        match exit_order_costed(er, &adornment, modes, cost) {
             Some(o) => exit_orders.push(o),
             None => {
                 return Err(SplitError::ExitNotEvaluable {

@@ -86,6 +86,11 @@ commands:
                                  exactly the affected entries)
   :cache stats                   hit/miss/invalidation/eviction counts
   :cache clear                   drop every cached answer set
+  :plan on|off                   toggle the cost-based join planner
+                                 (statistics-driven body ordering with a
+                                 per-adornment plan cache; answers are
+                                 identical either way)
+  :plan stats                    plan-cache hit/miss/replan counts
   :threads [N]                   show or set worker threads for parallel
                                  evaluation (default: CHAINSPLIT_THREADS
                                  or 1; answers and counters are identical
@@ -195,6 +200,7 @@ impl Shell {
             "timeout" => self.timeout_command(arg),
             "budget" => self.budget_command(arg),
             "cache" => self.cache_command(arg),
+            "plan" => self.plan_command(arg),
             "threads" => {
                 if arg.is_empty() {
                     format!("threads: {}", self.db.threads())
@@ -399,6 +405,31 @@ impl Shell {
                 "cache: cleared.".to_string()
             }
             _ => "usage: :cache [on|off|stats|clear]".to_string(),
+        }
+    }
+
+    fn plan_command(&mut self, arg: &str) -> String {
+        match arg {
+            "" => format!(
+                "plan: {}",
+                if self.db.plan_enabled() { "on" } else { "off" }
+            ),
+            "on" => {
+                self.db.set_plan_enabled(true);
+                "plan: on".to_string()
+            }
+            "off" => {
+                self.db.set_plan_enabled(false);
+                "plan: off".to_string()
+            }
+            "stats" => {
+                let s = self.db.plan_stats();
+                format!(
+                    "plan: hits {} | misses {} | replans {} | invalidations {}",
+                    s.hits, s.misses, s.replans, s.invalidations
+                )
+            }
+            _ => "usage: :plan [on|off|stats]".to_string(),
         }
     }
 
@@ -771,6 +802,28 @@ mod tests {
         assert!(sh.process(":cache").0.contains("0 entries"));
         assert_eq!(sh.process(":cache off").0, "cache: off");
         assert!(sh.process(":cache sideways").0.starts_with("usage:"));
+    }
+
+    #[test]
+    fn plan_command_round_trips() {
+        let mut sh = Shell::new();
+        sh.process("edge(1, 2). edge(2, 3).");
+        sh.process("path(X, Y) :- edge(X, Y).");
+        assert_eq!(sh.process(":plan").0, "plan: on");
+        sh.process("?- path(1, Y).");
+        let s = sh.process(":plan stats").0;
+        assert!(s.starts_with("plan: hits"), "{s}");
+        assert_eq!(sh.process(":plan off").0, "plan: off");
+        assert_eq!(sh.process(":plan").0, "plan: off");
+        assert_eq!(sh.process(":plan on").0, "plan: on");
+        assert!(sh.process(":plan sideways").0.starts_with("usage:"));
+        // :explain reports the planner switch and the per-rule join plans.
+        let e = sh.process(":explain path(1, Y)").0;
+        assert!(e.contains("planner: on"), "{e}");
+        assert!(e.contains("join plans:"), "{e}");
+        // :profile surfaces the plan-cache counters.
+        let p = sh.process(":profile path(1, Y)").0;
+        assert!(p.contains("plans: hits"), "{p}");
     }
 
     #[test]

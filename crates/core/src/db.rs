@@ -12,8 +12,8 @@ use crate::solver::{SolveOptions, Solver};
 use crate::system::System;
 use chainsplit_engine::{
     dred, duration_ms, naive_eval, seminaive_eval, tabled_query, topdown_query, unify_filter,
-    BottomUpOptions, Counters, EvalError, EvalMetrics, PhaseTimings, RepairOutcome, RoundMetrics,
-    TabledOptions, TopDownOptions,
+    BottomUpOptions, Counters, EvalError, EvalMetrics, JoinPlanner, PhaseTimings, PlanStats,
+    PlannerRef, RepairOutcome, RoundMetrics, TabledOptions, TopDownOptions,
 };
 use chainsplit_governor::{Budget, BudgetTrip, CancelToken, Governor};
 use chainsplit_logic::{parse_program, parse_rule, Atom, ParseError, Program, Subst, Term, Var};
@@ -211,6 +211,12 @@ pub struct DeductiveDb {
     /// The resource governor shared by every evaluator this db runs:
     /// deadlines, round/tuple/byte budgets, and cooperative cancellation.
     governor: Governor,
+    /// The cost-based join planner shared by every evaluator this db
+    /// runs: one plan cache, invalidated per predicate on fact mutations
+    /// and wholesale on recompiles (DESIGN.md §14). The same handle is
+    /// installed in every options struct at construction, so options
+    /// clones keep sharing it.
+    planner: PlannerRef,
     /// The maintained IDB fixpoint plus support counts (DESIGN.md §13).
     /// `None` until [`materialize`](Self::materialize); dropped on any
     /// rule-program change or mid-repair budget trip.
@@ -225,6 +231,7 @@ impl Default for DeductiveDb {
 
 impl DeductiveDb {
     pub fn new() -> DeductiveDb {
+        let planner = JoinPlanner::shared();
         DeductiveDb {
             source: Program::default(),
             constraints: Vec::new(),
@@ -233,14 +240,42 @@ impl DeductiveDb {
             edb_epochs: std::collections::HashMap::new(),
             cache: crate::cache::AnswerCache::default(),
             cache_enabled: false,
-            solve_options: SolveOptions::default(),
-            bottom_up_options: BottomUpOptions::default(),
+            solve_options: SolveOptions {
+                planner: planner.clone(),
+                ..SolveOptions::default()
+            },
+            bottom_up_options: BottomUpOptions {
+                planner: planner.clone(),
+                ..BottomUpOptions::default()
+            },
             top_down_options: TopDownOptions::default(),
-            tabled_options: TabledOptions::default(),
+            tabled_options: TabledOptions {
+                planner: planner.clone(),
+                ..TabledOptions::default()
+            },
             cost_model: CostModel::default(),
             governor: Governor::new(),
+            planner,
             materialization: None,
         }
+    }
+
+    /// Turns cost-based join planning on or off for every evaluator this
+    /// db runs (`:plan on|off`). Toggling clears the plan cache either
+    /// way — cached orders never outlive the policy that chose them.
+    pub fn set_plan_enabled(&self, on: bool) {
+        self.planner.set_enabled(on);
+    }
+
+    /// Whether cost-based join planning is on.
+    pub fn plan_enabled(&self) -> bool {
+        self.planner.is_enabled()
+    }
+
+    /// Cumulative plan-cache hit/miss/replan/invalidation counts
+    /// (`:plan stats`).
+    pub fn plan_stats(&self) -> PlanStats {
+        self.planner.stats()
     }
 
     /// The governor every query on this db runs under.
@@ -371,6 +406,7 @@ impl DeductiveDb {
             sys.edb.remove_fact(fact);
         }
         *self.edb_epochs.entry(fact.pred).or_insert(0) += 1;
+        self.planner.bump_epoch(fact.pred);
         if chainsplit_provenance::is_enabled() {
             outcome.witnesses_evicted = chainsplit_provenance::evict_dependents(fact);
         }
@@ -469,6 +505,7 @@ impl DeductiveDb {
             }
         }
         *self.edb_epochs.entry(fact.pred).or_insert(0) += 1;
+        self.planner.bump_epoch(fact.pred);
         if self.materialization.is_some() {
             self.repair_materialization(&fact, dred::assert_fact);
         }
@@ -517,6 +554,9 @@ impl DeductiveDb {
         self.program_epoch += 1;
         self.edb_epochs.clear();
         self.cache.clear();
+        // A recompile re-rectifies bodies and rebuilds the EDB, so every
+        // cached plan (and every statistic) is for a dead program shape.
+        self.planner.clear();
     }
 
     /// The compiled system (compiling on first use).
@@ -960,6 +1000,7 @@ impl DeductiveDb {
     pub fn explain(&mut self, query: &str) -> Result<String, DbError> {
         use std::fmt::Write;
         let (atom, _) = self.parse_goal(query)?;
+        let planner = self.planner.clone();
         let sys = self.system();
         let mut out = String::new();
         let class = sys.class_of(atom.pred);
@@ -1001,6 +1042,64 @@ impl DeductiveDb {
             }
         } else {
             writeln!(out, "not chain-compiled").unwrap();
+        }
+        // The cost-based join plan preview (DESIGN.md §14): plan each
+        // rule defining this predicate against the current statistics,
+        // without touching the plan cache, the seen set, or any counter.
+        writeln!(
+            out,
+            "planner: {}",
+            if planner.is_enabled() { "on" } else { "off" }
+        )
+        .unwrap();
+        if planner.is_enabled() {
+            writeln!(out, "join plans:").unwrap();
+            let mut shown = 0usize;
+            for rule in sys
+                .rectified
+                .rules
+                .iter()
+                .filter(|r| r.head.pred == atom.pred)
+            {
+                // Bind head variables to the query's ground arguments so
+                // the plan sees the same groundness the executor would.
+                let mut probe = Subst::new();
+                let applicable =
+                    rule.head.args.iter().zip(atom.args.iter()).all(|(ha, qa)| {
+                        !qa.is_ground() || chainsplit_logic::unify(&mut probe, ha, qa)
+                    });
+                if !applicable {
+                    continue;
+                }
+                let tagged: Vec<(&Atom, chainsplit_engine::AtomSource)> = rule
+                    .body
+                    .iter()
+                    .map(|a| (a, chainsplit_engine::AtomSource::Auto))
+                    .collect();
+                let plan = planner.preview(&tagged, &probe, &|p| sys.edb.relation(p));
+                let steps: Vec<String> = plan
+                    .order
+                    .iter()
+                    .zip(plan.est_rows.iter())
+                    .map(|(&j, est)| format!("{} (est {est:.1})", rule.body[j]))
+                    .collect();
+                if steps.is_empty() {
+                    writeln!(out, "  rule {shown}: (no stored atoms)").unwrap();
+                } else {
+                    writeln!(out, "  rule {shown}: {}", steps.join(" -> ")).unwrap();
+                }
+                shown += 1;
+            }
+            if shown == 0 {
+                writeln!(out, "  (no rules for this predicate)").unwrap();
+            }
+            let st = planner.stats();
+            writeln!(
+                out,
+                "plan cache: {} hits, {} misses, {} replans",
+                st.hits, st.misses, st.replans
+            )
+            .unwrap();
         }
         Ok(out)
     }

@@ -17,9 +17,10 @@
 
 use crate::buffered::eval_buffered;
 use crate::system::System;
-use chainsplit_chain::plan_split;
+use chainsplit_chain::{plan_split, plan_split_costed};
 use chainsplit_engine::{
-    eval_builtin, match_relation, BuiltinOutcome, Counters, EvalError, RoundMetrics,
+    eval_builtin, match_relation, BuiltinOutcome, Counters, EvalError, JoinPlanner, PlannerRef,
+    RoundMetrics,
 };
 use chainsplit_governor::{BudgetTrip, Governor};
 use chainsplit_logic::{fresh, unify_atoms, Ad, Adornment, Atom, Subst};
@@ -41,6 +42,12 @@ pub struct SolveOptions {
     /// The resource governor, polled every 1024 goal invocations and at
     /// every buffered up-sweep level. Disarmed by default.
     pub governor: Governor,
+    /// The cost-based join planner. When enabled, dynamic body ordering
+    /// lifts selective EDB probes (by estimated expansion) ahead of IDB
+    /// subgoals; IDB subgoals keep their evaluability-driven order —
+    /// reordering them would change which adornments recursions are
+    /// called under, which is exactly what the mode analysis guards.
+    pub planner: PlannerRef,
 }
 
 impl Default for SolveOptions {
@@ -51,6 +58,7 @@ impl Default for SolveOptions {
             max_levels: 100_000,
             threads: chainsplit_par::env_threads(),
             governor: Governor::new(),
+            planner: JoinPlanner::shared(),
         }
     }
 }
@@ -92,6 +100,39 @@ impl<'a> Solver<'a> {
             trip: None,
             fuel_left,
         }
+    }
+
+    /// Chain-split planning, with the cost model injected when the join
+    /// planner is on: each sweep's finitely-evaluable candidates are
+    /// ranked by their estimated expansion against the stored extension
+    /// (DESIGN.md §14). The split *structure* — evaluated/delayed sets,
+    /// stable adornment, buffered variables — is identical either way,
+    /// so answers do not depend on the planner switch.
+    fn plan_chain(
+        &self,
+        rec: &chainsplit_chain::CompiledRecursion,
+        ad: &Adornment,
+    ) -> Result<chainsplit_chain::SplitPlan, chainsplit_chain::SplitError> {
+        if !self.opts.planner.is_enabled() {
+            return plan_split(rec, ad, &self.sys.modes, &[]);
+        }
+        let cost = |a: &Atom, bound: &std::collections::HashSet<chainsplit_logic::Var>| -> f64 {
+            match self.sys.edb.relation(a.pred) {
+                Some(rel) => {
+                    let cols: Vec<usize> = a
+                        .args
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.vars().iter().all(|v| bound.contains(v)))
+                        .map(|(j, _)| j)
+                        .collect();
+                    self.opts.planner.expansion(a.pred, &cols, rel)
+                }
+                // Unknown predicate: empty extension, prunes instantly.
+                None => 0.0,
+            }
+        };
+        plan_split_costed(rec, ad, &self.sys.modes, &[], Some(&cost))
     }
 
     fn spend(&mut self) -> Result<(), EvalError> {
@@ -147,7 +188,7 @@ impl<'a> Solver<'a> {
             if let Some(rec) = self.sys.compiled.get(&atom.pred) {
                 if rec.n_chains() >= 1 {
                     let ad = runtime_adornment(atom, s);
-                    if let Ok(plan) = plan_split(rec, &ad, &self.sys.modes, &[]) {
+                    if let Ok(plan) = self.plan_chain(rec, &ad) {
                         return eval_buffered(self, rec, &plan, atom, s, depth, None, out);
                     }
                 }
@@ -208,6 +249,58 @@ impl<'a> Solver<'a> {
         true // EDB / unknown: finite extension
     }
 
+    /// Picks the next subgoal of a conjunction. Planner off: the first
+    /// finitely evaluable atom in syntactic order. Planner on: the first
+    /// ready builtin (filters prune at unit cost), then the cheapest EDB
+    /// probe by estimated expansion — lifted over an IDB subgoal only
+    /// when it probes at least one bound column (a blind scan ahead of a
+    /// recursion would be a cross product). IDB subgoals are never
+    /// lifted past one another: their evaluability-driven order decides
+    /// which adornments recursions are called under, which is exactly
+    /// what the mode analysis guards.
+    fn pick_subgoal(&self, atoms: &[&Atom], s: &Subst) -> Option<usize> {
+        let first = (0..atoms.len()).find(|&i| self.ready(atoms[i], s))?;
+        if !self.opts.planner.is_enabled() {
+            return Some(first);
+        }
+        if let Some(b) = (0..atoms.len())
+            .find(|&i| chainsplit_chain::is_builtin(atoms[i].pred) && self.ready(atoms[i], s))
+        {
+            return Some(b);
+        }
+        let first_is_idb = self.sys.is_idb(atoms[first].pred);
+        let best_edb = (0..atoms.len())
+            .filter_map(|i| {
+                let a = atoms[i];
+                if chainsplit_chain::is_builtin(a.pred) || self.sys.is_idb(a.pred) {
+                    return None;
+                }
+                let cols: Vec<usize> = a
+                    .args
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| s.is_ground(t))
+                    .map(|(j, _)| j)
+                    .collect();
+                let est = match self.sys.edb.relation(a.pred) {
+                    Some(rel) => {
+                        if first_is_idb && cols.is_empty() && !rel.is_empty() {
+                            return None;
+                        }
+                        self.opts.planner.expansion(a.pred, &cols, rel)
+                    }
+                    // Unknown predicate: empty extension, prunes instantly.
+                    None => 0.0,
+                };
+                Some((i, est))
+            })
+            .min_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+        match best_edb {
+            Some((i, _)) => Some(i),
+            None => Some(first),
+        }
+    }
+
     /// Solves a conjunction with dynamic, evaluability-driven ordering.
     pub fn solve_body_dynamic(
         &mut self,
@@ -216,7 +309,7 @@ impl<'a> Solver<'a> {
         depth: usize,
         out: &mut Vec<Subst>,
     ) -> Result<(), EvalError> {
-        let Some(pick) = (0..atoms.len()).find(|&i| self.ready(atoms[i], s)) else {
+        let Some(pick) = self.pick_subgoal(atoms, s) else {
             if atoms.is_empty() {
                 self.counters.derived += 1;
                 out.push(s.clone());
@@ -288,7 +381,7 @@ impl<'a> Solver<'a> {
             if let Some(rec) = self.sys.compiled.get(&atom.pred) {
                 if rec.n_chains() >= 1 {
                     let ad = runtime_adornment(atom, s);
-                    if let Ok(plan) = plan_split(rec, &ad, &self.sys.modes, &[]) {
+                    if let Ok(plan) = self.plan_chain(rec, &ad) {
                         let mut out = Vec::new();
                         eval_buffered(self, rec, &plan, atom, s, depth, None, &mut out)?;
                         return Ok(out.into_iter().next());
@@ -338,7 +431,7 @@ impl<'a> Solver<'a> {
             self.counters.derived += 1;
             return Ok(Some(s.clone()));
         }
-        let Some(pick) = (0..atoms.len()).find(|&i| self.ready(atoms[i], s)) else {
+        let Some(pick) = self.pick_subgoal(atoms, s) else {
             return Err(EvalError::NotEvaluable {
                 atom: s.resolve_atom(atoms[0]).to_string(),
             });

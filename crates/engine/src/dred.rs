@@ -45,8 +45,9 @@
 //! (mid-repair state is not a consistent fixpoint).
 
 use crate::error::{Counters, EvalError};
-use crate::eval::{eval_body, AtomSource};
+use crate::eval::{eval_body, eval_body_planned, AtomSource};
 use crate::naive::BottomUpOptions;
+use crate::plan::JoinPlanner;
 use crate::seminaive::{join_key_cols, seminaive_eval, DELTA_PARTITIONS};
 use chainsplit_governor::{BudgetTrip, Governor};
 use chainsplit_logic::{unify_atoms, Atom, Pred, Rule, Subst};
@@ -203,11 +204,24 @@ pub fn materialize(
         .map(|&p| (p, SupportCounts::new()))
         .collect();
     let gov = &opts.governor;
+    // The fixpoint's cached plans were estimated while the IDB relations
+    // were still growing (or absent); the support pass joins over the
+    // materialized state, so force replans against the final cardinalities.
+    for &p in &idb_preds {
+        opts.planner.bump_epoch(p);
+    }
     for rule in rules {
         let tagged: Vec<(&Atom, AtomSource)> =
             rule.body.iter().map(|a| (a, AtomSource::Auto)).collect();
         let lookup = |p: Pred| live.relation(p);
-        let sols = match eval_body(&tagged, Subst::new(), &lookup, &mut counters, gov) {
+        let sols = match eval_body_planned(
+            &tagged,
+            Subst::new(),
+            &lookup,
+            &mut counters,
+            gov,
+            &opts.planner,
+        ) {
             Ok(sols) => sols,
             Err(e) => match e.budget_trip() {
                 Some(trip) => {
@@ -311,6 +325,7 @@ fn run_units(
     overlay_on_gt: bool,
     head_filter: Option<&BTreeMap<Pred, FxHashSet<Tuple>>>,
     gov: &Governor,
+    planner: &JoinPlanner,
     counters: &mut Counters,
 ) -> Result<(UnitResults, Option<BudgetTrip>), EvalError> {
     let mut units: Vec<(usize, usize, Relation)> = Vec::new();
@@ -372,7 +387,10 @@ fn run_units(
                     }
                 }
                 let lookup = |p: Pred| live.relation(p);
-                for s in eval_body(&tagged, Subst::new(), &lookup, &mut c, gov)? {
+                // Every stored atom is pinned `Fixed` above, so cached
+                // plans adapt to repair-time mutations purely through the
+                // 4× size bands — no epoch bookkeeping needed here.
+                for s in eval_body_planned(&tagged, Subst::new(), &lookup, &mut c, gov, planner)? {
                     let head = s.resolve_atom(&rule.head);
                     if !head.is_ground() {
                         return Err(EvalError::NotEvaluable {
@@ -523,6 +541,7 @@ pub fn assert_fact(
             false,
             None,
             gov,
+            &opts.planner,
             &mut outcome.counters,
         )?;
         if let Some(trip) = trip {
@@ -778,6 +797,7 @@ pub fn retract(
             true,
             None,
             gov,
+            &opts.planner,
             &mut outcome.counters,
         )?;
         if let Some(trip) = trip {
@@ -888,6 +908,7 @@ pub fn retract(
                 false,
                 Some(&candidates),
                 gov,
+                &opts.planner,
                 &mut outcome.counters,
             )?;
             if let Some(trip) = trip {

@@ -154,6 +154,13 @@ pub struct Counters {
     pub scans: usize,
     /// Builtin (arithmetic / comparison / list) evaluations.
     pub builtin_evals: usize,
+    /// Join-plan cache lookups served by a cached, still-valid plan.
+    pub plan_hits: usize,
+    /// First-ever plan computations for a (body, groundness signature).
+    pub plan_misses: usize,
+    /// Plan recomputations: a delta crossed a 4× size band, or a
+    /// supporting predicate's EDB epoch moved.
+    pub plan_replans: usize,
 }
 
 impl Counters {
@@ -168,6 +175,9 @@ impl Counters {
         self.index_builds += other.index_builds;
         self.scans += other.scans;
         self.builtin_evals += other.builtin_evals;
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.plan_replans += other.plan_replans;
     }
 
     /// The work done since `earlier` (a snapshot of `self` taken before a
@@ -185,6 +195,9 @@ impl Counters {
             index_builds: self.index_builds - earlier.index_builds,
             scans: self.scans - earlier.scans,
             builtin_evals: self.builtin_evals - earlier.builtin_evals,
+            plan_hits: self.plan_hits - earlier.plan_hits,
+            plan_misses: self.plan_misses - earlier.plan_misses,
+            plan_replans: self.plan_replans - earlier.plan_replans,
         }
     }
 

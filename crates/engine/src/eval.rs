@@ -5,15 +5,21 @@
 //! and a set of input substitutions, join the body atoms — builtins
 //! procedurally, stored predicates against their relations — producing the
 //! output substitutions. Atom order is chosen *dynamically*: at each step
-//! the first currently-evaluable atom runs, so builtins wait for their
-//! inputs without any static analysis here (the static story lives in
-//! `chainsplit-chain`; at run time we only need an order to exist).
+//! evaluable builtins run first (they only filter or compute), and the
+//! stored atoms follow either the cost-based [`JoinPlanner`]'s cached
+//! greedy min-estimated-output order (DESIGN.md §14, the default) or —
+//! planner off — a syntactic score by ascending free-argument count, so
+//! builtins wait for their inputs without any static analysis here (the
+//! static story lives in `chainsplit-chain`; at run time we only need an
+//! order to exist).
 
 use crate::builtins::{eval_builtin, is_builtin_atom, BuiltinOutcome};
 use crate::error::{Counters, EvalError};
+use crate::plan::{JoinPlan, JoinPlanner};
 use chainsplit_governor::Governor;
 use chainsplit_logic::{unify, Atom, Pred, Subst, Term};
 use chainsplit_relation::{FxHashMap, Relation};
+use std::sync::Arc;
 
 /// Test-only escape hatch back to the per-substitution executor.
 ///
@@ -136,40 +142,49 @@ pub fn match_relation_frontier(
             free.push(i);
         }
     }
-    // Probe memo: distinct key -> the tuples it selected. Buckets hold
-    // borrowed tuples; draining the selection inside the miss arm keeps
-    // the index read lock scoped to the physical probe.
-    let mut memo: FxHashMap<Vec<Term>, Vec<&chainsplit_relation::Tuple>> = FxHashMap::default();
+    // Probe memo: distinct key -> the tuples it selected. Buckets live in
+    // a side table and the memo maps keys to bucket ids, so a repeated key
+    // pays exactly one hash lookup (the old `contains_key` + `insert` +
+    // `memo[&key]` shape hashed three times per substitution and cloned
+    // the key on every miss). Buckets hold borrowed tuples; draining the
+    // selection inside the miss arm keeps the index read lock scoped to
+    // the physical probe.
+    let mut buckets: Vec<Vec<&chainsplit_relation::Tuple>> = Vec::new();
+    let mut memo: FxHashMap<Vec<Term>, usize> = FxHashMap::default();
     let mut key_buf: Vec<Term> = Vec::with_capacity(cols.len());
     for s in frontier {
         key_buf.clear();
         for &c in &cols {
             key_buf.push(s.resolve(&atom.args[c]));
         }
-        if !memo.contains_key(&key_buf) {
-            let mut sel = rel.select(&cols, &key_buf);
-            counters.record_path(sel.path());
-            let mut select_span = chainsplit_trace::Span::enter_cat("select", "access");
-            if select_span.is_recording() {
-                use chainsplit_relation::AccessPath;
-                select_span.set_attr("pred", atom.pred);
-                select_span.set_attr(
-                    "path",
-                    match sel.path() {
-                        AccessPath::IndexHit => "index_hit",
-                        AccessPath::IndexBuild => "index_build",
-                        AccessPath::KeyScan => "key_scan",
-                        AccessPath::FullScan => "full_scan",
-                    },
-                );
+        let bucket_id = match memo.get(&key_buf) {
+            Some(&id) => id,
+            None => {
+                let mut sel = rel.select(&cols, &key_buf);
+                counters.record_path(sel.path());
+                let mut select_span = chainsplit_trace::Span::enter_cat("select", "access");
+                if select_span.is_recording() {
+                    use chainsplit_relation::AccessPath;
+                    select_span.set_attr("pred", atom.pred);
+                    select_span.set_attr(
+                        "path",
+                        match sel.path() {
+                            AccessPath::IndexHit => "index_hit",
+                            AccessPath::IndexBuild => "index_build",
+                            AccessPath::KeyScan => "key_scan",
+                            AccessPath::FullScan => "full_scan",
+                        },
+                    );
+                }
+                let bucket: Vec<_> = sel.by_ref().collect();
+                counters.probed += sel.inspected();
+                drop(sel);
+                buckets.push(bucket);
+                memo.insert(key_buf.clone(), buckets.len() - 1);
+                buckets.len() - 1
             }
-            let bucket: Vec<_> = sel.by_ref().collect();
-            counters.probed += sel.inspected();
-            drop(sel);
-            memo.insert(key_buf.clone(), bucket);
-        }
-        let bucket = &memo[&key_buf];
-        for &tuple in bucket {
+        };
+        for &tuple in &buckets[bucket_id] {
             // `select` already guarantees equality on the bound columns,
             // and tuple fields are ground — only the free positions need
             // unification, against a copy-on-write fork of `s`.
@@ -213,7 +228,29 @@ pub fn eval_body<'a>(
     // A frontier grown from a single substitution stays
     // groundness-uniform (every atom binds the same variables in every
     // branch), so non-uniformity here is a bug worth asserting on.
-    eval_frontier(body.to_vec(), vec![init], lookup, counters, gov, true)
+    eval_frontier(body.to_vec(), vec![init], lookup, counters, gov, true, None)
+}
+
+/// [`eval_body`] with a [`JoinPlanner`]: stored atoms run in the planner's
+/// cost-based order (syntactic order when the planner is disabled).
+pub fn eval_body_planned<'a>(
+    body: &[(&Atom, AtomSource<'a>)],
+    init: Subst,
+    lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
+    counters: &mut Counters,
+    gov: &Governor,
+    planner: &JoinPlanner,
+) -> Result<Vec<Subst>, EvalError> {
+    let planner = planner.is_enabled().then_some(planner);
+    eval_frontier(
+        body.to_vec(),
+        vec![init],
+        lookup,
+        counters,
+        gov,
+        true,
+        planner,
+    )
 }
 
 /// Like [`eval_body_frontier`], but the caller asserts the frontier is
@@ -228,7 +265,28 @@ pub fn eval_body_uniform<'a>(
     counters: &mut Counters,
     gov: &Governor,
 ) -> Result<Vec<Subst>, EvalError> {
-    eval_frontier(body.to_vec(), frontier, lookup, counters, gov, true)
+    eval_frontier(body.to_vec(), frontier, lookup, counters, gov, true, None)
+}
+
+/// [`eval_body_uniform`] with a [`JoinPlanner`].
+pub fn eval_body_uniform_planned<'a>(
+    body: &[(&Atom, AtomSource<'a>)],
+    frontier: Vec<Subst>,
+    lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
+    counters: &mut Counters,
+    gov: &Governor,
+    planner: &JoinPlanner,
+) -> Result<Vec<Subst>, EvalError> {
+    let planner = planner.is_enabled().then_some(planner);
+    eval_frontier(
+        body.to_vec(),
+        frontier,
+        lookup,
+        counters,
+        gov,
+        true,
+        planner,
+    )
 }
 
 /// Like [`eval_body`], but starting from an arbitrary set of input
@@ -242,7 +300,30 @@ pub fn eval_body_frontier<'a>(
     counters: &mut Counters,
     gov: &Governor,
 ) -> Result<Vec<Subst>, EvalError> {
-    eval_frontier(body.to_vec(), frontier, lookup, counters, gov, false)
+    eval_frontier(body.to_vec(), frontier, lookup, counters, gov, false, None)
+}
+
+/// [`eval_body_frontier`] with a [`JoinPlanner`]. Mixed frontiers are
+/// split into groundness-uniform groups first; each group is planned (and
+/// cached) under its own signature.
+pub fn eval_body_frontier_planned<'a>(
+    body: &[(&Atom, AtomSource<'a>)],
+    frontier: Vec<Subst>,
+    lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
+    counters: &mut Counters,
+    gov: &Governor,
+    planner: &JoinPlanner,
+) -> Result<Vec<Subst>, EvalError> {
+    let planner = planner.is_enabled().then_some(planner);
+    eval_frontier(
+        body.to_vec(),
+        frontier,
+        lookup,
+        counters,
+        gov,
+        false,
+        planner,
+    )
 }
 
 /// Per-atom bitmask of which arguments are ground under `s`, over the
@@ -264,6 +345,7 @@ fn groundness_sig(remaining: &[(&Atom, AtomSource)], s: &Subst) -> Vec<u64> {
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn eval_frontier<'a>(
     mut remaining: Vec<(&Atom, AtomSource<'a>)>,
     mut frontier: Vec<Subst>,
@@ -271,7 +353,14 @@ fn eval_frontier<'a>(
     counters: &mut Counters,
     gov: &Governor,
     expect_uniform: bool,
+    planner: Option<&JoinPlanner>,
 ) -> Result<Vec<Subst>, EvalError> {
+    // Original body position of each entry still in `remaining` — the
+    // cached plan's `order` speaks in these, and removals shift the rest.
+    let mut orig: Vec<usize> = (0..remaining.len()).collect();
+    // Lazily computed on the first iteration that survives the uniformity
+    // check: (plan, how many of its stored steps have run).
+    let mut plan: Option<(Arc<JoinPlan>, usize)> = None;
     while !remaining.is_empty() {
         if frontier.is_empty() {
             return Ok(vec![]);
@@ -322,53 +411,84 @@ fn eval_frontier<'a>(
                         counters,
                         gov,
                         false,
+                        planner,
                     )?);
                 }
                 return Ok(all);
             }
         }
-        // Pick the most useful evaluable atom under the frontier: evaluable
-        // builtins first (they only filter/compute), then stored atoms by
-        // descending bound-argument count — a selective indexed lookup must
-        // run before an unconstrained scan, or joins go cross-product. The
+        // Pick the next atom under the frontier. Evaluable builtins always
+        // go first (they only filter/compute). For the stored atoms, the
+        // cost-based planner — when present — dictates the order from a
+        // cached greedy min-estimated-output plan; otherwise the syntactic
+        // score ranks them by ascending free-argument count. The
         // uniformity check above makes the first substitution
         // representative of the whole frontier.
         let probe = &frontier[0];
-        let score = |a: &Atom, src: &AtomSource| -> Option<(u8, usize)> {
-            match src {
-                AtomSource::Fixed(_) => {
-                    let free = a.args.iter().filter(|t| !probe.is_ground(t)).count();
-                    Some((1, free))
-                }
-                AtomSource::Auto => {
-                    if is_builtin_atom(a) {
-                        if matches!(
-                            eval_builtin(a, probe),
-                            Ok(Some(BuiltinOutcome::NotEvaluable))
-                        ) {
-                            None
-                        } else {
-                            Some((0, 0))
-                        }
-                    } else {
+        if let Some(planner) = planner {
+            if plan.is_none() {
+                let sig = groundness_sig(&remaining, probe);
+                let p = planner.plan(&remaining, &sig, probe, lookup, counters);
+                planner.provision(&p, &remaining, lookup, counters);
+                plan = Some((p, 0));
+            }
+        }
+        // (position in `remaining`, did it come off the plan's order).
+        let pick: Option<(usize, bool)> = if let Some((p, pos)) = &plan {
+            let evaluable_builtin = remaining.iter().position(|(a, src)| {
+                matches!(src, AtomSource::Auto)
+                    && is_builtin_atom(a)
+                    && !matches!(
+                        eval_builtin(a, probe),
+                        Ok(Some(BuiltinOutcome::NotEvaluable))
+                    )
+            });
+            match evaluable_builtin {
+                Some(k) => Some((k, false)),
+                None => p
+                    .order
+                    .get(*pos)
+                    .and_then(|&o| orig.iter().position(|&x| x == o))
+                    .map(|k| (k, true)),
+            }
+        } else {
+            let score = |a: &Atom, src: &AtomSource| -> Option<(u8, usize)> {
+                match src {
+                    AtomSource::Fixed(_) => {
                         let free = a.args.iter().filter(|t| !probe.is_ground(t)).count();
                         Some((1, free))
                     }
+                    AtomSource::Auto => {
+                        if is_builtin_atom(a) {
+                            if matches!(
+                                eval_builtin(a, probe),
+                                Ok(Some(BuiltinOutcome::NotEvaluable))
+                            ) {
+                                None
+                            } else {
+                                Some((0, 0))
+                            }
+                        } else {
+                            let free = a.args.iter().filter(|t| !probe.is_ground(t)).count();
+                            Some((1, free))
+                        }
+                    }
                 }
-            }
+            };
+            remaining
+                .iter()
+                .enumerate()
+                .filter_map(|(i, (a, src))| score(a, src).map(|sc| (sc, i)))
+                .min()
+                .map(|(_, i)| (i, false))
         };
-        let pick = remaining
-            .iter()
-            .enumerate()
-            .filter_map(|(i, (a, src))| score(a, src).map(|sc| (sc, i)))
-            .min()
-            .map(|(_, i)| i);
-        let Some(k) = pick else {
+        let Some((k, from_plan)) = pick else {
             return Err(EvalError::NotEvaluable {
                 atom: remaining[0].0.to_string(),
             });
         };
         let (atom, src) = remaining.remove(k);
+        orig.remove(k);
         let mut next = Vec::new();
         let stored: Option<&Relation> = match src {
             AtomSource::Fixed(rel) => Some(rel),
@@ -407,6 +527,19 @@ fn eval_frontier<'a>(
                 match_relation_frontier(rel, atom, &frontier, counters, &mut next);
             }
         }
+        if from_plan {
+            if let Some((p, pos)) = &mut plan {
+                // Estimated vs. actual rows out of this planned step, for
+                // the cat=plan trace lane.
+                let mut step_span = chainsplit_trace::Span::enter_cat("plan-step", "plan");
+                if step_span.is_recording() {
+                    step_span.set_attr("pred", atom.pred);
+                    step_span.set_attr("est", format!("{:.1}", p.est_rows[*pos]));
+                    step_span.set_attr("actual", next.len());
+                }
+                *pos += 1;
+            }
+        }
         frontier = next;
     }
     Ok(frontier)
@@ -441,6 +574,19 @@ pub fn eval_body_auto<'a>(
 ) -> Result<Vec<Subst>, EvalError> {
     let tagged: Vec<(&Atom, AtomSource)> = body.iter().map(|a| (a, AtomSource::Auto)).collect();
     eval_body(&tagged, init, lookup, counters, gov)
+}
+
+/// [`eval_body_auto`] with a [`JoinPlanner`].
+pub fn eval_body_auto_planned<'a>(
+    body: &[Atom],
+    init: Subst,
+    lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
+    counters: &mut Counters,
+    gov: &Governor,
+    planner: &JoinPlanner,
+) -> Result<Vec<Subst>, EvalError> {
+    let tagged: Vec<(&Atom, AtomSource)> = body.iter().map(|a| (a, AtomSource::Auto)).collect();
+    eval_body_planned(&tagged, init, lookup, counters, gov, planner)
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ pub mod eval;
 pub mod magic;
 pub mod metrics;
 pub mod naive;
+pub mod plan;
 pub mod seminaive;
 pub mod supplementary;
 pub mod tabled;
@@ -36,14 +37,16 @@ pub use chainsplit_governor::{Budget, BudgetTrip, CancelToken, Governor, Resourc
 pub use dred::{Materialization, MaterializeOutcome, RepairOutcome};
 pub use error::{Counters, EvalError};
 pub use eval::{
-    eval_body, eval_body_auto, eval_body_frontier, eval_body_uniform, match_relation,
-    match_relation_frontier, unify_filter, AtomSource,
+    eval_body, eval_body_auto, eval_body_auto_planned, eval_body_frontier,
+    eval_body_frontier_planned, eval_body_planned, eval_body_uniform, eval_body_uniform_planned,
+    match_relation, match_relation_frontier, unify_filter, AtomSource,
 };
 pub use magic::{
     magic_eval, magic_transform, DelayPreds, FullSip, MagicProgram, MagicResult, SipStrategy,
 };
 pub use metrics::{duration_ms, EvalMetrics, PhaseTimings, RoundMetrics};
 pub use naive::{naive_eval, BottomUpOptions, BottomUpResult};
+pub use plan::{size_band, JoinPlan, JoinPlanner, PlanStats, PlannedProbe, PlannerRef};
 pub use seminaive::seminaive_eval;
 pub use supplementary::{supplementary_magic_eval, supplementary_magic_transform};
 pub use tabled::{tabled_query, Tabled, TabledOptions};

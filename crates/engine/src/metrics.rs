@@ -114,6 +114,11 @@ impl fmt::Display for EvalMetrics {
         )?;
         writeln!(
             f,
+            "  plans: hits {} | misses {} | replans {}",
+            t.plan_hits, t.plan_misses, t.plan_replans
+        )?;
+        writeln!(
+            f,
             "  {:>5} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6}",
             "round", "delta", "derived", "probed", "matched", "idx", "scan", "magic"
         )?;
@@ -194,9 +199,10 @@ mod tests {
         assert!(s.contains("strategy magic"));
         assert!(s.contains("compile 0.500 ms"));
         assert!(s.contains("index hits 2"));
+        assert!(s.contains("plans: hits 0 | misses 0 | replans 0"));
         assert!(s.contains("round"));
         // One header line plus one round line.
-        assert_eq!(s.lines().count(), 6);
+        assert_eq!(s.lines().count(), 7);
     }
 
     #[test]

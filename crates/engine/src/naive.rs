@@ -5,8 +5,9 @@
 //! semi-naive but unbeatable as a test oracle for function-free programs.
 
 use crate::error::{Counters, EvalError};
-use crate::eval::eval_body_auto;
+use crate::eval::eval_body_auto_planned;
 use crate::metrics::{duration_ms, PhaseTimings, RoundMetrics};
+use crate::plan::{JoinPlanner, PlannerRef};
 use chainsplit_governor::{BudgetTrip, Governor};
 use chainsplit_logic::{Pred, Rule, Subst};
 use chainsplit_relation::{Database, Tuple};
@@ -28,6 +29,11 @@ pub struct BottomUpOptions {
     /// The resource governor checked at round boundaries and probe
     /// batches. Disarmed by default (no budget, nothing to observe).
     pub governor: Governor,
+    /// The cost-based join planner (plan cache + statistics). Enabled by
+    /// default; swap in [`JoinPlanner::disabled()`] for the syntactic
+    /// body order. Shared (`Arc`) so a `DeductiveDb` can reuse one plan
+    /// cache across queries and invalidate it on fact updates.
+    pub planner: PlannerRef,
 }
 
 impl Default for BottomUpOptions {
@@ -37,6 +43,7 @@ impl Default for BottomUpOptions {
             max_facts: 50_000_000,
             threads: chainsplit_par::env_threads(),
             governor: Governor::new(),
+            planner: JoinPlanner::shared(),
         }
     }
 }
@@ -99,7 +106,14 @@ pub fn naive_eval(
         let mut new_facts: Vec<(Pred, Tuple)> = Vec::new();
         for rule in rules {
             let lookup = |p: Pred| idb.relation(p).or_else(|| edb.relation(p));
-            let sols = match eval_body_auto(&rule.body, Subst::new(), &lookup, &mut counters, gov) {
+            let sols = match eval_body_auto_planned(
+                &rule.body,
+                Subst::new(),
+                &lookup,
+                &mut counters,
+                gov,
+                &opts.planner,
+            ) {
                 Ok(sols) => sols,
                 // A mid-round budget trip drains too: the IDB holds only
                 // complete earlier rounds (this round's derivations are
@@ -127,6 +141,7 @@ pub fn naive_eval(
             }
         }
         let mut inserted = 0usize;
+        let mut grown: Vec<Pred> = Vec::new();
         let account = gov.active();
         for (pred, t) in new_facts {
             // Size up front (only when a budget is armed) so the tuple
@@ -139,6 +154,9 @@ pub fn naive_eval(
             if idb.relation_mut(pred).insert(t) {
                 counters.derived += 1;
                 inserted += 1;
+                if !grown.contains(&pred) {
+                    grown.push(pred);
+                }
                 if account {
                     gov.add_tuples(1);
                     gov.add_bytes(bytes);
@@ -149,6 +167,11 @@ pub fn naive_eval(
                     });
                 }
             }
+        }
+        // IDB relations the round grew feed next round's joins through
+        // `Auto` lookups: stale plans must re-estimate against them.
+        for pred in grown {
+            opts.planner.bump_epoch(pred);
         }
         rounds.push(RoundMetrics {
             round: rounds.len(),

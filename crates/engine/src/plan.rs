@@ -1,0 +1,652 @@
+//! Cost-based join planning for the frontier executor.
+//!
+//! The paper's §2.1 premise is that join order must be chosen
+//! *quantitatively*: the join expansion ratio `|p| / distinct_I(p)` — not
+//! syntax — decides how far a binding is worth following. The compile-time
+//! chain-split decision already runs on those numbers; this module brings
+//! them into the runtime hot loop. Instead of the syntactic
+//! `(builtin-first, fewest-free-args)` score, a [`JoinPlanner`] orders the
+//! *stored* atoms of a rule body greedily by minimum estimated output:
+//!
+//! ```text
+//!     est_rows_out(atom) = est_rows_in × expansion(pred, bound cols)
+//!     expansion(p, B)    = |p| / distinct_B(p)     (|p| when B = ∅)
+//! ```
+//!
+//! Builtins stay dynamically scheduled at first evaluability — they only
+//! filter or compute, so running one as soon as its inputs are bound is
+//! always right and needs no statistics.
+//!
+//! ## Plan cache
+//!
+//! Planning runs once per `(body, groundness signature, delta bands)`
+//! instead of once per join step per round. The key reuses the executor's
+//! `groundness_sig`; [`AtomSource::Fixed`] occurrences (semi-naive deltas)
+//! contribute a logarithmic *size band* (4× wide), so a plan is reused
+//! while a delta stays in its band and recomputed — a **replan** — when
+//! growth crosses a band boundary. Entries snapshot the EDB epoch of every
+//! statistic they read; [`JoinPlanner::bump_epoch`] (wired to fact
+//! ingest/retract upstream) makes stale entries replan on next touch.
+//!
+//! Determinism: all planning runs under one mutex, and a `Fixed` relation
+//! is estimated from its band's representative size rather than its exact
+//! length, so concurrent workers holding different delta partitions of the
+//! same band compute byte-identical plans and the hit/miss/replan totals
+//! per round are schedule-independent (first computation of a body+sig is
+//! the miss; every later computation is a replan).
+//!
+//! ## Ahead-of-time index provisioning
+//!
+//! A cached plan lists every `(atom, bound columns)` access path it will
+//! probe. Applying the plan calls
+//! [`Relation::provision_index`](chainsplit_relation::Relation::provision_index)
+//! on each before the join starts, so `IndexBuild` lands at plan
+//! application instead of mid-join; racing workers still report exactly
+//! one build per (relation, column set).
+
+use crate::builtins::is_builtin_atom;
+use crate::error::Counters;
+use crate::eval::AtomSource;
+use chainsplit_logic::{Atom, Pred, Subst, Term, Var};
+use chainsplit_relation::{FxHashMap, FxHashSet, Relation};
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared handle to a [`JoinPlanner`] — cheap to clone into options
+/// structs, the way the governor travels.
+pub type PlannerRef = Arc<JoinPlanner>;
+
+/// Size band of a relation under 4× widening: band 0 is reserved for the
+/// empty relation; band `b ≥ 1` covers `[4^(b-1), 4^b)`.
+pub fn size_band(len: usize) -> u8 {
+    if len == 0 {
+        return 0;
+    }
+    let mut band = 1u8;
+    let mut ceil = 4usize;
+    while len >= ceil {
+        band += 1;
+        ceil = ceil.saturating_mul(4);
+    }
+    band
+}
+
+/// The representative size planning uses for a banded (delta) relation —
+/// the band's lower edge, a pure function of the band so concurrent
+/// planners agree.
+fn band_representative(band: u8) -> f64 {
+    if band == 0 {
+        0.0
+    } else {
+        4f64.powi(band as i32 - 1)
+    }
+}
+
+/// One probe the plan will perform: which body atom, and the columns bound
+/// at that point of the join (the access path to provision).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedProbe {
+    /// Index into the body slice handed to the executor.
+    pub atom: usize,
+    /// Sorted bound column positions (empty = full scan, nothing to
+    /// provision).
+    pub cols: Vec<usize>,
+}
+
+/// A cached join order over the stored atoms of one body.
+#[derive(Clone, Debug)]
+pub struct JoinPlan {
+    /// Stored-atom positions in execution order (builtins excluded; the
+    /// executor interleaves them at first evaluability).
+    pub order: Vec<usize>,
+    /// Access paths the plan probes, parallel to `order`.
+    pub probes: Vec<PlannedProbe>,
+    /// Estimated frontier size *after* each step of `order` (starting from
+    /// an input frontier of 1), for `:explain` and the plan trace span.
+    pub est_rows: Vec<f64>,
+    /// EDB epochs of every predicate whose statistics the plan read.
+    support: Vec<(Pred, u64)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    body_fp: u64,
+    sig_fp: u64,
+    bands_fp: u64,
+}
+
+/// Cumulative planner telemetry, surfaced by the CLI's `:plan stats`.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Lookups served by a cached, still-valid plan.
+    pub hits: u64,
+    /// First-ever plan computations for a (body, signature).
+    pub misses: u64,
+    /// Recomputations: a delta crossed a 4× band, or an EDB epoch moved.
+    pub replans: u64,
+    /// Epoch bumps received (fact inserts/retracts upstream).
+    pub invalidations: u64,
+}
+
+#[derive(Default)]
+struct PlannerInner {
+    plans: FxHashMap<PlanKey, Arc<JoinPlan>>,
+    /// (body, sig) pairs ever planned — distinguishes a miss (first
+    /// computation) from a replan (band move / stale epochs).
+    seen: FxHashSet<(u64, u64)>,
+    /// Memoized `(pred, cols) -> (epoch, distinct)`: planning is O(1)
+    /// after first touch, re-scanned only after an epoch bump.
+    distinct_memo: FxHashMap<(Pred, Vec<usize>), (u64, usize)>,
+    epochs: FxHashMap<Pred, u64>,
+    stats: PlanStats,
+}
+
+/// The cost-based join planner: statistics-driven ordering behind a
+/// per-(body, adornment, delta-band) plan cache. See the module docs.
+#[derive(Default)]
+pub struct JoinPlanner {
+    enabled: AtomicBool,
+    inner: Mutex<PlannerInner>,
+}
+
+impl std::fmt::Debug for JoinPlanner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinPlanner")
+            .field("enabled", &self.is_enabled())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl JoinPlanner {
+    /// A planner with cost-based ordering switched on.
+    pub fn new() -> JoinPlanner {
+        JoinPlanner {
+            enabled: AtomicBool::new(true),
+            inner: Mutex::new(PlannerInner::default()),
+        }
+    }
+
+    /// A planner that leaves the executor on its syntactic order (used by
+    /// `:plan off`, the differential oracle's planner-off leg, and as the
+    /// comparison baseline in the `joins` bench).
+    pub fn disabled() -> JoinPlanner {
+        JoinPlanner {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(PlannerInner::default()),
+        }
+    }
+
+    /// A fresh shared handle, enabled.
+    pub fn shared() -> PlannerRef {
+        Arc::new(JoinPlanner::new())
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Toggles cost-based ordering. Turning the planner off (or back on)
+    /// also clears the cache: cached orders must never outlive the policy
+    /// that produced them.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        inner.plans.clear();
+        inner.seen.clear();
+        inner.distinct_memo.clear();
+    }
+
+    /// Cumulative hit/miss/replan counts.
+    pub fn stats(&self) -> PlanStats {
+        self.inner.lock().stats
+    }
+
+    /// Records that `pred`'s stored extension changed (fact ingest or
+    /// retract). Cached plans whose statistics read `pred` replan on next
+    /// touch; the memoized distinct counts for `pred` refresh likewise.
+    pub fn bump_epoch(&self, pred: Pred) {
+        let mut inner = self.inner.lock();
+        *inner.epochs.entry(pred).or_insert(0) += 1;
+        inner.stats.invalidations += 1;
+    }
+
+    /// Drops every cached plan and statistic (program recompiled).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.plans.clear();
+        inner.seen.clear();
+        inner.distinct_memo.clear();
+        inner.epochs.clear();
+    }
+
+    /// Returns the join order for `body` under the frontier signature
+    /// `sig`, planning (and caching) it if needed. `probe` must be a
+    /// representative substitution of a groundness-uniform frontier.
+    ///
+    /// Counter discipline: exactly one of `plan_hits` / `plan_misses` /
+    /// `plan_replans` advances per call, and because planning holds the
+    /// cache lock end-to-end, per-round totals are identical under any
+    /// worker schedule.
+    pub fn plan<'a>(
+        &self,
+        body: &[(&Atom, AtomSource<'a>)],
+        sig: &[u64],
+        probe: &Subst,
+        lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
+        counters: &mut Counters,
+    ) -> Arc<JoinPlan> {
+        let body_fp = fingerprint_body(body);
+        let sig_fp = fingerprint_u64s(sig.iter().copied());
+        let bands_fp = fingerprint_u64s(body.iter().map(|(_, src)| match src {
+            AtomSource::Fixed(rel) => size_band(rel.len()) as u64,
+            AtomSource::Auto => u64::MAX,
+        }));
+        let key = PlanKey {
+            body_fp,
+            sig_fp,
+            bands_fp,
+        };
+
+        let mut inner = self.inner.lock();
+        if let Some(plan) = inner.plans.get(&key) {
+            let valid = plan
+                .support
+                .iter()
+                .all(|&(p, e)| inner.epochs.get(&p).copied().unwrap_or(0) == e);
+            if valid {
+                let plan = Arc::clone(plan);
+                inner.stats.hits += 1;
+                counters.plan_hits += 1;
+                return plan;
+            }
+        }
+        // Compute (miss or replan) while still holding the lock, so a
+        // racing worker blocks and then hits instead of double-counting.
+        let mut plan_span = chainsplit_trace::Span::enter_cat("plan", "plan");
+        let plan = Arc::new(compute_plan(body, probe, lookup, &mut inner));
+        if plan_span.is_recording() {
+            plan_span.set_attr(
+                "order",
+                plan.order
+                    .iter()
+                    .map(|&i| body[i].0.pred.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            plan_span.set_attr(
+                "est_rows",
+                plan.est_rows
+                    .iter()
+                    .map(|e| format!("{e:.1}"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+        }
+        let first = inner.seen.insert((body_fp, sig_fp));
+        if first {
+            inner.stats.misses += 1;
+            counters.plan_misses += 1;
+        } else {
+            inner.stats.replans += 1;
+            counters.plan_replans += 1;
+        }
+        inner.plans.insert(key, Arc::clone(&plan));
+        plan
+    }
+
+    /// Plans `body` without touching the cache, the `seen` set, or any
+    /// counter — the `:explain` preview. Returns exactly the plan
+    /// [`JoinPlanner::plan`] would compute on a miss for this body and
+    /// probe, against current statistics.
+    pub fn preview<'a>(
+        &self,
+        body: &[(&Atom, AtomSource<'a>)],
+        probe: &Subst,
+        lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
+    ) -> JoinPlan {
+        let mut inner = self.inner.lock();
+        compute_plan(body, probe, lookup, &mut inner)
+    }
+
+    /// Estimated expansion of probing `pred`'s stored extension `rel` on
+    /// bound columns `cols`: `|rel| / distinct(cols)`, through the
+    /// epoch-tagged memo. The goal-directed evaluators use this to rank
+    /// individual subgoals without building a full body plan.
+    pub fn expansion(&self, pred: Pred, cols: &[usize], rel: &Relation) -> f64 {
+        let n = rel.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if cols.is_empty() {
+            return n as f64;
+        }
+        let mut inner = self.inner.lock();
+        let d = memo_distinct(&mut inner, pred, cols, rel);
+        n as f64 / d.max(1) as f64
+    }
+
+    /// Provisions every access path `plan` will probe (ahead-of-time index
+    /// builds), resolving each atom to its relation the same way the
+    /// executor will. Builds count into `counters.index_builds`; under
+    /// races exactly one worker counts each build.
+    pub fn provision<'a>(
+        &self,
+        plan: &JoinPlan,
+        body: &[(&Atom, AtomSource<'a>)],
+        lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
+        counters: &mut Counters,
+    ) {
+        for probe in &plan.probes {
+            let (atom, src) = &body[probe.atom];
+            let rel = match src {
+                AtomSource::Fixed(rel) => Some(*rel),
+                AtomSource::Auto => lookup(atom.pred),
+            };
+            if let Some(rel) = rel {
+                if rel.provision_index(&probe.cols) {
+                    counters.index_builds += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Hashes the body shape: each atom plus whether it reads a fixed (delta)
+/// relation. Two bodies with equal fingerprints plan identically.
+fn fingerprint_body(body: &[(&Atom, AtomSource)]) -> u64 {
+    let mut h = chainsplit_relation::hash::FxHasher::default();
+    for (atom, src) in body {
+        atom.hash(&mut h);
+        matches!(src, AtomSource::Fixed(_)).hash(&mut h);
+    }
+    h.finish()
+}
+
+fn fingerprint_u64s(vals: impl Iterator<Item = u64>) -> u64 {
+    let mut h = chainsplit_relation::hash::FxHasher::default();
+    for v in vals {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Distinct count of `pred` on `cols` through the epoch-tagged memo.
+fn memo_distinct(inner: &mut PlannerInner, pred: Pred, cols: &[usize], rel: &Relation) -> usize {
+    let epoch = inner.epochs.get(&pred).copied().unwrap_or(0);
+    if let Some(&(e, n)) = inner.distinct_memo.get(&(pred, cols.to_vec())) {
+        if e == epoch {
+            return n;
+        }
+    }
+    let n = rel.distinct(cols);
+    inner
+        .distinct_memo
+        .insert((pred, cols.to_vec()), (epoch, n));
+    n
+}
+
+/// Greedy minimum-estimated-output ordering of the stored atoms.
+fn compute_plan<'a>(
+    body: &[(&Atom, AtomSource<'a>)],
+    probe: &Subst,
+    lookup: &dyn Fn(Pred) -> Option<&'a Relation>,
+    inner: &mut PlannerInner,
+) -> JoinPlan {
+    // Variables already ground come from the probe; variables bound by
+    // atoms scheduled so far accumulate in `extra`.
+    let mut extra: FxHashSet<Var> = FxHashSet::default();
+    let ground_under = |arg: &Term, extra: &FxHashSet<Var>| -> bool {
+        arg.vars()
+            .into_iter()
+            .all(|v| extra.contains(&v) || probe.is_ground(&Term::Var(v)))
+    };
+    let bound_cols = |atom: &Atom, extra: &FxHashSet<Var>| -> Vec<usize> {
+        atom.args
+            .iter()
+            .enumerate()
+            .filter(|(_, arg)| ground_under(arg, extra))
+            .map(|(i, _)| i)
+            .collect()
+    };
+
+    let mut remaining: Vec<usize> = body
+        .iter()
+        .enumerate()
+        .filter(|(_, (a, src))| matches!(src, AtomSource::Fixed(_)) || !is_builtin_atom(a))
+        .map(|(i, _)| i)
+        .collect();
+    let mut support: FxHashMap<Pred, u64> = FxHashMap::default();
+    let mut order = Vec::with_capacity(remaining.len());
+    let mut probes = Vec::with_capacity(remaining.len());
+    let mut est_rows = Vec::with_capacity(remaining.len());
+    let mut est = 1.0f64;
+
+    while !remaining.is_empty() {
+        let mut best: Option<(f64, usize, usize, Vec<usize>)> = None;
+        for (pos, &i) in remaining.iter().enumerate() {
+            let (atom, src) = &body[i];
+            let cols = bound_cols(atom, &extra);
+            let expansion = match src {
+                AtomSource::Fixed(rel) => {
+                    // Banded: concurrent planners must agree whatever delta
+                    // partition they hold, so the exact length never enters
+                    // the estimate — only its band's representative. With
+                    // key columns bound a delta behaves nearly key-unique.
+                    let rep = band_representative(size_band(rel.len()));
+                    if cols.is_empty() {
+                        rep
+                    } else {
+                        1.0f64.min(rep)
+                    }
+                }
+                AtomSource::Auto => {
+                    // Record the support epoch even for an absent/empty
+                    // relation: a plan estimated against "nothing derived
+                    // yet" must still replan once the predicate grows.
+                    let epoch = inner.epochs.get(&atom.pred).copied().unwrap_or(0);
+                    support.entry(atom.pred).or_insert(epoch);
+                    match lookup(atom.pred) {
+                        None => 0.0,
+                        Some(rel) => {
+                            let n = rel.len();
+                            if n == 0 {
+                                0.0
+                            } else if cols.is_empty() {
+                                n as f64
+                            } else {
+                                n as f64 / memo_distinct(inner, atom.pred, &cols, rel) as f64
+                            }
+                        }
+                    }
+                }
+            };
+            let out = est * expansion;
+            let better = match &best {
+                None => true,
+                Some((b_out, _, b_i, _)) => {
+                    matches!(out.total_cmp(b_out), std::cmp::Ordering::Less)
+                        || (out.total_cmp(b_out) == std::cmp::Ordering::Equal && i < *b_i)
+                }
+            };
+            if better {
+                best = Some((out, pos, i, cols));
+            }
+        }
+        let (out, pos, i, cols) = best.expect("non-empty remaining has a best");
+        remaining.remove(pos);
+        for v in body[i].0.vars() {
+            extra.insert(v);
+        }
+        order.push(i);
+        probes.push(PlannedProbe { atom: i, cols });
+        // The frontier never estimates below one row while non-empty
+        // inputs remain: a join can filter, but `est` feeding the *next*
+        // choice as exactly 0 would make every later pick a tie.
+        est = out.max(f64::MIN_POSITIVE);
+        est_rows.push(out);
+    }
+
+    let mut support: Vec<(Pred, u64)> = support.into_iter().collect();
+    support.sort_by_key(|&(p, _)| (p.name, p.arity));
+    JoinPlan {
+        order,
+        probes,
+        est_rows,
+        support,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsplit_logic::parse_query;
+    use chainsplit_relation::{Database, Tuple};
+
+    fn db_with(pred: &str, rows: &[(i64, i64)]) -> Database {
+        let mut db = Database::new();
+        for &(a, b) in rows {
+            db.add_fact(&Atom::new(pred, vec![Term::Int(a), Term::Int(b)]));
+        }
+        db
+    }
+
+    #[test]
+    fn size_bands_widen_by_4x() {
+        assert_eq!(size_band(0), 0);
+        assert_eq!(size_band(1), 1);
+        assert_eq!(size_band(3), 1);
+        assert_eq!(size_band(4), 2);
+        assert_eq!(size_band(15), 2);
+        assert_eq!(size_band(16), 3);
+        assert_eq!(size_band(64), 4);
+    }
+
+    #[test]
+    fn plans_selective_atom_first() {
+        // big(X, Y) has 100 rows; tiny(Y, Z) has 2. With nothing bound the
+        // syntactic score ties on free-arg count and takes body order
+        // (big first — a 100-row frontier); the cost-based order starts
+        // from tiny and probes big through its bound column.
+        let mut db = Database::new();
+        for i in 0..100 {
+            db.add_fact(&Atom::new("big", vec![Term::Int(i), Term::Int(i % 10)]));
+        }
+        db.add_fact(&Atom::new("tiny", vec![Term::Int(1), Term::Int(2)]));
+        db.add_fact(&Atom::new("tiny", vec![Term::Int(3), Term::Int(4)]));
+
+        let big = parse_query("big(X, Y)").unwrap();
+        let tiny = parse_query("tiny(Y, Z)").unwrap();
+        let body = vec![(&big, AtomSource::Auto), (&tiny, AtomSource::Auto)];
+        let planner = JoinPlanner::new();
+        let mut c = Counters::default();
+        let lookup = |p: Pred| db.relation(p);
+        let plan = planner.plan(&body, &[0, 0], &Subst::new(), &lookup, &mut c);
+        assert_eq!(plan.order, vec![1, 0], "tiny first, then big via Y");
+        assert_eq!(plan.probes[0].cols, Vec::<usize>::new());
+        assert_eq!(plan.probes[1].cols, vec![1], "big probed on its bound Y");
+        assert_eq!(c.plan_misses, 1);
+        // Estimated rows: 2 out of tiny, then 2 × (100 / distinct_Y(big)).
+        assert_eq!(plan.est_rows[0], 2.0);
+        assert_eq!(plan.est_rows[1], 2.0 * (100.0 / 10.0));
+    }
+
+    #[test]
+    fn cache_hits_and_epoch_replans() {
+        let db = db_with("e", &[(1, 2), (2, 3)]);
+        let e = parse_query("e(X, Y)").unwrap();
+        let body = vec![(&e, AtomSource::Auto)];
+        let planner = JoinPlanner::new();
+        let lookup = |p: Pred| db.relation(p);
+
+        let mut c = Counters::default();
+        planner.plan(&body, &[0], &Subst::new(), &lookup, &mut c);
+        planner.plan(&body, &[0], &Subst::new(), &lookup, &mut c);
+        assert_eq!((c.plan_misses, c.plan_hits, c.plan_replans), (1, 1, 0));
+
+        // An epoch bump on a supporting predicate forces a replan…
+        planner.bump_epoch(Pred::new("e", 2));
+        planner.plan(&body, &[0], &Subst::new(), &lookup, &mut c);
+        assert_eq!((c.plan_misses, c.plan_hits, c.plan_replans), (1, 1, 1));
+        // …and an unrelated predicate's bump does not.
+        planner.bump_epoch(Pred::new("other", 2));
+        planner.plan(&body, &[0], &Subst::new(), &lookup, &mut c);
+        assert_eq!((c.plan_misses, c.plan_hits, c.plan_replans), (1, 2, 1));
+
+        let s = planner.stats();
+        assert_eq!((s.misses, s.hits, s.replans, s.invalidations), (1, 2, 1, 2));
+    }
+
+    #[test]
+    fn delta_band_crossing_replans() {
+        let db = Database::new();
+        let lookup = |p: Pred| db.relation(p);
+        let d = parse_query("d(X, Y)").unwrap();
+        let planner = JoinPlanner::new();
+        let mut c = Counters::default();
+
+        let mut delta = Relation::new(2);
+        delta.insert(Tuple::new(vec![Term::Int(1), Term::Int(2)]));
+        let body = vec![(&d, AtomSource::Fixed(&delta))];
+        planner.plan(&body, &[0], &Subst::new(), &lookup, &mut c);
+
+        // Same band (1..=3 rows): cache hit.
+        let mut delta2 = delta.clone();
+        delta2.insert(Tuple::new(vec![Term::Int(2), Term::Int(3)]));
+        let body2 = vec![(&d, AtomSource::Fixed(&delta2))];
+        planner.plan(&body2, &[0], &Subst::new(), &lookup, &mut c);
+        assert_eq!((c.plan_misses, c.plan_hits, c.plan_replans), (1, 1, 0));
+
+        // Crossing into band 2 (≥ 4 rows): replan, not a fresh miss.
+        let mut delta3 = delta2.clone();
+        for i in 10..20 {
+            delta3.insert(Tuple::new(vec![Term::Int(i), Term::Int(i)]));
+        }
+        let body3 = vec![(&d, AtomSource::Fixed(&delta3))];
+        planner.plan(&body3, &[0], &Subst::new(), &lookup, &mut c);
+        assert_eq!((c.plan_misses, c.plan_hits, c.plan_replans), (1, 1, 1));
+    }
+
+    #[test]
+    fn provision_builds_planned_paths_ahead_of_time() {
+        use chainsplit_relation::LAZY_INDEX_THRESHOLD;
+        let mut db = Database::new();
+        for i in 0..(LAZY_INDEX_THRESHOLD as i64 + 8) {
+            db.add_fact(&Atom::new("big", vec![Term::Int(i), Term::Int(i % 4)]));
+        }
+        db.add_fact(&Atom::new("tiny", vec![Term::Int(1), Term::Int(2)]));
+
+        let big = parse_query("big(X, Y)").unwrap();
+        let tiny = parse_query("tiny(Y, Z)").unwrap();
+        let body = vec![(&big, AtomSource::Auto), (&tiny, AtomSource::Auto)];
+        let planner = JoinPlanner::new();
+        let mut c = Counters::default();
+        let lookup = |p: Pred| db.relation(p);
+        let plan = planner.plan(&body, &[0, 0], &Subst::new(), &lookup, &mut c);
+        planner.provision(&plan, &body, &lookup, &mut c);
+        assert_eq!(c.index_builds, 1, "big's [1] path built at plan time");
+        let big_rel = db.relation(Pred::new("big", 2)).unwrap();
+        assert!(big_rel.has_index(&[1]));
+        // Re-applying the plan builds nothing new.
+        planner.provision(&plan, &body, &lookup, &mut c);
+        assert_eq!(c.index_builds, 1);
+    }
+
+    #[test]
+    fn disabling_clears_the_cache() {
+        let db = db_with("e", &[(1, 2)]);
+        let e = parse_query("e(X, Y)").unwrap();
+        let body = vec![(&e, AtomSource::Auto)];
+        let planner = JoinPlanner::new();
+        let lookup = |p: Pred| db.relation(p);
+        let mut c = Counters::default();
+        planner.plan(&body, &[0], &Subst::new(), &lookup, &mut c);
+        planner.set_enabled(false);
+        assert!(!planner.is_enabled());
+        planner.set_enabled(true);
+        planner.plan(&body, &[0], &Subst::new(), &lookup, &mut c);
+        assert_eq!(c.plan_misses, 2, "toggling dropped the cached plan");
+    }
+}

@@ -11,7 +11,7 @@
 //! programs.
 
 use crate::error::{Counters, EvalError};
-use crate::eval::{eval_body, AtomSource};
+use crate::eval::{eval_body_planned, AtomSource};
 use crate::metrics::{duration_ms, PhaseTimings, RoundMetrics};
 use chainsplit_governor::BudgetTrip;
 use chainsplit_logic::{Pred, Rule, Subst};
@@ -108,7 +108,14 @@ pub fn seminaive_eval(
             let lookup = |p: Pred| edb.relation(p);
             let tagged: Vec<(&chainsplit_logic::Atom, AtomSource)> =
                 rule.body.iter().map(|a| (a, AtomSource::Auto)).collect();
-            let sols = match eval_body(&tagged, Subst::new(), &lookup, &mut counters, gov) {
+            let sols = match eval_body_planned(
+                &tagged,
+                Subst::new(),
+                &lookup,
+                &mut counters,
+                gov,
+                &opts.planner,
+            ) {
                 Ok(sols) => sols,
                 // A budget trip during seeding drains to the cleanest
                 // state of all: discard the half-built seed round and
@@ -218,6 +225,7 @@ pub fn seminaive_eval(
 
         let round_id = round_span.id();
         let deltas_ref = &deltas;
+        let planner = &opts.planner;
         let tasks: Vec<_> = units
             .iter()
             .enumerate()
@@ -257,7 +265,9 @@ pub fn seminaive_eval(
                         // Workers observe the shared governor at every probe
                         // batch, so cross-thread cancellation and deadlines
                         // reach into a round in flight.
-                        for s in eval_body(&tagged, Subst::new(), &lookup, &mut c, gov)? {
+                        for s in
+                            eval_body_planned(&tagged, Subst::new(), &lookup, &mut c, gov, planner)?
+                        {
                             let head = s.resolve_atom(&u.rule.head);
                             if !head.is_ground() {
                                 return Err(EvalError::NotEvaluable {

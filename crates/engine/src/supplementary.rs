@@ -341,9 +341,15 @@ mod tests {
              final(a, done).",
         );
         let q = parse_query("reach(a, Y)").unwrap();
-        let plain = magic_eval(&rules, &edb, &q, &FullSip, BottomUpOptions::default()).unwrap();
-        let supp = supplementary_magic_eval(&rules, &edb, &q, &FullSip, BottomUpOptions::default())
-            .unwrap();
+        // Compare under the syntactic body order: the claim is about the
+        // transformation factoring the prefix, not about join planning
+        // (which can independently shrink the plain leg's probe count).
+        let opts = || crate::naive::BottomUpOptions {
+            planner: std::sync::Arc::new(crate::plan::JoinPlanner::disabled()),
+            ..Default::default()
+        };
+        let plain = magic_eval(&rules, &edb, &q, &FullSip, opts()).unwrap();
+        let supp = supplementary_magic_eval(&rules, &edb, &q, &FullSip, opts()).unwrap();
         assert_eq!(plain.answers.len(), supp.answers.len());
         assert!(
             supp.counters.probed < plain.counters.probed,

@@ -16,6 +16,7 @@
 use crate::builtins::{eval_builtin, BuiltinOutcome};
 use crate::error::{Counters, EvalError};
 use crate::eval::match_relation;
+use crate::plan::{JoinPlanner, PlannerRef};
 use chainsplit_governor::{BudgetTrip, Governor};
 use chainsplit_logic::{fresh, unify, unify_atoms, Atom, Pred, Program, Rule, Subst, Term, Var};
 use chainsplit_relation::{term_estimated_bytes, Database, FxHashSet};
@@ -33,6 +34,12 @@ pub struct TabledOptions {
     /// The resource governor checked at sweep boundaries and between
     /// rule evaluations. Disarmed by default.
     pub governor: Governor,
+    /// The cost-based join planner. When enabled, subgoal picking inside
+    /// a body prefers ready builtins, then the stored or tabled subgoal
+    /// with the smallest estimated expansion — safe here because tables
+    /// bound every IDB extension, so any order terminates. Disabled, the
+    /// pick is the first evaluable subgoal in syntactic order.
+    pub planner: PlannerRef,
 }
 
 impl Default for TabledOptions {
@@ -41,6 +48,7 @@ impl Default for TabledOptions {
             max_sweeps: chainsplit_governor::DEFAULT_MAX_ROUNDS,
             max_answers: 50_000_000,
             governor: Governor::new(),
+            planner: JoinPlanner::shared(),
         }
     }
 }
@@ -187,6 +195,38 @@ impl<'a> Tabled<'a> {
         true
     }
 
+    /// Estimated rows a stored or tabled subgoal yields under `s`: EDB
+    /// atoms via the planner's expansion statistic on their bound columns,
+    /// tabled subgoals via their table's current answer count (an
+    /// unregistered pattern estimates 0 — a fresh table yields nothing
+    /// until the next sweep, and registering it early seeds the demand).
+    fn estimate(&self, atom: &Atom, s: &Subst) -> f64 {
+        if self.is_idb(atom.pred) {
+            let resolved: Vec<Term> = atom.args.iter().map(|t| s.resolve(t)).collect();
+            let key = CallKey {
+                pred: atom.pred,
+                args: canonicalize(&resolved),
+            };
+            return self
+                .tables
+                .get(&key)
+                .map_or(0.0, |t| t.answers.len() as f64);
+        }
+        match self.db.relation(atom.pred) {
+            None => 0.0,
+            Some(rel) => {
+                let cols: Vec<usize> = atom
+                    .args
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| s.is_ground(t))
+                    .map(|(i, _)| i)
+                    .collect();
+                self.opts.planner.expansion(atom.pred, &cols, rel)
+            }
+        }
+    }
+
     /// Solves a body with dynamic ordering, IDB subgoals from tables only.
     fn solve_body(
         &mut self,
@@ -198,7 +238,48 @@ impl<'a> Tabled<'a> {
             out.push(s.clone());
             return Ok(());
         }
-        let Some(pick) = (0..atoms.len()).find(|&i| self.ready(atoms[i], s)) else {
+        // Planner on: ready builtins first (filters prune at unit cost),
+        // then the cheaper of the best EDB atom (by estimated expansion)
+        // and the *first* tabled subgoal. Tabled subgoals never reorder
+        // among themselves: lifting a later IDB call ahead registers a
+        // less-constrained call pattern whose rules may hit unevaluable
+        // builtins (e.g. `insert` before `isort` grounds its list) —
+        // pulling only EDB atoms forward binds strictly more, which is
+        // always safe. Planner off: the first evaluable subgoal in
+        // syntactic order.
+        let pick = if self.opts.planner.is_enabled() {
+            (0..atoms.len())
+                .find(|&i| chainsplit_chain::is_builtin(atoms[i].pred) && self.ready(atoms[i], s))
+                .or_else(|| {
+                    let first_idb = (0..atoms.len()).find(|&i| {
+                        !chainsplit_chain::is_builtin(atoms[i].pred) && self.is_idb(atoms[i].pred)
+                    });
+                    let best_edb = (0..atoms.len())
+                        .filter(|&i| {
+                            !chainsplit_chain::is_builtin(atoms[i].pred)
+                                && !self.is_idb(atoms[i].pred)
+                        })
+                        .min_by(|&a, &b| {
+                            self.estimate(atoms[a], s)
+                                .total_cmp(&self.estimate(atoms[b], s))
+                                .then(a.cmp(&b))
+                        });
+                    match (best_edb, first_idb) {
+                        (Some(e), Some(i)) => {
+                            if self.estimate(atoms[e], s) <= self.estimate(atoms[i], s) {
+                                Some(e)
+                            } else {
+                                Some(i)
+                            }
+                        }
+                        (Some(e), None) => Some(e),
+                        (None, i) => i,
+                    }
+                })
+        } else {
+            (0..atoms.len()).find(|&i| self.ready(atoms[i], s))
+        };
+        let Some(pick) = pick else {
             return Err(EvalError::NotEvaluable {
                 atom: s.resolve_atom(atoms[0]).to_string(),
             });

@@ -169,6 +169,36 @@ impl Relation {
         self.indexes.read().contains_key(cols)
     }
 
+    /// Builds the index on `cols` ahead of time through `&self` (the same
+    /// write-locked path `select` uses for a cold column set), so a join
+    /// plan can provision every access path it will probe before the round
+    /// starts and `IndexBuild` never lands mid-join. Relations below
+    /// [`LAZY_INDEX_THRESHOLD`] stay index-free — a key scan beats index
+    /// construction there, exactly as in `select`.
+    ///
+    /// Returns `true` iff *this call* built the index. When callers race,
+    /// exactly one sees `true` — same determinism contract as `select`'s
+    /// one-build-reports-`IndexBuild` rule, so plan-time `index_builds`
+    /// counters stay schedule-independent.
+    pub fn provision_index(&self, cols: &[usize]) -> bool {
+        debug_assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "index columns must be sorted"
+        );
+        if cols.is_empty() || self.rows.len() < LAZY_INDEX_THRESHOLD {
+            return false;
+        }
+        if self.indexes.read().contains_key(cols) {
+            return false;
+        }
+        let mut indexes = self.indexes.write();
+        if indexes.contains_key(cols) {
+            return false;
+        }
+        indexes.insert(cols.to_vec(), Self::build_index(&self.rows, cols));
+        true
+    }
+
     /// The column sets of every access path (hash index) built so far,
     /// sorted — indexes appear on demand, so this is a record of how the
     /// relation has actually been probed.
@@ -690,6 +720,49 @@ mod tests {
         assert!(paths
             .iter()
             .all(|&p| matches!(p, AccessPath::IndexBuild | AccessPath::IndexHit)));
+    }
+
+    #[test]
+    fn provision_index_builds_once_and_respects_threshold() {
+        // Below the lazy threshold nothing is built: a key scan is cheaper.
+        let mut small = Relation::new(2);
+        small.insert(pair(1, 2));
+        assert!(!small.provision_index(&[0]));
+        assert!(!small.has_index(&[0]));
+        assert_eq!(
+            small.select(&[0], &[Term::Int(1)]).path(),
+            AccessPath::KeyScan
+        );
+
+        // Above it, the first call builds, later calls (and select) hit.
+        let mut big = Relation::new(2);
+        for a in 0..(LAZY_INDEX_THRESHOLD as i64 + 4) {
+            big.insert(pair(a, a));
+        }
+        assert!(big.provision_index(&[0]));
+        assert!(!big.provision_index(&[0]));
+        assert_eq!(
+            big.select(&[0], &[Term::Int(3)]).path(),
+            AccessPath::IndexHit
+        );
+
+        // Racing provisioners: exactly one reports the build.
+        let mut cold = Relation::new(2);
+        for a in 0..(LAZY_INDEX_THRESHOLD as i64 * 2) {
+            cold.insert(pair(a % 5, a));
+        }
+        let cold = &cold;
+        let builds: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(move || cold.provision_index(&[1])))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&built| built)
+                .count()
+        });
+        assert_eq!(builds, 1);
     }
 
     #[test]

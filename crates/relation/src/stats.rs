@@ -15,22 +15,34 @@
 //! N²/C / N = N/C`, which explodes as `C` shrinks.
 
 use crate::database::Database;
+use crate::hash::FxHashMap;
 use chainsplit_logic::Pred;
+use std::cell::RefCell;
 
 /// Statistics provider over a [`Database`].
 ///
-/// Statistics are computed on demand from the live relations; for the sizes
-/// this engine targets the distinct-count scans are cheap, and computing on
-/// demand keeps the numbers exact even after updates (the paper assumes a
-/// catalog of pre-gathered statistics — the numbers are the same).
-#[derive(Clone, Copy)]
+/// A `Stats` value is a *snapshot*: distinct counts are computed on demand
+/// from the live relations and then memoized per `(pred, cols)`, so a cost
+/// model that asks about the same linkage once per candidate order (or once
+/// per plan, per adornment) pays the projection scan exactly once. The
+/// numbers stay exact as long as the database is not mutated while the
+/// snapshot is alive — take a fresh `Stats` after updates (the paper
+/// assumes a catalog of pre-gathered statistics; a per-query snapshot of an
+/// immutable EDB is the same thing).
+#[derive(Clone)]
 pub struct Stats<'a> {
     db: &'a Database,
+    /// Memoized `(pred, cols) -> distinct` — the O(1)-after-first-touch
+    /// guarantee the join planner relies on.
+    distinct_memo: RefCell<FxHashMap<(Pred, Vec<usize>), usize>>,
 }
 
 impl<'a> Stats<'a> {
     pub fn new(db: &'a Database) -> Stats<'a> {
-        Stats { db }
+        Stats {
+            db,
+            distinct_memo: RefCell::new(FxHashMap::default()),
+        }
     }
 
     /// Cardinality of `pred` (0 if absent).
@@ -38,9 +50,17 @@ impl<'a> Stats<'a> {
         self.db.relation(pred).map_or(0, |r| r.len())
     }
 
-    /// Number of distinct values of the projection onto `cols`.
+    /// Number of distinct values of the projection onto `cols`, memoized
+    /// per `(pred, cols)` for the lifetime of this snapshot.
     pub fn distinct(&self, pred: Pred, cols: &[usize]) -> usize {
-        self.db.relation(pred).map_or(0, |r| r.distinct(cols))
+        if let Some(&n) = self.distinct_memo.borrow().get(&(pred, cols.to_vec())) {
+            return n;
+        }
+        let n = self.db.relation(pred).map_or(0, |r| r.distinct(cols));
+        self.distinct_memo
+            .borrow_mut()
+            .insert((pred, cols.to_vec()), n);
+        n
     }
 
     /// Join expansion ratio of `pred` given bound positions `bound`:
@@ -127,6 +147,23 @@ mod tests {
         // An empty relation matches nothing, whatever is bound.
         assert_eq!(s.selectivity(Pred::new("nope", 2), &[0]), 0.0);
         assert_eq!(s.selectivity(Pred::new("nope", 2), &[]), 0.0);
+    }
+
+    #[test]
+    fn distinct_is_memoized_per_snapshot() {
+        let db = country_db();
+        let s = Stats::new(&db);
+        let p = Pred::new("same_country", 2);
+        assert_eq!(s.distinct(p, &[0]), 6);
+        // Second call is served from the memo (same value; and the memo
+        // holds exactly the keys touched so far).
+        assert_eq!(s.distinct(p, &[0]), 6);
+        assert_eq!(s.distinct_memo.borrow().len(), 1);
+        assert_eq!(s.distinct(p, &[0, 1]), 18);
+        assert_eq!(s.distinct_memo.borrow().len(), 2);
+        // Expansion goes through the same memo.
+        assert_eq!(s.expansion(p, &[0]), 3.0);
+        assert_eq!(s.distinct_memo.borrow().len(), 2);
     }
 
     #[test]

@@ -63,6 +63,16 @@ pub const SG_MERGED: &str = "msg(Y) :- mk(Y, P), reach(P).
 reach(P) :- spair(P).
 reach(P) :- step(P, P1), reach(P1).";
 
+/// The skewed star join (experiment E9, DESIGN.md §14): three wide spoke
+/// relations share the hub variable `X`, and the small selective `hub`
+/// relation is written *last*. Every atom is binary with the same free
+/// count, so the arity-based fallback ordering degenerates to
+/// left-to-right — the gap between planner-off (materialize the spoke
+/// expansion, filter by hub at the end) and planner-on (hub first via the
+/// `|p| / distinct(p)` estimate, then indexed spoke probes) is exactly
+/// what statistics see and syntax cannot.
+pub const STAR_JOIN: &str = "q(A, B, C, H) :- f1(X, A), f2(X, B), f3(X, C), hub(X, H).";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +89,7 @@ mod tests {
             ("TRAVEL", TRAVEL),
             ("PATH", PATH),
             ("SG_MERGED", SG_MERGED),
+            ("STAR_JOIN", STAR_JOIN),
         ] {
             assert!(parse_program(src).is_ok(), "fixture {name} must parse");
         }

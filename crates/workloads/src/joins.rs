@@ -1,0 +1,49 @@
+//! Join-order workloads for the cost-based planner experiments.
+
+use chainsplit_logic::{Atom, Term};
+
+/// Facts for the skewed star join ([`crate::fixtures::STAR_JOIN`]):
+/// `spokes` distinct hub values `x0..x{spokes}`, each carrying `fanout`
+/// tuples in every wide relation `f1`/`f2`/`f3`, and only `hubs` of the
+/// values present in the selective `hub` relation (each with one
+/// payload, keeping `hub` binary like the spokes so arity alone cannot
+/// rank it).
+///
+/// Each spoke relation has `spokes * fanout` tuples with `spokes`
+/// distinct `X` values, so its expansion on a bound `X` is `fanout`,
+/// while a full scan costs `spokes * fanout` — the skew the planner's
+/// `|p| / distinct(p)` estimate is built to see.
+pub fn star_join_facts(hubs: usize, spokes: usize, fanout: usize) -> Vec<Atom> {
+    assert!(hubs <= spokes, "hub values must exist among the spokes");
+    let x = |i: usize| Term::sym(&format!("x{i}"));
+    let mut facts = Vec::new();
+    for rel in ["f1", "f2", "f3"] {
+        for i in 0..spokes {
+            for j in 0..fanout {
+                facts.push(Atom::new(
+                    rel,
+                    vec![x(i), Term::sym(&format!("{rel}_v{i}_{j}"))],
+                ));
+            }
+        }
+    }
+    for i in 0..hubs {
+        facts.push(Atom::new("hub", vec![x(i), Term::sym(&format!("h{i}"))]));
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_join_sizes() {
+        let facts = star_join_facts(2, 8, 4);
+        let count = |p: &str| facts.iter().filter(|a| a.pred.name.as_str() == p).count();
+        assert_eq!(count("f1"), 32);
+        assert_eq!(count("f2"), 32);
+        assert_eq!(count("f3"), 32);
+        assert_eq!(count("hub"), 2);
+    }
+}

@@ -17,6 +17,7 @@ pub mod fixtures;
 pub mod flights;
 pub mod fuzz;
 pub mod graphs;
+pub mod joins;
 pub mod lists;
 
 pub use family::{fact_count, family_facts, query_person, FamilyConfig};
@@ -26,4 +27,5 @@ pub use fuzz::{
     MutationScript, SplitMix64, StrategyClass,
 };
 pub use graphs::{chain_edges, merged_sg_facts, random_dag_edges, tree_edges};
+pub use joins::star_join_facts;
 pub use lists::{ascending, descending, random_ints, random_list, sorted_ints};

@@ -13,7 +13,7 @@ mkdir -p results
 echo "=== build (release) ==="
 cargo build -p chainsplit-bench --release --bins
 
-for n in 1 2 3 4 5 6 7 8; do
+for n in 1 2 3 4 5 6 7 8 9; do
     echo "=== table_e$n ==="
     "target/release/table_e$n" | tee "results/table_e$n.txt"
 done

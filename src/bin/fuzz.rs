@@ -35,21 +35,28 @@
 //! at every thread count (DESIGN.md §13). Failing scripts shrink over the
 //! op sequence first, then the EDB.
 //!
+//! With `--plan` the driver switches to the **planner oracle**: each
+//! seed's query runs planner-on and planner-off under every applicable
+//! strategy, the two legs must report identical sorted answer sets
+//! (counters legitimately differ — reordering joins is the point), and
+//! each leg must be bit-identical across thread counts (DESIGN.md §14).
+//!
 //! ```text
 //! fuzz [--start S] [--seeds N] [--threads 1,4] [--cache] [--provenance]
-//!      [--mutate] [--fault-rate P] [--fault-seed S] [--timeout-ms MS]
+//!      [--mutate] [--plan] [--fault-rate P] [--fault-seed S]
+//!      [--timeout-ms MS]
 //! ```
 
 use chain_split::differential::{
-    run_seeds, run_seeds_cached, run_seeds_disrupted, run_seeds_mutate, run_seeds_provenance,
-    Disruption,
+    run_seeds, run_seeds_cached, run_seeds_disrupted, run_seeds_mutate, run_seeds_plan,
+    run_seeds_provenance, Disruption,
 };
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--start S] [--seeds N] [--threads 1,4] [--cache] [--provenance] \
-         [--mutate] [--fault-rate P] [--fault-seed S] [--timeout-ms MS]"
+         [--mutate] [--plan] [--fault-rate P] [--fault-seed S] [--timeout-ms MS]"
     );
     std::process::exit(2);
 }
@@ -64,6 +71,7 @@ fn main() -> ExitCode {
     let mut cache: bool = false;
     let mut provenance: bool = false;
     let mut mutate: bool = false;
+    let mut plan: bool = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -91,8 +99,40 @@ fn main() -> ExitCode {
             "--cache" => cache = true,
             "--provenance" => provenance = true,
             "--mutate" => mutate = true,
+            "--plan" => plan = true,
             _ => usage(),
         }
+    }
+
+    if plan {
+        if cache || provenance || mutate || fault_rate > 0.0 || timeout_ms.is_some() {
+            eprintln!(
+                "fuzz: --plan does not combine with --cache/--provenance/--mutate/\
+                 --fault-rate/--timeout-ms"
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "fuzz: planner oracle, seeds {start}..{} x threads {threads:?} \
+             x planner on/off x all applicable strategies",
+            start + seeds
+        );
+        return match run_seeds_plan(start, seeds, &threads) {
+            Ok(checked) => {
+                println!("fuzz: OK — {checked} seeds agreed planner-on vs planner-off");
+                ExitCode::SUCCESS
+            }
+            Err(failure) => {
+                let (case, mismatch) = *failure;
+                eprintln!("fuzz: FAILED — {mismatch}");
+                eprintln!(
+                    "fuzz: reproduction (re-run with --plan --start {} --seeds 1):",
+                    mismatch.seed
+                );
+                eprintln!("{case}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if mutate {

@@ -83,11 +83,16 @@ enum Outcome {
 }
 
 fn run_one(case: &FuzzCase, strategy: Strategy, threads: usize) -> Outcome {
+    run_one_planned(case, strategy, threads, true)
+}
+
+fn run_one_planned(case: &FuzzCase, strategy: Strategy, threads: usize, plan: bool) -> Outcome {
     let mut db = DeductiveDb::new();
     if let Err(e) = db.load(&case.program()) {
         return Outcome::Err(format!("load: {e}"));
     }
     db.set_threads(threads);
+    db.set_plan_enabled(plan);
     // Cyclic EDBs make the counting-based chain-split planner diverge; it
     // budget-stops on `max_levels`. The production guard (100k levels) is
     // needlessly slow for an oracle that only checks the stop itself is
@@ -206,6 +211,77 @@ pub fn check_case(case: &FuzzCase, threads: &[usize]) -> Result<usize, Mismatch>
         }
     }
     Ok(reference.map_or(0, |(_, a)| a.len()))
+}
+
+/// The **planner invariant** (DESIGN.md §14): the cost-based join
+/// planner is pure strategy. For every applicable strategy the
+/// planner-on and planner-off runs must report identical sorted answer
+/// sets (work counters legitimately differ — reordering the joins is
+/// the whole point), and each leg individually must be bit-identical
+/// (answers *and* counters) at every thread count.
+pub fn check_plan_consistency(case: &FuzzCase, threads: &[usize]) -> Result<(), Mismatch> {
+    assert!(!threads.is_empty(), "need at least one thread count");
+    let fail = |detail: String| Mismatch {
+        seed: case.seed,
+        shape: case.shape,
+        detail,
+    };
+    for &strategy in strategies_for(case) {
+        let mut legs: Vec<Outcome> = Vec::with_capacity(2);
+        for plan in [true, false] {
+            let base = run_one_planned(case, strategy, threads[0], plan);
+            for &t in &threads[1..] {
+                let other = run_one_planned(case, strategy, t, plan);
+                if other != base {
+                    return Err(fail(format!(
+                        "{strategy} (plan={plan}) differs between threads={} and threads={t}:\n  \
+                         {:?}\nvs\n  {:?}",
+                        threads[0], base, other
+                    )));
+                }
+            }
+            legs.push(base);
+        }
+        // A budget stop is a partial result, and the two legs do
+        // different amounts of work by design — only compare completed
+        // answer sets.
+        if let (Outcome::Ok { answers: on, .. }, Outcome::Ok { answers: off, .. }) =
+            (&legs[0], &legs[1])
+        {
+            if on != off {
+                return Err(fail(format!(
+                    "{strategy} disagrees planner-on vs planner-off: {} vs {} answers\n{:?}\nvs\n{:?}",
+                    on.len(),
+                    off.len(),
+                    on,
+                    off
+                )));
+            }
+        }
+        if let Outcome::Err(e) = &legs[0] {
+            return Err(fail(format!("{strategy} (plan=true) failed: {e}")));
+        }
+        if let Outcome::Err(e) = &legs[1] {
+            return Err(fail(format!("{strategy} (plan=false) failed: {e}")));
+        }
+    }
+    Ok(())
+}
+
+/// Runs `count` consecutive seeds through the planner oracle. Returns
+/// the number of cases checked.
+pub fn run_seeds_plan(
+    start: u64,
+    count: u64,
+    threads: &[usize],
+) -> Result<u64, Box<(FuzzCase, Mismatch)>> {
+    for seed in start..start + count {
+        let case = crate::workloads::fuzz::gen_case(seed);
+        if let Err(m) = check_plan_consistency(&case, threads) {
+            return Err(Box::new((case, m)));
+        }
+    }
+    Ok(count)
 }
 
 /// Greedily shrinks a failing case by halving its EDB: keep any half on
