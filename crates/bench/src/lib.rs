@@ -136,7 +136,7 @@ pub fn scsg_db(cfg: workloads::FamilyConfig) -> DeductiveDb {
     let mut db = DeductiveDb::new();
     db.load(workloads::fixtures::SCSG).unwrap();
     for f in workloads::family_facts(cfg) {
-        db.add_fact(f);
+        db.add_fact(f).expect("in-memory add_fact cannot fail");
     }
     db
 }
@@ -146,7 +146,7 @@ pub fn sg_db(cfg: workloads::FamilyConfig) -> DeductiveDb {
     let mut db = DeductiveDb::new();
     db.load(workloads::fixtures::SG).unwrap();
     for f in workloads::family_facts(cfg) {
-        db.add_fact(f);
+        db.add_fact(f).expect("in-memory add_fact cannot fail");
     }
     db
 }
@@ -156,7 +156,7 @@ pub fn travel_db(cfg: workloads::FlightConfig) -> DeductiveDb {
     let mut db = DeductiveDb::new();
     db.load(workloads::fixtures::TRAVEL).unwrap();
     for f in workloads::flight_facts(cfg) {
-        db.add_fact(f);
+        db.add_fact(f).expect("in-memory add_fact cannot fail");
     }
     db
 }
@@ -181,7 +181,7 @@ pub fn star_db(hubs: usize, spokes: usize, fanout: usize) -> DeductiveDb {
     let mut db = DeductiveDb::new();
     db.load(workloads::fixtures::STAR_JOIN).unwrap();
     for f in workloads::star_join_facts(hubs, spokes, fanout) {
-        db.add_fact(f);
+        db.add_fact(f).expect("in-memory add_fact cannot fail");
     }
     db
 }
@@ -191,7 +191,7 @@ pub fn merged_sg_db(people: usize, generations: usize) -> DeductiveDb {
     let mut db = DeductiveDb::new();
     db.load(workloads::fixtures::SG_MERGED).unwrap();
     for f in workloads::merged_sg_facts(people, generations) {
-        db.add_fact(f);
+        db.add_fact(f).expect("in-memory add_fact cannot fail");
     }
     db
 }

@@ -98,6 +98,13 @@ commands:
   :constraint <body>             add an integrity constraint (denial)
   :check                         check all integrity constraints
   :save <file>                   write the loaded program to a file
+  :wal [on|off|status]           show or toggle write-ahead logging
+                                 (needs a data dir: chainsplit
+                                 --data-dir DIR); re-enabling after
+                                 unlogged mutations snapshots first so
+                                 the durable state catches up
+  :snapshot                      write an atomic snapshot and prune the
+                                 WAL prefix it covers
   :stats                         database statistics (per-predicate
                                  cardinalities and EDB mutation epochs,
                                  built access paths, cache occupancy,
@@ -225,6 +232,8 @@ impl Shell {
             },
             "retract" => self.retract_command(arg),
             "materialize" => self.materialize_command(arg),
+            "wal" => self.wal_command(arg),
+            "snapshot" => self.snapshot_command(),
             "save" => match std::fs::write(arg, self.db.dump()) {
                 Ok(()) => format!("saved {arg}."),
                 Err(e) => format!("cannot write {arg}: {e}"),
@@ -233,6 +242,78 @@ impl Shell {
             other => format!("unknown command `:{other}` (see :help)"),
         };
         (out, Control::Continue)
+    }
+
+    /// Replaces the session database with a durable one at `dir`
+    /// (`--data-dir`): recovers the newest snapshot plus the WAL suffix
+    /// and leaves logging on. Returns what recovery found, or an error
+    /// message — recovery refuses on real corruption rather than
+    /// continuing from a diverged state.
+    pub fn open_data_dir(&mut self, dir: &str) -> Result<String, String> {
+        match DeductiveDb::open(std::path::Path::new(dir)) {
+            Ok(db) => {
+                self.db = db;
+                let r = self.db.recovery_report().cloned();
+                Ok(match r {
+                    Some(r)
+                        if r.snapshot_seq > 0
+                            || r.replayed_records > 0
+                            || r.truncated_bytes > 0 =>
+                    {
+                        format!(
+                            "data dir {dir}: recovered snapshot seq {}, replayed {} record(s), \
+                             truncated {} torn byte(s), {} op(s) durable",
+                            r.snapshot_seq, r.replayed_records, r.truncated_bytes, r.ops_durable
+                        )
+                    }
+                    _ => format!("data dir {dir}: fresh database, wal on"),
+                })
+            }
+            Err(e) => Err(format!("cannot open data dir {dir}: {e}")),
+        }
+    }
+
+    fn wal_command(&mut self, arg: &str) -> String {
+        const NO_DIR: &str = "wal: no data dir (start with --data-dir DIR)";
+        match arg {
+            "" | "status" => match self.db.store_status() {
+                None => NO_DIR.to_string(),
+                Some(st) => {
+                    let mut out = format!(
+                        "wal: {} | {st}",
+                        if self.db.wal_enabled() { "on" } else { "off" }
+                    );
+                    if let Some(r) = self.db.recovery_report() {
+                        write!(
+                            out,
+                            "\nrecovered: snapshot seq {}, {} record(s) replayed, \
+                             {} torn byte(s) truncated",
+                            r.snapshot_seq, r.replayed_records, r.truncated_bytes
+                        )
+                        .unwrap();
+                    }
+                    out
+                }
+            },
+            "on" => match self.db.set_wal(true) {
+                Ok(true) => "wal: on".to_string(),
+                Ok(false) => NO_DIR.to_string(),
+                Err(e) => format!("error: {e}"),
+            },
+            "off" => {
+                let _ = self.db.set_wal(false);
+                "wal: off".to_string()
+            }
+            _ => "usage: :wal [on|off|status]".to_string(),
+        }
+    }
+
+    fn snapshot_command(&mut self) -> String {
+        match self.db.snapshot() {
+            Ok(Some(path)) => format!("snapshot written: {}", path.display()),
+            Ok(None) => "snapshot: no data dir (start with --data-dir DIR)".to_string(),
+            Err(e) => format!("error: {e}"),
+        }
     }
 
     fn why_command(&mut self, arg: &str) -> String {
@@ -1092,5 +1173,50 @@ mod tests {
             .process(":load /no/such/file.dl")
             .0
             .contains("cannot read"));
+    }
+
+    #[test]
+    fn wal_commands_without_a_data_dir() {
+        let mut sh = Shell::new();
+        assert!(sh.process(":wal").0.contains("no data dir"));
+        assert!(sh.process(":wal on").0.contains("no data dir"));
+        assert!(sh.process(":snapshot").0.contains("no data dir"));
+        assert!(sh.process(":wal sideways").0.starts_with("usage:"));
+    }
+
+    #[test]
+    fn durable_session_survives_a_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "chainsplit_cli_wal_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_str().unwrap().to_string();
+
+        let mut sh = Shell::new();
+        assert!(
+            sh.open_data_dir(&dir_str).unwrap().contains("fresh"),
+            "first open should be fresh"
+        );
+        sh.process("parent(a, b).");
+        sh.process("anc(X, Y) :- parent(X, Y).");
+        sh.process("anc(X, Y) :- parent(X, Z), anc(Z, Y).");
+        let status = sh.process(":wal status").0;
+        assert!(status.starts_with("wal: on"), "{status}");
+        let snap = sh.process(":snapshot").0;
+        assert!(snap.starts_with("snapshot written:"), "{snap}");
+        sh.process("parent(b, c).");
+        drop(sh); // simulated kill: nothing flushed beyond the WAL
+
+        let mut sh2 = Shell::new();
+        let report = sh2.open_data_dir(&dir_str).unwrap();
+        assert!(report.contains("recovered snapshot"), "{report}");
+        let out = sh2.process("?- anc(a, X).").0;
+        assert!(out.contains("X = b") && out.contains("X = c"), "{out}");
+        assert_eq!(sh2.process(":wal off").0, "wal: off");
+        assert!(sh2.process(":wal status").0.starts_with("wal: off"));
+        assert_eq!(sh2.process(":wal on").0, "wal: on");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -4,6 +4,7 @@
 //! chainsplit [FILE …]            # load programs, then REPL
 //! chainsplit -e '?- q(X).' FILE  # one-shot query
 //! chainsplit --strategy tabled   # pick the evaluation method
+//! chainsplit --data-dir DIR      # durable session: WAL + snapshots
 //! ```
 
 use chainsplit_cli::{Control, Shell};
@@ -14,8 +15,12 @@ use std::io::{BufRead, Write};
 /// result; the shell itself keeps running. `interrupt()` is a single
 /// relaxed atomic store, so the handler is async-signal-safe. Declaring
 /// libc's `signal` directly avoids a signal-handling dependency.
+///
+/// Returns the previous disposition so the caller can restore it when the
+/// REPL exits — a host process embedding the shell (or anything exec'd
+/// after it) gets its own handler back instead of ours.
 #[cfg(unix)]
-fn install_sigint_handler() {
+fn install_sigint_handler() -> usize {
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
@@ -23,55 +28,103 @@ fn install_sigint_handler() {
         chainsplit_governor::interrupt();
     }
     const SIGINT: i32 = 2;
+    unsafe { signal(SIGINT, on_sigint as *const () as usize) }
+}
+
+/// Restores the SIGINT disposition captured by [`install_sigint_handler`].
+#[cfg(unix)]
+fn restore_sigint_handler(previous: usize) {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
     unsafe {
-        signal(SIGINT, on_sigint as *const () as usize);
+        signal(SIGINT, previous);
     }
 }
 
 #[cfg(not(unix))]
-fn install_sigint_handler() {}
+fn install_sigint_handler() -> usize {
+    0
+}
+
+#[cfg(not(unix))]
+fn restore_sigint_handler(_previous: usize) {}
 
 fn main() {
-    install_sigint_handler();
+    let previous = install_sigint_handler();
+    let code = run();
+    restore_sigint_handler(previous);
+    if code != 0 {
+        std::process::exit(code);
+    }
+}
+
+fn run() -> i32 {
     let mut shell = Shell::new();
     let mut args = std::env::args().skip(1);
     let mut one_shot: Option<String> = None;
+    let mut data_dir: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "-e" | "--eval" => {
                 one_shot = args.next();
                 if one_shot.is_none() {
                     eprintln!("-e needs a query argument");
-                    std::process::exit(2);
+                    return 2;
                 }
             }
             "--strategy" => {
                 let Some(name) = args.next() else {
                     eprintln!("--strategy needs a name");
-                    std::process::exit(2);
+                    return 2;
                 };
                 let (msg, _) = shell.process(&format!(":strategy {name}"));
                 if msg.contains("unknown") {
                     eprintln!("{msg}");
-                    std::process::exit(2);
+                    return 2;
+                }
+            }
+            "--data-dir" => {
+                data_dir = args.next();
+                if data_dir.is_none() {
+                    eprintln!("--data-dir needs a directory argument");
+                    return 2;
                 }
             }
             "--timing" => {
                 shell.process(":timing on");
             }
             "-h" | "--help" => {
-                println!("usage: chainsplit [--strategy NAME] [--timing] [-e QUERY] [FILE …]");
+                println!(
+                    "usage: chainsplit [--strategy NAME] [--timing] [--data-dir DIR] \
+                     [-e QUERY] [FILE …]"
+                );
                 let (help, _) = shell.process(":help");
                 println!("{help}");
-                return;
+                return 0;
             }
-            file => {
-                let (msg, _) = shell.process(&format!(":load {file}"));
-                println!("{msg}");
-                if msg.starts_with("cannot") || msg.starts_with("error") {
-                    std::process::exit(1);
-                }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    // The data dir replaces the session database (recovering durable
+    // state), so it must attach before any FILE loads into it.
+    if let Some(dir) = data_dir {
+        match shell.open_data_dir(&dir) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return 1;
             }
+        }
+    }
+    for file in files {
+        let (msg, _) = shell.process(&format!(":load {file}"));
+        println!("{msg}");
+        if msg.starts_with("cannot") || msg.starts_with("error") {
+            return 1;
         }
     }
 
@@ -83,7 +136,7 @@ fn main() {
         };
         let (out, _) = shell.process(&q);
         println!("{out}");
-        return;
+        return 0;
     }
 
     println!("chain-split deductive database — :help for commands");
@@ -95,6 +148,13 @@ fn main() {
         match stdin.lock().read_line(&mut line) {
             Ok(0) => break, // EOF
             Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                // Ctrl-C mid-read: the handler already flagged the
+                // governor; this read just got EINTR. Re-prompt instead
+                // of treating the interruption as EOF.
+                println!();
+                continue;
+            }
             Err(e) => {
                 eprintln!("input error: {e}");
                 break;
@@ -122,6 +182,7 @@ fn main() {
             break;
         }
     }
+    0
 }
 
 /// Heuristic: a line ending in `.` with a single atom and no variables is

@@ -16,8 +16,14 @@ use chainsplit_engine::{
     PlannerRef, RepairOutcome, RoundMetrics, TabledOptions, TopDownOptions,
 };
 use chainsplit_governor::{Budget, BudgetTrip, CancelToken, Governor};
-use chainsplit_logic::{parse_program, parse_rule, Atom, ParseError, Program, Subst, Term, Var};
+use chainsplit_logic::{
+    parse_program, parse_query, parse_rule, Atom, ParseError, Program, Subst, Term, Var,
+};
+use chainsplit_storage::{
+    Op, Recovered, RecoveryReport, StorageError, Store, StoreStatus, WalRecord,
+};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Which evaluation method to run.
@@ -144,6 +150,10 @@ pub struct RetractOutcome {
 pub enum DbError {
     Parse(ParseError),
     Eval(EvalError),
+    /// A durability failure: the WAL append, snapshot write, or recovery
+    /// replay did not complete. When this carries a simulated crash
+    /// ([`StorageError::is_crash`]) the handle must be treated as killed.
+    Storage(StorageError),
 }
 
 impl fmt::Display for DbError {
@@ -151,11 +161,23 @@ impl fmt::Display for DbError {
         match self {
             DbError::Parse(e) => write!(f, "{e}"),
             DbError::Eval(e) => write!(f, "{e}"),
+            DbError::Storage(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for DbError {}
+impl std::error::Error for DbError {
+    /// The wrapped error, so callers can walk the chain (e.g. down to
+    /// the `std::io::Error` under a [`StorageError::Io`]) instead of
+    /// string-matching `Display` output.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Parse(e) => Some(e),
+            DbError::Eval(e) => Some(e),
+            DbError::Storage(e) => Some(e),
+        }
+    }
+}
 
 impl From<ParseError> for DbError {
     fn from(e: ParseError) -> DbError {
@@ -166,6 +188,12 @@ impl From<ParseError> for DbError {
 impl From<EvalError> for DbError {
     fn from(e: EvalError) -> DbError {
         DbError::Eval(e)
+    }
+}
+
+impl From<StorageError> for DbError {
+    fn from(e: StorageError) -> DbError {
+        DbError::Storage(e)
     }
 }
 
@@ -221,6 +249,15 @@ pub struct DeductiveDb {
     /// `None` until [`materialize`](Self::materialize); dropped on any
     /// rule-program change or mid-repair budget trip.
     materialization: Option<dred::Materialization>,
+    /// The durable store (DESIGN.md §15), attached by
+    /// [`open`](Self::open). `None` for a purely in-memory db — the
+    /// default, costing the mutation paths one branch.
+    store: Option<Store>,
+    /// Whether mutations append to the WAL (`:wal on|off`). Recovery
+    /// replay clears it so recovered operations don't re-log.
+    wal_enabled: bool,
+    /// The report from the recovery that opened this db (`:wal status`).
+    recovery: Option<RecoveryReport>,
 }
 
 impl Default for DeductiveDb {
@@ -257,7 +294,194 @@ impl DeductiveDb {
             governor: Governor::new(),
             planner,
             materialization: None,
+            store: None,
+            wal_enabled: false,
+            recovery: None,
         }
+    }
+
+    // ---- durability (DESIGN.md §15) ----
+
+    /// Opens (creating if needed) a durable database at `data_dir`:
+    /// loads the newest valid snapshot, replays the WAL suffix through
+    /// the normal mutation paths (a torn tail has already been detected
+    /// by checksum and truncated — never replayed), restores the epoch
+    /// vector so answer- and plan-cache invalidation behave exactly as
+    /// before the crash, and leaves WAL logging enabled.
+    pub fn open(data_dir: &Path) -> Result<DeductiveDb, DbError> {
+        Self::open_with_budget(data_dir, Budget::default())
+    }
+
+    /// [`open`](Self::open) under a resource budget that also governs
+    /// the recovery replay itself. A trip mid-replay surfaces as an
+    /// error — a clean refusal to open, never a half-open database. The
+    /// budget stays installed for subsequent queries.
+    pub fn open_with_budget(data_dir: &Path, budget: Budget) -> Result<DeductiveDb, DbError> {
+        let mut db = DeductiveDb::new();
+        db.governor.set_budget(budget);
+        db.governor.begin_query();
+        let (store, recovered) = Store::open(data_dir, &db.governor)?;
+        db.store = Some(store);
+        db.replay(recovered)?;
+        db.wal_enabled = true;
+        Ok(db)
+    }
+
+    /// Applies a recovered snapshot and WAL suffix. Runs with WAL
+    /// logging off (this *is* the log), through the same public mutation
+    /// paths a live session uses, so epochs regenerate deterministically;
+    /// each record's post-op stamps are then cross-checked.
+    fn replay(&mut self, recovered: Recovered) -> Result<(), DbError> {
+        debug_assert!(!self.wal_enabled, "replay must not re-log");
+        let mut sp = chainsplit_trace::Span::enter_cat("wal-replay", "wal");
+        if let Some(snap) = &recovered.snapshot {
+            self.load(&snap.program)?;
+            // The snapshot carries *absolute* epochs; loading bumped
+            // relative ones, so overwrite wholesale.
+            self.program_epoch = snap.program_epoch;
+            self.edb_epochs.clear();
+            for (key, epoch) in &snap.edb_epochs {
+                self.edb_epochs.insert(parse_pred_key(key)?, *epoch);
+            }
+        }
+        for rec in &recovered.records {
+            self.governor
+                .check("wal-replay")
+                .map_err(StorageError::Budget)?;
+            self.apply_record(rec)?;
+        }
+        sp.set_attr("records", recovered.records.len());
+        self.recovery = Some(recovered.report);
+        Ok(())
+    }
+
+    /// Replays one WAL record and validates its post-op epoch stamps.
+    /// A stamp mismatch means the log does not describe this database —
+    /// recovery refuses rather than continuing from a diverged state.
+    fn apply_record(&mut self, rec: &WalRecord) -> Result<(), DbError> {
+        match &rec.op {
+            Op::AddFact(text) => self.add_fact(parse_query(text)?)?,
+            Op::RetractFact(text) => {
+                self.retract_fact(&parse_query(text)?)?;
+            }
+            Op::LoadRule(text) => self.load_rule(text)?,
+            Op::LoadProgram(text) => self.load(text)?,
+            Op::Recompile => {}
+        }
+        let corrupt = |detail: String| {
+            DbError::Storage(StorageError::Corrupt {
+                path: "<wal replay>".into(),
+                detail,
+            })
+        };
+        if self.program_epoch != rec.program_epoch {
+            return Err(corrupt(format!(
+                "record seq {}: program epoch diverged (log says {}, replay reached {})",
+                rec.seq, rec.program_epoch, self.program_epoch
+            )));
+        }
+        for (key, epoch) in &rec.edb_epochs {
+            let got = self.edb_epoch(parse_pred_key(key)?);
+            if got != *epoch {
+                return Err(corrupt(format!(
+                    "record seq {}: edb epoch of {key} diverged (log says {epoch}, replay reached {got})",
+                    rec.seq
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends one operation to the WAL (before the mutation it
+    /// describes touches memory). A no-op without an attached store or
+    /// with logging off — the in-memory hot path costs one branch.
+    fn wal_append(
+        &mut self,
+        op: Op,
+        program_epoch: u64,
+        edb_epochs: Vec<(String, u64)>,
+    ) -> Result<(), DbError> {
+        if !self.wal_enabled {
+            return Ok(());
+        }
+        if let Some(store) = &mut self.store {
+            store.append(op, program_epoch, edb_epochs, &self.governor)?;
+        }
+        Ok(())
+    }
+
+    /// The post-op EDB epoch stamps for ingesting the given facts: each
+    /// predicate's current epoch plus its number of inserts.
+    fn predict_fact_epochs(
+        &self,
+        preds: impl Iterator<Item = chainsplit_logic::Pred>,
+    ) -> Vec<(String, u64)> {
+        let mut bumps: Vec<(chainsplit_logic::Pred, u64)> = Vec::new();
+        for pred in preds {
+            match bumps.iter_mut().find(|(p, _)| *p == pred) {
+                Some((_, n)) => *n += 1,
+                None => bumps.push((pred, 1)),
+            }
+        }
+        bumps
+            .into_iter()
+            .map(|(p, n)| (p.to_string(), self.edb_epoch(p) + n))
+            .collect()
+    }
+
+    /// Writes a durable snapshot of the current program, EDB, and epoch
+    /// vector (`:snapshot`), then prunes the WAL segments and older
+    /// snapshots it covers. Returns the snapshot path, or `None` when no
+    /// durable store is attached.
+    pub fn snapshot(&mut self) -> Result<Option<PathBuf>, DbError> {
+        let program = self.dump();
+        let program_epoch = self.program_epoch;
+        let mut epochs: Vec<(String, u64)> = self
+            .edb_epochs
+            .iter()
+            .map(|(p, e)| (p.to_string(), *e))
+            .collect();
+        epochs.sort();
+        let Some(store) = &mut self.store else {
+            return Ok(None);
+        };
+        let path = store.write_snapshot(program, program_epoch, epochs, &self.governor)?;
+        Ok(Some(path))
+    }
+
+    /// Turns WAL logging on or off (`:wal on|off`). Returns the
+    /// effective state — `true` requires a store attached via
+    /// [`open`](Self::open). Re-enabling after mutations ran unlogged
+    /// writes a fresh baseline snapshot first, so the durable state
+    /// catches up with memory instead of silently missing operations.
+    pub fn set_wal(&mut self, on: bool) -> Result<bool, DbError> {
+        if !on {
+            self.wal_enabled = false;
+            return Ok(false);
+        }
+        if self.store.is_none() {
+            return Ok(false);
+        }
+        if !self.wal_enabled {
+            self.wal_enabled = true;
+            self.snapshot()?;
+        }
+        Ok(true)
+    }
+
+    /// Whether mutations currently append to the WAL.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal_enabled
+    }
+
+    /// The durable store's current shape (`:wal status`).
+    pub fn store_status(&self) -> Option<StoreStatus> {
+        self.store.as_ref().map(|s| s.status())
+    }
+
+    /// The report from the recovery that opened this db, if any.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Turns cost-based join planning on or off for every evaluator this
@@ -329,12 +553,20 @@ impl DeductiveDb {
             .iter()
             .all(|r| r.is_fact() && r.head.is_ground() && !self.is_idb_pred(r.head.pred))
         {
+            let stamps = self.predict_fact_epochs(p.rules.iter().map(|r| r.head.pred));
+            self.wal_append(Op::LoadProgram(src.to_string()), self.program_epoch, stamps)?;
             for r in p.rules {
                 self.ingest_fact(r.head);
             }
         } else {
+            self.wal_append(
+                Op::LoadProgram(src.to_string()),
+                self.program_epoch + 1,
+                Vec::new(),
+            )?;
             self.source.rules.extend(p.rules);
             self.invalidate_program();
+            self.wal_append(Op::Recompile, self.program_epoch, Vec::new())?;
         }
         Ok(())
     }
@@ -344,24 +576,43 @@ impl DeductiveDb {
     pub fn load_rule(&mut self, src: &str) -> Result<(), DbError> {
         let r = parse_rule(src)?;
         if r.is_fact() && r.head.is_ground() && !self.is_idb_pred(r.head.pred) {
+            let stamps = self.predict_fact_epochs(std::iter::once(r.head.pred));
+            self.wal_append(Op::LoadRule(src.to_string()), self.program_epoch, stamps)?;
             self.ingest_fact(r.head);
         } else {
+            self.wal_append(
+                Op::LoadRule(src.to_string()),
+                self.program_epoch + 1,
+                Vec::new(),
+            )?;
             self.source.rules.push(r);
             self.invalidate_program();
+            self.wal_append(Op::Recompile, self.program_epoch, Vec::new())?;
         }
         Ok(())
     }
 
     /// Adds a fact directly. A ground fact of an extensional predicate
     /// skips recompilation; a fact of an IDB predicate is a new exit rule
-    /// and recompiles like any rule change.
-    pub fn add_fact(&mut self, fact: Atom) {
+    /// and recompiles like any rule change. With a WAL attached the
+    /// record is appended (and fsynced) *before* memory mutates — an
+    /// error means nothing changed.
+    pub fn add_fact(&mut self, fact: Atom) -> Result<(), DbError> {
         if fact.is_ground() && !self.is_idb_pred(fact.pred) {
+            let stamps = self.predict_fact_epochs(std::iter::once(fact.pred));
+            self.wal_append(Op::AddFact(fact.to_string()), self.program_epoch, stamps)?;
             self.ingest_fact(fact);
         } else {
+            self.wal_append(
+                Op::AddFact(fact.to_string()),
+                self.program_epoch + 1,
+                Vec::new(),
+            )?;
             self.source.rules.push(chainsplit_logic::Rule::fact(fact));
             self.invalidate_program();
+            self.wal_append(Op::Recompile, self.program_epoch, Vec::new())?;
         }
+        Ok(())
     }
 
     /// Retracts a fact. The fast path — a ground fact of an extensional
@@ -378,29 +629,51 @@ impl DeductiveDb {
     /// matching clauses are removed and the system recompiles.
     pub fn retract_fact(&mut self, fact: &Atom) -> Result<RetractOutcome, DbError> {
         let mut outcome = RetractOutcome::default();
+        // Presence decides the epoch stamp, and the stamp must be logged
+        // before the mutation — so check before touching anything. A
+        // no-op retraction is logged too (replaying a no-op is a no-op),
+        // which keeps the record stream a pure function of the op
+        // sequence rather than of the state it happened to hit.
+        let present = self
+            .source
+            .rules
+            .iter()
+            .any(|r| r.is_fact() && r.head == *fact);
         if !fact.is_ground() || self.is_idb_pred(fact.pred) {
             // Rule path: drop every syntactically matching fact clause.
-            let before = self.source.rules.len();
+            let stamp = if present {
+                self.program_epoch + 1
+            } else {
+                self.program_epoch
+            };
+            self.wal_append(Op::RetractFact(fact.to_string()), stamp, Vec::new())?;
+            if !present {
+                return Ok(outcome);
+            }
             self.source
                 .rules
                 .retain(|r| !(r.is_fact() && r.head == *fact));
-            if self.source.rules.len() == before {
-                return Ok(outcome);
-            }
             self.invalidate_program();
+            self.wal_append(Op::Recompile, self.program_epoch, Vec::new())?;
             outcome.removed = true;
             outcome.recompiled = true;
             return Ok(outcome);
         }
-        // EDB path. Presence check first: retracting an absent fact must
-        // not bump the epoch (cached answers stay valid and keep hitting).
-        let before = self.source.rules.len();
+        // EDB path. Retracting an absent fact must not bump the epoch
+        // (cached answers stay valid and keep hitting).
+        let bump = u64::from(present);
+        let stamps = vec![(fact.pred.to_string(), self.edb_epoch(fact.pred) + bump)];
+        self.wal_append(
+            Op::RetractFact(fact.to_string()),
+            self.program_epoch,
+            stamps,
+        )?;
+        if !present {
+            return Ok(outcome);
+        }
         self.source
             .rules
             .retain(|r| !(r.is_fact() && r.head == *fact));
-        if self.source.rules.len() == before {
-            return Ok(outcome);
-        }
         outcome.removed = true;
         if let Some(sys) = &mut self.system {
             sys.edb.remove_fact(fact);
@@ -476,6 +749,13 @@ impl DeductiveDb {
     /// Every predicate with a non-zero EDB mutation epoch (`:stats`).
     pub fn edb_epochs(&self) -> &std::collections::HashMap<chainsplit_logic::Pred, u64> {
         &self.edb_epochs
+    }
+
+    /// The program (rule-set) epoch. Together with
+    /// [`Self::edb_epochs`] this is the cache-invalidation clock the
+    /// recovery oracle compares bit-for-bit against an in-memory twin.
+    pub fn program_epoch(&self) -> u64 {
+        self.program_epoch
     }
 
     /// Is `pred` intensional under the current program? Mirrors
@@ -1296,6 +1576,20 @@ fn ground_instances(goal: &Atom, answers: &[Answer]) -> Vec<Atom> {
     out
 }
 
+/// Parses a `name/arity` WAL epoch key back into a predicate. The key
+/// was produced by `Pred`'s `Display`, which always ends in `/<arity>`.
+fn parse_pred_key(key: &str) -> Result<chainsplit_logic::Pred, DbError> {
+    let corrupt = || {
+        DbError::Storage(StorageError::Corrupt {
+            path: "<wal replay>".into(),
+            detail: format!("bad predicate key {key:?}"),
+        })
+    };
+    let (name, arity) = key.rsplit_once('/').ok_or_else(corrupt)?;
+    let arity: u32 = arity.parse().map_err(|_| corrupt())?;
+    Ok(chainsplit_logic::Pred::new(name, arity))
+}
+
 /// Filters substitutions by builtin constraints, threading bindings from
 /// one constraint to the next (`length(L, N), N <= 3` binds `N` first).
 fn filter_constraints(sols: Vec<Subst>, constraints: &[Atom]) -> Result<Vec<Subst>, EvalError> {
@@ -1404,7 +1698,8 @@ mod tests {
         db.load("p(X) :- e(X).").unwrap();
         db.load_rule("e(1).").unwrap();
         assert_eq!(db.query("p(X)").unwrap().len(), 1);
-        db.add_fact(chainsplit_logic::parse_query("e(2)").unwrap());
+        db.add_fact(chainsplit_logic::parse_query("e(2)").unwrap())
+            .unwrap();
         assert_eq!(db.query("p(X)").unwrap().len(), 2);
     }
 
@@ -1510,7 +1805,8 @@ mod mutation_path_tests {
         let seq = db.system().build_seq;
         // Every fact-ingestion path: add_fact, load_rule of a ground
         // fact, load of a facts-only fragment.
-        db.add_fact(chainsplit_logic::parse_query("e(2)").unwrap());
+        db.add_fact(chainsplit_logic::parse_query("e(2)").unwrap())
+            .unwrap();
         db.load_rule("e(3).").unwrap();
         db.load("e(4). e(5).").unwrap();
         assert_eq!(
@@ -1530,7 +1826,8 @@ mod mutation_path_tests {
         let mut db = DeductiveDb::new();
         db.load("p(X) :- e(X). e(1).").unwrap();
         let seq = db.system().build_seq;
-        db.add_fact(chainsplit_logic::parse_query("brand_new(7)").unwrap());
+        db.add_fact(chainsplit_logic::parse_query("brand_new(7)").unwrap())
+            .unwrap();
         assert_eq!(db.system().build_seq, seq);
         assert_eq!(db.query("brand_new(X)").unwrap().len(), 1);
         assert_eq!(db.query("brand_new(7)").unwrap().len(), 1);
@@ -1542,7 +1839,8 @@ mod mutation_path_tests {
         db.load("p(X) :- e(X). e(1).").unwrap();
         let seq = db.system().build_seq;
         // `p` is intensional: a ground `p` fact changes the rule program.
-        db.add_fact(chainsplit_logic::parse_query("p(9)").unwrap());
+        db.add_fact(chainsplit_logic::parse_query("p(9)").unwrap())
+            .unwrap();
         assert_ne!(db.system().build_seq, seq);
         assert_eq!(db.query("p(X)").unwrap().len(), 2);
     }
@@ -1604,7 +1902,8 @@ mod mutation_path_tests {
     fn dump_drops_retracted_facts() {
         let mut db = DeductiveDb::new();
         db.load("p(X) :- e(X).").unwrap();
-        db.add_fact(chainsplit_logic::parse_query("e(42)").unwrap());
+        db.add_fact(chainsplit_logic::parse_query("e(42)").unwrap())
+            .unwrap();
         assert!(db.dump().contains("e(42)"));
         db.retract_fact(&chainsplit_logic::parse_query("e(42)").unwrap())
             .unwrap();
@@ -1640,7 +1939,8 @@ mod mutation_path_tests {
         let mut db = DeductiveDb::new();
         db.load("p(X) :- e(X).").unwrap();
         let _ = db.system();
-        db.add_fact(chainsplit_logic::parse_query("e(42)").unwrap());
+        db.add_fact(chainsplit_logic::parse_query("e(42)").unwrap())
+            .unwrap();
         let text = db.dump();
         assert!(text.contains("e(42)"), "{text}");
         let mut db2 = DeductiveDb::new();
@@ -1732,7 +2032,8 @@ mod cache_tests {
         db.query("pa(X)").unwrap();
         db.query("pb(X)").unwrap();
         // `ea` supports only `pa`: the `pb` entry must survive the insert.
-        db.add_fact(chainsplit_logic::parse_query("ea(2)").unwrap());
+        db.add_fact(chainsplit_logic::parse_query("ea(2)").unwrap())
+            .unwrap();
         let pb = db.query_with("pb(X)", Strategy::Auto).unwrap();
         assert!(pb.cached, "unrelated insert must preserve the hit");
         let pa = db.query_with("pa(X)", Strategy::Auto).unwrap();
@@ -1740,7 +2041,8 @@ mod cache_tests {
         assert_eq!(pa.answers.len(), 2);
         assert_eq!(db.cache_stats().invalidations, 1);
         // An insert into a brand-new unrelated predicate preserves both.
-        db.add_fact(chainsplit_logic::parse_query("elsewhere(0)").unwrap());
+        db.add_fact(chainsplit_logic::parse_query("elsewhere(0)").unwrap())
+            .unwrap();
         assert!(db.query_with("pa(X)", Strategy::Auto).unwrap().cached);
         assert!(db.query_with("pb(X)", Strategy::Auto).unwrap().cached);
     }
@@ -1817,7 +2119,8 @@ mod cache_tests {
         db.set_cache_enabled(true);
         assert_eq!(db.query("e(X)").unwrap().len(), 1);
         assert!(db.query_with("e(X)", Strategy::Auto).unwrap().cached);
-        db.add_fact(chainsplit_logic::parse_query("e(2)").unwrap());
+        db.add_fact(chainsplit_logic::parse_query("e(2)").unwrap())
+            .unwrap();
         let after = db.query_with("e(X)", Strategy::Auto).unwrap();
         assert!(!after.cached);
         assert_eq!(after.answers.len(), 2);
@@ -1947,7 +2250,7 @@ mod materialize_tests {
         let mut db = DeductiveDb::new();
         db.load(TC).unwrap();
         assert!(db.materialize().unwrap());
-        db.add_fact(fact("edge(d, e)"));
+        db.add_fact(fact("edge(d, e)")).unwrap();
         assert!(db.is_materialized(), "an insert repairs, not drops");
         assert_eq!(db.materialization().unwrap().repairs(), 1);
         let mut fresh = DeductiveDb::new();
@@ -2111,5 +2414,203 @@ mod integrity_tests {
         let mut db2 = DeductiveDb::new();
         db2.load(&text).unwrap();
         assert_eq!(db2.query("q(X)").unwrap().len(), 1);
+    }
+}
+
+/// Durability: WAL + snapshots + recovery (DESIGN.md §15).
+#[cfg(test)]
+mod durability_tests {
+    use super::*;
+
+    fn fact(src: &str) -> Atom {
+        chainsplit_logic::parse_query(src).unwrap()
+    }
+
+    fn data_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "chainsplit-db-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn answers(db: &mut DeductiveDb, q: &str) -> Vec<String> {
+        let mut v: Vec<String> = db.query(q).unwrap().iter().map(|a| a.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn a_killed_session_recovers_from_the_wal() {
+        let dir = data_dir("kill");
+        let mut db = DeductiveDb::open(&dir).unwrap();
+        db.load("path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).")
+            .unwrap();
+        db.load("edge(a, b). edge(b, c).").unwrap();
+        db.add_fact(fact("edge(c, d)")).unwrap();
+        db.retract_fact(&fact("edge(b, c)")).unwrap();
+        let want = answers(&mut db, "path(a, X)");
+        let epoch = db.edb_epoch(chainsplit_logic::Pred::new("edge", 2));
+        let program_epoch = db.program_epoch;
+        // Kill: drop without snapshotting. Everything lives in the WAL.
+        drop(db);
+        let mut back = DeductiveDb::open(&dir).unwrap();
+        assert_eq!(answers(&mut back, "path(a, X)"), want);
+        assert_eq!(
+            back.edb_epoch(chainsplit_logic::Pred::new("edge", 2)),
+            epoch
+        );
+        assert_eq!(back.program_epoch, program_epoch);
+        let report = back.recovery_report().unwrap().clone();
+        assert_eq!(report.snapshot_seq, 0);
+        assert!(report.replayed_records > 0);
+        assert_eq!(report.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_snapshot_absorbs_the_wal_and_restores_absolute_epochs() {
+        let dir = data_dir("snap");
+        let mut db = DeductiveDb::open(&dir).unwrap();
+        db.load("p(X) :- e(X).").unwrap();
+        db.add_fact(fact("e(1)")).unwrap();
+        db.add_fact(fact("e(2)")).unwrap();
+        let path = db.snapshot().unwrap().expect("store attached");
+        assert!(path.exists());
+        // Mutations after the snapshot land in the WAL suffix.
+        db.add_fact(fact("e(3)")).unwrap();
+        let epoch = db.edb_epoch(chainsplit_logic::Pred::new("e", 1));
+        drop(db);
+        let mut back = DeductiveDb::open(&dir).unwrap();
+        let report = back.recovery_report().unwrap().clone();
+        assert!(report.snapshot_seq > 0, "the snapshot must be recovered");
+        assert_eq!(report.replayed_records, 1, "only the suffix replays");
+        assert_eq!(answers(&mut back, "p(X)"), ["X = 1", "X = 2", "X = 3"]);
+        assert_eq!(
+            back.edb_epoch(chainsplit_logic::Pred::new("e", 1)),
+            epoch,
+            "epochs are absolute, not restarted from the snapshot"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovered_epochs_keep_the_answer_cache_honest() {
+        let dir = data_dir("cache");
+        let mut db = DeductiveDb::open(&dir).unwrap();
+        db.load("p(X) :- e(X).\ne(1).").unwrap();
+        drop(db);
+        let mut back = DeductiveDb::open(&dir).unwrap();
+        back.set_cache_enabled(true);
+        assert!(!back.query_with("p(X)", Strategy::Auto).unwrap().cached);
+        assert!(back.query_with("p(X)", Strategy::Auto).unwrap().cached);
+        // A recovered-then-mutated predicate must invalidate the entry.
+        back.add_fact(fact("e(2)")).unwrap();
+        let out = back.query_with("p(X)", Strategy::Auto).unwrap();
+        assert!(!out.cached, "mutation after recovery must miss");
+        assert_eq!(out.answers.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn noop_retractions_replay_as_noops() {
+        let dir = data_dir("noop");
+        let mut db = DeductiveDb::open(&dir).unwrap();
+        db.load("e(1).").unwrap();
+        let out = db.retract_fact(&fact("e(9)")).unwrap();
+        assert!(!out.removed);
+        let epoch = db.edb_epoch(chainsplit_logic::Pred::new("e", 1));
+        drop(db);
+        let mut back = DeductiveDb::open(&dir).unwrap();
+        assert_eq!(back.edb_epoch(chainsplit_logic::Pred::new("e", 1)), epoch);
+        assert_eq!(answers(&mut back, "e(X)"), ["X = 1"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_off_then_on_rebaselines_with_a_snapshot() {
+        let dir = data_dir("toggle");
+        let mut db = DeductiveDb::open(&dir).unwrap();
+        db.load("e(1).").unwrap();
+        assert!(db.wal_enabled());
+        assert!(!db.set_wal(false).unwrap());
+        // Unlogged mutations: durable state is now behind memory.
+        db.add_fact(fact("e(2)")).unwrap();
+        // Re-enabling snapshots the full in-memory state first.
+        assert!(db.set_wal(true).unwrap());
+        db.add_fact(fact("e(3)")).unwrap();
+        drop(db);
+        let mut back = DeductiveDb::open(&dir).unwrap();
+        assert_eq!(answers(&mut back, "e(X)"), ["X = 1", "X = 2", "X = 3"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn an_in_memory_db_has_no_store() {
+        let mut db = DeductiveDb::new();
+        db.load("e(1).").unwrap();
+        assert!(!db.wal_enabled());
+        assert!(db.store_status().is_none());
+        assert_eq!(db.snapshot().unwrap(), None);
+        assert!(!db.set_wal(true).unwrap(), "no store to log to");
+    }
+
+    #[test]
+    fn a_torn_wal_tail_is_truncated_on_recovery() {
+        let dir = data_dir("torn");
+        let mut db = DeductiveDb::open(&dir).unwrap();
+        db.load("e(1). e(2).").unwrap();
+        db.add_fact(fact("e(3)")).unwrap();
+        drop(db);
+        // Tear the last frame by chopping bytes off the newest segment.
+        let mut segs: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("log"))
+            .collect();
+        segs.sort();
+        let seg = segs.pop().unwrap();
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+        let mut back = DeductiveDb::open(&dir).unwrap();
+        let report = back.recovery_report().unwrap().clone();
+        assert!(report.truncated_bytes > 0, "the tear must be detected");
+        // The torn record (e(3)) is gone — never replayed, never a panic.
+        assert_eq!(answers(&mut back, "e(X)"), ["X = 1", "X = 2"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_under_a_tripped_budget_refuses_cleanly() {
+        let dir = data_dir("budget");
+        let mut db = DeductiveDb::open(&dir).unwrap();
+        for i in 0..50 {
+            db.add_fact(fact(&format!("e({i})"))).unwrap();
+        }
+        drop(db);
+        let tight = Budget {
+            max_bytes_est: Some(1),
+            ..Budget::default()
+        };
+        // The replay itself drives the byte counter (WAL bytes charge
+        // the governor), so a 1-byte budget must trip mid-recovery.
+        match DeductiveDb::open_with_budget(&dir, tight) {
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("budget") || msg.contains("bytes"),
+                    "unexpected refusal: {msg}"
+                );
+            }
+            Ok(_) => panic!("a tripped budget must refuse to open"),
+        }
+        // The same directory still opens unbudgeted.
+        let mut back = DeductiveDb::open(&dir).unwrap();
+        assert_eq!(answers(&mut back, "e(X)").len(), 50);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,6 +1,6 @@
 //! Evaluation errors and resource budgets.
 
-use chainsplit_governor::{BudgetTrip, Resource};
+use chainsplit_governor::BudgetTrip;
 use std::fmt;
 
 /// An evaluation failure.
@@ -24,18 +24,14 @@ pub enum EvalError {
     /// a wrong order, so evaluation refuses instead.
     NonUniformFrontier { atom: String },
     /// A [`chainsplit_governor::Governor`] budget was exhausted (or the
-    /// query was cancelled, or a fault was injected). Carries the fields
-    /// of the latched [`BudgetTrip`]. Evaluators that can drain to a
-    /// consistent boundary convert this into a partial result with the
-    /// trip attached instead of returning it as an error; it surfaces as
-    /// an `Err` only where partial answers would be unsound (e.g. inside
-    /// a nested sub-evaluation).
-    BudgetExceeded {
-        resource: Resource,
-        limit: u64,
-        observed: u64,
-        phase: &'static str,
-    },
+    /// query was cancelled, or a fault was injected). Carries the latched
+    /// [`BudgetTrip`], which [`std::error::Error::source`] exposes as the
+    /// root cause. Evaluators that can drain to a consistent boundary
+    /// convert this into a partial result with the trip attached instead
+    /// of returning it as an error; it surfaces as an `Err` only where
+    /// partial answers would be unsound (e.g. inside a nested
+    /// sub-evaluation).
+    BudgetExceeded { trip: BudgetTrip },
     /// A parallel worker panicked mid-query. The panic poisons only that
     /// query — the pool and the enclosing `DeductiveDb` stay usable.
     /// `task` is the partition index, `message` the panic payload (kept so
@@ -54,13 +50,8 @@ impl From<chainsplit_par::PoolError> for EvalError {
 }
 
 impl From<BudgetTrip> for EvalError {
-    fn from(t: BudgetTrip) -> EvalError {
-        EvalError::BudgetExceeded {
-            resource: t.resource,
-            limit: t.limit,
-            observed: t.observed,
-            phase: t.phase,
-        }
+    fn from(trip: BudgetTrip) -> EvalError {
+        EvalError::BudgetExceeded { trip }
     }
 }
 
@@ -70,17 +61,7 @@ impl EvalError {
     /// genuine failures.
     pub fn budget_trip(&self) -> Option<BudgetTrip> {
         match *self {
-            EvalError::BudgetExceeded {
-                resource,
-                limit,
-                observed,
-                phase,
-            } => Some(BudgetTrip {
-                resource,
-                limit,
-                observed,
-                phase,
-            }),
+            EvalError::BudgetExceeded { trip } => Some(trip),
             _ => None,
         }
     }
@@ -104,10 +85,7 @@ impl fmt::Display for EvalError {
                     "frontier over `{atom}` lost groundness uniformity; cannot plan a join order"
                 )
             }
-            e @ EvalError::BudgetExceeded { .. } => {
-                let trip = e.budget_trip().expect("matched BudgetExceeded");
-                write!(f, "budget exceeded: {trip}")
-            }
+            EvalError::BudgetExceeded { trip } => write!(f, "budget exceeded: {trip}"),
             EvalError::WorkerPanicked { task, message } => {
                 write!(f, "worker panicked evaluating partition {task}: {message}")
             }
@@ -115,7 +93,14 @@ impl fmt::Display for EvalError {
     }
 }
 
-impl std::error::Error for EvalError {}
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::BudgetExceeded { trip } => Some(trip),
+            _ => None,
+        }
+    }
+}
 
 /// Work counters shared by all evaluators; benchmark tables report these
 /// alongside wall-clock so the paper's ordinal claims can be checked on
@@ -301,7 +286,7 @@ mod tests {
     #[test]
     fn budget_exceeded_round_trips_through_budget_trip() {
         let trip = BudgetTrip {
-            resource: Resource::Wall,
+            resource: chainsplit_governor::Resource::Wall,
             limit: 50,
             observed: 61,
             phase: "up-sweep",
@@ -310,5 +295,20 @@ mod tests {
         assert_eq!(e.budget_trip(), Some(trip));
         assert_eq!(e.to_string(), format!("budget exceeded: {trip}"));
         assert_eq!(EvalError::FuelExceeded { limit: 3 }.budget_trip(), None);
+    }
+
+    #[test]
+    fn source_chains_to_the_trip() {
+        use std::error::Error as _;
+        let trip = BudgetTrip {
+            resource: chainsplit_governor::Resource::Bytes,
+            limit: 64,
+            observed: 80,
+            phase: "wal-append",
+        };
+        let e = EvalError::from(trip);
+        let src = e.source().expect("BudgetExceeded chains to its trip");
+        assert_eq!(src.to_string(), trip.to_string());
+        assert!(EvalError::FuelExceeded { limit: 3 }.source().is_none());
     }
 }

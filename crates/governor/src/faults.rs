@@ -132,6 +132,94 @@ pub(crate) fn poll() -> Option<FaultHit> {
     })
 }
 
+/// A filesystem failure the storage layer simulates at one persistence
+/// point (a WAL frame write, an fsync, a segment rotation, a snapshot
+/// write/fsync/rename). Every kind models a *crash*: the storage call
+/// reports the process as killed after (or instead of) leaving the
+/// described damage on disk, and recovery must cope with what remains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsFault {
+    /// Only a prefix of the bytes reached the file (a torn page).
+    TornWrite,
+    /// All but the final byte reached the file.
+    ShortWrite,
+    /// The bytes landed but the trailing checksum is flipped.
+    CorruptChecksum,
+    /// The temp file was written and fsynced but never renamed into place.
+    CrashBeforeRename,
+    /// The rename completed; the crash hit immediately after.
+    CrashAfterRename,
+    /// The same record was appended twice (a replayed buffer).
+    DuplicateRecord,
+}
+
+impl FsFault {
+    /// All kinds, in the order the crash oracle indexes them.
+    pub const ALL: [FsFault; 6] = [
+        FsFault::TornWrite,
+        FsFault::ShortWrite,
+        FsFault::CorruptChecksum,
+        FsFault::CrashBeforeRename,
+        FsFault::CrashAfterRename,
+        FsFault::DuplicateRecord,
+    ];
+}
+
+/// A targeted filesystem fault: fire `fault` at exactly the `point`-th
+/// persistence point after arming (0-based), once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FsFaultPlan {
+    pub point: u64,
+    pub fault: FsFault,
+}
+
+static FS_ARMED: AtomicBool = AtomicBool::new(false);
+static FS_POINT: AtomicU64 = AtomicU64::new(0);
+static FS_PLAN: Mutex<Option<FsFaultPlan>> = Mutex::new(None);
+
+fn fs_plan_slot() -> std::sync::MutexGuard<'static, Option<FsFaultPlan>> {
+    FS_PLAN.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arms `plan` process-wide and resets the persistence-point counter.
+/// A plan with `point: u64::MAX` never fires — useful for counting the
+/// points a session visits via [`fs_points_visited`].
+pub fn arm_fs(plan: FsFaultPlan) {
+    *fs_plan_slot() = Some(plan);
+    FS_POINT.store(0, Relaxed);
+    FS_ARMED.store(true, Relaxed);
+}
+
+/// Disarms filesystem fault injection.
+pub fn disarm_fs() {
+    FS_ARMED.store(false, Relaxed);
+    *fs_plan_slot() = None;
+}
+
+/// Whether a filesystem fault plan is currently armed.
+pub fn fs_is_armed() -> bool {
+    FS_ARMED.load(Relaxed)
+}
+
+/// The number of persistence points visited since the last [`arm_fs`].
+pub fn fs_points_visited() -> u64 {
+    FS_POINT.load(Relaxed)
+}
+
+/// Draws the decision for the next persistence point: `Some(fault)`
+/// exactly when this is the armed plan's target point. Storage code
+/// calls this once per persistence point (append, fsync, rotate,
+/// snapshot write/fsync/rename); the counter advances deterministically
+/// because every such point runs on the mutating caller's thread.
+pub fn poll_fs() -> Option<FsFault> {
+    if !FS_ARMED.load(Relaxed) {
+        return None;
+    }
+    let plan = (*fs_plan_slot())?;
+    let point = FS_POINT.fetch_add(1, Relaxed);
+    (point == plan.point).then_some(plan.fault)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +266,33 @@ mod tests {
             assert_ne!(hit.fault, Fault::Panic);
         }
         disarm();
+    }
+
+    #[test]
+    fn fs_fault_fires_exactly_at_the_target_point() {
+        let _guard = test_guard();
+        arm_fs(FsFaultPlan {
+            point: 3,
+            fault: FsFault::TornWrite,
+        });
+        let fired: Vec<Option<FsFault>> = (0..8).map(|_| poll_fs()).collect();
+        assert_eq!(fired.iter().flatten().count(), 1);
+        assert_eq!(fired[3], Some(FsFault::TornWrite));
+        assert_eq!(fs_points_visited(), 8);
+        disarm_fs();
+        assert!(!fs_is_armed());
+        assert!(poll_fs().is_none());
+    }
+
+    #[test]
+    fn fs_counting_plan_never_fires() {
+        let _guard = test_guard();
+        arm_fs(FsFaultPlan {
+            point: u64::MAX,
+            fault: FsFault::ShortWrite,
+        });
+        assert!((0..100).all(|_| poll_fs().is_none()));
+        assert_eq!(fs_points_visited(), 100);
+        disarm_fs();
     }
 }

@@ -148,6 +148,10 @@ impl fmt::Display for BudgetTrip {
     }
 }
 
+// A trip is the root cause in the `EvalError` → `DbError` chain, so it
+// terminates `source()` walks itself.
+impl std::error::Error for BudgetTrip {}
+
 /// Process-wide interrupt flag: the only thing a SIGINT handler touches.
 static INTERRUPT: AtomicBool = AtomicBool::new(false);
 

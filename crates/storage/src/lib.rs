@@ -1,0 +1,158 @@
+//! # chainsplit-storage
+//!
+//! Crash-safe durability for the chain-split deductive database: a
+//! write-ahead log of logical mutations plus atomic, schema-versioned
+//! snapshots, with crash-consistent recovery (DESIGN.md §15).
+//!
+//! The design splits responsibility with `chainsplit-core`:
+//!
+//! - **This crate** knows about bytes on disk. It frames, checksums and
+//!   rotates WAL records ([`wal`]), writes and loads snapshots
+//!   atomically ([`snapshot`]), and on open reconstructs the durable
+//!   history — newest valid snapshot plus the WAL suffix, with a torn
+//!   tail detected by checksum and truncated, never replayed
+//!   ([`Store::open`]).
+//! - **The facade** knows about logic. `DeductiveDb` appends one
+//!   [`WalRecord`] per mutation *before* mutating memory, stamps it with
+//!   the post-op epochs, and on open replays the recovered records
+//!   through its own mutation paths so epochs — and with them answer- and
+//!   plan-cache invalidation — come back bit-identical.
+//!
+//! Persistence points (frame writes, fsyncs, rotations, snapshot
+//! write/fsync/rename) consult the filesystem failpoints in
+//! `chainsplit_governor::faults` when the `fault-inject` feature is on,
+//! so the recovery oracle can kill a session at any point and prove
+//! recovery correct rather than assume it. WAL bytes are charged to the
+//! governor's byte budget and fsync stalls to its deadline; a budget trip
+//! mid-replay surfaces as a clean [`StorageError::Budget`] refusal, never
+//! a half-open database.
+
+#![forbid(unsafe_code)]
+
+pub mod record;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use record::{Op, WalRecord};
+pub use snapshot::SnapshotData;
+pub use store::{Recovered, RecoveryReport, Store, StoreStatus};
+
+use chainsplit_governor::BudgetTrip;
+use std::fmt;
+
+/// The snapshot schema version this build writes and reads. Bumped on
+/// any incompatible change to the snapshot layout; recovery refuses a
+/// newer version instead of misparsing it.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// A storage failure.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O failure, with the path it hit.
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// Durable state that cannot be read back: a bad magic number, an
+    /// unsupported schema version, a checksum mismatch in the *interior*
+    /// of the log (a torn tail is truncated silently, not reported), or
+    /// a record that fails validation against the replaying database.
+    Corrupt { path: String, detail: String },
+    /// A governor budget tripped during a storage operation (WAL bytes,
+    /// an fsync past the deadline, or mid-replay). The operation did not
+    /// complete; for recovery this is a clean refusal to open.
+    Budget(BudgetTrip),
+    /// A simulated crash from an armed filesystem failpoint
+    /// (`fault-inject` builds only). The session must be treated as
+    /// killed: drop the handle and recover from disk.
+    Crashed {
+        point: &'static str,
+        fault: &'static str,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { path, source } => write!(f, "i/o error on {path}: {source}"),
+            StorageError::Corrupt { path, detail } => {
+                write!(f, "corrupt storage at {path}: {detail}")
+            }
+            StorageError::Budget(trip) => write!(f, "storage budget exceeded: {trip}"),
+            StorageError::Crashed { point, fault } => {
+                write!(f, "simulated crash at {point} ({fault})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    /// The underlying cause, for `source()` chaining: an I/O error keeps
+    /// its `std::io::Error` so callers can match on
+    /// [`std::io::ErrorKind`] instead of `Display` strings.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl StorageError {
+    pub(crate) fn io(path: &std::path::Path, source: std::io::Error) -> StorageError {
+        StorageError::Io {
+            path: path.display().to_string(),
+            source,
+        }
+    }
+
+    /// Whether this error is a simulated crash from a failpoint.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, StorageError::Crashed { .. })
+    }
+}
+
+/// FNV-1a 64-bit: the frame and snapshot checksum. Not cryptographic —
+/// it detects torn and bit-flipped writes, which is all recovery needs.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        let a = checksum(b"add_fact e(1,2)");
+        assert_eq!(a, checksum(b"add_fact e(1,2)"));
+        assert_ne!(a, checksum(b"add_fact e(1,3)"));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+    }
+
+    #[test]
+    fn storage_error_chains_its_io_source() {
+        use std::error::Error;
+        let e = StorageError::io(
+            std::path::Path::new("/nowhere/wal"),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        let src = e.source().expect("io errors chain their source");
+        assert_eq!(
+            src.downcast_ref::<std::io::Error>().map(|e| e.kind()),
+            Some(std::io::ErrorKind::NotFound)
+        );
+        assert!(StorageError::Corrupt {
+            path: "x".into(),
+            detail: "y".into()
+        }
+        .source()
+        .is_none());
+    }
+}

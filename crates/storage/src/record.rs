@@ -1,0 +1,242 @@
+//! Logical mutation records and their binary payload encoding.
+//!
+//! One [`WalRecord`] per facade mutation, written *before* the mutation
+//! touches memory. The payload carries the operation (as canonical
+//! program text — replay re-parses it, which is deterministic) plus the
+//! *post-op* epoch stamps: the program epoch and every EDB predicate
+//! epoch the operation moves. Replay applies the operation through the
+//! facade's own mutation path and then checks the resulting epochs
+//! against the stamps — a divergence means the log does not describe the
+//! database it is being replayed into, and recovery refuses.
+
+use crate::StorageError;
+
+/// A logical mutation, as the facade performs it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `DeductiveDb::add_fact` — canonical atom text.
+    AddFact(String),
+    /// `DeductiveDb::retract_fact` — canonical atom text. Logged even
+    /// when the retraction turns out to be a no-op: replaying a no-op is
+    /// also a no-op, and logging unconditionally keeps the record stream
+    /// a pure function of the op sequence.
+    RetractFact(String),
+    /// `DeductiveDb::load_rule` — one clause of program text.
+    LoadRule(String),
+    /// `DeductiveDb::load` — a program fragment (facts and/or rules).
+    LoadProgram(String),
+    /// A recompile marker: the preceding operation was a rule-program
+    /// change that dropped the compiled system. Carries no text; its
+    /// program-epoch stamp cross-checks the replay.
+    Recompile,
+}
+
+impl Op {
+    fn tag(&self) -> u8 {
+        match self {
+            Op::AddFact(_) => 1,
+            Op::RetractFact(_) => 2,
+            Op::LoadRule(_) => 3,
+            Op::LoadProgram(_) => 4,
+            Op::Recompile => 5,
+        }
+    }
+
+    /// The operation's program text (empty for markers).
+    pub fn text(&self) -> &str {
+        match self {
+            Op::AddFact(t) | Op::RetractFact(t) | Op::LoadRule(t) | Op::LoadProgram(t) => t,
+            Op::Recompile => "",
+        }
+    }
+
+    /// Whether this record counts as a logical mutation (markers do not).
+    pub fn is_mutation(&self) -> bool {
+        !matches!(self, Op::Recompile)
+    }
+}
+
+/// One WAL record: a logical mutation (or marker) stamped with the
+/// post-op epochs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotonic record sequence number, 1-based across the whole log
+    /// (markers consume sequence numbers too).
+    pub seq: u64,
+    pub op: Op,
+    /// The program epoch after the operation applied.
+    pub program_epoch: u64,
+    /// The post-op EDB epoch of every predicate the operation moved
+    /// (formatted `name/arity`). Empty for program-level operations —
+    /// a recompile clears the per-predicate epochs wholesale.
+    pub edb_epochs: Vec<(String, u64)>,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked little-endian reader over a record payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl WalRecord {
+    /// Encodes the record payload (everything the frame checksum covers
+    /// besides the sequence number).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.op.text().len());
+        out.push(self.op.tag());
+        put_str(&mut out, self.op.text());
+        put_u64(&mut out, self.program_epoch);
+        put_u32(&mut out, self.edb_epochs.len() as u32);
+        for (pred, epoch) in &self.edb_epochs {
+            put_str(&mut out, pred);
+            put_u64(&mut out, *epoch);
+        }
+        out
+    }
+
+    /// Decodes a payload previously produced by
+    /// [`encode_payload`](Self::encode_payload). `path` is for error
+    /// context only.
+    pub fn decode_payload(seq: u64, payload: &[u8], path: &str) -> Result<WalRecord, StorageError> {
+        let corrupt = |detail: &str| StorageError::Corrupt {
+            path: path.to_string(),
+            detail: format!("record seq {seq}: {detail}"),
+        };
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let tag = *r
+            .take(1)
+            .ok_or_else(|| corrupt("missing op tag"))?
+            .first()
+            .unwrap();
+        let text = r.str().ok_or_else(|| corrupt("bad op text"))?;
+        let op = match tag {
+            1 => Op::AddFact(text),
+            2 => Op::RetractFact(text),
+            3 => Op::LoadRule(text),
+            4 => Op::LoadProgram(text),
+            5 => Op::Recompile,
+            t => return Err(corrupt(&format!("unknown op tag {t}"))),
+        };
+        let program_epoch = r.u64().ok_or_else(|| corrupt("missing program epoch"))?;
+        let n = r.u32().ok_or_else(|| corrupt("missing epoch count"))? as usize;
+        // An absurd count means a misframed payload, not a huge record.
+        if n > payload.len() {
+            return Err(corrupt(&format!("implausible epoch count {n}")));
+        }
+        let mut edb_epochs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pred = r.str().ok_or_else(|| corrupt("bad epoch predicate"))?;
+            let epoch = r.u64().ok_or_else(|| corrupt("missing epoch value"))?;
+            edb_epochs.push((pred, epoch));
+        }
+        if r.pos != payload.len() {
+            return Err(corrupt("trailing bytes after record payload"));
+        }
+        Ok(WalRecord {
+            seq,
+            op,
+            program_epoch,
+            edb_epochs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: &WalRecord) {
+        let payload = rec.encode_payload();
+        let back = WalRecord::decode_payload(rec.seq, &payload, "test").unwrap();
+        assert_eq!(&back, rec);
+    }
+
+    #[test]
+    fn records_roundtrip_through_the_payload_encoding() {
+        roundtrip(&WalRecord {
+            seq: 1,
+            op: Op::AddFact("e(1, 2)".into()),
+            program_epoch: 0,
+            edb_epochs: vec![("e/2".into(), 3)],
+        });
+        roundtrip(&WalRecord {
+            seq: 2,
+            op: Op::LoadProgram("p(X) :- e(X, _).\ne(1, 2).".into()),
+            program_epoch: 4,
+            edb_epochs: vec![],
+        });
+        roundtrip(&WalRecord {
+            seq: 3,
+            op: Op::Recompile,
+            program_epoch: 5,
+            edb_epochs: vec![],
+        });
+        roundtrip(&WalRecord {
+            seq: 4,
+            op: Op::RetractFact("e(1, 2)".into()),
+            program_epoch: 5,
+            edb_epochs: vec![("e/2".into(), 1), ("f/1".into(), 9)],
+        });
+    }
+
+    #[test]
+    fn truncated_and_garbled_payloads_are_rejected() {
+        let rec = WalRecord {
+            seq: 7,
+            op: Op::LoadRule("p(X) :- q(X).".into()),
+            program_epoch: 2,
+            edb_epochs: vec![("q/1".into(), 1)],
+        };
+        let payload = rec.encode_payload();
+        for cut in 0..payload.len() {
+            assert!(
+                WalRecord::decode_payload(7, &payload[..cut], "test").is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        let mut garbled = payload.clone();
+        garbled[0] = 99;
+        assert!(WalRecord::decode_payload(7, &garbled, "test").is_err());
+    }
+}

@@ -1,0 +1,456 @@
+//! Atomic, schema-versioned snapshots.
+//!
+//! A snapshot is a full dump of the durable state — program text, EDB,
+//! and the epoch vector — that lets recovery skip the WAL prefix it
+//! covers. Writing is crash-atomic: the bytes go to a `.tmp` file, are
+//! fsynced, renamed to `snap-<last_seq:016x>.db`, and the directory is
+//! fsynced; a crash anywhere in that sequence leaves either the old
+//! state or the new, never a half-written snapshot under the final name.
+//! Loading walks snapshots newest-first and falls back past any that
+//! fail validation (bad magic, unsupported schema version, checksum
+//! mismatch, truncation) — the older snapshot plus a longer WAL suffix
+//! reconstructs the same state.
+//!
+//! ## Format (schema version 1)
+//!
+//! ```text
+//! CSNAP 1
+//! last_seq <dec>
+//! op_count <dec>
+//! program_epoch <dec>
+//! edb_epochs <n>
+//! <pred>/<arity> <epoch>        (n lines)
+//! program_bytes <len>
+//! <exactly len bytes of loadable program text>
+//! checksum <16 hex digits>
+//! ```
+//!
+//! The checksum is FNV-1a 64 over everything before the `checksum` line.
+
+use crate::{checksum, StorageError, SNAPSHOT_SCHEMA_VERSION};
+use chainsplit_governor::Governor;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The durable state a snapshot carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotData {
+    /// The highest WAL sequence number this snapshot covers (0 when the
+    /// snapshot precedes any WAL record).
+    pub last_seq: u64,
+    /// Logical mutations applied up to and including `last_seq`.
+    pub op_count: u64,
+    /// The absolute program epoch at snapshot time.
+    pub program_epoch: u64,
+    /// Absolute per-predicate EDB epochs (`name/arity`, epoch), sorted.
+    pub edb_epochs: Vec<(String, u64)>,
+    /// Loadable program text (`DeductiveDb::dump`).
+    pub program: String,
+}
+
+fn snapshot_path(dir: &Path, last_seq: u64) -> PathBuf {
+    dir.join(format!("snap-{last_seq:016x}.db"))
+}
+
+/// Lists snapshot files in `dir`, newest (highest covered seq) first.
+pub fn snapshot_files(dir: &Path) -> Result<Vec<PathBuf>, StorageError> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| StorageError::io(dir, e))?;
+    for entry in entries {
+        let path = entry.map_err(|e| StorageError::io(dir, e))?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("snap-") && name.ends_with(".db") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    out.reverse();
+    Ok(out)
+}
+
+fn encode(data: &SnapshotData) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256 + data.program.len());
+    out.extend_from_slice(format!("CSNAP {SNAPSHOT_SCHEMA_VERSION}\n").as_bytes());
+    out.extend_from_slice(format!("last_seq {}\n", data.last_seq).as_bytes());
+    out.extend_from_slice(format!("op_count {}\n", data.op_count).as_bytes());
+    out.extend_from_slice(format!("program_epoch {}\n", data.program_epoch).as_bytes());
+    out.extend_from_slice(format!("edb_epochs {}\n", data.edb_epochs.len()).as_bytes());
+    for (pred, epoch) in &data.edb_epochs {
+        out.extend_from_slice(format!("{pred} {epoch}\n").as_bytes());
+    }
+    out.extend_from_slice(format!("program_bytes {}\n", data.program.len()).as_bytes());
+    out.extend_from_slice(data.program.as_bytes());
+    let sum = checksum(&out);
+    out.extend_from_slice(format!("checksum {sum:016x}\n").as_bytes());
+    out
+}
+
+/// A line-oriented cursor over the snapshot header bytes.
+struct Lines<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn line(&mut self) -> Option<&'a str> {
+        let rest = self.buf.get(self.pos..)?;
+        let end = rest.iter().position(|&b| b == b'\n')?;
+        self.pos += end + 1;
+        std::str::from_utf8(&rest[..end]).ok()
+    }
+
+    /// Reads a `<key> <value>` line, returning the value.
+    fn field(&mut self, key: &str) -> Option<&'a str> {
+        let line = self.line()?;
+        line.strip_prefix(key)?.strip_prefix(' ')
+    }
+
+    fn field_u64(&mut self, key: &str) -> Option<u64> {
+        self.field(key)?.parse().ok()
+    }
+}
+
+fn decode(bytes: &[u8], path: &str) -> Result<SnapshotData, StorageError> {
+    let corrupt = |detail: String| StorageError::Corrupt {
+        path: path.to_string(),
+        detail,
+    };
+    let mut r = Lines { buf: bytes, pos: 0 };
+    let version: u32 = r
+        .field("CSNAP")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| corrupt("bad snapshot magic".into()))?;
+    if version != SNAPSHOT_SCHEMA_VERSION {
+        return Err(corrupt(format!(
+            "unsupported snapshot schema version {version} (this build reads {SNAPSHOT_SCHEMA_VERSION})"
+        )));
+    }
+    let last_seq = r
+        .field_u64("last_seq")
+        .ok_or_else(|| corrupt("bad last_seq".into()))?;
+    let op_count = r
+        .field_u64("op_count")
+        .ok_or_else(|| corrupt("bad op_count".into()))?;
+    let program_epoch = r
+        .field_u64("program_epoch")
+        .ok_or_else(|| corrupt("bad program_epoch".into()))?;
+    let n = r
+        .field_u64("edb_epochs")
+        .ok_or_else(|| corrupt("bad edb_epochs count".into()))? as usize;
+    if n > bytes.len() {
+        return Err(corrupt(format!("implausible epoch count {n}")));
+    }
+    let mut edb_epochs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let line = r
+            .line()
+            .ok_or_else(|| corrupt("missing epoch line".into()))?;
+        let (pred, epoch) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| corrupt(format!("bad epoch line {line:?}")))?;
+        let epoch: u64 = epoch
+            .parse()
+            .map_err(|_| corrupt(format!("bad epoch value in {line:?}")))?;
+        edb_epochs.push((pred.to_string(), epoch));
+    }
+    let len = r
+        .field_u64("program_bytes")
+        .ok_or_else(|| corrupt("bad program_bytes".into()))? as usize;
+    let program_end = r
+        .pos
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| corrupt("truncated program text".into()))?;
+    let program = std::str::from_utf8(&bytes[r.pos..program_end])
+        .map_err(|_| corrupt("program text is not utf-8".into()))?
+        .to_string();
+    let expected = checksum(&bytes[..program_end]);
+    let mut footer = Lines {
+        buf: bytes,
+        pos: program_end,
+    };
+    let stored = footer
+        .field("checksum")
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| corrupt("missing checksum footer".into()))?;
+    if stored != expected {
+        return Err(corrupt(format!(
+            "checksum mismatch: stored {stored:016x}, computed {expected:016x}"
+        )));
+    }
+    if footer.pos != bytes.len() {
+        return Err(corrupt("trailing bytes after checksum".into()));
+    }
+    Ok(SnapshotData {
+        last_seq,
+        op_count,
+        program_epoch,
+        edb_epochs,
+        program,
+    })
+}
+
+/// Produces the damaged byte image an armed failpoint leaves on disk.
+#[cfg(feature = "fault-inject")]
+fn damaged(bytes: &[u8], fault: chainsplit_governor::faults::FsFault) -> Vec<u8> {
+    use chainsplit_governor::faults::FsFault;
+    match fault {
+        FsFault::TornWrite => bytes[..bytes.len() / 2].to_vec(),
+        FsFault::ShortWrite => bytes[..bytes.len() - 1].to_vec(),
+        FsFault::CorruptChecksum => {
+            let mut bad = bytes.to_vec();
+            // Flip a checksum digit (the byte before the trailing newline).
+            let at = bad.len() - 2;
+            bad[at] = if bad[at] == b'0' { b'f' } else { b'0' };
+            bad
+        }
+        FsFault::DuplicateRecord => {
+            let mut twice = bytes.to_vec();
+            twice.extend_from_slice(bytes);
+            twice
+        }
+        FsFault::CrashBeforeRename | FsFault::CrashAfterRename => bytes.to_vec(),
+    }
+}
+
+fn write_file_synced(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+    let mut f = File::create(path).map_err(|e| StorageError::io(path, e))?;
+    f.write_all(bytes)
+        .and_then(|()| f.sync_all())
+        .map_err(|e| StorageError::io(path, e))
+}
+
+fn sync_dir(dir: &Path) -> Result<(), StorageError> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| StorageError::io(dir, e))
+}
+
+/// Handles an armed failpoint at a snapshot persistence point: leaves the
+/// described damage and reports the simulated crash. The torn/short/
+/// corrupt/duplicate kinds model a rename whose file data was never
+/// flushed — the final name exists but holds a damaged image, which
+/// recovery must reject and fall back past.
+#[cfg(feature = "fault-inject")]
+fn crash_at(
+    point: &'static str,
+    fault: chainsplit_governor::faults::FsFault,
+    dir: &Path,
+    final_path: &Path,
+    tmp_path: &Path,
+    bytes: &[u8],
+) -> StorageError {
+    use chainsplit_governor::faults::FsFault;
+    let outcome = match fault {
+        FsFault::CrashBeforeRename => {
+            // Temp written and synced; the rename never happened.
+            write_file_synced(tmp_path, bytes).err()
+        }
+        FsFault::CrashAfterRename => write_file_synced(tmp_path, bytes)
+            .and_then(|()| {
+                std::fs::rename(tmp_path, final_path).map_err(|e| StorageError::io(final_path, e))
+            })
+            .and_then(|()| sync_dir(dir))
+            .err(),
+        torn => {
+            let _ = std::fs::remove_file(tmp_path);
+            write_file_synced(final_path, &damaged(bytes, torn)).err()
+        }
+    };
+    outcome.unwrap_or(StorageError::Crashed {
+        point,
+        fault: fault_name(fault),
+    })
+}
+
+#[cfg(feature = "fault-inject")]
+fn fault_name(fault: chainsplit_governor::faults::FsFault) -> &'static str {
+    use chainsplit_governor::faults::FsFault;
+    match fault {
+        FsFault::TornWrite => "torn-write",
+        FsFault::ShortWrite => "short-write",
+        FsFault::CorruptChecksum => "corrupt-checksum",
+        FsFault::CrashBeforeRename => "crash-before-rename",
+        FsFault::CrashAfterRename => "crash-after-rename",
+        FsFault::DuplicateRecord => "duplicate-record",
+    }
+}
+
+/// Writes `data` atomically into `dir` and returns the snapshot path.
+/// Charges the snapshot bytes to `gov`'s byte budget; a trip refuses
+/// before anything is written. Two persistence points (`fault-inject`):
+/// the temp write+fsync and the rename+dir-fsync.
+pub fn write(dir: &Path, data: &SnapshotData, gov: &Governor) -> Result<PathBuf, StorageError> {
+    let mut sp = chainsplit_trace::Span::enter_cat("snapshot-write", "wal");
+    sp.set_attr("last_seq", data.last_seq);
+    let bytes = encode(data);
+    sp.set_attr("bytes", bytes.len());
+    gov.add_bytes(bytes.len() as u64);
+    gov.check("snapshot-write").map_err(StorageError::Budget)?;
+    let final_path = snapshot_path(dir, data.last_seq);
+    let tmp_path = final_path.with_extension("db.tmp");
+    #[cfg(feature = "fault-inject")]
+    if let Some(fault) = chainsplit_governor::faults::poll_fs() {
+        return Err(crash_at(
+            "snapshot-write",
+            fault,
+            dir,
+            &final_path,
+            &tmp_path,
+            &bytes,
+        ));
+    }
+    write_file_synced(&tmp_path, &bytes)?;
+    #[cfg(feature = "fault-inject")]
+    if let Some(fault) = chainsplit_governor::faults::poll_fs() {
+        let _ = std::fs::remove_file(&tmp_path);
+        return Err(crash_at(
+            "snapshot-rename",
+            fault,
+            dir,
+            &final_path,
+            &tmp_path,
+            &bytes,
+        ));
+    }
+    std::fs::rename(&tmp_path, &final_path).map_err(|e| StorageError::io(&final_path, e))?;
+    sync_dir(dir)?;
+    Ok(final_path)
+}
+
+/// Loads the newest snapshot that validates, falling back past damaged
+/// ones. Returns the snapshot together with how many candidates were
+/// skipped as invalid.
+pub fn load_newest(dir: &Path) -> Result<(Option<SnapshotData>, usize), StorageError> {
+    let mut skipped = 0;
+    for path in snapshot_files(dir)? {
+        let bytes = std::fs::read(&path).map_err(|e| StorageError::io(&path, e))?;
+        match decode(&bytes, &path.display().to_string()) {
+            Ok(data) => return Ok((Some(data), skipped)),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((None, skipped))
+}
+
+/// Deletes snapshots older than `keep_seq` (after a newer snapshot has
+/// durably landed).
+pub fn prune_older(dir: &Path, keep_seq: u64) -> Result<usize, StorageError> {
+    let mut pruned = 0;
+    for path in snapshot_files(dir)? {
+        let seq = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.strip_prefix("snap-"))
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .unwrap_or(u64::MAX);
+        if seq < keep_seq {
+            std::fs::remove_file(&path).map_err(|e| StorageError::io(&path, e))?;
+            pruned += 1;
+        }
+    }
+    Ok(pruned)
+}
+
+/// Removes stale `.tmp` files left by a crash between write and rename.
+pub fn sweep_tmp(dir: &Path) -> Result<(), StorageError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| StorageError::io(dir, e))?;
+    for entry in entries {
+        let path = entry.map_err(|e| StorageError::io(dir, e))?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+            std::fs::remove_file(&path).map_err(|e| StorageError::io(&path, e))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "chainsplit-snap-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(last_seq: u64) -> SnapshotData {
+        SnapshotData {
+            last_seq,
+            op_count: last_seq,
+            program_epoch: 2,
+            edb_epochs: vec![("e/2".into(), 3), ("edge label/2".into(), 1)],
+            program: "p(X) :- e(X, _).\ne(1, 2).\n".into(),
+        }
+    }
+
+    #[test]
+    fn snapshots_roundtrip_and_survive_reload() {
+        let dir = tmp_dir("roundtrip");
+        let gov = Governor::new();
+        write(&dir, &sample(7), &gov).unwrap();
+        let (back, skipped) = load_newest(&dir).unwrap();
+        assert_eq!(back, Some(sample(7)));
+        assert_eq!(skipped, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_of_a_snapshot_is_rejected() {
+        let bytes = encode(&sample(3));
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut], "test").is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        assert!(decode(&bytes, "test").is_ok());
+    }
+
+    #[test]
+    fn a_damaged_newest_snapshot_falls_back_to_the_older_one() {
+        let dir = tmp_dir("fallback");
+        let gov = Governor::new();
+        write(&dir, &sample(3), &gov).unwrap();
+        let newest = write(&dir, &sample(9), &gov).unwrap();
+        // Flip one byte of the newest snapshot's program text.
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&newest, &bytes).unwrap();
+        let (back, skipped) = load_newest(&dir).unwrap();
+        assert_eq!(back, Some(sample(3)), "recovery must fall back");
+        assert_eq!(skipped, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newer_schema_versions_are_refused_not_misparsed() {
+        let mut bytes = encode(&sample(1));
+        // Forge a version bump; the checksum no longer matters because
+        // the version check comes first.
+        let header = format!("CSNAP {}\n", SNAPSHOT_SCHEMA_VERSION + 1);
+        bytes.splice(0.."CSNAP 1\n".len(), header.bytes());
+        let err = decode(&bytes, "test").unwrap_err();
+        assert!(err.to_string().contains("schema version"));
+    }
+
+    #[test]
+    fn pruning_keeps_the_newest_snapshot() {
+        let dir = tmp_dir("prune");
+        let gov = Governor::new();
+        write(&dir, &sample(2), &gov).unwrap();
+        write(&dir, &sample(5), &gov).unwrap();
+        write(&dir, &sample(8), &gov).unwrap();
+        assert_eq!(prune_older(&dir, 8).unwrap(), 2);
+        let (back, _) = load_newest(&dir).unwrap();
+        assert_eq!(back.map(|s| s.last_seq), Some(8));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

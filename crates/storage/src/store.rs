@@ -1,0 +1,361 @@
+//! The durable store: one directory holding WAL segments and snapshots,
+//! opened into a crash-consistent recovery.
+//!
+//! [`Store::open`] is the recovery state machine (DESIGN.md §15):
+//!
+//! 1. sweep stale `.tmp` files (a crash between snapshot write and
+//!    rename leaves one; it was never part of durable state),
+//! 2. load the newest snapshot that validates, falling back past
+//!    damaged ones,
+//! 3. scan the WAL, truncating a torn tail in the final segment,
+//! 4. keep the record suffix past the snapshot (`seq > last_seq`),
+//!    refusing on a sequence gap — that would mean a pruned or missing
+//!    segment, which is corruption, not a crash artifact,
+//! 5. hand the snapshot + suffix to the caller for logical replay.
+//!
+//! The store itself never interprets record text; `chainsplit-core`
+//! replays records through the facade's own mutation paths and
+//! cross-checks the epoch stamps.
+
+use crate::record::{Op, WalRecord};
+use crate::snapshot::{self, SnapshotData};
+use crate::wal::{self, Wal, DEFAULT_SEGMENT_BYTES};
+use crate::StorageError;
+use chainsplit_governor::Governor;
+use std::path::{Path, PathBuf};
+
+/// What [`Store::open`] recovered from disk.
+pub struct Recovered {
+    /// The newest valid snapshot, if any.
+    pub snapshot: Option<SnapshotData>,
+    /// WAL records past the snapshot, contiguous and in order, for the
+    /// caller to replay.
+    pub records: Vec<WalRecord>,
+    pub report: RecoveryReport,
+}
+
+/// A summary of one recovery, for `:wal status` and the recovery oracle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number the recovered snapshot covers (0 = no snapshot).
+    pub snapshot_seq: u64,
+    /// Damaged snapshots skipped before one validated.
+    pub snapshots_skipped: usize,
+    /// WAL records replayed past the snapshot.
+    pub replayed_records: usize,
+    /// Bytes cut from the final segment as a torn tail.
+    pub truncated_bytes: u64,
+    /// Logical mutations durable after recovery: the snapshot's count
+    /// plus every replayed mutation record (markers excluded). A crash
+    /// while persisting op *i* recovers to exactly `i` or `i + 1` — this
+    /// field says which, so a twin can apply the identical prefix.
+    pub ops_durable: u64,
+}
+
+/// A point-in-time description of the store, for `:wal status`.
+#[derive(Clone, Debug)]
+pub struct StoreStatus {
+    pub dir: PathBuf,
+    pub segments: usize,
+    pub wal_bytes: u64,
+    pub next_seq: u64,
+    pub snapshot_seq: u64,
+    pub ops_durable: u64,
+}
+
+impl std::fmt::Display for StoreStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dir {} | wal {} segment(s), {} byte(s), next seq {} | snapshot seq {} | {} op(s) durable",
+            self.dir.display(),
+            self.segments,
+            self.wal_bytes,
+            self.next_seq,
+            self.snapshot_seq,
+            self.ops_durable
+        )
+    }
+}
+
+/// An open durable store.
+pub struct Store {
+    dir: PathBuf,
+    wal: Wal,
+    snapshot_seq: u64,
+    ops_durable: u64,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at `dir` and recovers its
+    /// durable state. Replay-time budget checks go through `gov`: a trip
+    /// mid-recovery refuses to open rather than returning a half-open
+    /// store.
+    pub fn open(dir: &Path, gov: &Governor) -> Result<(Store, Recovered), StorageError> {
+        let mut sp = chainsplit_trace::Span::enter_cat("wal-recover", "wal");
+        std::fs::create_dir_all(dir).map_err(|e| StorageError::io(dir, e))?;
+        snapshot::sweep_tmp(dir)?;
+        let (snap, snapshots_skipped) = snapshot::load_newest(dir)?;
+        let snapshot_seq = snap.as_ref().map_or(0, |s| s.last_seq);
+        let mut scanned = wal::scan(dir)?;
+        let mut records = Vec::new();
+        let mut expected = snapshot_seq + 1;
+        for rec in std::mem::take(&mut scanned.records) {
+            if rec.seq <= snapshot_seq {
+                continue; // Covered by the snapshot; kept only until pruning.
+            }
+            // Replayed bytes count against the byte budget like any other
+            // evaluation work, so a bounded open stays bounded.
+            gov.add_bytes((rec.op.text().len() + 48) as u64);
+            gov.check("wal-replay").map_err(StorageError::Budget)?;
+            if rec.seq != expected {
+                return Err(StorageError::Corrupt {
+                    path: dir.display().to_string(),
+                    detail: format!(
+                        "sequence gap in wal: expected seq {expected}, found {}",
+                        rec.seq
+                    ),
+                });
+            }
+            expected += 1;
+            records.push(rec);
+        }
+        let ops_durable = snap.as_ref().map_or(0, |s| s.op_count)
+            + records.iter().filter(|r| r.op.is_mutation()).count() as u64;
+        let report = RecoveryReport {
+            snapshot_seq,
+            snapshots_skipped,
+            replayed_records: records.len(),
+            truncated_bytes: scanned.truncated_bytes,
+            ops_durable,
+        };
+        let wal = Wal::open(dir, &scanned, DEFAULT_SEGMENT_BYTES)?;
+        sp.set_attr("snapshot_seq", snapshot_seq);
+        sp.set_attr("replayed", records.len());
+        sp.set_attr("truncated_bytes", report.truncated_bytes);
+        Ok((
+            Store {
+                dir: dir.to_path_buf(),
+                wal,
+                snapshot_seq,
+                ops_durable,
+            },
+            Recovered {
+                snapshot: snap,
+                records,
+                report,
+            },
+        ))
+    }
+
+    /// Appends one operation (stamped with its post-op epochs) to the
+    /// log and fsyncs. Returns the record's sequence number. Must be
+    /// called *before* the operation mutates memory.
+    pub fn append(
+        &mut self,
+        op: Op,
+        program_epoch: u64,
+        edb_epochs: Vec<(String, u64)>,
+        gov: &Governor,
+    ) -> Result<u64, StorageError> {
+        let rec = WalRecord {
+            seq: self.wal.next_seq,
+            op,
+            program_epoch,
+            edb_epochs,
+        };
+        self.wal.append(&rec, gov)?;
+        if rec.op.is_mutation() {
+            self.ops_durable += 1;
+        }
+        Ok(rec.seq)
+    }
+
+    /// Writes a snapshot of the given state, then prunes WAL segments
+    /// and older snapshots it covers. Pruning runs only after the
+    /// snapshot has durably landed — a crash during the write leaves the
+    /// previous snapshot and the full WAL suffix intact.
+    pub fn write_snapshot(
+        &mut self,
+        program: String,
+        program_epoch: u64,
+        edb_epochs: Vec<(String, u64)>,
+        gov: &Governor,
+    ) -> Result<PathBuf, StorageError> {
+        let data = SnapshotData {
+            last_seq: self.wal.next_seq - 1,
+            op_count: self.ops_durable,
+            program_epoch,
+            edb_epochs,
+            program,
+        };
+        let path = snapshot::write(&self.dir, &data, gov)?;
+        self.snapshot_seq = data.last_seq;
+        self.wal.prune_through(data.last_seq)?;
+        snapshot::prune_older(&self.dir, data.last_seq)?;
+        Ok(path)
+    }
+
+    pub fn status(&self) -> StoreStatus {
+        StoreStatus {
+            dir: self.dir.clone(),
+            segments: self.wal.segments,
+            wal_bytes: self.wal.live_bytes,
+            next_seq: self.wal.next_seq,
+            snapshot_seq: self.snapshot_seq,
+            ops_durable: self.ops_durable,
+        }
+    }
+
+    /// The sequence number the next appended record will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.wal.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "chainsplit-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn add(n: u64) -> Op {
+        Op::AddFact(format!("e({n}, {})", n + 1))
+    }
+
+    #[test]
+    fn an_empty_directory_opens_empty() {
+        let dir = tmp_dir("empty");
+        let gov = Governor::new();
+        let (store, rec) = Store::open(&dir, &gov).unwrap();
+        assert!(rec.snapshot.is_none());
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.report.ops_durable, 0);
+        assert_eq!(store.next_seq(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appended_ops_recover_in_order_across_reopen() {
+        let dir = tmp_dir("reopen");
+        let gov = Governor::new();
+        let (mut store, _) = Store::open(&dir, &gov).unwrap();
+        for n in 1..=5 {
+            let epochs = vec![("e/2".into(), n)];
+            store.append(add(n), 0, epochs, &gov).unwrap();
+        }
+        store.append(Op::Recompile, 1, vec![], &gov).unwrap();
+        drop(store);
+        let (store, rec) = Store::open(&dir, &gov).unwrap();
+        assert_eq!(rec.records.len(), 6);
+        assert_eq!(rec.records[2].op, add(3));
+        assert_eq!(rec.report.ops_durable, 5, "the marker is not a mutation");
+        assert_eq!(store.next_seq(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_snapshot_absorbs_the_wal_prefix() {
+        let dir = tmp_dir("absorb");
+        let gov = Governor::new();
+        let (mut store, _) = Store::open(&dir, &gov).unwrap();
+        for n in 1..=3 {
+            store
+                .append(add(n), 0, vec![("e/2".into(), n)], &gov)
+                .unwrap();
+        }
+        store
+            .write_snapshot(
+                "e(1, 2).\ne(2, 3).\ne(3, 4).\n".into(),
+                0,
+                vec![("e/2".into(), 3)],
+                &gov,
+            )
+            .unwrap();
+        store
+            .append(add(4), 0, vec![("e/2".into(), 4)], &gov)
+            .unwrap();
+        drop(store);
+        let (_, rec) = Store::open(&dir, &gov).unwrap();
+        let snap = rec.snapshot.expect("snapshot recovered");
+        assert_eq!(snap.last_seq, 3);
+        assert_eq!(snap.op_count, 3);
+        assert_eq!(rec.records.len(), 1, "only the suffix replays");
+        assert_eq!(rec.records[0].seq, 4);
+        assert_eq!(rec.report.ops_durable, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_missing_interior_segment_refuses_to_open() {
+        let dir = tmp_dir("gap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gov = Governor::new();
+        // A 1-byte segment limit puts every record in its own segment.
+        let scanned = wal::scan(&dir).unwrap();
+        let mut w = Wal::open(&dir, &scanned, 1).unwrap();
+        for seq in 1..=3 {
+            let rec = WalRecord {
+                seq,
+                op: add(seq),
+                program_epoch: 0,
+                edb_epochs: vec![],
+            };
+            w.append(&rec, &gov).unwrap();
+        }
+        drop(w);
+        let segs = wal::segment_files(&dir).unwrap();
+        assert!(segs.len() >= 3);
+        // Losing an interior segment is not a crash artifact — a crash
+        // only ever tears the tail. Recovery must refuse, not silently
+        // replay around the hole.
+        std::fs::remove_file(&segs[1]).unwrap();
+        match Store::open(&dir, &gov) {
+            Err(StorageError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("sequence gap"), "got: {detail}")
+            }
+            Ok(_) => panic!("a sequence gap must refuse to open"),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_budget_trip_is_a_clean_refusal() {
+        let dir = tmp_dir("budget");
+        let gov = Governor::new();
+        let (mut store, _) = Store::open(&dir, &gov).unwrap();
+        for n in 1..=10 {
+            store.append(add(n), 0, vec![], &gov).unwrap();
+        }
+        drop(store);
+        let tight = Governor::new();
+        tight.set_budget(chainsplit_governor::Budget {
+            max_bytes_est: Some(1),
+            ..Default::default()
+        });
+        tight.begin_query();
+        // Drive the byte counter over the limit, as replayed record
+        // bytes would.
+        tight.add_bytes(100);
+        match Store::open(&dir, &tight) {
+            Err(StorageError::Budget(trip)) => {
+                assert_eq!(trip.resource, chainsplit_governor::Resource::Bytes);
+            }
+            Ok(_) => panic!("a tripped budget must refuse to open"),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        // The same directory still opens fine with an unlimited governor.
+        let (_, rec) = Store::open(&dir, &Governor::new()).unwrap();
+        assert_eq!(rec.records.len(), 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,572 @@
+//! The write-ahead log: append-only segments of length-prefixed,
+//! checksummed record frames.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! [u32 payload_len][u64 seq][payload bytes][u64 fnv1a64(seq ‖ payload)]
+//! ```
+//!
+//! all little-endian. A frame is valid iff it is complete *and* its
+//! checksum matches; anything else at the end of the final segment is a
+//! torn tail — truncated on recovery, never replayed. The same damage in
+//! the *interior* of the log (an earlier segment, or followed by further
+//! valid frames… which cannot happen under append-only writing) is real
+//! corruption and refuses to open.
+//!
+//! ## Segments
+//!
+//! Each segment file `wal-<first_seq:016x>.log` opens with an 8-byte
+//! magic. Appends rotate to a fresh segment once the active one exceeds
+//! the configured limit, so snapshot-covered prefixes can be pruned
+//! file-at-a-time ([`prune_through`](Wal::prune_through)).
+
+use crate::record::WalRecord;
+use crate::{checksum, StorageError};
+use chainsplit_governor::Governor;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Segment file magic: "CSWAL" + format version 1.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"CSWAL\x00\x00\x01";
+
+/// Frame overhead: length prefix + sequence number + checksum.
+const FRAME_OVERHEAD: usize = 4 + 8 + 8;
+
+/// Default segment rotation threshold.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 256 * 1024;
+
+fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{first_seq:016x}.log"))
+}
+
+/// Lists the segment files in `dir`, in sequence order.
+pub fn segment_files(dir: &Path) -> Result<Vec<PathBuf>, StorageError> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| StorageError::io(dir, e))?;
+    for entry in entries {
+        let path = entry.map_err(|e| StorageError::io(dir, e))?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("wal-") && name.ends_with(".log") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Everything a scan of the on-disk log recovered.
+#[derive(Debug)]
+pub struct ScanResult {
+    /// Valid records in sequence order, duplicates dropped.
+    pub records: Vec<WalRecord>,
+    /// Bytes cut from the final segment as a torn tail (0 when clean).
+    pub truncated_bytes: u64,
+    /// Total bytes of valid log retained across all segments.
+    pub live_bytes: u64,
+    /// The highest valid sequence number seen (0 when the log is empty).
+    pub last_seq: u64,
+    /// Number of segment files.
+    pub segments: usize,
+}
+
+/// Scans every segment in `dir`, validating frames and truncating a torn
+/// tail in the final segment. Interior corruption is an error.
+pub fn scan(dir: &Path) -> Result<ScanResult, StorageError> {
+    let mut sp = chainsplit_trace::Span::enter_cat("wal-scan", "wal");
+    let files = segment_files(dir)?;
+    let mut result = ScanResult {
+        records: Vec::new(),
+        truncated_bytes: 0,
+        live_bytes: 0,
+        last_seq: 0,
+        segments: files.len(),
+    };
+    for (i, path) in files.iter().enumerate() {
+        let is_last = i + 1 == files.len();
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| StorageError::io(path, e))?;
+        let path_str = path.display().to_string();
+        if bytes.len() < SEGMENT_MAGIC.len() || bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+            // A segment so torn even the magic is incomplete can only be
+            // the freshly rotated final segment; anywhere else it is
+            // corruption.
+            if is_last && bytes.len() < SEGMENT_MAGIC.len() {
+                result.truncated_bytes += bytes.len() as u64;
+                std::fs::remove_file(path).map_err(|e| StorageError::io(path, e))?;
+                result.segments -= 1;
+                break;
+            }
+            return Err(StorageError::Corrupt {
+                path: path_str,
+                detail: "bad segment magic".into(),
+            });
+        }
+        let mut pos = SEGMENT_MAGIC.len();
+        loop {
+            if pos == bytes.len() {
+                break;
+            }
+            let frame = parse_frame(&bytes[pos..]);
+            match frame {
+                Ok((rec_seq, payload, frame_len)) => {
+                    // Skip duplicates (a replayed buffer / the duplicate-
+                    // record failpoint): a frame whose seq does not
+                    // advance is applied at most once.
+                    if rec_seq > result.last_seq {
+                        let rec = WalRecord::decode_payload(rec_seq, payload, &path_str)?;
+                        result.last_seq = rec_seq;
+                        result.records.push(rec);
+                    }
+                    pos += frame_len;
+                }
+                Err(detail) => {
+                    if is_last {
+                        // Torn tail: cut it off and stop. Never replayed.
+                        result.truncated_bytes += (bytes.len() - pos) as u64;
+                        let f = OpenOptions::new()
+                            .write(true)
+                            .open(path)
+                            .map_err(|e| StorageError::io(path, e))?;
+                        f.set_len(pos as u64)
+                            .map_err(|e| StorageError::io(path, e))?;
+                        f.sync_all().map_err(|e| StorageError::io(path, e))?;
+                        bytes.truncate(pos);
+                        break;
+                    }
+                    return Err(StorageError::Corrupt {
+                        path: path_str,
+                        detail,
+                    });
+                }
+            }
+        }
+        result.live_bytes += bytes.len() as u64;
+    }
+    sp.set_attr("records", result.records.len());
+    sp.set_attr("truncated_bytes", result.truncated_bytes);
+    Ok(result)
+}
+
+/// Parses one frame from `buf`. Returns `(seq, payload, frame_len)` or a
+/// description of why the bytes are not a valid frame.
+fn parse_frame(buf: &[u8]) -> Result<(u64, &[u8], usize), String> {
+    if buf.len() < FRAME_OVERHEAD {
+        return Err(format!("incomplete frame header ({} bytes)", buf.len()));
+    }
+    let payload_len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    let frame_len = FRAME_OVERHEAD + payload_len;
+    if buf.len() < frame_len {
+        return Err(format!(
+            "incomplete frame ({} of {frame_len} bytes)",
+            buf.len()
+        ));
+    }
+    let seq = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let payload = &buf[12..12 + payload_len];
+    let stored = u64::from_le_bytes(buf[frame_len - 8..frame_len].try_into().unwrap());
+    let mut sum_input = Vec::with_capacity(8 + payload_len);
+    sum_input.extend_from_slice(&seq.to_le_bytes());
+    sum_input.extend_from_slice(payload);
+    if checksum(&sum_input) != stored {
+        return Err(format!("checksum mismatch at seq {seq}"));
+    }
+    Ok((seq, payload, frame_len))
+}
+
+/// Encodes one frame for `rec`.
+fn encode_frame(rec: &WalRecord) -> Vec<u8> {
+    let payload = rec.encode_payload();
+    let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&rec.seq.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    let mut sum_input = Vec::with_capacity(8 + payload.len());
+    sum_input.extend_from_slice(&rec.seq.to_le_bytes());
+    sum_input.extend_from_slice(&payload);
+    frame.extend_from_slice(&checksum(&sum_input).to_le_bytes());
+    frame
+}
+
+/// The append end of the log.
+pub struct Wal {
+    dir: PathBuf,
+    active: File,
+    active_path: PathBuf,
+    active_bytes: u64,
+    segment_limit: u64,
+    /// The sequence number the next appended record receives.
+    pub next_seq: u64,
+    /// Valid log bytes across all segments (scan result + appends).
+    pub live_bytes: u64,
+    /// Number of segment files.
+    pub segments: usize,
+}
+
+impl Wal {
+    /// Opens the log for appending after a [`scan`]: continues the last
+    /// segment, or starts `wal-<next_seq>.log` when the directory has
+    /// none.
+    pub fn open(dir: &Path, scanned: &ScanResult, segment_limit: u64) -> Result<Wal, StorageError> {
+        let files = segment_files(dir)?;
+        let next_seq = scanned.last_seq + 1;
+        let (active_path, active, active_bytes, segments) = match files.last() {
+            Some(path) => {
+                let file = OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| StorageError::io(path, e))?;
+                let bytes = file
+                    .metadata()
+                    .map_err(|e| StorageError::io(path, e))?
+                    .len();
+                (path.clone(), file, bytes, files.len())
+            }
+            None => {
+                let path = segment_path(dir, next_seq);
+                let (file, bytes) = new_segment(&path)?;
+                (path, file, bytes, 1)
+            }
+        };
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            active,
+            active_path,
+            active_bytes,
+            segment_limit,
+            next_seq,
+            live_bytes: scanned.live_bytes.max(SEGMENT_MAGIC.len() as u64),
+            segments,
+        })
+    }
+
+    /// Appends `rec` and fsyncs. Charges the frame bytes to `gov`'s byte
+    /// budget and the fsync to its deadline; a trip refuses the append
+    /// before anything is written. Returns the frame size in bytes.
+    ///
+    /// In `fault-inject` builds, the frame write and the fsync are
+    /// persistence points: an armed filesystem failpoint leaves the
+    /// described damage (torn/short/duplicated frame, flipped checksum)
+    /// and reports a simulated crash.
+    pub fn append(&mut self, rec: &WalRecord, gov: &Governor) -> Result<u64, StorageError> {
+        debug_assert_eq!(rec.seq, self.next_seq, "records must append in order");
+        let mut sp = chainsplit_trace::Span::enter_cat("wal-append", "wal");
+        sp.set_attr("seq", rec.seq);
+        let frame = encode_frame(rec);
+        gov.add_bytes(frame.len() as u64);
+        gov.check("wal-append").map_err(StorageError::Budget)?;
+        if self.active_bytes + frame.len() as u64 > self.segment_limit
+            && self.active_bytes > SEGMENT_MAGIC.len() as u64
+        {
+            self.rotate()?;
+        }
+        let written = self.write_frame(&frame)?;
+        self.fsync()?;
+        self.active_bytes += written;
+        self.live_bytes += written;
+        self.next_seq = rec.seq + 1;
+        sp.set_attr("bytes", written);
+        Ok(written)
+    }
+
+    /// Writes the encoded frame, honoring an armed write failpoint.
+    /// Returns the bytes that actually reached the file.
+    fn write_frame(&mut self, frame: &[u8]) -> Result<u64, StorageError> {
+        #[cfg(feature = "fault-inject")]
+        if let Some(fault) = chainsplit_governor::faults::poll_fs() {
+            use chainsplit_governor::faults::FsFault;
+            let crash = |fault: &'static str| StorageError::Crashed {
+                point: "wal-append",
+                fault,
+            };
+            let write = |f: &mut File, bytes: &[u8]| {
+                f.write_all(bytes)
+                    .and_then(|()| f.sync_data())
+                    .map_err(|e| StorageError::io(&self.active_path, e))
+            };
+            return match fault {
+                FsFault::TornWrite => {
+                    write(&mut self.active, &frame[..frame.len() / 2])?;
+                    Err(crash("torn-write"))
+                }
+                FsFault::ShortWrite => {
+                    write(&mut self.active, &frame[..frame.len() - 1])?;
+                    Err(crash("short-write"))
+                }
+                FsFault::CorruptChecksum => {
+                    let mut bad = frame.to_vec();
+                    *bad.last_mut().expect("frames are non-empty") ^= 0xFF;
+                    write(&mut self.active, &bad)?;
+                    Err(crash("corrupt-checksum"))
+                }
+                FsFault::DuplicateRecord => {
+                    let mut twice = frame.to_vec();
+                    twice.extend_from_slice(frame);
+                    write(&mut self.active, &twice)?;
+                    Err(crash("duplicate-record"))
+                }
+                FsFault::CrashBeforeRename => Err(crash("crash-before-write")),
+                FsFault::CrashAfterRename => {
+                    write(&mut self.active, frame)?;
+                    Err(crash("crash-after-write"))
+                }
+            };
+        }
+        self.active
+            .write_all(frame)
+            .map_err(|e| StorageError::io(&self.active_path, e))?;
+        Ok(frame.len() as u64)
+    }
+
+    /// Fsyncs the active segment, honoring an armed fsync failpoint.
+    fn fsync(&mut self) -> Result<(), StorageError> {
+        let _sp = chainsplit_trace::Span::enter_cat("wal-fsync", "wal");
+        #[cfg(feature = "fault-inject")]
+        if let Some(fault) = chainsplit_governor::faults::poll_fs() {
+            use chainsplit_governor::faults::FsFault;
+            // The frame bytes are already written; the only question is
+            // whether the sync happened before the "kill".
+            if fault == FsFault::CrashAfterRename {
+                self.active
+                    .sync_data()
+                    .map_err(|e| StorageError::io(&self.active_path, e))?;
+            }
+            return Err(StorageError::Crashed {
+                point: "wal-fsync",
+                fault: "crash-at-fsync",
+            });
+        }
+        self.active
+            .sync_data()
+            .map_err(|e| StorageError::io(&self.active_path, e))
+    }
+
+    /// Starts a fresh segment named after the next sequence number.
+    fn rotate(&mut self) -> Result<(), StorageError> {
+        let mut sp = chainsplit_trace::Span::enter_cat("wal-rotate", "wal");
+        sp.set_attr("seq", self.next_seq);
+        #[cfg(feature = "fault-inject")]
+        if let Some(fault) = chainsplit_governor::faults::poll_fs() {
+            use chainsplit_governor::faults::FsFault;
+            if fault != FsFault::CrashAfterRename {
+                // Killed before the new segment exists: the old segment
+                // stays the (complete) tail.
+                return Err(StorageError::Crashed {
+                    point: "wal-rotate",
+                    fault: "crash-before-rotate",
+                });
+            }
+            let path = segment_path(&self.dir, self.next_seq);
+            let (file, bytes) = new_segment(&path)?;
+            self.active = file;
+            self.active_path = path;
+            self.active_bytes = bytes;
+            self.live_bytes += bytes;
+            self.segments += 1;
+            return Err(StorageError::Crashed {
+                point: "wal-rotate",
+                fault: "crash-after-rotate",
+            });
+        }
+        let path = segment_path(&self.dir, self.next_seq);
+        let (file, bytes) = new_segment(&path)?;
+        self.active = file;
+        self.active_path = path;
+        self.active_bytes = bytes;
+        self.live_bytes += bytes;
+        self.segments += 1;
+        Ok(())
+    }
+
+    /// Deletes every segment whose records are all covered by a snapshot
+    /// at `seq` — i.e. segments entirely named-and-followed below the
+    /// next segment that could hold `seq + 1`. The active segment always
+    /// survives.
+    pub fn prune_through(&mut self, seq: u64) -> Result<usize, StorageError> {
+        let files = segment_files(&self.dir)?;
+        let mut pruned = 0;
+        for window in files.windows(2) {
+            let (path, next) = (&window[0], &window[1]);
+            if *path == self.active_path {
+                break;
+            }
+            // Segment names carry their first seq; a segment is fully
+            // covered when the *next* segment starts at or below seq + 1.
+            let next_first = next
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| s.strip_prefix("wal-"))
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .unwrap_or(u64::MAX);
+            if next_first <= seq + 1 {
+                let len = std::fs::metadata(path)
+                    .map_err(|e| StorageError::io(path, e))?
+                    .len();
+                std::fs::remove_file(path).map_err(|e| StorageError::io(path, e))?;
+                self.live_bytes = self.live_bytes.saturating_sub(len);
+                self.segments -= 1;
+                pruned += 1;
+            }
+        }
+        Ok(pruned)
+    }
+}
+
+/// Creates a fresh segment file with its magic header, synced.
+fn new_segment(path: &Path) -> Result<(File, u64), StorageError> {
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| StorageError::io(path, e))?;
+    file.write_all(&SEGMENT_MAGIC)
+        .and_then(|()| file.sync_data())
+        .map_err(|e| StorageError::io(path, e))?;
+    Ok((file, SEGMENT_MAGIC.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Op;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "chainsplit-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rec(seq: u64) -> WalRecord {
+        WalRecord {
+            seq,
+            op: Op::AddFact(format!("e({seq}, {})", seq + 1)),
+            program_epoch: 0,
+            edb_epochs: vec![("e/2".into(), seq)],
+        }
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let gov = Governor::new();
+        let scanned = scan(&dir).unwrap();
+        let mut wal = Wal::open(&dir, &scanned, DEFAULT_SEGMENT_BYTES).unwrap();
+        for seq in 1..=20 {
+            wal.append(&rec(seq), &gov).unwrap();
+        }
+        let back = scan(&dir).unwrap();
+        assert_eq!(back.records.len(), 20);
+        assert_eq!(back.last_seq, 20);
+        assert_eq!(back.truncated_bytes, 0);
+        assert_eq!(back.records[7], rec(8));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_replayed() {
+        let dir = tmp_dir("torn");
+        let gov = Governor::new();
+        let scanned = scan(&dir).unwrap();
+        let mut wal = Wal::open(&dir, &scanned, DEFAULT_SEGMENT_BYTES).unwrap();
+        for seq in 1..=5 {
+            wal.append(&rec(seq), &gov).unwrap();
+        }
+        drop(wal);
+        // Tear the last frame by hand: chop bytes off the segment end.
+        let seg = segment_files(&dir).unwrap().pop().unwrap();
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+        let back = scan(&dir).unwrap();
+        assert_eq!(back.records.len(), 4, "the torn record must not replay");
+        assert_eq!(back.last_seq, 4);
+        assert!(back.truncated_bytes > 0);
+        // The tail is gone from disk too: a re-scan is clean, and a
+        // fresh append continues from the truncated point.
+        let again = scan(&dir).unwrap();
+        assert_eq!(again.truncated_bytes, 0);
+        let mut wal = Wal::open(&dir, &again, DEFAULT_SEGMENT_BYTES).unwrap();
+        assert_eq!(wal.next_seq, 5);
+        wal.append(&rec(5), &gov).unwrap();
+        assert_eq!(scan(&dir).unwrap().records.len(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interior_corruption_refuses_to_open() {
+        let dir = tmp_dir("interior");
+        let gov = Governor::new();
+        let scanned = scan(&dir).unwrap();
+        // Tiny segments: every record rotates, so damage in segment one
+        // is interior, not a tail.
+        let mut wal = Wal::open(&dir, &scanned, 1).unwrap();
+        for seq in 1..=3 {
+            wal.append(&rec(seq), &gov).unwrap();
+        }
+        drop(wal);
+        let segs = segment_files(&dir).unwrap();
+        assert!(segs.len() >= 2, "tiny limit must rotate");
+        let first = &segs[0];
+        let mut bytes = std::fs::read(first).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(first, &bytes).unwrap();
+        match scan(&dir) {
+            Err(StorageError::Corrupt { .. }) => {}
+            other => panic!("interior corruption must refuse: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_prunes_behind_a_snapshot() {
+        let dir = tmp_dir("prune");
+        let gov = Governor::new();
+        let scanned = scan(&dir).unwrap();
+        let mut wal = Wal::open(&dir, &scanned, 1).unwrap();
+        for seq in 1..=6 {
+            wal.append(&rec(seq), &gov).unwrap();
+        }
+        let before = segment_files(&dir).unwrap().len();
+        assert!(before >= 3);
+        let pruned = wal.prune_through(4).unwrap();
+        assert!(pruned > 0);
+        // Everything after the snapshot point must still replay.
+        let back = scan(&dir).unwrap();
+        assert!(back.records.iter().any(|r| r.seq == 5));
+        assert!(back.records.iter().any(|r| r.seq == 6));
+        assert!(back.records.iter().all(|r| r.seq > pruned as u64));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn byte_budget_refuses_an_append_cleanly() {
+        let dir = tmp_dir("budget");
+        let gov = Governor::new();
+        gov.set_budget(chainsplit_governor::Budget {
+            max_bytes_est: Some(16),
+            ..Default::default()
+        });
+        gov.begin_query();
+        let scanned = scan(&dir).unwrap();
+        let mut wal = Wal::open(&dir, &scanned, DEFAULT_SEGMENT_BYTES).unwrap();
+        match wal.append(&rec(1), &gov) {
+            Err(StorageError::Budget(trip)) => {
+                assert_eq!(trip.resource, chainsplit_governor::Resource::Bytes);
+            }
+            other => panic!("expected a budget refusal, got {other:?}"),
+        }
+        // Nothing was written: the log is still empty.
+        assert_eq!(scan(&dir).unwrap().records.len(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

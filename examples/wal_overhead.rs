@@ -1,0 +1,91 @@
+//! Measures WAL-on mutation overhead (EXPERIMENTS.md, "Durability").
+//!
+//! Times three mutation-heavy sessions over the same workload — N fact
+//! asserts into a 2-predicate EDB, then a transitive-closure query:
+//!
+//!  1. in-memory (`DeductiveDb::new`) — the baseline a WAL-less build
+//!     pays,
+//!  2. durable (`DeductiveDb::open`) with an fsync per append — the
+//!     default crash-safe configuration,
+//!  3. durable, then `:snapshot` + a restart (`open` again) — the
+//!     recovery path itself.
+//!
+//! ```sh
+//! cargo run --release --example wal_overhead [N]
+//! ```
+
+use chain_split::core::db::DeductiveDb;
+use chain_split::logic::parse_query;
+use std::time::Instant;
+
+fn assert_facts(db: &mut DeductiveDb, n: usize) {
+    for i in 0..n {
+        let fact = format!("edge(n{i}, n{})", (i + 1) % n);
+        db.add_fact(parse_query(&fact).unwrap()).unwrap();
+    }
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2_000);
+    let rules = "tc(X, Y) :- edge(X, Y).\ntc(X, Y) :- edge(X, Z), tc(Z, Y).\n";
+
+    // Leg 1: in-memory.
+    let t0 = Instant::now();
+    let mut mem = DeductiveDb::new();
+    mem.load(rules).unwrap();
+    assert_facts(&mut mem, n);
+    let mem_elapsed = t0.elapsed();
+
+    // Leg 2: durable, one fsynced WAL frame per mutation.
+    let dir = std::path::Path::new("target")
+        .join("chainsplit-recovery")
+        .join(format!("wal-overhead-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let t1 = Instant::now();
+    let mut dur = DeductiveDb::open(&dir).unwrap();
+    dur.load(rules).unwrap();
+    assert_facts(&mut dur, n);
+    let dur_elapsed = t1.elapsed();
+    let status = dur.store_status().expect("durable db has a store");
+
+    // Leg 3: snapshot, then recover from disk.
+    let t2 = Instant::now();
+    dur.snapshot().unwrap();
+    let snap_elapsed = t2.elapsed();
+    drop(dur);
+    let t3 = Instant::now();
+    let recovered = DeductiveDb::open(&dir).unwrap();
+    let open_elapsed = t3.elapsed();
+    let report = recovered.recovery_report().unwrap().clone();
+
+    println!("facts asserted:      {n}");
+    println!(
+        "in-memory:           {:.1} ms ({:.1} µs/op)",
+        mem_elapsed.as_secs_f64() * 1e3,
+        mem_elapsed.as_secs_f64() * 1e6 / (n + 1) as f64
+    );
+    println!(
+        "wal on (fsync/op):   {:.1} ms ({:.1} µs/op, {:.1}x)",
+        dur_elapsed.as_secs_f64() * 1e3,
+        dur_elapsed.as_secs_f64() * 1e6 / (n + 1) as f64,
+        dur_elapsed.as_secs_f64() / mem_elapsed.as_secs_f64()
+    );
+    println!(
+        "wal size:            {} byte(s) in {} segment(s)",
+        status.wal_bytes, status.segments
+    );
+    println!(
+        "snapshot:            {:.1} ms",
+        snap_elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "recover (snapshot):  {:.1} ms ({} op(s) durable, {} replayed)",
+        open_elapsed.as_secs_f64() * 1e3,
+        report.ops_durable,
+        report.replayed_records
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,6 +10,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
 
+# Scratch data dirs left behind by interrupted recovery-oracle runs
+# (fuzz --crash, tests/recovery_replay.rs) would otherwise accumulate
+# under target/ between benchmark sessions.
+rm -rf target/chainsplit-recovery
+
 echo "=== build (release) ==="
 cargo build -p chainsplit-bench --release --bins
 

@@ -41,24 +41,40 @@
 //! (counters legitimately differ — reordering joins is the point), and
 //! each leg must be bit-identical across thread counts (DESIGN.md §14).
 //!
+//! With `--crash` the driver switches to the **recovery oracle**: each
+//! seed runs a durable mutation session (WAL + a mid-script snapshot)
+//! that is killed at a seed-chosen persistence point — mid-frame,
+//! between write and fsync, either side of a snapshot rename — and the
+//! recovered database must be indistinguishable from an in-memory twin
+//! that applied exactly the durable operations (DESIGN.md §15). Fault
+//! injection at persistence points needs a `--features fault-inject`
+//! build; without it the oracle runs its clean-kill leg.
+//!
 //! ```text
 //! fuzz [--start S] [--seeds N] [--threads 1,4] [--cache] [--provenance]
-//!      [--mutate] [--plan] [--fault-rate P] [--fault-seed S]
+//!      [--mutate] [--plan] [--crash] [--fault-rate P] [--fault-seed S]
 //!      [--timeout-ms MS]
 //! ```
 
 use chain_split::differential::{
-    run_seeds, run_seeds_cached, run_seeds_disrupted, run_seeds_mutate, run_seeds_plan,
-    run_seeds_provenance, Disruption,
+    run_seeds, run_seeds_cached, run_seeds_crash, run_seeds_disrupted, run_seeds_mutate,
+    run_seeds_plan, run_seeds_provenance, Disruption,
 };
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--start S] [--seeds N] [--threads 1,4] [--cache] [--provenance] \
-         [--mutate] [--plan] [--fault-rate P] [--fault-seed S] [--timeout-ms MS]"
+         [--mutate] [--plan] [--crash] [--fault-rate P] [--fault-seed S] [--timeout-ms MS]"
     );
     std::process::exit(2);
+}
+
+/// The `--threads` list back in flag form, so every repro header prints
+/// a complete re-run recipe.
+fn threads_flag(threads: &[usize]) -> String {
+    let list: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
+    format!("--threads {}", list.join(","))
 }
 
 fn main() -> ExitCode {
@@ -72,6 +88,7 @@ fn main() -> ExitCode {
     let mut provenance: bool = false;
     let mut mutate: bool = false;
     let mut plan: bool = false;
+    let mut crash: bool = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -100,8 +117,48 @@ fn main() -> ExitCode {
             "--provenance" => provenance = true,
             "--mutate" => mutate = true,
             "--plan" => plan = true,
+            "--crash" => crash = true,
             _ => usage(),
         }
+    }
+
+    if crash {
+        if cache || provenance || mutate || plan || fault_rate > 0.0 || timeout_ms.is_some() {
+            eprintln!(
+                "fuzz: --crash does not combine with --cache/--provenance/--mutate/\
+                 --plan/--fault-rate/--timeout-ms"
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "fuzz: recovery oracle, seeds {start}..{} x threads {threads:?}, durable \
+             sessions killed at seed-chosen persistence points ({})",
+            start + seeds,
+            if cfg!(feature = "fault-inject") {
+                "torn/short/corrupt/duplicate/rename faults"
+            } else {
+                "clean-kill leg only; build with --features fault-inject for torn writes"
+            }
+        );
+        return match run_seeds_crash(start, seeds, &threads) {
+            Ok(checked) => {
+                println!("fuzz: OK — {checked} killed sessions recovered bit-identically");
+                ExitCode::SUCCESS
+            }
+            Err(failure) => {
+                let (shrunk, mismatch) = *failure;
+                eprintln!("fuzz: FAILED — {mismatch}");
+                eprintln!(
+                    "fuzz: shrunk reproduction from seed {} (re-run with \
+                     --crash --start {} --seeds 1 {}):",
+                    mismatch.seed,
+                    mismatch.seed,
+                    threads_flag(&threads)
+                );
+                eprintln!("{shrunk}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if plan {
@@ -126,8 +183,11 @@ fn main() -> ExitCode {
                 let (case, mismatch) = *failure;
                 eprintln!("fuzz: FAILED — {mismatch}");
                 eprintln!(
-                    "fuzz: reproduction (re-run with --plan --start {} --seeds 1):",
-                    mismatch.seed
+                    "fuzz: reproduction from seed {} (re-run with --plan --start {} \
+                     --seeds 1 {}):",
+                    mismatch.seed,
+                    mismatch.seed,
+                    threads_flag(&threads)
                 );
                 eprintln!("{case}");
                 ExitCode::FAILURE
@@ -160,8 +220,11 @@ fn main() -> ExitCode {
                 let (shrunk, mismatch) = *failure;
                 eprintln!("fuzz: FAILED — {mismatch}");
                 eprintln!(
-                    "fuzz: shrunk reproduction (re-run with --mutate --start {} --seeds 1):",
-                    mismatch.seed
+                    "fuzz: shrunk reproduction from seed {} (re-run with --mutate \
+                     --start {} --seeds 1 {}):",
+                    mismatch.seed,
+                    mismatch.seed,
+                    threads_flag(&threads)
                 );
                 eprintln!("{shrunk}");
                 ExitCode::FAILURE
@@ -188,8 +251,11 @@ fn main() -> ExitCode {
                 let (case, mismatch) = *failure;
                 eprintln!("fuzz: FAILED — {mismatch}");
                 eprintln!(
-                    "fuzz: reproduction (re-run with --provenance --start {} --seeds 1):",
-                    mismatch.seed
+                    "fuzz: reproduction from seed {} (re-run with --provenance \
+                     --start {} --seeds 1 {}):",
+                    mismatch.seed,
+                    mismatch.seed,
+                    threads_flag(&threads)
                 );
                 eprintln!("{case}");
                 ExitCode::FAILURE
@@ -218,8 +284,11 @@ fn main() -> ExitCode {
                 let (case, mismatch) = *failure;
                 eprintln!("fuzz: FAILED — {mismatch}");
                 eprintln!(
-                    "fuzz: reproduction (re-run with --cache --start {} --seeds 1):",
-                    mismatch.seed
+                    "fuzz: reproduction from seed {} (re-run with --cache --start {} \
+                     --seeds 1 {}):",
+                    mismatch.seed,
+                    mismatch.seed,
+                    threads_flag(&threads)
                 );
                 eprintln!("{case}");
                 ExitCode::FAILURE
@@ -251,9 +320,15 @@ fn main() -> ExitCode {
             Err(failure) => {
                 let (case, mismatch) = *failure;
                 eprintln!("fuzz: FAILED — {mismatch}");
+                let timeout = timeout_ms
+                    .map(|ms| format!(" --timeout-ms {ms}"))
+                    .unwrap_or_default();
                 eprintln!(
-                    "fuzz: reproduction (re-run with --start {} --seeds 1):",
-                    mismatch.seed
+                    "fuzz: reproduction from seed {} (re-run with --start {} --seeds 1 \
+                     {} --fault-rate {fault_rate} --fault-seed {fault_seed}{timeout}):",
+                    mismatch.seed,
+                    mismatch.seed,
+                    threads_flag(&threads)
                 );
                 eprintln!("{case}");
                 ExitCode::FAILURE
@@ -274,8 +349,11 @@ fn main() -> ExitCode {
             let (shrunk, mismatch) = *failure;
             eprintln!("fuzz: FAILED — {mismatch}");
             eprintln!(
-                "fuzz: shrunk reproduction (re-run with --start {} --seeds 1):",
-                mismatch.seed
+                "fuzz: shrunk reproduction from seed {} (re-run with --start {} \
+                 --seeds 1 {}):",
+                mismatch.seed,
+                mismatch.seed,
+                threads_flag(&threads)
             );
             eprintln!("{shrunk}");
             ExitCode::FAILURE

@@ -561,8 +561,10 @@ pub fn check_cache_consistency(case: &FuzzCase, threads: &[usize]) -> Result<(),
             let mut prev_complete = false;
             for step in &script {
                 if let Some(fact) = &step.add {
-                    off.add_fact(fact.clone());
-                    on.add_fact(fact.clone());
+                    off.add_fact(fact.clone())
+                        .map_err(|e| fail(format!("insert: {e}")))?;
+                    on.add_fact(fact.clone())
+                        .map_err(|e| fail(format!("insert: {e}")))?;
                 }
                 if let Some(rule) = step.rule {
                     off.load_rule(rule)
@@ -883,7 +885,8 @@ fn run_mutation_session(
                 MutOp::Insert(f) => {
                     // Any insert bumps the predicate's epoch — even a
                     // duplicate — so the next pose must miss.
-                    live.add_fact(parse_atom(f));
+                    live.add_fact(parse_atom(f))
+                        .map_err(|e| fail(format!("insert {f}: {e}")))?;
                     facts.push(format!("{f}."));
                     expect_hit = false;
                 }
@@ -1026,8 +1029,9 @@ fn check_retraction_provenance(
             })
             .unwrap_or_else(|e| panic!("mutation fact must parse: {e}"));
             match op {
-                MutOp::Insert(_) => {
-                    db.add_fact(atom);
+                MutOp::Insert(f) => {
+                    db.add_fact(atom)
+                        .map_err(|e| fail(format!("insert {f}: {e}")))?;
                 }
                 MutOp::Retract(f) => {
                     db.retract_fact(&atom)
@@ -1088,6 +1092,17 @@ pub fn check_retract_consistency(
 /// sequence (a shorter session localizes which mutation breaks), then
 /// halve the EDB like [`shrink_case`].
 pub fn shrink_mutation_script(script: &MutationScript, threads: &[usize]) -> MutationScript {
+    shrink_script_by(script, threads, check_retract_consistency)
+}
+
+/// The halving loop behind [`shrink_mutation_script`] and
+/// [`shrink_recovery_script`]: keeps any half on which `check` still
+/// fails, ops first, then facts.
+fn shrink_script_by(
+    script: &MutationScript,
+    threads: &[usize],
+    check: fn(&MutationScript, &[usize]) -> Result<(), Mismatch>,
+) -> MutationScript {
     let mut cur = script.clone();
     while cur.ops.len() > 1 {
         let half = cur.ops.len() / 2;
@@ -1095,7 +1110,7 @@ pub fn shrink_mutation_script(script: &MutationScript, threads: &[usize]) -> Mut
             case: cur.case.clone(),
             ops: cur.ops[..half].to_vec(),
         };
-        if check_retract_consistency(&first, threads).is_err() {
+        if check(&first, threads).is_err() {
             cur = first;
             continue;
         }
@@ -1103,7 +1118,7 @@ pub fn shrink_mutation_script(script: &MutationScript, threads: &[usize]) -> Mut
             case: cur.case.clone(),
             ops: cur.ops[half..].to_vec(),
         };
-        if check_retract_consistency(&second, threads).is_err() {
+        if check(&second, threads).is_err() {
             cur = second;
             continue;
         }
@@ -1118,7 +1133,7 @@ pub fn shrink_mutation_script(script: &MutationScript, threads: &[usize]) -> Mut
             },
             ops: cur.ops.clone(),
         };
-        if check_retract_consistency(&first, threads).is_err() {
+        if check(&first, threads).is_err() {
             cur = first;
             continue;
         }
@@ -1129,7 +1144,7 @@ pub fn shrink_mutation_script(script: &MutationScript, threads: &[usize]) -> Mut
             },
             ops: cur.ops.clone(),
         };
-        if check_retract_consistency(&second, threads).is_err() {
+        if check(&second, threads).is_err() {
             cur = second;
             continue;
         }
@@ -1178,6 +1193,424 @@ pub fn run_seeds_disrupted(
         };
         if let Err(m) = check_crash_consistency(&case, threads, &d) {
             return Err(Box::new((case, m)));
+        }
+    }
+    Ok(count)
+}
+
+// ---------------------------------------------------------------------
+// The recovery oracle (`fuzz --crash`): kill a durable session at a
+// seed-chosen persistence point, recover, and require the recovered
+// database to be indistinguishable from an in-memory twin that applied
+// exactly the operations the write-ahead log made durable.
+// ---------------------------------------------------------------------
+
+/// SplitMix64: derives the crash point and fault kind from the case
+/// seed so every failure reproduces from its seed alone.
+#[cfg(feature = "fault-inject")]
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A scratch data dir under `target/chainsplit-recovery/`, wiped before
+/// use. Keyed by pid so parallel `cargo test` processes never collide.
+fn recovery_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("target")
+        .join("chainsplit-recovery")
+        .join(format!("{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Did this error kill the session (an injected crash at a persistence
+/// point), as opposed to a genuine failure?
+fn is_injected_crash(e: &DbError) -> bool {
+    matches!(e, DbError::Storage(s) if s.is_crash())
+}
+
+/// Runs the script's durable session in `dir` until it completes or an
+/// injected crash kills it: open, load the program, apply each mutation
+/// op, and snapshot once mid-script so recovery exercises a snapshot
+/// plus a WAL suffix. Returns whether the session was killed, or a
+/// genuine (non-crash) failure.
+fn run_durable_session(
+    script: &MutationScript,
+    dir: &std::path::Path,
+    t: usize,
+) -> Result<bool, Mismatch> {
+    let case = &script.case;
+    let fail = |detail: String| Mismatch {
+        seed: case.seed,
+        shape: case.shape,
+        detail,
+    };
+    let mut db = match DeductiveDb::open(dir) {
+        Ok(db) => db,
+        Err(ref e) if is_injected_crash(e) => return Ok(true),
+        Err(e) => return Err(fail(format!("durable open: {e}"))),
+    };
+    db.set_threads(t);
+    db.solve_options.max_levels = 200;
+    let parse_atom = |src: &str| {
+        crate::logic::parse_query(src)
+            .unwrap_or_else(|e| panic!("mutation fact `{src}` must parse: {e}"))
+    };
+    // Op 0 of the durable history is the program load itself.
+    match db.load(&case.program()) {
+        Ok(()) => {}
+        Err(ref e) if is_injected_crash(e) => return Ok(true),
+        Err(e) => return Err(fail(format!("durable load: {e}"))),
+    }
+    let snapshot_after = script.ops.len() / 2;
+    for (i, op) in script.ops.iter().enumerate() {
+        let applied = match op {
+            MutOp::Insert(f) => db.add_fact(parse_atom(f)),
+            MutOp::Retract(f) => db.retract_fact(&parse_atom(f)).map(|_| ()),
+        };
+        match applied {
+            Ok(()) => {}
+            Err(ref e) if is_injected_crash(e) => return Ok(true),
+            Err(e) => return Err(fail(format!("durable {op}: {e}"))),
+        }
+        if i + 1 == snapshot_after && snapshot_after > 0 {
+            match db.snapshot() {
+                Ok(_) => {}
+                Err(ref e) if is_injected_crash(e) => return Ok(true),
+                Err(e) => return Err(fail(format!("durable snapshot: {e}"))),
+            }
+        }
+    }
+    // The session ends without a final snapshot — a SIGKILL with a
+    // synced WAL — so recovery always has a suffix to replay.
+    Ok(false)
+}
+
+/// The crash the doomed session is armed with. Without `fault-inject`
+/// only the clean-kill leg (`None`) exists.
+#[cfg(feature = "fault-inject")]
+type CrashPlan = chainsplit_governor::faults::FsFaultPlan;
+#[cfg(not(feature = "fault-inject"))]
+type CrashPlan = ();
+
+/// Counts the persistence points a full, uncrashed session visits —
+/// the sample space the crash plans draw from.
+#[cfg(feature = "fault-inject")]
+fn count_persistence_points(script: &MutationScript) -> Result<u64, Mismatch> {
+    use chainsplit_governor::faults::{arm_fs, disarm_fs, fs_points_visited, FsFault, FsFaultPlan};
+    let dir = recovery_dir(&format!("count-{}", script.case.seed));
+    arm_fs(FsFaultPlan {
+        point: u64::MAX,
+        fault: FsFault::TornWrite,
+    });
+    let outcome = run_durable_session(script, &dir, 1);
+    let points = fs_points_visited();
+    disarm_fs();
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome?;
+    Ok(points)
+}
+
+/// Derives the crash plan (point, fault kind) from the case seed.
+#[cfg(feature = "fault-inject")]
+fn crash_plan_for(script: &MutationScript) -> Result<Option<CrashPlan>, Mismatch> {
+    use chainsplit_governor::faults::{FsFault, FsFaultPlan};
+    let points = count_persistence_points(script)?;
+    if points == 0 {
+        return Ok(None);
+    }
+    let r = splitmix(script.case.seed ^ 0x5AFE_C0DE);
+    Ok(Some(FsFaultPlan {
+        point: r % points,
+        fault: FsFault::ALL[(r >> 32) as usize % FsFault::ALL.len()],
+    }))
+}
+
+/// Without `fault-inject` the oracle still runs its clean-kill leg: the
+/// session is dropped with no final snapshot (as a SIGKILL between
+/// fsyncs would leave it) and recovery must restore every durable op.
+#[cfg(not(feature = "fault-inject"))]
+fn crash_plan_for(_script: &MutationScript) -> Result<Option<CrashPlan>, Mismatch> {
+    Ok(None)
+}
+
+/// One recovered-vs-twin comparison at one thread count. Returns the
+/// session log — the cross-thread comparison key.
+fn run_recovery_session(
+    script: &MutationScript,
+    t: usize,
+    plan: Option<CrashPlan>,
+) -> Result<Vec<String>, Mismatch> {
+    let case = &script.case;
+    let fail = |detail: String| Mismatch {
+        seed: case.seed,
+        shape: case.shape,
+        detail,
+    };
+    let strategy = mutation_strategy(case.class);
+    let dir = recovery_dir(&format!("s{}-t{t}", case.seed));
+
+    // Run the doomed session. With a plan armed the chosen persistence
+    // point reports the process killed after leaving its damage on disk;
+    // without one the drop below is the kill.
+    #[cfg(feature = "fault-inject")]
+    if let Some(p) = plan {
+        chainsplit_governor::faults::arm_fs(p);
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    let _ = plan;
+    let session = run_durable_session(script, &dir, t);
+    #[cfg(feature = "fault-inject")]
+    chainsplit_governor::faults::disarm_fs();
+    let killed = session?;
+    let _ = killed; // the log records ops_durable, which implies it
+
+    // Recovery must succeed regardless of where the crash landed: the
+    // torn tail is truncated, never replayed; a half-renamed snapshot
+    // falls back to the previous one.
+    let mut recovered =
+        DeductiveDb::open(&dir).map_err(|e| fail(format!("recovery at threads={t}: {e}")))?;
+    recovered.set_threads(t);
+    recovered.solve_options.max_levels = 200;
+    recovered.set_cache_enabled(true);
+    let report = recovered
+        .recovery_report()
+        .cloned()
+        .expect("open always produces a report");
+    let ops_durable = report.ops_durable;
+    if ops_durable > 1 + script.ops.len() as u64 {
+        return Err(fail(format!(
+            "recovery at threads={t}: {ops_durable} ops durable but the \
+             session only performed {}",
+            1 + script.ops.len()
+        )));
+    }
+
+    // The in-memory twin applies exactly the durable prefix: op 0 is
+    // the program load, op j > 0 is script op j-1.
+    let mut twin = DeductiveDb::new();
+    twin.set_threads(t);
+    twin.solve_options.max_levels = 200;
+    twin.set_cache_enabled(true);
+    let parse_atom = |src: &str| {
+        crate::logic::parse_query(src)
+            .unwrap_or_else(|e| panic!("mutation fact `{src}` must parse: {e}"))
+    };
+    if ops_durable > 0 {
+        twin.load(&case.program())
+            .map_err(|e| fail(format!("twin load: {e}")))?;
+        for op in &script.ops[..ops_durable as usize - 1] {
+            match op {
+                MutOp::Insert(f) => twin
+                    .add_fact(parse_atom(f))
+                    .map_err(|e| fail(format!("twin {op}: {e}")))?,
+                MutOp::Retract(f) => {
+                    twin.retract_fact(&parse_atom(f))
+                        .map_err(|e| fail(format!("twin {op}: {e}")))?;
+                }
+            };
+        }
+    }
+
+    // Epoch vectors must match bit-for-bit: they are the clock every
+    // answer- and plan-cache invalidation decision reads.
+    if recovered.program_epoch() != twin.program_epoch() {
+        return Err(fail(format!(
+            "program epoch diverged at threads={t}: recovered {} vs twin {}",
+            recovered.program_epoch(),
+            twin.program_epoch()
+        )));
+    }
+    let epoch_vec = |db: &DeductiveDb| -> Vec<String> {
+        let mut v: Vec<String> = db
+            .edb_epochs()
+            .iter()
+            .map(|(p, e)| format!("{p}={e}"))
+            .collect();
+        v.sort();
+        v
+    };
+    let (rec_epochs, twin_epochs) = (epoch_vec(&recovered), epoch_vec(&twin));
+    if rec_epochs != twin_epochs {
+        return Err(fail(format!(
+            "edb epochs diverged at threads={t}:\n  recovered: {rec_epochs:?}\n  \
+             vs twin: {twin_epochs:?}"
+        )));
+    }
+
+    // Answers: the recovered database must tell the twin's story.
+    let (rec_out, _) = pose_mutation_query(&mut recovered, &case.query, strategy);
+    let (twin_out, _) = pose_mutation_query(&mut twin, &case.query, strategy);
+    if rec_out.without_counters() != twin_out.without_counters() {
+        return Err(fail(format!(
+            "{strategy} at threads={t} diverges after recovery \
+             ({ops_durable} ops durable):\n  recovered: {rec_out:?}\nvs twin: {twin_out:?}"
+        )));
+    }
+
+    // Cache discipline: with restored epochs, an identical re-pose must
+    // hit on both sides (nothing mutated in between).
+    let complete = matches!(&rec_out, Outcome::Ok { .. });
+    let (_, rec_hit) = pose_mutation_query(&mut recovered, &case.query, strategy);
+    let (_, twin_hit) = pose_mutation_query(&mut twin, &case.query, strategy);
+    if complete && (!rec_hit || !twin_hit) {
+        return Err(fail(format!(
+            "re-pose after recovery at threads={t} should hit the answer \
+             cache on both sides (recovered: {rec_hit}, twin: {twin_hit})"
+        )));
+    }
+
+    // Materialization: a fixpoint computed over the recovered EDB must
+    // be bit-identical to one over the twin's.
+    let mut digest_rows = 0usize;
+    if case.class != StrategyClass::GoalDirected {
+        let rec_ok = recovered
+            .materialize()
+            .map_err(|e| fail(format!("recovered materialize: {e}")))?;
+        let twin_ok = twin
+            .materialize()
+            .map_err(|e| fail(format!("twin materialize: {e}")))?;
+        if rec_ok != twin_ok {
+            return Err(fail(format!(
+                "materialization acceptance diverged at threads={t}: \
+                 recovered {rec_ok} vs twin {twin_ok}"
+            )));
+        }
+        if rec_ok {
+            let rec_digest = recovered.materialization_digest().expect("accepted above");
+            let twin_digest = twin.materialization_digest().expect("accepted above");
+            if rec_digest != twin_digest {
+                let only_rec: Vec<&String> = rec_digest
+                    .iter()
+                    .filter(|l| !twin_digest.contains(l))
+                    .collect();
+                let only_twin: Vec<&String> = twin_digest
+                    .iter()
+                    .filter(|l| !rec_digest.contains(l))
+                    .collect();
+                return Err(fail(format!(
+                    "recovered materialization diverges from the twin at \
+                     threads={t}:\n  only recovered: {only_rec:?}\n  only twin: {only_twin:?}"
+                )));
+            }
+            digest_rows = rec_digest.len();
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(vec![
+        format!(
+            "durable: {ops_durable} op(s), snapshot seq {}, {} replayed, {} torn byte(s)",
+            report.snapshot_seq, report.replayed_records, report.truncated_bytes
+        ),
+        format!(
+            "epochs: program={} edb={rec_epochs:?}",
+            twin.program_epoch()
+        ),
+        format!("query: {rec_out:?}"),
+        format!("digest: {digest_rows} row(s)"),
+    ])
+}
+
+/// The **recovery-consistency invariant** (DESIGN.md §15): a durable
+/// session killed at an arbitrary persistence point — mid-frame, between
+/// write and fsync, either side of a snapshot rename — must recover to a
+/// database indistinguishable from an in-memory twin that applied
+/// exactly the operations the log made durable: same answers, same
+/// epoch vector (so cache invalidation stays honest), same cache
+/// hit/miss behavior, same materialization digest. The whole recovery
+/// log must be bit-identical at every thread count.
+///
+/// The crash point and fault kind derive from the case seed. Callers
+/// must serialize: the filesystem fault plan is process-global.
+pub fn check_recovery_consistency(
+    script: &MutationScript,
+    threads: &[usize],
+) -> Result<(), Mismatch> {
+    let plan = crash_plan_for(script)?;
+    check_recovery_with_plan(script, threads, plan)
+}
+
+/// The thread loop behind [`check_recovery_consistency`] and
+/// [`check_recovery_sweep`]: one crash plan, every thread count, logs
+/// bit-identical.
+fn check_recovery_with_plan(
+    script: &MutationScript,
+    threads: &[usize],
+    plan: Option<CrashPlan>,
+) -> Result<(), Mismatch> {
+    assert!(!threads.is_empty(), "need at least one thread count");
+    let case = &script.case;
+    let mut reference: Option<(usize, Vec<String>)> = None;
+    for &t in threads {
+        let log = run_recovery_session(script, t, plan)?;
+        match &reference {
+            None => reference = Some((t, log)),
+            Some((t0, ref_log)) => {
+                if &log != ref_log {
+                    return Err(Mismatch {
+                        seed: case.seed,
+                        shape: case.shape,
+                        detail: format!(
+                            "recovery log differs between threads={t0} and \
+                             threads={t} (crash plan {plan:?}):\n{ref_log:#?}\nvs\n{log:#?}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Crash-at-**every**-failpoint: kills the session at each persistence
+/// point it visits (fault kinds rotating so all six appear across the
+/// sweep), plus the clean-kill leg, and requires every recovery to match
+/// its twin. Returns the number of crash plans exercised. Without
+/// `fault-inject` only the clean-kill leg runs.
+pub fn check_recovery_sweep(script: &MutationScript, threads: &[usize]) -> Result<u64, Mismatch> {
+    check_recovery_with_plan(script, threads, None)?;
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        Ok(1)
+    }
+    #[cfg(feature = "fault-inject")]
+    {
+        use chainsplit_governor::faults::{FsFault, FsFaultPlan};
+        let points = count_persistence_points(script)?;
+        for point in 0..points {
+            let plan = FsFaultPlan {
+                point,
+                fault: FsFault::ALL[point as usize % FsFault::ALL.len()],
+            };
+            check_recovery_with_plan(script, threads, Some(plan))?;
+        }
+        Ok(1 + points)
+    }
+}
+
+/// Greedily shrinks a failing recovery script, halving the op sequence
+/// first and then the EDB, like [`shrink_mutation_script`].
+pub fn shrink_recovery_script(script: &MutationScript, threads: &[usize]) -> MutationScript {
+    shrink_script_by(script, threads, check_recovery_consistency)
+}
+
+/// Runs `count` consecutive seeds through the recovery oracle. Returns
+/// the total number of durable sessions recovered.
+pub fn run_seeds_crash(
+    start: u64,
+    count: u64,
+    threads: &[usize],
+) -> Result<u64, Box<(MutationScript, Mismatch)>> {
+    for seed in start..start + count {
+        let script = crate::workloads::fuzz::gen_mutation_script(seed);
+        if check_recovery_consistency(&script, threads).is_err() {
+            let shrunk = shrink_recovery_script(&script, threads);
+            let m = check_recovery_consistency(&shrunk, threads)
+                .expect_err("shrunk script must still fail");
+            return Err(Box::new((shrunk, m)));
         }
     }
     Ok(count)

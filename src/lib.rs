@@ -50,4 +50,5 @@ pub use chainsplit_governor as governor;
 pub use chainsplit_logic as logic;
 pub use chainsplit_provenance as provenance;
 pub use chainsplit_relation as relation;
+pub use chainsplit_storage as storage;
 pub use chainsplit_workloads as workloads;

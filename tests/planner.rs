@@ -12,7 +12,7 @@ fn star_db(hubs: usize, spokes: usize, fanout: usize) -> DeductiveDb {
     let mut db = DeductiveDb::new();
     db.load(fixtures::STAR_JOIN).unwrap();
     for f in star_join_facts(hubs, spokes, fanout) {
-        db.add_fact(f);
+        db.add_fact(f).unwrap();
     }
     db
 }
@@ -83,7 +83,8 @@ fn plan_cache_invalidates_on_insert_and_retract() {
 
     // Insert: a new hub value doubles the hub answers and bumps the
     // epoch, so the cached plan is stale and must be recomputed.
-    db.add_fact(Atom::new("hub", vec![Term::sym("x5"), Term::sym("h5")]));
+    db.add_fact(Atom::new("hub", vec![Term::sym("x5"), Term::sym("h5")]))
+        .unwrap();
     let grown = sorted_answers(&mut db, q);
     assert!(grown.len() > first.len(), "new hub fact adds answers");
     let s3 = db.plan_stats();
@@ -117,9 +118,9 @@ fn delta_band_replans_mid_fixpoint() {
     db.load(fixtures::PATH).unwrap();
     let e = |a: &str, b: &str| Atom::new("edge", vec![Term::sym(a), Term::sym(b)]);
     for i in 0..64 {
-        db.add_fact(e("a", &format!("b{i}")));
+        db.add_fact(e("a", &format!("b{i}"))).unwrap();
     }
-    db.add_fact(e("b0", "c"));
+    db.add_fact(e("b0", "c")).unwrap();
 
     let out = db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
     assert_eq!(out.answers.len(), 65);
@@ -135,9 +136,9 @@ fn delta_band_replans_mid_fixpoint() {
         db.set_threads(threads);
         db.load(fixtures::PATH).unwrap();
         for i in 0..64 {
-            db.add_fact(e("a", &format!("b{i}")));
+            db.add_fact(e("a", &format!("b{i}"))).unwrap();
         }
-        db.add_fact(e("b0", "c"));
+        db.add_fact(e("b0", "c")).unwrap();
         let o = db.query_with("path(a, Y)", Strategy::SemiNaive).unwrap();
         (
             o.answers.len(),

@@ -1,0 +1,106 @@
+//! Crash-recovery replay of the regression corpus.
+//!
+//! Every fixture — the plain `tests/corpus/*.dl` programs and the
+//! scripted `tests/corpus/mutation/*.dl` sessions — runs as a durable
+//! session (WAL on, a snapshot mid-script) that is killed and recovered,
+//! and the recovered database must be indistinguishable from an
+//! in-memory twin that applied exactly the operations the log made
+//! durable: same answers, same epoch vector, same cache discipline,
+//! same materialization digest, bit-identical at thread counts 1, 2
+//! and 4 (DESIGN.md §15).
+//!
+//! Built with `--features fault-inject` the kill sweeps **every**
+//! persistence point the session visits — each WAL frame write, each
+//! fsync, both sides of the snapshot rename — with the six fault kinds
+//! rotating across points. Without the feature only the clean-kill leg
+//! runs (SIGKILL with a synced WAL), which keeps the default test suite
+//! hermetic and fast.
+
+use chain_split::differential::check_recovery_sweep;
+use chain_split::workloads::fuzz::{parse_corpus, parse_mutation_corpus, MutationScript};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The filesystem fault plan is process-global, so the two sweeps must
+/// not interleave under the parallel test runner.
+static SWEEP_LOCK: Mutex<()> = Mutex::new(());
+
+fn fixture_files(subdir: &str) -> Vec<PathBuf> {
+    let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus")).join(subdir);
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("corpus dir must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "dl"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn leak_name(path: &std::path::Path) -> &'static str {
+    Box::leak(
+        path.file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned()
+            .into_boxed_str(),
+    )
+}
+
+/// Plain corpus programs run as op-less durable sessions: the program
+/// load is the only logged operation, so the sweep exercises the WAL
+/// frames and fsyncs of a single large record.
+#[test]
+fn corpus_survives_crashes_at_every_failpoint() {
+    let _guard = SWEEP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let files = fixture_files("");
+    assert!(
+        files.len() >= 10,
+        "regression corpus unexpectedly small: {} programs",
+        files.len()
+    );
+    let mut plans = 0u64;
+    for path in files {
+        let name = leak_name(&path);
+        let text = fs::read_to_string(&path).unwrap();
+        let script = MutationScript {
+            case: parse_corpus(name, &text),
+            ops: Vec::new(),
+        };
+        match check_recovery_sweep(&script, &[1, 2, 4]) {
+            Ok(n) => plans += n,
+            Err(m) => panic!("corpus {name}: {m}"),
+        }
+    }
+    assert!(plans > 0, "the sweep must exercise at least one crash plan");
+}
+
+/// Mutation scripts run their full insert/retract history durably, with
+/// a snapshot after the first half — so the sweep covers recovery from
+/// a snapshot plus a WAL suffix, torn tails landing on every op, and
+/// crashes on both sides of the snapshot rename.
+#[test]
+fn mutation_corpus_survives_crashes_at_every_failpoint() {
+    let _guard = SWEEP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let files = fixture_files("mutation");
+    assert!(
+        files.len() >= 5,
+        "retraction corpus unexpectedly small: {} scripts",
+        files.len()
+    );
+    let mut plans = 0u64;
+    for path in files {
+        let name = leak_name(&path);
+        let text = fs::read_to_string(&path).unwrap();
+        let script = parse_mutation_corpus(name, &text);
+        assert!(
+            !script.ops.is_empty(),
+            "{name}: a mutation fixture must carry `% mutate:` ops"
+        );
+        match check_recovery_sweep(&script, &[1, 2, 4]) {
+            Ok(n) => plans += n,
+            Err(m) => panic!("corpus {name}: {m}"),
+        }
+    }
+    assert!(plans > 0, "the sweep must exercise at least one crash plan");
+}

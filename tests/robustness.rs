@@ -129,7 +129,7 @@ fn deep_recursion_is_fine_at_scale() {
     let mut db = DeductiveDb::new();
     db.load(fixtures::PATH).unwrap();
     for e in chain_split::workloads::chain_edges(400) {
-        db.add_fact(e);
+        db.add_fact(e).unwrap();
     }
     db.bottom_up_options = BottomUpOptions::default();
     let o = db

@@ -146,7 +146,7 @@ fn constraint_pushing_preserves_answers() {
         let mut db = DeductiveDb::new();
         db.load(fixtures::TRAVEL).unwrap();
         for f in chain_split::workloads::flight_facts(cfg) {
-            db.add_fact(f);
+            db.add_fact(f).unwrap();
         }
         let (from, to) = chain_split::workloads::endpoints(cfg);
         let base = format!("travel(L, {from}, DT, {to}, AT, F)");
